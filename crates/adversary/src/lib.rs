@@ -1,0 +1,109 @@
+//! # dbp-adversary — the paper's adversarial constructions, executable
+//!
+//! Exact, parameterized generators for the two lower-bound witnesses of the
+//! SPAA'14 MinTotal DBP paper:
+//!
+//! * [`theorem1::Theorem1`] — Figure 2 / Theorem 1: forces *any* Any Fit
+//!   algorithm to pay `kµ∆` while the optimum pays `(k+µ−1)∆`, achieving
+//!   the ratio `kµ/(k+µ−1) → µ`. (Per the paper's footnote the same idea
+//!   lower-bounds any online algorithm; our static instance realizes it for
+//!   the whole deterministic Any Fit family at once.)
+//! * [`theorem2::Theorem2`] — Figure 3 / Theorem 2: forces Best Fit to keep
+//!   `k` bins open forever, achieving a ratio ≥ `k/2` for any fixed µ —
+//!   i.e. Best Fit is unboundedly bad.
+//!
+//! Both constructions are built on integer ticks with both extreme interval
+//! lengths attained, so the instances' measured µ equals the target µ and
+//! measured costs match the closed forms exactly (asserted in tests and the
+//! `fig2_*` / `fig3_*` experiments).
+
+//! ```
+//! use dbp_adversary::Theorem1;
+//! use dbp_core::prelude::*;
+//! use dbp_opt::{opt_total, SolveMode};
+//!
+//! let witness = Theorem1::new(8, 10);
+//! let instance = witness.instance();
+//! let trace = simulate_validated(&instance, &mut BestFit::new());
+//! let opt = opt_total(&instance, SolveMode::default());
+//! // Measured ratio equals kµ/(k+µ−1) = 80/17, exactly.
+//! assert_eq!(opt.ratio_of(trace.total_cost_ticks()), witness.expected_ratio());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adaptive;
+pub mod search;
+pub mod theorem1;
+pub mod theorem2;
+
+pub use adaptive::{AdaptiveMuAdversary, AdaptiveOutcome};
+pub use search::{best_of_restarts, hill_climb, SearchConfig, SearchResult};
+pub use theorem1::Theorem1;
+pub use theorem2::Theorem2;
+
+#[cfg(test)]
+mod cross_checks {
+    use super::*;
+    use dbp_core::prelude::*;
+    use dbp_opt::{opt_total, SolveMode};
+
+    #[test]
+    fn theorem1_opt_total_matches_closed_form() {
+        for (k, mu) in [(2, 2), (3, 5), (5, 10), (8, 4)] {
+            let t1 = Theorem1::new(k, mu);
+            let inst = t1.instance();
+            let opt = opt_total(&inst, SolveMode::default());
+            assert!(opt.is_exact());
+            assert_eq!(
+                opt.exact_ticks(),
+                t1.expected_opt_cost_ticks(),
+                "OPT mismatch at k={k}, mu={mu}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_measured_ratio_equals_formula_exactly() {
+        for (k, mu) in [(2, 3), (4, 10), (6, 6)] {
+            let t1 = Theorem1::new(k, mu);
+            let inst = t1.instance();
+            let trace = simulate_validated(&inst, &mut FirstFit::new());
+            let opt = opt_total(&inst, SolveMode::default());
+            let ratio = Ratio::new(trace.total_cost_ticks(), opt.exact_ticks());
+            assert_eq!(
+                ratio,
+                t1.expected_ratio(),
+                "ratio mismatch at k={k}, mu={mu}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem2_ratio_exceeds_k_over_2_for_large_n() {
+        // With n well past the paper's threshold, BF/OPT must exceed k/2.
+        let t2 = Theorem2::new(4, 2, 8);
+        let inst = t2.instance();
+        let trace = simulate_validated(&inst, &mut BestFit::new());
+        let opt = opt_total(&inst, SolveMode::default());
+        assert!(opt.is_exact());
+        let ratio = Ratio::new(trace.total_cost_ticks(), opt.exact_ticks());
+        assert!(
+            ratio >= t2.ratio_floor(),
+            "BF ratio {ratio} below k/2 = {}",
+            t2.ratio_floor()
+        );
+    }
+
+    #[test]
+    fn theorem2_first_fit_stays_within_its_theorem5_bound() {
+        let t2 = Theorem2::new(4, 2, 6);
+        let inst = t2.instance();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        let opt = opt_total(&inst, SolveMode::default());
+        let ratio = Ratio::new(trace.total_cost_ticks(), opt.exact_ticks());
+        let bound = dbp_core::bounds::ff_general_bound(inst.mu().unwrap());
+        assert!(ratio <= bound, "FF ratio {ratio} exceeds 2µ+13 = {bound}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Randomized adversarial *search*: probing the paper's open gap.
+//!
+//! Theorem 1 lower-bounds First Fit's MinTotal ratio by µ; Theorem 5
+//! upper-bounds it by `2µ + 13`. The paper leaves the gap open. This module
+//! hill-climbs over small instances (perturbing arrivals, departures and
+//! sizes under a µ cap) to *search* for instances where First Fit's
+//! measured ratio beats the Theorem 1 witness — an empirical probe of
+//! whether the witness is the worst instance family we can find.
+//!
+//! The search is seeded and budgeted, uses exact `OPT_total` as the
+//! denominator, and keeps every intermediate instance valid (sizes ≤ W,
+//! interval lengths within `[∆, µ∆]`, so the µ cap is respected).
+
+use dbp_core::algorithms::FirstFit;
+use dbp_core::engine::simulate;
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::ratio::Ratio;
+use dbp_opt::{opt_total, SolveMode};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration of one hill-climbing run.
+#[derive(Debug, Clone, Copy)]
+pub struct SearchConfig {
+    /// Bin capacity `W`.
+    pub capacity: u64,
+    /// Items per candidate instance.
+    pub n_items: usize,
+    /// µ cap: all interval lengths stay within `[∆, µ∆]`.
+    pub mu: u64,
+    /// Minimum interval length ∆ in ticks.
+    pub delta: u64,
+    /// Arrival window `[0, horizon)` in ticks.
+    pub horizon: u64,
+    /// Mutation steps per restart.
+    pub steps: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// Defaults sized so exact `OPT_total` stays fast per candidate.
+    pub fn new(mu: u64, seed: u64) -> SearchConfig {
+        SearchConfig {
+            capacity: 12,
+            n_items: 20,
+            mu,
+            delta: 10,
+            horizon: 30,
+            steps: 400,
+            seed,
+        }
+    }
+}
+
+/// Best instance found by a search run.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The instance achieving the best ratio.
+    pub instance: Instance,
+    /// First Fit's exact ratio on it.
+    pub ratio: Ratio,
+    /// Candidates evaluated.
+    pub evaluated: u32,
+}
+
+/// Raw genome: `(arrival, len, size)` per item, always within bounds.
+type Genome = Vec<(u64, u64, u64)>;
+
+fn express(genome: &Genome, capacity: u64) -> Instance {
+    let mut b = InstanceBuilder::new(capacity);
+    for &(a, len, s) in genome {
+        b.add(a, a + len, s);
+    }
+    b.build().expect("genome expresses a valid instance")
+}
+
+fn score(instance: &Instance) -> Option<Ratio> {
+    let ff = simulate(instance, &mut FirstFit::new());
+    let opt = opt_total(
+        instance,
+        SolveMode::Exact {
+            node_budget: 50_000,
+        },
+    );
+    if !opt.is_exact() {
+        return None;
+    }
+    Some(Ratio::new(ff.total_cost_ticks(), opt.exact_ticks()))
+}
+
+fn random_genome(cfg: &SearchConfig, rng: &mut StdRng) -> Genome {
+    (0..cfg.n_items)
+        .map(|_| {
+            (
+                rng.random_range(0..cfg.horizon),
+                rng.random_range(cfg.delta..=cfg.mu * cfg.delta),
+                rng.random_range(1..=cfg.capacity),
+            )
+        })
+        .collect()
+}
+
+fn mutate(genome: &Genome, cfg: &SearchConfig, rng: &mut StdRng) -> Genome {
+    let mut g = genome.clone();
+    let idx = rng.random_range(0..g.len());
+    match rng.random_range(0..4u8) {
+        0 => g[idx].0 = rng.random_range(0..cfg.horizon),
+        1 => g[idx].1 = rng.random_range(cfg.delta..=cfg.mu * cfg.delta),
+        2 => g[idx].2 = rng.random_range(1..=cfg.capacity),
+        _ => {
+            // Resample the whole item.
+            g[idx] = (
+                rng.random_range(0..cfg.horizon),
+                rng.random_range(cfg.delta..=cfg.mu * cfg.delta),
+                rng.random_range(1..=cfg.capacity),
+            );
+        }
+    }
+    g
+}
+
+/// One seeded hill-climbing run.
+pub fn hill_climb(cfg: &SearchConfig) -> SearchResult {
+    assert!(cfg.mu >= 1 && cfg.delta >= 1 && cfg.n_items >= 1 && cfg.capacity >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut genome = random_genome(cfg, &mut rng);
+    let mut best_inst = express(&genome, cfg.capacity);
+    let mut best = score(&best_inst).unwrap_or(Ratio::ONE);
+    let mut evaluated = 1;
+    for _ in 0..cfg.steps {
+        let candidate = mutate(&genome, cfg, &mut rng);
+        let inst = express(&candidate, cfg.capacity);
+        evaluated += 1;
+        if let Some(r) = score(&inst) {
+            if r > best {
+                best = r;
+                genome = candidate;
+                best_inst = inst;
+            }
+        }
+    }
+    SearchResult {
+        instance: best_inst,
+        ratio: best,
+        evaluated,
+    }
+}
+
+/// Multi-restart search (restarts are independent; callers parallelize).
+pub fn best_of_restarts(cfg: &SearchConfig, restarts: u64) -> SearchResult {
+    (0..restarts)
+        .map(|r| {
+            hill_climb(&SearchConfig {
+                seed: cfg.seed.wrapping_add(r.wrapping_mul(0x9E3779B97F4A7C15)),
+                ..*cfg
+            })
+        })
+        .max_by(|a, b| a.ratio.cmp(&b.ratio))
+        .expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::bounds::{ff_general_bound, theorem1_ratio};
+
+    #[test]
+    fn search_respects_the_mu_cap() {
+        let cfg = SearchConfig {
+            steps: 60,
+            ..SearchConfig::new(5, 7)
+        };
+        let result = hill_climb(&cfg);
+        let mu = result.instance.mu().unwrap();
+        assert!(mu <= Ratio::from_int(5));
+        assert!(result.evaluated > 0);
+    }
+
+    #[test]
+    fn found_ratios_never_violate_theorem5() {
+        for seed in 0..3 {
+            let cfg = SearchConfig {
+                steps: 80,
+                ..SearchConfig::new(4, seed)
+            };
+            let result = hill_climb(&cfg);
+            let mu = result.instance.mu().unwrap();
+            assert!(
+                result.ratio <= ff_general_bound(mu),
+                "search broke Theorem 5?! ratio {} at µ {}",
+                result.ratio,
+                mu
+            );
+        }
+    }
+
+    #[test]
+    fn search_finds_something_worse_than_random() {
+        // Hill climbing must at least improve on its own random start —
+        // check monotonicity indirectly via a longer run beating ratio 1.
+        let cfg = SearchConfig {
+            steps: 200,
+            ..SearchConfig::new(6, 11)
+        };
+        let result = hill_climb(&cfg);
+        assert!(
+            result.ratio > Ratio::new(11, 10),
+            "200 steps found nothing above 1.1: {}",
+            result.ratio
+        );
+    }
+
+    #[test]
+    fn witness_remains_hard_to_beat() {
+        // The search at small scale should not exceed the *asymptotic*
+        // Theorem-1 witness value for its µ (kµ/(k+µ−1) → µ); with k as in
+        // our capacity-12 search, the comparable witness achieves
+        // 12µ/(11+µ). Give the search a real budget and verify it stays in
+        // the plausible band (> 1, ≤ 2µ+13 — and report if it ever beats
+        // the witness, which would be a publishable counterexample).
+        let mu = 4;
+        let cfg = SearchConfig {
+            steps: 150,
+            ..SearchConfig::new(mu, 3)
+        };
+        let result = best_of_restarts(&cfg, 3);
+        let witness = theorem1_ratio(12, mu);
+        // Not an assertion that search ≤ witness (that is the open
+        // question); only sanity that values are in the theoretical window.
+        assert!(result.ratio > Ratio::ONE);
+        assert!(result.ratio <= ff_general_bound(Ratio::from_int(mu as u128)));
+        let _ = witness;
+    }
+}

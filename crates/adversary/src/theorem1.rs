@@ -1,0 +1,144 @@
+//! The Theorem 1 construction (Figure 2): a witness showing the competitive
+//! ratio of *any* Any Fit algorithm is at least `kµ/(k+µ−1) → µ`.
+//!
+//! At time 0, `k²` items of size `W/k` arrive. Every Any Fit algorithm is
+//! forced to fill bins sequentially (a new bin opens only when all open bins
+//! are full), so bin `j` receives items `jk..(j+1)k`. At time ∆ all items
+//! except one per bin depart; the survivors stay until µ∆. The algorithm
+//! holds `k` nearly-empty bins open for `(µ−1)∆` while the optimum repacks
+//! the `k` survivors (total size `W`) into a single bin.
+
+use dbp_core::bounds::theorem1_ratio;
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::ratio::Ratio;
+
+/// Parameters of the Theorem 1 witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Theorem1 {
+    /// Number of bins forced open (and items per bin); the ratio approaches
+    /// µ as `k → ∞`.
+    pub k: u64,
+    /// Target max/min interval length ratio (µ ≥ 1, integer).
+    pub mu: u64,
+    /// Minimum interval length ∆ in ticks.
+    pub delta: u64,
+    /// Item size; the bin capacity is `k · item_size`.
+    pub item_size: u64,
+}
+
+impl Theorem1 {
+    /// The canonical witness with `∆ = 1000` ticks and unit-ish items.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 1` and `µ ≥ 1`.
+    pub fn new(k: u64, mu: u64) -> Theorem1 {
+        Theorem1 {
+            k,
+            mu,
+            delta: 1000,
+            item_size: 1,
+        }
+    }
+
+    /// Bin capacity `W = k · item_size`.
+    pub fn capacity(&self) -> u64 {
+        self.k * self.item_size
+    }
+
+    /// Build the witness instance.
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters (`k = 0`, `µ = 0`, `∆ = 0`).
+    pub fn instance(&self) -> Instance {
+        assert!(self.k >= 1 && self.mu >= 1 && self.delta >= 1 && self.item_size >= 1);
+        let mut b = InstanceBuilder::new(self.capacity());
+        let survivors_leave = self.mu * self.delta;
+        for i in 0..self.k * self.k {
+            // Sequential fill puts item i into bin i/k; the first item of
+            // each bin survives to µ∆, the rest depart at ∆.
+            let departure = if i % self.k == 0 {
+                survivors_leave
+            } else {
+                self.delta
+            };
+            b.add(0, departure, self.item_size);
+        }
+        b.build().expect("Theorem 1 witness must be valid")
+    }
+
+    /// The cost any Any Fit algorithm incurs: `k · µ∆` bin-ticks.
+    pub fn expected_anyfit_cost_ticks(&self) -> u128 {
+        self.k as u128 * self.mu as u128 * self.delta as u128
+    }
+
+    /// `OPT_total`: `k∆ + (µ−1)∆` bin-ticks.
+    pub fn expected_opt_cost_ticks(&self) -> u128 {
+        (self.k as u128 + self.mu as u128 - 1) * self.delta as u128
+    }
+
+    /// The exact achieved ratio `kµ/(k+µ−1)` (equation (1) of the paper).
+    pub fn expected_ratio(&self) -> Ratio {
+        theorem1_ratio(self.k, self.mu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+
+    #[test]
+    fn construction_shape() {
+        let t1 = Theorem1::new(4, 10);
+        let inst = t1.instance();
+        assert_eq!(inst.len(), 16);
+        assert_eq!(inst.capacity().raw(), 4);
+        assert_eq!(inst.mu().unwrap(), Ratio::from_int(10));
+        assert_eq!(inst.span().raw() as u128, 10 * 1000);
+    }
+
+    #[test]
+    fn closed_form_matches_formula() {
+        let t1 = Theorem1::new(4, 10);
+        assert_eq!(
+            t1.expected_ratio(),
+            Ratio::new(
+                t1.expected_anyfit_cost_ticks(),
+                t1.expected_opt_cost_ticks()
+            )
+        );
+    }
+
+    #[test]
+    fn every_any_fit_algorithm_pays_k_mu_delta() {
+        let t1 = Theorem1::new(5, 7);
+        let inst = t1.instance();
+        for mut sel in [
+            Box::new(FirstFit::new()) as Box<dyn BinSelector>,
+            Box::new(BestFit::new()),
+            Box::new(WorstFit::new()),
+            Box::new(LastFit::new()),
+            Box::new(MostItemsFit::new()),
+            Box::new(RandomFit::seeded(99)),
+        ] {
+            let trace = simulate_validated(&inst, &mut *sel);
+            assert_eq!(
+                trace.total_cost_ticks(),
+                t1.expected_anyfit_cost_ticks(),
+                "{} did not pay the forced cost",
+                trace.algorithm
+            );
+            assert_eq!(trace.bins_used(), 5);
+            assert_eq!(trace.max_open_bins(), 5);
+        }
+    }
+
+    #[test]
+    fn mu_equal_one_gives_ratio_one() {
+        let t1 = Theorem1::new(6, 1);
+        assert_eq!(t1.expected_ratio(), Ratio::ONE);
+        let inst = t1.instance();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        assert_eq!(trace.total_cost_ticks(), t1.expected_anyfit_cost_ticks());
+    }
+}

@@ -1,0 +1,215 @@
+//! The Theorem 2 construction (Figure 3): a witness showing Best Fit has
+//! **no bounded competitive ratio** for any given µ.
+//!
+//! All items have unit size against capacity `W = k·B`. At time 0, `k·W`
+//! items force `k` full bins; at ∆ each bin `b_i` is reduced to level
+//! `B − (i+1)`. Then, in each iteration `j`, `k` groups of items arrive a
+//! few ticks apart. Best Fit sends each whole group to the *highest-level*
+//! bin, which (by the staircase of levels the construction maintains) is
+//! always the bin whose "old" items are about to depart — so all `k` bins
+//! stay open forever, while almost all of the time the active items would
+//! fit into a single bin.
+//!
+//! The same instance is harmless for First Fit: FF sends every group to the
+//! earliest open bin, so bins `b_1..b_{k−1}` close after their scheduled
+//! purges and FF's cost stays near the optimum — run both in the
+//! `fig3_bestfit_unbounded` experiment to see the separation.
+//!
+//! ### Tick layout
+//!
+//! With iteration spacing `S = µ∆ − 1` and `T_j = j·S − (2k+2)`:
+//!
+//! * group `(j, m)` (`m = 1..k`, size `B − (jk+m)` items) arrives at
+//!   `T_j + 2m`;
+//! * the old items of bin `b_{m−1}` depart one tick later (`T_j + 2m + 1`),
+//!   strictly after the group is packed (departures precede arrivals at
+//!   equal ticks, so the +1 is required and sufficient);
+//! * groups of the final iteration depart `∆` after arrival.
+//!
+//! Every interval length then lies in `[∆, µ∆]` with both endpoints
+//! attained, so the instance's measured µ is exact.
+
+use dbp_core::bounds::theorem2_ratio_floor;
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::ratio::Ratio;
+
+/// Parameters of the Theorem 2 witness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Theorem2 {
+    /// Number of bins Best Fit is forced to keep open; the achieved ratio
+    /// grows like `k/2`.
+    pub k: u64,
+    /// Target max/min interval-length ratio (µ ≥ 2, integer).
+    pub mu: u64,
+    /// Number of iterations; the ratio approaches `k` as `n → ∞` (the paper
+    /// shows `≥ k/2` once `n ≳ (k−1)/µ`).
+    pub n: u64,
+    /// Minimum interval length ∆ in ticks.
+    pub delta: u64,
+}
+
+impl Theorem2 {
+    /// Canonical parameters: `∆ = 4(k+1)` (the smallest comfortable value).
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 2`, `µ ≥ 2`, `n ≥ 1`.
+    pub fn new(k: u64, mu: u64, n: u64) -> Theorem2 {
+        let t2 = Theorem2 {
+            k,
+            mu,
+            n,
+            delta: 4 * (k + 1),
+        };
+        t2.validate();
+        t2
+    }
+
+    fn validate(&self) {
+        assert!(self.k >= 2, "Theorem 2 needs k >= 2");
+        assert!(self.mu >= 2, "Theorem 2 needs mu >= 2");
+        assert!(self.n >= 1, "Theorem 2 needs n >= 1");
+        // Groups of iteration 1 must arrive after the setup purge at ∆.
+        assert!(
+            (self.mu - 1) * self.delta >= 2 * self.k + 3,
+            "delta too small for k"
+        );
+    }
+
+    /// Items per level-unit of a bin: `B = W/k`, chosen so the smallest
+    /// group (`B − (nk + k)`) still has `k` items.
+    pub fn levels_per_bin(&self) -> u64 {
+        self.k * (self.n + 2)
+    }
+
+    /// Bin capacity `W = k · B`.
+    pub fn capacity(&self) -> u64 {
+        self.k * self.levels_per_bin()
+    }
+
+    /// Iteration spacing `S = µ∆ − 1` (so that group intervals, which span
+    /// one iteration plus one purge tick, have length exactly µ∆).
+    fn spacing(&self) -> u64 {
+        self.mu * self.delta - 1
+    }
+
+    /// Start of iteration `j`'s arrival window (`1 ≤ j ≤ n`).
+    fn t_j(&self, j: u64) -> u64 {
+        j * self.spacing() - (2 * self.k + 2)
+    }
+
+    /// Build the witness instance.
+    pub fn instance(&self) -> Instance {
+        self.validate();
+        let b_levels = self.levels_per_bin();
+        let w = self.capacity();
+        let mut b = InstanceBuilder::new(w);
+
+        // Setup: k·W unit items at time 0. Any Fit fills bins sequentially,
+        // so items [i·W, (i+1)·W) land in bin i. The first B−(i+1) items of
+        // bin i survive as the staircase; the rest depart at ∆.
+        for i in 0..self.k {
+            let survivors = b_levels - (i + 1);
+            // Setup survivors of bin i are purged in iteration 1, right
+            // after group (1, i+1) arrives.
+            let survivor_departure = self.t_j(1) + 2 * (i + 1) + 1;
+            for slot in 0..w {
+                let departure = if slot < survivors {
+                    survivor_departure
+                } else {
+                    self.delta
+                };
+                b.add(0, departure, 1);
+            }
+        }
+
+        // Iterations.
+        for j in 1..=self.n {
+            for m in 1..=self.k {
+                let group = b_levels - (j * self.k + m);
+                let arrival = self.t_j(j) + 2 * m;
+                let departure = if j < self.n {
+                    // Purged right after group (j+1, m) arrives.
+                    self.t_j(j + 1) + 2 * m + 1
+                } else {
+                    // Final iteration: minimum-length stay.
+                    arrival + self.delta
+                };
+                for _ in 0..group {
+                    b.add(arrival, departure, 1);
+                }
+            }
+        }
+
+        b.build().expect("Theorem 2 witness must be valid")
+    }
+
+    /// The exact cost Best Fit incurs: every bin `b_i` stays open from 0
+    /// until its final group departs at `T_n + 2(i+1) + ∆`.
+    pub fn expected_bf_cost_ticks(&self) -> u128 {
+        let t_n = self.t_j(self.n) as u128;
+        self.k as u128 * (t_n + self.delta as u128 + self.k as u128 + 1)
+    }
+
+    /// The paper's floor on the achieved ratio for large `n`: `k/2`.
+    pub fn ratio_floor(&self) -> Ratio {
+        theorem2_ratio_floor(self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+
+    #[test]
+    fn construction_interval_lengths_pin_mu() {
+        let t2 = Theorem2::new(3, 4, 2);
+        let inst = t2.instance();
+        let delta = inst.min_interval_len().unwrap().raw();
+        let max = inst.max_interval_len().unwrap().raw();
+        assert_eq!(delta, t2.delta);
+        assert_eq!(max, t2.mu * t2.delta);
+        assert_eq!(inst.mu().unwrap(), Ratio::from_int(t2.mu as u128));
+    }
+
+    #[test]
+    fn best_fit_pays_exactly_the_predicted_cost() {
+        for (k, mu, n) in [(2, 2, 1), (3, 4, 2), (4, 3, 3)] {
+            let t2 = Theorem2::new(k, mu, n);
+            let inst = t2.instance();
+            let trace = simulate_validated(&inst, &mut BestFit::new());
+            assert_eq!(
+                trace.bins_used() as u64,
+                k,
+                "BF must never open more than the k setup bins (k={k},mu={mu},n={n})"
+            );
+            assert_eq!(trace.max_open_bins() as u64, k);
+            assert_eq!(
+                trace.total_cost_ticks(),
+                t2.expected_bf_cost_ticks(),
+                "BF cost mismatch at k={k},mu={mu},n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn first_fit_closes_bins_on_the_same_instance() {
+        let t2 = Theorem2::new(4, 3, 3);
+        let inst = t2.instance();
+        let bf = simulate_validated(&inst, &mut BestFit::new());
+        let ff = simulate_validated(&inst, &mut FirstFit::new());
+        // FF funnels all groups into bin 0, so bins 1..k close after their
+        // purges; its cost must be strictly below BF's.
+        assert!(ff.total_cost_ticks() < bf.total_cost_ticks());
+    }
+
+    #[test]
+    fn groups_shrink_but_stay_positive() {
+        let t2 = Theorem2::new(2, 2, 4);
+        let b = t2.levels_per_bin();
+        let smallest = b - (t2.n * t2.k + t2.k);
+        assert!(smallest >= t2.k);
+        // And the instance builds without panicking.
+        let _ = t2.instance();
+    }
+}

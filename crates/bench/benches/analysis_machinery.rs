@@ -1,0 +1,70 @@
+//! The §4.3 proof machinery: full analysis cost on First Fit traces of
+//! growing size (quadratic pair census dominates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbp_bench::standard_workload;
+use dbp_core::algorithms::FirstFit;
+use dbp_core::analysis::analyze_first_fit;
+use dbp_core::engine::simulate;
+use std::hint::black_box;
+
+fn analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ff_analysis");
+    group.sample_size(20);
+    for &n in &[200usize, 1_000, 4_000] {
+        let inst = standard_workload(n, 3);
+        let trace = simulate(&inst, &mut FirstFit::new());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&inst, &trace),
+            |b, (inst, trace)| {
+                b.iter(|| {
+                    let a = analyze_first_fit(inst, trace);
+                    assert!(a.is_clean());
+                    black_box(a.key_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn mff_analysis(c: &mut Criterion) {
+    use dbp_core::algorithms::ModifiedFirstFit;
+    use dbp_core::analysis::analyze_mff;
+    let mut group = c.benchmark_group("mff_analysis");
+    group.sample_size(20);
+    for &n in &[500usize, 2_000] {
+        let inst = standard_workload(n, 9);
+        let mff = ModifiedFirstFit::new(8);
+        let trace = simulate(&inst, &mut mff.clone());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(&inst, &trace),
+            |b, (inst, trace)| {
+                b.iter(|| {
+                    let a = analyze_mff(inst, trace, mff);
+                    assert!(a.is_clean());
+                    black_box(a.small_cost + a.large_cost)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn clairvoyant_packing(c: &mut Criterion) {
+    use dbp_core::clairvoyant::{simulate_clairvoyant, AlignedFit, ExtendFit};
+    let mut group = c.benchmark_group("clairvoyant_throughput");
+    let inst = standard_workload(10_000, 21);
+    group.bench_function("extend_fit_10k", |b| {
+        b.iter(|| black_box(simulate_clairvoyant(&inst, ExtendFit::new()).total_cost_ticks()))
+    });
+    group.bench_function("aligned_fit_10k", |b| {
+        b.iter(|| black_box(simulate_clairvoyant(&inst, AlignedFit::new()).total_cost_ticks()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, analysis, mff_analysis, clairvoyant_packing);
+criterion_main!(benches);

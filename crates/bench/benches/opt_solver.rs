@@ -1,0 +1,86 @@
+//! Offline optimum substrate: exact branch-and-bound scaling, heuristics,
+//! bounds, and the full OPT_total integral on a realistic trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbp_bench::{random_sizes, standard_workload};
+use dbp_opt::{ffd, l2_bound, opt_total, ExactSolver, SolveMode};
+use std::hint::black_box;
+
+fn static_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_bin_packing");
+    for &n in &[16usize, 32, 64] {
+        let sizes = random_sizes(n, 5);
+        group.bench_with_input(BenchmarkId::new("ffd", n), &sizes, |b, s| {
+            b.iter(|| black_box(ffd(s, 100)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_bound", n), &sizes, |b, s| {
+            b.iter(|| black_box(l2_bound(s, 100)))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_bnb", n), &sizes, |b, s| {
+            b.iter(|| black_box(ExactSolver::default().solve(s, 100)))
+        });
+    }
+    group.finish();
+}
+
+fn opt_total_integral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("opt_total");
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        let inst = standard_workload(n, 11);
+        group.bench_with_input(BenchmarkId::new("exact", n), &inst, |b, inst| {
+            b.iter(|| {
+                black_box(opt_total(
+                    inst,
+                    SolveMode::Exact {
+                        node_budget: 100_000,
+                    },
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bounds", n), &inst, |b, inst| {
+            b.iter(|| black_box(opt_total(inst, SolveMode::Bounds)))
+        });
+    }
+    group.finish();
+}
+
+fn fixed_assignment_optimum(c: &mut Criterion) {
+    use dbp_opt::fixed_optimum;
+    let mut group = c.benchmark_group("fixed_optimum");
+    group.sample_size(10);
+    for &n in &[8usize, 10] {
+        let inst = dbp_bench::standard_workload(n, 33);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inst, |b, inst| {
+            b.iter(|| black_box(fixed_optimum(inst, 2_000_000).cost_ticks))
+        });
+    }
+    group.finish();
+}
+
+fn opt_total_parallel_vs_sequential(c: &mut Criterion) {
+    use dbp_opt::opt_total_parallel;
+    let inst = standard_workload(500, 11);
+    let mut group = c.benchmark_group("opt_total_parallel");
+    group.sample_size(10);
+    group.bench_function("parallel_500", |b| {
+        b.iter(|| {
+            black_box(opt_total_parallel(
+                &inst,
+                SolveMode::Exact {
+                    node_budget: 100_000,
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    static_solvers,
+    opt_total_integral,
+    fixed_assignment_optimum,
+    opt_total_parallel_vs_sequential
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Online packing throughput: items/second through the event engine for
+//! each algorithm, at several instance sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dbp_bench::standard_workload;
+use dbp_core::algorithms::standard_factories;
+use dbp_core::engine::simulate;
+use std::hint::black_box;
+
+fn packing_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packing_throughput");
+    for &n in &[1_000usize, 10_000] {
+        let inst = standard_workload(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        for factory in standard_factories(7) {
+            group.bench_with_input(BenchmarkId::new(factory.name(), n), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut sel = factory.build();
+                    black_box(simulate(inst, &mut *sel).total_cost_ticks())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn adversarial_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adversarial_build_and_pack");
+    group.sample_size(20);
+    group.bench_function("theorem1_k32_mu10", |b| {
+        b.iter(|| {
+            let t1 = dbp_adversary::Theorem1::new(32, 10);
+            let inst = t1.instance();
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            black_box(simulate(&inst, &mut ff).total_cost_ticks())
+        })
+    });
+    group.bench_function("theorem2_k6_mu2_n12", |b| {
+        b.iter(|| {
+            let t2 = dbp_adversary::Theorem2::new(6, 2, 12);
+            let inst = t2.instance();
+            let mut bf = dbp_core::algorithms::BestFit::new();
+            black_box(simulate(&inst, &mut bf).total_cost_ticks())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, packing_throughput, adversarial_instances);
+criterion_main!(benches);

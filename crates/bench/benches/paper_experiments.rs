@@ -1,0 +1,70 @@
+//! One bench target per paper table/figure: each runs the corresponding
+//! experiment's quick grid end to end (generation, packing, OPT, checks),
+//! so `cargo bench` regenerates every artifact and times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbp_experiments as exp;
+use std::hint::black_box;
+
+macro_rules! experiment_bench {
+    ($fn_name:ident, $module:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut group = c.benchmark_group("paper");
+            group.sample_size(10);
+            group.bench_function(stringify!($module), |b| {
+                b.iter(|| black_box(exp::$module::run(true).0.rows.len()))
+            });
+            group.finish();
+        }
+    };
+}
+
+experiment_bench!(bench_fig1, fig1_span);
+experiment_bench!(bench_fig2, fig2_anyfit_lb);
+experiment_bench!(bench_fig3, fig3_bestfit_unbounded);
+experiment_bench!(bench_thm3, thm3_large_items);
+experiment_bench!(bench_thm4, thm4_small_items);
+experiment_bench!(bench_thm5, thm5_general_ff);
+experiment_bench!(bench_tab2, tab2_case_classification);
+experiment_bench!(bench_mff, mff_ratio);
+experiment_bench!(bench_ablation, mff_k_ablation);
+experiment_bench!(bench_costs, cloud_gaming_costs);
+experiment_bench!(bench_mu, mu_sensitivity);
+experiment_bench!(bench_billing, billing_granularity);
+experiment_bench!(bench_constrained, constrained_dbp);
+experiment_bench!(bench_footnote1, footnote1_adaptive);
+experiment_bench!(bench_flash, flash_crowd);
+experiment_bench!(bench_decomposition, mff_decomposition);
+experiment_bench!(bench_unit_fractions, unit_fractions);
+experiment_bench!(bench_clairvoyance, value_of_clairvoyance);
+experiment_bench!(bench_migration, migration_gap);
+experiment_bench!(bench_churn, server_churn);
+experiment_bench!(bench_gap_search, ff_gap_search);
+experiment_bench!(bench_hff, hff_class_ablation);
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_fig3,
+    bench_thm3,
+    bench_thm4,
+    bench_thm5,
+    bench_tab2,
+    bench_mff,
+    bench_ablation,
+    bench_costs,
+    bench_mu,
+    bench_billing,
+    bench_constrained,
+    bench_footnote1,
+    bench_flash,
+    bench_decomposition,
+    bench_unit_fractions,
+    bench_clairvoyance,
+    bench_migration,
+    bench_churn,
+    bench_gap_search,
+    bench_hff
+);
+criterion_main!(benches);

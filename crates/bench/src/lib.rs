@@ -1,0 +1,42 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+use dbp_core::instance::Instance;
+use dbp_workloads::{generate_mu_controlled, MuControlledConfig, SizeModel};
+
+/// A standard mixed workload of `n` items for throughput benches.
+pub fn standard_workload(n: usize, seed: u64) -> Instance {
+    generate_mu_controlled(&MuControlledConfig {
+        n_items: n,
+        mu: 10,
+        arrival_rate: 0.05,
+        sizes: SizeModel::Uniform { lo: 5, hi: 60 },
+        seed,
+        ..MuControlledConfig::new(10)
+    })
+}
+
+/// Random static multiset of `n` sizes for the exact-solver benches.
+pub fn random_sizes(n: usize, seed: u64) -> Vec<u64> {
+    // Simple SplitMix64 so the fixture does not depend on rand's API.
+    let mut state = seed.wrapping_add(0x9E3779B97F4A7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    };
+    (0..n).map(|_| 1 + next() % 60).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(standard_workload(50, 1), standard_workload(50, 1));
+        assert_eq!(random_sizes(10, 2), random_sizes(10, 2));
+        assert!(random_sizes(10, 2).iter().all(|&s| (1..=60).contains(&s)));
+    }
+}

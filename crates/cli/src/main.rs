@@ -1,0 +1,445 @@
+//! `dbp` — command-line driver for the MinTotal DBP reproduction.
+//!
+//! ```text
+//! dbp generate gaming --seed 1 --horizon 14400 --out trace.json
+//! dbp generate mu --mu 10 --n 200 --out trace.json
+//! dbp adversary thm1 --k 8 --mu 10 --out witness.json
+//! dbp adversary thm2 --k 4 --mu 2 --n 8 --out witness.json
+//! dbp run trace.json --algo ff [--validate]
+//! dbp compare trace.json
+//! dbp analyze trace.json          # §4.3 FF proof-machinery report
+//! dbp opt trace.json              # OPT_total integral
+//! ```
+
+mod args;
+
+use args::Args;
+use dbp_adversary::{AdaptiveMuAdversary, Theorem1, Theorem2};
+use dbp_core::algorithms::standard_factories;
+use dbp_core::algorithms::{
+    BestFit, ConstrainedFirstFit, FirstFit, HarmonicFit, LastFit, ModifiedFirstFit, MostItemsFit,
+    NextFit, RandomFit, WorstFit,
+};
+use dbp_core::analysis::analyze_first_fit;
+use dbp_core::bounds;
+use dbp_core::engine::{simulate, simulate_validated};
+use dbp_core::instance::Instance;
+use dbp_core::metrics::summarize;
+use dbp_core::packer::BinSelector;
+use dbp_core::ratio::Ratio;
+use dbp_opt::{opt_total, SolveMode};
+use dbp_workloads::{
+    generate, generate_mu_controlled, ArrivalKind, CloudGamingConfig, MuControlledConfig, Scenario,
+};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+dbp — MinTotal Dynamic Bin Packing (SPAA'14 reproduction)
+
+USAGE:
+  dbp generate gaming [--seed N] [--horizon TICKS] [--rate R] [--regions N] --out FILE
+  dbp generate mu --mu N [--n ITEMS] [--seed N] --out FILE
+  dbp generate scenario --name steady|diurnal-day|launch-day|night-owls|multi-region
+               [--seed N] --out FILE
+  dbp adversary thm1 --k N --mu N [--out FILE]
+  dbp adversary thm2 --k N --mu N --n N [--out FILE]
+  dbp adversary adaptive --k N --mu N --algo NAME [--out FILE]
+  dbp run FILE --algo ff|bf|wf|nf|lf|mi|rf|hff|mff|mff-mu|cff
+          [--validate] [--gantt] [--fleet] [--save-trace FILE] [--svg FILE]
+  dbp compare FILE
+  dbp analyze FILE
+  dbp opt FILE [--bounds-only] [--timeline]
+  dbp stats FILE
+  dbp scenarios [--seed N]
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(argv)?;
+    let cmd = args.positional.first().map(|s| s.as_str()).unwrap_or("");
+    match cmd {
+        "generate" => cmd_generate(&args),
+        "adversary" => cmd_adversary(&args),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "analyze" => cmd_analyze(&args),
+        "opt" => cmd_opt(&args),
+        "stats" => cmd_stats(&args),
+        "scenarios" => cmd_scenarios(&args),
+        "" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn load_instance(args: &Args, pos: usize) -> Result<Instance, String> {
+    let path = args
+        .positional
+        .get(pos)
+        .ok_or("missing trace file argument")?;
+    let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    serde_json::from_str(&body).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save_instance(inst: &Instance, path: &str) -> Result<(), String> {
+    let body = serde_json::to_string(inst).map_err(|e| e.to_string())?;
+    std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+    println!("wrote {} items to {path}", inst.len());
+    Ok(())
+}
+
+fn selector_by_name(name: &str, mu_hint: Option<u64>) -> Result<Box<dyn BinSelector>, String> {
+    Ok(match name {
+        "ff" => Box::new(FirstFit::new()),
+        "bf" => Box::new(BestFit::new()),
+        "wf" => Box::new(WorstFit::new()),
+        "nf" => Box::new(NextFit::new()),
+        "lf" => Box::new(LastFit::new()),
+        "mi" => Box::new(MostItemsFit::new()),
+        "rf" => Box::new(RandomFit::seeded(0)),
+        "hff" => Box::new(HarmonicFit::new(4)),
+        "mff" => Box::new(ModifiedFirstFit::new(8)),
+        "mff-mu" => {
+            let mu = mu_hint.ok_or("mff-mu needs a µ estimate from the instance")?;
+            Box::new(ModifiedFirstFit::for_known_mu(mu))
+        }
+        "cff" => Box::new(ConstrainedFirstFit::new()),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    })
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let kind = args.positional.get(1).map(|s| s.as_str()).unwrap_or("");
+    let out = args.str_flag("out").ok_or("missing --out FILE")?;
+    let inst = match kind {
+        "gaming" => {
+            let cfg = CloudGamingConfig {
+                horizon: args.u64_flag_or("horizon", 4 * 3600)?,
+                arrivals: ArrivalKind::Poisson {
+                    rate: args.f64_flag_or("rate", 0.05)?,
+                },
+                regions: args.u64_flag_or("regions", 1)? as u16,
+                seed: args.u64_flag_or("seed", 0)?,
+                ..CloudGamingConfig::default()
+            };
+            generate(&cfg)
+        }
+        "mu" => {
+            let cfg = MuControlledConfig {
+                n_items: args.u64_flag_or("n", 200)? as usize,
+                seed: args.u64_flag_or("seed", 0)?,
+                ..MuControlledConfig::new(args.u64_flag("mu")?)
+            };
+            generate_mu_controlled(&cfg)
+        }
+        "scenario" => {
+            let name = args.str_flag("name").ok_or("missing --name")?;
+            let scenario =
+                Scenario::from_name(name).ok_or_else(|| format!("unknown scenario '{name}'"))?;
+            let cfg = CloudGamingConfig {
+                seed: args.u64_flag_or("seed", 0)?,
+                ..scenario.config()
+            };
+            generate(&cfg)
+        }
+        other => {
+            return Err(format!(
+                "unknown workload kind '{other}' (gaming|mu|scenario)"
+            ))
+        }
+    };
+    save_instance(&inst, out)
+}
+
+fn cmd_adversary(args: &Args) -> Result<(), String> {
+    let which = args.positional.get(1).map(|s| s.as_str()).unwrap_or("");
+    let inst = match which {
+        "thm1" => {
+            let t1 = Theorem1::new(args.u64_flag("k")?, args.u64_flag("mu")?);
+            println!(
+                "Theorem 1 witness: forced Any Fit cost {} bin-ticks, OPT {} — ratio {}",
+                t1.expected_anyfit_cost_ticks(),
+                t1.expected_opt_cost_ticks(),
+                t1.expected_ratio()
+            );
+            t1.instance()
+        }
+        "adaptive" => {
+            let adv = AdaptiveMuAdversary::new(args.u64_flag("k")?, args.u64_flag("mu")?);
+            let algo = args.str_flag("algo").unwrap_or("ff");
+            let mut sel = selector_by_name(algo, Some(adv.mu))?;
+            let outcome = adv.play(&mut *sel);
+            println!(
+                "adaptive adversary vs {}: {} bins opened, forced cost {} bin-ticks",
+                algo, outcome.bins_opened, outcome.forced_cost_ticks
+            );
+            outcome.instance
+        }
+        "thm2" => {
+            let t2 = Theorem2::new(
+                args.u64_flag("k")?,
+                args.u64_flag("mu")?,
+                args.u64_flag("n")?,
+            );
+            println!(
+                "Theorem 2 witness: BF cost {} bin-ticks; ratio floor {}",
+                t2.expected_bf_cost_ticks(),
+                t2.ratio_floor()
+            );
+            t2.instance()
+        }
+        other => {
+            return Err(format!(
+                "unknown construction '{other}' (thm1|thm2|adaptive)"
+            ))
+        }
+    };
+    match args.str_flag("out") {
+        Some(path) => save_instance(&inst, path),
+        None => {
+            println!("{} items (pass --out FILE to save)", inst.len());
+            Ok(())
+        }
+    }
+}
+
+fn mu_hint(inst: &Instance) -> Option<u64> {
+    inst.mu().map(|m| m.ceil() as u64)
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args, 1)?;
+    let algo = args.str_flag("algo").unwrap_or("ff");
+    let mut sel = selector_by_name(algo, mu_hint(&inst))?;
+    let trace = if args.has("validate") {
+        simulate_validated(&inst, &mut *sel)
+    } else {
+        simulate(&inst, &mut *sel)
+    };
+    let s = summarize(&inst, &trace);
+    println!("algorithm      : {}", s.algorithm);
+    println!("items          : {}", s.n_items);
+    println!("total cost     : {} bin-ticks", s.total_cost_ticks);
+    println!("bins used      : {}", s.bins_used);
+    println!("max open bins  : {}", s.max_open_bins);
+    println!("cost / LB      : {:.4}", s.ratio_vs_lower_bound.to_f64());
+    println!("utilization    : {:.4}", s.mean_utilization.to_f64());
+    if args.has("fleet") {
+        if let Some(f) = dbp_core::metrics::fleet_stats(&trace) {
+            println!(
+                "fleet          : mean {:.2}, p50 {}, p95 {}, max {}",
+                f.mean_open, f.p50_open, f.p95_open, f.max_open
+            );
+            println!(
+                "bin lifetimes  : {}..{} ticks (mean {:.0})",
+                f.min_bin_life, f.max_bin_life, f.mean_bin_life
+            );
+        }
+    }
+    if args.has("gantt") {
+        println!("\n{}", dbp_core::gantt::render_gantt(&inst, &trace, 72));
+        println!("open bins: {}", dbp_core::gantt::sparkline(&trace));
+    }
+    if let Some(path) = args.str_flag("svg") {
+        let svg = dbp_core::svg::render_svg(&inst, &trace, dbp_core::svg::SvgOptions::default());
+        std::fs::write(path, svg).map_err(|e| format!("{path}: {e}"))?;
+        println!("svg saved to {path}");
+    }
+    if let Some(path) = args.str_flag("save-trace") {
+        let body = serde_json::to_string(&trace).map_err(|e| e.to_string())?;
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+        println!("trace saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args, 1)?;
+    let lb = bounds::combined_lower_bound(&inst);
+    println!(
+        "{} items, span {} ticks, µ = {:.3}, LB = {:.1} bin-ticks",
+        inst.len(),
+        inst.span().raw(),
+        inst.mu().map(|m| m.to_f64()).unwrap_or(f64::NAN),
+        lb.to_f64()
+    );
+    println!(
+        "{:>8}  {:>14}  {:>9}  {:>8}  {:>8}",
+        "algo", "cost", "cost/LB", "bins", "peak"
+    );
+    for f in standard_factories(0) {
+        let mut sel = f.build();
+        let trace = simulate(&inst, &mut *sel);
+        let cost = trace.total_cost_ticks();
+        println!(
+            "{:>8}  {:>14}  {:>9.4}  {:>8}  {:>8}",
+            f.name(),
+            cost,
+            (Ratio::from_int(cost) / lb).to_f64(),
+            trace.bins_used(),
+            trace.max_open_bins()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args, 1)?;
+    let trace = simulate(&inst, &mut FirstFit::new());
+    let a = analyze_first_fit(&inst, &trace);
+    println!(
+        "First Fit trace: {} bins, cost {} bin-ticks",
+        trace.bins_used(),
+        a.certificates.ff_total
+    );
+    println!("∆ = {}, µ∆ = {} ticks", a.delta.raw(), a.max_len.raw());
+    println!("sub-periods     : {}", a.subperiods.len());
+    println!(
+        "pairing         : J = {}, S = {}, U = {}",
+        a.refs.pairing.joint_pairs, a.refs.pairing.single_periods, a.refs.pairing.non_intersecting
+    );
+    println!("case totals     : {:?}", a.refs.case_counts.total);
+    println!("case intersects : {:?}", a.refs.case_counts.intersecting);
+    println!("eq (6) holds    : {}", a.certificates.eq6_holds);
+    println!("ineq (13) holds : {}", a.certificates.ineq13_holds);
+    println!("ineq (15) holds : {}", a.certificates.ineq15_holds);
+    println!(
+        "Theorem 5 check : FF_total = {} <= (2µ+13)·LB = {:.1} : {}",
+        a.certificates.ff_total,
+        a.certificates.theorem5_rhs.to_f64(),
+        a.certificates.theorem5_holds
+    );
+    if a.is_clean() {
+        println!("analysis clean: every feature/lemma of §4.3 verified");
+        Ok(())
+    } else {
+        Err(format!("analysis violations:\n{}", a.violations.join("\n")))
+    }
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args, 1)?;
+    let s = inst.stats();
+    println!("items            : {}", s.n_items);
+    println!("capacity W       : {}", s.capacity);
+    println!("span             : {} ticks", s.span.raw());
+    println!("total demand u(R): {} size·ticks", s.total_demand);
+    println!(
+        "interval lengths : {}..{} ticks  (µ = {:.3})",
+        s.min_interval_len.raw(),
+        s.max_interval_len.raw(),
+        s.mu.to_f64()
+    );
+    println!("sizes            : {}..{}", s.min_size, s.max_size);
+    println!(
+        "lower bounds     : u/W = {:.1}, span = {}",
+        bounds::demand_lower_bound(&inst).to_f64(),
+        s.span.raw()
+    );
+    Ok(())
+}
+
+fn cmd_scenarios(args: &Args) -> Result<(), String> {
+    let seed = args.u64_flag_or("seed", 0)?;
+    println!(
+        "{:>13}  {:>6}  {:>8}  {:>12}  {:>9}  {:>8}",
+        "scenario", "items", "mu", "best algo", "cost/LB", "peak"
+    );
+    for scenario in dbp_workloads::Scenario::ALL {
+        let cfg = CloudGamingConfig {
+            seed,
+            ..scenario.config()
+        };
+        let inst = generate(&cfg);
+        let lb = bounds::combined_lower_bound(&inst);
+        let mut best: Option<(String, Ratio, u32)> = None;
+        for f in standard_factories(seed) {
+            let mut sel = f.build();
+            let trace = simulate(&inst, &mut *sel);
+            let ratio = Ratio::from_int(trace.total_cost_ticks()) / lb;
+            if best.as_ref().is_none_or(|(_, r, _)| ratio < *r) {
+                best = Some((f.name().to_string(), ratio, trace.max_open_bins()));
+            }
+        }
+        let (name, ratio, peak) = best.expect("roster is nonempty");
+        println!(
+            "{:>13}  {:>6}  {:>8.2}  {:>12}  {:>9.3}  {:>8}",
+            scenario.name(),
+            inst.len(),
+            inst.mu().map(|m| m.to_f64()).unwrap_or(f64::NAN),
+            name,
+            ratio.to_f64(),
+            peak
+        );
+    }
+    Ok(())
+}
+
+fn cmd_opt(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args, 1)?;
+    let mode = if args.has("bounds-only") {
+        SolveMode::Bounds
+    } else {
+        SolveMode::default()
+    };
+    let opt = opt_total(&inst, mode);
+    if opt.is_exact() {
+        println!(
+            "OPT_total = {} bin-ticks (exact, {} segments, {} distinct sets)",
+            opt.lb_ticks, opt.segments, opt.distinct_sets
+        );
+    } else {
+        println!(
+            "OPT_total in [{}, {}] bin-ticks ({} segments, {} distinct sets)",
+            opt.lb_ticks, opt.ub_ticks, opt.segments, opt.distinct_sets
+        );
+    }
+    println!(
+        "lower bounds: u(R)/W = {:.1}, span = {}",
+        bounds::demand_lower_bound(&inst).to_f64(),
+        inst.span().raw()
+    );
+    if args.has("timeline") {
+        let timeline = dbp_opt::opt_timeline(&inst, mode);
+        let max = timeline
+            .iter()
+            .map(|&(_, _, ub)| ub)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let spark: String = timeline
+            .iter()
+            .map(|&(_, lb, _)| GLYPHS[(lb * (GLYPHS.len() - 1)) / max])
+            .collect();
+        println!(
+            "OPT(R,t) profile ({} event ticks, peak {max}):",
+            timeline.len()
+        );
+        println!("{spark}");
+        // Compare against First Fit's open-bin profile at the same ticks.
+        let trace = simulate(&inst, &mut FirstFit::new());
+        let ff_spark: String = timeline
+            .iter()
+            .map(|&(t, _, _)| {
+                let n = trace.open_bins_at(t) as usize;
+                GLYPHS[(n * (GLYPHS.len() - 1)) / max.max(n).max(1)]
+            })
+            .collect();
+        println!("{ff_spark}");
+        println!("(top: OPT, bottom: FF open bins)");
+    }
+    Ok(())
+}

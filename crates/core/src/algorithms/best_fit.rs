@@ -1,0 +1,96 @@
+//! Best Fit (BF): the open bin with the smallest residual capacity after
+//! adding the item (§3.2) — equivalently, the highest current level that
+//! still fits. Theorem 2 shows BF has *no bounded competitive ratio* for
+//! MinTotal DBP, for any µ; `dbp-adversary::theorem2` builds the witness.
+
+use super::argmin_fitting;
+use crate::bin::OpenBinView;
+use crate::item::{ArrivingItem, Size};
+use crate::packer::{BinSelector, Decision};
+
+/// Best Fit packing. Ties (equal levels) break toward the earliest-opened
+/// bin, the conventional choice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFit;
+
+impl BestFit {
+    /// Create a Best Fit selector.
+    pub fn new() -> BestFit {
+        BestFit
+    }
+}
+
+impl BinSelector for BestFit {
+    fn name(&self) -> &'static str {
+        "BF"
+    }
+
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _capacity: Size) -> Decision {
+        argmin_fitting(bins, item.size, |b| std::cmp::Reverse(b.level))
+            .map(|b| Decision::Use(b.id))
+            .unwrap_or(Decision::OPEN)
+    }
+
+    fn is_any_fit(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bin::BinId;
+    use crate::engine::{any_fit_violations, simulate_validated};
+    use crate::instance::InstanceBuilder;
+    use crate::item::ItemId;
+
+    #[test]
+    fn bf_prefers_fullest_fitting_bin() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 7); // b0, level 7
+        b.add(1, 10, 4); // does not fit b0 -> b1, level 4
+        b.add(2, 10, 3); // fits both; BF -> b0 (level 7 > 4)
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut BestFit::new());
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(0));
+        assert!(any_fit_violations(&inst, &trace).is_empty());
+    }
+
+    #[test]
+    fn bf_skips_fullest_bin_when_item_does_not_fit() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 8); // b0, level 8
+        b.add(1, 10, 4); // b1, level 4
+        b.add(2, 10, 4); // does not fit b0; BF -> b1
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut BestFit::new());
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(1));
+        assert_eq!(trace.bins_used(), 2);
+    }
+
+    #[test]
+    fn bf_differs_from_ff_on_canonical_pattern() {
+        // FF would put the probe into the earliest bin (low level); BF puts
+        // it into the fullest.
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 2); // b0 level 2 (earliest)
+        b.add(1, 10, 9); // 2+9 > 10: does not fit b0 -> b1 level 9 (fullest)
+        b.add(2, 10, 1); // fits both
+        let inst = b.build().unwrap();
+        let bf = simulate_validated(&inst, &mut BestFit::new());
+        assert_eq!(bf.bin_of(ItemId(2)), BinId(1));
+        let ff = simulate_validated(&inst, &mut super::super::FirstFit::new());
+        assert_eq!(ff.bin_of(ItemId(2)), BinId(0));
+    }
+
+    #[test]
+    fn bf_tie_breaks_to_earliest_bin() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 7); // b0 level 7
+        b.add(1, 10, 7); // 7+7 > 10 -> b1 level 7
+        b.add(2, 10, 2); // tie at level 7 -> b0
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut BestFit::new());
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(0));
+    }
+}

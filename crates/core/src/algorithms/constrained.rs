@@ -1,0 +1,91 @@
+//! Constrained DBP — the paper's stated future work (§5): "each item is
+//! allowed to be assigned to only a subset of bins to cater for the
+//! interactivity constraints of dispatching playing requests among
+//! distributed clouds".
+//!
+//! We model the subsets as *regions*: each item carries a [`RegionId`] and
+//! may only be packed into bins of its own region. [`ConstrainedFirstFit`]
+//! runs an independent First Fit per region, tagging bins with the region.
+//!
+//! [`RegionId`]: crate::item::RegionId
+
+use crate::bin::{BinTag, OpenBinView};
+use crate::item::{ArrivingItem, Size};
+use crate::packer::{BinSelector, Decision};
+
+/// First Fit restricted to region-compatible bins.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstrainedFirstFit;
+
+impl ConstrainedFirstFit {
+    /// Create a Constrained First Fit selector.
+    pub fn new() -> ConstrainedFirstFit {
+        ConstrainedFirstFit
+    }
+
+    /// The tag a bin serving `region` carries.
+    pub fn tag_for_region(region: crate::item::RegionId) -> BinTag {
+        BinTag(region.0 as u32)
+    }
+}
+
+impl BinSelector for ConstrainedFirstFit {
+    fn name(&self) -> &'static str {
+        "C-FF"
+    }
+
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _capacity: Size) -> Decision {
+        let tag = Self::tag_for_region(item.region);
+        for b in bins {
+            if b.tag == tag && b.fits(item.size) {
+                return Decision::Use(b.id);
+            }
+        }
+        Decision::Open { tag }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_validated;
+    use crate::instance::InstanceBuilder;
+    use crate::item::RegionId;
+
+    #[test]
+    fn items_never_cross_regions() {
+        let mut b = InstanceBuilder::new(10);
+        b.add_in_region(0, 10, 2, RegionId(0));
+        b.add_in_region(1, 10, 2, RegionId(1)); // fits region-0 bin but must not use it
+        b.add_in_region(2, 10, 2, RegionId(0));
+        b.add_in_region(3, 10, 2, RegionId(1));
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut ConstrainedFirstFit::new());
+        assert_eq!(trace.bins_used(), 2);
+        assert_eq!(
+            trace.bin_of(crate::item::ItemId(2)),
+            trace.bin_of(crate::item::ItemId(0))
+        );
+        assert_eq!(
+            trace.bin_of(crate::item::ItemId(3)),
+            trace.bin_of(crate::item::ItemId(1))
+        );
+        for bin in &trace.bins {
+            let regions: Vec<RegionId> = bin.items.iter().map(|&id| inst.item(id).region).collect();
+            assert!(regions.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn single_region_behaves_like_first_fit() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 7);
+        b.add(1, 10, 7);
+        b.add(2, 10, 3);
+        let inst = b.build().unwrap();
+        let cff = simulate_validated(&inst, &mut ConstrainedFirstFit::new());
+        let ff = simulate_validated(&inst, &mut super::super::FirstFit::new());
+        assert_eq!(cff.assignment, ff.assignment);
+        assert_eq!(cff.total_cost_ticks(), ff.total_cost_ticks());
+    }
+}

@@ -1,0 +1,94 @@
+//! First Fit (FF): the earliest-opened bin that fits (§3.2).
+//!
+//! This is the algorithm with the paper's headline upper bounds: `2µ + 13`
+//! in general (Theorem 5) and `k/(k−1)·µ + 6k/(k−1) + 1` when every size is
+//! below `W/k` (Theorem 4).
+
+use super::argmin_fitting;
+use crate::bin::OpenBinView;
+use crate::item::{ArrivingItem, Size};
+use crate::packer::{BinSelector, Decision};
+
+/// First Fit packing. Stateless — all decisions derive from the open-bin
+/// view, so a single value may be reused across simulations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstFit;
+
+impl FirstFit {
+    /// Create a First Fit selector.
+    pub fn new() -> FirstFit {
+        FirstFit
+    }
+}
+
+impl BinSelector for FirstFit {
+    fn name(&self) -> &'static str {
+        "FF"
+    }
+
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _capacity: Size) -> Decision {
+        // Bin ids are assigned in opening order, so min-id == earliest opened.
+        argmin_fitting(bins, item.size, |b| b.id)
+            .map(|b| Decision::Use(b.id))
+            .unwrap_or(Decision::OPEN)
+    }
+
+    fn is_any_fit(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bin::BinId;
+    use crate::engine::{any_fit_violations, simulate_validated};
+    use crate::instance::InstanceBuilder;
+    use crate::item::ItemId;
+
+    #[test]
+    fn ff_prefers_earliest_opened_bin() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 7); // b0
+        b.add(1, 10, 7); // b1
+        b.add(2, 10, 3); // fits both; must go to b0
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(0));
+        assert!(any_fit_violations(&inst, &trace).is_empty());
+    }
+
+    #[test]
+    fn ff_reuses_capacity_freed_by_departures() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 3, 7); // departs early
+        b.add(0, 10, 3); // keeps b0 open
+        b.add(5, 10, 7); // must reuse b0, not open a new bin
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        assert_eq!(trace.bins_used(), 1);
+    }
+
+    #[test]
+    fn ff_earliest_opened_not_lowest_level() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 8); // b0, level 8
+        b.add(1, 10, 2); // b1 (does not fit b0? 8+2=10 fits!) ...
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        // 8 + 2 == 10 == W fits exactly: one bin.
+        assert_eq!(trace.bins_used(), 1);
+    }
+
+    #[test]
+    fn ff_exact_fit_boundary() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 5);
+        b.add(0, 10, 5); // exact fill
+        b.add(0, 10, 1); // overflow -> new bin
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        assert_eq!(trace.bins_used(), 2);
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(1));
+    }
+}

@@ -1,0 +1,155 @@
+//! Harmonic-classified First Fit (HFF) — an extension generalizing MFF.
+//!
+//! Modified First Fit (§4.4) splits items into two classes at `W/k`. The
+//! classical Harmonic scheme of online bin packing refines this: class `j`
+//! (for `j = 1..M−1`) holds items with size in `(W/(j+1), W/j]`, and class
+//! `M` holds everything of size ≤ `W/M`. Here each class is packed by an
+//! independent First Fit (rather than Next Fit, which would be hopeless in
+//! the dynamic setting), with bins tagged by class.
+//!
+//! HFF is *not* Any Fit globally (cross-class placements are refused), but
+//! within each class the Theorem 3/4 reasoning applies: class `j < M` items
+//! have size > `W/(j+1)`, so Theorem 3 gives a `(j+1)`-ish factor on their
+//! demand; class `M` items are all < `W/(M−1)`-small. The `mff_k_ablation`
+//! experiment compares HFF empirically against MFF and FF.
+
+use crate::bin::{BinTag, OpenBinView};
+use crate::item::{ArrivingItem, Size};
+use crate::packer::{BinSelector, Decision};
+
+/// Harmonic-classified First Fit with `M ≥ 2` classes.
+#[derive(Debug, Clone, Copy)]
+pub struct HarmonicFit {
+    classes: u32,
+}
+
+impl HarmonicFit {
+    /// Create with `M` classes.
+    ///
+    /// # Panics
+    /// Panics unless `M ≥ 2`.
+    pub fn new(classes: u32) -> HarmonicFit {
+        assert!(classes >= 2, "HarmonicFit needs at least 2 classes");
+        HarmonicFit { classes }
+    }
+
+    /// The Harmonic class of a size: the unique `j` with
+    /// `W/(j+1) < s ≤ W/j`, clamped to `M` for tiny items.
+    pub fn class_of(&self, size: Size, capacity: Size) -> u32 {
+        debug_assert!(size.raw() >= 1 && size <= capacity);
+        // j = floor(W / s) is the largest j with s ≤ W/j.
+        let j = (capacity.raw() / size.raw()).max(1);
+        (j.min(self.classes as u64)) as u32
+    }
+
+    /// Number of classes `M`.
+    pub fn classes(&self) -> u32 {
+        self.classes
+    }
+}
+
+impl BinSelector for HarmonicFit {
+    fn name(&self) -> &'static str {
+        "HFF"
+    }
+
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+        let tag = BinTag(self.class_of(item.size, capacity));
+        for b in bins {
+            if b.tag == tag && b.fits(item.size) {
+                return Decision::Use(b.id);
+            }
+        }
+        Decision::Open { tag }
+    }
+
+    fn is_any_fit(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_validated;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn classes_partition_the_size_range() {
+        let h = HarmonicFit::new(4);
+        let w = Size(100);
+        // class 1: (50, 100]; class 2: (33, 50]; class 3: (25, 33];
+        // class 4: everything <= 25.
+        assert_eq!(h.class_of(Size(100), w), 1);
+        assert_eq!(h.class_of(Size(51), w), 1);
+        assert_eq!(h.class_of(Size(50), w), 2);
+        assert_eq!(h.class_of(Size(34), w), 2);
+        assert_eq!(h.class_of(Size(33), w), 3);
+        assert_eq!(h.class_of(Size(26), w), 3);
+        assert_eq!(h.class_of(Size(25), w), 4);
+        assert_eq!(h.class_of(Size(1), w), 4);
+    }
+
+    #[test]
+    fn class_boundaries_are_harmonic() {
+        // For every size, W/(j+1) < s ≤ W/j must hold for the returned j
+        // (unless clamped to M).
+        let h = HarmonicFit::new(6);
+        let w = 100u64;
+        for s in 1..=w {
+            let j = h.class_of(Size(s), Size(w)) as u64;
+            if j < 6 {
+                assert!(s <= w / j, "s={s} j={j}");
+                assert!(s * (j + 1) > w, "s={s} j={j}");
+            } else {
+                assert!(s * 6 <= w + 5, "tiny class got s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn bins_never_mix_classes() {
+        let mut b = InstanceBuilder::new(100);
+        let mut t = 0;
+        for i in 0..80u64 {
+            let size = 1 + (i * 13) % 60;
+            b.add(t, t + 50 + i % 7, size);
+            t += 3;
+        }
+        let inst = b.build().unwrap();
+        let h = HarmonicFit::new(4);
+        let trace = simulate_validated(&inst, &mut h.clone());
+        for bin in &trace.bins {
+            let classes: Vec<u32> = bin
+                .items
+                .iter()
+                .map(|&id| h.class_of(inst.item(id).size, inst.capacity()))
+                .collect();
+            assert!(classes.windows(2).all(|w| w[0] == w[1]));
+            assert_eq!(bin.tag.0, classes[0]);
+        }
+    }
+
+    #[test]
+    fn two_classes_at_half_matches_mff_k2_classing() {
+        // HFF with M=2 splits at W/2, like MFF(k=2): class 1 = large.
+        let h = HarmonicFit::new(2);
+        let mff = crate::algorithms::ModifiedFirstFit::new(2);
+        let w = Size(100);
+        for s in 1..=100u64 {
+            let hf_large = h.class_of(Size(s), w) == 1;
+            let mff_large = mff.classify(Size(s), w) == crate::algorithms::ItemClass::Large;
+            // MFF: large iff s >= 50; HFF class 1 iff s > 50. They agree
+            // everywhere except exactly W/2.
+            if s != 50 {
+                assert_eq!(hf_large, mff_large, "s={s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_class_rejected() {
+        let _ = HarmonicFit::new(1);
+    }
+}

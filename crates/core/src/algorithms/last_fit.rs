@@ -1,0 +1,69 @@
+//! Last Fit (LF): the *most recently opened* bin that fits — the mirror
+//! image of First Fit, and still an Any Fit algorithm. Included because the
+//! FF analysis of §4.3 leans on the earliest-opened order; LF shows which
+//! parts of the behaviour are order-specific.
+
+use super::argmin_fitting;
+use crate::bin::OpenBinView;
+use crate::item::{ArrivingItem, Size};
+use crate::packer::{BinSelector, Decision};
+
+/// Last Fit packing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LastFit;
+
+impl LastFit {
+    /// Create a Last Fit selector.
+    pub fn new() -> LastFit {
+        LastFit
+    }
+}
+
+impl BinSelector for LastFit {
+    fn name(&self) -> &'static str {
+        "LF"
+    }
+
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _capacity: Size) -> Decision {
+        argmin_fitting(bins, item.size, |b| std::cmp::Reverse(b.id))
+            .map(|b| Decision::Use(b.id))
+            .unwrap_or(Decision::OPEN)
+    }
+
+    fn is_any_fit(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bin::BinId;
+    use crate::engine::{any_fit_violations, simulate_validated};
+    use crate::instance::InstanceBuilder;
+    use crate::item::ItemId;
+
+    #[test]
+    fn lf_prefers_latest_opened_bin() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 7); // b0
+        b.add(1, 10, 7); // b1
+        b.add(2, 10, 3); // fits both -> b1 under LF
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut LastFit::new());
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(1));
+        assert!(any_fit_violations(&inst, &trace).is_empty());
+    }
+
+    #[test]
+    fn lf_falls_back_to_older_bins() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 3); // b0
+        b.add(1, 10, 9); // b1 (latest)
+        b.add(2, 10, 5); // does not fit b1 -> b0
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut LastFit::new());
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(0));
+        assert_eq!(trace.bins_used(), 2);
+    }
+}

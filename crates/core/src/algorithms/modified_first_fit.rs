@@ -1,0 +1,231 @@
+//! Modified First Fit (MFF) — the paper's contribution (§4.4).
+//!
+//! MFF fixes a classification threshold `W/k` for a parameter `k > 1`:
+//! items of size `≥ W/k` are **large**, the rest **small**. Large and small
+//! items are packed by two *independent* First Fit instances — a small item
+//! is never placed into a large-item bin nor vice versa, even when it would
+//! fit. Bins carry the class as their [`BinTag`] so the separation is
+//! visible in traces.
+//!
+//! Competitive ratios proved in the paper:
+//! * µ unknown, `k = 8`: at most `8/7·µ + 55/7`;
+//! * µ known, `k = µ + 7`: at most `µ + 8` (semi-online).
+//!
+//! Both beat First Fit's general bound `2µ + 13` for all µ ≥ 1.
+//!
+//! [`BinTag`]: crate::bin::BinTag
+
+use crate::bin::{BinTag, OpenBinView};
+use crate::item::{ArrivingItem, Size};
+use crate::packer::{BinSelector, Decision};
+use crate::ratio::Ratio;
+
+/// Tag carried by bins serving large items (`s ≥ W/k`).
+pub const LARGE_TAG: BinTag = BinTag(1);
+/// Tag carried by bins serving small items (`s < W/k`).
+pub const SMALL_TAG: BinTag = BinTag(2);
+
+/// The size class MFF assigns to an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemClass {
+    /// `s(r) ≥ W/k`.
+    Large,
+    /// `s(r) < W/k`.
+    Small,
+}
+
+impl ItemClass {
+    /// The bin tag a bin of this class carries.
+    pub fn tag(self) -> BinTag {
+        match self {
+            ItemClass::Large => LARGE_TAG,
+            ItemClass::Small => SMALL_TAG,
+        }
+    }
+}
+
+/// Modified First Fit with threshold parameter `k = k_num / k_den > 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct ModifiedFirstFit {
+    k_num: u64,
+    k_den: u64,
+}
+
+impl ModifiedFirstFit {
+    /// MFF with an integer `k ≥ 2`. The paper's µ-oblivious setting is
+    /// `k = 8`.
+    ///
+    /// # Panics
+    /// Panics if `k < 2` (the classification needs `k > 1`).
+    pub fn new(k: u64) -> ModifiedFirstFit {
+        Self::with_rational_k(k, 1)
+    }
+
+    /// MFF with a rational `k = num/den`, which must exceed 1.
+    ///
+    /// # Panics
+    /// Panics unless `num > den > 0`.
+    pub fn with_rational_k(num: u64, den: u64) -> ModifiedFirstFit {
+        assert!(den > 0, "MFF: k denominator must be positive");
+        assert!(num > den, "MFF: k must exceed 1, got {num}/{den}");
+        ModifiedFirstFit {
+            k_num: num,
+            k_den: den,
+        }
+    }
+
+    /// The semi-online setting of §4.4: when µ is known, `k = µ + 7`
+    /// minimizes `max{k, (µ+6)/(1−1/k)}` and yields the `µ + 8` bound.
+    pub fn for_known_mu(mu: u64) -> ModifiedFirstFit {
+        ModifiedFirstFit::new(mu + 7)
+    }
+
+    /// The classification threshold parameter `k`, exactly.
+    pub fn k(&self) -> Ratio {
+        Ratio::new(self.k_num as u128, self.k_den as u128)
+    }
+
+    /// Classify a size against capacity: large iff `s ≥ W/k`, i.e.
+    /// `s·k ≥ W`, evaluated exactly as `s·k_num ≥ W·k_den`.
+    pub fn classify(&self, size: Size, capacity: Size) -> ItemClass {
+        let lhs = size.raw() as u128 * self.k_num as u128;
+        let rhs = capacity.raw() as u128 * self.k_den as u128;
+        if lhs >= rhs {
+            ItemClass::Large
+        } else {
+            ItemClass::Small
+        }
+    }
+}
+
+impl BinSelector for ModifiedFirstFit {
+    fn name(&self) -> &'static str {
+        "MFF"
+    }
+
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+        let class = self.classify(item.size, capacity);
+        let tag = class.tag();
+        // First Fit restricted to this class's bins: min id among fitting
+        // bins with the matching tag.
+        let mut chosen = None;
+        for b in bins {
+            if b.tag == tag && b.fits(item.size) {
+                chosen = Some(b.id);
+                break; // bins are in opening order, first hit is FF's choice
+            }
+        }
+        match chosen {
+            Some(id) => Decision::Use(id),
+            None => Decision::Open { tag },
+        }
+    }
+
+    // MFF is NOT Any Fit: it refuses cross-class placements.
+    fn is_any_fit(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_threshold_is_inclusive_for_large() {
+        let mff = ModifiedFirstFit::new(8);
+        let w = Size(800);
+        // W/k = 100: size 100 is large (>=), 99 is small.
+        assert_eq!(mff.classify(Size(100), w), ItemClass::Large);
+        assert_eq!(mff.classify(Size(99), w), ItemClass::Small);
+        assert_eq!(mff.classify(Size(800), w), ItemClass::Large);
+        assert_eq!(mff.classify(Size(1), w), ItemClass::Small);
+    }
+
+    #[test]
+    fn rational_k_classification() {
+        // k = 3/2: threshold W/k = 2W/3.
+        let mff = ModifiedFirstFit::with_rational_k(3, 2);
+        let w = Size(9);
+        assert_eq!(mff.classify(Size(6), w), ItemClass::Large); // 6 = 2*9/3
+        assert_eq!(mff.classify(Size(5), w), ItemClass::Small);
+    }
+
+    #[test]
+    fn known_mu_uses_k_mu_plus_7() {
+        let mff = ModifiedFirstFit::for_known_mu(10);
+        assert_eq!(mff.k(), Ratio::from_int(17));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed 1")]
+    fn k_of_one_is_rejected() {
+        let _ = ModifiedFirstFit::new(1);
+    }
+}
+
+#[cfg(test)]
+mod engine_tests {
+    use super::*;
+    use crate::engine::simulate_validated;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn mff_separates_classes_even_when_mixing_would_fit() {
+        // W = 80, k = 8 -> threshold 10. One large item (level 20) leaves
+        // plenty of room, but the small item must open its own bin.
+        let mut b = InstanceBuilder::new(80);
+        b.add(0, 10, 20); // large
+        b.add(1, 10, 5); // small
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut ModifiedFirstFit::new(8));
+        assert_eq!(trace.bins_used(), 2);
+        assert_eq!(trace.bins[0].tag, LARGE_TAG);
+        assert_eq!(trace.bins[1].tag, SMALL_TAG);
+    }
+
+    #[test]
+    fn mff_is_first_fit_within_each_class() {
+        let mut b = InstanceBuilder::new(80);
+        // Two large bins; a third large item fits the earliest.
+        b.add(0, 10, 50); // large -> b0
+        b.add(1, 10, 50); // large, 50+50 > 80 -> b1
+        b.add(2, 10, 30); // large, fits b0 (50+30=80) -> b0
+                          // Small items fill their own FF sequence.
+        b.add(3, 10, 5); // small -> b2
+        b.add(4, 10, 5); // small -> fits b2
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut ModifiedFirstFit::new(8));
+        assert_eq!(trace.bins_used(), 3);
+        assert_eq!(trace.bin_of(crate::item::ItemId(2)).0, 0);
+        assert_eq!(trace.bin_of(crate::item::ItemId(4)).0, 2);
+    }
+
+    #[test]
+    fn mff_every_bin_is_single_class() {
+        let mut b = InstanceBuilder::new(100);
+        let mut t = 0;
+        for i in 0..60 {
+            let size = if i % 3 == 0 { 30 } else { 4 };
+            b.add(t, t + 37 + (i % 11), size);
+            t += 2;
+        }
+        let inst = b.build().unwrap();
+        let mff = ModifiedFirstFit::new(8);
+        let trace = simulate_validated(&inst, &mut mff.clone());
+        for bin in &trace.bins {
+            let classes: Vec<ItemClass> = bin
+                .items
+                .iter()
+                .map(|&id| mff.classify(inst.item(id).size, inst.capacity()))
+                .collect();
+            assert!(
+                classes.windows(2).all(|w| w[0] == w[1]),
+                "bin {} mixes classes",
+                bin.id
+            );
+            let expected_tag = classes[0].tag();
+            assert_eq!(bin.tag, expected_tag);
+        }
+    }
+}

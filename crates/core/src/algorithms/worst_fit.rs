@@ -1,0 +1,66 @@
+//! Worst Fit (WF): the open bin with the *largest* residual capacity that
+//! fits. An Any Fit algorithm, so Theorem 1's lower bound of µ applies; it
+//! serves as a load-spreading foil to Best Fit in the experiments.
+
+use super::argmin_fitting;
+use crate::bin::OpenBinView;
+use crate::item::{ArrivingItem, Size};
+use crate::packer::{BinSelector, Decision};
+
+/// Worst Fit packing (ties toward the earliest-opened bin).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorstFit;
+
+impl WorstFit {
+    /// Create a Worst Fit selector.
+    pub fn new() -> WorstFit {
+        WorstFit
+    }
+}
+
+impl BinSelector for WorstFit {
+    fn name(&self) -> &'static str {
+        "WF"
+    }
+
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _capacity: Size) -> Decision {
+        argmin_fitting(bins, item.size, |b| b.level)
+            .map(|b| Decision::Use(b.id))
+            .unwrap_or(Decision::OPEN)
+    }
+
+    fn is_any_fit(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bin::BinId;
+    use crate::engine::{any_fit_violations, simulate_validated};
+    use crate::instance::InstanceBuilder;
+    use crate::item::ItemId;
+
+    #[test]
+    fn wf_prefers_emptiest_bin() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 7); // b0
+        b.add(1, 10, 4); // b1 (7+4 > 10)
+        b.add(2, 10, 3); // fits both; WF -> b1 (level 4 < 7)
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut WorstFit::new());
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(1));
+        assert!(any_fit_violations(&inst, &trace).is_empty());
+    }
+
+    #[test]
+    fn wf_never_opens_when_fit_exists() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 9);
+        b.add(1, 10, 1); // fits b0 exactly; WF must use it, not open
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut WorstFit::new());
+        assert_eq!(trace.bins_used(), 1);
+    }
+}

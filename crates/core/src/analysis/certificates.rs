@@ -1,0 +1,200 @@
+//! Step 4 of the §4.3 machinery: the closing inequalities.
+//!
+//! * Equation (6): `FF_total = Σ len(I_i^L) + span(R)`;
+//! * Inequality (13): `FF_total ≤ (|J| + |S| + |U|)·(µ+6)∆ + span(R)`;
+//! * Inequality (11), small-items case: `u(R) ≥ count·(W − W/k)·∆`;
+//! * Inequality (15), general case: `u(R) ≥ ½·count·W·∆`;
+//! * Theorem 5's final form: `FF_total ≤ (2µ + 13)·max{u(R)/W, span(R)}`.
+//!
+//! Each is *checked* against the measured trace — a reproduction of the
+//! proofs as falsifiable assertions rather than prose.
+
+use super::decompose::BinPeriods;
+use super::references::ReferenceStructure;
+use crate::instance::Instance;
+use crate::ratio::Ratio;
+use crate::time::Dur;
+use crate::trace::PackingTrace;
+
+/// The evaluated certificates for one FF trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertificateReport {
+    /// `FF_total(R)` in bin-ticks.
+    pub ff_total: u128,
+    /// `Σ len(I_i^L)` in ticks.
+    pub left_total: u128,
+    /// `span(R)` in ticks.
+    pub span: u128,
+    /// `|J| + |S| + |U|`.
+    pub key_count: u64,
+    /// `(µ+6)∆` in ticks.
+    pub unit_mu6: u128,
+    /// `u(R)` in size·ticks.
+    pub demand: u128,
+    /// Largest integer `k ≥ 2` with every size `< W/k`, if one exists
+    /// (enables the Theorem 4 / inequality (11) check).
+    pub small_items_k: Option<u64>,
+    /// Equation (6) holds exactly.
+    pub eq6_holds: bool,
+    /// Inequality (13) holds.
+    pub ineq13_holds: bool,
+    /// Inequality (11) holds (None when `small_items_k` is None).
+    pub ineq11_holds: Option<bool>,
+    /// Inequality (15) holds.
+    pub ineq15_holds: bool,
+    /// Theorem 5's bound `(2µ+13)·max{u/W, span}`, exactly.
+    pub theorem5_rhs: Ratio,
+    /// `FF_total ≤ theorem5_rhs`.
+    pub theorem5_holds: bool,
+}
+
+pub(super) fn check_certificates(
+    instance: &Instance,
+    trace: &PackingTrace,
+    bins: &[BinPeriods],
+    refs: &ReferenceStructure,
+    delta: Dur,
+    max_len: Dur,
+    violations: &mut Vec<String>,
+) -> CertificateReport {
+    let ff_total = trace.total_cost_ticks();
+    let left_total: u128 = bins.iter().map(|b| b.left.len().raw() as u128).sum();
+    let span = instance.span().raw() as u128;
+    let key_count = refs.pairing.joint_pairs as u64
+        + refs.pairing.single_periods as u64
+        + refs.pairing.non_intersecting as u64;
+    let unit_mu6 = max_len.raw() as u128 + 6 * delta.raw() as u128;
+    let demand = instance.total_demand();
+    let w = instance.capacity().raw() as u128;
+
+    // Equation (6).
+    let eq6_holds = ff_total == left_total + span;
+    if !eq6_holds {
+        violations.push(format!(
+            "equation (6) fails: FF_total = {ff_total}, Σ len(I^L) + span = {}",
+            left_total + span
+        ));
+    }
+
+    // Inequality (13).
+    let ineq13_rhs = key_count as u128 * unit_mu6 + span;
+    let ineq13_holds = ff_total <= ineq13_rhs;
+    if !ineq13_holds {
+        violations.push(format!(
+            "inequality (13) fails: FF_total = {ff_total} > {ineq13_rhs}"
+        ));
+    }
+
+    // Small-items k: the largest integer k ≥ 2 with max_size < W/k.
+    let max_size = instance
+        .items()
+        .iter()
+        .map(|r| r.size.raw())
+        .max()
+        .unwrap_or(0);
+    let small_items_k = (instance.capacity().raw() - 1)
+        .checked_div(max_size)
+        .filter(|&k| k >= 2);
+
+    // Inequality (11): u(R) ≥ count·(W − W/k)·∆ = count·W·(k−1)/k·∆.
+    let ineq11_holds = small_items_k.map(|k| {
+        let lhs = Ratio::from_int(demand);
+        let rhs = Ratio::from_int(key_count as u128)
+            * Ratio::new(w * (k as u128 - 1), k as u128)
+            * Ratio::from_int(delta.raw() as u128);
+        let holds = lhs >= rhs;
+        if !holds {
+            violations.push(format!(
+                "inequality (11) fails at k={k}: u(R) = {demand} < {rhs}"
+            ));
+        }
+        holds
+    });
+
+    // Inequality (15): 2·u(R) ≥ count·W·∆.
+    let ineq15_holds = 2 * demand >= key_count as u128 * w * delta.raw() as u128;
+    if !ineq15_holds {
+        violations.push(format!(
+            "inequality (15) fails: 2·u(R) = {} < count·W·∆ = {}",
+            2 * demand,
+            key_count as u128 * w * delta.raw() as u128
+        ));
+    }
+
+    // Theorem 5: FF_total ≤ (2µ + 13)·max{u/W, span}.
+    let mu = Ratio::new(max_len.raw() as u128, delta.raw() as u128);
+    let opt_lb = Ratio::new(demand, w).max(Ratio::from_int(span));
+    let theorem5_rhs = crate::bounds::ff_general_bound(mu) * opt_lb;
+    let theorem5_holds = Ratio::from_int(ff_total) <= theorem5_rhs;
+    if !theorem5_holds {
+        violations.push(format!(
+            "Theorem 5 bound fails: FF_total = {ff_total} > (2µ+13)·LB = {theorem5_rhs}"
+        ));
+    }
+
+    CertificateReport {
+        ff_total,
+        left_total,
+        span,
+        key_count,
+        unit_mu6,
+        demand,
+        small_items_k,
+        eq6_holds,
+        ineq13_holds,
+        ineq11_holds,
+        ineq15_holds,
+        theorem5_rhs,
+        theorem5_holds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::algorithms::FirstFit;
+    use crate::analysis::analyze_first_fit;
+    use crate::engine::simulate_validated;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn certificates_hold_on_hand_built_overlap() {
+        let mut b = InstanceBuilder::new(10);
+        // Force a second bin overlapping the first.
+        b.add(0, 40, 8);
+        b.add(5, 60, 8);
+        b.add(30, 70, 8);
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        let a = analyze_first_fit(&inst, &trace);
+        assert!(a.is_clean(), "{:?}", a.violations);
+        let c = &a.certificates;
+        assert!(c.eq6_holds);
+        assert!(c.ineq13_holds);
+        assert!(c.ineq15_holds);
+        assert!(c.theorem5_holds);
+        assert_eq!(c.ff_total, trace.total_cost_ticks());
+    }
+
+    #[test]
+    fn small_items_k_detection() {
+        let mut b = InstanceBuilder::new(100);
+        b.add(0, 10, 9); // max size 9 < 100/11 -> k = 11
+        b.add(0, 10, 5);
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        let a = analyze_first_fit(&inst, &trace);
+        assert_eq!(a.certificates.small_items_k, Some(11));
+        assert_eq!(a.certificates.ineq11_holds, Some(true));
+    }
+
+    #[test]
+    fn large_items_disable_ineq11() {
+        let mut b = InstanceBuilder::new(100);
+        b.add(0, 10, 60); // max size 60: k = floor(99/60) = 1 < 2
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        let a = analyze_first_fit(&inst, &trace);
+        assert_eq!(a.certificates.small_items_k, None);
+        assert_eq!(a.certificates.ineq11_holds, None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Step 1 of the §4.3 machinery: usage periods `I_i`, the prefix-max close
+//! times `E_i`, and the `I_i^L` / `I_i^R` decomposition (Figure 4), plus the
+//! identities `len(I_i) = len(I_i^L) + len(I_i^R)` and
+//! `span(R) = Σ len(I_i^R)` (equation (5)).
+
+use crate::bin::BinId;
+use crate::instance::Instance;
+use crate::time::{Interval, Tick};
+use crate::trace::PackingTrace;
+
+/// The decomposed usage period of one bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BinPeriods {
+    /// The bin these periods belong to.
+    pub bin: BinId,
+    /// `I_i = [I_i^-, I_i^+)`.
+    pub usage: Interval,
+    /// `E_i`: the latest closing time of bins opened before `b_i`; the start
+    /// of the packing period for the first bin.
+    pub e_i: Tick,
+    /// `I_i^L = [I_i^-, min(I_i^+, E_i))`, empty when `E_i ≤ I_i^-`.
+    pub left: Interval,
+    /// `I_i^R = I_i − I_i^L`.
+    pub right: Interval,
+}
+
+/// Decompose every bin of the trace. Also verifies, recording violations:
+///
+/// * bins are indexed in opening order (`I_1^- ≤ I_2^- ≤ …`);
+/// * `span(R) = Σ len(I_i^R)` (equation (5));
+/// * the `I_i^R` are pairwise disjoint.
+pub fn decompose_bins(
+    instance: &Instance,
+    trace: &PackingTrace,
+    violations: &mut Vec<String>,
+) -> Vec<BinPeriods> {
+    let start = instance.first_arrival().unwrap_or(Tick::ZERO);
+    let mut out = Vec::with_capacity(trace.bins.len());
+    let mut e_i = start; // E_1 = start of the packing period
+    let mut prev_open = start;
+
+    for rec in &trace.bins {
+        let usage = rec.usage_period();
+        if usage.start < prev_open {
+            violations.push(format!(
+                "bin {} opens at {} before its predecessor's opening {}",
+                rec.id, usage.start, prev_open
+            ));
+        }
+        prev_open = usage.start;
+
+        let cut = usage.end.min(e_i.max(usage.start));
+        let left = Interval::new(usage.start, cut);
+        let right = Interval::new(cut, usage.end);
+        out.push(BinPeriods {
+            bin: rec.id,
+            usage,
+            e_i,
+            left,
+            right,
+        });
+        e_i = e_i.max(usage.end);
+    }
+
+    // Equation (5): span(R) = Σ len(I_i^R), and the I_i^R are disjoint.
+    let span = instance.span();
+    let sum_right: u128 = out.iter().map(|b| b.right.len().raw() as u128).sum();
+    if sum_right != span.raw() as u128 {
+        violations.push(format!(
+            "equation (5) fails: span = {}, Σ len(I_i^R) = {sum_right}",
+            span.raw()
+        ));
+    }
+    // Disjointness: each non-empty I_i^R starts at or after E_i, which is at
+    // least every earlier close — so in bin order the non-empty rights are
+    // non-overlapping and sorted. Verify consecutive pairs.
+    let mut last_end: Option<(BinId, Tick)> = None;
+    for bp in &out {
+        if bp.right.is_empty() {
+            continue;
+        }
+        if let Some((prev_bin, end)) = last_end {
+            if bp.right.start < end {
+                violations.push(format!("I^R periods of {prev_bin} and {} overlap", bp.bin));
+            }
+        }
+        last_end = Some((bp.bin, bp.right.end));
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::FirstFit;
+    use crate::engine::simulate_validated;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn figure4_shape() {
+        // Construct a trace where bin 1 opens while bin 0 is still open and
+        // outlives it: I_1^L = [open_1, close_0), I_1^R = [close_0, close_1).
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 50, 8); // b0 alive [0, 50)
+        b.add(10, 90, 8); // does not fit b0 -> b1 alive [10, 90)
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        let mut v = Vec::new();
+        let bins = decompose_bins(&inst, &trace, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(bins[0].left.len().raw(), 0); // first bin: I^L = ∅
+        assert_eq!(bins[0].right, Interval::new(Tick(0), Tick(50)));
+        assert_eq!(bins[1].e_i, Tick(50));
+        assert_eq!(bins[1].left, Interval::new(Tick(10), Tick(50)));
+        assert_eq!(bins[1].right, Interval::new(Tick(50), Tick(90)));
+    }
+
+    #[test]
+    fn bin_fully_inside_predecessor_has_empty_right() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 100, 8); // b0
+        b.add(10, 30, 8); // b1 nested inside b0's lifetime
+        b.add(40, 90, 8); // b2 nested too
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        let mut v = Vec::new();
+        let bins = decompose_bins(&inst, &trace, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(bins[1].right.is_empty());
+        assert!(bins[2].right.is_empty());
+        assert_eq!(bins[1].left, Interval::new(Tick(10), Tick(30)));
+        // Span identity: only b0 contributes I^R.
+        let total: u64 = bins.iter().map(|b| b.right.len().raw()).sum();
+        assert_eq!(total, inst.span().raw());
+    }
+
+    #[test]
+    fn gap_between_bins_keeps_identity() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 8);
+        b.add(20, 35, 8); // opens after a span gap
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        let mut v = Vec::new();
+        let bins = decompose_bins(&inst, &trace, &mut v);
+        assert!(v.is_empty(), "{v:?}");
+        assert!(bins[1].left.is_empty()); // E_2 = 10 < 20
+        assert_eq!(bins[1].right.len().raw(), 15);
+        let total: u64 = bins.iter().map(|b| b.right.len().raw()).sum();
+        assert_eq!(total, 25);
+        assert_eq!(inst.span().raw(), 25);
+    }
+}

@@ -1,0 +1,261 @@
+//! The §4.4 argument for Modified First Fit, executable.
+//!
+//! The MFF bound is proved compositionally: split `R` into the large class
+//! `R^L` (sizes ≥ W/k) and small class `R^S` (sizes < W/k); MFF packs each
+//! with an independent First Fit, so
+//!
+//! * `MFF_total(R^L) ≤ k · u(R^L)/W` — inequality (3) from Theorem 3's
+//!   proof (cost ≤ Σ len(I(r)) ≤ k·u/W for large items);
+//! * `MFF_total(R^S) ≤ (µ+6)/(1−1/k) · u(R^S)/W + span(R^S)` — inequality
+//!   (12) from Theorem 4's machinery;
+//! * summing and bounding by `max{…}·u(R)/W + span(R)` gives the §4.4
+//!   guarantees.
+//!
+//! [`analyze_mff`] recomputes exactly this decomposition from a real MFF
+//! trace: it checks the class separation, re-derives each class's cost from
+//! an independent FF run on the class sub-instance (they must match — MFF
+//! *is* FF per class), runs the full §4.3 machinery on the small class, and
+//! evaluates inequalities (3) and (12) plus the final §4.4 bound.
+
+use crate::algorithms::{ItemClass, ModifiedFirstFit, LARGE_TAG, SMALL_TAG};
+use crate::engine::simulate;
+use crate::instance::Instance;
+use crate::ratio::Ratio;
+use crate::trace::PackingTrace;
+
+use super::FirstFitAnalysis;
+
+/// The evaluated §4.4 decomposition of one MFF trace.
+#[derive(Debug, Clone)]
+pub struct MffAnalysis {
+    /// The threshold parameter k of the analyzed MFF.
+    pub k: Ratio,
+    /// Items classified large / small.
+    pub n_large: usize,
+    /// Small-class item count.
+    pub n_small: usize,
+    /// MFF's cost on large-class bins, in bin-ticks.
+    pub large_cost: u128,
+    /// MFF's cost on small-class bins, in bin-ticks.
+    pub small_cost: u128,
+    /// Inequality (3): `large_cost ≤ k · u(R^L)/W`.
+    pub ineq3_holds: bool,
+    /// Inequality (12): `small_cost ≤ (µ+6)k/(k−1) · u(R^S)/W + span(R^S)`
+    /// (trivially true when the small class is empty).
+    pub ineq12_holds: bool,
+    /// The applicable §4.4 bound `max{k, (µ+6)/(1−1/k)}·u(R)/W + span(R)`.
+    pub section44_rhs: Ratio,
+    /// `MFF_total ≤ section44_rhs`.
+    pub section44_holds: bool,
+    /// Full §4.3 machinery on the small-class sub-instance (None when the
+    /// small class is empty).
+    pub small_class_analysis: Option<FirstFitAnalysis>,
+    /// Violations found (class mixing, per-class cost mismatch vs FF on the
+    /// sub-instance, failed inequalities). Empty = the §4.4 argument holds.
+    pub violations: Vec<String>,
+}
+
+impl MffAnalysis {
+    /// Whether the full §4.4 argument verified.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+            && self
+                .small_class_analysis
+                .as_ref()
+                .is_none_or(|a| a.is_clean())
+    }
+}
+
+/// Run the §4.4 decomposition on an MFF trace.
+///
+/// `mff` must be the (stateless, `Copy`) selector configuration that
+/// produced `trace` on `instance`.
+pub fn analyze_mff(
+    instance: &Instance,
+    trace: &PackingTrace,
+    mff: ModifiedFirstFit,
+) -> MffAnalysis {
+    let mut violations = Vec::new();
+    let w = instance.capacity();
+
+    // Class separation: every bin's tag matches its items' class.
+    for bin in &trace.bins {
+        for &id in &bin.items {
+            let class = mff.classify(instance.item(id).size, w);
+            if class.tag() != bin.tag {
+                violations.push(format!(
+                    "item {id} (class {class:?}) sits in bin {} tagged {:?}",
+                    bin.id, bin.tag
+                ));
+            }
+        }
+    }
+
+    let large_cost = trace.cost_ticks_for_tag(LARGE_TAG);
+    let small_cost = trace.cost_ticks_for_tag(SMALL_TAG);
+    if large_cost + small_cost != trace.total_cost_ticks() {
+        violations.push("per-class costs do not sum to the total".into());
+    }
+
+    // Per-class equivalence with independent FF runs.
+    let (large_inst, _) = instance.restrict(|r| mff.classify(r.size, w) == ItemClass::Large);
+    let (small_inst, _) = instance.restrict(|r| mff.classify(r.size, w) == ItemClass::Small);
+    let ff_large = simulate(&large_inst, &mut crate::algorithms::FirstFit::new());
+    let ff_small = simulate(&small_inst, &mut crate::algorithms::FirstFit::new());
+    if ff_large.total_cost_ticks() != large_cost {
+        violations.push(format!(
+            "large class: MFF cost {large_cost} != FF-on-subinstance {}",
+            ff_large.total_cost_ticks()
+        ));
+    }
+    if ff_small.total_cost_ticks() != small_cost {
+        violations.push(format!(
+            "small class: MFF cost {small_cost} != FF-on-subinstance {}",
+            ff_small.total_cost_ticks()
+        ));
+    }
+
+    let k = mff.k();
+
+    // Inequality (3): large_cost ≤ k · u(R^L)/W.
+    let ineq3_rhs = k * Ratio::new(large_inst.total_demand(), w.raw() as u128);
+    let ineq3_holds = Ratio::from_int(large_cost) <= ineq3_rhs;
+    if !ineq3_holds {
+        violations.push(format!(
+            "inequality (3) fails: large cost {large_cost} > {ineq3_rhs}"
+        ));
+    }
+
+    // Inequality (12) on the small class, using the small class's own µ.
+    let (ineq12_holds, small_class_analysis) = if small_inst.is_empty() {
+        (true, None)
+    } else {
+        let mu_s = small_inst.mu().expect("nonempty small class");
+        let coeff = (mu_s + Ratio::from_int(6)) * k / (k - Ratio::ONE);
+        let rhs = coeff * Ratio::new(small_inst.total_demand(), w.raw() as u128)
+            + Ratio::from_int(small_inst.span().raw() as u128);
+        let holds = Ratio::from_int(small_cost) <= rhs;
+        if !holds {
+            violations.push(format!(
+                "inequality (12) fails: small cost {small_cost} > {rhs}"
+            ));
+        }
+        let analysis = super::analyze_first_fit(&small_inst, &ff_small);
+        (holds, Some(analysis))
+    };
+
+    // The §4.4 composite bound with the *instance's* µ (what the theorem
+    // states), not the per-class µ.
+    let section44_rhs = match instance.mu() {
+        None => Ratio::ZERO,
+        Some(mu) => {
+            let small_term = (mu + Ratio::from_int(6)) * k / (k - Ratio::ONE);
+            k.max(small_term) * Ratio::new(instance.total_demand(), w.raw() as u128)
+                + Ratio::from_int(instance.span().raw() as u128)
+        }
+    };
+    let section44_holds = Ratio::from_int(trace.total_cost_ticks()) <= section44_rhs;
+    if !section44_holds && !instance.is_empty() {
+        violations.push(format!(
+            "§4.4 bound fails: MFF_total {} > {section44_rhs}",
+            trace.total_cost_ticks()
+        ));
+    }
+
+    MffAnalysis {
+        k,
+        n_large: large_inst.len(),
+        n_small: small_inst.len(),
+        large_cost,
+        small_cost,
+        ineq3_holds,
+        ineq12_holds,
+        section44_rhs,
+        section44_holds,
+        small_class_analysis,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::simulate_validated;
+    use crate::instance::InstanceBuilder;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn mixed_instance(seed: u64, n: usize) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = InstanceBuilder::new(100);
+        let mut t = 0u64;
+        for _ in 0..n {
+            t += rng.random_range(0..6);
+            let len = rng.random_range(30..120);
+            // Mix of clearly-small and clearly-large sizes for k = 8.
+            let size = if rng.random_range(0..3u8) == 0 {
+                rng.random_range(20..=60) // large (>= 100/8)
+            } else {
+                rng.random_range(1..=12) // small (< 12.5)
+            };
+            b.add(t, t + len, size);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn section44_argument_verifies_on_random_traces() {
+        for seed in 0..20 {
+            let inst = mixed_instance(seed, 150);
+            let mff = ModifiedFirstFit::new(8);
+            let trace = simulate_validated(&inst, &mut mff.clone());
+            let a = analyze_mff(&inst, &trace, mff);
+            assert!(a.is_clean(), "seed {seed}: {:#?}", a.violations);
+            assert!(a.ineq3_holds && a.ineq12_holds && a.section44_holds);
+            assert_eq!(a.n_large + a.n_small, inst.len());
+            assert_eq!(a.large_cost + a.small_cost, trace.total_cost_ticks());
+        }
+    }
+
+    #[test]
+    fn all_small_instance_has_empty_large_side() {
+        let mut b = InstanceBuilder::new(100);
+        for i in 0..30 {
+            b.add(i, i + 50, 5);
+        }
+        let inst = b.build().unwrap();
+        let mff = ModifiedFirstFit::new(8);
+        let trace = simulate_validated(&inst, &mut mff.clone());
+        let a = analyze_mff(&inst, &trace, mff);
+        assert!(a.is_clean());
+        assert_eq!(a.n_large, 0);
+        assert_eq!(a.large_cost, 0);
+        assert!(a.small_class_analysis.is_some());
+    }
+
+    #[test]
+    fn all_large_instance_skips_small_machinery() {
+        let mut b = InstanceBuilder::new(100);
+        for i in 0..30 {
+            b.add(i, i + 50, 40);
+        }
+        let inst = b.build().unwrap();
+        let mff = ModifiedFirstFit::new(8);
+        let trace = simulate_validated(&inst, &mut mff.clone());
+        let a = analyze_mff(&inst, &trace, mff);
+        assert!(a.is_clean());
+        assert_eq!(a.n_small, 0);
+        assert!(a.small_class_analysis.is_none());
+        assert!(a.ineq12_holds);
+    }
+
+    #[test]
+    fn known_mu_variant_also_verifies() {
+        let inst = mixed_instance(5, 120);
+        let mu = inst.mu().unwrap().ceil() as u64;
+        let mff = ModifiedFirstFit::for_known_mu(mu);
+        let trace = simulate_validated(&inst, &mut mff.clone());
+        let a = analyze_mff(&inst, &trace, mff);
+        assert!(a.is_clean(), "{:#?}", a.violations);
+    }
+}

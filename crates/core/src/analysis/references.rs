@@ -1,0 +1,403 @@
+//! Step 3 of the §4.3 machinery: reference points, reference bins and
+//! reference periods (Figure 6), the Table 2 case classification, the
+//! joint/single pairing (Figure 7) and auxiliary periods (Figure 8) —
+//! checking features (f.4)–(f.5) and Lemmas 1–5 computationally.
+
+use super::decompose::BinPeriods;
+use super::subperiods::SubPeriod;
+use crate::bin::BinId;
+use crate::instance::Instance;
+use crate::time::{Dur, Tick};
+use crate::trace::PackingTrace;
+
+/// The reference data of one sub-period `I_{i,j}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReferenceInfo {
+    /// The sub-period this refers to (index into the analysis' sub-period
+    /// list).
+    pub subperiod: usize,
+    /// `t_{i,j}`: arrival time of the earliest item newly packed into `b_i`
+    /// during `I_{i,j}`.
+    pub t: Tick,
+    /// `b†(I_{i,j})`: the last-opened bin `b_k` with `k < i` and
+    /// `t_{i,j} < I_k^+`.
+    pub reference_bin: BinId,
+}
+
+/// The Table 2 classification of a pair of sub-periods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairCase {
+    /// Same bin, both `j ≥ 2`.
+    I,
+    /// Same bin, exactly one `j = 1`.
+    II,
+    /// Different bins, both `j ≥ 2`.
+    III,
+    /// Different bins, exactly one `j = 1`.
+    IV,
+    /// Different bins, both `j = 1`.
+    V,
+}
+
+/// Classify a pair of distinct sub-periods per Table 2.
+///
+/// # Panics
+/// Panics on the impossible cell (same bin, both `j = 1` — a bin has only
+/// one first sub-period).
+pub fn classify_pair(a: &SubPeriod, b: &SubPeriod) -> PairCase {
+    let same_bin = a.bin == b.bin;
+    match (same_bin, a.is_first(), b.is_first()) {
+        (true, false, false) => PairCase::I,
+        (true, true, false) | (true, false, true) => PairCase::II,
+        (true, true, true) => {
+            panic!("two first sub-periods of the same bin cannot both exist")
+        }
+        (false, false, false) => PairCase::III,
+        (false, true, false) | (false, false, true) => PairCase::IV,
+        (false, true, true) => PairCase::V,
+    }
+}
+
+/// Pair counts per Table 2 case, split by whether the reference periods
+/// intersect. Lemma 1 says the `intersecting` counter must stay zero for
+/// Cases I–IV.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseCounts {
+    /// Total pairs per case (I..V).
+    pub total: [u64; 5],
+    /// Pairs with intersecting reference periods per case (I..V).
+    pub intersecting: [u64; 5],
+}
+
+impl CaseCounts {
+    fn idx(case: PairCase) -> usize {
+        match case {
+            PairCase::I => 0,
+            PairCase::II => 1,
+            PairCase::III => 2,
+            PairCase::IV => 3,
+            PairCase::V => 4,
+        }
+    }
+
+    /// Total number of pairs classified into `case`.
+    pub fn total_for(&self, case: PairCase) -> u64 {
+        self.total[Self::idx(case)]
+    }
+
+    /// Number of pairs in `case` whose reference periods intersect.
+    pub fn intersecting_for(&self, case: PairCase) -> u64 {
+        self.intersecting[Self::idx(case)]
+    }
+}
+
+/// The result of the Figure 7 pairing process.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairingOutcome {
+    /// `|I_I^L|`: sub-periods whose reference period intersects another.
+    pub intersecting_periods: usize,
+    /// `|I_I^L(J)|`: number of joint-periods (pairs).
+    pub joint_pairs: usize,
+    /// `|I_I^L(S)|`: single periods.
+    pub single_periods: usize,
+    /// `|I_U^L|`: sub-periods with no intersecting reference period.
+    pub non_intersecting: usize,
+    /// The pairs, as indices into the sub-period list (front, back).
+    pub pairs: Vec<(usize, usize)>,
+    /// Indices of single periods.
+    pub singles: Vec<usize>,
+}
+
+/// Everything produced by step 3.
+#[derive(Debug, Clone, Default)]
+pub struct ReferenceStructure {
+    /// Reference info per sub-period, in the same order.
+    pub refs: Vec<ReferenceInfo>,
+    /// Table 2 pair statistics.
+    pub case_counts: CaseCounts,
+    /// Figure 7 pairing outcome.
+    pub pairing: PairingOutcome,
+}
+
+/// Whether the reference periods of two sub-periods intersect: same
+/// reference bin and `|t_1 − t_2| < 2∆` (§4.3's definition).
+fn ref_periods_intersect(a: &ReferenceInfo, b: &ReferenceInfo, delta: Dur) -> bool {
+    a.reference_bin == b.reference_bin && {
+        let gap = if a.t >= b.t { a.t - b.t } else { b.t - a.t };
+        gap < delta.scaled(2)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(super) fn build_reference_structure(
+    instance: &Instance,
+    trace: &PackingTrace,
+    bins: &[BinPeriods],
+    subperiods: &[SubPeriod],
+    delta: Dur,
+    max_len: Dur,
+    violations: &mut Vec<String>,
+) -> ReferenceStructure {
+    // Arrival times of the items of each bin, sorted.
+    let mut arrivals_per_bin: Vec<Vec<Tick>> = vec![Vec::new(); trace.bins.len()];
+    for rec in &trace.bins {
+        let v = &mut arrivals_per_bin[rec.id.index()];
+        v.extend(rec.items.iter().map(|&id| instance.item(id).arrival));
+        v.sort_unstable();
+    }
+
+    // Reference points and bins.
+    let mut refs: Vec<ReferenceInfo> = Vec::with_capacity(subperiods.len());
+    for (idx, sp) in subperiods.iter().enumerate() {
+        let arrivals = &arrivals_per_bin[sp.bin.index()];
+        // Earliest arrival into b_i within [start, end).
+        let t = arrivals.iter().copied().find(|&a| sp.interval.contains(a));
+        let Some(t) = t else {
+            violations.push(format!(
+                "sub-period {}#{} {} contains no new arrival into its bin",
+                sp.bin, sp.j, sp.interval
+            ));
+            continue;
+        };
+        // Feature (f.4): t_{i,1} = I_{i,1}^-.
+        if sp.is_first() && t != sp.interval.start {
+            violations.push(format!(
+                "(f.4) violated: t for {}#1 is {t}, expected {}",
+                sp.bin, sp.interval.start
+            ));
+        }
+        // Feature (f.5): t ≤ I_{i,j}^- + µ∆.
+        if t > sp.interval.start + max_len {
+            violations.push(format!(
+                "(f.5) violated: t for {}#{} is {t} > start + µ∆ = {}",
+                sp.bin,
+                sp.j,
+                sp.interval.start + max_len
+            ));
+        }
+        // Reference bin: the last-opened bin b_k with k < i and t < I_k^+.
+        let reference_bin = bins[..sp.bin.index()]
+            .iter()
+            .rev()
+            .find(|bp| t < bp.usage.end)
+            .map(|bp| bp.bin);
+        let Some(reference_bin) = reference_bin else {
+            violations.push(format!(
+                "no reference bin exists for sub-period {}#{} (t = {t})",
+                sp.bin, sp.j
+            ));
+            continue;
+        };
+        refs.push(ReferenceInfo {
+            subperiod: idx,
+            t,
+            reference_bin,
+        });
+    }
+
+    // Case classification over all pairs + Lemma 1 + Lemma 2.
+    let mut case_counts = CaseCounts::default();
+    let mut intersects_any: Vec<bool> = vec![false; refs.len()];
+    for a in 0..refs.len() {
+        for b in (a + 1)..refs.len() {
+            let (ra, rb) = (&refs[a], &refs[b]);
+            let (sa, sb) = (&subperiods[ra.subperiod], &subperiods[rb.subperiod]);
+            let case = classify_pair(sa, sb);
+            let ci = CaseCounts::idx(case);
+            case_counts.total[ci] += 1;
+            if ref_periods_intersect(ra, rb, delta) {
+                case_counts.intersecting[ci] += 1;
+                intersects_any[a] = true;
+                intersects_any[b] = true;
+                if case != PairCase::V {
+                    violations.push(format!(
+                        "Lemma 1 violated: reference periods of {}#{} and {}#{} \
+                         intersect in Case {case:?}",
+                        sa.bin, sa.j, sb.bin, sb.j
+                    ));
+                } else {
+                    // Lemma 2: the earlier-bin period must be shorter than 2∆.
+                    let (first, _second) = if sa.bin < sb.bin { (sa, sb) } else { (sb, sa) };
+                    if first.interval.len() >= delta.scaled(2) {
+                        violations.push(format!(
+                            "Lemma 2 violated: front period {}#1 has length {} ≥ 2∆",
+                            first.bin,
+                            first.interval.len().raw()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // Lemma 3: at most one front-intersect and one back-intersect each.
+    let mut front_count = vec![0usize; refs.len()];
+    let mut back_count = vec![0usize; refs.len()];
+    let mut back_of: Vec<Option<usize>> = vec![None; refs.len()];
+    for a in 0..refs.len() {
+        for b in (a + 1)..refs.len() {
+            let (ra, rb) = (&refs[a], &refs[b]);
+            let (sa, sb) = (&subperiods[ra.subperiod], &subperiods[rb.subperiod]);
+            if classify_pair(sa, sb) == PairCase::V && ref_periods_intersect(ra, rb, delta) {
+                // Order by bin index (Case V means different bins).
+                let (front, back) = if sa.bin < sb.bin { (a, b) } else { (b, a) };
+                back_count[front] += 1;
+                front_count[back] += 1;
+                if back_of[front].is_none() {
+                    back_of[front] = Some(back);
+                }
+            }
+        }
+    }
+    for (i, (&fc, &bc)) in front_count.iter().zip(&back_count).enumerate() {
+        if fc > 1 || bc > 1 {
+            let sp = &subperiods[refs[i].subperiod];
+            violations.push(format!(
+                "Lemma 3 violated: {}#{} has {fc} front- and {bc} back-intersect periods",
+                sp.bin, sp.j
+            ));
+        }
+    }
+
+    // Figure 7 pairing: ascending bin order (refs are already in bin order
+    // because subperiods are).
+    let mut paired = vec![false; refs.len()];
+    let mut pairs = Vec::new();
+    for i in 0..refs.len() {
+        if intersects_any[i] && !paired[i] {
+            if let Some(j) = back_of[i] {
+                if !paired[j] {
+                    paired[i] = true;
+                    paired[j] = true;
+                    pairs.push((i, j));
+                }
+            }
+        }
+    }
+    let singles: Vec<usize> = (0..refs.len())
+        .filter(|&i| intersects_any[i] && !paired[i])
+        .collect();
+
+    // Lemma 4: the reference periods of all joint-periods and single periods
+    // pairwise do not intersect. A joint-period's reference period is that
+    // of its front member.
+    let mut representatives: Vec<usize> = pairs.iter().map(|&(front, _)| front).collect();
+    representatives.extend(&singles);
+    for x in 0..representatives.len() {
+        for y in (x + 1)..representatives.len() {
+            let (ra, rb) = (&refs[representatives[x]], &refs[representatives[y]]);
+            if ref_periods_intersect(ra, rb, delta) {
+                let (sa, sb) = (&subperiods[ra.subperiod], &subperiods[rb.subperiod]);
+                violations.push(format!(
+                    "Lemma 4 violated: representative reference periods of {}#{} \
+                     and {}#{} intersect",
+                    sa.bin, sa.j, sb.bin, sb.j
+                ));
+            }
+        }
+    }
+
+    // Lemma 5: auxiliary periods ([t−∆, t+∆) associated with the sub-period's
+    // *own* bin) pairwise do not intersect: same bin ⇒ |t1−t2| ≥ 2∆.
+    for a in 0..refs.len() {
+        for b in (a + 1)..refs.len() {
+            let (ra, rb) = (&refs[a], &refs[b]);
+            let (sa, sb) = (&subperiods[ra.subperiod], &subperiods[rb.subperiod]);
+            if sa.bin == sb.bin {
+                let gap = if ra.t >= rb.t {
+                    ra.t - rb.t
+                } else {
+                    rb.t - ra.t
+                };
+                if gap < delta.scaled(2) {
+                    violations.push(format!(
+                        "Lemma 5 violated: auxiliary periods of {}#{} and {}#{} intersect",
+                        sa.bin, sa.j, sb.bin, sb.j
+                    ));
+                }
+            }
+        }
+    }
+
+    let non_intersecting = intersects_any.iter().filter(|&&x| !x).count();
+    let intersecting_periods = refs.len() - non_intersecting;
+    // The pairing must account for every intersecting period.
+    if 2 * pairs.len() + singles.len() != intersecting_periods {
+        violations.push(format!(
+            "pairing accounting broken: 2·{} + {} ≠ {intersecting_periods}",
+            pairs.len(),
+            singles.len()
+        ));
+    }
+
+    ReferenceStructure {
+        case_counts,
+        pairing: PairingOutcome {
+            intersecting_periods,
+            joint_pairs: pairs.len(),
+            single_periods: singles.len(),
+            non_intersecting,
+            pairs,
+            singles,
+        },
+        refs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Interval;
+
+    fn sp(bin: u32, j: usize) -> SubPeriod {
+        SubPeriod {
+            bin: BinId(bin),
+            j,
+            interval: Interval::new(Tick(0), Tick(10)),
+        }
+    }
+
+    #[test]
+    fn table2_classification() {
+        assert_eq!(classify_pair(&sp(1, 2), &sp(1, 3)), PairCase::I);
+        assert_eq!(classify_pair(&sp(1, 1), &sp(1, 2)), PairCase::II);
+        assert_eq!(classify_pair(&sp(1, 3), &sp(1, 1)), PairCase::II);
+        assert_eq!(classify_pair(&sp(1, 2), &sp(2, 2)), PairCase::III);
+        assert_eq!(classify_pair(&sp(1, 1), &sp(2, 2)), PairCase::IV);
+        assert_eq!(classify_pair(&sp(1, 2), &sp(2, 1)), PairCase::IV);
+        assert_eq!(classify_pair(&sp(1, 1), &sp(2, 1)), PairCase::V);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot both exist")]
+    fn impossible_cell_panics() {
+        let _ = classify_pair(&sp(1, 1), &sp(1, 1));
+    }
+
+    #[test]
+    fn intersection_requires_same_reference_bin() {
+        let a = ReferenceInfo {
+            subperiod: 0,
+            t: Tick(100),
+            reference_bin: BinId(0),
+        };
+        let b = ReferenceInfo {
+            subperiod: 1,
+            t: Tick(101),
+            reference_bin: BinId(1),
+        };
+        assert!(!ref_periods_intersect(&a, &b, Dur(5)));
+        let c = ReferenceInfo {
+            reference_bin: BinId(0),
+            ..b
+        };
+        assert!(ref_periods_intersect(&a, &c, Dur(5)));
+        // Gap of exactly 2∆ does not intersect (half-open periods).
+        let d = ReferenceInfo {
+            subperiod: 2,
+            t: Tick(110),
+            reference_bin: BinId(0),
+        };
+        assert!(!ref_periods_intersect(&a, &d, Dur(5)));
+    }
+}

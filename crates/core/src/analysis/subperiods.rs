@@ -1,0 +1,207 @@
+//! Step 2 of the §4.3 machinery: splitting each `I_i^L` into sub-periods
+//! (Figure 5) and checking features (f.1)–(f.3).
+//!
+//! The rule, verbatim from the paper: if `len(I_i^L) > (µ+2)∆`, insert
+//! splitter points at multiples of `(µ+2)∆` *before the end* of `I_i^L`;
+//! if the resulting first sub-period is shorter than `2∆`, merge it with the
+//! second. In exact tick arithmetic `(µ+2)∆ = µ∆ + 2∆ = max_len + 2·delta`.
+
+use crate::bin::BinId;
+use crate::time::{Dur, Interval};
+
+/// One sub-period `I_{i,j}` of some `I_i^L`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubPeriod {
+    /// The bin whose `I_i^L` this sub-period belongs to.
+    pub bin: BinId,
+    /// 1-based position `j` within the bin's `I_i^L` (temporal order).
+    pub j: usize,
+    /// The half-open time interval of the sub-period.
+    pub interval: Interval,
+}
+
+impl SubPeriod {
+    /// Whether this is a first sub-period (`j = 1`) — the distinction Table 2
+    /// cases turn on.
+    #[inline]
+    pub fn is_first(&self) -> bool {
+        self.j == 1
+    }
+}
+
+/// Split one bin's `I_i^L` into sub-periods and verify features (f.1)–(f.3):
+///
+/// * (f.1) every sub-period is at most `(µ+4)∆` long;
+/// * (f.2) every sub-period with `j ≥ 2` is exactly `(µ+2)∆` long;
+/// * (f.3) if there are at least two sub-periods, the first is at least
+///   `2∆` long.
+pub fn split_left_period(
+    bin: BinId,
+    left: Interval,
+    delta: Dur,
+    max_len: Dur,
+    violations: &mut Vec<String>,
+) -> Vec<SubPeriod> {
+    if left.is_empty() {
+        return Vec::new();
+    }
+    let unit = max_len + delta.scaled(2); // (µ+2)∆
+    let len = left.len();
+
+    let mut intervals: Vec<Interval> = Vec::new();
+    if len <= unit {
+        intervals.push(left);
+    } else {
+        // Number of sub-periods before mergence: ceil(len / unit).
+        let n = len.raw().div_ceil(unit.raw());
+        // First (leftmost) piece takes the remainder; the rest are `unit`.
+        let mut first_len = len.raw() - (n - 1) * unit.raw();
+        debug_assert!(first_len >= 1 && first_len <= unit.raw());
+        let mut pieces = n;
+        // Mergence: if the first piece is shorter than 2∆, absorb the second.
+        if first_len < 2 * delta.raw() {
+            first_len += unit.raw();
+            pieces -= 1;
+        }
+        let mut cursor = left.start;
+        for p in 0..pieces {
+            let piece_len = if p == 0 { first_len } else { unit.raw() };
+            let end = cursor + Dur(piece_len);
+            intervals.push(Interval::new(cursor, end));
+            cursor = end;
+        }
+        debug_assert_eq!(cursor, left.end);
+    }
+
+    // Feature checks.
+    for (idx, iv) in intervals.iter().enumerate() {
+        let j = idx + 1;
+        if iv.len() > max_len + delta.scaled(4) {
+            violations.push(format!(
+                "(f.1) violated: sub-period {bin}#{j} has length {} > (µ+4)∆ = {}",
+                iv.len().raw(),
+                (max_len + delta.scaled(4)).raw()
+            ));
+        }
+        if j >= 2 && iv.len() != unit {
+            violations.push(format!(
+                "(f.2) violated: sub-period {bin}#{j} has length {} ≠ (µ+2)∆ = {}",
+                iv.len().raw(),
+                unit.raw()
+            ));
+        }
+    }
+    if intervals.len() >= 2 && intervals[0].len() < delta.scaled(2) {
+        violations.push(format!(
+            "(f.3) violated: first sub-period of {bin} has length {} < 2∆ = {}",
+            intervals[0].len().raw(),
+            delta.scaled(2).raw()
+        ));
+    }
+
+    intervals
+        .into_iter()
+        .enumerate()
+        .map(|(idx, interval)| SubPeriod {
+            bin,
+            j: idx + 1,
+            interval,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Tick;
+
+    fn run(len: u64, delta: u64, max_len: u64) -> (Vec<SubPeriod>, Vec<String>) {
+        let mut v = Vec::new();
+        let subs = split_left_period(
+            BinId(0),
+            Interval::new(Tick(1000), Tick(1000 + len)),
+            Dur(delta),
+            Dur(max_len),
+            &mut v,
+        );
+        (subs, v)
+    }
+
+    #[test]
+    fn short_period_is_not_split() {
+        // (µ+2)∆ = 10 + 2·2 = 14; len 14 stays whole.
+        let (subs, v) = run(14, 2, 10);
+        assert!(v.is_empty());
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].j, 1);
+        assert_eq!(subs[0].interval.len(), Dur(14));
+    }
+
+    #[test]
+    fn long_period_splits_from_the_right() {
+        // unit = 14; len = 33 -> ceil = 3 pieces: first 5, then 14, 14.
+        // first (5) >= 2∆ (4): no mergence.
+        let (subs, v) = run(33, 2, 10);
+        assert!(v.is_empty());
+        let lens: Vec<u64> = subs.iter().map(|s| s.interval.len().raw()).collect();
+        assert_eq!(lens, vec![5, 14, 14]);
+        // Contiguity and order.
+        assert_eq!(subs[0].interval.start, Tick(1000));
+        assert_eq!(subs[2].interval.end, Tick(1033));
+        assert_eq!(subs[0].interval.end, subs[1].interval.start);
+    }
+
+    #[test]
+    fn short_first_piece_is_merged() {
+        // unit = 14, 2∆ = 4; len = 31 -> pieces 3, 14, 14; 3 < 4 -> merge
+        // into 17, 14.
+        let (subs, v) = run(31, 2, 10);
+        assert!(v.is_empty());
+        let lens: Vec<u64> = subs.iter().map(|s| s.interval.len().raw()).collect();
+        assert_eq!(lens, vec![17, 14]);
+        // (f.1): 17 <= (µ+4)∆ = 10 + 8 = 18. OK.
+    }
+
+    #[test]
+    fn merged_first_piece_can_reach_f1_limit() {
+        // len = unit·n + (2∆ − 1) triggers mergence with the largest first
+        // piece: unit + 2∆ − 1 = (µ+4)∆ − 1 < (µ+4)∆.
+        let (subs, v) = run(14 + 3, 2, 10); // pieces: 3, 14 -> merge -> 17
+        assert!(v.is_empty());
+        assert_eq!(subs[0].interval.len(), Dur(17));
+        assert!(subs[0].interval.len() <= Dur(10 + 4 * 2));
+    }
+
+    #[test]
+    fn exact_multiple_has_full_first_piece() {
+        // len = 28 = 2 units -> pieces 14, 14; first = unit >= 2∆.
+        let (subs, v) = run(28, 2, 10);
+        assert!(v.is_empty());
+        let lens: Vec<u64> = subs.iter().map(|s| s.interval.len().raw()).collect();
+        assert_eq!(lens, vec![14, 14]);
+    }
+
+    #[test]
+    fn empty_left_period_yields_nothing() {
+        let mut v = Vec::new();
+        let subs = split_left_period(
+            BinId(3),
+            Interval::empty_at(Tick(5)),
+            Dur(1),
+            Dur(10),
+            &mut v,
+        );
+        assert!(subs.is_empty());
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn js_are_one_based_and_sequential() {
+        let (subs, _) = run(100, 2, 10);
+        for (idx, s) in subs.iter().enumerate() {
+            assert_eq!(s.j, idx + 1);
+        }
+        assert!(subs[0].is_first());
+        assert!(!subs[1].is_first());
+    }
+}

@@ -1,0 +1,134 @@
+//! Bins (rented game servers) as seen during a simulation.
+
+use crate::item::{ItemId, Size};
+use crate::time::Tick;
+use core::fmt;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a bin, assigned in *opening order* (bin 0 is the first bin
+/// ever opened). This is the ordering First Fit is defined over: FF picks
+/// the open bin with the smallest id that fits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct BinId(pub u32);
+
+impl BinId {
+    #[inline]
+    /// The id as a zero-based index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A class tag attached to a bin by the algorithm that opened it. Modified
+/// First Fit tags bins with the item class (large/small) they serve so the
+/// two FF packings never mix; the constrained extension tags bins with a
+/// region. Plain algorithms use [`BinTag::DEFAULT`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct BinTag(pub u32);
+
+impl BinTag {
+    /// The tag used by algorithms that do not distinguish bins.
+    pub const DEFAULT: BinTag = BinTag(0);
+}
+
+/// The read-only view of one open bin given to a [`BinSelector`].
+///
+/// [`BinSelector`]: crate::packer::BinSelector
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpenBinView {
+    /// Bin id (opening order).
+    pub id: BinId,
+    /// When the bin was opened.
+    pub opened_at: Tick,
+    /// Current level: total size of the items in the bin.
+    pub level: Size,
+    /// Bin capacity `W` (same for every bin).
+    pub capacity: Size,
+    /// Number of items currently in the bin.
+    pub n_items: usize,
+    /// Tag assigned by the algorithm when the bin was opened.
+    pub tag: BinTag,
+}
+
+impl OpenBinView {
+    /// Residual capacity `W − level`.
+    #[inline]
+    pub fn residual(&self) -> Size {
+        self.capacity - self.level
+    }
+
+    /// Whether an item of size `s` fits.
+    #[inline]
+    pub fn fits(&self, s: Size) -> bool {
+        self.level
+            .checked_add(s)
+            .is_some_and(|lv| lv <= self.capacity)
+    }
+}
+
+/// Internal mutable bin state owned by the engine.
+#[derive(Debug, Clone)]
+pub(crate) struct OpenBin {
+    pub id: BinId,
+    pub opened_at: Tick,
+    pub level: Size,
+    pub items: Vec<ItemId>,
+    pub tag: BinTag,
+}
+
+impl OpenBin {
+    pub(crate) fn view(&self, capacity: Size) -> OpenBinView {
+        OpenBinView {
+            id: self.id,
+            opened_at: self.opened_at,
+            level: self.level,
+            capacity,
+            n_items: self.items.len(),
+            tag: self.tag,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_fit_checks() {
+        let v = OpenBinView {
+            id: BinId(0),
+            opened_at: Tick(0),
+            level: Size(7),
+            capacity: Size(10),
+            n_items: 2,
+            tag: BinTag::DEFAULT,
+        };
+        assert_eq!(v.residual(), Size(3));
+        assert!(v.fits(Size(3)));
+        assert!(!v.fits(Size(4)));
+    }
+
+    #[test]
+    fn fits_handles_level_overflow() {
+        let v = OpenBinView {
+            id: BinId(0),
+            opened_at: Tick(0),
+            level: Size(u64::MAX - 1),
+            capacity: Size(u64::MAX),
+            n_items: 1,
+            tag: BinTag::DEFAULT,
+        };
+        assert!(v.fits(Size(1)));
+        assert!(!v.fits(Size(3)));
+    }
+}

@@ -1,0 +1,383 @@
+//! The event-driven packing engine.
+//!
+//! The engine replays an instance's event schedule, consults a
+//! [`BinSelector`] on every arrival, maintains open-bin state, and records a
+//! [`PackingTrace`]. All accounting is exact integer arithmetic.
+
+use crate::bin::{BinId, OpenBin, OpenBinView};
+use crate::events::{schedule, EventKind};
+use crate::instance::Instance;
+use crate::item::{ArrivingItem, ItemId};
+use crate::packer::{BinSelector, Decision};
+use crate::time::Tick;
+use crate::trace::{BinRecord, PackingTrace};
+
+/// Simulate packing `instance` with `selector`, producing the full trace.
+///
+/// # Panics
+/// Panics if the selector returns an invalid decision (unknown bin, or a bin
+/// the item does not fit) — that is a bug in the algorithm under test, and
+/// continuing would corrupt every measurement derived from the trace.
+pub fn simulate<S: BinSelector + ?Sized>(instance: &Instance, selector: &mut S) -> PackingTrace {
+    let capacity = instance.capacity();
+    let events = schedule(instance);
+
+    // Open bins, kept sorted by id (ids are assigned in increasing order and
+    // bins are only ever appended, so pushing preserves sortedness).
+    let mut open: Vec<OpenBin> = Vec::new();
+    // Full per-bin records; index == bin id.
+    let mut records: Vec<BinRecord> = Vec::new();
+    let mut assignment: Vec<Option<BinId>> = vec![None; instance.len()];
+    let mut steps: Vec<(Tick, u32)> = Vec::new();
+    let mut views: Vec<OpenBinView> = Vec::new();
+
+    let mut i = 0;
+    while i < events.len() {
+        let tick = events[i].at;
+        // Process every event at this tick (departures first — the schedule
+        // is ordered that way).
+        while i < events.len() && events[i].at == tick {
+            let ev = events[i];
+            i += 1;
+            match ev.kind {
+                EventKind::Departure => {
+                    let item = instance.item(ev.item);
+                    let bin_id = assignment[ev.item.index()]
+                        .expect("departure for an item that was never packed");
+                    let pos = open
+                        .binary_search_by_key(&bin_id, |b| b.id)
+                        .expect("departure from a closed bin");
+                    let bin = &mut open[pos];
+                    bin.level -= item.size;
+                    let ipos = bin
+                        .items
+                        .iter()
+                        .position(|&id| id == ev.item)
+                        .expect("item not present in its bin");
+                    bin.items.swap_remove(ipos);
+                    if bin.items.is_empty() {
+                        debug_assert_eq!(bin.level.raw(), 0, "empty bin with nonzero level");
+                        records[bin_id.index()].closed_at = tick;
+                        open.remove(pos);
+                        selector.on_bin_closed(bin_id);
+                    }
+                }
+                EventKind::Arrival => {
+                    let item = instance.item(ev.item);
+                    let arriving = ArrivingItem::of(item);
+                    views.clear();
+                    views.extend(open.iter().map(|b| b.view(capacity)));
+                    let decision = selector.select(&views, &arriving, capacity);
+                    let bin_id = match decision {
+                        Decision::Use(id) => {
+                            let pos =
+                                open.binary_search_by_key(&id, |b| b.id)
+                                    .unwrap_or_else(|_| {
+                                        panic!("{}: selected bin {id} is not open", selector.name())
+                                    });
+                            let bin = &mut open[pos];
+                            assert!(
+                                bin.level
+                                    .checked_add(item.size)
+                                    .is_some_and(|l| l <= capacity),
+                                "{}: item {} (size {}) does not fit bin {} (level {})",
+                                selector.name(),
+                                item.id,
+                                item.size,
+                                id,
+                                bin.level
+                            );
+                            bin.level += item.size;
+                            bin.items.push(ev.item);
+                            records[id.index()].items.push(ev.item);
+                            id
+                        }
+                        Decision::Open { tag } => {
+                            let id = BinId(records.len() as u32);
+                            open.push(OpenBin {
+                                id,
+                                opened_at: tick,
+                                level: item.size,
+                                items: vec![ev.item],
+                                tag,
+                            });
+                            records.push(BinRecord {
+                                id,
+                                tag,
+                                opened_at: tick,
+                                // Placeholder; overwritten when the bin closes.
+                                closed_at: tick,
+                                items: vec![ev.item],
+                            });
+                            id
+                        }
+                    };
+                    assignment[ev.item.index()] = Some(bin_id);
+                }
+            }
+        }
+        // Record the open-bin count after this tick's batch, if it changed.
+        let n = open.len() as u32;
+        match steps.last() {
+            Some(&(_, last_n)) if last_n == n => {}
+            _ => steps.push((tick, n)),
+        }
+    }
+
+    assert!(
+        open.is_empty(),
+        "engine invariant: all bins must close by the last departure"
+    );
+
+    PackingTrace {
+        algorithm: selector.name().to_string(),
+        capacity,
+        bins: records,
+        assignment: assignment
+            .into_iter()
+            .map(|b| b.expect("unpacked item at end of simulation"))
+            .collect(),
+        open_bins_steps: steps,
+    }
+}
+
+/// Convenience: simulate and panic (with the violation list) if the trace
+/// fails self-validation. Intended for tests and experiments, where a
+/// corrupt trace must never be silently measured.
+pub fn simulate_validated<S: BinSelector + ?Sized>(
+    instance: &Instance,
+    selector: &mut S,
+) -> PackingTrace {
+    let trace = simulate(instance, selector);
+    let errs = trace.validate(instance);
+    assert!(
+        errs.is_empty(),
+        "trace validation failed for {}:\n{}",
+        trace.algorithm,
+        errs.join("\n")
+    );
+    trace
+}
+
+/// Check the Any Fit property on a trace: no bin was opened while an already
+/// open bin could have accommodated the item. Returns offending item ids.
+///
+/// This replays the trace against the instance, so it is independent of the
+/// selector implementation — used by property tests to certify that FF, BF,
+/// WF etc. really are Any Fit algorithms.
+pub fn any_fit_violations(instance: &Instance, trace: &PackingTrace) -> Vec<ItemId> {
+    let capacity = instance.capacity();
+    let events = schedule(instance);
+    // level[b] for currently open bins; None = closed or unopened.
+    let mut level: Vec<Option<u64>> = vec![None; trace.bins.len()];
+    let mut members: Vec<u32> = vec![0; trace.bins.len()];
+    let mut violations = Vec::new();
+    for ev in events {
+        let item = instance.item(ev.item);
+        let bin = trace.bin_of(ev.item);
+        match ev.kind {
+            EventKind::Departure => {
+                let l = level[bin.index()].as_mut().expect("closed bin in replay");
+                *l -= item.size.raw();
+                members[bin.index()] -= 1;
+                if members[bin.index()] == 0 {
+                    level[bin.index()] = None;
+                }
+            }
+            EventKind::Arrival => {
+                let opened_new = level[bin.index()].is_none() && members[bin.index()] == 0
+                    // A bin is "newly opened" by this item iff the item is
+                    // the first in the bin's record.
+                    && trace.bins[bin.index()].items.first() == Some(&ev.item);
+                if opened_new {
+                    let fits_somewhere = level
+                        .iter()
+                        .any(|l| l.is_some_and(|l| l + item.size.raw() <= capacity.raw()));
+                    if fits_somewhere {
+                        violations.push(ev.item);
+                    }
+                    level[bin.index()] = Some(item.size.raw());
+                    members[bin.index()] = 1;
+                } else {
+                    let l = level[bin.index()]
+                        .as_mut()
+                        .expect("arrival into closed bin in replay");
+                    *l += item.size.raw();
+                    members[bin.index()] += 1;
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bin::BinTag;
+    use crate::instance::InstanceBuilder;
+    use crate::item::Size;
+    use crate::packer::Decision;
+
+    /// Packs every item into a brand-new bin (the b.3 upper bound).
+    struct AlwaysOpen;
+    impl BinSelector for AlwaysOpen {
+        fn name(&self) -> &'static str {
+            "ALWAYS-OPEN"
+        }
+        fn select(
+            &mut self,
+            _bins: &[OpenBinView],
+            _item: &ArrivingItem,
+            _capacity: Size,
+        ) -> Decision {
+            Decision::OPEN
+        }
+    }
+
+    /// First Fit written directly against the trait, for engine tests that
+    /// must not depend on the algorithms module.
+    struct NaiveFirstFit;
+    impl BinSelector for NaiveFirstFit {
+        fn name(&self) -> &'static str {
+            "NAIVE-FF"
+        }
+        fn select(
+            &mut self,
+            bins: &[OpenBinView],
+            item: &ArrivingItem,
+            _capacity: Size,
+        ) -> Decision {
+            bins.iter()
+                .find(|b| b.fits(item.size))
+                .map(|b| Decision::Use(b.id))
+                .unwrap_or(Decision::OPEN)
+        }
+        fn is_any_fit(&self) -> bool {
+            true
+        }
+    }
+
+    fn demo_instance() -> crate::instance::Instance {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 6); // r0
+        b.add(0, 4, 6); // r1: does not fit with r0 -> second bin
+        b.add(2, 8, 4); // r2: fits bin 0 beside r0
+        b.add(5, 9, 6); // r3: arrives after r1 left -> bin 1 closed at 4, so new bin under FF? bin1 closed, bin0 has 6+4=10
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn always_open_gives_b3_cost() {
+        let inst = demo_instance();
+        let trace = simulate_validated(&inst, &mut AlwaysOpen);
+        assert_eq!(trace.bins_used(), 4);
+        let sum_len: u128 = inst
+            .items()
+            .iter()
+            .map(|r| r.interval_len().0 as u128)
+            .sum();
+        assert_eq!(trace.total_cost_ticks(), sum_len);
+    }
+
+    #[test]
+    fn first_fit_packs_and_closes_bins() {
+        let inst = demo_instance();
+        let trace = simulate_validated(&inst, &mut NaiveFirstFit);
+        // r0 -> b0; r1 (6) does not fit (6+6>10) -> b1; r2 (4) fits b0;
+        // r1 departs at 4 closing b1; r3 (6) at t=5: b0 level 10 -> b2.
+        assert_eq!(trace.bins_used(), 3);
+        assert_eq!(trace.bin_of(ItemId(0)), BinId(0));
+        assert_eq!(trace.bin_of(ItemId(1)), BinId(1));
+        assert_eq!(trace.bin_of(ItemId(2)), BinId(0));
+        assert_eq!(trace.bin_of(ItemId(3)), BinId(2));
+        // b0: [0,10), b1: [0,4), b2: [5,9) -> 10 + 4 + 4 = 18.
+        assert_eq!(trace.total_cost_ticks(), 18);
+        assert_eq!(trace.max_open_bins(), 2);
+        assert!(any_fit_violations(&inst, &trace).is_empty());
+    }
+
+    #[test]
+    fn always_open_violates_any_fit() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 5, 2);
+        b.add(1, 5, 2); // would fit in the first bin
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut AlwaysOpen);
+        assert_eq!(any_fit_violations(&inst, &trace), vec![ItemId(1)]);
+    }
+
+    #[test]
+    fn departure_before_arrival_at_same_tick_reuses_bin_space() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 5, 10); // fills bin 0, departs at 5
+        b.add(5, 8, 10); // arrives at 5: must fit bin 0? No - bin closed at 5.
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut NaiveFirstFit);
+        // Bin 0 closes at tick 5 (all items gone), so the second item opens
+        // a new bin; the point is the engine does not crash on the same-tick
+        // departure/arrival and the step function stays at 1.
+        assert_eq!(trace.bins_used(), 2);
+        assert_eq!(trace.max_open_bins(), 1);
+        assert_eq!(trace.total_cost_ticks(), 8);
+    }
+
+    #[test]
+    fn same_tick_departure_frees_capacity_in_surviving_bin() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 5, 6); // departs at 5
+        b.add(0, 9, 4); // keeps bin 0 alive
+        b.add(5, 9, 6); // arrives at 5; fits bin 0 only if the departure ran first
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut NaiveFirstFit);
+        assert_eq!(trace.bins_used(), 1);
+        assert_eq!(trace.total_cost_ticks(), 9);
+    }
+
+    #[test]
+    fn empty_instance_yields_empty_trace() {
+        let inst = crate::instance::Instance::new(crate::item::Size(5), vec![]).unwrap();
+        let trace = simulate_validated(&inst, &mut NaiveFirstFit);
+        assert_eq!(trace.bins_used(), 0);
+        assert_eq!(trace.total_cost_ticks(), 0);
+        assert!(trace.open_bins_steps.is_empty());
+    }
+
+    #[test]
+    fn step_function_integral_matches_usage_sum() {
+        let inst = demo_instance();
+        for sel in [&mut NaiveFirstFit as &mut dyn BinSelector, &mut AlwaysOpen] {
+            let trace = simulate(&inst, sel);
+            assert_eq!(trace.total_cost_ticks(), trace.cost_from_step_function());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn engine_panics_on_selector_overflow_bug() {
+        struct Buggy;
+        impl BinSelector for Buggy {
+            fn name(&self) -> &'static str {
+                "BUGGY"
+            }
+            fn select(
+                &mut self,
+                bins: &[OpenBinView],
+                _item: &ArrivingItem,
+                _capacity: Size,
+            ) -> Decision {
+                match bins.first() {
+                    Some(b) => Decision::Use(b.id),
+                    None => Decision::Open {
+                        tag: BinTag::DEFAULT,
+                    },
+                }
+            }
+        }
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 5, 8);
+        b.add(0, 5, 8);
+        let inst = b.build().unwrap();
+        let _ = simulate(&inst, &mut Buggy);
+    }
+}

@@ -1,0 +1,117 @@
+//! The event schedule driving a simulation.
+//!
+//! Ordering rules (load-bearing for the paper's constructions):
+//!
+//! 1. Events are processed in tick order.
+//! 2. At equal ticks, **departures precede arrivals** — a bin freed at `t`
+//!    can accept an item arriving at `t`, matching the instantaneous
+//!    semantics of the proofs.
+//! 3. Simultaneous arrivals are presented in instance order; simultaneous
+//!    departures likewise. Theorem 2's construction interleaves same-tick
+//!    group arrivals this way.
+
+use crate::instance::Instance;
+use crate::item::ItemId;
+use crate::time::Tick;
+
+/// What happens to an item at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// The item leaves the system (processed first at equal ticks).
+    Departure,
+    /// The item enters the system and must be packed.
+    Arrival,
+}
+
+/// A single scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// When the event happens.
+    pub at: Tick,
+    /// Arrival or departure.
+    pub kind: EventKind,
+    /// The affected item.
+    pub item: ItemId,
+}
+
+/// Build the full, sorted event schedule for an instance.
+pub fn schedule(instance: &Instance) -> Vec<Event> {
+    let mut events = Vec::with_capacity(instance.len() * 2);
+    for it in instance.items() {
+        events.push(Event {
+            at: it.arrival,
+            kind: EventKind::Arrival,
+            item: it.id,
+        });
+        events.push(Event {
+            at: it.departure,
+            kind: EventKind::Departure,
+            item: it.id,
+        });
+    }
+    // Stable sort on (tick, kind) preserves instance order among equal keys;
+    // EventKind::Departure < EventKind::Arrival by derive order.
+    events.sort_by_key(|e| (e.at, e.kind));
+    events
+}
+
+/// All distinct event ticks of an instance, ascending. The active item set is
+/// constant on each half-open segment between consecutive event ticks — the
+/// basis for exact piecewise-constant cost integration.
+pub fn event_ticks(instance: &Instance) -> Vec<Tick> {
+    let mut ticks: Vec<Tick> = instance
+        .items()
+        .iter()
+        .flat_map(|r| [r.arrival, r.departure])
+        .collect();
+    ticks.sort_unstable();
+    ticks.dedup();
+    ticks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn departures_precede_arrivals_at_equal_ticks() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 5, 1); // departs at 5
+        b.add(5, 9, 1); // arrives at 5
+        let inst = b.build().unwrap();
+        let evs = schedule(&inst);
+        assert_eq!(evs.len(), 4);
+        assert_eq!(evs[1].kind, EventKind::Departure);
+        assert_eq!(evs[1].item, ItemId(0));
+        assert_eq!(evs[2].kind, EventKind::Arrival);
+        assert_eq!(evs[2].item, ItemId(1));
+    }
+
+    #[test]
+    fn simultaneous_arrivals_keep_instance_order() {
+        let mut b = InstanceBuilder::new(10);
+        for _ in 0..5 {
+            b.add(3, 7, 2);
+        }
+        let inst = b.build().unwrap();
+        let evs = schedule(&inst);
+        let arrivals: Vec<ItemId> = evs
+            .iter()
+            .filter(|e| e.kind == EventKind::Arrival)
+            .map(|e| e.item)
+            .collect();
+        assert_eq!(arrivals, (0..5).map(ItemId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn event_ticks_deduplicated_and_sorted() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(4, 9, 1);
+        b.add(0, 4, 1);
+        b.add(0, 9, 1);
+        let inst = b.build().unwrap();
+        let ticks = event_ticks(&inst);
+        assert_eq!(ticks, vec![Tick(0), Tick(4), Tick(9)]);
+    }
+}

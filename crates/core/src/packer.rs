@@ -1,0 +1,111 @@
+//! The online packing algorithm interface.
+//!
+//! The engine owns the bins and the accounting; an algorithm is a
+//! [`BinSelector`] — a strategy that, given the current open bins and an
+//! arriving item, either picks an open bin or asks for a new one. The
+//! selector never sees departure times ([`ArrivingItem`] has none), which
+//! enforces the online model of the paper by construction.
+
+use crate::bin::{BinId, BinTag, OpenBinView};
+use crate::item::{ArrivingItem, Size};
+
+/// The decision a selector makes for an arriving item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Pack the item into this open bin. The engine validates fit and
+    /// panics on a selector bug (a bin that does not fit), since a wrong
+    /// placement would silently corrupt every downstream measurement.
+    Use(BinId),
+    /// Open a new bin carrying `tag` and pack the item there.
+    Open {
+        /// Tag the new bin will carry for its whole lifetime.
+        tag: BinTag,
+    },
+}
+
+impl Decision {
+    /// Open a new, untagged bin.
+    pub const OPEN: Decision = Decision::Open {
+        tag: BinTag::DEFAULT,
+    };
+}
+
+/// An online packing strategy.
+///
+/// Implementations must be deterministic given their construction (randomized
+/// strategies own a seeded RNG), so that every experiment is reproducible.
+pub trait BinSelector {
+    /// Short stable name used in reports ("FF", "BF", ...).
+    fn name(&self) -> &'static str;
+
+    /// Choose where the arriving `item` goes. `bins` holds *all* currently
+    /// open bins in opening order (ascending id); the selector is
+    /// responsible for checking fit via [`OpenBinView::fits`]. `capacity` is
+    /// the public bin capacity `W` (needed e.g. by MFF's size
+    /// classification even when no bin is open yet).
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision;
+
+    /// Notification that a bin emptied and was closed by the engine.
+    fn on_bin_closed(&mut self, _bin: BinId) {}
+
+    /// Whether the strategy belongs to the Any Fit family: it never opens a
+    /// new bin while some open bin can accommodate the item. This is a
+    /// *claim* checked by property tests, not an enforcement.
+    fn is_any_fit(&self) -> bool {
+        false
+    }
+}
+
+/// Blanket impl so `&mut S` can be passed where a selector is expected.
+impl<S: BinSelector + ?Sized> BinSelector for &mut S {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+        (**self).select(bins, item, capacity)
+    }
+    fn on_bin_closed(&mut self, bin: BinId) {
+        (**self).on_bin_closed(bin)
+    }
+    fn is_any_fit(&self) -> bool {
+        (**self).is_any_fit()
+    }
+}
+
+/// A boxed factory for selectors, letting experiment harnesses iterate over
+/// algorithm families generically.
+pub struct SelectorFactory {
+    name: &'static str,
+    make: Box<dyn Fn() -> Box<dyn BinSelector> + Send + Sync>,
+}
+
+impl SelectorFactory {
+    /// Wrap a constructor closure under a roster name.
+    pub fn new(
+        name: &'static str,
+        make: impl Fn() -> Box<dyn BinSelector> + Send + Sync + 'static,
+    ) -> SelectorFactory {
+        SelectorFactory {
+            name,
+            make: Box::new(make),
+        }
+    }
+
+    /// The roster name of this factory.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Construct a fresh selector.
+    pub fn build(&self) -> Box<dyn BinSelector> {
+        (self.make)()
+    }
+}
+
+impl core::fmt::Debug for SelectorFactory {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SelectorFactory")
+            .field("name", &self.name)
+            .finish()
+    }
+}

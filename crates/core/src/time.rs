@@ -1,0 +1,382 @@
+//! Exact discrete time for the MinTotal DBP model.
+//!
+//! The paper works with continuous time, but every construction and bound in
+//! it is rational. We therefore use integer *ticks* (nominally 1 tick = 1 ms)
+//! so that all costs — which are integrals of piecewise-constant step
+//! functions — are exact `u128` bin-tick counts and measured competitive
+//! ratios can be compared against closed forms with `==`.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use serde::{Deserialize, Serialize};
+
+/// An absolute point in time, in ticks since the start of the trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Tick(pub u64);
+
+/// A non-negative span of time, in ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Dur(pub u64);
+
+impl Tick {
+    /// The origin of the timeline.
+    pub const ZERO: Tick = Tick(0);
+    /// The largest representable time point.
+    pub const MAX: Tick = Tick(u64::MAX);
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Duration from `earlier` to `self`.
+    ///
+    /// # Panics
+    /// Panics if `earlier > self`.
+    #[inline]
+    pub fn since(self, earlier: Tick) -> Dur {
+        assert!(
+            earlier <= self,
+            "Tick::since: earlier ({earlier}) is after self ({self})"
+        );
+        Dur(self.0 - earlier.0)
+    }
+
+    /// Saturating subtraction of a duration.
+    #[inline]
+    pub fn saturating_sub(self, d: Dur) -> Tick {
+        Tick(self.0.saturating_sub(d.0))
+    }
+
+    /// Checked subtraction of a duration.
+    #[inline]
+    pub fn checked_sub(self, d: Dur) -> Option<Tick> {
+        self.0.checked_sub(d.0).map(Tick)
+    }
+
+    #[inline]
+    /// The earlier of two ticks.
+    pub fn min(self, other: Tick) -> Tick {
+        Tick(self.0.min(other.0))
+    }
+
+    #[inline]
+    /// The later of two ticks.
+    pub fn max(self, other: Tick) -> Tick {
+        Tick(self.0.max(other.0))
+    }
+}
+
+impl Dur {
+    /// The zero duration.
+    pub const ZERO: Dur = Dur(0);
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    /// Whether the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by an integer factor.
+    #[inline]
+    pub fn scaled(self, factor: u64) -> Dur {
+        Dur(self.0.checked_mul(factor).expect("Dur::scaled overflow"))
+    }
+
+    #[inline]
+    /// The smaller of two durations.
+    pub fn min(self, other: Dur) -> Dur {
+        Dur(self.0.min(other.0))
+    }
+
+    #[inline]
+    /// The larger of two durations.
+    pub fn max(self, other: Dur) -> Dur {
+        Dur(self.0.max(other.0))
+    }
+}
+
+impl Add<Dur> for Tick {
+    type Output = Tick;
+    #[inline]
+    fn add(self, rhs: Dur) -> Tick {
+        Tick(self.0.checked_add(rhs.0).expect("Tick + Dur overflow"))
+    }
+}
+
+impl AddAssign<Dur> for Tick {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Dur> for Tick {
+    type Output = Tick;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Tick {
+        Tick(self.0.checked_sub(rhs.0).expect("Tick - Dur underflow"))
+    }
+}
+
+impl Sub<Tick> for Tick {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Tick) -> Dur {
+        self.since(rhs)
+    }
+}
+
+impl Add<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn add(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_add(rhs.0).expect("Dur + Dur overflow"))
+    }
+}
+
+impl AddAssign<Dur> for Dur {
+    #[inline]
+    fn add_assign(&mut self, rhs: Dur) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Dur> for Dur {
+    type Output = Dur;
+    #[inline]
+    fn sub(self, rhs: Dur) -> Dur {
+        Dur(self.0.checked_sub(rhs.0).expect("Dur - Dur underflow"))
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for Dur {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}t", self.0)
+    }
+}
+
+/// A half-open time interval `[start, end)`.
+///
+/// Used throughout the §4.3 proof machinery, where all sub-period and
+/// reference-period reasoning is about interval overlap; half-open intervals
+/// make the "departures before arrivals at equal ticks" engine convention
+/// line up with the paper's instantaneous semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Inclusive start.
+    pub start: Tick,
+    /// Exclusive end.
+    pub end: Tick,
+}
+
+impl Interval {
+    /// Create `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    #[inline]
+    pub fn new(start: Tick, end: Tick) -> Interval {
+        assert!(
+            start <= end,
+            "Interval::new: end {end} before start {start}"
+        );
+        Interval { start, end }
+    }
+
+    /// An empty interval at `at`.
+    #[inline]
+    pub fn empty_at(at: Tick) -> Interval {
+        Interval { start: at, end: at }
+    }
+
+    #[inline]
+    /// Length `end - start`.
+    pub fn len(&self) -> Dur {
+        self.end - self.start
+    }
+
+    #[inline]
+    /// Whether the interval has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `t` lies in `[start, end)`.
+    #[inline]
+    pub fn contains(&self, t: Tick) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether the two half-open intervals overlap (share positive measure).
+    #[inline]
+    pub fn overlaps(&self, other: &Interval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Intersection of two intervals, or `None` if disjoint (an empty
+    /// touching point is reported as `None`).
+    #[inline]
+    pub fn intersection(&self, other: &Interval) -> Option<Interval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(Interval { start, end })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start.0, self.end.0)
+    }
+}
+
+/// Total length of the union of a set of intervals (the `span` primitive of
+/// the paper, Figure 1). The input need not be sorted or disjoint.
+pub fn union_length(intervals: &[Interval]) -> Dur {
+    let mut sorted: Vec<Interval> = intervals
+        .iter()
+        .copied()
+        .filter(|i| !i.is_empty())
+        .collect();
+    sorted.sort_by_key(|i| (i.start, i.end));
+    let mut total = Dur::ZERO;
+    let mut cur: Option<Interval> = None;
+    for iv in sorted {
+        match cur {
+            None => cur = Some(iv),
+            Some(ref mut c) => {
+                if iv.start <= c.end {
+                    c.end = c.end.max(iv.end);
+                } else {
+                    total += c.len();
+                    cur = Some(iv);
+                }
+            }
+        }
+    }
+    if let Some(c) = cur {
+        total += c.len();
+    }
+    total
+}
+
+/// Merge a set of intervals into a sorted list of maximal disjoint intervals.
+pub fn union_intervals(intervals: &[Interval]) -> Vec<Interval> {
+    let mut sorted: Vec<Interval> = intervals
+        .iter()
+        .copied()
+        .filter(|i| !i.is_empty())
+        .collect();
+    sorted.sort_by_key(|i| (i.start, i.end));
+    let mut out: Vec<Interval> = Vec::new();
+    for iv in sorted {
+        match out.last_mut() {
+            Some(last) if iv.start <= last.end => last.end = last.end.max(iv.end),
+            _ => out.push(iv),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_arithmetic_roundtrips() {
+        let t = Tick(10) + Dur(5);
+        assert_eq!(t, Tick(15));
+        assert_eq!(t - Tick(10), Dur(5));
+        assert_eq!(t - Dur(15), Tick::ZERO);
+        assert_eq!(Tick(3).saturating_sub(Dur(10)), Tick::ZERO);
+        assert_eq!(Tick(3).checked_sub(Dur(10)), None);
+        assert_eq!(Tick(30).checked_sub(Dur(10)), Some(Tick(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn since_panics_on_negative() {
+        let _ = Tick(1).since(Tick(2));
+    }
+
+    #[test]
+    fn interval_contains_is_half_open() {
+        let iv = Interval::new(Tick(2), Tick(5));
+        assert!(!iv.contains(Tick(1)));
+        assert!(iv.contains(Tick(2)));
+        assert!(iv.contains(Tick(4)));
+        assert!(!iv.contains(Tick(5)));
+        assert_eq!(iv.len(), Dur(3));
+    }
+
+    #[test]
+    fn interval_overlap_excludes_touching() {
+        let a = Interval::new(Tick(0), Tick(5));
+        let b = Interval::new(Tick(5), Tick(9));
+        let c = Interval::new(Tick(4), Tick(6));
+        assert!(!a.overlaps(&b));
+        assert!(a.overlaps(&c));
+        assert!(c.overlaps(&b));
+        assert_eq!(a.intersection(&b), None);
+        assert_eq!(a.intersection(&c), Some(Interval::new(Tick(4), Tick(5))));
+    }
+
+    #[test]
+    fn union_length_merges_overlaps_and_gaps() {
+        // Figure 1 shape: overlapping prefix, then a gap, then a tail.
+        let ivs = [
+            Interval::new(Tick(0), Tick(4)),
+            Interval::new(Tick(2), Tick(6)),
+            Interval::new(Tick(9), Tick(12)),
+        ];
+        assert_eq!(union_length(&ivs), Dur(9));
+        let merged = union_intervals(&ivs);
+        assert_eq!(
+            merged,
+            vec![
+                Interval::new(Tick(0), Tick(6)),
+                Interval::new(Tick(9), Tick(12))
+            ]
+        );
+    }
+
+    #[test]
+    fn union_length_ignores_empty_intervals() {
+        let ivs = [Interval::empty_at(Tick(3)), Interval::new(Tick(1), Tick(2))];
+        assert_eq!(union_length(&ivs), Dur(1));
+    }
+
+    #[test]
+    fn union_of_nested_intervals() {
+        let ivs = [
+            Interval::new(Tick(0), Tick(10)),
+            Interval::new(Tick(2), Tick(3)),
+            Interval::new(Tick(4), Tick(9)),
+        ];
+        assert_eq!(union_length(&ivs), Dur(10));
+        assert_eq!(union_intervals(&ivs).len(), 1);
+    }
+}

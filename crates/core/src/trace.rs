@@ -1,0 +1,342 @@
+//! The complete record of one packing run.
+//!
+//! A [`PackingTrace`] holds everything needed to (a) compute the MinTotal
+//! objective exactly, (b) drive the §4.3 proof machinery, and (c)
+//! cross-check the engine: the per-bin usage periods and the open-bin step
+//! function are recorded independently and must integrate to the same cost.
+
+use crate::bin::{BinId, BinTag};
+use crate::instance::Instance;
+use crate::item::{ItemId, Size};
+use crate::ratio::Ratio;
+use crate::time::{Dur, Interval, Tick};
+use serde::{Deserialize, Serialize};
+
+/// Lifetime record of one bin.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinRecord {
+    /// Bin id (opening order).
+    pub id: BinId,
+    /// Tag assigned by the opening algorithm.
+    pub tag: BinTag,
+    /// When the bin was opened (first item packed).
+    pub opened_at: Tick,
+    /// When the bin closed (last item departed).
+    pub closed_at: Tick,
+    /// Items ever assigned to this bin, in assignment order.
+    pub items: Vec<ItemId>,
+}
+
+impl BinRecord {
+    /// The usage period `I_i = [opened_at, closed_at)`.
+    #[inline]
+    pub fn usage_period(&self) -> Interval {
+        Interval::new(self.opened_at, self.closed_at)
+    }
+
+    /// `len(I_i)`.
+    #[inline]
+    pub fn usage_len(&self) -> Dur {
+        self.closed_at - self.opened_at
+    }
+}
+
+/// The result of simulating one algorithm on one instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackingTrace {
+    /// Algorithm name as reported by the selector.
+    pub algorithm: String,
+    /// Bin capacity `W`.
+    pub capacity: Size,
+    /// Bins in opening order (`bins[i].id == BinId(i)`).
+    pub bins: Vec<BinRecord>,
+    /// `assignment[item.index()]` is the bin the item was packed into.
+    pub assignment: Vec<BinId>,
+    /// Step function of the number of open bins: `(t, n)` means the count
+    /// became `n` at tick `t` and stays until the next entry. Starts at the
+    /// first event tick; ends with a final `(t, 0)`.
+    pub open_bins_steps: Vec<(Tick, u32)>,
+}
+
+impl PackingTrace {
+    /// Number of bins ever used (the classical DBP objective counts the
+    /// maximum simultaneously open; this is the total distinct count).
+    #[inline]
+    pub fn bins_used(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `A_total(R)` in bin-ticks: `Σ_i len(I_i)` — exact, no integration
+    /// error. Multiply by a cost rate to get money.
+    pub fn total_cost_ticks(&self) -> u128 {
+        self.bins.iter().map(|b| b.usage_len().0 as u128).sum()
+    }
+
+    /// Independent computation of the cost from the open-bin step function:
+    /// `∫ n(t) dt`. Must equal [`Self::total_cost_ticks`]; used as an engine
+    /// self-check in tests.
+    pub fn cost_from_step_function(&self) -> u128 {
+        let mut total: u128 = 0;
+        for w in self.open_bins_steps.windows(2) {
+            let (t0, n) = w[0];
+            let (t1, _) = w[1];
+            total += (t1 - t0).0 as u128 * n as u128;
+        }
+        total
+    }
+
+    /// Maximum number of simultaneously open bins (the classical DBP
+    /// objective, reported for comparison).
+    pub fn max_open_bins(&self) -> u32 {
+        self.open_bins_steps
+            .iter()
+            .map(|&(_, n)| n)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of open bins at time `t` (`A(R, t)` in the paper).
+    pub fn open_bins_at(&self, t: Tick) -> u32 {
+        match self.open_bins_steps.binary_search_by_key(&t, |&(tt, _)| tt) {
+            Ok(i) => self.open_bins_steps[i].1,
+            Err(0) => 0,
+            Err(i) => self.open_bins_steps[i - 1].1,
+        }
+    }
+
+    /// The bin an item was assigned to.
+    #[inline]
+    pub fn bin_of(&self, item: ItemId) -> BinId {
+        self.assignment[item.index()]
+    }
+
+    /// Bins carrying a given tag.
+    pub fn bins_with_tag(&self, tag: BinTag) -> impl Iterator<Item = &BinRecord> {
+        self.bins.iter().filter(move |b| b.tag == tag)
+    }
+
+    /// Cost restricted to bins with a given tag, in bin-ticks.
+    pub fn cost_ticks_for_tag(&self, tag: BinTag) -> u128 {
+        self.bins_with_tag(tag)
+            .map(|b| b.usage_len().0 as u128)
+            .sum()
+    }
+
+    /// Exact ratio of this trace's cost to a baseline cost in bin-ticks.
+    ///
+    /// # Panics
+    /// Panics if `baseline_ticks` is zero.
+    pub fn cost_ratio_to(&self, baseline_ticks: u128) -> Ratio {
+        Ratio::new(self.total_cost_ticks(), baseline_ticks)
+    }
+
+    /// Validate internal consistency against the instance that produced the
+    /// trace. Returns a list of human-readable violations (empty = valid).
+    /// Checked invariants:
+    ///
+    /// 1. Every item is assigned to a bin that lists it.
+    /// 2. Bin levels never exceed capacity at any event tick.
+    /// 3. Bin usage periods exactly cover their items' activity
+    ///    (`I_i = ∪_{r ∈ R_i} I(r)`).
+    /// 4. The two independent cost computations agree.
+    pub fn validate(&self, instance: &Instance) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.assignment.len() != instance.len() {
+            errs.push(format!(
+                "assignment covers {} items, instance has {}",
+                self.assignment.len(),
+                instance.len()
+            ));
+            return errs;
+        }
+        for (i, bin) in self.bins.iter().enumerate() {
+            if bin.id.index() != i {
+                errs.push(format!("bin at index {i} has id {}", bin.id));
+            }
+        }
+        for it in instance.items() {
+            let b = self.assignment[it.id.index()];
+            match self.bins.get(b.index()) {
+                None => errs.push(format!("item {} assigned to unknown bin {b}", it.id)),
+                Some(rec) => {
+                    if !rec.items.contains(&it.id) {
+                        errs.push(format!("bin {b} does not list its item {}", it.id));
+                    }
+                }
+            }
+        }
+        // Level check at every event tick, per bin.
+        for bin in &self.bins {
+            let iv = bin.usage_period();
+            // Usage period must be the union of member intervals.
+            let member_ivs: Vec<Interval> = bin
+                .items
+                .iter()
+                .map(|&id| instance.item(id).interval())
+                .collect();
+            let union = crate::time::union_intervals(&member_ivs);
+            if union.len() != 1 || union[0] != iv {
+                errs.push(format!(
+                    "bin {} usage {iv} does not equal the union of its items' intervals",
+                    bin.id
+                ));
+            }
+            let mut ticks: Vec<Tick> = member_ivs.iter().map(|i| i.start).collect();
+            ticks.sort_unstable();
+            ticks.dedup();
+            for t in ticks {
+                let level: u64 = bin
+                    .items
+                    .iter()
+                    .map(|&id| instance.item(id))
+                    .filter(|r| r.is_active_at(t))
+                    .map(|r| r.size.0)
+                    .sum();
+                if level > self.capacity.0 {
+                    errs.push(format!(
+                        "bin {} over capacity at {t}: level {level} > {}",
+                        bin.id, self.capacity
+                    ));
+                }
+            }
+        }
+        let a = self.total_cost_ticks();
+        let b = self.cost_from_step_function();
+        if a != b {
+            errs.push(format!(
+                "cost mismatch: usage periods give {a}, step function gives {b}"
+            ));
+        }
+        errs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_trace() -> PackingTrace {
+        PackingTrace {
+            algorithm: "TEST".into(),
+            capacity: Size(10),
+            bins: vec![
+                BinRecord {
+                    id: BinId(0),
+                    tag: BinTag::DEFAULT,
+                    opened_at: Tick(0),
+                    closed_at: Tick(10),
+                    items: vec![ItemId(0)],
+                },
+                BinRecord {
+                    id: BinId(1),
+                    tag: BinTag(1),
+                    opened_at: Tick(2),
+                    closed_at: Tick(6),
+                    items: vec![ItemId(1)],
+                },
+            ],
+            assignment: vec![BinId(0), BinId(1)],
+            open_bins_steps: vec![(Tick(0), 1), (Tick(2), 2), (Tick(6), 1), (Tick(10), 0)],
+        }
+    }
+
+    #[test]
+    fn both_cost_computations_agree() {
+        let t = tiny_trace();
+        assert_eq!(t.total_cost_ticks(), 14);
+        assert_eq!(t.cost_from_step_function(), 14);
+        assert_eq!(t.max_open_bins(), 2);
+    }
+
+    #[test]
+    fn open_bins_at_queries_step_function() {
+        let t = tiny_trace();
+        assert_eq!(t.open_bins_at(Tick(0)), 1);
+        assert_eq!(t.open_bins_at(Tick(1)), 1);
+        assert_eq!(t.open_bins_at(Tick(2)), 2);
+        assert_eq!(t.open_bins_at(Tick(5)), 2);
+        assert_eq!(t.open_bins_at(Tick(6)), 1);
+        assert_eq!(t.open_bins_at(Tick(10)), 0);
+        assert_eq!(t.open_bins_at(Tick(999)), 0);
+    }
+
+    #[test]
+    fn tag_filtered_cost() {
+        let t = tiny_trace();
+        assert_eq!(t.cost_ticks_for_tag(BinTag::DEFAULT), 10);
+        assert_eq!(t.cost_ticks_for_tag(BinTag(1)), 4);
+    }
+
+    #[test]
+    fn validate_detects_corruptions() {
+        use crate::algorithms::FirstFit;
+        use crate::engine::simulate;
+        use crate::instance::InstanceBuilder;
+
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 6);
+        b.add(0, 5, 4);
+        b.add(6, 12, 6);
+        let inst = b.build().unwrap();
+        let good = simulate(&inst, &mut FirstFit::new());
+        assert!(good.validate(&inst).is_empty());
+
+        // Corrupt the assignment: point an item at the wrong bin.
+        let mut bad = good.clone();
+        bad.assignment[2] = BinId(0);
+        assert!(bad
+            .validate(&inst)
+            .iter()
+            .any(|e| e.contains("does not list")));
+
+        // Corrupt a usage period: extend a bin past its items.
+        let mut bad = good.clone();
+        bad.bins[0].closed_at = Tick(999);
+        assert!(bad
+            .validate(&inst)
+            .iter()
+            .any(|e| e.contains("union of its items")));
+
+        // Corrupt the step function: break the cost cross-check.
+        let mut bad = good.clone();
+        if let Some(last) = bad.open_bins_steps.last_mut() {
+            last.0 = Tick(last.0.raw() + 50);
+        }
+        assert!(bad
+            .validate(&inst)
+            .iter()
+            .any(|e| e.contains("cost mismatch")));
+
+        // Truncated assignment vector.
+        let mut bad = good.clone();
+        bad.assignment.pop();
+        assert!(!bad.validate(&inst).is_empty());
+    }
+
+    #[test]
+    fn validate_detects_overfull_bin() {
+        use crate::algorithms::FirstFit;
+        use crate::engine::simulate;
+        use crate::instance::InstanceBuilder;
+
+        // Build a valid 2-bin trace, then force both items into one bin.
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 6);
+        b.add(0, 10, 6);
+        let inst = b.build().unwrap();
+        let good = simulate(&inst, &mut FirstFit::new());
+        assert_eq!(good.bins_used(), 2);
+        let mut bad = good.clone();
+        let moved = bad.bins[1].items[0];
+        bad.bins[0].items.push(moved);
+        bad.assignment[moved.index()] = BinId(0);
+        let errs = bad.validate(&inst);
+        assert!(errs.iter().any(|e| e.contains("over capacity")), "{errs:?}");
+    }
+
+    #[test]
+    fn cost_ratio_is_exact() {
+        let t = tiny_trace();
+        assert_eq!(t.cost_ratio_to(7), Ratio::from_int(2));
+    }
+}

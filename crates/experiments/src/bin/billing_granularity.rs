@@ -1,0 +1,6 @@
+//! Binary for the `billing_granularity` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::billing_granularity::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "billing_granularity");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `cloud_gaming_costs` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::cloud_gaming_costs::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "cloud_gaming_costs");
+}

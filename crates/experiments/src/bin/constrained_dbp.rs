@@ -1,0 +1,6 @@
+//! Binary for the `constrained_dbp` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::constrained_dbp::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "constrained_dbp");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `ff_gap_search` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::ff_gap_search::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "ff_gap_search");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `fig1_span` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::fig1_span::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "fig1_span");
+}

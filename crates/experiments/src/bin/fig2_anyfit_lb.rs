@@ -1,0 +1,6 @@
+//! Binary for the `fig2_anyfit_lb` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::fig2_anyfit_lb::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "fig2_anyfit_lb");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `fig3_bestfit_unbounded` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::fig3_bestfit_unbounded::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "fig3_bestfit_unbounded");
+}

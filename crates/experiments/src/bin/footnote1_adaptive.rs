@@ -1,0 +1,6 @@
+//! Binary for the `footnote1_adaptive` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::footnote1_adaptive::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "footnote1_adaptive");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `mff_k_ablation` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::mff_k_ablation::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "mff_k_ablation");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `migration_gap` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::migration_gap::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "migration_gap");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `mu_sensitivity` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::mu_sensitivity::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "mu_sensitivity");
+}

@@ -1,0 +1,43 @@
+//! Run every experiment in sequence — regenerates every table/figure
+//! artifact of the paper. Pass `--quick` for reduced grids.
+use dbp_experiments as exp;
+
+fn main() {
+    let q = exp::quick_flag();
+    let t0 = std::time::Instant::now();
+    exp::harness::finish(&exp::fig1_span::run(q).0, "fig1_span");
+    exp::harness::finish(&exp::fig2_anyfit_lb::run(q).0, "fig2_anyfit_lb");
+    exp::harness::finish(
+        &exp::fig3_bestfit_unbounded::run(q).0,
+        "fig3_bestfit_unbounded",
+    );
+    exp::harness::finish(&exp::thm3_large_items::run(q).0, "thm3_large_items");
+    exp::harness::finish(&exp::thm4_small_items::run(q).0, "thm4_small_items");
+    exp::harness::finish(&exp::thm5_general_ff::run(q).0, "thm5_general_ff");
+    exp::harness::finish(
+        &exp::tab2_case_classification::run(q).0,
+        "tab2_case_classification",
+    );
+    exp::harness::finish(&exp::mff_ratio::run(q).0, "mff_ratio");
+    exp::harness::finish(&exp::mff_k_ablation::run(q).0, "mff_k_ablation");
+    exp::harness::finish(&exp::cloud_gaming_costs::run(q).0, "cloud_gaming_costs");
+    exp::harness::finish(&exp::mu_sensitivity::run(q).0, "mu_sensitivity");
+    exp::harness::finish(&exp::billing_granularity::run(q).0, "billing_granularity");
+    exp::harness::finish(&exp::constrained_dbp::run(q).0, "constrained_dbp");
+    exp::harness::finish(&exp::footnote1_adaptive::run(q).0, "footnote1_adaptive");
+    exp::harness::finish(&exp::flash_crowd::run(q).0, "flash_crowd");
+    exp::harness::finish(&exp::mff_decomposition::run(q).0, "mff_decomposition");
+    exp::harness::finish(&exp::unit_fractions::run(q).0, "unit_fractions");
+    exp::harness::finish(
+        &exp::value_of_clairvoyance::run(q).0,
+        "value_of_clairvoyance",
+    );
+    exp::harness::finish(&exp::migration_gap::run(q).0, "migration_gap");
+    exp::harness::finish(&exp::server_churn::run(q).0, "server_churn");
+    exp::harness::finish(&exp::ff_gap_search::run(q).0, "ff_gap_search");
+    exp::harness::finish(&exp::hff_class_ablation::run(q).0, "hff_class_ablation");
+    println!(
+        "\nall experiments done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,6 @@
+//! Binary for the `server_churn` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::server_churn::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "server_churn");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `tab2_case_classification` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::tab2_case_classification::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "tab2_case_classification");
+}

@@ -1,0 +1,6 @@
+//! Binary for the `thm4_small_items` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::thm4_small_items::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "thm4_small_items");
+}

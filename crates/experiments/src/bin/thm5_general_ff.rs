@@ -1,0 +1,6 @@
+//! Binary for the `thm5_general_ff` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::thm5_general_ff::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "thm5_general_ff");
+}

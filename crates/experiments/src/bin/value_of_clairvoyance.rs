@@ -1,0 +1,6 @@
+//! Binary for the `value_of_clairvoyance` experiment (see the library module of the same
+//! name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::value_of_clairvoyance::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "value_of_clairvoyance");
+}

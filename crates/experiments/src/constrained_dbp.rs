@@ -1,0 +1,93 @@
+//! **constrained_dbp** — the §5 future-work problem, measured.
+//!
+//! Items carry region constraints (distributed clouds; a request may only
+//! be dispatched within its region for latency). Constrained First Fit runs
+//! an independent FF per region. This experiment measures the cost
+//! inflation of region isolation versus global FF as the region count
+//! grows, against the same traffic.
+
+use crate::harness::{cell, f3, Table};
+use dbp_core::bounds::combined_lower_bound;
+use dbp_core::prelude::*;
+use dbp_workloads::{generate, CloudGamingConfig};
+use rayon::prelude::*;
+
+/// One region-count row.
+#[derive(Debug, Clone)]
+pub struct ConstrainedRow {
+    /// Number of regions.
+    pub regions: u16,
+    /// Constrained FF cost in server-hours.
+    pub cff_hours: f64,
+    /// Global (unconstrained) FF cost in server-hours.
+    pub ff_hours: f64,
+    /// Cost inflation `C-FF / FF`.
+    pub inflation: Ratio,
+    /// C-FF cost normalized to the lower bound.
+    pub cff_over_lb: f64,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> (Table, Vec<ConstrainedRow>) {
+    let region_counts: &[u16] = if quick { &[1, 4] } else { &[1, 2, 4, 8, 16] };
+
+    let mut rows: Vec<ConstrainedRow> = region_counts
+        .par_iter()
+        .map(|&regions| {
+            let cfg = CloudGamingConfig {
+                horizon: if quick { 2 * 3600 } else { 8 * 3600 },
+                regions,
+                seed: 21,
+                ..CloudGamingConfig::default()
+            };
+            let inst = generate(&cfg);
+            let cff = simulate(&inst, &mut ConstrainedFirstFit::new());
+            let ff = simulate(&inst, &mut FirstFit::new());
+            let lb = combined_lower_bound(&inst);
+            ConstrainedRow {
+                regions,
+                cff_hours: cff.total_cost_ticks() as f64 / 3600.0,
+                ff_hours: ff.total_cost_ticks() as f64 / 3600.0,
+                inflation: Ratio::new(cff.total_cost_ticks(), ff.total_cost_ticks()),
+                cff_over_lb: (Ratio::from_int(cff.total_cost_ticks()) / lb).to_f64(),
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| r.regions);
+
+    let mut table = Table::new(
+        "Constrained DBP (S5 future work): region-isolated FF vs global FF",
+        &["regions", "C-FF hours", "FF hours", "inflation", "C-FF/LB"],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.regions),
+            f3(r.cff_hours),
+            f3(r.ff_hours),
+            f3(r.inflation.to_f64()),
+            f3(r.cff_over_lb),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_region_is_exactly_global_ff() {
+        let (_, rows) = run(true);
+        let one = rows.iter().find(|r| r.regions == 1).unwrap();
+        assert_eq!(one.inflation, Ratio::ONE);
+    }
+
+    #[test]
+    fn isolation_costs_grow_with_region_count() {
+        let (_, rows) = run(true);
+        let one = rows.iter().find(|r| r.regions == 1).unwrap();
+        let many = rows.iter().max_by_key(|r| r.regions).unwrap();
+        assert!(many.inflation >= one.inflation);
+        assert!(many.inflation >= Ratio::ONE);
+    }
+}

@@ -1,0 +1,140 @@
+//! **fig2_anyfit_lb** — Figure 2 / Theorem 1.
+//!
+//! Instantiates the Any Fit lower-bound construction over a `(k, µ)` grid,
+//! runs representative Any Fit algorithms, computes `OPT_total` exactly, and
+//! compares the measured ratio with the closed form `kµ/(k+µ−1)` — the match
+//! must be **exact**, and the ratio must approach µ as k grows.
+
+use crate::harness::{cell, f3, Table};
+use dbp_adversary::Theorem1;
+use dbp_core::prelude::*;
+use dbp_opt::{opt_total, SolveMode};
+use rayon::prelude::*;
+
+/// One grid point's outcome.
+#[derive(Debug, Clone)]
+pub struct Fig2Row {
+    /// Construction parameter k.
+    pub k: u64,
+    /// Target µ.
+    pub mu: u64,
+    /// Measured Any Fit cost (identical across the family) in bin-ticks.
+    pub af_cost: u128,
+    /// Exact `OPT_total` in bin-ticks.
+    pub opt_cost: u128,
+    /// Measured ratio.
+    pub measured: Ratio,
+    /// Closed form `kµ/(k+µ−1)`.
+    pub formula: Ratio,
+    /// Whether measured == formula (must always be true).
+    pub exact_match: bool,
+}
+
+/// Run the sweep. `quick` shrinks the grid for benches.
+pub fn run(quick: bool) -> (Table, Vec<Fig2Row>) {
+    let ks: &[u64] = if quick {
+        &[2, 8]
+    } else {
+        &[2, 4, 8, 16, 32, 64]
+    };
+    let mus: &[u64] = if quick {
+        &[1, 10]
+    } else {
+        &[1, 2, 5, 10, 20, 50]
+    };
+
+    let grid: Vec<(u64, u64)> = ks
+        .iter()
+        .flat_map(|&k| mus.iter().map(move |&mu| (k, mu)))
+        .collect();
+
+    let mut rows: Vec<Fig2Row> = grid
+        .par_iter()
+        .map(|&(k, mu)| {
+            let t1 = Theorem1::new(k, mu);
+            let inst = t1.instance();
+            // Run the whole deterministic Any Fit family; the construction
+            // forces identical costs, which we assert.
+            let ff = simulate_validated(&inst, &mut FirstFit::new());
+            let bf = simulate_validated(&inst, &mut BestFit::new());
+            let wf = simulate_validated(&inst, &mut WorstFit::new());
+            let af_cost = ff.total_cost_ticks();
+            assert_eq!(af_cost, bf.total_cost_ticks(), "BF differs at k={k},µ={mu}");
+            assert_eq!(af_cost, wf.total_cost_ticks(), "WF differs at k={k},µ={mu}");
+            assert_eq!(af_cost, t1.expected_anyfit_cost_ticks());
+
+            let opt = opt_total(&inst, SolveMode::default());
+            let opt_cost = opt.exact_ticks();
+            let measured = Ratio::new(af_cost, opt_cost);
+            let formula = t1.expected_ratio();
+            Fig2Row {
+                k,
+                mu,
+                af_cost,
+                opt_cost,
+                measured,
+                formula,
+                exact_match: measured == formula,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| (r.mu, r.k));
+
+    let mut table = Table::new(
+        "Figure 2 / Theorem 1: Any Fit lower bound, ratio = kµ/(k+µ−1) → µ",
+        &[
+            "mu",
+            "k",
+            "AF_total",
+            "OPT_total",
+            "ratio",
+            "formula",
+            "mu-gap",
+            "exact",
+        ],
+    );
+    for r in &rows {
+        let gap = r.mu as f64 - r.measured.to_f64();
+        table.push(vec![
+            cell(r.mu),
+            cell(r.k),
+            cell(r.af_cost),
+            cell(r.opt_cost),
+            f3(r.measured.to_f64()),
+            cell(r.formula),
+            f3(gap),
+            cell(r.exact_match),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_grid_point_matches_the_formula_exactly() {
+        let (_, rows) = run(true);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.exact_match, "mismatch at k={}, µ={}", r.k, r.mu);
+        }
+    }
+
+    #[test]
+    fn ratio_increases_toward_mu_in_k() {
+        let (_, rows) = run(false);
+        for mu in [10u64, 50] {
+            let series: Vec<&Fig2Row> = rows.iter().filter(|r| r.mu == mu).collect();
+            for w in series.windows(2) {
+                assert!(w[0].k < w[1].k);
+                assert!(w[0].measured < w[1].measured, "not increasing at µ={mu}");
+            }
+            let last = series.last().unwrap();
+            assert!(last.measured < Ratio::from_int(mu as u128));
+            // k = 64 gets within 45% of µ even at µ = 50 (64·50/113 ≈ 28).
+            assert!(last.measured.to_f64() > mu as f64 * 0.55);
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! **fig3_bestfit_unbounded** — Figure 3 / Theorem 2.
+//!
+//! Instantiates the Best Fit construction for growing `k` and shows:
+//! BF's measured ratio exceeds `k/2` and grows without bound, while First
+//! Fit — on the *same instances* — stays within its `2µ + 13` guarantee.
+
+use crate::harness::{cell, f3, Table};
+use dbp_adversary::Theorem2;
+use dbp_core::prelude::*;
+use dbp_opt::{opt_total, SolveMode};
+use rayon::prelude::*;
+
+/// One construction's outcome.
+#[derive(Debug, Clone)]
+pub struct Fig3Row {
+    /// Bins BF is forced to hold open.
+    pub k: u64,
+    /// Iterations run.
+    pub n: u64,
+    /// Items in the instance.
+    pub items: usize,
+    /// BF ratio vs exact OPT_total.
+    pub bf_ratio: Ratio,
+    /// The paper's floor `k/2`.
+    pub floor: Ratio,
+    /// FF ratio on the same instance.
+    pub ff_ratio: Ratio,
+    /// FF's general bound `2µ + 13` for this instance's µ.
+    pub ff_bound: Ratio,
+}
+
+/// Run the sweep. `quick` shrinks the grid.
+pub fn run(quick: bool) -> (Table, Vec<Fig3Row>) {
+    let ks: &[u64] = if quick {
+        &[2, 4]
+    } else {
+        &[2, 4, 6, 8, 10, 12]
+    };
+    let mu = 2u64;
+
+    let mut rows: Vec<Fig3Row> = ks
+        .par_iter()
+        .map(|&k| {
+            // n = 2k iterations puts us well past the paper's n threshold.
+            let n = 2 * k;
+            let t2 = Theorem2::new(k, mu, n);
+            let inst = t2.instance();
+            let bf = simulate(&inst, &mut BestFit::new());
+            assert_eq!(bf.total_cost_ticks(), t2.expected_bf_cost_ticks());
+            let ff = simulate(&inst, &mut FirstFit::new());
+            let opt = opt_total(&inst, SolveMode::default());
+            let opt_cost = opt.exact_ticks();
+            Fig3Row {
+                k,
+                n,
+                items: inst.len(),
+                bf_ratio: Ratio::new(bf.total_cost_ticks(), opt_cost),
+                floor: t2.ratio_floor(),
+                ff_ratio: Ratio::new(ff.total_cost_ticks(), opt_cost),
+                ff_bound: dbp_core::bounds::ff_general_bound(inst.mu().unwrap()),
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| r.k);
+
+    let mut table = Table::new(
+        "Figure 3 / Theorem 2: Best Fit unbounded (µ = 2); FF bounded on the same instances",
+        &[
+            "k", "n", "items", "BF ratio", "k/2", "BF>=k/2", "FF ratio", "2mu+13",
+        ],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.k),
+            cell(r.n),
+            cell(r.items),
+            f3(r.bf_ratio.to_f64()),
+            f3(r.floor.to_f64()),
+            cell(r.bf_ratio >= r.floor),
+            f3(r.ff_ratio.to_f64()),
+            f3(r.ff_bound.to_f64()),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf_exceeds_k_over_2_and_grows() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.bf_ratio >= r.floor, "BF below k/2 at k={}", r.k);
+        }
+        for w in rows.windows(2) {
+            assert!(
+                w[1].bf_ratio > w[0].bf_ratio,
+                "BF ratio not growing: k={} -> k={}",
+                w[0].k,
+                w[1].k
+            );
+        }
+    }
+
+    #[test]
+    fn ff_stays_within_its_bound_on_the_bf_killer() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.ff_ratio <= r.ff_bound, "FF bound violated at k={}", r.k);
+            // And FF is dramatically better than BF here.
+            assert!(r.ff_ratio < r.bf_ratio);
+        }
+    }
+}

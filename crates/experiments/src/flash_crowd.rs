@@ -1,0 +1,109 @@
+//! **flash_crowd** — the on-demand scenario that motivates renting: a game
+//! launch multiplies the arrival rate for an hour. Measures how each
+//! dispatch algorithm's fleet and bill respond to the spike, and how close
+//! each stays to the lower bound when the crowd drains away (the paper's
+//! departure-driven waste is most visible right after a burst).
+
+use crate::harness::{cell, f3, Table};
+use dbp_core::algorithms::standard_factories;
+use dbp_core::bounds::combined_lower_bound;
+use dbp_core::prelude::*;
+use dbp_workloads::{generate, ArrivalKind, CloudGamingConfig};
+use rayon::prelude::*;
+
+/// One algorithm's behaviour through the spike.
+#[derive(Debug, Clone)]
+pub struct FlashRow {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Cost normalized to the lower bound.
+    pub cost_over_lb: f64,
+    /// Peak simultaneous servers.
+    pub peak_servers: u32,
+    /// Servers still open one hour after the burst ends (waste indicator).
+    pub post_burst_servers: u32,
+    /// Total servers rented.
+    pub servers: usize,
+}
+
+/// Run the scenario.
+pub fn run(quick: bool) -> (Table, Vec<FlashRow>) {
+    let burst_start = 3600u64;
+    let burst_end = 2 * 3600u64;
+    let cfg = CloudGamingConfig {
+        horizon: if quick { 4 * 3600 } else { 8 * 3600 },
+        arrivals: ArrivalKind::Flash {
+            base_rate: 0.03,
+            burst_start,
+            burst_end,
+            multiplier: 8.0,
+        },
+        seed: 77,
+        ..CloudGamingConfig::default()
+    };
+    let inst = generate(&cfg);
+    let lb = combined_lower_bound(&inst);
+    let probe = Tick(burst_end + 3600);
+
+    let rows: Vec<FlashRow> = standard_factories(5)
+        .par_iter()
+        .map(|f| {
+            let mut sel = f.build();
+            let trace = simulate(&inst, &mut *sel);
+            FlashRow {
+                algorithm: f.name().to_string(),
+                cost_over_lb: (Ratio::from_int(trace.total_cost_ticks()) / lb).to_f64(),
+                peak_servers: trace.max_open_bins(),
+                post_burst_servers: trace.open_bins_at(probe),
+                servers: trace.bins_used(),
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(
+        format!(
+            "Flash crowd ({}x burst in [{burst_start}, {burst_end})): fleet response per algorithm",
+            8
+        ),
+        &["algo", "cost/LB", "peak", "open 1h after burst", "servers"],
+    );
+    for r in &rows {
+        table.push(vec![
+            r.algorithm.clone(),
+            f3(r.cost_over_lb),
+            cell(r.peak_servers),
+            cell(r.post_burst_servers),
+            cell(r.servers),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_algorithm_scales_up_and_back_down() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.cost_over_lb >= 1.0 - 1e-9);
+            assert!(
+                r.post_burst_servers < r.peak_servers,
+                "{} never drained after the burst",
+                r.algorithm
+            );
+        }
+    }
+
+    #[test]
+    fn first_fit_drains_at_least_as_well_as_worst_fit() {
+        // WF spreads items across bins, so departures leave more bins
+        // partially occupied; FF concentrates and should hold fewer (or at
+        // most as many) servers after the crowd leaves.
+        let (_, rows) = run(true);
+        let ff = rows.iter().find(|r| r.algorithm == "FF").unwrap();
+        let wf = rows.iter().find(|r| r.algorithm == "WF").unwrap();
+        assert!(ff.post_burst_servers <= wf.post_burst_servers);
+    }
+}

@@ -1,0 +1,114 @@
+//! **hff_class_ablation** — how many Harmonic classes are worth having?
+//!
+//! MFF splits at one threshold; [`HarmonicFit`] generalizes to `M` classes.
+//! Finer classes pack more homogeneously (good for the worst case) but
+//! refuse more cross-class placements (bad on benign traffic). This sweep
+//! measures both regimes per `M` — the practical summary is that `M = 2..4`
+//! captures what class separation has to offer, and large `M` only adds
+//! fragmentation.
+//!
+//! [`HarmonicFit`]: dbp_core::algorithms::HarmonicFit
+
+use crate::harness::{cell, f3, Table};
+use dbp_core::algorithms::HarmonicFit;
+use dbp_core::bounds::combined_lower_bound;
+use dbp_core::prelude::*;
+use dbp_workloads::{generate, generate_mu_controlled, CloudGamingConfig, MuControlledConfig};
+use rayon::prelude::*;
+
+/// One class-count row.
+#[derive(Debug, Clone)]
+pub struct HffRow {
+    /// Harmonic class count M.
+    pub classes: u32,
+    /// Mean cost/LB on gaming traffic.
+    pub gaming: f64,
+    /// Mean cost/LB on µ-pinned mixed traffic (µ = 8).
+    pub mixed: f64,
+    /// Mean bins used on gaming traffic (fragmentation indicator).
+    pub bins: f64,
+}
+
+/// Run the ablation.
+pub fn run(quick: bool) -> (Table, Vec<HffRow>) {
+    let ms: &[u32] = if quick { &[2, 6] } else { &[2, 3, 4, 6, 8, 12] };
+    let seeds: u64 = if quick { 2 } else { 6 };
+
+    let gaming: Vec<Instance> = (0..seeds)
+        .map(|seed| {
+            generate(&CloudGamingConfig {
+                horizon: if quick { 2 * 3600 } else { 4 * 3600 },
+                seed,
+                ..CloudGamingConfig::default()
+            })
+        })
+        .collect();
+    let mixed: Vec<Instance> = (0..seeds)
+        .map(|seed| {
+            generate_mu_controlled(&MuControlledConfig {
+                n_items: if quick { 80 } else { 160 },
+                seed: seed + 5,
+                ..MuControlledConfig::new(8)
+            })
+        })
+        .collect();
+
+    let mut rows: Vec<HffRow> = ms
+        .par_iter()
+        .map(|&m| {
+            let mean_over = |insts: &[Instance]| -> (f64, f64) {
+                let mut ratio_acc = 0.0;
+                let mut bins_acc = 0.0;
+                for inst in insts {
+                    let trace = simulate(inst, &mut HarmonicFit::new(m));
+                    let lb = combined_lower_bound(inst);
+                    ratio_acc += (Ratio::from_int(trace.total_cost_ticks()) / lb).to_f64();
+                    bins_acc += trace.bins_used() as f64;
+                }
+                (
+                    ratio_acc / insts.len() as f64,
+                    bins_acc / insts.len() as f64,
+                )
+            };
+            let (gaming_ratio, gaming_bins) = mean_over(&gaming);
+            let (mixed_ratio, _) = mean_over(&mixed);
+            HffRow {
+                classes: m,
+                gaming: gaming_ratio,
+                mixed: mixed_ratio,
+                bins: gaming_bins,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| r.classes);
+
+    let mut table = Table::new(
+        "HFF class-count ablation: cost/LB and fragmentation vs M",
+        &["classes", "gaming cost/LB", "mixed cost/LB", "servers"],
+    );
+    for r in &rows {
+        table.push(vec![cell(r.classes), f3(r.gaming), f3(r.mixed), f3(r.bins)]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_classes_never_reduce_fragmentation() {
+        let (_, rows) = run(true);
+        assert!(rows.len() >= 2);
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        assert!(
+            last.bins >= first.bins,
+            "finer classes should rent >= servers"
+        );
+        for r in &rows {
+            assert!(r.gaming >= 1.0 - 1e-9);
+            assert!(r.gaming < 3.0, "M={} blew up on gaming traffic", r.classes);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! **mff_k_ablation** — §4.4's choice `k = µ + 7`, ablated.
+//!
+//! The paper proves `max{k, (µ+6)/(1−1/k)}` (plus 1 for the span term) is
+//! the MFF guarantee and is minimized at `k = µ+7`. This sweep plots both
+//! the bound objective and MFF(k)'s *measured* worst ratio as k varies, for
+//! several µ — the bound's minimum must sit at `k = µ+7`, and measured
+//! curves must stay below the bound everywhere.
+
+use crate::harness::{cell, f3, Table};
+use crate::sweep::ratio_vs_opt;
+use dbp_adversary::Theorem1;
+use dbp_core::prelude::*;
+use dbp_opt::{opt_total, SolveMode};
+use dbp_workloads::{generate_mu_controlled, MuControlledConfig, SizeModel};
+use rayon::prelude::*;
+
+/// One (µ, k) cell.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// µ value.
+    pub mu: u64,
+    /// MFF threshold parameter.
+    pub k: u64,
+    /// Bound objective `max{k, (µ+6)k/(k−1)} + 1`.
+    pub objective: Ratio,
+    /// Measured worst MFF(k) ratio.
+    pub measured: Ratio,
+    /// Whether `k = µ+7` (the proved optimum).
+    pub is_opt_k: bool,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> (Table, Vec<AblationRow>) {
+    let mus: &[u64] = if quick { &[5] } else { &[1, 5, 10, 20] };
+    let ks: Vec<u64> = if quick {
+        vec![2, 8, 12, 16, 32]
+    } else {
+        vec![2, 3, 4, 6, 8, 10, 12, 15, 17, 20, 24, 27, 32, 40]
+    };
+    let seeds = if quick { 2 } else { 6 };
+
+    let grid: Vec<(u64, u64)> = mus
+        .iter()
+        .flat_map(|&mu| ks.iter().map(move |&k| (mu, k)))
+        .collect();
+
+    let mut rows: Vec<AblationRow> = grid
+        .par_iter()
+        .map(|&(mu, k)| {
+            let mu_r = Ratio::from_int(mu as u128);
+            let objective = dbp_core::bounds::mff_k_objective(k, mu_r) + Ratio::ONE;
+            let mut measured = Ratio::ZERO;
+            // Adversarial witness (single size class under any k).
+            let t1 = Theorem1::new(16, mu);
+            let inst = t1.instance();
+            let trace = simulate(&inst, &mut ModifiedFirstFit::new(k));
+            let opt = opt_total(&inst, SolveMode::default());
+            measured = measured.max(Ratio::new(trace.total_cost_ticks(), opt.exact_ticks()));
+            // Random mixed workloads.
+            for seed in 0..seeds {
+                let cfg = MuControlledConfig {
+                    n_items: if quick { 70 } else { 150 },
+                    sizes: SizeModel::Uniform { lo: 5, hi: 60 },
+                    seed: seed * 13 + mu + k,
+                    ..MuControlledConfig::new(mu)
+                };
+                let wl = generate_mu_controlled(&cfg);
+                let trace = simulate(&wl, &mut ModifiedFirstFit::new(k));
+                let bracket = ratio_vs_opt(
+                    &wl,
+                    trace.total_cost_ticks(),
+                    SolveMode::Exact {
+                        node_budget: 60_000,
+                    },
+                );
+                measured = measured.max(bracket.hi);
+            }
+            AblationRow {
+                mu,
+                k,
+                objective,
+                measured,
+                is_opt_k: k == mu + 7,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| (r.mu, r.k));
+
+    let mut table = Table::new(
+        "S4.4 ablation: MFF(k) bound objective and measured ratio vs k (optimum at k = mu+7)",
+        &["mu", "k", "bound objective", "measured", "k = mu+7"],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.mu),
+            cell(r.k),
+            f3(r.objective.to_f64()),
+            f3(r.measured.to_f64()),
+            cell(r.is_opt_k),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objective_minimized_at_mu_plus_7_and_measured_below_it() {
+        let (_, rows) = run(true);
+        for mu in rows
+            .iter()
+            .map(|r| r.mu)
+            .collect::<std::collections::BTreeSet<_>>()
+        {
+            let series: Vec<&AblationRow> = rows.iter().filter(|r| r.mu == mu).collect();
+            let min = series.iter().map(|r| r.objective).min().unwrap();
+            // Every k's objective is at least the µ+7 value (µ+8).
+            assert!(min >= Ratio::from_int(mu as u128 + 8));
+            for r in &series {
+                assert!(
+                    r.measured <= r.objective,
+                    "measured above bound at µ={}, k={}",
+                    r.mu,
+                    r.k
+                );
+            }
+        }
+    }
+}

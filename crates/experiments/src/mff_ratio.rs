@@ -1,0 +1,155 @@
+//! **mff_ratio** — §4.4: Modified First Fit's two bounds.
+//!
+//! Sweeps µ and compares, per µ:
+//!
+//! * FF, MFF(k = 8) (µ-oblivious) and MFF(k = µ+7) (µ known) on the
+//!   Theorem 1 witness — the known worst family, where every Any Fit ratio
+//!   approaches µ — and on µ-pinned random workloads;
+//! * against the bound curves `2µ+13` (FF), `8µ/7 + 55/7` (MFF, µ unknown)
+//!   and `µ+8` (MFF, µ known).
+
+use crate::harness::{cell, f3, Table};
+use crate::sweep::{mu_grid, ratio_vs_opt};
+use dbp_adversary::Theorem1;
+use dbp_core::prelude::*;
+use dbp_opt::{opt_total, SolveMode};
+use dbp_workloads::{generate_mu_controlled, MuControlledConfig, SizeModel};
+use rayon::prelude::*;
+
+/// One µ row.
+#[derive(Debug, Clone)]
+pub struct MffRow {
+    /// µ value.
+    pub mu: u64,
+    /// FF worst measured ratio (adversarial + random).
+    pub ff: Ratio,
+    /// MFF(8) worst measured ratio.
+    pub mff8: Ratio,
+    /// MFF(µ+7) worst measured ratio.
+    pub mff_known: Ratio,
+    /// FF bound `2µ+13`.
+    pub ff_bound: Ratio,
+    /// MFF unknown-µ bound `8µ/7 + 55/7`.
+    pub mff8_bound: Ratio,
+    /// MFF known-µ bound `µ+8`.
+    pub mff_known_bound: Ratio,
+    /// All three bounds held.
+    pub holds: bool,
+}
+
+fn worst_ratio_for<S: BinSelector>(
+    make: impl Fn() -> S,
+    mu: u64,
+    seeds: u64,
+    quick: bool,
+) -> Ratio {
+    let mut worst = Ratio::ZERO;
+    // Adversarial witness.
+    let t1 = Theorem1::new(16, mu);
+    let inst = t1.instance();
+    let trace = simulate(&inst, &mut make());
+    let opt = opt_total(&inst, SolveMode::default());
+    worst = worst.max(Ratio::new(trace.total_cost_ticks(), opt.exact_ticks()));
+    // Random µ-pinned workloads.
+    for seed in 0..seeds {
+        let cfg = MuControlledConfig {
+            n_items: if quick { 80 } else { 180 },
+            sizes: SizeModel::Uniform { lo: 5, hi: 60 },
+            seed: seed * 31 + mu,
+            ..MuControlledConfig::new(mu)
+        };
+        let wl = generate_mu_controlled(&cfg);
+        let trace = simulate(&wl, &mut make());
+        let bracket = ratio_vs_opt(
+            &wl,
+            trace.total_cost_ticks(),
+            SolveMode::Exact {
+                node_budget: 100_000,
+            },
+        );
+        worst = worst.max(bracket.hi);
+    }
+    worst
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> (Table, Vec<MffRow>) {
+    let mus = if quick { vec![1, 8] } else { mu_grid(50) };
+    let seeds = if quick { 3 } else { 8 };
+
+    let mut rows: Vec<MffRow> = mus
+        .par_iter()
+        .map(|&mu| {
+            let mu_r = Ratio::from_int(mu as u128);
+            let ff = worst_ratio_for(FirstFit::new, mu, seeds, quick);
+            let mff8 = worst_ratio_for(|| ModifiedFirstFit::new(8), mu, seeds, quick);
+            let mff_known =
+                worst_ratio_for(|| ModifiedFirstFit::for_known_mu(mu), mu, seeds, quick);
+            let ff_bound = dbp_core::bounds::ff_general_bound(mu_r);
+            let mff8_bound = dbp_core::bounds::mff_unknown_mu_bound(mu_r);
+            let mff_known_bound = dbp_core::bounds::mff_known_mu_bound(mu_r);
+            let holds = ff <= ff_bound && mff8 <= mff8_bound && mff_known <= mff_known_bound;
+            MffRow {
+                mu,
+                ff,
+                mff8,
+                mff_known,
+                ff_bound,
+                mff8_bound,
+                mff_known_bound,
+                holds,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| r.mu);
+
+    let mut table = Table::new(
+        "S4.4: MFF bounds vs FF (worst over adversarial witness + random workloads)",
+        &[
+            "mu",
+            "FF",
+            "MFF(8)",
+            "MFF(mu+7)",
+            "2mu+13",
+            "8mu/7+55/7",
+            "mu+8",
+            "holds",
+        ],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.mu),
+            f3(r.ff.to_f64()),
+            f3(r.mff8.to_f64()),
+            f3(r.mff_known.to_f64()),
+            f3(r.ff_bound.to_f64()),
+            f3(r.mff8_bound.to_f64()),
+            f3(r.mff_known_bound.to_f64()),
+            cell(r.holds),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_bounds_hold() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.holds, "a bound failed at µ={}", r.mu);
+        }
+    }
+
+    #[test]
+    fn bound_curves_order_as_proved() {
+        // For µ > 1: µ+8 < 8µ/7+55/7 < 2µ+13.
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.mff8_bound < r.ff_bound);
+            assert!(r.mff_known_bound <= r.mff8_bound);
+        }
+    }
+}

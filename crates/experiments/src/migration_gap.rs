@@ -1,0 +1,125 @@
+//! **migration_gap** — how strong is the paper's baseline?
+//!
+//! `OPT_total = ∫ OPT(R,t) dt` lets the optimum repack at every instant;
+//! a real dispatcher (like the online algorithms) cannot migrate. This
+//! experiment computes, on small random instances, the exact chain
+//!
+//! `OPT_repack ≤ OPT_fixed ≤ FF`
+//!
+//! and reports the two gaps. A small repack→fixed gap means the paper's
+//! ratios are measured against an only-slightly-unfair baseline; the
+//! measured FF→fixed gap is the "real" online penalty.
+
+use crate::harness::{cell, f3, Table};
+use dbp_core::prelude::*;
+use dbp_opt::{fixed_optimum, opt_total, SolveMode};
+use dbp_workloads::{generate_mu_controlled, MuControlledConfig, SizeModel};
+use rayon::prelude::*;
+
+/// Aggregates over seeds for one instance size.
+#[derive(Debug, Clone)]
+pub struct GapRow {
+    /// Items per instance.
+    pub n_items: usize,
+    /// Seeds measured (only exact fixed-optimum runs are kept).
+    pub seeds: usize,
+    /// Mean `OPT_fixed / OPT_repack`.
+    pub mean_migration_gap: f64,
+    /// Max `OPT_fixed / OPT_repack`.
+    pub max_migration_gap: f64,
+    /// Mean `FF / OPT_fixed` (the no-migration competitive ratio).
+    pub mean_ff_vs_fixed: f64,
+    /// Ordering `repack ≤ fixed ≤ FF` held on every seed.
+    pub ordered: bool,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> (Table, Vec<GapRow>) {
+    let ns: &[usize] = if quick { &[6, 9] } else { &[6, 8, 10, 12] };
+    let seeds: u64 = if quick { 6 } else { 20 };
+
+    let rows: Vec<GapRow> = ns
+        .par_iter()
+        .map(|&n| {
+            let mut gaps = Vec::new();
+            let mut ff_gaps = Vec::new();
+            let mut ordered = true;
+            for seed in 0..seeds {
+                let cfg = MuControlledConfig {
+                    n_items: n,
+                    mu: 6,
+                    arrival_rate: 0.1,
+                    sizes: SizeModel::Uniform { lo: 20, hi: 60 },
+                    seed: seed * 101 + n as u64,
+                    ..MuControlledConfig::new(6)
+                };
+                let inst = generate_mu_controlled(&cfg);
+                let repack = opt_total(&inst, SolveMode::default());
+                let fixed = fixed_optimum(&inst, 3_000_000);
+                if !repack.is_exact() || !fixed.exact {
+                    continue;
+                }
+                let ff = simulate(&inst, &mut FirstFit::new()).total_cost_ticks();
+                if !(repack.exact_ticks() <= fixed.cost_ticks && fixed.cost_ticks <= ff) {
+                    ordered = false;
+                }
+                gaps.push(fixed.cost_ticks as f64 / repack.exact_ticks() as f64);
+                ff_gaps.push(ff as f64 / fixed.cost_ticks as f64);
+            }
+            let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+            GapRow {
+                n_items: n,
+                seeds: gaps.len(),
+                mean_migration_gap: mean(&gaps),
+                max_migration_gap: gaps.iter().copied().fold(0.0, f64::max),
+                mean_ff_vs_fixed: mean(&ff_gaps),
+                ordered,
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Migration gap: OPT_repack <= OPT_fixed <= FF on small instances",
+        &[
+            "items",
+            "seeds",
+            "mean fixed/repack",
+            "max fixed/repack",
+            "mean FF/fixed",
+            "ordered",
+        ],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.n_items),
+            cell(r.seeds),
+            f3(r.mean_migration_gap),
+            f3(r.max_migration_gap),
+            f3(r.mean_ff_vs_fixed),
+            cell(r.ordered),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_holds_and_gaps_are_modest() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.ordered, "ordering broke at n={}", r.n_items);
+            assert!(r.seeds > 0, "no exact solves at n={}", r.n_items);
+            assert!(r.mean_migration_gap >= 1.0 - 1e-12);
+            // Random instances: the repack advantage is small.
+            assert!(
+                r.max_migration_gap < 1.5,
+                "surprisingly large migration gap at n={}",
+                r.n_items
+            );
+            assert!(r.mean_ff_vs_fixed >= 1.0 - 1e-12);
+        }
+    }
+}

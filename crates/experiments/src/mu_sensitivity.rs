@@ -1,0 +1,125 @@
+//! **mu_sensitivity** — how every algorithm's measured ratio scales with µ.
+//!
+//! The paper's central parameter is µ; this sweep pins µ on a log grid and
+//! measures each roster algorithm's cost over the combined lower bound on
+//! (a) random traces and (b) the Theorem 1 witness, exposing which
+//! algorithms actually degrade with µ (all Any Fit ones do, on the witness)
+//! and which stay flat on benign traffic.
+
+use crate::harness::{cell, f3, Table};
+use crate::sweep::mu_grid;
+use dbp_adversary::Theorem1;
+use dbp_core::algorithms::standard_factories;
+use dbp_core::bounds::combined_lower_bound;
+use dbp_core::prelude::*;
+use dbp_workloads::{generate_mu_controlled, MuControlledConfig, SizeModel};
+use rayon::prelude::*;
+
+/// One (µ, algorithm) cell.
+#[derive(Debug, Clone)]
+pub struct MuRow {
+    /// µ value.
+    pub mu: u64,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Mean cost/LB over random seeds.
+    pub random_mean: f64,
+    /// Cost/OPT-LB on the Theorem 1 witness.
+    pub adversarial: f64,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> (Table, Vec<MuRow>) {
+    let mus = if quick { vec![1, 16] } else { mu_grid(100) };
+    let seeds: u64 = if quick { 2 } else { 6 };
+
+    let mut rows: Vec<MuRow> = mus
+        .par_iter()
+        .flat_map_iter(|&mu| {
+            let factories = standard_factories(7);
+            let mut instances = Vec::new();
+            for seed in 0..seeds {
+                let cfg = MuControlledConfig {
+                    n_items: if quick { 80 } else { 160 },
+                    sizes: SizeModel::Uniform { lo: 5, hi: 60 },
+                    seed: seed * 97 + mu,
+                    ..MuControlledConfig::new(mu)
+                };
+                instances.push(generate_mu_controlled(&cfg));
+            }
+            let witness = Theorem1::new(16, mu).instance();
+            let witness_lb = combined_lower_bound(&witness);
+            factories
+                .into_iter()
+                .map(|f| {
+                    let mut acc = 0.0;
+                    for inst in &instances {
+                        let mut sel = f.build();
+                        let trace = simulate(inst, &mut *sel);
+                        let lb = combined_lower_bound(inst);
+                        acc += (Ratio::from_int(trace.total_cost_ticks()) / lb).to_f64();
+                    }
+                    let mut sel = f.build();
+                    let wt = simulate(&witness, &mut *sel);
+                    let adversarial =
+                        (Ratio::from_int(wt.total_cost_ticks()) / witness_lb).to_f64();
+                    MuRow {
+                        mu,
+                        algorithm: f.name().to_string(),
+                        random_mean: acc / instances.len() as f64,
+                        adversarial,
+                    }
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    rows.sort_by(|a, b| (a.mu, &a.algorithm).cmp(&(b.mu, &b.algorithm)));
+
+    let mut table = Table::new(
+        "mu sensitivity: cost/LB per algorithm (random mean | Theorem-1 witness)",
+        &["mu", "algo", "random", "adversarial"],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.mu),
+            r.algorithm.clone(),
+            f3(r.random_mean),
+            f3(r.adversarial),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversarial_ratio_grows_with_mu_for_ff() {
+        let (_, rows) = run(true);
+        let ff: Vec<&MuRow> = rows.iter().filter(|r| r.algorithm == "FF").collect();
+        assert!(ff.len() >= 2);
+        let lo = ff.iter().find(|r| r.mu == 1).unwrap();
+        let hi = ff.iter().find(|r| r.mu == 16).unwrap();
+        assert!(
+            hi.adversarial > 2.0 * lo.adversarial.max(0.5),
+            "FF witness ratio flat in µ: {} -> {}",
+            lo.adversarial,
+            hi.adversarial
+        );
+    }
+
+    #[test]
+    fn random_traffic_stays_tame() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.random_mean >= 1.0 - 1e-9);
+            assert!(
+                r.random_mean < 4.0,
+                "{} blew up on random traffic at µ={}",
+                r.algorithm,
+                r.mu
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared sweep helpers for the theorem-verification experiments.
+
+use dbp_core::instance::Instance;
+use dbp_core::ratio::Ratio;
+use dbp_opt::{opt_total, OptTotal, SolveMode};
+
+/// Measured-ratio bracket of an algorithm's cost against `OPT_total`.
+#[derive(Debug, Clone, Copy)]
+pub struct RatioBracket {
+    /// `cost / OPT_ub` — a lower bound on the true ratio.
+    pub lo: Ratio,
+    /// `cost / OPT_lb` — an upper bound on the true ratio. Checking a
+    /// theorem bound against `hi` is conservative: `hi ≤ bound` implies the
+    /// true ratio satisfies the bound.
+    pub hi: Ratio,
+    /// Whether OPT_total was computed exactly (`lo == hi`).
+    pub exact: bool,
+}
+
+impl RatioBracket {
+    /// Build from a cost and an OPT_total result.
+    ///
+    /// # Panics
+    /// Panics if `OPT_total` is zero (empty instance).
+    pub fn new(cost_ticks: u128, opt: &OptTotal) -> RatioBracket {
+        assert!(opt.lb_ticks > 0, "OPT_total is zero");
+        RatioBracket {
+            lo: Ratio::new(cost_ticks, opt.ub_ticks),
+            hi: Ratio::new(cost_ticks, opt.lb_ticks),
+            exact: opt.is_exact(),
+        }
+    }
+}
+
+/// Run OPT_total and bracket an algorithm's measured competitive ratio.
+pub fn ratio_vs_opt(instance: &Instance, cost_ticks: u128, mode: SolveMode) -> RatioBracket {
+    let opt = opt_total(instance, mode);
+    RatioBracket::new(cost_ticks, &opt)
+}
+
+/// Geometric-ish µ grid: 1, 2, 4, 8, … up to `max`, always including `max`.
+pub fn mu_grid(max: u64) -> Vec<u64> {
+    let mut grid = Vec::new();
+    let mut m = 1u64;
+    while m < max {
+        grid.push(m);
+        m *= 2;
+    }
+    grid.push(max);
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mu_grid_covers_and_ends_at_max() {
+        assert_eq!(mu_grid(32), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(mu_grid(20), vec![1, 2, 4, 8, 16, 20]);
+        assert_eq!(mu_grid(1), vec![1]);
+    }
+
+    #[test]
+    fn bracket_orders_lo_hi() {
+        let opt = OptTotal {
+            lb_ticks: 10,
+            ub_ticks: 12,
+            segments: 1,
+            distinct_sets: 1,
+        };
+        let b = RatioBracket::new(24, &opt);
+        assert_eq!(b.lo, Ratio::from_int(2));
+        assert_eq!(b.hi, Ratio::new(12, 5));
+        assert!(!b.exact);
+    }
+}

@@ -1,0 +1,105 @@
+//! **thm3_large_items** — Theorem 3: with every size ≥ W/k, *any* packing
+//! (First Fit included) costs at most `k · OPT_total(R)`.
+//!
+//! Sweeps the size-class parameter k over randomized large-item workloads
+//! and reports the worst measured FF ratio per k — it must stay below k.
+
+use crate::harness::{cell, f3, Table};
+use crate::sweep::ratio_vs_opt;
+use dbp_core::prelude::*;
+use dbp_opt::SolveMode;
+use dbp_workloads::{generate_mu_controlled, MuControlledConfig, SizeModel};
+use rayon::prelude::*;
+
+/// Per-k outcome over all seeds.
+#[derive(Debug, Clone)]
+pub struct Thm3Row {
+    /// Size-class parameter (all sizes ≥ W/k).
+    pub k: u64,
+    /// Target µ of the workloads.
+    pub mu: u64,
+    /// Seeds swept.
+    pub seeds: usize,
+    /// Worst measured FF ratio (upper bracket).
+    pub worst_ratio: Ratio,
+    /// The Theorem 3 bound (= k).
+    pub bound: Ratio,
+    /// Whether every seed respected the bound.
+    pub holds: bool,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> (Table, Vec<Thm3Row>) {
+    let ks: &[u64] = if quick { &[2, 4] } else { &[2, 3, 4, 6, 8] };
+    let seeds: u64 = if quick { 5 } else { 25 };
+    let mu = 10u64;
+
+    let rows: Vec<Thm3Row> = ks
+        .par_iter()
+        .map(|&k| {
+            let mut worst = Ratio::ZERO;
+            let bound = dbp_core::bounds::ff_large_items_bound(k);
+            let mut holds = true;
+            for seed in 0..seeds {
+                let cfg = MuControlledConfig {
+                    n_items: if quick { 60 } else { 150 },
+                    sizes: SizeModel::LargeOnly { k },
+                    seed,
+                    ..MuControlledConfig::new(mu)
+                };
+                let inst = generate_mu_controlled(&cfg);
+                let trace = simulate(&inst, &mut FirstFit::new());
+                let bracket = ratio_vs_opt(
+                    &inst,
+                    trace.total_cost_ticks(),
+                    SolveMode::Exact {
+                        node_budget: 500_000,
+                    },
+                );
+                worst = worst.max(bracket.hi);
+                if bracket.hi > bound {
+                    holds = false;
+                }
+            }
+            Thm3Row {
+                k,
+                mu,
+                seeds: seeds as usize,
+                worst_ratio: worst,
+                bound,
+                holds,
+            }
+        })
+        .collect();
+
+    let mut table = Table::new(
+        "Theorem 3: large items (s >= W/k) => FF_total <= k * OPT_total",
+        &["k", "mu", "seeds", "worst FF ratio", "bound k", "holds"],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.k),
+            cell(r.mu),
+            cell(r.seeds),
+            f3(r.worst_ratio.to_f64()),
+            f3(r.bound.to_f64()),
+            cell(r.holds),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_holds_for_all_k() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.holds, "Theorem 3 bound violated at k={}", r.k);
+            assert!(r.worst_ratio <= r.bound);
+            assert!(r.worst_ratio > Ratio::ZERO);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! **thm4_small_items** — Theorem 4: with every size < W/k, First Fit's
+//! ratio is at most `k/(k−1)·µ + 6k/(k−1) + 1`.
+//!
+//! Sweeps (k, µ) over µ-pinned small-item workloads; the measured ratio
+//! (conservative upper bracket) must stay below the bound curve, and the
+//! §4.3 analysis machinery must certify cleanly on every trace.
+
+use crate::harness::{cell, f3, Table};
+use crate::sweep::{mu_grid, ratio_vs_opt};
+use dbp_core::analysis::analyze_first_fit;
+use dbp_core::prelude::*;
+use dbp_opt::SolveMode;
+use dbp_workloads::{generate_mu_controlled, MuControlledConfig, SizeModel};
+use rayon::prelude::*;
+
+/// One (k, µ) cell.
+#[derive(Debug, Clone)]
+pub struct Thm4Row {
+    /// Size-class parameter (all sizes < W/k).
+    pub k: u64,
+    /// Pinned µ.
+    pub mu: u64,
+    /// Worst measured FF ratio (upper bracket) over seeds.
+    pub worst_ratio: Ratio,
+    /// The Theorem 4 bound.
+    pub bound: Ratio,
+    /// Whether the bound held on every seed.
+    pub holds: bool,
+    /// Whether the §4.3 analysis was violation-free on every seed.
+    pub analysis_clean: bool,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> (Table, Vec<Thm4Row>) {
+    let ks: &[u64] = if quick { &[4] } else { &[2, 4, 8] };
+    let mus = if quick { vec![1, 8] } else { mu_grid(32) };
+    let seeds: u64 = if quick { 4 } else { 12 };
+
+    let grid: Vec<(u64, u64)> = ks
+        .iter()
+        .flat_map(|&k| mus.iter().map(move |&mu| (k, mu)))
+        .collect();
+
+    let mut rows: Vec<Thm4Row> = grid
+        .par_iter()
+        .map(|&(k, mu)| {
+            let bound = dbp_core::bounds::ff_small_items_bound(k, Ratio::from_int(mu as u128));
+            let mut worst = Ratio::ZERO;
+            let mut holds = true;
+            let mut analysis_clean = true;
+            for seed in 0..seeds {
+                let cfg = MuControlledConfig {
+                    n_items: if quick { 80 } else { 200 },
+                    sizes: SizeModel::SmallOnly { k },
+                    seed: seed * 1000 + k * 7 + mu,
+                    ..MuControlledConfig::new(mu)
+                };
+                let inst = generate_mu_controlled(&cfg);
+                let trace = simulate(&inst, &mut FirstFit::new());
+                let analysis = analyze_first_fit(&inst, &trace);
+                if !analysis.is_clean() {
+                    analysis_clean = false;
+                }
+                let bracket = ratio_vs_opt(
+                    &inst,
+                    trace.total_cost_ticks(),
+                    SolveMode::Exact {
+                        node_budget: 100_000,
+                    },
+                );
+                worst = worst.max(bracket.hi);
+                if bracket.hi > bound {
+                    holds = false;
+                }
+            }
+            Thm4Row {
+                k,
+                mu,
+                worst_ratio: worst,
+                bound,
+                holds,
+                analysis_clean,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| (r.k, r.mu));
+
+    let mut table = Table::new(
+        "Theorem 4: small items (s < W/k) => FF ratio <= k/(k-1)*mu + 6k/(k-1) + 1",
+        &[
+            "k",
+            "mu",
+            "worst FF ratio",
+            "bound",
+            "holds",
+            "analysis clean",
+        ],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.k),
+            cell(r.mu),
+            f3(r.worst_ratio.to_f64()),
+            f3(r.bound.to_f64()),
+            cell(r.holds),
+            cell(r.analysis_clean),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_and_analysis_hold_everywhere() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.holds, "Theorem 4 violated at k={}, µ={}", r.k, r.mu);
+            assert!(r.analysis_clean, "analysis dirty at k={}, µ={}", r.k, r.mu);
+        }
+    }
+
+    #[test]
+    fn bound_grows_linearly_in_mu() {
+        let (_, rows) = run(true);
+        let by_mu: Vec<&Thm4Row> = rows.iter().filter(|r| r.k == 4).collect();
+        for w in by_mu.windows(2) {
+            assert!(w[1].bound > w[0].bound);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! **thm5_general_ff** — Theorem 5: First Fit's general competitive ratio
+//! is at most `2µ + 13`.
+//!
+//! Two workload families per µ: (a) µ-pinned mixed-size random traces, and
+//! (b) the Theorem 1 adversarial witness (the worst known instance family,
+//! where FF's ratio actually approaches µ). Both must stay below `2µ + 13`,
+//! and the adversarial family shows the bound's µ-dependence is real.
+
+use crate::harness::{cell, f3, Table};
+use crate::sweep::{mu_grid, ratio_vs_opt};
+use dbp_adversary::Theorem1;
+use dbp_core::prelude::*;
+use dbp_opt::{opt_total, SolveMode};
+use dbp_workloads::{generate_mu_controlled, MuControlledConfig, SizeModel};
+use rayon::prelude::*;
+
+/// One µ row.
+#[derive(Debug, Clone)]
+pub struct Thm5Row {
+    /// Pinned µ.
+    pub mu: u64,
+    /// Worst FF ratio over random mixed workloads (upper bracket).
+    pub random_worst: Ratio,
+    /// FF ratio on the Theorem 1 witness (k = 32).
+    pub adversarial: Ratio,
+    /// The bound `2µ + 13`.
+    pub bound: Ratio,
+    /// Whether both stayed below the bound.
+    pub holds: bool,
+}
+
+/// Run the sweep.
+pub fn run(quick: bool) -> (Table, Vec<Thm5Row>) {
+    let mus = if quick { vec![1, 8] } else { mu_grid(64) };
+    let seeds: u64 = if quick { 4 } else { 10 };
+
+    let mut rows: Vec<Thm5Row> = mus
+        .par_iter()
+        .map(|&mu| {
+            let bound = dbp_core::bounds::ff_general_bound(Ratio::from_int(mu as u128));
+            let mut random_worst = Ratio::ZERO;
+            let mut holds = true;
+            for seed in 0..seeds {
+                let cfg = MuControlledConfig {
+                    n_items: if quick { 80 } else { 200 },
+                    sizes: SizeModel::Uniform { lo: 5, hi: 60 },
+                    seed: seed * 77 + mu,
+                    ..MuControlledConfig::new(mu)
+                };
+                let inst = generate_mu_controlled(&cfg);
+                let trace = simulate(&inst, &mut FirstFit::new());
+                let bracket = ratio_vs_opt(
+                    &inst,
+                    trace.total_cost_ticks(),
+                    SolveMode::Exact {
+                        node_budget: 100_000,
+                    },
+                );
+                random_worst = random_worst.max(bracket.hi);
+                if bracket.hi > bound {
+                    holds = false;
+                }
+            }
+
+            // Adversarial witness: FF's ratio here is kµ/(k+µ−1) ≈ µ.
+            let t1 = Theorem1::new(32, mu);
+            let inst = t1.instance();
+            let trace = simulate(&inst, &mut FirstFit::new());
+            let opt = opt_total(&inst, SolveMode::default());
+            let adversarial = Ratio::new(trace.total_cost_ticks(), opt.exact_ticks());
+            if adversarial > bound {
+                holds = false;
+            }
+
+            Thm5Row {
+                mu,
+                random_worst,
+                adversarial,
+                bound,
+                holds,
+            }
+        })
+        .collect();
+    rows.sort_by_key(|r| r.mu);
+
+    let mut table = Table::new(
+        "Theorem 5: FF general bound 2mu+13 (random worst-case vs adversarial witness)",
+        &["mu", "random worst", "adversarial", "2mu+13", "holds"],
+    );
+    for r in &rows {
+        table.push(vec![
+            cell(r.mu),
+            f3(r.random_worst.to_f64()),
+            f3(r.adversarial.to_f64()),
+            f3(r.bound.to_f64()),
+            cell(r.holds),
+        ]);
+    }
+    (table, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_holds_on_both_families() {
+        let (_, rows) = run(true);
+        for r in &rows {
+            assert!(r.holds, "Theorem 5 violated at µ={}", r.mu);
+            assert!(r.random_worst <= r.bound);
+            assert!(r.adversarial <= r.bound);
+        }
+    }
+
+    #[test]
+    fn adversarial_family_tracks_mu() {
+        let (_, rows) = run(true);
+        // At µ = 8 with k = 32 the witness ratio is 256/39 ≈ 6.56 — far
+        // above anything random workloads produce.
+        let hi = rows.iter().find(|r| r.mu == 8).unwrap();
+        assert!(hi.adversarial.to_f64() > 6.0);
+        assert!(hi.adversarial > hi.random_worst);
+    }
+}

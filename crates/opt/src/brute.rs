@@ -1,0 +1,75 @@
+//! Brute-force reference solver: exhaustive set-partition enumeration for
+//! tiny multisets. Exponential and only used in tests — it exists so the
+//! branch-and-bound solver (which everything divides by) has an independent
+//! ground truth to be diffed against.
+
+/// Minimum bins by trying every assignment of items to at most `n` bins
+/// (with canonical-order symmetry breaking). Only call with `sizes.len()`
+/// up to ~10.
+pub fn brute_force_min_bins(sizes: &[u64], capacity: u64) -> usize {
+    assert!(capacity > 0);
+    assert!(
+        sizes.len() <= 12,
+        "brute force is exponential; got {} items",
+        sizes.len()
+    );
+    if sizes.is_empty() {
+        return 0;
+    }
+    fn rec(sizes: &[u64], capacity: u64, idx: usize, loads: &mut Vec<u64>, best: &mut usize) {
+        if loads.len() >= *best {
+            return;
+        }
+        if idx == sizes.len() {
+            *best = loads.len();
+            return;
+        }
+        let s = sizes[idx];
+        for b in 0..loads.len() {
+            if loads[b] + s <= capacity {
+                loads[b] += s;
+                rec(sizes, capacity, idx + 1, loads, best);
+                loads[b] -= s;
+            }
+        }
+        loads.push(s);
+        rec(sizes, capacity, idx + 1, loads, best);
+        loads.pop();
+    }
+    let mut best = sizes.len(); // one bin per item always feasible
+    let mut loads = Vec::new();
+    rec(sizes, capacity, 0, &mut loads, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::ExactSolver;
+    use proptest::prelude::*;
+
+    #[test]
+    fn brute_force_known_values() {
+        assert_eq!(brute_force_min_bins(&[], 10), 0);
+        assert_eq!(brute_force_min_bins(&[10], 10), 1);
+        assert_eq!(brute_force_min_bins(&[6, 6, 6], 10), 3);
+        assert_eq!(brute_force_min_bins(&[5, 5, 4, 4, 3, 3, 3, 3], 10), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The branch-and-bound solver agrees with exhaustive enumeration on
+        /// every tiny multiset — the ground-truth anchor for OPT_total.
+        #[test]
+        fn bnb_matches_brute_force(
+            sizes in proptest::collection::vec(1u64..=20, 0..9),
+            cap in 20u64..40
+        ) {
+            let brute = brute_force_min_bins(&sizes, cap);
+            let bnb = ExactSolver::default().solve(&sizes, cap);
+            prop_assert!(bnb.is_exact());
+            prop_assert_eq!(bnb.lb(), brute, "sizes {:?} cap {}", sizes, cap);
+        }
+    }
+}

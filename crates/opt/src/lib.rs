@@ -1,0 +1,78 @@
+//! # dbp-opt — offline optimum substrate for MinTotal DBP
+//!
+//! The paper measures every online algorithm against
+//! `OPT_total(R) = ∫ OPT(R, t) dt`, where `OPT(R, t)` is the *clairvoyant
+//! repacking optimum*: the minimum number of bins that can hold the items
+//! active at instant `t`. This crate provides:
+//!
+//! * [`heuristics`] — FFD and BFD (upper bounds per instant);
+//! * [`lower_bounds`] — the area bound `L1` and Martello–Toth `L2`;
+//! * [`exact`] — a branch-and-bound exact solver with graceful degradation;
+//! * [`opt_total`](opt_total::opt_total) — the exact piecewise-constant integration of
+//!   `OPT(R, t)` over the packing period, with multiset memoization.
+//!
+//! The adversarial experiments use [`opt_total::opt_total`] in exact mode so
+//! measured competitive ratios compare `==` against the paper's closed
+//! forms; the large workload sweeps use bracket mode and report ratio
+//! ranges.
+//!
+//! ```
+//! use dbp_opt::{ExactSolver, SolveOutcome, ffd, l2_bound};
+//! // FFD is suboptimal here (4 bins); the exact solver proves 3.
+//! let sizes = [5, 5, 4, 4, 3, 3, 3, 3];
+//! assert_eq!(ffd(&sizes, 10), 4);
+//! assert_eq!(ExactSolver::default().solve(&sizes, 10), SolveOutcome::Exact(3));
+//! assert!(l2_bound(&sizes, 10) <= 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod brute;
+pub mod exact;
+pub mod fixed;
+pub mod heuristics;
+pub mod lower_bounds;
+pub mod opt_total;
+
+pub use brute::brute_force_min_bins;
+pub use exact::{ExactSolver, SolveOutcome};
+pub use fixed::{fixed_optimum, FixedOpt};
+pub use heuristics::{bfd, ffd, ffd_packing, verify_packing, Packing};
+pub use lower_bounds::{l1_bound, l2_bound};
+pub use opt_total::{opt_at, opt_timeline, opt_total, opt_total_parallel, OptTotal, SolveMode};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn bounds_sandwich_exact(sizes in proptest::collection::vec(1u64..=20, 0..14)) {
+            let cap = 20u64;
+            let lb = l2_bound(&sizes, cap);
+            let ub = ffd(&sizes, cap);
+            let n = ExactSolver::default().solve(&sizes, cap);
+            prop_assert!(n.is_exact());
+            let n = n.lb();
+            prop_assert!(lb <= n, "L2 {lb} > OPT {n} on {sizes:?}");
+            prop_assert!(n <= ub, "OPT {n} > FFD {ub} on {sizes:?}");
+            prop_assert!(bfd(&sizes, cap) >= n);
+        }
+
+        #[test]
+        fn exact_is_permutation_invariant(mut sizes in proptest::collection::vec(1u64..=15, 1..10)) {
+            let cap = 15u64;
+            let a = ExactSolver::default().solve(&sizes, cap);
+            sizes.reverse();
+            let b = ExactSolver::default().solve(&sizes, cap);
+            prop_assert_eq!(a, b);
+        }
+
+        #[test]
+        fn singleton_multiset_needs_one_bin(size in 1u64..=30) {
+            prop_assert_eq!(ExactSolver::default().solve(&[size], 30), SolveOutcome::Exact(1));
+        }
+    }
+}

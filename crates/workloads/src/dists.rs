@@ -1,0 +1,357 @@
+//! Probability distributions for session lengths and inter-arrival times.
+//!
+//! Implemented from scratch over `rand`'s uniform source (inverse-CDF and
+//! Box–Muller), to keep the dependency set minimal. These model the
+//! *unknown-at-assignment* departure times of the cloud-gaming motivation:
+//! exponential and lognormal for typical session lengths, Pareto for the
+//! heavy tail of marathon sessions.
+
+use rand::Rng;
+
+/// A sampler of non-negative `f64` values.
+pub trait Sampler {
+    /// Draw one sample.
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64;
+    /// The distribution's mean (used to size workloads).
+    fn mean(&self) -> f64;
+}
+
+fn uniform01(rng: &mut dyn rand::Rng) -> f64 {
+    // 53-bit uniform in [0, 1); add 2^-54 to keep ln() finite.
+    let u = (rng.next_u64() >> 11) as f64 * (1.0 / 9007199254740992.0);
+    u + f64::EPSILON / 4.0
+}
+
+/// Exponential(rate): mean `1/rate`.
+#[derive(Debug, Clone, Copy)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// # Panics
+    /// Panics unless `rate > 0`.
+    pub fn new(rate: f64) -> Exponential {
+        assert!(rate > 0.0, "Exponential rate must be positive");
+        Exponential { rate }
+    }
+
+    /// Exponential with the given mean.
+    pub fn with_mean(mean: f64) -> Exponential {
+        Exponential::new(1.0 / mean)
+    }
+}
+
+impl Sampler for Exponential {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        -uniform01(rng).ln() / self.rate
+    }
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// LogNormal(µ, σ) of the underlying normal: mean `exp(µ + σ²/2)`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// # Panics
+    /// Panics unless `sigma > 0`.
+    pub fn new(mu: f64, sigma: f64) -> LogNormal {
+        assert!(sigma > 0.0, "LogNormal sigma must be positive");
+        LogNormal { mu, sigma }
+    }
+
+    /// LogNormal with a target mean and σ of the underlying normal.
+    pub fn with_mean(mean: f64, sigma: f64) -> LogNormal {
+        assert!(mean > 0.0);
+        LogNormal::new(mean.ln() - sigma * sigma / 2.0, sigma)
+    }
+}
+
+impl Sampler for LogNormal {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        // Box–Muller.
+        let u1 = uniform01(rng);
+        let u2 = uniform01(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+}
+
+/// Pareto(x_m, α): heavy-tailed; mean `α·x_m/(α−1)` for `α > 1`.
+#[derive(Debug, Clone, Copy)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// # Panics
+    /// Panics unless `xm > 0` and `alpha > 1` (finite mean required).
+    pub fn new(xm: f64, alpha: f64) -> Pareto {
+        assert!(xm > 0.0, "Pareto scale must be positive");
+        assert!(alpha > 1.0, "Pareto alpha must exceed 1 for a finite mean");
+        Pareto { xm, alpha }
+    }
+}
+
+impl Sampler for Pareto {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        self.xm / uniform01(rng).powf(1.0 / self.alpha)
+    }
+    fn mean(&self) -> f64 {
+        self.alpha * self.xm / (self.alpha - 1.0)
+    }
+}
+
+/// Uniform on `[lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// # Panics
+    /// Panics unless `lo < hi`.
+    pub fn new(lo: f64, hi: f64) -> Uniform {
+        assert!(lo < hi, "Uniform needs lo < hi");
+        Uniform { lo, hi }
+    }
+}
+
+impl Sampler for Uniform {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        self.lo + (self.hi - self.lo) * uniform01(rng)
+    }
+    fn mean(&self) -> f64 {
+        (self.lo + self.hi) / 2.0
+    }
+}
+
+/// Weibull(shape, scale).
+#[derive(Debug, Clone, Copy)]
+pub struct Weibull {
+    shape: f64,
+    scale: f64,
+}
+
+impl Weibull {
+    /// # Panics
+    /// Panics unless both parameters are positive.
+    pub fn new(shape: f64, scale: f64) -> Weibull {
+        assert!(shape > 0.0 && scale > 0.0);
+        Weibull { shape, scale }
+    }
+}
+
+impl Sampler for Weibull {
+    fn sample(&self, rng: &mut dyn rand::Rng) -> f64 {
+        self.scale * (-uniform01(rng).ln()).powf(1.0 / self.shape)
+    }
+    fn mean(&self) -> f64 {
+        // Γ(1 + 1/shape) via Stirling-free Lanczos would be overkill; use
+        // the ln-gamma free approximation only where shape is 1 (exact) and
+        // otherwise a numeric gamma.
+        self.scale * gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
+/// Degenerate distribution (always `v`).
+#[derive(Debug, Clone, Copy)]
+pub struct Deterministic(pub f64);
+
+impl Sampler for Deterministic {
+    fn sample(&self, _rng: &mut dyn rand::Rng) -> f64 {
+        self.0
+    }
+    fn mean(&self) -> f64 {
+        self.0
+    }
+}
+
+/// Lanczos approximation of the gamma function (g = 7, n = 9), accurate to
+/// ~1e-13 on the positive axis — plenty for workload sizing.
+#[allow(clippy::excessive_precision)] // Lanczos coefficients as published
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        let t = x + G + 0.5;
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Zipf distribution over `{0, 1, …, n−1}` with exponent `s` — models game
+/// popularity (a few titles dominate requests).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// # Panics
+    /// Panics unless `n ≥ 1` and `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n >= 1, "Zipf needs at least one category");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let weights: Vec<f64> = (1..=n).map(|r| 1.0 / (r as f64).powf(s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Zipf { cdf }
+    }
+
+    /// Draw a category index.
+    pub fn sample_index(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = uniform01(rng);
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("NaN in Zipf cdf"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mean_of(s: &dyn Sampler, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| s.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn empirical_means_match_analytic() {
+        let n = 200_000;
+        let cases: Vec<(Box<dyn Sampler>, f64)> = vec![
+            (Box::new(Exponential::with_mean(40.0)), 0.03),
+            (Box::new(LogNormal::with_mean(100.0, 0.5)), 0.03),
+            (Box::new(Pareto::new(10.0, 2.5)), 0.08),
+            (Box::new(Uniform::new(5.0, 15.0)), 0.02),
+            (Box::new(Weibull::new(1.5, 30.0)), 0.03),
+            (Box::new(Deterministic(7.0)), 1e-12),
+        ];
+        for (i, (s, tol)) in cases.iter().enumerate() {
+            let emp = mean_of(s.as_ref(), n, 42 + i as u64);
+            let ana = s.mean();
+            let rel = (emp - ana).abs() / ana;
+            assert!(
+                rel < *tol,
+                "case {i}: empirical {emp} vs analytic {ana} (rel {rel})"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dists: Vec<Box<dyn Sampler>> = vec![
+            Box::new(Exponential::new(0.1)),
+            Box::new(LogNormal::new(2.0, 1.0)),
+            Box::new(Pareto::new(1.0, 1.5)),
+            Box::new(Weibull::new(0.8, 10.0)),
+        ];
+        for d in &dists {
+            for _ in 0..1000 {
+                assert!(d.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_is_memoryless_ish() {
+        // P(X > 2m) should be about P(X > m)^2.
+        let d = Exponential::with_mean(10.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let p1 = samples.iter().filter(|&&x| x > 10.0).count() as f64 / n as f64;
+        let p2 = samples.iter().filter(|&&x| x > 20.0).count() as f64 / n as f64;
+        assert!((p2 - p1 * p1).abs() < 0.01);
+    }
+
+    #[test]
+    fn pareto_is_heavier_tailed_than_exponential() {
+        let pareto = Pareto::new(4.0, 1.5); // mean 12
+        let exp = Exponential::with_mean(12.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let tail_p: f64 =
+            (0..n).filter(|_| pareto.sample(&mut rng) > 120.0).count() as f64 / n as f64;
+        let mut rng = StdRng::seed_from_u64(4);
+        let tail_e: f64 = (0..n).filter(|_| exp.sample(&mut rng) > 120.0).count() as f64 / n as f64;
+        assert!(tail_p > 5.0 * tail_e.max(1e-9));
+    }
+
+    #[test]
+    fn gamma_function_spot_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-10);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-8);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zipf_is_monotone_and_normalized() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        // Category 0 most popular; ratio 0/4 close to 5.
+        assert!(counts[0] > counts[1]);
+        assert!(counts[1] > counts[3]);
+        let ratio = counts[0] as f64 / counts[4] as f64;
+        assert!((ratio - 5.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample_index(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 500.0);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! The game catalog: per-title GPU demand and session-length models.
+//!
+//! The paper's motivation: "running each game instance demands a certain
+//! amount of GPU resources and the resource requirement can be different
+//! for running different games". We model a service with a catalog of
+//! titles; each playing request picks a title (Zipf popularity) which fixes
+//! the item's size and its session-length distribution.
+
+use crate::dists::{Exponential, LogNormal, Pareto, Sampler};
+
+/// How a game's session lengths are distributed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SessionKind {
+    /// Exponential with the given mean (minutes).
+    Exponential {
+        /// Mean session length in minutes.
+        mean_min: f64,
+    },
+    /// LogNormal with the given mean (minutes) and shape σ.
+    LogNormal {
+        /// Mean session length in minutes.
+        mean_min: f64,
+        /// σ of the underlying normal.
+        sigma: f64,
+    },
+    /// Pareto with scale x_m (minutes) and tail exponent α.
+    Pareto {
+        /// Minimum session length in minutes.
+        xm_min: f64,
+        /// Tail exponent (must exceed 1).
+        alpha: f64,
+    },
+}
+
+impl SessionKind {
+    /// Instantiate a sampler producing lengths in minutes.
+    pub fn sampler(&self) -> Box<dyn Sampler> {
+        match *self {
+            SessionKind::Exponential { mean_min } => Box::new(Exponential::with_mean(mean_min)),
+            SessionKind::LogNormal { mean_min, sigma } => {
+                Box::new(LogNormal::with_mean(mean_min, sigma))
+            }
+            SessionKind::Pareto { xm_min, alpha } => Box::new(Pareto::new(xm_min, alpha)),
+        }
+    }
+}
+
+/// One title in the catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// GPU demand in capacity units (the item size `s(r)`).
+    pub gpu_units: u64,
+    /// Session-length model.
+    pub sessions: SessionKind,
+}
+
+/// A catalog of titles with Zipf-ranked popularity (index 0 most popular).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameCatalog {
+    /// The titles, in popularity-rank order.
+    pub games: Vec<GameProfile>,
+    /// Zipf exponent for popularity.
+    pub zipf_s: f64,
+}
+
+impl GameCatalog {
+    /// A representative 12-title catalog against server capacity 1000 GPU
+    /// units: light casual titles through heavyweight open-world renders.
+    /// Demands range from `W/20` to `W/2`; session means from a quarter hour
+    /// to several hours with a heavy-tailed MMO.
+    pub fn default_catalog() -> GameCatalog {
+        use SessionKind::*;
+        GameCatalog {
+            games: vec![
+                GameProfile {
+                    name: "moba-arena",
+                    gpu_units: 125,
+                    sessions: LogNormal {
+                        mean_min: 38.0,
+                        sigma: 0.4,
+                    },
+                },
+                GameProfile {
+                    name: "battle-royale",
+                    gpu_units: 200,
+                    sessions: LogNormal {
+                        mean_min: 25.0,
+                        sigma: 0.5,
+                    },
+                },
+                GameProfile {
+                    name: "casual-puzzle",
+                    gpu_units: 50,
+                    sessions: Exponential { mean_min: 15.0 },
+                },
+                GameProfile {
+                    name: "open-world-rpg",
+                    gpu_units: 500,
+                    sessions: LogNormal {
+                        mean_min: 90.0,
+                        sigma: 0.6,
+                    },
+                },
+                GameProfile {
+                    name: "fps-shooter",
+                    gpu_units: 250,
+                    sessions: Exponential { mean_min: 45.0 },
+                },
+                GameProfile {
+                    name: "mmo-raid",
+                    gpu_units: 400,
+                    sessions: Pareto {
+                        xm_min: 40.0,
+                        alpha: 1.8,
+                    },
+                },
+                GameProfile {
+                    name: "racing-sim",
+                    gpu_units: 200,
+                    sessions: Exponential { mean_min: 30.0 },
+                },
+                GameProfile {
+                    name: "card-battler",
+                    gpu_units: 80,
+                    sessions: Exponential { mean_min: 20.0 },
+                },
+                GameProfile {
+                    name: "fighting",
+                    gpu_units: 160,
+                    sessions: Exponential { mean_min: 25.0 },
+                },
+                GameProfile {
+                    name: "flight-sim",
+                    gpu_units: 500,
+                    sessions: LogNormal {
+                        mean_min: 120.0,
+                        sigma: 0.5,
+                    },
+                },
+                GameProfile {
+                    name: "platformer",
+                    gpu_units: 100,
+                    sessions: Exponential { mean_min: 35.0 },
+                },
+                GameProfile {
+                    name: "sandbox-builder",
+                    gpu_units: 320,
+                    sessions: Pareto {
+                        xm_min: 30.0,
+                        alpha: 2.2,
+                    },
+                },
+            ],
+            zipf_s: 0.9,
+        }
+    }
+
+    /// The server capacity the default catalog is calibrated against.
+    pub const DEFAULT_CAPACITY: u64 = 1000;
+
+    /// Number of titles.
+    pub fn len(&self) -> usize {
+        self.games.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.games.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_catalog_fits_capacity() {
+        let c = GameCatalog::default_catalog();
+        assert_eq!(c.len(), 12);
+        for g in &c.games {
+            assert!(g.gpu_units > 0);
+            assert!(g.gpu_units <= GameCatalog::DEFAULT_CAPACITY / 2);
+        }
+    }
+
+    #[test]
+    fn session_samplers_have_positive_means() {
+        let c = GameCatalog::default_catalog();
+        for g in &c.games {
+            let s = g.sessions.sampler();
+            assert!(s.mean() > 0.0, "{} has nonpositive mean", g.name);
+        }
+    }
+
+    #[test]
+    fn catalog_names_are_unique() {
+        let c = GameCatalog::default_catalog();
+        let mut names: Vec<&str> = c.games.iter().map(|g| g.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), c.len());
+    }
+}

@@ -1,0 +1,229 @@
+//! The cloud-gaming trace generator: arrival process × game catalog ×
+//! session model → a MinTotal DBP [`Instance`].
+//!
+//! Ticks are seconds in this module (session means are given in minutes).
+
+use crate::arrivals::{ArrivalProcess, DiurnalPoisson, FlashCrowd, Poisson};
+use crate::dists::{Sampler, Zipf};
+use crate::games::GameCatalog;
+use dbp_core::instance::{Instance, InstanceBuilder};
+use dbp_core::item::RegionId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Which arrival process drives the workload.
+#[derive(Debug, Clone, Copy)]
+pub enum ArrivalKind {
+    /// Homogeneous Poisson with the given rate (requests per second).
+    Poisson {
+        /// Requests per tick (second).
+        rate: f64,
+    },
+    /// Diurnal (sinusoidal) Poisson: day/night player cycle.
+    Diurnal {
+        /// Average requests per tick.
+        base_rate: f64,
+        /// Relative swing in `[0, 1]`.
+        amplitude: f64,
+        /// Cycle length in ticks (86_400 = one day of seconds).
+        period: f64,
+    },
+    /// Flash crowd: baseline Poisson plus a burst window (game launch).
+    Flash {
+        /// Baseline requests per tick.
+        base_rate: f64,
+        /// Burst window start tick.
+        burst_start: u64,
+        /// Burst window end tick.
+        burst_end: u64,
+        /// Rate multiplier inside the window (≥ 1).
+        multiplier: f64,
+    },
+}
+
+/// Full workload configuration.
+#[derive(Debug, Clone)]
+pub struct CloudGamingConfig {
+    /// Server GPU capacity `W`.
+    pub capacity: u64,
+    /// Trace horizon in ticks (arrivals stop here; sessions may run over).
+    pub horizon: u64,
+    /// Arrival process.
+    pub arrivals: ArrivalKind,
+    /// Game catalog (sizes + session models + popularity).
+    pub catalog: GameCatalog,
+    /// Sessions shorter than this are clamped up (ticks). Also the ∆ the
+    /// instance's µ is measured against.
+    pub min_session: u64,
+    /// Sessions longer than this are clamped down (ticks) — the knob that
+    /// bounds µ.
+    pub max_session: u64,
+    /// Number of regions for the constrained-DBP extension (1 = plain DBP).
+    pub regions: u16,
+    /// RNG seed; equal configs with equal seeds generate identical traces.
+    pub seed: u64,
+}
+
+impl Default for CloudGamingConfig {
+    fn default() -> Self {
+        CloudGamingConfig {
+            capacity: GameCatalog::DEFAULT_CAPACITY,
+            horizon: 4 * 3600, // four hours of seconds
+            arrivals: ArrivalKind::Poisson { rate: 0.05 },
+            catalog: GameCatalog::default_catalog(),
+            min_session: 5 * 60,
+            max_session: 4 * 3600,
+            regions: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Generate the instance for a configuration.
+///
+/// # Panics
+/// Panics on degenerate configurations (zero capacity, empty catalog,
+/// `min_session = 0` or `min_session > max_session`, `regions = 0`), and if
+/// the arrival process produces no items at all (shrink the horizon or rate
+/// instead of special-casing empty instances downstream).
+pub fn generate(cfg: &CloudGamingConfig) -> Instance {
+    assert!(cfg.capacity > 0, "zero capacity");
+    assert!(!cfg.catalog.is_empty(), "empty catalog");
+    assert!(
+        cfg.min_session > 0 && cfg.min_session <= cfg.max_session,
+        "bad session clamp [{}, {}]",
+        cfg.min_session,
+        cfg.max_session
+    );
+    assert!(cfg.regions > 0, "need at least one region");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let arrivals = match cfg.arrivals {
+        ArrivalKind::Poisson { rate } => Poisson::new(rate).arrivals(cfg.horizon, &mut rng),
+        ArrivalKind::Diurnal {
+            base_rate,
+            amplitude,
+            period,
+        } => DiurnalPoisson::new(base_rate, amplitude, period).arrivals(cfg.horizon, &mut rng),
+        ArrivalKind::Flash {
+            base_rate,
+            burst_start,
+            burst_end,
+            multiplier,
+        } => FlashCrowd::new(base_rate, burst_start, burst_end, multiplier)
+            .arrivals(cfg.horizon, &mut rng),
+    };
+    assert!(
+        !arrivals.is_empty(),
+        "arrival process produced no requests over horizon {}",
+        cfg.horizon
+    );
+
+    let zipf = Zipf::new(cfg.catalog.len(), cfg.catalog.zipf_s);
+    let samplers: Vec<Box<dyn Sampler>> = cfg
+        .catalog
+        .games
+        .iter()
+        .map(|g| g.sessions.sampler())
+        .collect();
+
+    let mut b = InstanceBuilder::new(cfg.capacity);
+    for at in arrivals {
+        let game_idx = zipf.sample_index(&mut rng);
+        let game = &cfg.catalog.games[game_idx];
+        let minutes = samplers[game_idx].sample(&mut rng);
+        let len = ((minutes * 60.0) as u64).clamp(cfg.min_session, cfg.max_session);
+        let region = if cfg.regions == 1 {
+            RegionId::GLOBAL
+        } else {
+            RegionId(rng.random_range(0..cfg.regions))
+        };
+        b.add_in_region(at, at + len, game.gpu_units, region);
+    }
+    b.build().expect("generated workload must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_generates_sane_trace() {
+        let cfg = CloudGamingConfig::default();
+        let inst = generate(&cfg);
+        assert!(inst.len() > 300, "expected ~720 items, got {}", inst.len());
+        let stats = inst.stats();
+        assert!(stats.min_interval_len.raw() >= cfg.min_session);
+        assert!(stats.max_interval_len.raw() <= cfg.max_session);
+        assert!(stats.max_size.raw() <= cfg.capacity / 2);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = CloudGamingConfig::default();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = CloudGamingConfig {
+            seed: 1,
+            ..CloudGamingConfig::default()
+        };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn mu_is_bounded_by_session_clamp() {
+        let cfg = CloudGamingConfig {
+            min_session: 600,
+            max_session: 6000,
+            ..CloudGamingConfig::default()
+        };
+        let inst = generate(&cfg);
+        let mu = inst.mu().unwrap();
+        assert!(mu <= dbp_core::ratio::Ratio::from_int(10));
+    }
+
+    #[test]
+    fn regions_are_assigned_when_requested() {
+        let cfg = CloudGamingConfig {
+            regions: 4,
+            ..CloudGamingConfig::default()
+        };
+        let inst = generate(&cfg);
+        let regions = inst.regions();
+        assert_eq!(regions.len(), 4);
+    }
+
+    #[test]
+    fn flash_crowd_spikes_the_peak() {
+        let calm = CloudGamingConfig {
+            seed: 3,
+            ..CloudGamingConfig::default()
+        };
+        let burst = CloudGamingConfig {
+            arrivals: ArrivalKind::Flash {
+                base_rate: 0.05,
+                burst_start: 3600,
+                burst_end: 2 * 3600,
+                multiplier: 6.0,
+            },
+            seed: 3,
+            ..CloudGamingConfig::default()
+        };
+        let calm_inst = generate(&calm);
+        let burst_inst = generate(&burst);
+        assert!(burst_inst.len() > calm_inst.len() + 100);
+    }
+
+    #[test]
+    fn diurnal_arrivals_flow_through() {
+        let cfg = CloudGamingConfig {
+            arrivals: ArrivalKind::Diurnal {
+                base_rate: 0.05,
+                amplitude: 0.8,
+                period: 86_400.0,
+            },
+            ..CloudGamingConfig::default()
+        };
+        let inst = generate(&cfg);
+        assert!(inst.len() > 100);
+    }
+}

@@ -1,0 +1,252 @@
+//! µ-controlled workloads: traces whose max/min interval-length ratio is
+//! pinned *exactly* to a target µ, with size regimes matching the paper's
+//! case analysis (small `< W/k`, large `≥ W/k`, or mixed).
+//!
+//! Every theorem's bound is a function of µ, so the bound-verification
+//! sweeps (`thm4_small_items`, `thm5_general_ff`, `mff_ratio`,
+//! `mu_sensitivity`) need instances where µ is a controlled independent
+//! variable rather than an emergent one. Interval lengths are drawn
+//! log-uniformly in `[∆, µ∆]` and the two extremes are pinned onto the
+//! first two items.
+
+use crate::arrivals::{ArrivalProcess, Poisson};
+use dbp_core::instance::{Instance, InstanceBuilder};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Size regime for the generated items.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeModel {
+    /// Uniform integer sizes in `[lo, hi]`.
+    Uniform {
+        /// Smallest size.
+        lo: u64,
+        /// Largest size.
+        hi: u64,
+    },
+    /// All sizes strictly below `W/k` (the Theorem 4 regime).
+    SmallOnly {
+        /// The size-class parameter `k ≥ 2`.
+        k: u64,
+    },
+    /// All sizes at least `W/k` (the Theorem 3 regime).
+    LargeOnly {
+        /// The size-class parameter `k ≥ 2`.
+        k: u64,
+    },
+    /// Unit-fraction sizes `W/w` for integer `w ∈ [1, max_w]` — the item
+    /// model of Chan–Lam–Wong's dynamic bin packing of unit fractions
+    /// (related work \[8\] of the paper). Requires `w | W` feasibility via
+    /// rounding down to `W/w`.
+    UnitFraction {
+        /// Largest denominator `w`.
+        max_w: u64,
+    },
+}
+
+/// Configuration of a µ-controlled workload.
+#[derive(Debug, Clone, Copy)]
+pub struct MuControlledConfig {
+    /// Bin capacity `W`.
+    pub capacity: u64,
+    /// Number of items.
+    pub n_items: usize,
+    /// Target µ (integer ≥ 1) — the instance's measured µ equals this.
+    pub mu: u64,
+    /// Minimum interval length ∆ in ticks.
+    pub delta: u64,
+    /// Poisson arrival rate (items per tick).
+    pub arrival_rate: f64,
+    /// Size regime.
+    pub sizes: SizeModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MuControlledConfig {
+    /// A reasonable default: `W = 100`, 200 items, `∆ = 100` ticks, mixed
+    /// sizes up to `W/2`.
+    pub fn new(mu: u64) -> MuControlledConfig {
+        MuControlledConfig {
+            capacity: 100,
+            n_items: 200,
+            mu,
+            delta: 100,
+            arrival_rate: 0.05,
+            sizes: SizeModel::Uniform { lo: 5, hi: 50 },
+            seed: 0,
+        }
+    }
+}
+
+/// Size bounds `[lo, hi]` for a model against capacity `w`.
+///
+/// # Panics
+/// Panics when the regime is infeasible (e.g. `SmallOnly` with `k ≥ W`).
+pub fn size_bounds(model: SizeModel, w: u64) -> (u64, u64) {
+    match model {
+        SizeModel::Uniform { lo, hi } => {
+            assert!(lo >= 1 && lo <= hi && hi <= w, "bad uniform size range");
+            (lo, hi)
+        }
+        SizeModel::SmallOnly { k } => {
+            assert!(k >= 2, "SmallOnly needs k >= 2");
+            // Largest s with s·k < W.
+            let hi = (w - 1) / k;
+            assert!(hi >= 1, "no size is strictly below W/k = {w}/{k}");
+            (1, hi)
+        }
+        SizeModel::LargeOnly { k } => {
+            assert!(k >= 2, "LargeOnly needs k >= 2");
+            // Smallest s with s·k ≥ W.
+            let lo = w.div_ceil(k);
+            (lo, w)
+        }
+        SizeModel::UnitFraction { max_w } => {
+            assert!(max_w >= 1 && max_w <= w, "bad unit-fraction bound");
+            (w / max_w, w)
+        }
+    }
+}
+
+/// Draw one size for the model (uniform over the model's support).
+fn draw_size(model: SizeModel, w: u64, rng: &mut rand::rngs::StdRng) -> u64 {
+    match model {
+        SizeModel::UnitFraction { max_w } => {
+            let denom = rng.random_range(1..=max_w);
+            (w / denom).max(1)
+        }
+        other => {
+            let (lo, hi) = size_bounds(other, w);
+            rng.random_range(lo..=hi)
+        }
+    }
+}
+
+/// Generate a µ-controlled instance.
+///
+/// # Panics
+/// Panics on degenerate configs (`n_items < 2` — the two extremes must be
+/// pinned — zero ∆ or capacity, infeasible size regime).
+pub fn generate_mu_controlled(cfg: &MuControlledConfig) -> Instance {
+    assert!(
+        cfg.n_items >= 2,
+        "need at least 2 items to pin both extremes"
+    );
+    assert!(cfg.capacity > 0 && cfg.delta > 0 && cfg.mu >= 1);
+    // Validate the regime up front (draw_size re-checks per draw).
+    let _ = size_bounds(cfg.sizes, cfg.capacity);
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    // Spread arrivals so the expected item count over the horizon matches.
+    let horizon = ((cfg.n_items as f64 / cfg.arrival_rate) as u64).max(1);
+    let mut arrivals = Poisson::new(cfg.arrival_rate).arrivals(horizon, &mut rng);
+    // Poisson counts fluctuate; pad or trim to exactly n_items.
+    while arrivals.len() < cfg.n_items {
+        arrivals.push(rng.random_range(0..horizon));
+    }
+    arrivals.truncate(cfg.n_items);
+    arrivals.sort_unstable();
+
+    let mu_f = cfg.mu as f64;
+    let mut b = InstanceBuilder::new(cfg.capacity);
+    for (i, &at) in arrivals.iter().enumerate() {
+        let len = match i {
+            0 => cfg.delta,          // pin the minimum
+            1 => cfg.mu * cfg.delta, // pin the maximum
+            _ => {
+                // Log-uniform in [∆, µ∆].
+                let u: f64 = rng.random_range(0.0..1.0);
+                let len = (cfg.delta as f64 * mu_f.powf(u)).round() as u64;
+                len.clamp(cfg.delta, cfg.mu * cfg.delta)
+            }
+        };
+        let size = draw_size(cfg.sizes, cfg.capacity, &mut rng);
+        b.add(at, at + len, size);
+    }
+    b.build().expect("mu-controlled workload must be valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::ratio::Ratio;
+
+    #[test]
+    fn mu_is_pinned_exactly() {
+        for mu in [1u64, 2, 7, 32] {
+            let cfg = MuControlledConfig::new(mu);
+            let inst = generate_mu_controlled(&cfg);
+            assert_eq!(
+                inst.mu().unwrap(),
+                Ratio::from_int(mu as u128),
+                "µ not pinned at target {mu}"
+            );
+            assert_eq!(inst.len(), cfg.n_items);
+        }
+    }
+
+    #[test]
+    fn small_only_respects_the_threshold() {
+        let cfg = MuControlledConfig {
+            sizes: SizeModel::SmallOnly { k: 8 },
+            ..MuControlledConfig::new(5)
+        };
+        let inst = generate_mu_controlled(&cfg);
+        for r in inst.items() {
+            assert!(r.size.raw() * 8 < cfg.capacity, "size {} not < W/8", r.size);
+        }
+    }
+
+    #[test]
+    fn large_only_respects_the_threshold() {
+        let cfg = MuControlledConfig {
+            sizes: SizeModel::LargeOnly { k: 4 },
+            ..MuControlledConfig::new(5)
+        };
+        let inst = generate_mu_controlled(&cfg);
+        for r in inst.items() {
+            assert!(r.size.raw() * 4 >= cfg.capacity);
+            assert!(r.size.raw() <= cfg.capacity);
+        }
+    }
+
+    #[test]
+    fn size_bounds_edges() {
+        assert_eq!(size_bounds(SizeModel::SmallOnly { k: 8 }, 100), (1, 12));
+        assert_eq!(size_bounds(SizeModel::LargeOnly { k: 8 }, 100), (13, 100));
+        // Threshold exactness: 12·8 = 96 < 100; 13·8 = 104 ≥ 100.
+        assert_eq!(size_bounds(SizeModel::SmallOnly { k: 2 }, 10), (1, 4));
+        assert_eq!(size_bounds(SizeModel::LargeOnly { k: 2 }, 10), (5, 10));
+    }
+
+    #[test]
+    fn unit_fraction_sizes_divide_capacity() {
+        let cfg = MuControlledConfig {
+            capacity: 120,
+            sizes: SizeModel::UnitFraction { max_w: 6 },
+            ..MuControlledConfig::new(4)
+        };
+        let inst = generate_mu_controlled(&cfg);
+        let allowed: Vec<u64> = (1..=6).map(|d| 120 / d).collect();
+        for r in inst.items() {
+            assert!(
+                allowed.contains(&r.size.raw()),
+                "size {} is not a unit fraction of 120",
+                r.size
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no size is strictly below")]
+    fn infeasible_small_only_panics() {
+        let _ = size_bounds(SizeModel::SmallOnly { k: 200 }, 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = MuControlledConfig::new(10);
+        assert_eq!(generate_mu_controlled(&cfg), generate_mu_controlled(&cfg));
+    }
+}

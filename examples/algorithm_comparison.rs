@@ -1,0 +1,48 @@
+//! Sweep µ and compare the whole algorithm roster — the practical summary
+//! of the paper: on benign traffic everyone is fine, on the adversarial
+//! witness every Any Fit ratio tracks µ, and MFF's guarantee is the best.
+//!
+//! ```sh
+//! cargo run --release --example algorithm_comparison
+//! ```
+
+use dbp::prelude::*;
+use dbp_core::algorithms::standard_factories;
+use dbp_core::bounds;
+
+fn main() {
+    println!(
+        "{:>4}  {:>8}  {:>12}  {:>12}  {:>9}  {:>10}  {:>8}",
+        "mu", "algo", "random", "adversarial", "FF bound", "MFF8 bound", "mu+8"
+    );
+    for mu in [1u64, 4, 16, 64] {
+        let witness = Theorem1::new(16, mu).instance();
+        let witness_opt = opt_total(&witness, SolveMode::default());
+        let workload = generate_mu_controlled(&MuControlledConfig {
+            n_items: 250,
+            seed: mu,
+            ..MuControlledConfig::new(mu)
+        });
+        let lb = dbp_core::bounds::combined_lower_bound(&workload);
+        let mu_r = Ratio::from_int(mu as u128);
+        for f in standard_factories(5) {
+            let mut sel = f.build();
+            let random = simulate(&workload, &mut *sel);
+            let mut sel = f.build();
+            let adv = simulate(&witness, &mut *sel);
+            println!(
+                "{:>4}  {:>8}  {:>12.3}  {:>12.3}  {:>9.1}  {:>10.1}  {:>8.1}",
+                mu,
+                f.name(),
+                (Ratio::from_int(random.total_cost_ticks()) / lb).to_f64(),
+                witness_opt.ratio_of(adv.total_cost_ticks()).to_f64(),
+                bounds::ff_general_bound(mu_r).to_f64(),
+                bounds::mff_unknown_mu_bound(mu_r).to_f64(),
+                bounds::mff_known_mu_bound(mu_r).to_f64(),
+            );
+        }
+        println!();
+    }
+    println!("random column: cost/LB on µ-pinned random traffic (close to 1)");
+    println!("adversarial column: cost/OPT on the Theorem 1 witness (tracks µ)");
+}

@@ -1,0 +1,46 @@
+//! Attack the paper's open question live: First Fit's true competitive
+//! ratio lies in `[µ, 2µ+13]`. A seeded hill-climb hunts for instances
+//! worse than the Theorem-1 witness — and (so far) always loses to it.
+//!
+//! ```sh
+//! cargo run --release --example gap_search
+//! ```
+
+use dbp::prelude::*;
+use dbp_adversary::{best_of_restarts, SearchConfig};
+use dbp_core::bounds::{ff_general_bound, theorem1_ratio};
+
+fn main() {
+    println!("The open gap: µ <= FF ratio <= 2µ+13. Can random search beat the witness?\n");
+    println!(
+        "{:>5}  {:>12}  {:>9}  {:>13}  {:>8}",
+        "µ cap", "search best", "at µ", "witness k=12", "2µ+13"
+    );
+    for mu in [2u64, 4, 8] {
+        let cfg = SearchConfig {
+            steps: 300,
+            ..SearchConfig::new(mu, 2026)
+        };
+        let result = best_of_restarts(&cfg, 4);
+        let witness = theorem1_ratio(cfg.capacity, mu);
+        let ceiling = ff_general_bound(Ratio::from_int(mu as u128));
+        println!(
+            "{:>5}  {:>12.3}  {:>9.3}  {:>13.3}  {:>8.1}{}",
+            mu,
+            result.ratio.to_f64(),
+            result.instance.mu().unwrap().to_f64(),
+            witness.to_f64(),
+            ceiling.to_f64(),
+            if result.ratio > witness {
+                "   <-- counterexample candidate!"
+            } else {
+                ""
+            }
+        );
+        assert!(result.ratio <= ceiling, "Theorem 5 cannot be violated");
+    }
+    println!(
+        "\nthe Theorem-1 witness family remains the worst known — consistent with the\n\
+         conjecture that FF's true ratio sits near the µ end of the gap"
+    );
+}

@@ -1,0 +1,83 @@
+//! The §4.3 proof machinery, run on a live First Fit trace.
+//!
+//! The paper's Figures 4–8 and Table 2 define usage-period decompositions,
+//! sub-periods, reference points/bins/periods, and a pairing argument. This
+//! example builds all of those objects from a real packing and verifies
+//! every feature (f.1–f.5), Lemma (1–5), and closing inequality — turning
+//! the proof of Theorem 5 into a checkable computation.
+//!
+//! ```sh
+//! cargo run --example proof_machinery
+//! ```
+
+use dbp::prelude::*;
+use dbp_core::analysis::analyze_first_fit;
+
+fn main() {
+    let cfg = MuControlledConfig {
+        n_items: 300,
+        seed: 7,
+        ..MuControlledConfig::new(6)
+    };
+    let instance = generate_mu_controlled(&cfg);
+    let trace = simulate_validated(&instance, &mut FirstFit::new());
+    println!(
+        "First Fit packed {} items into {} bins (cost {} bin-ticks)",
+        instance.len(),
+        trace.bins_used(),
+        trace.total_cost_ticks()
+    );
+
+    let a = analyze_first_fit(&instance, &trace);
+    println!("\n-- Figure 4: I_i^L / I_i^R decomposition --");
+    let with_left = a.bins.iter().filter(|b| !b.left.is_empty()).count();
+    println!(
+        "{} of {} bins have a nonempty I^L; span identity Σ len(I^R) = span(R) = {}",
+        with_left,
+        a.bins.len(),
+        a.certificates.span
+    );
+
+    println!("\n-- Figure 5: sub-period split/merge (features f.1–f.3) --");
+    println!(
+        "{} sub-periods; (µ+2)∆ = {}, (µ+4)∆ = {}",
+        a.subperiods.len(),
+        a.max_len.raw() + 2 * a.delta.raw(),
+        a.max_len.raw() + 4 * a.delta.raw()
+    );
+
+    println!("\n-- Figure 6/7 + Table 2: reference periods, cases, pairing --");
+    println!("case totals (I..V)       : {:?}", a.refs.case_counts.total);
+    println!(
+        "intersecting (I..V)      : {:?}  (Lemma 1: only Case V may be nonzero)",
+        a.refs.case_counts.intersecting
+    );
+    println!(
+        "pairing                  : J = {}, S = {}, U = {}",
+        a.refs.pairing.joint_pairs, a.refs.pairing.single_periods, a.refs.pairing.non_intersecting
+    );
+
+    println!("\n-- Closing inequalities of §4.3 --");
+    let c = &a.certificates;
+    println!(
+        "eq (6)   FF_total = Σ len(I^L) + span          : {}",
+        c.eq6_holds
+    );
+    println!(
+        "ineq(13) FF_total <= (J+S+U)(µ+6)∆ + span      : {}",
+        c.ineq13_holds
+    );
+    println!(
+        "ineq(15) 2·u(R) >= (J+S+U)·W·∆                 : {}",
+        c.ineq15_holds
+    );
+    println!(
+        "Thm 5    FF_total = {} <= (2µ+13)·LB = {:.0}    : {}",
+        c.ff_total,
+        c.theorem5_rhs.to_f64(),
+        c.theorem5_holds
+    );
+
+    assert!(a.is_clean(), "violations: {:#?}", a.violations);
+    println!("\nanalysis clean — every claim of §4.3 verified on this trace");
+}

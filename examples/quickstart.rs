@@ -1,0 +1,66 @@
+//! Quickstart: model a handful of play requests, pack them online with
+//! First Fit, and inspect the MinTotal cost against the paper's bounds.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use dbp::prelude::*;
+use dbp_core::bounds;
+
+fn main() {
+    // Servers have capacity 10 GPU units; six play requests arrive over
+    // time (arrival tick, departure tick, GPU demand). Departure times are
+    // *not* visible to the packer — only the instance (the adversary/offline
+    // view) knows them.
+    let mut builder = InstanceBuilder::new(10);
+    builder.add(0, 100, 6); // a long session
+    builder.add(0, 30, 6); // does not fit beside it -> second server
+    builder.add(10, 80, 4); // fits the first server exactly
+    builder.add(35, 90, 6); // arrives after #1 left
+    builder.add(50, 70, 3);
+    builder.add(95, 140, 8);
+    let instance = builder.build().expect("valid instance");
+
+    println!(
+        "instance: {} items, span {} ticks, µ = {}",
+        instance.len(),
+        instance.span().raw(),
+        instance.mu().unwrap()
+    );
+
+    // Pack online with First Fit; the trace records everything.
+    let trace = simulate_validated(&instance, &mut FirstFit::new());
+    println!(
+        "First Fit: {} servers ever rented, peak {}, total cost {} server-ticks",
+        trace.bins_used(),
+        trace.max_open_bins(),
+        trace.total_cost_ticks()
+    );
+    for bin in &trace.bins {
+        println!(
+            "  {} open [{:>3}, {:>3})  items {:?}",
+            bin.id,
+            bin.opened_at.raw(),
+            bin.closed_at.raw(),
+            bin.items
+        );
+    }
+
+    // The paper's bounds (b.1)-(b.3) sandwich every algorithm's cost.
+    let b1 = bounds::demand_lower_bound(&instance);
+    let b2 = bounds::span_lower_bound(&instance);
+    let b3 = bounds::naive_upper_bound(&instance);
+    let cost = Ratio::from_int(trace.total_cost_ticks());
+    println!("bounds: u(R)/W = {b1} <= cost = {cost} <= sum len = {b3}; span = {b2}");
+    assert!(cost >= b1 && cost >= b2 && cost <= b3);
+
+    // Compare against the clairvoyant repacking optimum OPT_total.
+    let opt = opt_total(&instance, SolveMode::default());
+    println!(
+        "OPT_total = {} server-ticks; measured ratio = {:.3} (FF guarantee: 2µ+13 = {:.1})",
+        opt.exact_ticks(),
+        opt.ratio_of(trace.total_cost_ticks()).to_f64(),
+        bounds::ff_general_bound(instance.mu().unwrap()).to_f64()
+    );
+}

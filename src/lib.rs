@@ -1,0 +1,45 @@
+//! # dbp — MinTotal Dynamic Bin Packing (SPAA 2014), reproduced in Rust
+//!
+//! Umbrella crate for the workspace reproducing *"On Dynamic Bin Packing
+//! for Resource Allocation in the Cloud"* (Li, Tang, Cai — SPAA 2014):
+//!
+//! * [`core`] ([`dbp_core`]) — the problem model, online packing engine,
+//!   First/Best/Any Fit family, Modified First Fit, the paper's bounds, and
+//!   the §4.3 proof machinery as executable analysis;
+//! * [`opt`] ([`dbp_opt`]) — the clairvoyant baseline `OPT_total(R)`;
+//! * [`adversary`] ([`dbp_adversary`]) — the Theorem 1/2 witnesses;
+//! * [`workloads`] ([`dbp_workloads`]) — synthetic cloud-gaming traces;
+//! * [`cloudsim`] ([`dbp_cloudsim`]) — the motivating dispatch system with
+//!   EC2-style billing.
+//!
+//! See README.md for a tour, DESIGN.md for the system inventory, and
+//! EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! ```
+//! use dbp::prelude::*;
+//!
+//! let mut b = InstanceBuilder::new(10);
+//! b.add(0, 60, 4);
+//! b.add(10, 90, 7);
+//! let instance = b.build().unwrap();
+//! let trace = simulate_validated(&instance, &mut FirstFit::new());
+//! assert_eq!(trace.bins_used(), 2); // 4 + 7 > 10
+//! ```
+
+pub use dbp_adversary as adversary;
+pub use dbp_cloudsim as cloudsim;
+pub use dbp_core as core;
+pub use dbp_opt as opt;
+pub use dbp_workloads as workloads;
+
+/// One-stop prelude: `dbp-core`'s prelude plus the most used items of the
+/// satellite crates.
+pub mod prelude {
+    pub use dbp_adversary::{Theorem1, Theorem2};
+    pub use dbp_cloudsim::{GamingSystem, Granularity, ServerType};
+    pub use dbp_core::prelude::*;
+    pub use dbp_opt::{opt_total, SolveMode};
+    pub use dbp_workloads::{
+        generate, generate_mu_controlled, CloudGamingConfig, MuControlledConfig,
+    };
+}

@@ -1,0 +1,107 @@
+//! Property tests of the §4.3 proof machinery: every feature, lemma and
+//! inequality of the paper's First Fit analysis must hold on *arbitrary*
+//! valid instances — not just the hand-picked ones in unit tests.
+
+use dbp::prelude::*;
+use dbp_core::analysis::{analyze_first_fit, PairCase};
+use proptest::prelude::*;
+
+fn instances() -> impl Strategy<Value = Instance> {
+    // Moderate interval-length spreads so I^L structure actually appears.
+    let item = (0u64..400, 10u64..200, 1u64..=60);
+    proptest::collection::vec(item, 2..80).prop_map(|raw| {
+        let mut b = InstanceBuilder::new(100);
+        for (a, len, s) in raw {
+            b.add(a, a + len, s);
+        }
+        b.build().expect("valid")
+    })
+}
+
+/// The §4.3 machinery stays clean on the adversarial witnesses too — much
+/// more structured traces than random traffic (many simultaneous arrivals,
+/// extreme interval-length spread).
+#[test]
+fn machinery_clean_on_adversarial_witnesses() {
+    use dbp_core::analysis::analyze_first_fit;
+    for inst in [
+        Theorem1::new(8, 12).instance(),
+        Theorem2::new(3, 3, 3).instance(),
+    ] {
+        let trace = simulate(&inst, &mut FirstFit::new());
+        let a = analyze_first_fit(&inst, &trace);
+        assert!(a.is_clean(), "violations: {:#?}", a.violations);
+        assert!(a.certificates.theorem5_holds);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The full analysis is violation-free on every FF trace.
+    #[test]
+    fn analysis_is_clean(inst in instances()) {
+        let trace = simulate(&inst, &mut FirstFit::new());
+        let a = analyze_first_fit(&inst, &trace);
+        prop_assert!(a.is_clean(), "violations: {:#?}", a.violations);
+    }
+
+    /// Structural identities: sub-periods tile the I^L's; pairing accounts
+    /// for every intersecting period; Lemma 1 (only Case V intersects).
+    #[test]
+    fn structural_identities(inst in instances()) {
+        let trace = simulate(&inst, &mut FirstFit::new());
+        let a = analyze_first_fit(&inst, &trace);
+        // Tiling: sum of sub-period lengths equals sum of I^L lengths.
+        let sub_total: u128 = a
+            .subperiods
+            .iter()
+            .map(|s| s.interval.len().raw() as u128)
+            .sum();
+        prop_assert_eq!(sub_total, a.certificates.left_total);
+        // Equation (6).
+        prop_assert_eq!(
+            a.certificates.ff_total,
+            a.certificates.left_total + a.certificates.span
+        );
+        // Pairing arithmetic.
+        prop_assert_eq!(
+            a.refs.pairing.intersecting_periods,
+            2 * a.refs.pairing.joint_pairs + a.refs.pairing.single_periods
+        );
+        // Lemma 1 as counters.
+        for case in [PairCase::I, PairCase::II, PairCase::III, PairCase::IV] {
+            prop_assert_eq!(a.refs.case_counts.intersecting_for(case), 0);
+        }
+    }
+
+    /// The inequality chain that proves Theorem 5, end to end, on the
+    /// measured quantities: FF_total ≤ count·(µ+6)∆ + span,
+    /// 2u(R) ≥ count·W·∆, hence FF_total ≤ (2µ+13)·max{u/W, span}.
+    #[test]
+    fn theorem5_inequality_chain(inst in instances()) {
+        let trace = simulate(&inst, &mut FirstFit::new());
+        let a = analyze_first_fit(&inst, &trace);
+        let c = &a.certificates;
+        prop_assert!(c.ineq13_holds);
+        prop_assert!(c.ineq15_holds);
+        prop_assert!(c.theorem5_holds);
+        if let Some(h) = c.ineq11_holds {
+            prop_assert!(h, "small-items inequality (11) failed");
+        }
+    }
+
+    /// The machinery is FF-specific: it still *runs* on other algorithms'
+    /// traces without panicking (violations allowed, reported as data).
+    #[test]
+    fn analysis_never_panics_on_foreign_traces(inst in instances()) {
+        for mut sel in [
+            Box::new(BestFit::new()) as Box<dyn BinSelector>,
+            Box::new(WorstFit::new()),
+            Box::new(NextFit::new()),
+        ] {
+            let trace = simulate(&inst, &mut *sel);
+            let _ = analyze_first_fit(&inst, &trace);
+        }
+    }
+}

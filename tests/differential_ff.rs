@@ -1,0 +1,109 @@
+//! Differential testing: the event engine + FirstFit selector against an
+//! independent, deliberately naive reimplementation of First Fit dynamic
+//! packing (recomputing the entire world per event, no shared code paths).
+//! Any divergence in assignments or cost is an engine bug.
+
+use dbp::prelude::*;
+use proptest::prelude::*;
+
+/// A from-scratch FF dynamic packing: O(n² · events), no event queue, no
+/// shared state with the engine. Returns (assignment, total_cost).
+fn naive_first_fit(instance: &Instance) -> (Vec<u32>, u128) {
+    let w = instance.capacity().raw();
+    let n = instance.len();
+    // Chronological processing: collect (tick, is_departure, item_index),
+    // departures first at equal ticks, stable within kind.
+    let mut events: Vec<(u64, u8, usize)> = Vec::new();
+    for (i, it) in instance.items().iter().enumerate() {
+        events.push((it.arrival.raw(), 1, i));
+        events.push((it.departure.raw(), 0, i));
+    }
+    events.sort_by_key(|&(t, k, _)| (t, k));
+
+    #[derive(Clone)]
+    struct NaiveBin {
+        members: Vec<usize>,
+        opened: u64,
+        closed: Option<u64>,
+    }
+    let mut bins: Vec<NaiveBin> = Vec::new();
+    let mut assignment = vec![u32::MAX; n];
+
+    for (t, kind, idx) in events {
+        if kind == 0 {
+            // Departure: drop from its bin; close if empty.
+            let b = assignment[idx] as usize;
+            let bin = &mut bins[b];
+            bin.members.retain(|&m| m != idx);
+            if bin.members.is_empty() && bin.closed.is_none() {
+                bin.closed = Some(t);
+            }
+        } else {
+            // Arrival: earliest open bin with room.
+            let size = instance.items()[idx].size.raw();
+            let mut chosen = None;
+            for (b, bin) in bins.iter().enumerate() {
+                if bin.closed.is_some() {
+                    continue;
+                }
+                let load: u64 = bin
+                    .members
+                    .iter()
+                    .map(|&m| instance.items()[m].size.raw())
+                    .sum();
+                if load + size <= w {
+                    chosen = Some(b);
+                    break;
+                }
+            }
+            let b = chosen.unwrap_or_else(|| {
+                bins.push(NaiveBin {
+                    members: Vec::new(),
+                    opened: t,
+                    closed: None,
+                });
+                bins.len() - 1
+            });
+            bins[b].members.push(idx);
+            assignment[idx] = b as u32;
+        }
+    }
+
+    let cost: u128 = bins
+        .iter()
+        .map(|b| (b.closed.expect("bin never closed") - b.opened) as u128)
+        .sum();
+    (assignment, cost)
+}
+
+fn instances() -> impl Strategy<Value = Instance> {
+    let item = (0u64..300, 1u64..90, 1u64..=40);
+    proptest::collection::vec(item, 1..70).prop_map(|raw| {
+        let mut b = InstanceBuilder::new(40);
+        for (a, len, s) in raw {
+            b.add(a, a + len, s);
+        }
+        b.build().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_ff_matches_naive_reimplementation(inst in instances()) {
+        let trace = simulate_validated(&inst, &mut FirstFit::new());
+        let (naive_assign, naive_cost) = naive_first_fit(&inst);
+        let engine_assign: Vec<u32> = trace.assignment.iter().map(|b| b.0).collect();
+        prop_assert_eq!(engine_assign, naive_assign);
+        prop_assert_eq!(trace.total_cost_ticks(), naive_cost);
+    }
+}
+
+#[test]
+fn differential_on_the_theorem1_witness() {
+    let inst = Theorem1::new(6, 9).instance();
+    let trace = simulate_validated(&inst, &mut FirstFit::new());
+    let (_, naive_cost) = naive_first_fit(&inst);
+    assert_eq!(trace.total_cost_ticks(), naive_cost);
+}

@@ -1,0 +1,94 @@
+//! Property-based cross-crate invariants of the packing engine and the
+//! whole algorithm roster, on arbitrary generated instances.
+
+use dbp::prelude::*;
+use dbp_core::algorithms::standard_factories;
+use dbp_core::bounds;
+use dbp_core::engine::any_fit_violations;
+use proptest::prelude::*;
+
+/// Strategy: arbitrary valid instances (sizes ≤ W, positive lengths).
+fn instances(max_items: usize) -> impl Strategy<Value = Instance> {
+    let item = (0u64..500, 1u64..120, 1u64..=100);
+    proptest::collection::vec(item, 1..max_items).prop_map(|raw| {
+        let mut b = InstanceBuilder::new(100);
+        for (a, len, s) in raw {
+            b.add(a, a + len, s);
+        }
+        b.build().expect("generated instance is valid")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every roster algorithm yields a self-consistent trace whose cost is
+    /// sandwiched by bounds (b.1)–(b.3).
+    #[test]
+    fn traces_validate_and_costs_are_sandwiched(inst in instances(60)) {
+        let lb = bounds::combined_lower_bound(&inst);
+        let ub = bounds::naive_upper_bound(&inst);
+        for f in standard_factories(11) {
+            let mut sel = f.build();
+            let trace = simulate(&inst, &mut *sel);
+            let errs = trace.validate(&inst);
+            prop_assert!(errs.is_empty(), "{}: {errs:?}", f.name());
+            let cost = Ratio::from_int(trace.total_cost_ticks());
+            prop_assert!(cost >= lb, "{} below lower bound", f.name());
+            prop_assert!(cost <= ub, "{} above naive upper bound", f.name());
+            prop_assert_eq!(trace.total_cost_ticks(), trace.cost_from_step_function());
+        }
+    }
+
+    /// The claimed Any Fit algorithms really are Any Fit; Next Fit really
+    /// is not (on instances where it provably deviates we don't assert, we
+    /// only check the claimers).
+    #[test]
+    fn any_fit_claims_hold(inst in instances(60)) {
+        for f in standard_factories(13) {
+            let mut sel = f.build();
+            let claims_any_fit = sel.is_any_fit();
+            let trace = simulate(&inst, &mut *sel);
+            if claims_any_fit {
+                let v = any_fit_violations(&inst, &trace);
+                prop_assert!(v.is_empty(), "{} violated Any Fit: {v:?}", f.name());
+            }
+        }
+    }
+
+    /// Deterministic algorithms are replay-stable.
+    #[test]
+    fn simulation_is_deterministic(inst in instances(40)) {
+        for f in standard_factories(17) {
+            let mut a = f.build();
+            let mut b = f.build();
+            prop_assert_eq!(simulate(&inst, &mut *a), simulate(&inst, &mut *b));
+        }
+    }
+
+    /// OPT_total lower-bounds every algorithm and dominates the combined
+    /// bound.
+    #[test]
+    fn opt_total_sandwich(inst in instances(30)) {
+        let opt = opt_total(&inst, SolveMode::Exact { node_budget: 20_000 });
+        let lb = bounds::combined_lower_bound(&inst);
+        prop_assert!(Ratio::from_int(opt.ub_ticks) >= lb);
+        for f in standard_factories(19) {
+            let mut sel = f.build();
+            let trace = simulate(&inst, &mut *sel);
+            prop_assert!(
+                trace.total_cost_ticks() >= opt.lb_ticks,
+                "{} beat OPT?!",
+                f.name()
+            );
+        }
+    }
+
+    /// Instance serde round-trips byte-identically through JSON.
+    #[test]
+    fn instance_serde_round_trip(inst in instances(40)) {
+        let json = serde_json::to_string(&inst).unwrap();
+        let back: Instance = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(inst, back);
+    }
+}

@@ -1,0 +1,108 @@
+//! Extreme-magnitude inputs: very large tick values, huge sizes, and long
+//! horizons must flow through the exact-arithmetic paths without overflow
+//! or precision loss (costs are u128; a u64-tick × u64-size demand is fine,
+//! and any genuine overflow must panic rather than wrap).
+
+use dbp::prelude::*;
+use dbp_core::bounds;
+
+/// Ticks near the top of the u64 range: costs and spans stay exact.
+#[test]
+fn huge_tick_values_stay_exact() {
+    let base = u64::MAX - 10_000_000;
+    let mut b = InstanceBuilder::new(1_000_000_000);
+    b.add(base, base + 5_000_000, 999_999_999);
+    b.add(base + 1_000_000, base + 6_000_000, 999_999_999);
+    let inst = b.build().unwrap();
+    let trace = simulate_validated(&inst, &mut FirstFit::new());
+    assert_eq!(trace.bins_used(), 2);
+    assert_eq!(trace.total_cost_ticks(), 10_000_000);
+    assert_eq!(inst.span().raw(), 6_000_000);
+    // Demand: ~1e9 size × 5e6 ticks × 2 items ≈ 1e16 — far inside u128.
+    assert_eq!(inst.total_demand(), 2u128 * 999_999_999 * 5_000_000);
+    let lb = bounds::combined_lower_bound(&inst);
+    assert!(Ratio::from_int(trace.total_cost_ticks()) >= lb);
+}
+
+/// Maximum-size items against a maximum capacity.
+#[test]
+fn max_capacity_items() {
+    let w = u64::MAX;
+    let mut b = InstanceBuilder::new(w);
+    b.add(0, 10, w); // fills the bin entirely
+    b.add(1, 11, 1); // must open a second bin
+    let inst = b.build().unwrap();
+    let trace = simulate_validated(&inst, &mut FirstFit::new());
+    assert_eq!(trace.bins_used(), 2);
+    assert_eq!(trace.total_cost_ticks(), 20);
+}
+
+/// Demand accounting at the largest representable scale: one item of size
+/// u64::MAX living u64-scale ticks exceeds u128? No: 2^64 · 2^64 = 2^128,
+/// just over — so the model bounds demand per item below that; verify a
+/// near-limit value computes without wrapping.
+#[test]
+fn demand_near_the_u128_edge() {
+    let w = u64::MAX;
+    let len = 1u64 << 62;
+    let mut b = InstanceBuilder::new(w);
+    b.add(0, len, w);
+    let inst = b.build().unwrap();
+    let expected = (w as u128) * (len as u128);
+    assert_eq!(inst.total_demand(), expected);
+    assert!(expected < u128::MAX / 2);
+    // b.1 in ticks: u(R)/W = len exactly.
+    assert_eq!(
+        bounds::demand_lower_bound(&inst),
+        Ratio::from_int(len as u128)
+    );
+}
+
+/// One-tick items — the minimum possible interval — through the whole
+/// pipeline including µ and the analysis machinery.
+#[test]
+fn one_tick_items() {
+    let mut b = InstanceBuilder::new(10);
+    for i in 0..40 {
+        b.add(i, i + 1, 3 + (i % 5));
+    }
+    let inst = b.build().unwrap();
+    assert_eq!(inst.mu().unwrap(), Ratio::ONE);
+    let trace = simulate_validated(&inst, &mut FirstFit::new());
+    let analysis = dbp_core::analysis::analyze_first_fit(&inst, &trace);
+    assert!(analysis.is_clean(), "{:#?}", analysis.violations);
+    // µ = 1 ⇒ Theorem 5 rhs = 15·LB.
+    assert!(analysis.certificates.theorem5_holds);
+}
+
+/// Capacity-1 bins degenerate to one item per bin; cost = Σ len exactly
+/// (bound b.3 is tight).
+#[test]
+fn capacity_one_degenerates_to_item_per_bin() {
+    let mut b = InstanceBuilder::new(1);
+    b.add(0, 7, 1);
+    b.add(2, 9, 1);
+    b.add(2, 4, 1);
+    let inst = b.build().unwrap();
+    let trace = simulate_validated(&inst, &mut BestFit::new());
+    assert_eq!(trace.bins_used(), 3);
+    assert_eq!(
+        Ratio::from_int(trace.total_cost_ticks()),
+        bounds::naive_upper_bound(&inst)
+    );
+}
+
+/// Thousands of simultaneous arrivals and departures at a single tick.
+#[test]
+fn mass_simultaneous_events() {
+    let mut b = InstanceBuilder::new(100);
+    for _ in 0..2_000 {
+        b.add(5, 6, 1);
+    }
+    let inst = b.build().unwrap();
+    let trace = simulate_validated(&inst, &mut FirstFit::new());
+    assert_eq!(trace.bins_used(), 20);
+    assert_eq!(trace.max_open_bins(), 20);
+    assert_eq!(trace.total_cost_ticks(), 20);
+    assert_eq!(trace.open_bins_steps.len(), 2);
+}

@@ -1,0 +1,141 @@
+//! Failure injection: hostile and randomized selectors thrown at the
+//! engine. The engine's contract is (a) any sequence of *legal* decisions
+//! produces a valid trace, and (b) every *illegal* decision panics loudly
+//! instead of corrupting measurements.
+
+use dbp::prelude::*;
+use dbp_core::bin::{BinId, BinTag, OpenBinView};
+use dbp_core::engine::simulate_validated;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn demo_instance(seed: u64, n: usize) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = InstanceBuilder::new(50);
+    let mut t = 0u64;
+    for _ in 0..n {
+        t += rng.random_range(0..5);
+        b.add(t, t + rng.random_range(5..60), rng.random_range(1..=25));
+    }
+    b.build().unwrap()
+}
+
+/// Chooses uniformly among all *legal* moves (any fitting bin, or open) —
+/// a randomized stress of the full decision surface.
+struct ChaoticButLegal {
+    rng: StdRng,
+}
+
+impl BinSelector for ChaoticButLegal {
+    fn name(&self) -> &'static str {
+        "CHAOS"
+    }
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _cap: Size) -> Decision {
+        let mut moves: Vec<Decision> = bins
+            .iter()
+            .filter(|b| b.fits(item.size))
+            .map(|b| Decision::Use(b.id))
+            .collect();
+        // Opening is always legal; give it weight so bin churn happens.
+        moves.push(Decision::Open {
+            tag: BinTag(self.rng.random_range(0..4)),
+        });
+        moves[self.rng.random_range(0..moves.len())]
+    }
+}
+
+#[test]
+fn chaotic_legal_selector_always_yields_valid_traces() {
+    for seed in 0..25 {
+        let inst = demo_instance(seed, 120);
+        let mut chaos = ChaoticButLegal {
+            rng: StdRng::seed_from_u64(seed ^ 0xDEAD),
+        };
+        // simulate_validated panics internally if anything is inconsistent.
+        let trace = simulate_validated(&inst, &mut chaos);
+        // And the universal bounds still hold.
+        let cost = Ratio::from_int(trace.total_cost_ticks());
+        assert!(cost >= dbp_core::bounds::combined_lower_bound(&inst));
+        assert!(cost <= dbp_core::bounds::naive_upper_bound(&inst));
+    }
+}
+
+/// Selects a bin that is over capacity for the item whenever one exists.
+struct Overfiller;
+impl BinSelector for Overfiller {
+    fn name(&self) -> &'static str {
+        "OVERFILL"
+    }
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _cap: Size) -> Decision {
+        match bins.iter().find(|b| !b.fits(item.size)) {
+            Some(b) => Decision::Use(b.id),
+            None => Decision::OPEN,
+        }
+    }
+}
+
+#[test]
+fn engine_panics_on_overfill() {
+    let mut b = InstanceBuilder::new(10);
+    b.add(0, 10, 8);
+    b.add(1, 10, 8); // does not fit bin 0; Overfiller targets it anyway
+    let inst = b.build().unwrap();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        dbp_core::simulate(&inst, &mut Overfiller)
+    }));
+    assert!(result.is_err(), "engine accepted an overfilling placement");
+}
+
+/// Returns a bin id that was never opened.
+struct GhostBin;
+impl BinSelector for GhostBin {
+    fn name(&self) -> &'static str {
+        "GHOST"
+    }
+    fn select(&mut self, _bins: &[OpenBinView], _item: &ArrivingItem, _cap: Size) -> Decision {
+        Decision::Use(BinId(999))
+    }
+}
+
+#[test]
+fn engine_panics_on_unknown_bin() {
+    let mut b = InstanceBuilder::new(10);
+    b.add(0, 5, 1);
+    let inst = b.build().unwrap();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        dbp_core::simulate(&inst, &mut GhostBin)
+    }));
+    assert!(result.is_err(), "engine accepted a ghost bin");
+}
+
+/// Opens a bin for the first item, then blindly demands that bin's id
+/// forever — even after it closed.
+struct StaleBin {
+    first: bool,
+}
+impl BinSelector for StaleBin {
+    fn name(&self) -> &'static str {
+        "STALE"
+    }
+    fn select(&mut self, _bins: &[OpenBinView], _item: &ArrivingItem, _cap: Size) -> Decision {
+        if self.first {
+            self.first = false;
+            Decision::OPEN
+        } else {
+            Decision::Use(BinId(0))
+        }
+    }
+}
+
+#[test]
+fn engine_panics_on_stale_bin_id() {
+    let mut b = InstanceBuilder::new(10);
+    b.add(0, 3, 5); // bin 0, closes at t=3
+    b.add(5, 9, 5); // stale selector will demand bin 0 here
+    let inst = b.build().unwrap();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        dbp_core::simulate(&inst, &mut StaleBin { first: true })
+    }));
+    assert!(result.is_err(), "engine accepted a closed bin id");
+}

@@ -1,0 +1,147 @@
+//! Cross-crate verification of every theorem bound in the paper, over
+//! randomized instances (this is the repo's master "the paper holds"
+//! test suite).
+
+use dbp::prelude::*;
+use dbp_core::bounds;
+
+/// Theorem 1: measured Any Fit ratio equals kµ/(k+µ−1) exactly, for every
+/// deterministic Any Fit algorithm.
+#[test]
+fn theorem1_exact_over_grid() {
+    for k in [2u64, 3, 5, 9] {
+        for mu in [1u64, 2, 7, 12] {
+            let t1 = Theorem1::new(k, mu);
+            let inst = t1.instance();
+            let opt = opt_total(&inst, SolveMode::default());
+            assert_eq!(opt.exact_ticks(), t1.expected_opt_cost_ticks());
+            for mut sel in [
+                Box::new(FirstFit::new()) as Box<dyn BinSelector>,
+                Box::new(BestFit::new()),
+                Box::new(WorstFit::new()),
+                Box::new(LastFit::new()),
+                Box::new(MostItemsFit::new()),
+            ] {
+                let trace = simulate_validated(&inst, &mut *sel);
+                assert_eq!(
+                    opt.ratio_of(trace.total_cost_ticks()),
+                    t1.expected_ratio(),
+                    "k={k} µ={mu} algo={}",
+                    trace.algorithm
+                );
+            }
+        }
+    }
+}
+
+/// Theorem 2: BF ratio ≥ k/2 at n = 2k and grows with k; FF on the same
+/// instance stays below its own guarantee.
+#[test]
+fn theorem2_bf_unbounded_ff_bounded() {
+    let mut prev = Ratio::ZERO;
+    for k in [2u64, 4, 6] {
+        let t2 = Theorem2::new(k, 2, 2 * k);
+        let inst = t2.instance();
+        let opt = opt_total(&inst, SolveMode::default());
+        let bf = simulate(&inst, &mut BestFit::new());
+        let bf_ratio = opt.ratio_of(bf.total_cost_ticks());
+        assert!(bf_ratio >= t2.ratio_floor(), "k={k}");
+        assert!(bf_ratio > prev, "BF ratio must grow with k");
+        prev = bf_ratio;
+
+        let ff = simulate(&inst, &mut FirstFit::new());
+        let ff_ratio = opt.ratio_of(ff.total_cost_ticks());
+        assert!(ff_ratio <= bounds::ff_general_bound(inst.mu().unwrap()));
+    }
+}
+
+/// Theorems 3-5 + §4.4 bounds on randomized µ-pinned workloads: the
+/// measured ratio (against the OPT lower bracket) never exceeds the
+/// applicable closed form.
+#[test]
+fn ff_and_mff_bounds_hold_on_random_workloads() {
+    use dbp_workloads::SizeModel;
+    for mu in [1u64, 3, 9, 20] {
+        let mu_r = Ratio::from_int(mu as u128);
+        for seed in 0..6u64 {
+            for (sizes, check_thm) in [
+                (SizeModel::LargeOnly { k: 4 }, "thm3"),
+                (SizeModel::SmallOnly { k: 4 }, "thm4"),
+                (SizeModel::Uniform { lo: 5, hi: 60 }, "thm5"),
+            ] {
+                let cfg = MuControlledConfig {
+                    n_items: 120,
+                    sizes,
+                    seed: seed * 997 + mu,
+                    ..MuControlledConfig::new(mu)
+                };
+                let inst = generate_mu_controlled(&cfg);
+                let opt = opt_total(
+                    &inst,
+                    SolveMode::Exact {
+                        node_budget: 50_000,
+                    },
+                );
+                let check = |cost: u128, bound: Ratio, tag: &str| {
+                    let ratio_ub = Ratio::new(cost, opt.lb_ticks);
+                    assert!(
+                        ratio_ub <= bound,
+                        "{tag} violated at µ={mu}, seed={seed}: {ratio_ub} > {bound}"
+                    );
+                };
+                let ff = simulate(&inst, &mut FirstFit::new());
+                match check_thm {
+                    "thm3" => check(
+                        ff.total_cost_ticks(),
+                        bounds::ff_large_items_bound(4),
+                        "Theorem 3",
+                    ),
+                    "thm4" => check(
+                        ff.total_cost_ticks(),
+                        bounds::ff_small_items_bound(4, mu_r),
+                        "Theorem 4",
+                    ),
+                    _ => check(
+                        ff.total_cost_ticks(),
+                        bounds::ff_general_bound(mu_r),
+                        "Theorem 5",
+                    ),
+                }
+                let mff8 = simulate(&inst, &mut ModifiedFirstFit::new(8));
+                check(
+                    mff8.total_cost_ticks(),
+                    bounds::mff_unknown_mu_bound(mu_r),
+                    "MFF unknown-µ",
+                );
+                let mffk = simulate(&inst, &mut ModifiedFirstFit::for_known_mu(mu));
+                check(
+                    mffk.total_cost_ticks(),
+                    bounds::mff_known_mu_bound(mu_r),
+                    "MFF known-µ",
+                );
+            }
+        }
+    }
+}
+
+/// The bound curves themselves order as the paper claims for all µ ≥ 1:
+/// µ ≤ (any Any Fit LB) and µ+8 ≤ 8µ/7+55/7 < 2µ+13.
+#[test]
+fn bound_curves_are_consistent() {
+    for mu in 1..=200u64 {
+        let m = Ratio::from_int(mu as u128);
+        assert!(bounds::mff_known_mu_bound(m) <= bounds::mff_unknown_mu_bound(m));
+        assert!(bounds::mff_unknown_mu_bound(m) < bounds::ff_general_bound(m));
+        // Theorem 1's witness ratio is below µ (equal only at µ = 1) but
+        // approaches it.
+        if mu == 1 {
+            assert_eq!(bounds::theorem1_ratio(1_000_000, mu), m);
+        } else {
+            assert!(bounds::theorem1_ratio(1_000_000, mu) < m);
+        }
+        assert!(
+            Ratio::from_int(mu as u128) - bounds::theorem1_ratio(1_000_000, mu)
+                < Ratio::new(mu as u128 * mu as u128, 1_000_000)
+        );
+    }
+}
