@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbp_bench::standard_workload;
 use dbp_core::algorithms::standard_factories;
-use dbp_core::engine::simulate;
+use dbp_core::engine::{simulate, simulate_probed};
+use dbp_core::probe::NoProbe;
 use std::hint::black_box;
 
 fn packing_throughput(c: &mut Criterion) {
@@ -21,6 +22,44 @@ fn packing_throughput(c: &mut Criterion) {
             });
         }
     }
+    group.finish();
+}
+
+/// The zero-cost contract of the probe seam: `simulate` (implicit
+/// `NoProbe`), an explicit `NoProbe` through `simulate_probed`, and a live
+/// recording probe, on the same workload. The first two must be within
+/// noise of each other — `ENABLED = false` compiles instrumentation out.
+fn probe_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("probe_overhead");
+    let n = 10_000usize;
+    let inst = standard_workload(n, 42);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("uninstrumented", n), &inst, |b, inst| {
+        b.iter(|| {
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            black_box(simulate(inst, &mut ff).total_cost_ticks())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("noop_probe", n), &inst, |b, inst| {
+        b.iter(|| {
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            black_box(simulate_probed(inst, &mut ff, &mut NoProbe).total_cost_ticks())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("counting_probe", n), &inst, |b, inst| {
+        b.iter(|| {
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            let mut probe = dbp_obs::CountingProbe::new();
+            black_box(simulate_probed(inst, &mut ff, &mut probe).total_cost_ticks())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("event_log", n), &inst, |b, inst| {
+        b.iter(|| {
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            let mut probe = dbp_obs::EventLog::new();
+            black_box(simulate_probed(inst, &mut ff, &mut probe).total_cost_ticks())
+        })
+    });
     group.finish();
 }
 
@@ -46,5 +85,10 @@ fn adversarial_instances(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, packing_throughput, adversarial_instances);
+criterion_group!(
+    benches,
+    packing_throughput,
+    probe_overhead,
+    adversarial_instances
+);
 criterion_main!(benches);

@@ -5,7 +5,8 @@
 //! dbp generate mu --mu 10 --n 200 --out trace.json
 //! dbp adversary thm1 --k 8 --mu 10 --out witness.json
 //! dbp adversary thm2 --k 4 --mu 2 --n 8 --out witness.json
-//! dbp run trace.json --algo ff [--validate]
+//! dbp run trace.json --algo ff [--validate] [--trace-events ev.jsonl] [--metrics m.prom]
+//! dbp trace ev.jsonl              # replay a JSONL event log as a timeline
 //! dbp compare trace.json
 //! dbp analyze trace.json          # §4.3 FF proof-machinery report
 //! dbp opt trace.json              # OPT_total integral
@@ -22,7 +23,7 @@ use dbp_core::algorithms::{
 };
 use dbp_core::analysis::analyze_first_fit;
 use dbp_core::bounds;
-use dbp_core::engine::{simulate, simulate_validated};
+use dbp_core::engine::{simulate, simulate_probed, simulate_validated, simulate_validated_probed};
 use dbp_core::instance::Instance;
 use dbp_core::metrics::summarize;
 use dbp_core::packer::BinSelector;
@@ -46,6 +47,8 @@ USAGE:
   dbp adversary adaptive --k N --mu N --algo NAME [--out FILE]
   dbp run FILE --algo ff|bf|wf|nf|lf|mi|rf|hff|mff|mff-mu|cff
           [--validate] [--gantt] [--fleet] [--save-trace FILE] [--svg FILE]
+          [--trace-events FILE.jsonl] [--metrics FILE.prom] [--timeseries FILE.csv]
+  dbp trace FILE.jsonl [--summary]
   dbp compare FILE
   dbp analyze FILE
   dbp opt FILE [--bounds-only] [--timeline]
@@ -71,6 +74,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "generate" => cmd_generate(&args),
         "adversary" => cmd_adversary(&args),
         "run" => cmd_run(&args),
+        "trace" => cmd_trace(&args),
         "compare" => cmd_compare(&args),
         "analyze" => cmd_analyze(&args),
         "opt" => cmd_opt(&args),
@@ -223,11 +227,38 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let inst = load_instance(args, 1)?;
     let algo = args.str_flag("algo").unwrap_or("ff");
     let mut sel = selector_by_name(algo, mu_hint(&inst))?;
-    let trace = if args.has("validate") {
-        simulate_validated(&inst, &mut *sel)
-    } else {
-        simulate(&inst, &mut *sel)
+    let observing = args.has("trace-events") || args.has("metrics") || args.has("timeseries");
+    let started = std::time::Instant::now();
+    let mut probe = (
+        (dbp_obs::EventLog::new(), dbp_obs::MetricsProbe::new()),
+        dbp_obs::TimeSeriesSampler::new(inst.capacity().raw()),
+    );
+    let trace = match (observing, args.has("validate")) {
+        (true, true) => simulate_validated_probed(&inst, &mut *sel, &mut probe),
+        (true, false) => simulate_probed(&inst, &mut *sel, &mut probe),
+        (false, true) => simulate_validated(&inst, &mut *sel),
+        (false, false) => simulate(&inst, &mut *sel),
     };
+    let wall = started.elapsed();
+    let ((event_log, metrics_probe), sampler) = probe;
+    if let Some(path) = args.str_flag("trace-events") {
+        dbp_obs::export::write_jsonl(std::path::Path::new(path), event_log.events())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("events saved to {path} ({} events)", event_log.len());
+    }
+    if let Some(path) = args.str_flag("metrics") {
+        dbp_obs::export::write_prometheus(std::path::Path::new(path), metrics_probe.registry())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics saved to {path}");
+    }
+    if let Some(path) = args.str_flag("timeseries") {
+        dbp_obs::export::atomic_write(std::path::Path::new(path), sampler.to_csv().as_bytes())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "time series saved to {path} ({} samples)",
+            sampler.samples().len()
+        );
+    }
     let s = summarize(&inst, &trace);
     println!("algorithm      : {}", s.algorithm);
     println!("items          : {}", s.n_items);
@@ -236,6 +267,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("max open bins  : {}", s.max_open_bins);
     println!("cost / LB      : {:.4}", s.ratio_vs_lower_bound.to_f64());
     println!("utilization    : {:.4}", s.mean_utilization.to_f64());
+    if observing {
+        let manifest = dbp_obs::RunManifest::capture(&s.algorithm, None, &inst, wall);
+        println!("instance digest: {}", manifest.instance_digest);
+        println!(
+            "wall time      : {:.3} ms",
+            manifest.wall_time_ns as f64 / 1e6
+        );
+        if let Some(rss) = manifest.peak_rss_bytes {
+            println!("peak rss       : {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+        }
+    }
     if args.has("fleet") {
         if let Some(f) = dbp_core::metrics::fleet_stats(&trace) {
             println!(
@@ -261,6 +303,22 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let body = serde_json::to_string(&trace).map_err(|e| e.to_string())?;
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
         println!("trace saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing event-log argument (a .jsonl file from run --trace-events)")?;
+    let events = dbp_obs::export::read_jsonl(std::path::Path::new(path))?;
+    let rendered = dbp_obs::timeline::render_timeline(&events);
+    if args.has("summary") {
+        // Just the trailing summary line.
+        println!("{}", rendered.lines().last().unwrap_or(""));
+    } else {
+        print!("{rendered}");
     }
     Ok(())
 }

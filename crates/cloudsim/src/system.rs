@@ -12,6 +12,7 @@ use dbp_core::instance::Instance;
 use dbp_core::packer::BinSelector;
 use dbp_core::ratio::Ratio;
 use dbp_core::trace::PackingTrace;
+use dbp_obs::RunManifest;
 use serde::{Deserialize, Serialize};
 
 /// One dispatch run's report.
@@ -33,6 +34,8 @@ pub struct SystemReport {
     pub cost_cents: Ratio,
     /// Mean GPU utilization of rented (busy) time, in `[0, 1]`.
     pub utilization: Ratio,
+    /// Provenance of the run: instance digest, wall time, peak RSS.
+    pub manifest: Option<RunManifest>,
 }
 
 impl SystemReport {
@@ -86,7 +89,9 @@ impl GamingSystem {
             requests.capacity(),
             self.server.gpu_capacity
         );
+        let started = std::time::Instant::now();
         let trace = simulate_validated(requests, dispatcher);
+        let wall = started.elapsed();
         let busy = trace.total_cost_ticks();
         let billed = billed_ticks(&trace, self.granularity);
         let utilization = if busy == 0 {
@@ -106,6 +111,7 @@ impl GamingSystem {
             billed_ticks: billed,
             cost_cents: rental_cost_cents(&trace, self.server, self.granularity),
             utilization,
+            manifest: Some(RunManifest::capture(&trace.algorithm, None, requests, wall)),
         };
         (report, trace)
     }
@@ -132,6 +138,13 @@ mod tests {
         assert_eq!(report.sessions_served, inst.len());
         assert!(report.utilization > Ratio::ZERO);
         assert!(report.utilization <= Ratio::ONE);
+        let manifest = report.manifest.expect("run attaches a manifest");
+        assert_eq!(manifest.algorithm, "FF");
+        assert_eq!(manifest.n_items, inst.len() as u64);
+        assert_eq!(
+            manifest.instance_digest,
+            dbp_obs::manifest::instance_digest(&inst)
+        );
     }
 
     #[test]

@@ -9,16 +9,34 @@ use crate::events::{schedule, EventKind};
 use crate::instance::Instance;
 use crate::item::{ArrivingItem, ItemId};
 use crate::packer::{BinSelector, Decision};
+use crate::probe::{NoProbe, Probe, ProbeEvent};
 use crate::time::Tick;
 use crate::trace::{BinRecord, PackingTrace};
 
 /// Simulate packing `instance` with `selector`, producing the full trace.
+///
+/// Equivalent to [`simulate_probed`] with [`NoProbe`]; the probe seam
+/// compiles away entirely on this path.
 ///
 /// # Panics
 /// Panics if the selector returns an invalid decision (unknown bin, or a bin
 /// the item does not fit) — that is a bug in the algorithm under test, and
 /// continuing would corrupt every measurement derived from the trace.
 pub fn simulate<S: BinSelector + ?Sized>(instance: &Instance, selector: &mut S) -> PackingTrace {
+    simulate_probed(instance, selector, &mut NoProbe)
+}
+
+/// Simulate packing `instance` with `selector`, reporting every engine
+/// event to `probe` (see [`crate::probe`] for the event vocabulary and the
+/// zero-cost contract).
+///
+/// # Panics
+/// Same contract as [`simulate`].
+pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
+    instance: &Instance,
+    selector: &mut S,
+    probe: &mut P,
+) -> PackingTrace {
     let capacity = instance.capacity();
     let events = schedule(instance);
 
@@ -55,9 +73,24 @@ pub fn simulate<S: BinSelector + ?Sized>(instance: &Instance, selector: &mut S) 
                         .position(|&id| id == ev.item)
                         .expect("item not present in its bin");
                     bin.items.swap_remove(ipos);
+                    if P::ENABLED {
+                        probe.record(ProbeEvent::ItemDeparted {
+                            at: tick,
+                            item: ev.item,
+                            bin: bin_id,
+                            level: bin.level,
+                        });
+                    }
                     if bin.items.is_empty() {
                         debug_assert_eq!(bin.level.raw(), 0, "empty bin with nonzero level");
                         records[bin_id.index()].closed_at = tick;
+                        if P::ENABLED {
+                            probe.record(ProbeEvent::BinClosed {
+                                at: tick,
+                                bin: bin_id,
+                                open_ticks: tick.0 - records[bin_id.index()].opened_at.0,
+                            });
+                        }
                         open.remove(pos);
                         selector.on_bin_closed(bin_id);
                     }
@@ -67,7 +100,21 @@ pub fn simulate<S: BinSelector + ?Sized>(instance: &Instance, selector: &mut S) 
                     let arriving = ArrivingItem::of(item);
                     views.clear();
                     views.extend(open.iter().map(|b| b.view(capacity)));
-                    let decision = selector.select(&views, &arriving, capacity);
+                    if P::ENABLED {
+                        probe.record(ProbeEvent::ItemArrived {
+                            at: tick,
+                            item: ev.item,
+                            size: item.size,
+                        });
+                    }
+                    let decision = if P::ENABLED {
+                        let started = std::time::Instant::now();
+                        let decision = selector.select(&views, &arriving, capacity);
+                        probe.on_decision_ns(started.elapsed().as_nanos() as u64);
+                        decision
+                    } else {
+                        selector.select(&views, &arriving, capacity)
+                    };
                     let bin_id = match decision {
                         Decision::Use(id) => {
                             let pos =
@@ -90,6 +137,22 @@ pub fn simulate<S: BinSelector + ?Sized>(instance: &Instance, selector: &mut S) 
                             bin.level += item.size;
                             bin.items.push(ev.item);
                             records[id.index()].items.push(ev.item);
+                            if P::ENABLED {
+                                // Scan depth of a reuse: the chosen bin's
+                                // 1-based position in opening order.
+                                probe.record(ProbeEvent::FitAttempt {
+                                    at: tick,
+                                    item: ev.item,
+                                    bins_scanned: pos as u32 + 1,
+                                    open_bins: views.len() as u32,
+                                });
+                                probe.record(ProbeEvent::ItemPlaced {
+                                    at: tick,
+                                    item: ev.item,
+                                    bin: id,
+                                    level: open[pos].level,
+                                });
+                            }
                             id
                         }
                         Decision::Open { tag } => {
@@ -109,6 +172,28 @@ pub fn simulate<S: BinSelector + ?Sized>(instance: &Instance, selector: &mut S) 
                                 closed_at: tick,
                                 items: vec![ev.item],
                             });
+                            if P::ENABLED {
+                                // Scan depth of an open: every open bin was
+                                // (conceptually) scanned and rejected.
+                                probe.record(ProbeEvent::FitAttempt {
+                                    at: tick,
+                                    item: ev.item,
+                                    bins_scanned: views.len() as u32,
+                                    open_bins: views.len() as u32,
+                                });
+                                probe.record(ProbeEvent::BinOpened {
+                                    at: tick,
+                                    bin: id,
+                                    tag,
+                                    item: ev.item,
+                                });
+                                probe.record(ProbeEvent::ItemPlaced {
+                                    at: tick,
+                                    item: ev.item,
+                                    bin: id,
+                                    level: item.size,
+                                });
+                            }
                             id
                         }
                     };
@@ -148,8 +233,27 @@ pub fn simulate_validated<S: BinSelector + ?Sized>(
     instance: &Instance,
     selector: &mut S,
 ) -> PackingTrace {
-    let trace = simulate(instance, selector);
+    simulate_validated_probed(instance, selector, &mut NoProbe)
+}
+
+/// [`simulate_validated`] with a probe attached. Validation failures are
+/// reported to the probe as [`ProbeEvent::Violation`] events (so event logs
+/// capture *why* a run died) before the panic fires.
+pub fn simulate_validated_probed<S: BinSelector + ?Sized, P: Probe>(
+    instance: &Instance,
+    selector: &mut S,
+    probe: &mut P,
+) -> PackingTrace {
+    let trace = simulate_probed(instance, selector, probe);
     let errs = trace.validate(instance);
+    if P::ENABLED {
+        for err in &errs {
+            probe.record(ProbeEvent::Violation {
+                at: Tick(0),
+                message: err.clone(),
+            });
+        }
+    }
     assert!(
         errs.is_empty(),
         "trace validation failed for {}:\n{}",

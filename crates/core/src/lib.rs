@@ -73,6 +73,7 @@ pub mod instance;
 pub mod item;
 pub mod metrics;
 pub mod packer;
+pub mod probe;
 #[cfg(test)]
 mod proptests;
 pub mod ratio;
@@ -81,10 +82,13 @@ pub mod time;
 pub mod trace;
 
 pub use bin::{BinId, BinTag, OpenBinView};
-pub use engine::{any_fit_violations, simulate, simulate_validated};
+pub use engine::{
+    any_fit_violations, simulate, simulate_probed, simulate_validated, simulate_validated_probed,
+};
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
 pub use item::{ArrivingItem, Item, ItemId, RegionId, Size};
 pub use packer::{BinSelector, Decision, SelectorFactory};
+pub use probe::{NoProbe, Probe, ProbeEvent};
 pub use ratio::Ratio;
 pub use time::{Dur, Interval, Tick};
 pub use trace::{BinRecord, PackingTrace};
@@ -97,11 +101,15 @@ pub mod prelude {
     };
     pub use crate::bin::{BinId, BinTag, OpenBinView};
     pub use crate::bounds;
-    pub use crate::engine::{any_fit_violations, simulate, simulate_validated};
+    pub use crate::engine::{
+        any_fit_violations, simulate, simulate_probed, simulate_validated,
+        simulate_validated_probed,
+    };
     pub use crate::instance::{Instance, InstanceBuilder};
     pub use crate::item::{ArrivingItem, Item, ItemId, RegionId, Size};
     pub use crate::metrics::{summarize, RunSummary};
     pub use crate::packer::{BinSelector, Decision, SelectorFactory};
+    pub use crate::probe::{NoProbe, Probe, ProbeEvent};
     pub use crate::ratio::Ratio;
     pub use crate::time::{Dur, Interval, Tick};
     pub use crate::trace::PackingTrace;

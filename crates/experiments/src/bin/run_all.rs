@@ -1,43 +1,124 @@
 //! Run every experiment in sequence — regenerates every table/figure
 //! artifact of the paper. Pass `--quick` for reduced grids.
+//!
+//! Each experiment runs under `catch_unwind`, so one panicking experiment
+//! does not take the sweep down; the process exits nonzero if *any*
+//! experiment panicked or failed to write its table. A per-experiment
+//! timing/outcome summary is printed at the end and persisted to
+//! `results/manifest.json`.
+
 use dbp_experiments as exp;
 
-fn main() {
+use dbp_obs::{ExperimentManifest, ExperimentRecord, ExperimentStatus};
+use exp::harness::Table;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::process::ExitCode;
+use std::time::Instant;
+
+/// One experiment: its CSV stem and a quick-flag-taking runner.
+type Experiment = (&'static str, fn(bool) -> Table);
+
+/// Every experiment, in execution order.
+const EXPERIMENTS: &[Experiment] = &[
+    ("fig1_span", |q| exp::fig1_span::run(q).0),
+    ("fig2_anyfit_lb", |q| exp::fig2_anyfit_lb::run(q).0),
+    ("fig3_bestfit_unbounded", |q| {
+        exp::fig3_bestfit_unbounded::run(q).0
+    }),
+    ("thm3_large_items", |q| exp::thm3_large_items::run(q).0),
+    ("thm4_small_items", |q| exp::thm4_small_items::run(q).0),
+    ("thm5_general_ff", |q| exp::thm5_general_ff::run(q).0),
+    ("tab2_case_classification", |q| {
+        exp::tab2_case_classification::run(q).0
+    }),
+    ("mff_ratio", |q| exp::mff_ratio::run(q).0),
+    ("mff_k_ablation", |q| exp::mff_k_ablation::run(q).0),
+    ("cloud_gaming_costs", |q| exp::cloud_gaming_costs::run(q).0),
+    ("mu_sensitivity", |q| exp::mu_sensitivity::run(q).0),
+    ("billing_granularity", |q| {
+        exp::billing_granularity::run(q).0
+    }),
+    ("constrained_dbp", |q| exp::constrained_dbp::run(q).0),
+    ("footnote1_adaptive", |q| exp::footnote1_adaptive::run(q).0),
+    ("flash_crowd", |q| exp::flash_crowd::run(q).0),
+    ("mff_decomposition", |q| exp::mff_decomposition::run(q).0),
+    ("unit_fractions", |q| exp::unit_fractions::run(q).0),
+    ("value_of_clairvoyance", |q| {
+        exp::value_of_clairvoyance::run(q).0
+    }),
+    ("migration_gap", |q| exp::migration_gap::run(q).0),
+    ("server_churn", |q| exp::server_churn::run(q).0),
+    ("ff_gap_search", |q| exp::ff_gap_search::run(q).0),
+    ("hff_class_ablation", |q| exp::hff_class_ablation::run(q).0),
+];
+
+fn main() -> ExitCode {
     let q = exp::quick_flag();
-    let t0 = std::time::Instant::now();
-    exp::harness::finish(&exp::fig1_span::run(q).0, "fig1_span");
-    exp::harness::finish(&exp::fig2_anyfit_lb::run(q).0, "fig2_anyfit_lb");
-    exp::harness::finish(
-        &exp::fig3_bestfit_unbounded::run(q).0,
-        "fig3_bestfit_unbounded",
-    );
-    exp::harness::finish(&exp::thm3_large_items::run(q).0, "thm3_large_items");
-    exp::harness::finish(&exp::thm4_small_items::run(q).0, "thm4_small_items");
-    exp::harness::finish(&exp::thm5_general_ff::run(q).0, "thm5_general_ff");
-    exp::harness::finish(
-        &exp::tab2_case_classification::run(q).0,
-        "tab2_case_classification",
-    );
-    exp::harness::finish(&exp::mff_ratio::run(q).0, "mff_ratio");
-    exp::harness::finish(&exp::mff_k_ablation::run(q).0, "mff_k_ablation");
-    exp::harness::finish(&exp::cloud_gaming_costs::run(q).0, "cloud_gaming_costs");
-    exp::harness::finish(&exp::mu_sensitivity::run(q).0, "mu_sensitivity");
-    exp::harness::finish(&exp::billing_granularity::run(q).0, "billing_granularity");
-    exp::harness::finish(&exp::constrained_dbp::run(q).0, "constrained_dbp");
-    exp::harness::finish(&exp::footnote1_adaptive::run(q).0, "footnote1_adaptive");
-    exp::harness::finish(&exp::flash_crowd::run(q).0, "flash_crowd");
-    exp::harness::finish(&exp::mff_decomposition::run(q).0, "mff_decomposition");
-    exp::harness::finish(&exp::unit_fractions::run(q).0, "unit_fractions");
-    exp::harness::finish(
-        &exp::value_of_clairvoyance::run(q).0,
-        "value_of_clairvoyance",
-    );
-    exp::harness::finish(&exp::migration_gap::run(q).0, "migration_gap");
-    exp::harness::finish(&exp::server_churn::run(q).0, "server_churn");
-    exp::harness::finish(&exp::ff_gap_search::run(q).0, "ff_gap_search");
-    exp::harness::finish(&exp::hff_class_ablation::run(q).0, "hff_class_ablation");
+    let t0 = Instant::now();
+    let mut records = Vec::with_capacity(EXPERIMENTS.len());
+    for &(name, run) in EXPERIMENTS {
+        let started = Instant::now();
+        let status = match catch_unwind(AssertUnwindSafe(|| run(q))) {
+            Ok(table) => {
+                table.print();
+                match table.try_write_csv(name) {
+                    Ok(path) => {
+                        println!("[csv] {}", path.display());
+                        ExperimentStatus::Ok
+                    }
+                    Err(e) => {
+                        eprintln!("[error] {name}: cannot write table: {e}");
+                        ExperimentStatus::WriteFailed
+                    }
+                }
+            }
+            Err(_) => {
+                eprintln!("[error] {name}: panicked (see message above); continuing");
+                ExperimentStatus::Panicked
+            }
+        };
+        records.push(ExperimentRecord {
+            name: name.to_string(),
+            status,
+            wall_time_ms: started.elapsed().as_millis() as u64,
+        });
+    }
+
+    let manifest = ExperimentManifest {
+        experiments: records,
+        total_wall_time_ms: t0.elapsed().as_millis() as u64,
+        peak_rss_bytes: dbp_obs::manifest::peak_rss_bytes(),
+    };
+
+    let mut summary = Table::new("run_all timing", &["experiment", "status", "wall ms"]);
+    for r in &manifest.experiments {
+        summary.push(vec![
+            r.name.clone(),
+            format!("{:?}", r.status),
+            r.wall_time_ms.to_string(),
+        ]);
+    }
+    summary.print();
+
+    let manifest_path = exp::harness::results_dir().join("manifest.json");
+    let mut failed = manifest.failures();
+    match dbp_obs::export::write_json(&manifest_path, &manifest) {
+        Ok(()) => println!("[manifest] {}", manifest_path.display()),
+        Err(e) => {
+            eprintln!("[error] cannot write {}: {e}", manifest_path.display());
+            failed += 1;
+        }
+    }
+
     println!(
-        "\nall experiments done in {:.1}s",
-        t0.elapsed().as_secs_f64()
+        "\nall experiments done in {:.1}s ({} ok, {} failed)",
+        t0.elapsed().as_secs_f64(),
+        manifest.experiments.len() - manifest.failures(),
+        manifest.failures()
     );
+    if failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -2,8 +2,6 @@
 //! under `results/`.
 
 use std::fmt::Display;
-use std::fs;
-use std::io::Write;
 use std::path::PathBuf;
 
 /// A rectangular result table.
@@ -91,15 +89,8 @@ impl Table {
         out
     }
 
-    /// Write as CSV into the results directory; returns the path.
-    ///
-    /// # Panics
-    /// Panics on I/O errors — experiments must not silently lose artifacts.
-    pub fn write_csv(&self, stem: &str) -> PathBuf {
-        let dir = results_dir();
-        fs::create_dir_all(&dir).expect("cannot create results dir");
-        let path = dir.join(format!("{stem}.csv"));
-        let mut f = fs::File::create(&path).expect("cannot create CSV");
+    /// Render as CSV text (RFC-4180 style quoting).
+    pub fn to_csv(&self) -> String {
         let esc = |s: &str| {
             if s.contains([',', '"', '\n']) {
                 format!("\"{}\"", s.replace('"', "\"\""))
@@ -107,25 +98,39 @@ impl Table {
                 s.to_string()
             }
         };
-        writeln!(
-            f,
-            "{}",
-            self.headers
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
                 .iter()
                 .map(|h| esc(h))
                 .collect::<Vec<_>>()
-                .join(",")
-        )
-        .unwrap();
+                .join(","),
+        );
+        out.push('\n');
         for row in &self.rows {
-            writeln!(
-                f,
-                "{}",
-                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
-            )
-            .unwrap();
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
         }
-        path
+        out
+    }
+
+    /// Write as CSV into the results directory; returns the path. The write
+    /// is atomic (temp file + rename), so a crash mid-write never leaves a
+    /// truncated artifact where a previous good one stood.
+    pub fn try_write_csv(&self, stem: &str) -> std::io::Result<PathBuf> {
+        let path = results_dir().join(format!("{stem}.csv"));
+        dbp_obs::export::atomic_write(&path, self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Write as CSV into the results directory; returns the path.
+    ///
+    /// # Panics
+    /// Panics on I/O errors — experiments must not silently lose artifacts.
+    /// Fallible callers (`run_all`) use [`try_write_csv`](Self::try_write_csv).
+    pub fn write_csv(&self, stem: &str) -> PathBuf {
+        self.try_write_csv(stem).expect("cannot write CSV")
     }
 }
 
@@ -195,8 +200,23 @@ mod tests {
         let dir = std::env::temp_dir().join("dbp-exp-test");
         std::env::set_var("DBP_RESULTS", &dir);
         let p = t.write_csv("escape_test");
-        let body = std::fs::read_to_string(p).unwrap();
+        let body = std::fs::read_to_string(&p).unwrap();
         assert!(body.contains("\"a,b\"\"c\""));
+        // Atomic write: no temp sibling left behind.
+        assert!(!p.with_extension("csv.tmp").exists());
         std::env::remove_var("DBP_RESULTS");
+    }
+
+    #[test]
+    fn csv_write_creates_missing_results_dir() {
+        let dir = std::env::temp_dir().join("dbp-exp-test-nested/deeper");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("demo", &["x"]);
+        t.push(vec!["1".into()]);
+        std::env::set_var("DBP_RESULTS", &dir);
+        let p = t.try_write_csv("fresh").unwrap();
+        std::env::remove_var("DBP_RESULTS");
+        assert!(p.exists());
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
     }
 }

@@ -1,0 +1,65 @@
+//! # dbp-obs — observability for the MinTotal DBP engine
+//!
+//! Consumers of the [`Probe`](dbp_core::probe::Probe) seam in `dbp-core`:
+//!
+//! * [`recorder`] — [`EventLog`](recorder::EventLog) (full event capture),
+//!   [`CountingProbe`](recorder::CountingProbe) (per-kind counters for
+//!   invariant tests), [`MetricsProbe`](recorder::MetricsProbe) (streaming
+//!   aggregation into a registry);
+//! * [`metrics`] — counters, gauges, and exact integer histograms with
+//!   Prometheus text rendering;
+//! * [`sampler`] — [`TimeSeriesSampler`](sampler::TimeSeriesSampler), the
+//!   exact step functions `n(t)` (the paper's `A(R,t)`), used capacity,
+//!   and waste;
+//! * [`export`] — atomic JSONL / Prometheus / JSON writers and parsers;
+//! * [`manifest`] — [`RunManifest`](manifest::RunManifest) provenance
+//!   records and the `run_all` sweep manifest;
+//! * [`timeline`] — the `dbp trace` timeline renderer.
+//!
+//! Probes compose with the tuple combinator from `dbp-core`, so one
+//! simulation pass can feed several consumers:
+//!
+//! ```
+//! use dbp_core::prelude::*;
+//! use dbp_obs::prelude::*;
+//!
+//! let mut b = InstanceBuilder::new(10);
+//! b.add(0, 40, 6);
+//! b.add(5, 25, 6);
+//! let instance = b.build().unwrap();
+//!
+//! let mut probe = (EventLog::new(), MetricsProbe::new());
+//! let trace = simulate_probed(&instance, &mut FirstFit::new(), &mut probe);
+//! let (log, metrics) = probe;
+//! assert_eq!(
+//!     metrics.registry().counter("dbp_bins_opened_total"),
+//!     trace.bins_used() as u64
+//! );
+//! let jsonl = dbp_obs::export::events_to_jsonl(log.events());
+//! assert_eq!(dbp_obs::export::parse_jsonl(&jsonl).unwrap(), log.events());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod export;
+pub mod manifest;
+pub mod metrics;
+pub mod recorder;
+pub mod sampler;
+pub mod timeline;
+
+pub use manifest::{ExperimentManifest, ExperimentRecord, ExperimentStatus, RunManifest};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{CountingProbe, EventLog, MetricsProbe};
+pub use sampler::{Sample, TimeSeriesSampler};
+
+/// Everything most users need, in one import.
+pub mod prelude {
+    pub use crate::export::{events_to_jsonl, parse_jsonl, read_jsonl, write_jsonl};
+    pub use crate::manifest::{instance_digest, ExperimentManifest, RunManifest};
+    pub use crate::metrics::{Histogram, MetricsRegistry};
+    pub use crate::recorder::{CountingProbe, EventLog, MetricsProbe};
+    pub use crate::sampler::{Sample, TimeSeriesSampler};
+    pub use crate::timeline::render_timeline;
+}

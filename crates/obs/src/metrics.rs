@@ -1,0 +1,220 @@
+//! Metrics primitives: counters, gauges, exact integer histograms, and the
+//! registry that renders them in Prometheus text format.
+//!
+//! Everything is exact-integer (histograms store full value→count maps, not
+//! pre-bucketed approximations), matching the repository's "no floats in
+//! measured quantities" rule; floats appear only at render time.
+
+use std::collections::BTreeMap;
+
+/// An exact integer histogram: every observed value is kept with its count.
+///
+/// For the distributions the engine produces (scan depths, occupancy
+/// levels, nanosecond buckets) cardinality is small, so exactness is cheap
+/// and quantiles are true order statistics rather than bucket estimates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u64, u64>,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.count += 1;
+        self.sum += value as u128;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> Option<u64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Mean observation (lossy, for display).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Exact `q`-quantile (`0.0 ≤ q ≤ 1.0`): the smallest observed value
+    /// with cumulative count ≥ `q · count`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0;
+        for (&value, &n) in &self.counts {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// The distinct (value, count) pairs in ascending value order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+}
+
+/// A named collection of counters, gauges, and histograms.
+///
+/// Names follow Prometheus conventions (`dbp_bins_opened_total`); the
+/// registry itself does not enforce them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at zero).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        match self.counters.get_mut(name) {
+            Some(v) => *v += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `value`.
+    pub fn gauge_set(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Raise gauge `name` to `value` if it is below it (peak tracking).
+    pub fn gauge_max(&mut self, name: &str, value: i64) {
+        match self.gauges.get_mut(name) {
+            Some(v) => *v = (*v).max(value),
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Record `value` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::new();
+                h.observe(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// The histogram registered under `name`, if any.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Render in Prometheus text exposition format. Histograms are emitted
+    /// as summaries (`{quantile="..."}` series plus `_sum`/`_count`), which
+    /// keeps exact values exact — no lossy bucket boundaries.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for q in [0.5, 0.9, 0.99, 1.0] {
+                if let Some(v) = h.quantile(q) {
+                    out.push_str(&format!("{name}{{quantile=\"{q}\"}} {v}\n"));
+                }
+            }
+            out.push_str(&format!(
+                "{name}_sum {}\n{name}_count {}\n",
+                h.sum(),
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_exact_stats() {
+        let mut h = Histogram::new();
+        for v in [3, 1, 4, 1, 5, 9, 2, 6] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.sum(), 31);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(1.0), Some(9));
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn registry_renders_prometheus() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("dbp_bins_opened_total", 3);
+        reg.gauge_set("dbp_open_bins", 2);
+        reg.gauge_max("dbp_open_bins_peak", 5);
+        reg.gauge_max("dbp_open_bins_peak", 4);
+        reg.observe("dbp_fit_scan_depth", 1);
+        reg.observe("dbp_fit_scan_depth", 7);
+        let text = reg.to_prometheus();
+        assert!(text.contains("# TYPE dbp_bins_opened_total counter"));
+        assert!(text.contains("dbp_bins_opened_total 3"));
+        assert!(text.contains("dbp_open_bins_peak 5"));
+        assert!(text.contains("dbp_fit_scan_depth{quantile=\"1\"} 7"));
+        assert!(text.contains("dbp_fit_scan_depth_count 2"));
+        assert_eq!(reg.counter("missing"), 0);
+    }
+}

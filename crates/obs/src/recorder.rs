@@ -1,0 +1,253 @@
+//! Event-recording probes: the in-memory [`EventLog`], the cheap
+//! [`CountingProbe`] used by invariant tests, and [`MetricsProbe`] which
+//! aggregates events into a [`MetricsRegistry`](crate::metrics::MetricsRegistry).
+
+use crate::metrics::MetricsRegistry;
+use dbp_core::probe::{Probe, ProbeEvent};
+
+/// A probe that stores every event in order. The basis for JSONL export
+/// ([`crate::export`]) and the `dbp trace` timeline.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<ProbeEvent>,
+    decision_ns: Vec<u64>,
+}
+
+impl EventLog {
+    /// New empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// The recorded events, in simulation order.
+    pub fn events(&self) -> &[ProbeEvent] {
+        &self.events
+    }
+
+    /// Per-decision wall times in nanoseconds, in arrival order.
+    pub fn decision_ns(&self) -> &[u64] {
+        &self.decision_ns
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Consume the log, returning the events.
+    pub fn into_events(self) -> Vec<ProbeEvent> {
+        self.events
+    }
+}
+
+impl Probe for EventLog {
+    fn record(&mut self, event: ProbeEvent) {
+        self.events.push(event);
+    }
+
+    fn on_decision_ns(&mut self, ns: u64) {
+        self.decision_ns.push(ns);
+    }
+}
+
+/// A probe that only counts, per event kind. Used by the engine invariant
+/// tests to cross-check event streams against [`PackingTrace`] totals
+/// without buffering the stream.
+///
+/// [`PackingTrace`]: dbp_core::trace::PackingTrace
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingProbe {
+    /// `ItemArrived` events seen.
+    pub items_arrived: u64,
+    /// `FitAttempt` events seen.
+    pub fit_attempts: u64,
+    /// `BinOpened` events seen.
+    pub bins_opened: u64,
+    /// `ItemPlaced` events seen.
+    pub items_placed: u64,
+    /// `ItemDeparted` events seen.
+    pub items_departed: u64,
+    /// `BinClosed` events seen.
+    pub bins_closed: u64,
+    /// `Violation` events seen.
+    pub violations: u64,
+    /// Sum of `bins_scanned` over all fit attempts.
+    pub bins_scanned_total: u64,
+    /// Sum of `open_ticks` over all bin closes.
+    pub bin_open_ticks_total: u64,
+    /// Number of timed selector decisions.
+    pub decisions_timed: u64,
+}
+
+impl CountingProbe {
+    /// New zeroed counter set.
+    pub fn new() -> CountingProbe {
+        CountingProbe::default()
+    }
+
+    /// Total events of any kind.
+    pub fn total(&self) -> u64 {
+        self.items_arrived
+            + self.fit_attempts
+            + self.bins_opened
+            + self.items_placed
+            + self.items_departed
+            + self.bins_closed
+            + self.violations
+    }
+}
+
+impl Probe for CountingProbe {
+    fn record(&mut self, event: ProbeEvent) {
+        match event {
+            ProbeEvent::ItemArrived { .. } => self.items_arrived += 1,
+            ProbeEvent::FitAttempt { bins_scanned, .. } => {
+                self.fit_attempts += 1;
+                self.bins_scanned_total += bins_scanned as u64;
+            }
+            ProbeEvent::BinOpened { .. } => self.bins_opened += 1,
+            ProbeEvent::ItemPlaced { .. } => self.items_placed += 1,
+            ProbeEvent::ItemDeparted { .. } => self.items_departed += 1,
+            ProbeEvent::BinClosed { open_ticks, .. } => {
+                self.bins_closed += 1;
+                self.bin_open_ticks_total += open_ticks;
+            }
+            ProbeEvent::Violation { .. } => self.violations += 1,
+        }
+    }
+
+    fn on_decision_ns(&mut self, _ns: u64) {
+        self.decisions_timed += 1;
+    }
+}
+
+/// A probe that folds the event stream into a [`MetricsRegistry`] as it
+/// arrives: counters for every event kind, an open-bin gauge with peak
+/// tracking, and exact histograms for scan depth, occupancy after
+/// placement, bin lifetime, and decision wall time.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsProbe {
+    registry: MetricsRegistry,
+    open_bins: i64,
+}
+
+impl MetricsProbe {
+    /// New probe with an empty registry.
+    pub fn new() -> MetricsProbe {
+        MetricsProbe::default()
+    }
+
+    /// The registry accumulated so far.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Consume the probe, returning the registry.
+    pub fn into_registry(self) -> MetricsRegistry {
+        self.registry
+    }
+}
+
+impl Probe for MetricsProbe {
+    fn record(&mut self, event: ProbeEvent) {
+        let reg = &mut self.registry;
+        match event {
+            ProbeEvent::ItemArrived { .. } => reg.counter_add("dbp_items_arrived_total", 1),
+            ProbeEvent::FitAttempt { bins_scanned, .. } => {
+                reg.counter_add("dbp_fit_attempts_total", 1);
+                reg.observe("dbp_fit_scan_depth", bins_scanned as u64);
+            }
+            ProbeEvent::BinOpened { .. } => {
+                reg.counter_add("dbp_bins_opened_total", 1);
+                self.open_bins += 1;
+                reg.gauge_set("dbp_open_bins", self.open_bins);
+                reg.gauge_max("dbp_open_bins_peak", self.open_bins);
+            }
+            ProbeEvent::ItemPlaced { level, .. } => {
+                reg.counter_add("dbp_items_placed_total", 1);
+                reg.observe("dbp_open_bin_occupancy", level.raw());
+            }
+            ProbeEvent::ItemDeparted { .. } => reg.counter_add("dbp_items_departed_total", 1),
+            ProbeEvent::BinClosed { open_ticks, .. } => {
+                reg.counter_add("dbp_bins_closed_total", 1);
+                self.open_bins -= 1;
+                reg.gauge_set("dbp_open_bins", self.open_bins);
+                reg.observe("dbp_bin_lifetime_ticks", open_ticks);
+            }
+            ProbeEvent::Violation { .. } => reg.counter_add("dbp_violations_total", 1),
+        }
+    }
+
+    fn on_decision_ns(&mut self, ns: u64) {
+        self.registry.observe("dbp_decision_ns", ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+
+    fn small_instance() -> Instance {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 40, 6);
+        b.add(5, 25, 6);
+        b.add(10, 35, 4);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn counting_probe_matches_trace() {
+        let inst = small_instance();
+        let mut probe = CountingProbe::new();
+        let trace = simulate_probed(&inst, &mut FirstFit::new(), &mut probe);
+        assert_eq!(probe.bins_opened, trace.bins_used() as u64);
+        assert_eq!(probe.items_placed, inst.len() as u64);
+        assert_eq!(probe.items_departed, inst.len() as u64);
+        assert_eq!(probe.bins_closed, probe.bins_opened);
+        assert_eq!(probe.fit_attempts, probe.items_placed);
+        assert_eq!(probe.decisions_timed, inst.len() as u64);
+        assert_eq!(probe.violations, 0);
+    }
+
+    #[test]
+    fn metrics_probe_aggregates() {
+        let inst = small_instance();
+        let mut probe = MetricsProbe::new();
+        let trace = simulate_probed(&inst, &mut FirstFit::new(), &mut probe);
+        let reg = probe.registry();
+        assert_eq!(
+            reg.counter("dbp_bins_opened_total"),
+            trace.bins_used() as u64
+        );
+        assert_eq!(reg.counter("dbp_items_placed_total"), inst.len() as u64);
+        assert_eq!(reg.gauge("dbp_open_bins"), Some(0));
+        assert!(reg.gauge("dbp_open_bins_peak").unwrap() >= 1);
+        assert_eq!(
+            reg.histogram("dbp_fit_scan_depth").unwrap().count(),
+            inst.len() as u64
+        );
+        assert_eq!(
+            reg.histogram("dbp_decision_ns").unwrap().count(),
+            inst.len() as u64
+        );
+    }
+
+    #[test]
+    fn event_log_records_in_order() {
+        let inst = small_instance();
+        let mut log = EventLog::new();
+        simulate_probed(&inst, &mut BestFit::new(), &mut log);
+        assert!(!log.is_empty());
+        // Ticks are non-decreasing along the stream.
+        let ticks: Vec<u64> = log.events().iter().map(|e| e.at().0).collect();
+        assert!(ticks.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(log.decision_ns().len(), inst.len());
+        assert_eq!(log.events().first().unwrap().kind(), "ItemArrived");
+    }
+}

@@ -1,0 +1,128 @@
+//! Human-readable timeline rendering of a JSONL event log — the engine
+//! behind the `dbp trace` subcommand.
+
+use dbp_core::probe::ProbeEvent;
+use std::fmt::Write;
+
+/// Render events as a tick-grouped timeline with a trailing summary.
+///
+/// Output shape:
+///
+/// ```text
+/// t=0
+///   arrive  r0 (size 6)
+///   scan    r0 depth 0/0
+///   open    b0 <- r0
+///   place   r0 -> b0 (level 6)
+/// ...
+/// -- 3 items, 2 bins opened, peak 2 open, 14 events
+/// ```
+pub fn render_timeline(events: &[ProbeEvent]) -> String {
+    let mut out = String::new();
+    let mut last_tick: Option<u64> = None;
+    let mut items = 0u64;
+    let mut opened = 0u64;
+    let mut open_now = 0i64;
+    let mut peak_open = 0i64;
+    let mut violations = 0u64;
+
+    for event in events {
+        let t = event.at().0;
+        if last_tick != Some(t) {
+            let _ = writeln!(out, "t={t}");
+            last_tick = Some(t);
+        }
+        match event {
+            ProbeEvent::ItemArrived { item, size, .. } => {
+                items += 1;
+                let _ = writeln!(out, "  arrive  r{} (size {})", item.0, size.raw());
+            }
+            ProbeEvent::FitAttempt {
+                item,
+                bins_scanned,
+                open_bins,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  scan    r{} depth {}/{}",
+                    item.0, bins_scanned, open_bins
+                );
+            }
+            ProbeEvent::BinOpened { bin, item, .. } => {
+                opened += 1;
+                open_now += 1;
+                peak_open = peak_open.max(open_now);
+                let _ = writeln!(out, "  open    b{} <- r{}", bin.0, item.0);
+            }
+            ProbeEvent::ItemPlaced {
+                item, bin, level, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  place   r{} -> b{} (level {})",
+                    item.0,
+                    bin.0,
+                    level.raw()
+                );
+            }
+            ProbeEvent::ItemDeparted {
+                item, bin, level, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  depart  r{} from b{} (level {})",
+                    item.0,
+                    bin.0,
+                    level.raw()
+                );
+            }
+            ProbeEvent::BinClosed {
+                bin, open_ticks, ..
+            } => {
+                open_now -= 1;
+                let _ = writeln!(out, "  close   b{} after {} ticks", bin.0, open_ticks);
+            }
+            ProbeEvent::Violation { message, .. } => {
+                violations += 1;
+                let _ = writeln!(out, "  VIOLATION: {message}");
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "-- {items} items, {opened} bins opened, peak {peak_open} open, {} events",
+        events.len()
+    );
+    if violations > 0 {
+        let _ = write!(out, ", {violations} VIOLATIONS");
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::EventLog;
+    use dbp_core::prelude::*;
+
+    #[test]
+    fn timeline_renders_all_phases() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 40, 6);
+        b.add(5, 25, 6);
+        b.add(10, 35, 4);
+        let inst = b.build().unwrap();
+        let mut log = EventLog::new();
+        simulate_probed(&inst, &mut FirstFit::new(), &mut log);
+        let text = render_timeline(log.events());
+        assert!(text.contains("t=0"));
+        assert!(text.contains("arrive  r0 (size 6)"));
+        assert!(text.contains("open    b0 <- r0"));
+        assert!(text.contains("depart"));
+        assert!(text.contains("close"));
+        assert!(text.contains("3 items, 2 bins opened"));
+        assert!(!text.contains("VIOLATION"));
+    }
+}

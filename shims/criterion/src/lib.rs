@@ -1,0 +1,317 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the macro and type surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, throughput, bench_function,
+//! bench_with_input, finish}`, `BenchmarkId`, `Throughput`, `Bencher::iter`
+//! — with a simple wall-clock measurement loop instead of criterion's
+//! statistical machinery:
+//!
+//! * `cargo bench -- --test` (what CI's bench-smoke job runs) executes every
+//!   benchmark body exactly once, as a correctness smoke test;
+//! * plain `cargo bench` warms each benchmark up, sizes iteration batches to
+//!   ~5 ms, takes `sample_size`-bounded samples, and prints mean ± spread in
+//!   ns/iter (plus throughput when configured).
+//!
+//! Positional command-line arguments act as substring filters on benchmark
+//! ids, like real criterion; unknown `--flags` are ignored.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness entry point; holds mode and filters parsed from argv.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                test_mode = true;
+            } else if arg.starts_with('-') {
+                // Accept-and-ignore criterion flags we don't implement
+                // (--bench, --save-baseline, ...), so cargo's harness
+                // plumbing never errors out.
+            } else {
+                filters.push(arg);
+            }
+        }
+        Criterion { test_mode, filters }
+    }
+}
+
+impl Criterion {
+    /// Match real criterion's builder spelling; argv is already parsed.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 30,
+            throughput: None,
+        }
+    }
+
+    /// Printed once all groups ran; a no-op here.
+    pub fn final_summary(&self) {}
+}
+
+/// How many "units" one iteration processes, for derived throughput rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Bound the number of measurement samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Record per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Declare measurement time; accepted for compatibility, unused.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark with no per-benchmark input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        self.run(&full, |b| f(b));
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.run(&full, |b| f(b, input));
+        self
+    }
+
+    fn run(&self, full_id: &str, mut body: impl FnMut(&mut Bencher)) {
+        if !self.criterion.filters.is_empty()
+            && !self.criterion.filters.iter().any(|f| full_id.contains(f))
+        {
+            return;
+        }
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        body(&mut bencher);
+        bencher.report(full_id, self.throughput);
+    }
+
+    /// End the group (reports are printed as benchmarks run).
+    pub fn finish(self) {}
+}
+
+/// Drives the measured closure; passed to each benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    /// (iterations, elapsed) per sample.
+    samples: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Measure `f`, called in timed batches (or exactly once in `--test`).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            self.samples.push((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up: run until ~20 ms elapsed (at least once) to estimate the
+        // per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= Duration::from_millis(20) {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / warm_iters as u128;
+        // Size batches to ~5 ms and keep total measurement around 250 ms.
+        let batch = (5_000_000 / per_iter).clamp(1, 1_000_000) as u64;
+        let samples = self
+            .sample_size
+            .min((250_000_000 / (per_iter * batch as u128).max(1)).max(2) as usize);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push((batch, start.elapsed()));
+        }
+    }
+
+    fn report(&self, full_id: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            return; // filtered out or body never called iter()
+        }
+        if self.test_mode {
+            println!("test {full_id} ... ok (ran once, --test mode)");
+            return;
+        }
+        let per_sample: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|(iters, d)| d.as_nanos() as f64 / *iters as f64)
+            .collect();
+        let mean = per_sample.iter().sum::<f64>() / per_sample.len() as f64;
+        let min = per_sample.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_sample.iter().cloned().fold(0.0f64, f64::max);
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(" ({} elem/s)", si(n as f64 * 1e9 / mean)),
+            Throughput::Bytes(n) => format!(" ({}B/s)", si(n as f64 * 1e9 / mean)),
+        });
+        println!(
+            "bench {full_id:<55} {:>12} ns/iter (min {}, max {}){}",
+            format_ns(mean),
+            format_ns(min),
+            format_ns(max),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1_000_000.0 {
+        format!("{:.2}M", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.2}k", ns / 1_000.0)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+fn si(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.1} ")
+    }
+}
+
+/// Group benchmark functions under one registration function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("ff", 1000).id, "ff/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+    }
+
+    #[test]
+    fn bencher_runs_once_in_test_mode() {
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 10,
+            samples: Vec::new(),
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.samples.len(), 1);
+    }
+}

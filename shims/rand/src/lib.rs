@@ -1,0 +1,169 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! exact API subset the workspace uses, with the same module layout:
+//!
+//! * [`Rng`] — the object-safe core trait (`next_u32`/`next_u64`);
+//! * [`RngExt`] — `random_range` over integer and float ranges;
+//! * [`SeedableRng`] — `seed_from_u64`;
+//! * [`rngs::StdRng`] — a deterministic xoshiro256** generator.
+//!
+//! Everything is deterministic per seed; there is no OS entropy source, by
+//! design — every experiment in this repository must be reproducible.
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng;
+
+/// The object-safe core of a random generator: a source of uniform bits.
+pub trait Rng {
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniform bits (top half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanding it to full state.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range sampling, as an extension over any [`Rng`].
+pub trait RngExt: Rng {
+    /// Uniform sample from a range (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// A uniformly random `bool` with probability `p` of `true`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        uniform01(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// A `[0, 1)` double from 53 uniform bits.
+fn uniform01<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / 9007199254740992.0)
+}
+
+/// A range that can produce uniform samples of `T`.
+pub trait SampleRange<T> {
+    /// Draw one sample using `rng`'s bits.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types uniform ranges can sample. The generic `SampleRange` impls below
+/// go through this trait (mirroring real rand's `SampleUniform`) so that
+/// `rng.random_range(0..5)` unifies the literal's type with the use site.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "empty range in random_range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "empty range in random_range");
+        T::sample_uniform(rng, lo, hi, true)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: $t, hi: $t, inclusive: bool) -> $t {
+                let width = (hi as u128)
+                    .wrapping_sub(lo as u128)
+                    .wrapping_add(inclusive as u128);
+                if width == 0 {
+                    // Full-domain inclusive range; direct draw.
+                    return (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $t;
+                }
+                let draw = (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) % width;
+                (lo as u128).wrapping_add(draw) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64, _inclusive: bool) -> f64 {
+        lo + (hi - lo) * uniform01(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3u64..10);
+            assert!((3..10).contains(&x));
+            let y = rng.random_range(5i32..=5);
+            assert_eq!(y, 5);
+            let z = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&z));
+            let w = rng.random_range(0..4u8);
+            assert!(w < 4);
+        }
+    }
+
+    #[test]
+    fn dyn_rng_is_usable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let dynref: &mut dyn Rng = &mut rng;
+        let _ = dynref.next_u64();
+        let _ = dynref.next_u32();
+    }
+}

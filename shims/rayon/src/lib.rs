@@ -1,0 +1,160 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! `par_iter` surface the workspace uses. Execution is **sequential**:
+//! [`prelude::Par`] wraps a std iterator and exposes rayon-spelled adapters
+//! (`map`, `flat_map_iter`, `reduce(identity, op)`, `with_min_len`, ...) as
+//! inherent methods, so chains compile unchanged and stay deterministic.
+//! When real rayon is available again, swapping the workspace dependency
+//! back restores parallelism with zero source changes.
+
+/// The `use rayon::prelude::*` surface.
+pub mod prelude {
+    /// `.par_iter()` on slice-backed collections.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type (a shared reference).
+        type Item: 'data;
+        /// The underlying sequential iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterate "in parallel" (sequentially here).
+        fn par_iter(&'data self) -> Par<Self::Iter>;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = core::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::Iter> {
+            Par(self.iter())
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = core::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::Iter> {
+            Par(self.as_slice().iter())
+        }
+    }
+
+    impl<'data, T: 'data, const N: usize> IntoParallelRefIterator<'data> for [T; N] {
+        type Item = &'data T;
+        type Iter = core::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Par<Self::Iter> {
+            Par(self.iter())
+        }
+    }
+
+    /// A "parallel" iterator: a plain iterator behind rayon's method
+    /// spelling. Deliberately *not* an [`Iterator`] itself — rayon's
+    /// two-argument `reduce(identity, op)` would otherwise collide with
+    /// `Iterator::reduce` at every call site.
+    pub struct Par<I>(I);
+
+    impl<I: Iterator> Par<I> {
+        /// Map each element.
+        pub fn map<O, F: FnMut(I::Item) -> O>(self, f: F) -> Par<core::iter::Map<I, F>> {
+            Par(self.0.map(f))
+        }
+
+        /// Keep elements satisfying the predicate.
+        pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> Par<core::iter::Filter<I, F>> {
+            Par(self.0.filter(f))
+        }
+
+        /// Flat-map through anything iterable.
+        pub fn flat_map<U, F>(self, f: F) -> Par<core::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator,
+            F: FnMut(I::Item) -> U,
+        {
+            Par(self.0.flat_map(f))
+        }
+
+        /// Rayon's `flat_map_iter`: flat-map through a serial iterator.
+        pub fn flat_map_iter<U, F>(self, f: F) -> Par<core::iter::FlatMap<I, U, F>>
+        where
+            U: IntoIterator,
+            F: FnMut(I::Item) -> U,
+        {
+            Par(self.0.flat_map(f))
+        }
+
+        /// Rayon's splitting hint: a no-op sequentially.
+        pub fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Rayon's splitting hint: a no-op sequentially.
+        pub fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+
+        /// Collect into any `FromIterator` collection.
+        pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+            self.0.collect()
+        }
+
+        /// Largest element.
+        pub fn max(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.max()
+        }
+
+        /// Smallest element.
+        pub fn min(self) -> Option<I::Item>
+        where
+            I::Item: Ord,
+        {
+            self.0.min()
+        }
+
+        /// Sum of all elements.
+        pub fn sum<S: core::iter::Sum<I::Item>>(self) -> S {
+            self.0.sum()
+        }
+
+        /// Number of elements.
+        pub fn count(self) -> usize {
+            self.0.count()
+        }
+
+        /// Run `f` on every element.
+        pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+            self.0.for_each(f)
+        }
+
+        /// Rayon's reduce: fold from `identity()`, combining with `op`.
+        pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+        where
+            ID: Fn() -> I::Item,
+            OP: Fn(I::Item, I::Item) -> I::Item,
+        {
+            self.0.fold(identity(), op)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_chains_compile_and_run() {
+        let v = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let arr = [1u64, 2, 3];
+        assert_eq!(arr.par_iter().max(), Some(&3));
+        let flat: Vec<u64> = v.par_iter().flat_map_iter(|&x| vec![x, x]).collect();
+        assert_eq!(flat.len(), 6);
+        let total = v
+            .par_iter()
+            .map(|&x| (x, x))
+            .reduce(|| (0, 0), |a, b| (a.0 + b.0, a.1 + b.1));
+        assert_eq!(total, (6, 6));
+        let capped: Vec<&u64> = v.par_iter().with_min_len(64).filter(|&&x| x > 1).collect();
+        assert_eq!(capped, vec![&2, &3]);
+    }
+}

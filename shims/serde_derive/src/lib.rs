@@ -1,0 +1,485 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde shim.
+//!
+//! The real `serde_derive` is built on `syn`/`quote`; neither is available
+//! offline, so this is a small hand-rolled parser over `proc_macro` token
+//! trees. It supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields;
+//! * tuple structs (including `#[serde(transparent)]` newtypes);
+//! * enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! Generics are intentionally unsupported — none of the workspace's
+//! serialized types are generic — and the macro panics with a clear message
+//! if it meets a shape it cannot handle, so failures are loud, not silent.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    transparent: bool,
+    shape: Shape,
+}
+
+enum Shape {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive `serde::Serialize` (value-tree based).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde shim: generated Serialize impl did not parse")
+}
+
+/// Derive `serde::Deserialize` (value-tree based).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde shim: generated Deserialize impl did not parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn ident_of(t: Option<&TokenTree>) -> Option<String> {
+    match t {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Does an attribute bracket group spell `serde(transparent)`?
+fn is_transparent_attr(group: &proc_macro::Group) -> bool {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if ident_of(toks.first()).as_deref() != Some("serde") {
+        return false;
+    }
+    match toks.get(1) {
+        Some(TokenTree::Group(inner)) if inner.delimiter() == Delimiter::Parenthesis => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
+        _ => false,
+    }
+}
+
+/// Skip attributes starting at `i`; returns the new index and whether a
+/// `#[serde(transparent)]` was seen.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut transparent = false;
+    while is_punct(tokens.get(i), '#') {
+        match tokens.get(i + 1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                transparent |= is_transparent_attr(g);
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    (i, transparent)
+}
+
+/// Skip a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if ident_of(tokens.get(i)).as_deref() == Some("pub") {
+        i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                i += 1;
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, transparent) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+    let kw = ident_of(tokens.get(i)).unwrap_or_else(|| {
+        panic!(
+            "serde shim derive: expected `struct` or `enum`, got {:?}",
+            tokens.get(i)
+        )
+    });
+    i += 1;
+    let name = ident_of(tokens.get(i))
+        .unwrap_or_else(|| panic!("serde shim derive: expected type name after `{kw}`"));
+    i += 1;
+    if is_punct(tokens.get(i), '<') {
+        panic!("serde shim derive: generic type `{name}` is not supported");
+    }
+    let shape = match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => panic!("serde shim derive: unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("serde shim derive: expected `struct` or `enum`, got `{other}`"),
+    };
+    Item {
+        name,
+        transparent,
+        shape,
+    }
+}
+
+/// Field names of a named-field body, in declaration order.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        (i, _) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let field = ident_of(tokens.get(i)).unwrap_or_else(|| {
+            panic!(
+                "serde shim derive: expected field name, got {:?}",
+                tokens[i]
+            )
+        });
+        i += 1;
+        assert!(
+            is_punct(tokens.get(i), ':'),
+            "serde shim derive: expected `:` after field `{field}`"
+        );
+        i += 1;
+        // Consume the type: everything until a comma at angle-bracket depth 0.
+        // Parenthesised/bracketed sub-parts are single Group tokens, so only
+        // `<`/`>` need explicit depth tracking.
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        i += 1; // past the comma (or end)
+        fields.push(field);
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if is_punct(tokens.last(), ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = ts.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        (i, _) = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = ident_of(tokens.get(i)).unwrap_or_else(|| {
+            panic!(
+                "serde shim derive: expected variant name, got {:?}",
+                tokens[i]
+            )
+        });
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        if is_punct(tokens.get(i), ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `("name".to_string(), <expr>)` map-entry expression.
+fn map_entry(key: &str, value_expr: &str) -> String {
+    format!("(::std::string::String::from(\"{key}\"), {value_expr})")
+}
+
+fn missing_field(owner: &str, field: &str) -> String {
+    format!(
+        "__v.get(\"{field}\").ok_or_else(|| ::serde::Error::custom(\
+         \"missing field `{field}` in {owner}\"))?"
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) if item.transparent && fields.len() == 1 => {
+            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+        }
+        Shape::Tuple(1) if item.transparent => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| map_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Unit => format!("::serde::Value::Str(::std::string::String::from(\"{name}\"))"),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => ::serde::Value::Map(::std::vec![{}]),\n",
+                            map_entry(vn, "::serde::Serialize::to_value(__f0)")
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![{}]),\n",
+                            binders.join(", "),
+                            map_entry(
+                                vn,
+                                &format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                            )
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| map_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![{}]),\n",
+                            fields.join(", "),
+                            map_entry(
+                                vn,
+                                &format!(
+                                    "::serde::Value::Map(::std::vec![{}])",
+                                    entries.join(", ")
+                                )
+                            )
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) if item.transparent && fields.len() == 1 => {
+            format!(
+                "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
+                fields[0]
+            )
+        }
+        Shape::Tuple(1) if item.transparent => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Named(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value({})?",
+                        missing_field(name, f)
+                    )
+                })
+                .collect();
+            format!(
+                "if !__v.is_object() {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected object for {name}, got {{}}\", __v.kind())));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected array of length {n} for {name}, got {{}}\", __other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Shape::Unit => {
+            format!(
+                "match __v.as_str() {{\n\
+                 ::std::option::Option::Some(\"{name}\") => ::std::result::Result::Ok({name}),\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\"expected \\\"{name}\\\"\")),\n\
+                 }}"
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(1) => {
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok(\
+                             {name}::{vn}(::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => match __inner {{\n\
+                             ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({})),\n\
+                             _ => ::std::result::Result::Err(::serde::Error::custom(\
+                             \"bad payload for variant `{vn}` of {name}\")),\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     __inner.get(\"{f}\").ok_or_else(|| ::serde::Error::custom(\
+                                     \"missing field `{f}` in {name}::{vn}\"))?)?"
+                                )
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__key, __inner) = &__entries[0];\n\
+                 match __key.as_str() {{\n\
+                 {payload_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"expected {name} variant, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}

@@ -91,4 +91,54 @@ proptest! {
         let back: Instance = serde_json::from_str(&json).unwrap();
         prop_assert_eq!(inst, back);
     }
+
+    /// The probe event stream agrees with the trace: bins opened equals
+    /// `bins_used`, every item is placed exactly once and departs exactly
+    /// once, and every `BinClosed` matches a prior `BinOpened`.
+    #[test]
+    fn probe_events_agree_with_trace(inst in instances(60)) {
+        for f in standard_factories(23) {
+            let mut sel = f.build();
+            let mut probe = (dbp_obs::CountingProbe::new(), dbp_obs::EventLog::new());
+            let trace = dbp_core::engine::simulate_probed(&inst, &mut *sel, &mut probe);
+            let (counts, log) = probe;
+            prop_assert_eq!(counts.bins_opened, trace.bins_used() as u64, "{}", f.name());
+            prop_assert_eq!(counts.items_placed, inst.len() as u64, "{}", f.name());
+            prop_assert_eq!(counts.items_departed, inst.len() as u64, "{}", f.name());
+            prop_assert_eq!(counts.fit_attempts, inst.len() as u64, "{}", f.name());
+            prop_assert_eq!(counts.bins_closed, counts.bins_opened, "{}", f.name());
+            prop_assert_eq!(counts.violations, 0u64, "{}", f.name());
+            // Every close pairs with exactly one earlier open of the same bin.
+            let mut open = std::collections::BTreeSet::new();
+            for ev in log.events() {
+                match ev {
+                    ProbeEvent::BinOpened { bin, .. } => {
+                        prop_assert!(open.insert(bin.0), "bin {} opened twice", bin.0);
+                    }
+                    ProbeEvent::BinClosed { bin, .. } => {
+                        prop_assert!(open.remove(&bin.0), "bin {} closed while not open", bin.0);
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert!(open.is_empty(), "bins left open at end: {open:?}");
+        }
+    }
+
+    /// Event logs survive the JSONL round trip (serialize each event to a
+    /// line, parse the file back) structurally intact.
+    #[test]
+    fn probe_event_jsonl_round_trip(inst in instances(50)) {
+        let mut log = dbp_obs::EventLog::new();
+        let mut ff = FirstFit::new();
+        dbp_core::engine::simulate_probed(&inst, &mut ff, &mut log);
+        let text = dbp_obs::export::events_to_jsonl(log.events());
+        let back = dbp_obs::export::parse_jsonl(&text).unwrap();
+        prop_assert_eq!(back.as_slice(), log.events());
+        // Per-event serde agrees with the line-oriented exporter.
+        for (line, ev) in text.lines().zip(log.events()) {
+            let one: ProbeEvent = serde_json::from_str(line).unwrap();
+            prop_assert_eq!(&one, ev);
+        }
+    }
 }
