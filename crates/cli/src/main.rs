@@ -6,6 +6,8 @@
 //! dbp adversary thm1 --k 8 --mu 10 --out witness.json
 //! dbp adversary thm2 --k 4 --mu 2 --n 8 --out witness.json
 //! dbp run trace.json --algo ff [--validate] [--trace-events ev.jsonl] [--metrics m.prom]
+//! dbp run trace.json --algo ff --faults 42          # seeded crash/flaky-boot injection
+//! dbp run trace.json --algo ff --faults plan.json   # explicit fault plan
 //! dbp trace ev.jsonl              # replay a JSONL event log as a timeline
 //! dbp compare trace.json
 //! dbp analyze trace.json          # §4.3 FF proof-machinery report
@@ -48,6 +50,7 @@ USAGE:
   dbp run FILE --algo ff|bf|wf|nf|lf|mi|rf|hff|mff|mff-mu|cff
           [--validate] [--gantt] [--fleet] [--save-trace FILE] [--svg FILE]
           [--trace-events FILE.jsonl] [--metrics FILE.prom] [--timeseries FILE.csv]
+          [--faults SEED|PLAN.json]   # resilient dispatch under injected faults
   dbp trace FILE.jsonl [--summary]
   dbp compare FILE
   dbp analyze FILE
@@ -227,6 +230,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let inst = load_instance(args, 1)?;
     let algo = args.str_flag("algo").unwrap_or("ff");
     let mut sel = selector_by_name(algo, mu_hint(&inst))?;
+    if let Some(spec) = args.str_flag("faults") {
+        return cmd_run_faults(args, &inst, algo, &mut *sel, spec);
+    }
     let observing = args.has("trace-events") || args.has("metrics") || args.has("timeseries");
     let started = std::time::Instant::now();
     let mut probe = (
@@ -304,6 +310,102 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
         println!("trace saved to {path}");
     }
+    Ok(())
+}
+
+/// Resolve a `--faults` spec: a `.json` file holding a serialized
+/// [`dbp_cloudsim::FaultPlan`], or a bare integer seed expanded with
+/// [`dbp_cloudsim::FaultPlan::from_seed`] over the trace's horizon.
+fn load_fault_plan(spec: &str, horizon: u64) -> Result<dbp_cloudsim::FaultPlan, String> {
+    if spec.ends_with(".json") || std::path::Path::new(spec).exists() {
+        let body = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        serde_json::from_str(&body).map_err(|e| format!("{spec}: {e}"))
+    } else {
+        let seed: u64 = spec
+            .parse()
+            .map_err(|_| format!("--faults expects a seed or a plan .json, got '{spec}'"))?;
+        Ok(dbp_cloudsim::FaultPlan::from_seed(seed, horizon))
+    }
+}
+
+/// `dbp run FILE --faults <spec|seed>`: dispatch through the resilient
+/// wrapper (crashes, flaky provisioning, retries, orphan re-dispatch) and
+/// print the SLA ledger next to the bill.
+fn cmd_run_faults(
+    args: &Args,
+    inst: &Instance,
+    algo: &str,
+    sel: &mut dyn BinSelector,
+    spec: &str,
+) -> Result<(), String> {
+    let horizon = dbp_core::events::event_ticks(inst)
+        .last()
+        .map(|t| t.raw())
+        .unwrap_or(0);
+    let plan = load_fault_plan(spec, horizon)?;
+    let sys = dbp_cloudsim::GamingSystem {
+        server: dbp_cloudsim::ServerType {
+            gpu_capacity: inst.capacity().raw(),
+            ..dbp_cloudsim::ServerType::default_gpu_vm()
+        },
+        granularity: dbp_cloudsim::Granularity::PerTick,
+    };
+    let resilient = dbp_cloudsim::ResilientSystem::new(sys, plan.clone());
+    let observing = args.has("trace-events") || args.has("metrics");
+    let mut probe = (dbp_obs::EventLog::new(), dbp_obs::MetricsProbe::new());
+    let report = if observing {
+        resilient.run_probed(inst, sel, &mut probe)
+    } else {
+        resilient.run(inst, sel)
+    }
+    .map_err(|e| e.to_string())?;
+    let (event_log, metrics_probe) = probe;
+    if let Some(path) = args.str_flag("trace-events") {
+        dbp_obs::export::write_jsonl(std::path::Path::new(path), event_log.events())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("events saved to {path} ({} events)", event_log.len());
+    }
+    if let Some(path) = args.str_flag("metrics") {
+        dbp_obs::export::write_prometheus(std::path::Path::new(path), metrics_probe.registry())
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics saved to {path}");
+    }
+    println!("algorithm      : {algo}");
+    println!(
+        "fault plan     : seed {}, {} crashes, boot fail {:.2}, delay ≤{}, reject {:.2}",
+        plan.seed,
+        plan.crashes.len(),
+        plan.boot_fail_prob,
+        plan.boot_delay_max,
+        plan.reject_prob
+    );
+    println!("sessions       : {}", report.sessions_total);
+    println!(
+        "served         : {} ({:.1}%)",
+        report.sessions_served,
+        100.0 * report.service_rate()
+    );
+    println!("dropped        : {}", report.sessions_dropped);
+    println!("lost to crash  : {}", report.sessions_lost);
+    println!("re-dispatched  : {}", report.redispatches);
+    println!(
+        "faults         : {} crashes, {} boot failures, {} retries, {} rejections",
+        report.crashes,
+        report.provision_failures,
+        report.retries_scheduled,
+        report.dispatch_rejections
+    );
+    println!("queue peak     : {}", report.queue_peak);
+    println!(
+        "servers        : {} rented, peak {}",
+        report.servers_rented, report.peak_servers
+    );
+    println!("busy ticks     : {}", report.busy_ticks);
+    println!("billed ticks   : {}", report.billed_ticks);
+    println!(
+        "bill           : {:.2} USD",
+        report.cost_cents.to_f64() / 100.0
+    );
     Ok(())
 }
 

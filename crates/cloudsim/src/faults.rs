@@ -1,0 +1,1317 @@
+//! Seeded, fully deterministic fault injection and resilient dispatch.
+//!
+//! The paper's model assumes servers never fail and provisioning is instant
+//! and infallible. This module drops that assumption while keeping every
+//! run exactly reproducible:
+//!
+//! * [`FaultPlan`] — a declarative fault schedule: server crashes at given
+//!   ticks, flaky provisioning (per-attempt boot failures and boot delays),
+//!   and transient dispatch rejections. Plans are generated from a seeded
+//!   RNG ([`FaultPlan::generate`]) or loaded from JSON (the plan is plain
+//!   serde data), and a zero-fault plan ([`FaultPlan::none`]) reproduces
+//!   the fault-free [`GamingSystem`] bill *exactly* — same decisions, same
+//!   integers.
+//! * [`ResilientSystem`] — a wrapper around [`GamingSystem`] that retries
+//!   failed provisioning with capped exponential backoff plus deterministic
+//!   jitter, re-dispatches sessions orphaned by a crash through the same
+//!   [`BinSelector`] (the one event where the no-migration rule is forcibly
+//!   broken — re-placements are tagged [`ProbeEvent::ItemRedispatched`] and
+//!   counted separately), and bounds admission with a queue + timeout so
+//!   overload degrades to *accounted* session drops, never a panic.
+//!
+//! Determinism does not come from sharing one RNG across the run (that
+//! would entangle outcome streams); every per-attempt outcome is a pure
+//! hash of `(plan seed, stream tag, attempt counter)`, so two runs with the
+//! same plan take byte-identical fault decisions regardless of timing.
+//!
+//! Accounting rules, chosen so the SLA numbers always conserve:
+//!
+//! * a session is **served** if its full duration completed, **dropped** if
+//!   it never received any service (queue full, queue timeout, or retries
+//!   exhausted before first placement), and **lost** if it was placed at
+//!   least once but a crash prevented completion;
+//!   `served + dropped + lost == total` always holds;
+//! * a server is billed from the tick its provisioning was *committed*
+//!   (boot start) to the tick it closed or crashed — you pay for booting
+//!   VMs, not for failed provision attempts;
+//! * crashes in the plan name a fleet slot, resolved at crash time against
+//!   the open fleet in id order (`open[slot % n]`); a crash against an
+//!   empty fleet is a deterministic no-op.
+
+use crate::billing::{Granularity, ServerType, TICKS_PER_HOUR};
+use crate::system::{DispatchError, GamingSystem};
+use dbp_core::bin::{BinId, BinTag, OpenBinView};
+use dbp_core::instance::Instance;
+use dbp_core::item::{ArrivingItem, ItemId, RegionId, Size};
+use dbp_core::packer::{BinSelector, Decision};
+use dbp_core::probe::{DropReason, NoProbe, Probe, ProbeEvent};
+use dbp_core::ratio::Ratio;
+use dbp_core::time::Tick;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One scheduled server crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// Tick the crash fires at.
+    pub at: u64,
+    /// Fleet slot the crash targets: resolved at crash time as
+    /// `open[slot % open.len()]` over the open fleet in id order, so a
+    /// generated plan always hits *some* server while any are running.
+    pub server: u32,
+}
+
+/// Tick-based exponential backoff for failed provisioning and rejected
+/// dispatches. Attempt `k` (1-based) that fails is retried after
+/// `min(base · 2^(k-1), cap) + hash % (jitter + 1)` ticks (at least 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// First backoff in ticks.
+    pub base: u64,
+    /// Backoff ceiling in ticks.
+    pub cap: u64,
+    /// Maximum deterministic jitter added on top, in ticks.
+    pub jitter: u64,
+    /// Total dispatch attempts per session (first try included) before the
+    /// session is dropped with [`DropReason::RetriesExhausted`].
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: 4,
+            cap: 64,
+            jitter: 3,
+            max_attempts: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic backoff (without jitter) after `failed_attempts`
+    /// attempts have failed.
+    pub fn backoff_ticks(&self, failed_attempts: u32) -> u64 {
+        let exp = failed_attempts.saturating_sub(1).min(63);
+        self.base.saturating_mul(1u64 << exp).min(self.cap)
+    }
+}
+
+/// Bounded admission: sessions waiting for their first placement occupy a
+/// queue slot; overload degrades to accounted drops, not unbounded fleets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionPolicy {
+    /// Maximum sessions simultaneously waiting (arrived, never yet placed).
+    /// An arrival finding the queue full is dropped with
+    /// [`DropReason::QueueFull`].
+    pub queue_capacity: u32,
+    /// Maximum ticks a session may wait for its first placement; checked
+    /// when a retry fires, dropping with [`DropReason::QueueTimeout`].
+    pub queue_timeout: u64,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> AdmissionPolicy {
+        AdmissionPolicy {
+            queue_capacity: 64,
+            queue_timeout: 300,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// No admission control at all (the fault-free limit).
+    pub fn unbounded() -> AdmissionPolicy {
+        AdmissionPolicy {
+            queue_capacity: u32::MAX,
+            queue_timeout: u64::MAX,
+        }
+    }
+}
+
+/// Knobs for [`FaultPlan::generate`]: the *rates* of each fault class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Expected server crashes per simulated hour.
+    pub crash_rate_per_hour: f64,
+    /// Probability each provisioning attempt fails outright.
+    pub boot_fail_prob: f64,
+    /// Maximum boot delay in ticks (each successful boot is delayed by
+    /// `hash % (max + 1)` ticks).
+    pub boot_delay_max: u64,
+    /// Probability each `Use` dispatch is transiently rejected.
+    pub reject_prob: f64,
+}
+
+impl FaultConfig {
+    /// No faults of any kind.
+    pub fn none() -> FaultConfig {
+        FaultConfig {
+            crash_rate_per_hour: 0.0,
+            boot_fail_prob: 0.0,
+            boot_delay_max: 0,
+            reject_prob: 0.0,
+        }
+    }
+
+    /// A moderately hostile cloud: occasional crashes, 10% flaky boots
+    /// with up to 30 s delay, 5% transient rejections.
+    pub fn moderate() -> FaultConfig {
+        FaultConfig {
+            crash_rate_per_hour: 2.0,
+            boot_fail_prob: 0.10,
+            boot_delay_max: 30,
+            reject_prob: 0.05,
+        }
+    }
+}
+
+/// A complete, self-describing fault schedule. Serializable as JSON so a
+/// run's faults are reproducible artifacts, not ambient randomness.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of every per-attempt outcome stream (boot failures, boot
+    /// delays, rejections, retry jitter).
+    pub seed: u64,
+    /// Scheduled crashes, sorted by `(at, server)`.
+    pub crashes: Vec<CrashEvent>,
+    /// Per-attempt provisioning failure probability in `[0, 1]`.
+    pub boot_fail_prob: f64,
+    /// Maximum boot delay in ticks.
+    pub boot_delay_max: u64,
+    /// Per-attempt transient dispatch rejection probability in `[0, 1]`.
+    pub reject_prob: f64,
+    /// Backoff policy for failed attempts.
+    pub retry: RetryPolicy,
+    /// Admission queue bounds.
+    pub admission: AdmissionPolicy,
+}
+
+impl FaultPlan {
+    /// The zero-fault plan: reproduces the fault-free [`GamingSystem`] run
+    /// exactly (identical decisions, identical bill integers).
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            seed: 0,
+            crashes: Vec::new(),
+            boot_fail_prob: 0.0,
+            boot_delay_max: 0,
+            reject_prob: 0.0,
+            retry: RetryPolicy::default(),
+            admission: AdmissionPolicy::unbounded(),
+        }
+    }
+
+    /// Whether the plan can never inject a fault.
+    pub fn is_fault_free(&self) -> bool {
+        self.crashes.is_empty()
+            && self.boot_fail_prob <= 0.0
+            && self.boot_delay_max == 0
+            && self.reject_prob <= 0.0
+    }
+
+    /// Generate a plan from a seed: crash count drawn from
+    /// `crash_rate_per_hour · horizon / 3600` (fractional part resolved by
+    /// one Bernoulli draw), crash ticks uniform over `[1, horizon)`, fleet
+    /// slots uniform over `[0, fleet_hint)`.
+    pub fn generate(seed: u64, horizon: u64, fleet_hint: u32, cfg: &FaultConfig) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let expected = cfg.crash_rate_per_hour.max(0.0) * horizon as f64 / TICKS_PER_HOUR as f64;
+        let mut n = expected.floor() as u64;
+        if rng.random_bool(expected - expected.floor()) {
+            n += 1;
+        }
+        let mut crashes = Vec::with_capacity(n as usize);
+        if horizon > 1 {
+            for _ in 0..n {
+                crashes.push(CrashEvent {
+                    at: rng.random_range(1..horizon),
+                    server: rng.random_range(0..fleet_hint.max(1)),
+                });
+            }
+        }
+        crashes.sort_by_key(|c| (c.at, c.server));
+        FaultPlan {
+            seed,
+            crashes,
+            boot_fail_prob: cfg.boot_fail_prob.clamp(0.0, 1.0),
+            boot_delay_max: cfg.boot_delay_max,
+            reject_prob: cfg.reject_prob.clamp(0.0, 1.0),
+            retry: RetryPolicy::default(),
+            admission: AdmissionPolicy::default(),
+        }
+    }
+
+    /// Shorthand for the CLI: a [`FaultConfig::moderate`] plan over a
+    /// horizon, from a bare seed.
+    pub fn from_seed(seed: u64, horizon: u64) -> FaultPlan {
+        FaultPlan::generate(seed, horizon, 16, &FaultConfig::moderate())
+    }
+}
+
+/// Outcome report of one [`ResilientSystem`] run. All counts are exact;
+/// `sessions_served + sessions_dropped + sessions_lost == sessions_total`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResilientReport {
+    /// Dispatcher name.
+    pub algorithm: String,
+    /// Total play sessions in the workload.
+    pub sessions_total: u64,
+    /// Sessions that completed their full duration.
+    pub sessions_served: u64,
+    /// Sessions that never received service (queue full / timeout /
+    /// retries exhausted before first placement).
+    pub sessions_dropped: u64,
+    /// Sessions interrupted by a crash and never completed.
+    pub sessions_lost: u64,
+    /// Successful re-placements of crash orphans (no-migration broken).
+    pub redispatches: u64,
+    /// Crashes that actually hit an open server.
+    pub crashes: u64,
+    /// Provisioning attempts that failed outright.
+    pub provision_failures: u64,
+    /// Retries scheduled (after failed provisions or rejections).
+    pub retries_scheduled: u64,
+    /// Transient dispatch rejections.
+    pub dispatch_rejections: u64,
+    /// Summed ticks from each crash to its last orphan's terminal state.
+    pub recovery_ticks: u64,
+    /// Peak sessions simultaneously waiting in the admission queue.
+    pub queue_peak: u64,
+    /// Servers actually booted (failed provisions excluded).
+    pub servers_rented: u64,
+    /// Peak simultaneously-open servers.
+    pub peak_servers: u64,
+    /// Total rented ticks (boot start to close/crash, per server).
+    pub busy_ticks: u128,
+    /// Busy ticks after per-server granularity rounding.
+    pub billed_ticks: u128,
+    /// Exact rental bill in cents (duration + per-server setup fees).
+    pub cost_cents: Ratio,
+}
+
+impl ResilientReport {
+    /// The conservation invariant every run must satisfy.
+    pub fn conserved(&self) -> bool {
+        self.sessions_served + self.sessions_dropped + self.sessions_lost == self.sessions_total
+    }
+
+    /// Fraction of sessions that completed, in `[0, 1]` (1 on empty input).
+    pub fn service_rate(&self) -> f64 {
+        if self.sessions_total == 0 {
+            1.0
+        } else {
+            self.sessions_served as f64 / self.sessions_total as f64
+        }
+    }
+}
+
+/// [`GamingSystem`] plus a [`FaultPlan`]: dispatch under injected faults
+/// with retry, re-dispatch, and bounded admission.
+#[derive(Debug, Clone)]
+pub struct ResilientSystem {
+    /// The underlying billing model.
+    pub system: GamingSystem,
+    /// The fault schedule for this run.
+    pub plan: FaultPlan,
+}
+
+impl ResilientSystem {
+    /// Wrap a system with a fault plan.
+    pub fn new(system: GamingSystem, plan: FaultPlan) -> ResilientSystem {
+        ResilientSystem { system, plan }
+    }
+
+    /// Run without a probe.
+    ///
+    /// # Errors
+    /// [`DispatchError::CapacityMismatch`] when the workload was generated
+    /// against a different server capacity.
+    pub fn run<S: BinSelector + ?Sized>(
+        &self,
+        requests: &Instance,
+        dispatcher: &mut S,
+    ) -> Result<ResilientReport, DispatchError> {
+        self.run_probed(requests, dispatcher, &mut NoProbe)
+    }
+
+    /// Run, reporting every engine and fault event to `probe`.
+    ///
+    /// # Errors
+    /// [`DispatchError::CapacityMismatch`] when the workload was generated
+    /// against a different server capacity.
+    pub fn run_probed<S: BinSelector + ?Sized, P: Probe>(
+        &self,
+        requests: &Instance,
+        dispatcher: &mut S,
+        probe: &mut P,
+    ) -> Result<ResilientReport, DispatchError> {
+        if requests.capacity().raw() != self.system.server.gpu_capacity {
+            return Err(DispatchError::CapacityMismatch {
+                workload: requests.capacity().raw(),
+                server: self.system.server.gpu_capacity,
+            });
+        }
+        let mut sim = Sim::new(requests, &self.plan, dispatcher, probe);
+        sim.run();
+        Ok(sim.into_report(
+            self.system.server,
+            self.system.granularity,
+            requests.len() as u64,
+        ))
+    }
+}
+
+// Hash streams: each per-attempt outcome is `mix(seed, STREAM, counter)`,
+// so outcome sequences are independent of each other and of wall time.
+const STREAM_BOOT: u64 = 0xB007_FA11;
+const STREAM_DELAY: u64 = 0xDE1A_90A7;
+const STREAM_REJECT: u64 = 0x8E7E_C700;
+const STREAM_JITTER: u64 = 0x717E_8ACC;
+
+/// splitmix64-style avalanche over (seed, stream, counter).
+fn mix(seed: u64, stream: u64, counter: u64) -> u64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ counter.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map 64 hash bits to a uniform `[0, 1)` double (53 mantissa bits).
+fn hash_prob(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / 9007199254740992.0)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ItemState {
+    /// Not yet arrived.
+    Pending,
+    /// Arrived, waiting for first placement (occupies a queue slot).
+    Waiting,
+    /// Committed to a server that is still booting.
+    Booting,
+    /// Running on a server.
+    Placed,
+    /// Orphaned by a crash, awaiting re-placement.
+    Orphaned,
+    /// Completed its full duration.
+    Served,
+    /// Terminal without any service.
+    Dropped,
+    /// Terminal after partial service (crash interrupted).
+    Lost,
+}
+
+enum AttemptOutcome {
+    Committed,
+    Failed,
+}
+
+#[derive(Debug)]
+struct Server {
+    id: BinId,
+    tag: BinTag,
+    /// Boot decision tick — rental is billed from here.
+    rental_start: u64,
+    /// Tick the server became usable (== rental_start unless boot-delayed).
+    opened_at: u64,
+    level: Size,
+    items: Vec<ItemId>,
+}
+
+impl Server {
+    fn view(&self, capacity: Size) -> OpenBinView {
+        OpenBinView {
+            id: self.id,
+            opened_at: Tick(self.opened_at),
+            level: self.level,
+            capacity,
+            n_items: self.items.len(),
+            tag: self.tag,
+        }
+    }
+}
+
+struct Recovery {
+    bin: BinId,
+    started: u64,
+    outstanding: u32,
+    redispatched: u32,
+    lost: u32,
+}
+
+/// Pending boot, min-ordered by `(ready, seq)`: bin id, tag and the item
+/// committed to it, plus the rental-start tick the bill runs from.
+type PendingBoot = Reverse<(u64, u64, u32, u32, u32, u64)>;
+
+struct Sim<'a, S: BinSelector + ?Sized, P: Probe> {
+    plan: &'a FaultPlan,
+    selector: &'a mut S,
+    probe: &'a mut P,
+    capacity: Size,
+    // Per-item workload data, indexed by ItemId.
+    arrival: Vec<u64>,
+    duration: Vec<u64>,
+    size: Vec<Size>,
+    region: Vec<RegionId>,
+    // Per-item mutable state.
+    state: Vec<ItemState>,
+    /// Whether the item currently occupies an admission-queue slot.
+    queued: Vec<bool>,
+    attempts: Vec<u32>,
+    end: Vec<u64>,
+    current_bin: Vec<Option<BinId>>,
+    orphaned_from: Vec<Option<BinId>>,
+    recovery_of: Vec<Option<usize>>,
+    // Event sources.
+    arrivals: Vec<(u64, ItemId)>,
+    arrival_ptr: usize,
+    departures: BinaryHeap<Reverse<(u64, u32)>>,
+    boots: BinaryHeap<PendingBoot>,
+    retries: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    seq: u64,
+    crash_ptr: usize,
+    // Fleet.
+    open: Vec<Server>,
+    next_bin_id: u32,
+    recoveries: Vec<Recovery>,
+    // Hash-stream counters.
+    boot_ctr: u64,
+    delay_ctr: u64,
+    reject_ctr: u64,
+    jitter_ctr: u64,
+    // Accounting.
+    served: u64,
+    dropped: u64,
+    lost: u64,
+    redispatches: u64,
+    crashes: u64,
+    provision_failures: u64,
+    retries_scheduled: u64,
+    dispatch_rejections: u64,
+    recovery_ticks: u64,
+    waiting_now: u64,
+    queue_peak: u64,
+    servers_rented: u64,
+    peak_servers: u64,
+    server_busy: Vec<u64>,
+}
+
+impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
+    fn new(
+        instance: &Instance,
+        plan: &'a FaultPlan,
+        selector: &'a mut S,
+        probe: &'a mut P,
+    ) -> Sim<'a, S, P> {
+        let n = instance.len();
+        let mut arrival = Vec::with_capacity(n);
+        let mut duration = Vec::with_capacity(n);
+        let mut size = Vec::with_capacity(n);
+        let mut region = Vec::with_capacity(n);
+        let mut arrivals: Vec<(u64, ItemId)> = Vec::with_capacity(n);
+        for item in instance.items() {
+            arrival.push(item.arrival.0);
+            duration.push(item.departure.0 - item.arrival.0);
+            size.push(item.size);
+            region.push(item.region);
+            arrivals.push((item.arrival.0, item.id));
+        }
+        // Same-tick arrivals in item order, matching the engine's schedule.
+        arrivals.sort_by_key(|&(at, id)| (at, id));
+        debug_assert!(plan.crashes.windows(2).all(|w| w[0].at <= w[1].at));
+        Sim {
+            plan,
+            selector,
+            probe,
+            capacity: instance.capacity(),
+            arrival,
+            duration,
+            size,
+            region,
+            state: vec![ItemState::Pending; n],
+            queued: vec![false; n],
+            attempts: vec![0; n],
+            end: vec![0; n],
+            current_bin: vec![None; n],
+            orphaned_from: vec![None; n],
+            recovery_of: vec![None; n],
+            arrivals,
+            arrival_ptr: 0,
+            departures: BinaryHeap::new(),
+            boots: BinaryHeap::new(),
+            retries: BinaryHeap::new(),
+            seq: 0,
+            crash_ptr: 0,
+            open: Vec::new(),
+            next_bin_id: 0,
+            recoveries: Vec::new(),
+            boot_ctr: 0,
+            delay_ctr: 0,
+            reject_ctr: 0,
+            jitter_ctr: 0,
+            served: 0,
+            dropped: 0,
+            lost: 0,
+            redispatches: 0,
+            crashes: 0,
+            provision_failures: 0,
+            retries_scheduled: 0,
+            dispatch_rejections: 0,
+            recovery_ticks: 0,
+            waiting_now: 0,
+            queue_peak: 0,
+            servers_rented: 0,
+            peak_servers: 0,
+            server_busy: Vec::new(),
+        }
+    }
+
+    fn run(&mut self) {
+        loop {
+            if self.arrival_ptr >= self.arrivals.len()
+                && self.departures.is_empty()
+                && self.boots.is_empty()
+                && self.retries.is_empty()
+            {
+                // Nothing in flight: the fleet is empty and any remaining
+                // scheduled crashes are no-ops.
+                debug_assert!(self.open.is_empty(), "open servers with nothing in flight");
+                break;
+            }
+            let mut t = u64::MAX;
+            if let Some(&(at, _)) = self.arrivals.get(self.arrival_ptr) {
+                t = t.min(at);
+            }
+            if let Some(&Reverse((at, _))) = self.departures.peek() {
+                t = t.min(at);
+            }
+            if let Some(&Reverse((at, ..))) = self.boots.peek() {
+                t = t.min(at);
+            }
+            if let Some(&Reverse((at, _, _))) = self.retries.peek() {
+                t = t.min(at);
+            }
+            if let Some(c) = self.plan.crashes.get(self.crash_ptr) {
+                t = t.min(c.at.max(1));
+            }
+            // Phase order at one tick mirrors the engine (departures before
+            // arrivals) with the fault phases slotted in between.
+            self.run_departures(t);
+            self.run_crashes(t);
+            self.run_boots(t);
+            self.run_retries(t);
+            self.run_arrivals(t);
+        }
+    }
+
+    fn run_departures(&mut self, t: u64) {
+        while let Some(&Reverse((at, raw))) = self.departures.peek() {
+            if at != t {
+                break;
+            }
+            self.departures.pop();
+            let item = ItemId(raw);
+            if self.state[item.index()] != ItemState::Placed {
+                // The session was lost to a crash after this departure was
+                // scheduled; its terminal state already happened.
+                continue;
+            }
+            let bin = self.current_bin[item.index()].expect("placed item without a bin");
+            let pos = self
+                .open
+                .binary_search_by_key(&bin, |s| s.id)
+                .expect("departure from a closed server");
+            let server = &mut self.open[pos];
+            server.level -= self.size[item.index()];
+            let ipos = server
+                .items
+                .iter()
+                .position(|&id| id == item)
+                .expect("item not present in its server");
+            server.items.swap_remove(ipos);
+            self.state[item.index()] = ItemState::Served;
+            self.current_bin[item.index()] = None;
+            self.served += 1;
+            if P::ENABLED {
+                self.probe.record(ProbeEvent::ItemDeparted {
+                    at: Tick(t),
+                    item,
+                    bin,
+                    level: self.open[pos].level,
+                });
+            }
+            if self.open[pos].items.is_empty() {
+                self.close_server(t, pos);
+            }
+        }
+    }
+
+    fn close_server(&mut self, t: u64, pos: usize) {
+        let server = self.open.remove(pos);
+        debug_assert_eq!(server.level.raw(), 0, "closing a non-empty server");
+        self.server_busy.push(t - server.rental_start);
+        if P::ENABLED {
+            self.probe.record(ProbeEvent::BinClosed {
+                at: Tick(t),
+                bin: server.id,
+                open_ticks: t - server.opened_at,
+            });
+        }
+        self.selector.on_bin_closed(server.id);
+    }
+
+    fn run_crashes(&mut self, t: u64) {
+        while let Some(&crash) = self.plan.crashes.get(self.crash_ptr) {
+            if crash.at.max(1) != t {
+                break;
+            }
+            self.crash_ptr += 1;
+            if self.open.is_empty() {
+                continue; // deterministic no-op
+            }
+            let pos = crash.server as usize % self.open.len();
+            let server = self.open.remove(pos);
+            self.crashes += 1;
+            self.server_busy.push(t - server.rental_start);
+            if P::ENABLED {
+                self.probe.record(ProbeEvent::BinCrashed {
+                    at: Tick(t),
+                    bin: server.id,
+                    orphans: server.items.len() as u32,
+                });
+            }
+            self.selector.on_bin_closed(server.id);
+            let rec_idx = self.recoveries.len();
+            self.recoveries.push(Recovery {
+                bin: server.id,
+                started: t,
+                outstanding: server.items.len() as u32,
+                redispatched: 0,
+                lost: 0,
+            });
+            if server.items.is_empty() {
+                // No orphans: recovery is instantly complete.
+                self.finish_recovery(t, rec_idx);
+                continue;
+            }
+            for &item in &server.items {
+                debug_assert_eq!(self.state[item.index()], ItemState::Placed);
+                self.state[item.index()] = ItemState::Orphaned;
+                self.current_bin[item.index()] = None;
+                self.orphaned_from[item.index()] = Some(server.id);
+                self.recovery_of[item.index()] = Some(rec_idx);
+            }
+            // Re-dispatch orphans immediately, in the server's item order.
+            for item in server.items {
+                if let AttemptOutcome::Failed = self.dispatch_attempt(t, item) {
+                    self.schedule_retry_or_drop(t, item);
+                }
+            }
+        }
+    }
+
+    fn run_boots(&mut self, t: u64) {
+        while let Some(&Reverse((at, ..))) = self.boots.peek() {
+            if at != t {
+                break;
+            }
+            let Reverse((_, _, bin_raw, tag_raw, item_raw, rental_start)) =
+                self.boots.pop().expect("peeked boot");
+            let item = ItemId(item_raw);
+            let id = BinId(bin_raw);
+            let tag = BinTag(tag_raw);
+            let dead = self.end[item.index()] > 0 && self.end[item.index()] <= t;
+            if P::ENABLED {
+                self.probe.record(ProbeEvent::BinOpened {
+                    at: Tick(t),
+                    bin: id,
+                    tag,
+                    item,
+                });
+            }
+            self.servers_rented += 1;
+            if dead {
+                // An orphan committed to this boot, but its session ended
+                // before the server came up: the server opens empty and
+                // closes at once; the session is lost.
+                self.server_busy.push(t - rental_start);
+                if P::ENABLED {
+                    self.probe.record(ProbeEvent::BinClosed {
+                        at: Tick(t),
+                        bin: id,
+                        open_ticks: 0,
+                    });
+                }
+                self.selector.on_bin_closed(id);
+                self.terminal_drop(t, item, DropReason::CrashLost);
+                continue;
+            }
+            let server = Server {
+                id,
+                tag,
+                rental_start,
+                opened_at: t,
+                level: self.size[item.index()],
+                items: vec![item],
+            };
+            let pos = self
+                .open
+                .binary_search_by_key(&id, |s| s.id)
+                .expect_err("duplicate server id");
+            self.open.insert(pos, server);
+            self.peak_servers = self.peak_servers.max(self.open.len() as u64);
+            self.commit_placement(t, item, id, self.size[item.index()]);
+        }
+    }
+
+    fn run_retries(&mut self, t: u64) {
+        while let Some(&Reverse((at, _, _))) = self.retries.peek() {
+            if at != t {
+                break;
+            }
+            let Reverse((_, _, raw)) = self.retries.pop().expect("peeked retry");
+            let item = ItemId(raw);
+            match self.state[item.index()] {
+                ItemState::Waiting => {
+                    if t - self.arrival[item.index()] > self.plan.admission.queue_timeout {
+                        self.terminal_drop(t, item, DropReason::QueueTimeout);
+                        continue;
+                    }
+                }
+                ItemState::Orphaned => {
+                    if self.end[item.index()] <= t {
+                        // The interrupted session's scheduled end passed
+                        // while it waited: nothing left to serve.
+                        self.terminal_drop(t, item, DropReason::CrashLost);
+                        continue;
+                    }
+                }
+                // Terminal while the retry was in flight (e.g. timed out).
+                _ => continue,
+            }
+            if let AttemptOutcome::Failed = self.dispatch_attempt(t, item) {
+                self.schedule_retry_or_drop(t, item);
+            }
+        }
+    }
+
+    fn run_arrivals(&mut self, t: u64) {
+        while let Some(&(at, item)) = self.arrivals.get(self.arrival_ptr) {
+            if at != t {
+                break;
+            }
+            self.arrival_ptr += 1;
+            if P::ENABLED {
+                self.probe.record(ProbeEvent::ItemArrived {
+                    at: Tick(t),
+                    item,
+                    size: self.size[item.index()],
+                });
+            }
+            if self.waiting_now >= self.plan.admission.queue_capacity as u64 {
+                self.state[item.index()] = ItemState::Waiting;
+                self.terminal_drop(t, item, DropReason::QueueFull);
+                continue;
+            }
+            self.state[item.index()] = ItemState::Waiting;
+            match self.dispatch_attempt(t, item) {
+                AttemptOutcome::Committed => {}
+                AttemptOutcome::Failed => {
+                    self.queued[item.index()] = true;
+                    self.waiting_now += 1;
+                    self.queue_peak = self.queue_peak.max(self.waiting_now);
+                    self.schedule_retry_or_drop(t, item);
+                }
+            }
+        }
+    }
+
+    /// One dispatch attempt for `item` at tick `t`: consult the selector,
+    /// apply rejection/boot faults, and either commit (placement or boot)
+    /// or fail (caller schedules the retry).
+    fn dispatch_attempt(&mut self, t: u64, item: ItemId) -> AttemptOutcome {
+        self.attempts[item.index()] += 1;
+        let attempt = self.attempts[item.index()];
+        let arriving = ArrivingItem {
+            id: item,
+            arrival: Tick(t),
+            size: self.size[item.index()],
+            region: self.region[item.index()],
+        };
+        let views: Vec<OpenBinView> = self.open.iter().map(|s| s.view(self.capacity)).collect();
+        let decision = self.selector.select(&views, &arriving, self.capacity);
+        match decision {
+            Decision::Use(id) => {
+                let pos = self
+                    .open
+                    .binary_search_by_key(&id, |s| s.id)
+                    .unwrap_or_else(|_| {
+                        panic!("{}: selected server {id} is not open", self.selector.name())
+                    });
+                assert!(
+                    self.open[pos]
+                        .view(self.capacity)
+                        .fits(self.size[item.index()]),
+                    "{}: item {} does not fit server {}",
+                    self.selector.name(),
+                    item,
+                    id
+                );
+                if self.plan.reject_prob > 0.0 {
+                    let h = mix(self.plan.seed, STREAM_REJECT, self.reject_ctr);
+                    self.reject_ctr += 1;
+                    if hash_prob(h) < self.plan.reject_prob {
+                        self.dispatch_rejections += 1;
+                        if P::ENABLED {
+                            self.probe.record(ProbeEvent::DispatchRejected {
+                                at: Tick(t),
+                                item,
+                                bin: id,
+                            });
+                        }
+                        return AttemptOutcome::Failed;
+                    }
+                }
+                if P::ENABLED {
+                    self.probe.record(ProbeEvent::FitAttempt {
+                        at: Tick(t),
+                        item,
+                        bins_scanned: pos as u32 + 1,
+                        open_bins: views.len() as u32,
+                    });
+                }
+                let server = &mut self.open[pos];
+                server.level += self.size[item.index()];
+                server.items.push(item);
+                self.commit_placement(t, item, id, self.open[pos].level);
+                AttemptOutcome::Committed
+            }
+            Decision::Open { tag } => {
+                // The id is burned even if the boot fails: stateful
+                // selectors (Next Fit) predict engine id assignment by
+                // counting their own Open decisions.
+                let id = BinId(self.next_bin_id);
+                self.next_bin_id += 1;
+                if self.plan.boot_fail_prob > 0.0 {
+                    let h = mix(self.plan.seed, STREAM_BOOT, self.boot_ctr);
+                    self.boot_ctr += 1;
+                    if hash_prob(h) < self.plan.boot_fail_prob {
+                        self.provision_failures += 1;
+                        if P::ENABLED {
+                            self.probe.record(ProbeEvent::ProvisionFailed {
+                                at: Tick(t),
+                                item,
+                                attempt,
+                            });
+                        }
+                        self.selector.on_bin_closed(id);
+                        return AttemptOutcome::Failed;
+                    }
+                }
+                let delay = if self.plan.boot_delay_max > 0 {
+                    let h = mix(self.plan.seed, STREAM_DELAY, self.delay_ctr);
+                    self.delay_ctr += 1;
+                    h % (self.plan.boot_delay_max + 1)
+                } else {
+                    0
+                };
+                if P::ENABLED {
+                    self.probe.record(ProbeEvent::FitAttempt {
+                        at: Tick(t),
+                        item,
+                        bins_scanned: views.len() as u32,
+                        open_bins: views.len() as u32,
+                    });
+                }
+                if delay == 0 {
+                    if P::ENABLED {
+                        self.probe.record(ProbeEvent::BinOpened {
+                            at: Tick(t),
+                            bin: id,
+                            tag,
+                            item,
+                        });
+                    }
+                    self.servers_rented += 1;
+                    let server = Server {
+                        id,
+                        tag,
+                        rental_start: t,
+                        opened_at: t,
+                        level: self.size[item.index()],
+                        items: vec![item],
+                    };
+                    let pos = self
+                        .open
+                        .binary_search_by_key(&id, |s| s.id)
+                        .expect_err("duplicate server id");
+                    self.open.insert(pos, server);
+                    self.peak_servers = self.peak_servers.max(self.open.len() as u64);
+                    self.commit_placement(t, item, id, self.size[item.index()]);
+                } else {
+                    let ready = t + delay;
+                    self.seq += 1;
+                    self.boots
+                        .push(Reverse((ready, self.seq, id.0, tag.0, item.0, t)));
+                    // Committing to a boot admits the session: it no longer
+                    // holds a queue slot while the server comes up.
+                    self.leave_queue(item);
+                    if self.state[item.index()] == ItemState::Waiting {
+                        self.state[item.index()] = ItemState::Booting;
+                    }
+                }
+                AttemptOutcome::Committed
+            }
+        }
+    }
+
+    /// Record a successful placement: set the session end on first service,
+    /// emit the placement (or re-dispatch) event, leave the queue.
+    fn commit_placement(&mut self, t: u64, item: ItemId, bin: BinId, level: Size) {
+        let i = item.index();
+        self.leave_queue(item);
+        self.state[i] = ItemState::Placed;
+        self.current_bin[i] = Some(bin);
+        if let Some(from) = self.orphaned_from[i].take() {
+            self.redispatches += 1;
+            if P::ENABLED {
+                self.probe.record(ProbeEvent::ItemRedispatched {
+                    at: Tick(t),
+                    item,
+                    from,
+                    to: bin,
+                    level,
+                });
+            }
+            if let Some(rec) = self.recovery_of[i].take() {
+                self.recoveries[rec].redispatched += 1;
+                self.recoveries[rec].outstanding -= 1;
+                if self.recoveries[rec].outstanding == 0 {
+                    self.finish_recovery(t, rec);
+                }
+            }
+        } else {
+            self.end[i] = t + self.duration[i];
+            self.departures.push(Reverse((self.end[i], item.0)));
+            if P::ENABLED {
+                self.probe.record(ProbeEvent::ItemPlaced {
+                    at: Tick(t),
+                    item,
+                    bin,
+                    level,
+                });
+            }
+        }
+    }
+
+    /// Terminal state without (further) service: dropped if never placed,
+    /// lost if a crash interrupted it.
+    fn terminal_drop(&mut self, t: u64, item: ItemId, reason: DropReason) {
+        let i = item.index();
+        let had_service = self.orphaned_from[i].is_some();
+        self.leave_queue(item);
+        self.state[i] = if had_service {
+            self.lost += 1;
+            ItemState::Lost
+        } else {
+            self.dropped += 1;
+            ItemState::Dropped
+        };
+        self.orphaned_from[i] = None;
+        if P::ENABLED {
+            self.probe.record(ProbeEvent::ItemDropped {
+                at: Tick(t),
+                item,
+                reason,
+            });
+        }
+        if let Some(rec) = self.recovery_of[i].take() {
+            self.recoveries[rec].lost += 1;
+            self.recoveries[rec].outstanding -= 1;
+            if self.recoveries[rec].outstanding == 0 {
+                self.finish_recovery(t, rec);
+            }
+        }
+    }
+
+    fn leave_queue(&mut self, item: ItemId) {
+        if std::mem::replace(&mut self.queued[item.index()], false) {
+            self.waiting_now -= 1;
+        }
+    }
+
+    fn finish_recovery(&mut self, t: u64, rec: usize) {
+        let r = &self.recoveries[rec];
+        self.recovery_ticks += t - r.started;
+        if P::ENABLED {
+            self.probe.record(ProbeEvent::RecoveryEnded {
+                at: Tick(t),
+                bin: r.bin,
+                redispatched: r.redispatched,
+                lost: r.lost,
+            });
+        }
+    }
+
+    fn schedule_retry_or_drop(&mut self, t: u64, item: ItemId) {
+        let i = item.index();
+        if self.attempts[i] >= self.plan.retry.max_attempts {
+            let reason = if self.orphaned_from[i].is_some() {
+                DropReason::CrashLost
+            } else {
+                DropReason::RetriesExhausted
+            };
+            self.terminal_drop(t, item, reason);
+            return;
+        }
+        let jitter = if self.plan.retry.jitter > 0 {
+            let h = mix(self.plan.seed, STREAM_JITTER, self.jitter_ctr);
+            self.jitter_ctr += 1;
+            h % (self.plan.retry.jitter + 1)
+        } else {
+            0
+        };
+        let delay = (self.plan.retry.backoff_ticks(self.attempts[i]) + jitter).max(1);
+        let next = t + delay;
+        self.seq += 1;
+        self.retries.push(Reverse((next, self.seq, item.0)));
+        self.retries_scheduled += 1;
+        if P::ENABLED {
+            self.probe.record(ProbeEvent::RetryScheduled {
+                at: Tick(t),
+                item,
+                attempt: self.attempts[i] + 1,
+                next: Tick(next),
+            });
+        }
+    }
+
+    fn into_report(
+        self,
+        server: ServerType,
+        granularity: Granularity,
+        total: u64,
+    ) -> ResilientReport {
+        let busy: u128 = self.server_busy.iter().map(|&b| b as u128).sum();
+        let billed: u128 = self
+            .server_busy
+            .iter()
+            .map(|&b| granularity.billed_ticks(b) as u128)
+            .sum();
+        let cost = Ratio::new(
+            billed * server.cents_per_hour as u128,
+            TICKS_PER_HOUR as u128,
+        ) + Ratio::from_int(self.servers_rented as u128 * server.setup_cents as u128);
+        ResilientReport {
+            algorithm: self.selector.name().to_string(),
+            sessions_total: total,
+            sessions_served: self.served,
+            sessions_dropped: self.dropped,
+            sessions_lost: self.lost,
+            redispatches: self.redispatches,
+            crashes: self.crashes,
+            provision_failures: self.provision_failures,
+            retries_scheduled: self.retries_scheduled,
+            dispatch_rejections: self.dispatch_rejections,
+            recovery_ticks: self.recovery_ticks,
+            queue_peak: self.queue_peak,
+            servers_rented: self.servers_rented,
+            peak_servers: self.peak_servers,
+            busy_ticks: busy,
+            billed_ticks: billed,
+            cost_cents: cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+    use dbp_obs::export::events_to_jsonl;
+    use dbp_obs::EventLog;
+    use dbp_workloads::{generate, CloudGamingConfig};
+
+    fn workload(seed: u64, horizon: u64) -> Instance {
+        generate(&CloudGamingConfig {
+            horizon,
+            seed,
+            ..CloudGamingConfig::default()
+        })
+    }
+
+    #[test]
+    fn zero_fault_plan_reproduces_fault_free_bill_exactly() {
+        let inst = workload(11, 3600);
+        for sys in [GamingSystem::paper_model(), GamingSystem::hourly_model()] {
+            let (baseline, _) = sys.run_or_panic(&inst, &mut FirstFit::new());
+            let resilient = ResilientSystem::new(sys, FaultPlan::none())
+                .run(&inst, &mut FirstFit::new())
+                .unwrap();
+            assert_eq!(resilient.sessions_served, inst.len() as u64);
+            assert_eq!(resilient.sessions_dropped + resilient.sessions_lost, 0);
+            assert_eq!(resilient.busy_ticks, baseline.busy_ticks);
+            assert_eq!(resilient.billed_ticks, baseline.billed_ticks);
+            assert_eq!(resilient.cost_cents, baseline.cost_cents);
+            assert_eq!(resilient.servers_rented as usize, baseline.servers_rented);
+            assert_eq!(resilient.peak_servers as u32, baseline.peak_servers);
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_every_dispatcher() {
+        let inst = workload(12, 2400);
+        let sys = GamingSystem::paper_model();
+        let selectors: Vec<(&str, Box<dyn BinSelector>)> = vec![
+            ("FF", Box::new(FirstFit::new())),
+            ("BF", Box::new(BestFit::new())),
+            ("NF", Box::new(NextFit::new())),
+            ("MFF", Box::new(ModifiedFirstFit::for_known_mu(3600))),
+        ];
+        for (name, mut sel) in selectors {
+            let (baseline, _) = sys.run_or_panic(&inst, &mut *factory_clone(name));
+            let resilient = ResilientSystem::new(sys, FaultPlan::none())
+                .run(&inst, &mut *sel)
+                .unwrap();
+            assert_eq!(resilient.cost_cents, baseline.cost_cents, "{name}");
+            assert_eq!(resilient.busy_ticks, baseline.busy_ticks, "{name}");
+        }
+    }
+
+    fn factory_clone(name: &str) -> Box<dyn BinSelector> {
+        match name {
+            "FF" => Box::new(FirstFit::new()),
+            "BF" => Box::new(BestFit::new()),
+            "NF" => Box::new(NextFit::new()),
+            "MFF" => Box::new(ModifiedFirstFit::for_known_mu(3600)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_reports_and_event_logs() {
+        let inst = workload(13, 3600);
+        let plan = FaultPlan::generate(99, 3600, 8, &FaultConfig::moderate());
+        let sys = ResilientSystem::new(GamingSystem::paper_model(), plan);
+        let mut log_a = EventLog::new();
+        let mut log_b = EventLog::new();
+        let a = sys
+            .run_probed(&inst, &mut BestFit::new(), &mut log_a)
+            .unwrap();
+        let b = sys
+            .run_probed(&inst, &mut BestFit::new(), &mut log_b)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            events_to_jsonl(log_a.events()),
+            events_to_jsonl(log_b.events())
+        );
+    }
+
+    #[test]
+    fn conservation_holds_under_heavy_faults() {
+        let inst = workload(14, 3600);
+        let cfg = FaultConfig {
+            crash_rate_per_hour: 20.0,
+            boot_fail_prob: 0.4,
+            boot_delay_max: 60,
+            reject_prob: 0.3,
+        };
+        let plan = FaultPlan::generate(7, 3600, 8, &cfg);
+        let report = ResilientSystem::new(GamingSystem::paper_model(), plan)
+            .run(&inst, &mut FirstFit::new())
+            .unwrap();
+        assert!(report.conserved(), "{report:?}");
+        assert!(report.crashes > 0);
+        assert!(report.provision_failures > 0);
+        assert!(report.dispatch_rejections > 0);
+    }
+
+    #[test]
+    fn crash_orphans_are_redispatched() {
+        // Two long sessions on one server; crash it mid-flight.
+        let mut b = InstanceBuilder::new(1000);
+        b.add(0, 1000, 400);
+        b.add(0, 1000, 400);
+        let inst = b.build().unwrap();
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(CrashEvent { at: 500, server: 0 });
+        let mut log = EventLog::new();
+        let report = ResilientSystem::new(GamingSystem::paper_model(), plan)
+            .run_probed(&inst, &mut FirstFit::new(), &mut log)
+            .unwrap();
+        assert_eq!(report.crashes, 1);
+        assert_eq!(report.redispatches, 2);
+        assert_eq!(report.sessions_served, 2);
+        assert_eq!(report.sessions_lost, 0);
+        assert_eq!(report.servers_rented, 2); // original + replacement
+        let kinds: Vec<&str> = log.events().iter().map(|e| e.kind()).collect();
+        assert!(kinds.contains(&"BinCrashed"));
+        assert!(kinds.contains(&"ItemRedispatched"));
+        assert!(kinds.contains(&"RecoveryEnded"));
+        // Redispatched sessions keep their original end: still 1000 ticks
+        // of service each, but the replacement server is billed from 500.
+        assert_eq!(report.busy_ticks, 500 + 500);
+    }
+
+    #[test]
+    fn queue_full_drops_are_accounted() {
+        let mut b = InstanceBuilder::new(1000);
+        for _ in 0..4 {
+            b.add(0, 100, 600); // only one fits per server
+        }
+        let inst = b.build().unwrap();
+        let mut plan = FaultPlan::none();
+        plan.boot_fail_prob = 1.0; // nothing ever provisions
+        plan.admission = AdmissionPolicy {
+            queue_capacity: 2,
+            queue_timeout: 1000,
+        };
+        let report = ResilientSystem::new(GamingSystem::paper_model(), plan)
+            .run(&inst, &mut FirstFit::new())
+            .unwrap();
+        assert!(report.conserved());
+        assert_eq!(report.sessions_served, 0);
+        assert_eq!(report.sessions_dropped, 4);
+        assert!(report.provision_failures > 0);
+        assert_eq!(report.servers_rented, 0);
+        assert_eq!(report.cost_cents, Ratio::ZERO);
+        assert_eq!(report.queue_peak, 2);
+    }
+
+    #[test]
+    fn fault_plan_json_round_trips() {
+        let plan = FaultPlan::generate(42, 7200, 8, &FaultConfig::moderate());
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn generate_is_deterministic_and_scales_with_rate() {
+        let cfg = FaultConfig {
+            crash_rate_per_hour: 6.0,
+            ..FaultConfig::none()
+        };
+        let a = FaultPlan::generate(5, 7200, 8, &cfg);
+        let b = FaultPlan::generate(5, 7200, 8, &cfg);
+        assert_eq!(a, b);
+        assert!(a.crashes.len() >= 11 && a.crashes.len() <= 13);
+        assert!(a.crashes.windows(2).all(|w| w[0].at <= w[1].at));
+        let zero = FaultPlan::generate(5, 7200, 8, &FaultConfig::none());
+        assert!(zero.is_fault_free());
+    }
+
+    #[test]
+    fn backoff_is_capped_and_monotone() {
+        let p = RetryPolicy::default();
+        let seq: Vec<u64> = (1..8).map(|k| p.backoff_ticks(k)).collect();
+        assert_eq!(seq, vec![4, 8, 16, 32, 64, 64, 64]);
+    }
+}

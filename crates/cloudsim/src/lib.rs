@@ -10,7 +10,11 @@
 //!   per-hour granularity (the paper's cost model is the per-tick limit);
 //! * [`system`] — [`GamingSystem`]: dispatch a request trace with any
 //!   [`BinSelector`] policy and get the exact rental bill, peak fleet size,
-//!   and utilization.
+//!   and utilization;
+//! * [`faults`] — seeded, fully deterministic fault injection:
+//!   [`FaultPlan`] (crashes, flaky provisioning, dispatch rejections) and
+//!   [`ResilientSystem`], which retries, re-dispatches orphans, and
+//!   accounts every dropped or interrupted session.
 //!
 //! [`BinSelector`]: dbp_core::packer::BinSelector
 
@@ -20,7 +24,9 @@
 //! use dbp_workloads::{generate, CloudGamingConfig};
 //!
 //! let requests = generate(&CloudGamingConfig { horizon: 1800, ..Default::default() });
-//! let (report, _) = GamingSystem::hourly_model().run(&requests, &mut FirstFit::new());
+//! let (report, _) = GamingSystem::hourly_model()
+//!     .run(&requests, &mut FirstFit::new())
+//!     .unwrap();
 //! assert_eq!(report.sessions_served, requests.len());
 //! assert!(report.billed_ticks % 3600 == 0); // whole server-hours
 //! ```
@@ -29,7 +35,12 @@
 #![warn(rust_2018_idioms)]
 
 pub mod billing;
+pub mod faults;
 pub mod system;
 
 pub use billing::{billed_ticks, rental_cost_cents, Granularity, ServerType, TICKS_PER_HOUR};
-pub use system::{GamingSystem, SystemReport};
+pub use faults::{
+    AdmissionPolicy, CrashEvent, FaultConfig, FaultPlan, ResilientReport, ResilientSystem,
+    RetryPolicy,
+};
+pub use system::{DispatchError, GamingSystem, SystemReport};

@@ -15,6 +15,32 @@ use dbp_core::trace::PackingTrace;
 use dbp_obs::RunManifest;
 use serde::{Deserialize, Serialize};
 
+/// Why a workload could not be dispatched on this system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DispatchError {
+    /// The workload was generated against a different server capacity `W`
+    /// than the system's flavor provides.
+    CapacityMismatch {
+        /// Capacity the workload assumes.
+        workload: u64,
+        /// Capacity the server flavor provides.
+        server: u64,
+    },
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DispatchError::CapacityMismatch { workload, server } => write!(
+                f,
+                "workload capacity {workload} != server capacity {server}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
 /// One dispatch run's report.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemReport {
@@ -74,21 +100,21 @@ impl GamingSystem {
 
     /// Dispatch `requests` with `dispatcher` and account the bill.
     ///
-    /// # Panics
-    /// Panics if the instance's capacity does not match the server flavor —
-    /// the workload must be generated against the same `W`.
+    /// # Errors
+    /// Returns [`DispatchError::CapacityMismatch`] if the instance's
+    /// capacity does not match the server flavor — the workload must be
+    /// generated against the same `W`.
     pub fn run<S: BinSelector + ?Sized>(
         &self,
         requests: &Instance,
         dispatcher: &mut S,
-    ) -> (SystemReport, PackingTrace) {
-        assert_eq!(
-            requests.capacity().raw(),
-            self.server.gpu_capacity,
-            "workload capacity {} != server capacity {}",
-            requests.capacity(),
-            self.server.gpu_capacity
-        );
+    ) -> Result<(SystemReport, PackingTrace), DispatchError> {
+        if requests.capacity().raw() != self.server.gpu_capacity {
+            return Err(DispatchError::CapacityMismatch {
+                workload: requests.capacity().raw(),
+                server: self.server.gpu_capacity,
+            });
+        }
         let started = std::time::Instant::now();
         let trace = simulate_validated(requests, dispatcher);
         let wall = started.elapsed();
@@ -113,7 +139,18 @@ impl GamingSystem {
             utilization,
             manifest: Some(RunManifest::capture(&trace.algorithm, None, requests, wall)),
         };
-        (report, trace)
+        Ok((report, trace))
+    }
+
+    /// [`run`](GamingSystem::run), panicking on [`DispatchError`] — for
+    /// tests and examples where the capacity is known to match.
+    pub fn run_or_panic<S: BinSelector + ?Sized>(
+        &self,
+        requests: &Instance,
+        dispatcher: &mut S,
+    ) -> (SystemReport, PackingTrace) {
+        self.run(requests, dispatcher)
+            .unwrap_or_else(|e| panic!("dispatch failed: {e}"))
     }
 }
 
@@ -132,7 +169,7 @@ mod tests {
         };
         let inst = generate(&cfg);
         let sys = GamingSystem::paper_model();
-        let (report, trace) = sys.run(&inst, &mut FirstFit::new());
+        let (report, trace) = sys.run_or_panic(&inst, &mut FirstFit::new());
         assert_eq!(report.busy_ticks, trace.total_cost_ticks());
         assert_eq!(report.billed_ticks, report.busy_ticks);
         assert_eq!(report.sessions_served, inst.len());
@@ -155,8 +192,10 @@ mod tests {
             ..CloudGamingConfig::default()
         };
         let inst = generate(&cfg);
-        let (tick_report, _) = GamingSystem::paper_model().run(&inst, &mut FirstFit::new());
-        let (hour_report, _) = GamingSystem::hourly_model().run(&inst, &mut FirstFit::new());
+        let (tick_report, _) =
+            GamingSystem::paper_model().run_or_panic(&inst, &mut FirstFit::new());
+        let (hour_report, _) =
+            GamingSystem::hourly_model().run_or_panic(&inst, &mut FirstFit::new());
         assert!(hour_report.billed_ticks >= tick_report.billed_ticks);
         assert!(hour_report.cost_cents >= tick_report.cost_cents);
         // Hourly bill is a whole number of server-hours.
@@ -164,12 +203,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "capacity")]
     fn capacity_mismatch_is_rejected() {
         let mut b = InstanceBuilder::new(10); // != 1000
         b.add(0, 100, 5);
         let inst = b.build().unwrap();
-        let _ = GamingSystem::paper_model().run(&inst, &mut FirstFit::new());
+        let err = GamingSystem::paper_model()
+            .run(&inst, &mut FirstFit::new())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DispatchError::CapacityMismatch {
+                workload: 10,
+                server: 1000
+            }
+        );
+        assert!(err.to_string().contains("capacity"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn run_or_panic_still_panics_on_mismatch() {
+        let mut b = InstanceBuilder::new(10); // != 1000
+        b.add(0, 100, 5);
+        let inst = b.build().unwrap();
+        let _ = GamingSystem::paper_model().run_or_panic(&inst, &mut FirstFit::new());
     }
 
     #[test]
@@ -181,8 +238,8 @@ mod tests {
         };
         let inst = generate(&cfg);
         let sys = GamingSystem::paper_model();
-        let (ff, _) = sys.run(&inst, &mut FirstFit::new());
-        let (nf, _) = sys.run(&inst, &mut NextFit::new());
+        let (ff, _) = sys.run_or_panic(&inst, &mut FirstFit::new());
+        let (nf, _) = sys.run_or_panic(&inst, &mut NextFit::new());
         // Next Fit opens servers eagerly; it should never beat FF here and
         // typically loses clearly.
         assert!(nf.cost_cents >= ff.cost_cents);

@@ -88,7 +88,7 @@ pub use engine::{
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
 pub use item::{ArrivingItem, Item, ItemId, RegionId, Size};
 pub use packer::{BinSelector, Decision, SelectorFactory};
-pub use probe::{NoProbe, Probe, ProbeEvent};
+pub use probe::{DropReason, NoProbe, Probe, ProbeEvent};
 pub use ratio::Ratio;
 pub use time::{Dur, Interval, Tick};
 pub use trace::{BinRecord, PackingTrace};
@@ -109,7 +109,7 @@ pub mod prelude {
     pub use crate::item::{ArrivingItem, Item, ItemId, RegionId, Size};
     pub use crate::metrics::{summarize, RunSummary};
     pub use crate::packer::{BinSelector, Decision, SelectorFactory};
-    pub use crate::probe::{NoProbe, Probe, ProbeEvent};
+    pub use crate::probe::{DropReason, NoProbe, Probe, ProbeEvent};
     pub use crate::ratio::Ratio;
     pub use crate::time::{Dur, Interval, Tick};
     pub use crate::trace::PackingTrace;

@@ -102,6 +102,109 @@ pub enum ProbeEvent {
         /// Human-readable description.
         message: String,
     },
+    /// A bin (server) was killed by fault injection; its items were
+    /// orphaned and handed back to the dispatcher for re-placement.
+    BinCrashed {
+        /// Simulation tick.
+        at: Tick,
+        /// The crashed bin.
+        bin: BinId,
+        /// Number of items orphaned by the crash.
+        orphans: u32,
+    },
+    /// A provisioning attempt for a new bin failed (flaky boot).
+    ProvisionFailed {
+        /// Simulation tick.
+        at: Tick,
+        /// The item whose placement triggered the provisioning.
+        item: ItemId,
+        /// 1-based attempt number for this item.
+        attempt: u32,
+    },
+    /// A retry was scheduled with exponential backoff after a failed
+    /// provision or a rejected dispatch.
+    RetryScheduled {
+        /// Simulation tick.
+        at: Tick,
+        /// The waiting item.
+        item: ItemId,
+        /// The attempt number the retry will carry.
+        attempt: u32,
+        /// The tick the retry will fire at.
+        next: Tick,
+    },
+    /// An open bin transiently rejected a dispatch (the placement did not
+    /// happen; the item retries or drops).
+    DispatchRejected {
+        /// Simulation tick.
+        at: Tick,
+        /// The rejected item.
+        item: ItemId,
+        /// The bin that refused it.
+        bin: BinId,
+    },
+    /// An item left the system without (further) service — an accounted
+    /// SLA violation, never a panic.
+    ItemDropped {
+        /// Simulation tick.
+        at: Tick,
+        /// The dropped item.
+        item: ItemId,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+    /// An orphaned item was placed again on a different bin after a crash —
+    /// the one event where the no-migration rule is forcibly broken.
+    ItemRedispatched {
+        /// Simulation tick.
+        at: Tick,
+        /// The re-placed item.
+        item: ItemId,
+        /// The crashed bin it was orphaned from.
+        from: BinId,
+        /// The bin it landed on.
+        to: BinId,
+        /// Level of the receiving bin *after* the placement.
+        level: Size,
+    },
+    /// Every orphan of one crash reached a terminal state (re-placed or
+    /// dropped); `at - crash_at` is the crash's recovery time.
+    RecoveryEnded {
+        /// Simulation tick recovery completed at.
+        at: Tick,
+        /// The crashed bin this recovery belonged to.
+        bin: BinId,
+        /// Orphans successfully re-dispatched.
+        redispatched: u32,
+        /// Orphans lost.
+        lost: u32,
+    },
+}
+
+/// Why an item was dropped instead of served (see
+/// [`ProbeEvent::ItemDropped`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DropReason {
+    /// The bounded admission queue was full on arrival.
+    QueueFull,
+    /// The item waited longer than the admission queue timeout.
+    QueueTimeout,
+    /// Provisioning/dispatch retries were exhausted.
+    RetriesExhausted,
+    /// The item was orphaned by a crash and could not be re-placed.
+    CrashLost,
+}
+
+impl DropReason {
+    /// Stable lower-snake name for reports and metrics labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropReason::QueueFull => "queue_full",
+            DropReason::QueueTimeout => "queue_timeout",
+            DropReason::RetriesExhausted => "retries_exhausted",
+            DropReason::CrashLost => "crash_lost",
+        }
+    }
 }
 
 impl ProbeEvent {
@@ -114,7 +217,14 @@ impl ProbeEvent {
             | ProbeEvent::ItemPlaced { at, .. }
             | ProbeEvent::ItemDeparted { at, .. }
             | ProbeEvent::BinClosed { at, .. }
-            | ProbeEvent::Violation { at, .. } => *at,
+            | ProbeEvent::Violation { at, .. }
+            | ProbeEvent::BinCrashed { at, .. }
+            | ProbeEvent::ProvisionFailed { at, .. }
+            | ProbeEvent::RetryScheduled { at, .. }
+            | ProbeEvent::DispatchRejected { at, .. }
+            | ProbeEvent::ItemDropped { at, .. }
+            | ProbeEvent::ItemRedispatched { at, .. }
+            | ProbeEvent::RecoveryEnded { at, .. } => *at,
         }
     }
 
@@ -128,7 +238,29 @@ impl ProbeEvent {
             ProbeEvent::ItemDeparted { .. } => "ItemDeparted",
             ProbeEvent::BinClosed { .. } => "BinClosed",
             ProbeEvent::Violation { .. } => "Violation",
+            ProbeEvent::BinCrashed { .. } => "BinCrashed",
+            ProbeEvent::ProvisionFailed { .. } => "ProvisionFailed",
+            ProbeEvent::RetryScheduled { .. } => "RetryScheduled",
+            ProbeEvent::DispatchRejected { .. } => "DispatchRejected",
+            ProbeEvent::ItemDropped { .. } => "ItemDropped",
+            ProbeEvent::ItemRedispatched { .. } => "ItemRedispatched",
+            ProbeEvent::RecoveryEnded { .. } => "RecoveryEnded",
         }
+    }
+
+    /// Whether this event comes from the fault-injection layer (crash,
+    /// retry, recovery) rather than the fault-free engine vocabulary.
+    pub fn is_fault_event(&self) -> bool {
+        matches!(
+            self,
+            ProbeEvent::BinCrashed { .. }
+                | ProbeEvent::ProvisionFailed { .. }
+                | ProbeEvent::RetryScheduled { .. }
+                | ProbeEvent::DispatchRejected { .. }
+                | ProbeEvent::ItemDropped { .. }
+                | ProbeEvent::ItemRedispatched { .. }
+                | ProbeEvent::RecoveryEnded { .. }
+        )
     }
 }
 
@@ -259,5 +391,69 @@ mod tests {
         };
         assert_eq!(ev.at(), Tick(7));
         assert_eq!(ev.kind(), "ItemArrived");
+        assert!(!ev.is_fault_event());
+    }
+
+    #[test]
+    fn fault_event_accessors() {
+        let events = [
+            ProbeEvent::BinCrashed {
+                at: Tick(5),
+                bin: BinId(2),
+                orphans: 3,
+            },
+            ProbeEvent::ProvisionFailed {
+                at: Tick(6),
+                item: ItemId(0),
+                attempt: 1,
+            },
+            ProbeEvent::RetryScheduled {
+                at: Tick(6),
+                item: ItemId(0),
+                attempt: 2,
+                next: Tick(8),
+            },
+            ProbeEvent::DispatchRejected {
+                at: Tick(7),
+                item: ItemId(1),
+                bin: BinId(0),
+            },
+            ProbeEvent::ItemDropped {
+                at: Tick(9),
+                item: ItemId(1),
+                reason: DropReason::QueueTimeout,
+            },
+            ProbeEvent::ItemRedispatched {
+                at: Tick(9),
+                item: ItemId(2),
+                from: BinId(2),
+                to: BinId(4),
+                level: Size(6),
+            },
+            ProbeEvent::RecoveryEnded {
+                at: Tick(9),
+                bin: BinId(2),
+                redispatched: 2,
+                lost: 1,
+            },
+        ];
+        for ev in &events {
+            assert!(ev.is_fault_event(), "{}", ev.kind());
+            assert!(ev.at() >= Tick(5));
+        }
+        let kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "BinCrashed",
+                "ProvisionFailed",
+                "RetryScheduled",
+                "DispatchRejected",
+                "ItemDropped",
+                "ItemRedispatched",
+                "RecoveryEnded",
+            ]
+        );
+        assert_eq!(DropReason::CrashLost.name(), "crash_lost");
     }
 }

@@ -1,0 +1,8 @@
+//! Binary wrapper: `cargo run -p dbp-experiments --bin fault_tolerance`.
+
+use dbp_experiments::{fault_tolerance, harness, quick_flag};
+
+fn main() {
+    let (table, _) = fault_tolerance::run(quick_flag());
+    harness::finish(&table, "fault_tolerance");
+}

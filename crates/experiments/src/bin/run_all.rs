@@ -48,6 +48,7 @@ const EXPERIMENTS: &[Experiment] = &[
     }),
     ("migration_gap", |q| exp::migration_gap::run(q).0),
     ("server_churn", |q| exp::server_churn::run(q).0),
+    ("fault_tolerance", |q| exp::fault_tolerance::run(q).0),
     ("ff_gap_search", |q| exp::ff_gap_search::run(q).0),
     ("hff_class_ablation", |q| exp::hff_class_ablation::run(q).0),
 ];

@@ -28,6 +28,7 @@
 //! | [`value_of_clairvoyance`] | related work \[14\]/\[21\] (known departure times) |
 //! | [`migration_gap`] | strength of the `OPT_total` repacking baseline |
 //! | [`server_churn`] | provisioning fees vs bin churn |
+//! | [`fault_tolerance`] | resilience: crashes & flaky provisioning vs the fault-free bill |
 //! | [`ff_gap_search`] | the open `[µ, 2µ+13]` gap, probed by adversarial search |
 //! | [`hff_class_ablation`] | Harmonic-class generalization of MFF's split |
 
@@ -37,6 +38,7 @@
 pub mod billing_granularity;
 pub mod cloud_gaming_costs;
 pub mod constrained_dbp;
+pub mod fault_tolerance;
 pub mod ff_gap_search;
 pub mod fig1_span;
 pub mod fig2_anyfit_lb;

@@ -46,7 +46,7 @@ pub fn run(quick: bool) -> (Table, Vec<ChurnRow>) {
                 granularity: Granularity::PerTick,
             };
             let mut sel = f.build();
-            let (report, _) = sys.run(&inst, &mut *sel);
+            let (report, _) = sys.run_or_panic(&inst, &mut *sel);
             bills[i] = report.cost_dollars();
             servers = report.servers_rented;
         }

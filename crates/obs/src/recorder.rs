@@ -82,6 +82,22 @@ pub struct CountingProbe {
     pub bin_open_ticks_total: u64,
     /// Number of timed selector decisions.
     pub decisions_timed: u64,
+    /// `BinCrashed` events seen.
+    pub bins_crashed: u64,
+    /// Sum of `orphans` over all crashes.
+    pub orphans_total: u64,
+    /// `ProvisionFailed` events seen.
+    pub provision_failures: u64,
+    /// `RetryScheduled` events seen.
+    pub retries_scheduled: u64,
+    /// `DispatchRejected` events seen.
+    pub dispatch_rejections: u64,
+    /// `ItemDropped` events seen.
+    pub items_dropped: u64,
+    /// `ItemRedispatched` events seen.
+    pub items_redispatched: u64,
+    /// `RecoveryEnded` events seen.
+    pub recoveries: u64,
 }
 
 impl CountingProbe {
@@ -99,6 +115,13 @@ impl CountingProbe {
             + self.items_departed
             + self.bins_closed
             + self.violations
+            + self.bins_crashed
+            + self.provision_failures
+            + self.retries_scheduled
+            + self.dispatch_rejections
+            + self.items_dropped
+            + self.items_redispatched
+            + self.recoveries
     }
 }
 
@@ -118,6 +141,16 @@ impl Probe for CountingProbe {
                 self.bin_open_ticks_total += open_ticks;
             }
             ProbeEvent::Violation { .. } => self.violations += 1,
+            ProbeEvent::BinCrashed { orphans, .. } => {
+                self.bins_crashed += 1;
+                self.orphans_total += orphans as u64;
+            }
+            ProbeEvent::ProvisionFailed { .. } => self.provision_failures += 1,
+            ProbeEvent::RetryScheduled { .. } => self.retries_scheduled += 1,
+            ProbeEvent::DispatchRejected { .. } => self.dispatch_rejections += 1,
+            ProbeEvent::ItemDropped { .. } => self.items_dropped += 1,
+            ProbeEvent::ItemRedispatched { .. } => self.items_redispatched += 1,
+            ProbeEvent::RecoveryEnded { .. } => self.recoveries += 1,
         }
     }
 
@@ -180,6 +213,30 @@ impl Probe for MetricsProbe {
                 reg.observe("dbp_bin_lifetime_ticks", open_ticks);
             }
             ProbeEvent::Violation { .. } => reg.counter_add("dbp_violations_total", 1),
+            ProbeEvent::BinCrashed { orphans, .. } => {
+                reg.counter_add("dbp_bins_crashed_total", 1);
+                reg.counter_add("dbp_orphaned_sessions_total", orphans as u64);
+                self.open_bins -= 1;
+                reg.gauge_set("dbp_open_bins", self.open_bins);
+            }
+            ProbeEvent::ProvisionFailed { .. } => {
+                reg.counter_add("dbp_provision_failures_total", 1)
+            }
+            ProbeEvent::RetryScheduled { .. } => reg.counter_add("dbp_retries_scheduled_total", 1),
+            ProbeEvent::DispatchRejected { .. } => {
+                reg.counter_add("dbp_dispatch_rejections_total", 1)
+            }
+            ProbeEvent::ItemDropped { .. } => reg.counter_add("dbp_items_dropped_total", 1),
+            ProbeEvent::ItemRedispatched { .. } => {
+                reg.counter_add("dbp_items_redispatched_total", 1)
+            }
+            ProbeEvent::RecoveryEnded {
+                redispatched, lost, ..
+            } => {
+                reg.counter_add("dbp_recoveries_total", 1);
+                reg.counter_add("dbp_recovery_redispatched_total", redispatched as u64);
+                reg.counter_add("dbp_recovery_lost_total", lost as u64);
+            }
         }
     }
 

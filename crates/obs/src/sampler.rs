@@ -151,9 +151,26 @@ impl Probe for TimeSeriesSampler {
                 }
                 self.touch(at);
             }
+            ProbeEvent::BinCrashed { at, bin, .. } => {
+                if let Some(level) = self.levels.remove(&bin.0) {
+                    self.used -= level;
+                }
+                self.touch(at);
+            }
+            ProbeEvent::ItemRedispatched { at, to, level, .. } => {
+                let slot = self.levels.entry(to.0).or_insert(0);
+                self.used = self.used + level.raw() - *slot;
+                *slot = level.raw();
+                self.touch(at);
+            }
             ProbeEvent::ItemArrived { .. }
             | ProbeEvent::FitAttempt { .. }
-            | ProbeEvent::Violation { .. } => {}
+            | ProbeEvent::Violation { .. }
+            | ProbeEvent::ProvisionFailed { .. }
+            | ProbeEvent::RetryScheduled { .. }
+            | ProbeEvent::DispatchRejected { .. }
+            | ProbeEvent::ItemDropped { .. }
+            | ProbeEvent::RecoveryEnded { .. } => {}
         }
     }
 }

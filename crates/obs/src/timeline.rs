@@ -17,6 +17,11 @@ use std::fmt::Write;
 /// ...
 /// -- 3 items, 2 bins opened, peak 2 open, 14 events
 /// ```
+///
+/// Fault, retry, and recovery events (from `ResilientSystem` runs) render
+/// with their own verbs (`CRASH`, `bootfail`, `retry`, `reject`, `DROP`,
+/// `redisp`, `recover`), and when any are present a second footer line
+/// summarises the fault activity for the run.
 pub fn render_timeline(events: &[ProbeEvent]) -> String {
     let mut out = String::new();
     let mut last_tick: Option<u64> = None;
@@ -25,6 +30,13 @@ pub fn render_timeline(events: &[ProbeEvent]) -> String {
     let mut open_now = 0i64;
     let mut peak_open = 0i64;
     let mut violations = 0u64;
+    let mut crashes = 0u64;
+    let mut boot_failures = 0u64;
+    let mut retries = 0u64;
+    let mut rejections = 0u64;
+    let mut dropped = 0u64;
+    let mut redispatched = 0u64;
+    let mut lost = 0u64;
 
     for event in events {
         let t = event.at().0;
@@ -87,6 +99,66 @@ pub fn render_timeline(events: &[ProbeEvent]) -> String {
                 violations += 1;
                 let _ = writeln!(out, "  VIOLATION: {message}");
             }
+            ProbeEvent::BinCrashed { bin, orphans, .. } => {
+                crashes += 1;
+                open_now -= 1;
+                let _ = writeln!(out, "  CRASH   b{} ({} orphans)", bin.0, orphans);
+            }
+            ProbeEvent::ProvisionFailed { item, attempt, .. } => {
+                boot_failures += 1;
+                let _ = writeln!(out, "  bootfail r{} (attempt {})", item.0, attempt);
+            }
+            ProbeEvent::RetryScheduled {
+                item,
+                attempt,
+                next,
+                ..
+            } => {
+                retries += 1;
+                let _ = writeln!(
+                    out,
+                    "  retry   r{} attempt {} at t={}",
+                    item.0, attempt, next.0
+                );
+            }
+            ProbeEvent::DispatchRejected { item, bin, .. } => {
+                rejections += 1;
+                let _ = writeln!(out, "  reject  r{} by b{}", item.0, bin.0);
+            }
+            ProbeEvent::ItemDropped { item, reason, .. } => {
+                dropped += 1;
+                let _ = writeln!(out, "  DROP    r{} ({})", item.0, reason.name());
+            }
+            ProbeEvent::ItemRedispatched {
+                item,
+                from,
+                to,
+                level,
+                ..
+            } => {
+                redispatched += 1;
+                let _ = writeln!(
+                    out,
+                    "  redisp  r{} b{} -> b{} (level {})",
+                    item.0,
+                    from.0,
+                    to.0,
+                    level.raw()
+                );
+            }
+            ProbeEvent::RecoveryEnded {
+                bin,
+                redispatched: re,
+                lost: lo,
+                ..
+            } => {
+                lost += *lo as u64;
+                let _ = writeln!(
+                    out,
+                    "  recover b{} done ({} redispatched, {} lost)",
+                    bin.0, re, lo
+                );
+            }
         }
     }
     let _ = write!(
@@ -98,6 +170,14 @@ pub fn render_timeline(events: &[ProbeEvent]) -> String {
         let _ = write!(out, ", {violations} VIOLATIONS");
     }
     out.push('\n');
+    let faults = crashes + boot_failures + retries + rejections + dropped + redispatched;
+    if faults > 0 {
+        let _ = writeln!(
+            out,
+            "-- faults: {crashes} crashes, {boot_failures} boot failures, {retries} retries, \
+             {rejections} rejections, {dropped} dropped, {redispatched} redispatched, {lost} lost"
+        );
+    }
     out
 }
 
@@ -124,5 +204,63 @@ mod tests {
         assert!(text.contains("close"));
         assert!(text.contains("3 items, 2 bins opened"));
         assert!(!text.contains("VIOLATION"));
+        assert!(!text.contains("-- faults:"));
+    }
+
+    #[test]
+    fn timeline_renders_fault_events() {
+        use dbp_core::probe::DropReason;
+        let events = vec![
+            ProbeEvent::BinCrashed {
+                at: Tick(10),
+                bin: BinId(2),
+                orphans: 3,
+            },
+            ProbeEvent::ProvisionFailed {
+                at: Tick(10),
+                item: ItemId(7),
+                attempt: 1,
+            },
+            ProbeEvent::RetryScheduled {
+                at: Tick(10),
+                item: ItemId(7),
+                attempt: 2,
+                next: Tick(14),
+            },
+            ProbeEvent::DispatchRejected {
+                at: Tick(11),
+                item: ItemId(8),
+                bin: BinId(0),
+            },
+            ProbeEvent::ItemRedispatched {
+                at: Tick(12),
+                item: ItemId(4),
+                from: BinId(2),
+                to: BinId(5),
+                level: Size(6),
+            },
+            ProbeEvent::ItemDropped {
+                at: Tick(13),
+                item: ItemId(9),
+                reason: DropReason::QueueTimeout,
+            },
+            ProbeEvent::RecoveryEnded {
+                at: Tick(14),
+                bin: BinId(2),
+                redispatched: 2,
+                lost: 1,
+            },
+        ];
+        let text = render_timeline(&events);
+        assert!(text.contains("CRASH   b2 (3 orphans)"));
+        assert!(text.contains("bootfail r7 (attempt 1)"));
+        assert!(text.contains("retry   r7 attempt 2 at t=14"));
+        assert!(text.contains("reject  r8 by b0"));
+        assert!(text.contains("redisp  r4 b2 -> b5 (level 6)"));
+        assert!(text.contains("DROP    r9 (queue_timeout)"));
+        assert!(text.contains("recover b2 done (2 redispatched, 1 lost)"));
+        assert!(text.contains(
+            "-- faults: 1 crashes, 1 boot failures, 1 retries, 1 rejections, 1 dropped, 1 redispatched, 1 lost"
+        ));
     }
 }

@@ -42,7 +42,7 @@ pub use arrivals::{ArrivalProcess, DiurnalPoisson, FlashCrowd, Poisson};
 pub use games::{GameCatalog, GameProfile, SessionKind};
 pub use generator::{generate, ArrivalKind, CloudGamingConfig};
 pub use mu_control::{generate_mu_controlled, MuControlledConfig, SizeModel};
-pub use scenarios::Scenario;
+pub use scenarios::{FaultProfile, Scenario};
 
 #[cfg(test)]
 mod proptests {

@@ -3,6 +3,34 @@
 
 use crate::generator::{ArrivalKind, CloudGamingConfig};
 
+/// The fault environment a scenario is expected to run in — plain rate
+/// knobs that `dbp-cloudsim`'s fault-plan generator (or any other consumer)
+/// can turn into a concrete schedule. Kept dependency-free on purpose:
+/// workloads describe conditions, the simulator injects them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Expected server crashes per simulated hour.
+    pub crash_rate_per_hour: f64,
+    /// Probability each provisioning attempt fails.
+    pub boot_fail_prob: f64,
+    /// Maximum boot delay in ticks.
+    pub boot_delay_max: u64,
+    /// Probability each dispatch to an open server is transiently rejected.
+    pub reject_prob: f64,
+}
+
+impl FaultProfile {
+    /// A fault-free environment.
+    pub fn calm() -> FaultProfile {
+        FaultProfile {
+            crash_rate_per_hour: 0.0,
+            boot_fail_prob: 0.0,
+            boot_delay_max: 0,
+            reject_prob: 0.0,
+        }
+    }
+}
+
 /// The scenario catalog.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scenario {
@@ -82,12 +110,64 @@ impl Scenario {
             },
         }
     }
+
+    /// The fault environment this scenario's traffic typically meets:
+    /// launch days strain provisioning (flash-crowd boot storms), overnight
+    /// runs see maintenance-window crashes, steady traffic is mildly flaky.
+    pub fn fault_profile(self) -> FaultProfile {
+        match self {
+            Scenario::Steady => FaultProfile {
+                crash_rate_per_hour: 1.0,
+                boot_fail_prob: 0.05,
+                boot_delay_max: 15,
+                reject_prob: 0.02,
+            },
+            Scenario::DiurnalDay => FaultProfile {
+                crash_rate_per_hour: 0.5,
+                boot_fail_prob: 0.05,
+                boot_delay_max: 20,
+                reject_prob: 0.02,
+            },
+            Scenario::LaunchDay => FaultProfile {
+                // Flash crowds stress the control plane: boots get flaky
+                // and slow exactly when the fleet must grow fastest.
+                crash_rate_per_hour: 2.0,
+                boot_fail_prob: 0.20,
+                boot_delay_max: 45,
+                reject_prob: 0.08,
+            },
+            Scenario::NightOwls => FaultProfile {
+                // Maintenance windows: more crashes, boots are fine.
+                crash_rate_per_hour: 3.0,
+                boot_fail_prob: 0.02,
+                boot_delay_max: 10,
+                reject_prob: 0.01,
+            },
+            Scenario::MultiRegion => FaultProfile {
+                crash_rate_per_hour: 1.5,
+                boot_fail_prob: 0.08,
+                boot_delay_max: 25,
+                reject_prob: 0.04,
+            },
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::generator::generate;
+
+    #[test]
+    fn every_scenario_has_a_fault_profile() {
+        for s in Scenario::ALL {
+            let p = s.fault_profile();
+            assert!(p.crash_rate_per_hour >= 0.0);
+            assert!((0.0..=1.0).contains(&p.boot_fail_prob), "{}", s.name());
+            assert!((0.0..=1.0).contains(&p.reject_prob), "{}", s.name());
+        }
+        assert_eq!(FaultProfile::calm().crash_rate_per_hour, 0.0);
+    }
 
     #[test]
     fn names_round_trip() {

@@ -45,9 +45,9 @@ fn main() {
     let mut best: Option<(String, f64)> = None;
     for factory in standard_factories(1) {
         let mut sel = factory.build();
-        let (tick_report, _) = per_tick.run(&requests, &mut *sel);
+        let (tick_report, _) = per_tick.run_or_panic(&requests, &mut *sel);
         let mut sel = factory.build();
-        let (hour_report, _) = hourly.run(&requests, &mut *sel);
+        let (hour_report, _) = hourly.run_or_panic(&requests, &mut *sel);
         println!(
             "{:>8}  {:>9}  {:>12.2}  {:>12.2}  {:>7}  {:>6.3}",
             factory.name(),

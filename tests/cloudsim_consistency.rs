@@ -23,7 +23,7 @@ fn per_tick_bill_is_the_paper_objective() {
     let sys = GamingSystem::paper_model();
     for f in standard_factories(2) {
         let mut sel = f.build();
-        let (report, trace) = sys.run(&inst, &mut *sel);
+        let (report, trace) = sys.run_or_panic(&inst, &mut *sel);
         assert_eq!(report.busy_ticks, trace.total_cost_ticks());
         assert_eq!(report.billed_ticks, trace.total_cost_ticks());
         // cents = busy_ticks * 65 / 3600, exactly.
@@ -59,7 +59,7 @@ fn rankings_agree_under_per_tick_billing() {
     let mut by_bill: Vec<(String, Ratio)> = Vec::new();
     for f in standard_factories(4) {
         let mut sel = f.build();
-        let (report, trace) = sys.run(&inst, &mut *sel);
+        let (report, trace) = sys.run_or_panic(&inst, &mut *sel);
         by_cost.push((f.name().into(), trace.total_cost_ticks()));
         by_bill.push((f.name().into(), report.cost_cents));
     }

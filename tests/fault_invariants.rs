@@ -1,0 +1,197 @@
+//! Property-based invariants of the fault-injection layer: the SLA ledger
+//! conserves sessions, crashed servers never serve again, fault schedules
+//! are deterministic functions of their seed, and a fault-free plan is
+//! observationally identical to the plain engine.
+
+use dbp::prelude::*;
+use dbp_cloudsim::{
+    FaultConfig, FaultPlan, GamingSystem, Granularity, ResilientSystem, ServerType,
+};
+use dbp_core::algorithms::{BestFit, FirstFit, ModifiedFirstFit, NextFit};
+use dbp_core::bin::BinId;
+use dbp_core::engine::simulate_probed;
+use dbp_core::packer::SelectorFactory;
+use dbp_core::probe::ProbeEvent;
+use dbp_obs::export::events_to_jsonl;
+use dbp_obs::EventLog;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Capacity used by generated instances and the matching server flavor.
+const CAP: u64 = 100;
+
+fn system() -> GamingSystem {
+    GamingSystem {
+        server: ServerType {
+            gpu_capacity: CAP,
+            ..ServerType::default_gpu_vm()
+        },
+        granularity: Granularity::PerTick,
+    }
+}
+
+fn roster() -> Vec<SelectorFactory> {
+    vec![
+        SelectorFactory::new("FF", || Box::new(FirstFit::new())),
+        SelectorFactory::new("BF", || Box::new(BestFit::new())),
+        SelectorFactory::new("MFF(8)", || Box::new(ModifiedFirstFit::new(8))),
+        SelectorFactory::new("NF", || Box::new(NextFit::new())),
+    ]
+}
+
+/// Strategy: arbitrary valid instances (sizes ≤ W, positive lengths).
+fn instances(max_items: usize) -> impl Strategy<Value = Instance> {
+    let item = (0u64..500, 1u64..120, 1u64..=CAP);
+    proptest::collection::vec(item, 1..max_items).prop_map(|raw| {
+        let mut b = InstanceBuilder::new(CAP);
+        for (a, len, s) in raw {
+            b.add(a, a + len, s);
+        }
+        b.build().expect("generated instance is valid")
+    })
+}
+
+fn horizon(inst: &Instance) -> u64 {
+    dbp_core::events::event_ticks(inst)
+        .last()
+        .map(|t| t.raw())
+        .unwrap_or(0)
+}
+
+/// A hostile plan: frequent crashes, very flaky boots, transient rejects,
+/// and a tight admission queue — every fault path exercised at once.
+fn hostile_plan(seed: u64, inst: &Instance) -> FaultPlan {
+    FaultPlan::generate(
+        seed,
+        horizon(inst).max(2),
+        8,
+        &FaultConfig {
+            crash_rate_per_hour: 3600.0, // ≈ one crash per tick-hour scale
+            boot_fail_prob: 0.35,
+            boot_delay_max: 20,
+            reject_prob: 0.25,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `served + dropped + lost == total` for every dispatcher under a
+    /// hostile fault plan — sessions are accounted, never leaked.
+    #[test]
+    fn sla_ledger_conserves_sessions(inst in instances(40), seed in 0u64..1000) {
+        let plan = hostile_plan(seed, &inst);
+        for f in roster() {
+            let mut sel = f.build();
+            let report = ResilientSystem::new(system(), plan.clone())
+                .run(&inst, &mut *sel)
+                .expect("capacity-matched");
+            prop_assert!(
+                report.conserved(),
+                "{}: {} served + {} dropped + {} lost != {} total",
+                f.name(),
+                report.sessions_served,
+                report.sessions_dropped,
+                report.sessions_lost,
+                report.sessions_total
+            );
+        }
+    }
+
+    /// Once a server crashes, nothing is ever placed on it again: no
+    /// open, placement, re-dispatch target, or departure may reference a
+    /// crashed bin id after its `BinCrashed` event.
+    #[test]
+    fn crashed_servers_never_serve_again(inst in instances(40), seed in 0u64..1000) {
+        let plan = hostile_plan(seed, &inst);
+        for f in roster() {
+            let mut sel = f.build();
+            let mut log = EventLog::new();
+            ResilientSystem::new(system(), plan.clone())
+                .run_probed(&inst, &mut *sel, &mut log)
+                .expect("capacity-matched");
+            let mut dead: HashSet<BinId> = HashSet::new();
+            for ev in log.events() {
+                let touched: Option<BinId> = match ev {
+                    ProbeEvent::BinOpened { bin, .. }
+                    | ProbeEvent::ItemPlaced { bin, .. }
+                    | ProbeEvent::ItemDeparted { bin, .. }
+                    | ProbeEvent::BinClosed { bin, .. } => Some(*bin),
+                    ProbeEvent::ItemRedispatched { to, .. } => Some(*to),
+                    _ => None,
+                };
+                if let Some(bin) = touched {
+                    prop_assert!(
+                        !dead.contains(&bin),
+                        "{}: {} touches crashed bin {bin:?}",
+                        f.name(),
+                        ev.kind()
+                    );
+                }
+                if let ProbeEvent::BinCrashed { bin, .. } = ev {
+                    dead.insert(*bin);
+                }
+            }
+        }
+    }
+
+    /// The same seed yields byte-identical JSONL event logs across two
+    /// independent runs — fault injection is fully deterministic.
+    #[test]
+    fn same_seed_gives_byte_identical_event_logs(inst in instances(30), seed in 0u64..1000) {
+        let plan = hostile_plan(seed, &inst);
+        for f in roster() {
+            let run = || {
+                let mut sel = f.build();
+                let mut log = EventLog::new();
+                let report = ResilientSystem::new(system(), plan.clone())
+                    .run_probed(&inst, &mut *sel, &mut log)
+                    .expect("capacity-matched");
+                (report, events_to_jsonl(log.events()))
+            };
+            let (ra, ja) = run();
+            let (rb, jb) = run();
+            prop_assert_eq!(ra, rb, "{} reports diverge", f.name());
+            prop_assert_eq!(ja, jb, "{} event logs diverge", f.name());
+        }
+    }
+
+    /// A zero-fault plan is observationally identical to the plain engine:
+    /// same bill to the cent, same servers, and the same probe event
+    /// stream byte for byte.
+    #[test]
+    fn zero_fault_plan_is_transparent(inst in instances(40)) {
+        let sys = system();
+        for f in roster() {
+            let mut plain_log = EventLog::new();
+            let trace = {
+                let mut sel = f.build();
+                simulate_probed(&inst, &mut *sel, &mut plain_log)
+            };
+            let (baseline, _) = sys
+                .run(&inst, &mut *f.build())
+                .expect("capacity-matched");
+            prop_assert_eq!(trace.total_cost_ticks() as u128, baseline.busy_ticks);
+
+            let mut fault_log = EventLog::new();
+            let report = ResilientSystem::new(sys, FaultPlan::none())
+                .run_probed(&inst, &mut *f.build(), &mut fault_log)
+                .expect("capacity-matched");
+
+            prop_assert_eq!(report.sessions_served, inst.len() as u64, "{}", f.name());
+            prop_assert_eq!(report.sessions_dropped + report.sessions_lost, 0);
+            prop_assert_eq!(report.busy_ticks, baseline.busy_ticks);
+            prop_assert_eq!(report.billed_ticks, baseline.billed_ticks);
+            prop_assert_eq!(report.cost_cents, baseline.cost_cents);
+            prop_assert_eq!(report.servers_rented as usize, baseline.servers_rented);
+            prop_assert_eq!(report.peak_servers as u32, baseline.peak_servers);
+            prop_assert_eq!(
+                events_to_jsonl(fault_log.events()),
+                events_to_jsonl(plain_log.events()),
+                "{} fault-free event stream deviates from the engine",
+                f.name()
+            );
+        }
+    }
+}
