@@ -57,7 +57,14 @@ fn probe_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut ff = dbp_core::algorithms::FirstFit::new();
             let mut probe = dbp_obs::EventLog::new();
-            black_box(simulate_probed(inst, &mut ff, &mut probe).total_cost_ticks())
+            let trace = simulate_probed(inst, &mut ff, &mut probe);
+            // The decision-timing span covers the FULL arrival handling
+            // (selection + placement bookkeeping): exactly one nonzero
+            // sample per arrival. Run as assertions under
+            // `cargo bench -- --test` so CI smoke-checks the span.
+            assert_eq!(probe.decision_ns().len(), inst.len());
+            assert!(probe.decision_ns().iter().all(|&ns| ns > 0));
+            black_box(trace.total_cost_ticks())
         })
     });
     group.finish();

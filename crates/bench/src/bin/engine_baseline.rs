@@ -1,0 +1,230 @@
+//! Engine throughput baseline: packs churn-heavy synthetic instances
+//! through the event engine and writes a machine-readable report to
+//! `BENCH_ENGINE.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dbp-bench --bin engine_baseline [--quick] [--out PATH]
+//! ```
+//!
+//! The grid is {10^5, 10^6} items (`--quick`: {10^4, 10^5}) for the indexed
+//! FF/BF selectors and MFF(8); the naive scanning FF/BF run only at the
+//! smaller size as comparison rows (their per-arrival scan is O(open bins),
+//! which is exactly what this baseline exists to show moving away from).
+//!
+//! Each cell is measured twice: an uninstrumented `simulate` run for wall
+//! time and items/sec, then a probed run for mean per-arrival decision
+//! nanoseconds and the peak open-bin count. All JSON fields are integers
+//! (or strings/bool), so the report diffs cleanly across runs.
+
+use dbp_bench::churn_workload;
+use dbp_core::algorithms::{BestFit, FirstFit, IndexedBestFit, IndexedFirstFit, ModifiedFirstFit};
+use dbp_core::engine::{simulate, simulate_probed};
+use dbp_core::instance::Instance;
+use dbp_core::packer::BinSelector;
+use dbp_core::probe::{Probe, ProbeEvent};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+/// Report schema; bump when fields change (CI validates this).
+const SCHEMA_VERSION: u64 = 1;
+
+/// One measured (algorithm, engine, n) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchResult {
+    /// Algorithm name as it appears in traces ("FF", "BF", "MFF").
+    algorithm: String,
+    /// "indexed" (hook-maintained index) or "naive" (view scan).
+    engine: String,
+    /// Items packed.
+    n_items: u64,
+    /// Wall time of the uninstrumented run, milliseconds.
+    wall_ms: u64,
+    /// Throughput of the uninstrumented run.
+    items_per_sec: u64,
+    /// Mean full-arrival decision time from the probed run, nanoseconds.
+    mean_decision_ns: u64,
+    /// Bins the trace opened.
+    bins_used: u64,
+    /// Peak simultaneous open bins.
+    max_open_bins: u64,
+}
+
+/// The whole report, written as `BENCH_ENGINE.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchReport {
+    schema_version: u64,
+    quick: bool,
+    seed: u64,
+    capacity: u64,
+    peak_rss_bytes: Option<u64>,
+    results: Vec<BenchResult>,
+}
+
+/// Counts arrivals/decision time and tracks the open-bin peak; everything
+/// else in the event stream is dropped on the floor.
+#[derive(Debug, Default)]
+struct EngineStats {
+    decisions: u64,
+    decision_ns_total: u64,
+    open_bins: u64,
+    max_open_bins: u64,
+}
+
+impl Probe for EngineStats {
+    fn record(&mut self, event: ProbeEvent) {
+        match event {
+            ProbeEvent::BinOpened { .. } => {
+                self.open_bins += 1;
+                self.max_open_bins = self.max_open_bins.max(self.open_bins);
+            }
+            ProbeEvent::BinClosed { .. } | ProbeEvent::BinCrashed { .. } => {
+                self.open_bins -= 1;
+            }
+            _ => {}
+        }
+    }
+
+    fn on_decision_ns(&mut self, ns: u64) {
+        self.decisions += 1;
+        self.decision_ns_total += ns;
+    }
+}
+
+fn measure(
+    inst: &Instance,
+    algorithm: &str,
+    engine: &str,
+    build: &dyn Fn() -> Box<dyn BinSelector>,
+) -> BenchResult {
+    let n = inst.len() as u64;
+
+    let mut sel = build();
+    let started = Instant::now();
+    let trace = simulate(inst, &mut *sel);
+    let wall = started.elapsed();
+    assert_eq!(trace.algorithm, algorithm, "selector mislabeled");
+
+    let mut sel = build();
+    let mut stats = EngineStats::default();
+    let probed = simulate_probed(inst, &mut *sel, &mut stats);
+    assert_eq!(probed, trace, "probed run diverged from plain run");
+    assert_eq!(stats.decisions, n, "missing decision timings");
+
+    let wall_ns = wall.as_nanos().max(1);
+    BenchResult {
+        algorithm: algorithm.to_string(),
+        engine: engine.to_string(),
+        n_items: n,
+        wall_ms: wall.as_millis() as u64,
+        items_per_sec: (n as u128 * 1_000_000_000 / wall_ns) as u64,
+        mean_decision_ns: stats.decision_ns_total / n.max(1),
+        bins_used: trace.bins_used() as u64,
+        max_open_bins: stats.max_open_bins,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = PathBuf::from("BENCH_ENGINE.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            out = PathBuf::from(p);
+        }
+    }
+
+    let sizes: &[usize] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[100_000, 1_000_000]
+    };
+
+    type Row = (&'static str, &'static str, fn() -> Box<dyn BinSelector>);
+    let rows: &[Row] = &[
+        ("FF", "indexed", || Box::new(IndexedFirstFit::new())),
+        ("BF", "indexed", || Box::new(IndexedBestFit::new())),
+        ("MFF", "naive", || Box::new(ModifiedFirstFit::new(8))),
+        ("FF", "naive", || Box::new(FirstFit::new())),
+        ("BF", "naive", || Box::new(BestFit::new())),
+    ];
+
+    let mut results = Vec::new();
+    let mut capacity = 0;
+    for &n in sizes {
+        eprintln!("[gen] churn_workload n={n}");
+        let inst = churn_workload(n, SEED);
+        capacity = inst.capacity().raw();
+        for &(algorithm, engine, build) in rows {
+            // Naive FF/BF scan every open bin per arrival; keep them to the
+            // smaller size so the full grid finishes in minutes.
+            if engine == "naive" && algorithm != "MFF" && n != sizes[0] {
+                continue;
+            }
+            let r = measure(&inst, algorithm, engine, &build);
+            eprintln!(
+                "[bench] {algorithm:>6} {engine:>7} n={n:>7} {:>9} items/s mean {:>6} ns/decision",
+                r.items_per_sec, r.mean_decision_ns
+            );
+            results.push(r);
+        }
+    }
+
+    let report = BenchReport {
+        schema_version: SCHEMA_VERSION,
+        quick,
+        seed: SEED,
+        capacity,
+        peak_rss_bytes: dbp_obs::manifest::peak_rss_bytes(),
+        results,
+    };
+    match dbp_obs::export::write_json(&out, &report) {
+        Ok(()) => {
+            println!("[report] {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[error] cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_engines_agree() {
+        let inst = churn_workload(2_000, 7);
+        let indexed = measure(&inst, "FF", "indexed", &|| Box::new(IndexedFirstFit::new()));
+        let naive = measure(&inst, "FF", "naive", &|| Box::new(FirstFit::new()));
+        assert_eq!(indexed.bins_used, naive.bins_used);
+        assert_eq!(indexed.max_open_bins, naive.max_open_bins);
+        let report = BenchReport {
+            schema_version: SCHEMA_VERSION,
+            quick: true,
+            seed: 7,
+            capacity: inst.capacity().raw(),
+            peak_rss_bytes: None,
+            results: vec![indexed, naive],
+        };
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+    }
+}

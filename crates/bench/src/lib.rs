@@ -15,6 +15,23 @@ pub fn standard_workload(n: usize, seed: u64) -> Instance {
     })
 }
 
+/// A churn-heavy workload of `n` items for engine-scaling benches: high
+/// arrival rate and long, widely-spread intervals keep thousands of bins
+/// open at once, so per-arrival work that scales with the open-bin count
+/// dominates the run. This is the fixture behind `engine_baseline` and the
+/// perf regression test.
+pub fn churn_workload(n: usize, seed: u64) -> Instance {
+    generate_mu_controlled(&MuControlledConfig {
+        n_items: n,
+        mu: 10,
+        delta: 2_000,
+        arrival_rate: 0.5,
+        sizes: SizeModel::Uniform { lo: 5, hi: 60 },
+        seed,
+        ..MuControlledConfig::new(10)
+    })
+}
+
 /// Random static multiset of `n` sizes for the exact-solver benches.
 pub fn random_sizes(n: usize, seed: u64) -> Vec<u64> {
     // Simple SplitMix64 so the fixture does not depend on rand's API.
@@ -36,6 +53,7 @@ mod tests {
     #[test]
     fn fixtures_are_deterministic() {
         assert_eq!(standard_workload(50, 1), standard_workload(50, 1));
+        assert_eq!(churn_workload(50, 1), churn_workload(50, 1));
         assert_eq!(random_sizes(10, 2), random_sizes(10, 2));
         assert!(random_sizes(10, 2).iter().all(|&s| (1..=60).contains(&s)));
     }

@@ -1,0 +1,31 @@
+//! Wall-clock regression guards for the engine hot path.
+//!
+//! These bounds are deliberately generous — they run in debug builds on
+//! shared CI machines — but they are impossible to meet if the per-arrival
+//! work regresses to scanning (or rebuilding views over) every open bin:
+//! the pre-indexed engine spent minutes on this instance in debug mode.
+
+use dbp_bench::churn_workload;
+use dbp_core::algorithms::{IndexedBestFit, IndexedFirstFit};
+use dbp_core::engine::simulate;
+use std::time::{Duration, Instant};
+
+/// 10^5 churn-heavy items (thousands of simultaneously open bins) must pack
+/// in seconds, even unoptimized.
+#[test]
+fn churn_100k_packs_quickly() {
+    let inst = churn_workload(100_000, 42);
+    let bound = Duration::from_secs(60);
+
+    let started = Instant::now();
+    let ff = simulate(&inst, &mut IndexedFirstFit::new());
+    let bf = simulate(&inst, &mut IndexedBestFit::new());
+    let elapsed = started.elapsed();
+
+    assert!(ff.bins_used() > 0 && bf.bins_used() > 0);
+    assert!(
+        elapsed < bound,
+        "churn-heavy 100k-item packing took {elapsed:?} (bound {bound:?}); \
+         the arrival path has likely regressed to O(open bins) work"
+    );
+}

@@ -646,6 +646,8 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
                     level: self.open[pos].level,
                 });
             }
+            let level_after = self.open[pos].level;
+            self.selector.on_item_departed(bin, level_after);
             if self.open[pos].items.is_empty() {
                 self.close_server(t, pos);
             }
@@ -767,6 +769,8 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
             self.open.insert(pos, server);
             self.peak_servers = self.peak_servers.max(self.open.len() as u64);
             self.commit_placement(t, item, id, self.size[item.index()]);
+            self.selector
+                .on_bin_opened(id, tag, self.size[item.index()]);
         }
     }
 
@@ -889,7 +893,9 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
                 let server = &mut self.open[pos];
                 server.level += self.size[item.index()];
                 server.items.push(item);
-                self.commit_placement(t, item, id, self.open[pos].level);
+                let level_after = self.open[pos].level;
+                self.commit_placement(t, item, id, level_after);
+                self.selector.on_item_placed(id, level_after);
                 AttemptOutcome::Committed
             }
             Decision::Open { tag } => {
@@ -954,6 +960,8 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
                     self.open.insert(pos, server);
                     self.peak_servers = self.peak_servers.max(self.open.len() as u64);
                     self.commit_placement(t, item, id, self.size[item.index()]);
+                    self.selector
+                        .on_bin_opened(id, tag, self.size[item.index()]);
                 } else {
                     let ready = t + delay;
                     self.seq += 1;

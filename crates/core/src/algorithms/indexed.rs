@@ -1,0 +1,340 @@
+//! Indexed First Fit / Best Fit: O(log m) decisions from hook-maintained
+//! search structures.
+//!
+//! The naive [`FirstFit`]/[`BestFit`] selectors scan every open bin per
+//! arrival — O(m) work that dominates adversarial instances like the
+//! Theorem 5 construction. The selectors here make *exactly the same
+//! decisions* (property-tested decision-for-decision against the naive
+//! implementations, and they report the same [`name`] so traces are
+//! byte-identical) but answer each query from an index updated through the
+//! [`BinSelector`] state-change hooks:
+//!
+//! * [`IndexedFirstFit`] — a max-residual segment tree over bin-id space.
+//!   "First open bin with residual ≥ s" is a leftmost-leaf descent,
+//!   O(log B) where B is the number of bins ever opened. Closed (and
+//!   never-opened) ids hold residual 0, which no item can fit since item
+//!   sizes are validated positive.
+//! * [`IndexedBestFit`] — a `BTreeMap<level, BTreeSet<BinId>>`. "Fullest
+//!   open bin with level ≤ W − s, ties to the earliest-opened" is a range
+//!   query for the greatest feasible level followed by that bucket's
+//!   minimum id, O(log m).
+//!
+//! Both return `false` from [`BinSelector::needs_views`], so the engine
+//! skips open-bin view maintenance entirely and the whole arrival path runs
+//! in O(log m).
+//!
+//! [`FirstFit`]: super::FirstFit
+//! [`BestFit`]: super::BestFit
+//! [`name`]: BinSelector::name
+
+use crate::bin::{BinId, BinTag, OpenBinView};
+use crate::item::{ArrivingItem, Size};
+use crate::packer::{BinSelector, Decision};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Max-residual segment tree keyed by bin id. Leaves hold the residual
+/// capacity of open bins and 0 for closed/unopened ids; internal nodes hold
+/// subtree maxima. Grows by doubling as ids are allocated.
+#[derive(Debug, Clone, Default)]
+struct ResidualTree {
+    /// 1-based heap layout; `tree[leaf_base + id]` is bin `id`'s residual.
+    tree: Vec<u64>,
+    /// Number of leaves (a power of two, or 0 before the first insert).
+    leaves: usize,
+}
+
+impl ResidualTree {
+    /// Smallest open bin id whose residual is at least `s` (`s ≥ 1`).
+    fn first_fitting(&self, s: u64) -> Option<u32> {
+        if self.leaves == 0 || self.tree[1] < s {
+            return None;
+        }
+        let mut node = 1;
+        while node < self.leaves {
+            node *= 2;
+            if self.tree[node] < s {
+                node += 1;
+            }
+        }
+        Some((node - self.leaves) as u32)
+    }
+
+    /// Set bin `id`'s residual, growing the tree if the id is new.
+    fn set(&mut self, id: u32, residual: u64) {
+        let id = id as usize;
+        if id >= self.leaves {
+            self.grow(id + 1);
+        }
+        let mut node = self.leaves + id;
+        self.tree[node] = residual;
+        while node > 1 {
+            node /= 2;
+            self.tree[node] = self.tree[2 * node].max(self.tree[2 * node + 1]);
+        }
+    }
+
+    /// Bin `id`'s current residual (0 if never seen).
+    #[cfg(test)]
+    fn get(&self, id: u32) -> u64 {
+        let id = id as usize;
+        if id < self.leaves {
+            self.tree[self.leaves + id]
+        } else {
+            0
+        }
+    }
+
+    fn grow(&mut self, min_leaves: usize) {
+        let new_leaves = min_leaves.next_power_of_two().max(64);
+        let mut tree = vec![0u64; 2 * new_leaves];
+        tree[new_leaves..new_leaves + self.leaves]
+            .copy_from_slice(&self.tree[self.leaves..2 * self.leaves]);
+        for node in (1..new_leaves).rev() {
+            tree[node] = tree[2 * node].max(tree[2 * node + 1]);
+        }
+        self.tree = tree;
+        self.leaves = new_leaves;
+    }
+}
+
+/// First Fit answered from a segment tree: same decisions as
+/// [`FirstFit`](super::FirstFit), O(log B) per arrival.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedFirstFit {
+    tree: ResidualTree,
+    capacity: Option<Size>,
+}
+
+impl IndexedFirstFit {
+    /// Create an indexed First Fit selector.
+    pub fn new() -> IndexedFirstFit {
+        IndexedFirstFit::default()
+    }
+
+    fn residual(&self, level: Size) -> u64 {
+        let w = self
+            .capacity
+            .expect("hook before the first select call")
+            .raw();
+        w - level.raw()
+    }
+}
+
+impl BinSelector for IndexedFirstFit {
+    fn name(&self) -> &'static str {
+        // Deliberately the naive selector's name: this *is* First Fit, so
+        // traces (which carry the algorithm name) stay byte-identical.
+        "FF"
+    }
+
+    fn select(&mut self, _bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+        debug_assert!(item.size.raw() > 0, "zero-size items break the 0-sentinel");
+        self.capacity = Some(capacity);
+        match self.tree.first_fitting(item.size.raw()) {
+            Some(id) => Decision::Use(BinId(id)),
+            None => Decision::OPEN,
+        }
+    }
+
+    fn needs_views(&self) -> bool {
+        false
+    }
+
+    fn on_bin_opened(&mut self, bin: BinId, _tag: BinTag, level: Size) {
+        self.tree.set(bin.0, self.residual(level));
+    }
+
+    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+        self.tree.set(bin.0, self.residual(level));
+    }
+
+    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+        self.tree.set(bin.0, self.residual(level));
+    }
+
+    fn on_bin_closed(&mut self, bin: BinId) {
+        // Also reached for ids burned by failed boots (never opened): the
+        // leaf is already 0, and `set` tolerates unseen ids.
+        self.tree.set(bin.0, 0);
+    }
+
+    fn is_any_fit(&self) -> bool {
+        true
+    }
+}
+
+/// Best Fit answered from a level-keyed order: same decisions as
+/// [`BestFit`](super::BestFit), O(log m) per arrival.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedBestFit {
+    /// Open bins bucketed by current level; the BTreeSet gives the
+    /// earliest-opened (minimum id) bin within a level in O(log).
+    by_level: BTreeMap<u64, BTreeSet<BinId>>,
+    /// Current level per bin id (`u64::MAX` = not open), for O(1) lookup of
+    /// the bucket a bin must leave on update.
+    level_of: Vec<u64>,
+}
+
+impl IndexedBestFit {
+    /// Create an indexed Best Fit selector.
+    pub fn new() -> IndexedBestFit {
+        IndexedBestFit::default()
+    }
+
+    const CLOSED: u64 = u64::MAX;
+
+    fn move_bin(&mut self, bin: BinId, new_level: u64) {
+        let b = bin.index();
+        if b >= self.level_of.len() {
+            self.level_of.resize(b + 1, Self::CLOSED);
+        }
+        let old = self.level_of[b];
+        if old != Self::CLOSED {
+            if let Some(bucket) = self.by_level.get_mut(&old) {
+                bucket.remove(&bin);
+                if bucket.is_empty() {
+                    self.by_level.remove(&old);
+                }
+            }
+        }
+        self.level_of[b] = new_level;
+        if new_level != Self::CLOSED {
+            self.by_level.entry(new_level).or_default().insert(bin);
+        }
+    }
+}
+
+impl BinSelector for IndexedBestFit {
+    fn name(&self) -> &'static str {
+        // Deliberately the naive selector's name — see IndexedFirstFit.
+        "BF"
+    }
+
+    fn select(&mut self, _bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+        // Highest level that still fits is W − s; if s > W no bin can ever
+        // fit and BF opens (and the engine will reject the overflow, same
+        // as with the naive selector).
+        let Some(bound) = capacity.raw().checked_sub(item.size.raw()) else {
+            return Decision::OPEN;
+        };
+        match self.by_level.range(..=bound).next_back() {
+            Some((_, bucket)) => {
+                let id = bucket.first().expect("empty level bucket");
+                Decision::Use(*id)
+            }
+            None => Decision::OPEN,
+        }
+    }
+
+    fn needs_views(&self) -> bool {
+        false
+    }
+
+    fn on_bin_opened(&mut self, bin: BinId, _tag: BinTag, level: Size) {
+        self.move_bin(bin, level.raw());
+    }
+
+    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+        self.move_bin(bin, level.raw());
+    }
+
+    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+        self.move_bin(bin, level.raw());
+    }
+
+    fn on_bin_closed(&mut self, bin: BinId) {
+        self.move_bin(bin, Self::CLOSED);
+    }
+
+    fn is_any_fit(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{BestFit, FirstFit};
+    use crate::engine::{any_fit_violations, simulate_validated};
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn residual_tree_leftmost_query() {
+        let mut t = ResidualTree::default();
+        assert_eq!(t.first_fitting(1), None);
+        t.set(0, 3);
+        t.set(1, 7);
+        t.set(2, 7);
+        assert_eq!(t.first_fitting(1), Some(0));
+        assert_eq!(t.first_fitting(4), Some(1));
+        assert_eq!(t.first_fitting(8), None);
+        t.set(1, 0); // close bin 1
+        assert_eq!(t.first_fitting(4), Some(2));
+        assert_eq!(t.get(1), 0);
+        // Grow past the initial allocation and query across the boundary.
+        t.set(1000, 9);
+        assert_eq!(t.first_fitting(8), Some(1000));
+        assert_eq!(t.get(1000), 9);
+    }
+
+    fn churny_instance() -> crate::instance::Instance {
+        // Interleaved arrivals/departures with ties in level and id, exact
+        // fills, and bins that close and make ids stale.
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 6); // b0
+        b.add(0, 4, 6); // b1, closes at 4
+        b.add(2, 8, 4); // fills b0 exactly
+        b.add(3, 6, 5); // new bin
+        b.add(5, 9, 6); // arrives after b1 closed
+        b.add(5, 9, 5); // tie candidates
+        b.add(6, 9, 5);
+        b.add(8, 12, 2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn indexed_ff_matches_naive_on_fixture() {
+        let inst = churny_instance();
+        let naive = simulate_validated(&inst, &mut FirstFit::new());
+        let indexed = simulate_validated(&inst, &mut IndexedFirstFit::new());
+        assert_eq!(naive, indexed);
+        assert!(any_fit_violations(&inst, &indexed).is_empty());
+    }
+
+    #[test]
+    fn indexed_bf_matches_naive_on_fixture() {
+        let inst = churny_instance();
+        let naive = simulate_validated(&inst, &mut BestFit::new());
+        let indexed = simulate_validated(&inst, &mut IndexedBestFit::new());
+        assert_eq!(naive, indexed);
+        assert!(any_fit_violations(&inst, &indexed).is_empty());
+    }
+
+    #[test]
+    fn indexed_bf_tie_breaks_to_earliest_bin() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 7); // b0 level 7
+        b.add(1, 10, 7); // 7+7 > 10 -> b1 level 7
+        b.add(2, 10, 2); // tie at level 7 -> b0
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut IndexedBestFit::new());
+        assert_eq!(trace.bin_of(crate::item::ItemId(2)), BinId(0));
+    }
+
+    #[test]
+    fn indexed_selectors_skip_view_maintenance() {
+        assert!(!IndexedFirstFit::new().needs_views());
+        assert!(!IndexedBestFit::new().needs_views());
+        assert!(FirstFit::new().needs_views());
+    }
+
+    #[test]
+    fn hooks_tolerate_burned_ids() {
+        // Fault injection may close an id that never opened.
+        let mut ff = IndexedFirstFit::new();
+        ff.capacity = Some(Size(10));
+        ff.on_bin_closed(BinId(17));
+        let mut bf = IndexedBestFit::new();
+        bf.on_bin_closed(BinId(17));
+    }
+}

@@ -5,12 +5,16 @@
 //! * foils: [`WorstFit`], [`NextFit`], [`LastFit`], [`RandomFit`],
 //!   [`MostItemsFit`];
 //! * [`ConstrainedFirstFit`] — the §5 future-work extension (items restricted
-//!   to region-compatible bins).
+//!   to region-compatible bins);
+//! * [`IndexedFirstFit`], [`IndexedBestFit`] — decision-identical O(log m)
+//!   reimplementations of FF/BF over hook-maintained indexes (see
+//!   [`indexed`]).
 
 mod best_fit;
 mod constrained;
 mod first_fit;
 mod harmonic;
+pub mod indexed;
 mod last_fit;
 mod modified_first_fit;
 mod most_items;
@@ -22,6 +26,7 @@ pub use best_fit::BestFit;
 pub use constrained::ConstrainedFirstFit;
 pub use first_fit::FirstFit;
 pub use harmonic::HarmonicFit;
+pub use indexed::{IndexedBestFit, IndexedFirstFit};
 pub use last_fit::LastFit;
 pub use modified_first_fit::{ItemClass, ModifiedFirstFit, LARGE_TAG, SMALL_TAG};
 pub use most_items::MostItemsFit;

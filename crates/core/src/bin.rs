@@ -1,6 +1,6 @@
 //! Bins (rented game servers) as seen during a simulation.
 
-use crate::item::{ItemId, Size};
+use crate::item::Size;
 use crate::time::Tick;
 use core::fmt;
 use serde::{Deserialize, Serialize};
@@ -73,29 +73,6 @@ impl OpenBinView {
         self.level
             .checked_add(s)
             .is_some_and(|lv| lv <= self.capacity)
-    }
-}
-
-/// Internal mutable bin state owned by the engine.
-#[derive(Debug, Clone)]
-pub(crate) struct OpenBin {
-    pub id: BinId,
-    pub opened_at: Tick,
-    pub level: Size,
-    pub items: Vec<ItemId>,
-    pub tag: BinTag,
-}
-
-impl OpenBin {
-    pub(crate) fn view(&self, capacity: Size) -> OpenBinView {
-        OpenBinView {
-            id: self.id,
-            opened_at: self.opened_at,
-            level: self.level,
-            capacity,
-            n_items: self.items.len(),
-            tag: self.tag,
-        }
     }
 }
 

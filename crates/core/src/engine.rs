@@ -4,10 +4,10 @@
 //! [`BinSelector`] on every arrival, maintains open-bin state, and records a
 //! [`PackingTrace`]. All accounting is exact integer arithmetic.
 
-use crate::bin::{BinId, OpenBin, OpenBinView};
+use crate::bin::{BinId, OpenBinView};
 use crate::events::{schedule, EventKind};
 use crate::instance::Instance;
-use crate::item::{ArrivingItem, ItemId};
+use crate::item::{ArrivingItem, ItemId, Size};
 use crate::packer::{BinSelector, Decision};
 use crate::probe::{NoProbe, Probe, ProbeEvent};
 use crate::time::Tick;
@@ -40,14 +40,27 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
     let capacity = instance.capacity();
     let events = schedule(instance);
 
-    // Open bins, kept sorted by id (ids are assigned in increasing order and
-    // bins are only ever appended, so pushing preserves sortedness).
-    let mut open: Vec<OpenBin> = Vec::new();
+    // Dense per-bin state, indexed directly by bin id (ids are assigned
+    // 0, 1, 2, … in opening order and never reused), so departures and
+    // placements touch their bin in O(1) with no search.
+    let mut levels: Vec<Size> = Vec::new();
+    let mut bin_items: Vec<Vec<ItemId>> = Vec::new();
+    let mut is_open: Vec<bool> = Vec::new();
+    let mut open_count: usize = 0;
+    // Each packed item's slot in its bin's item list, so a departure finds
+    // it in O(1) instead of scanning (`swap_remove` keeps the slot map
+    // exact by re-homing the displaced last item).
+    let mut slot: Vec<u32> = vec![0; instance.len()];
+    // Selector-facing mirror of the open set, ascending id, updated
+    // incrementally (one entry per state change instead of a full rebuild
+    // per arrival). Skipped entirely when the selector answers from its own
+    // hook-maintained index and no probe needs scan ranks.
+    let keep_views = P::ENABLED || selector.needs_views();
+    let mut views: Vec<OpenBinView> = Vec::new();
     // Full per-bin records; index == bin id.
     let mut records: Vec<BinRecord> = Vec::new();
     let mut assignment: Vec<Option<BinId>> = vec![None; instance.len()];
     let mut steps: Vec<(Tick, u32)> = Vec::new();
-    let mut views: Vec<OpenBinView> = Vec::new();
 
     let mut i = 0;
     while i < events.len() {
@@ -62,44 +75,55 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
                     let item = instance.item(ev.item);
                     let bin_id = assignment[ev.item.index()]
                         .expect("departure for an item that was never packed");
-                    let pos = open
-                        .binary_search_by_key(&bin_id, |b| b.id)
-                        .expect("departure from a closed bin");
-                    let bin = &mut open[pos];
-                    bin.level -= item.size;
-                    let ipos = bin
-                        .items
-                        .iter()
-                        .position(|&id| id == ev.item)
-                        .expect("item not present in its bin");
-                    bin.items.swap_remove(ipos);
+                    let b = bin_id.index();
+                    assert!(is_open[b], "departure from a closed bin");
+                    levels[b] -= item.size;
+                    let s = slot[ev.item.index()] as usize;
+                    let items = &mut bin_items[b];
+                    debug_assert_eq!(items[s], ev.item, "slot map out of sync");
+                    items.swap_remove(s);
+                    if let Some(&moved) = items.get(s) {
+                        slot[moved.index()] = s as u32;
+                    }
+                    let emptied = items.is_empty();
+                    if keep_views {
+                        let vpos = views
+                            .binary_search_by_key(&bin_id, |v| v.id)
+                            .expect("open bin missing from view mirror");
+                        if emptied {
+                            views.remove(vpos);
+                        } else {
+                            views[vpos].level = levels[b];
+                            views[vpos].n_items -= 1;
+                        }
+                    }
                     if P::ENABLED {
                         probe.record(ProbeEvent::ItemDeparted {
                             at: tick,
                             item: ev.item,
                             bin: bin_id,
-                            level: bin.level,
+                            level: levels[b],
                         });
                     }
-                    if bin.items.is_empty() {
-                        debug_assert_eq!(bin.level.raw(), 0, "empty bin with nonzero level");
-                        records[bin_id.index()].closed_at = tick;
+                    selector.on_item_departed(bin_id, levels[b]);
+                    if emptied {
+                        debug_assert_eq!(levels[b].raw(), 0, "empty bin with nonzero level");
+                        records[b].closed_at = tick;
                         if P::ENABLED {
                             probe.record(ProbeEvent::BinClosed {
                                 at: tick,
                                 bin: bin_id,
-                                open_ticks: tick.0 - records[bin_id.index()].opened_at.0,
+                                open_ticks: tick.0 - records[b].opened_at.0,
                             });
                         }
-                        open.remove(pos);
+                        is_open[b] = false;
+                        open_count -= 1;
                         selector.on_bin_closed(bin_id);
                     }
                 }
                 EventKind::Arrival => {
                     let item = instance.item(ev.item);
                     let arriving = ArrivingItem::of(item);
-                    views.clear();
-                    views.extend(open.iter().map(|b| b.view(capacity)));
                     if P::ENABLED {
                         probe.record(ProbeEvent::ItemArrived {
                             at: tick,
@@ -107,24 +131,25 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
                             size: item.size,
                         });
                     }
-                    let decision = if P::ENABLED {
-                        let started = std::time::Instant::now();
-                        let decision = selector.select(&views, &arriving, capacity);
-                        probe.on_decision_ns(started.elapsed().as_nanos() as u64);
-                        decision
+                    // Timed span: the *whole* arrival handling — selection
+                    // plus placement bookkeeping — so `on_decision_ns`
+                    // reflects the per-arrival cost users actually observe.
+                    let started = if P::ENABLED {
+                        Some(std::time::Instant::now())
                     } else {
-                        selector.select(&views, &arriving, capacity)
+                        None
                     };
+                    let decision = selector.select(&views, &arriving, capacity);
                     let bin_id = match decision {
                         Decision::Use(id) => {
-                            let pos =
-                                open.binary_search_by_key(&id, |b| b.id)
-                                    .unwrap_or_else(|_| {
-                                        panic!("{}: selected bin {id} is not open", selector.name())
-                                    });
-                            let bin = &mut open[pos];
+                            let b = id.index();
                             assert!(
-                                bin.level
+                                b < is_open.len() && is_open[b],
+                                "{}: selected bin {id} is not open",
+                                selector.name()
+                            );
+                            assert!(
+                                levels[b]
                                     .checked_add(item.size)
                                     .is_some_and(|l| l <= capacity),
                                 "{}: item {} (size {}) does not fit bin {} (level {})",
@@ -132,54 +157,49 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
                                 item.id,
                                 item.size,
                                 id,
-                                bin.level
+                                levels[b]
                             );
-                            bin.level += item.size;
-                            bin.items.push(ev.item);
-                            records[id.index()].items.push(ev.item);
-                            if P::ENABLED {
-                                // Scan depth of a reuse: the chosen bin's
-                                // 1-based position in opening order.
-                                probe.record(ProbeEvent::FitAttempt {
-                                    at: tick,
-                                    item: ev.item,
-                                    bins_scanned: pos as u32 + 1,
-                                    open_bins: views.len() as u32,
-                                });
-                                probe.record(ProbeEvent::ItemPlaced {
-                                    at: tick,
-                                    item: ev.item,
-                                    bin: id,
-                                    level: open[pos].level,
-                                });
+                            levels[b] += item.size;
+                            slot[ev.item.index()] = bin_items[b].len() as u32;
+                            bin_items[b].push(ev.item);
+                            records[b].items.push(ev.item);
+                            if keep_views {
+                                let vpos = views
+                                    .binary_search_by_key(&id, |v| v.id)
+                                    .expect("open bin missing from view mirror");
+                                views[vpos].level = levels[b];
+                                views[vpos].n_items += 1;
+                                if P::ENABLED {
+                                    // Scan depth of a reuse: the chosen
+                                    // bin's 1-based position in opening
+                                    // order.
+                                    probe.record(ProbeEvent::FitAttempt {
+                                        at: tick,
+                                        item: ev.item,
+                                        bins_scanned: vpos as u32 + 1,
+                                        open_bins: open_count as u32,
+                                    });
+                                    probe.record(ProbeEvent::ItemPlaced {
+                                        at: tick,
+                                        item: ev.item,
+                                        bin: id,
+                                        level: levels[b],
+                                    });
+                                }
                             }
+                            selector.on_item_placed(id, levels[b]);
                             id
                         }
                         Decision::Open { tag } => {
                             let id = BinId(records.len() as u32);
-                            open.push(OpenBin {
-                                id,
-                                opened_at: tick,
-                                level: item.size,
-                                items: vec![ev.item],
-                                tag,
-                            });
-                            records.push(BinRecord {
-                                id,
-                                tag,
-                                opened_at: tick,
-                                // Placeholder; overwritten when the bin closes.
-                                closed_at: tick,
-                                items: vec![ev.item],
-                            });
                             if P::ENABLED {
                                 // Scan depth of an open: every open bin was
                                 // (conceptually) scanned and rejected.
                                 probe.record(ProbeEvent::FitAttempt {
                                     at: tick,
                                     item: ev.item,
-                                    bins_scanned: views.len() as u32,
-                                    open_bins: views.len() as u32,
+                                    bins_scanned: open_count as u32,
+                                    open_bins: open_count as u32,
                                 });
                                 probe.record(ProbeEvent::BinOpened {
                                     at: tick,
@@ -194,15 +214,44 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
                                     level: item.size,
                                 });
                             }
+                            levels.push(item.size);
+                            bin_items.push(vec![ev.item]);
+                            is_open.push(true);
+                            open_count += 1;
+                            slot[ev.item.index()] = 0;
+                            if keep_views {
+                                // Ids are assigned in increasing order, so
+                                // pushing preserves the mirror's sortedness.
+                                views.push(OpenBinView {
+                                    id,
+                                    opened_at: tick,
+                                    level: item.size,
+                                    capacity,
+                                    n_items: 1,
+                                    tag,
+                                });
+                            }
+                            records.push(BinRecord {
+                                id,
+                                tag,
+                                opened_at: tick,
+                                // Placeholder; overwritten when the bin closes.
+                                closed_at: tick,
+                                items: vec![ev.item],
+                            });
+                            selector.on_bin_opened(id, tag, item.size);
                             id
                         }
                     };
                     assignment[ev.item.index()] = Some(bin_id);
+                    if let Some(started) = started {
+                        probe.on_decision_ns(started.elapsed().as_nanos() as u64);
+                    }
                 }
             }
         }
         // Record the open-bin count after this tick's batch, if it changed.
-        let n = open.len() as u32;
+        let n = open_count as u32;
         match steps.last() {
             Some(&(_, last_n)) if last_n == n => {}
             _ => steps.push((tick, n)),
@@ -210,9 +259,10 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
     }
 
     assert!(
-        open.is_empty(),
+        open_count == 0,
         "engine invariant: all bins must close by the last departure"
     );
+    debug_assert!(views.is_empty(), "view mirror leaked entries");
 
     PackingTrace {
         algorithm: selector.name().to_string(),

@@ -34,6 +34,27 @@ impl Decision {
 ///
 /// Implementations must be deterministic given their construction (randomized
 /// strategies own a seeded RNG), so that every experiment is reproducible.
+///
+/// ## State-change notifications
+///
+/// Beyond [`select`](BinSelector::select), the engine notifies the selector
+/// of every bin state change it performs: [`on_bin_opened`],
+/// [`on_item_placed`], [`on_item_departed`] and [`on_bin_closed`]. Plain
+/// selectors ignore them (the defaults are no-ops); *indexed* selectors
+/// (`crate::algorithms::indexed`) use them to maintain O(log m) search
+/// structures and return `false` from [`needs_views`], which lets the
+/// engine skip open-bin view maintenance entirely on the hot path.
+///
+/// Every driver of a selector (the engine, `dbp-cloudsim`'s resilient
+/// dispatcher) must invoke the hooks faithfully; a hook referring to a bin
+/// id the selector has never seen opened must be tolerated (the fault
+/// injection layer burns ids on failed boots).
+///
+/// [`on_bin_opened`]: BinSelector::on_bin_opened
+/// [`on_item_placed`]: BinSelector::on_item_placed
+/// [`on_item_departed`]: BinSelector::on_item_departed
+/// [`on_bin_closed`]: BinSelector::on_bin_closed
+/// [`needs_views`]: BinSelector::needs_views
 pub trait BinSelector {
     /// Short stable name used in reports ("FF", "BF", ...).
     fn name(&self) -> &'static str;
@@ -43,9 +64,39 @@ pub trait BinSelector {
     /// responsible for checking fit via [`OpenBinView::fits`]. `capacity` is
     /// the public bin capacity `W` (needed e.g. by MFF's size
     /// classification even when no bin is open yet).
+    ///
+    /// When [`needs_views`](BinSelector::needs_views) is `false`, `bins`
+    /// may be empty regardless of the true open set — the selector answers
+    /// from its own hook-maintained index.
     fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision;
 
-    /// Notification that a bin emptied and was closed by the engine.
+    /// Whether this selector reads the `bins` slice passed to
+    /// [`select`](BinSelector::select). Must be constant for the lifetime
+    /// of the selector. Indexed selectors return `false`, letting the
+    /// engine drop per-arrival view maintenance from the hot path.
+    fn needs_views(&self) -> bool {
+        true
+    }
+
+    /// Notification that a new bin materialized carrying `tag`, holding its
+    /// first item (bin level = `level`). Follows the selector's own
+    /// `Decision::Open` under the engine; under fault injection a delayed
+    /// boot may deliver it later, or never (failed boot — see
+    /// [`on_bin_closed`](BinSelector::on_bin_closed)).
+    fn on_bin_opened(&mut self, _bin: BinId, _tag: BinTag, _level: Size) {}
+
+    /// Notification that an item was added to an already open bin; `level`
+    /// is the bin's level *after* the placement.
+    fn on_item_placed(&mut self, _bin: BinId, _level: Size) {}
+
+    /// Notification that an item left its bin; `level` is the bin's level
+    /// *after* the departure. If the bin closes as a result,
+    /// [`on_bin_closed`](BinSelector::on_bin_closed) follows immediately.
+    fn on_item_departed(&mut self, _bin: BinId, _level: Size) {}
+
+    /// Notification that a bin is gone: it emptied and was closed, crashed
+    /// (fault injection, possibly non-empty), or its id was burned by a
+    /// failed boot without ever opening. Ids are never reused.
     fn on_bin_closed(&mut self, _bin: BinId) {}
 
     /// Whether the strategy belongs to the Any Fit family: it never opens a
@@ -63,6 +114,18 @@ impl<S: BinSelector + ?Sized> BinSelector for &mut S {
     }
     fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
         (**self).select(bins, item, capacity)
+    }
+    fn needs_views(&self) -> bool {
+        (**self).needs_views()
+    }
+    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Size) {
+        (**self).on_bin_opened(bin, tag, level)
+    }
+    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+        (**self).on_item_placed(bin, level)
+    }
+    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+        (**self).on_item_departed(bin, level)
     }
     fn on_bin_closed(&mut self, bin: BinId) {
         (**self).on_bin_closed(bin)

@@ -275,9 +275,13 @@ pub trait Probe {
     /// Receive one event. Called in simulation order.
     fn record(&mut self, event: ProbeEvent);
 
-    /// Receive the wall-clock duration of one `BinSelector::select` call,
-    /// in nanoseconds. Only called when `ENABLED`; separate from
-    /// [`record`](Probe::record) so the hot path never allocates for it.
+    /// Receive the wall-clock duration of one full arrival handling — the
+    /// `BinSelector::select` call *plus* the engine's placement bookkeeping
+    /// (view updates, record pushes, selector notifications) — in
+    /// nanoseconds. This is the per-arrival cost a caller of `simulate`
+    /// actually observes, not just the selector's share. Only called when
+    /// `ENABLED`; separate from [`record`](Probe::record) so the hot path
+    /// never allocates for it.
     fn on_decision_ns(&mut self, ns: u64) {
         let _ = ns;
     }

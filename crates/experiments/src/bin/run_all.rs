@@ -1,24 +1,37 @@
-//! Run every experiment in sequence — regenerates every table/figure
-//! artifact of the paper. Pass `--quick` for reduced grids.
+//! Run every experiment — regenerates every table/figure artifact of the
+//! paper. Pass `--quick` for reduced grids and `--jobs N` to bound the
+//! worker pool (default: available parallelism, capped at the experiment
+//! count).
+//!
+//! Experiments run concurrently on a bounded worker pool, but all output is
+//! buffered per experiment and printed in registration order, and the
+//! manifest records experiments in that same order — so two runs of the
+//! same build produce identical stdout and an identical
+//! `results/manifest.json` (modulo timings) regardless of scheduling.
 //!
 //! Each experiment runs under `catch_unwind`, so one panicking experiment
 //! does not take the sweep down; the process exits nonzero if *any*
-//! experiment panicked or failed to write its table. A per-experiment
-//! timing/outcome summary is printed at the end and persisted to
-//! `results/manifest.json`.
+//! experiment panicked or failed to write its table. Panic messages are
+//! captured into the manifest's `detail` field and echoed in the final
+//! timing table.
 
 use dbp_experiments as exp;
 
 use dbp_obs::{ExperimentManifest, ExperimentRecord, ExperimentStatus};
 use exp::harness::Table;
+use std::any::Any;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 use std::time::Instant;
 
 /// One experiment: its CSV stem and a quick-flag-taking runner.
 type Experiment = (&'static str, fn(bool) -> Table);
 
-/// Every experiment, in execution order.
+/// Every experiment, in registration order (the order output and manifest
+/// records appear in, independent of scheduling).
 const EXPERIMENTS: &[Experiment] = &[
     ("fig1_span", |q| exp::fig1_span::run(q).0),
     ("fig2_anyfit_lb", |q| exp::fig2_anyfit_lb::run(q).0),
@@ -53,37 +66,117 @@ const EXPERIMENTS: &[Experiment] = &[
     ("hff_class_ablation", |q| exp::hff_class_ablation::run(q).0),
 ];
 
-fn main() -> ExitCode {
-    let q = exp::quick_flag();
-    let t0 = Instant::now();
-    let mut records = Vec::with_capacity(EXPERIMENTS.len());
-    for &(name, run) in EXPERIMENTS {
-        let started = Instant::now();
-        let status = match catch_unwind(AssertUnwindSafe(|| run(q))) {
-            Ok(table) => {
-                table.print();
-                match table.try_write_csv(name) {
-                    Ok(path) => {
-                        println!("[csv] {}", path.display());
-                        ExperimentStatus::Ok
-                    }
-                    Err(e) => {
-                        eprintln!("[error] {name}: cannot write table: {e}");
-                        ExperimentStatus::WriteFailed
-                    }
+/// Worker count: `--jobs N` if given, else available parallelism; always in
+/// `1..=EXPERIMENTS.len()`.
+fn jobs() -> usize {
+    let mut args = std::env::args();
+    let mut requested = None;
+    while let Some(a) = args.next() {
+        if a == "--jobs" {
+            requested = args.next().and_then(|v| v.parse::<usize>().ok());
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            requested = v.parse::<usize>().ok();
+        }
+    }
+    let n = requested.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    });
+    n.clamp(1, EXPERIMENTS.len())
+}
+
+/// Render a panic payload the way the default hook would: the `&str` or
+/// `String` message when there is one.
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_string(),
+            Err(_) => "non-string panic payload".to_string(),
+        },
+    }
+}
+
+/// Run one experiment, buffering its output. Returns the printable block
+/// and the manifest record (without timing — the caller owns the clock).
+fn run_one(
+    name: &'static str,
+    run: fn(bool) -> Table,
+    quick: bool,
+) -> (String, ExperimentStatus, Option<String>) {
+    let mut out = String::new();
+    match catch_unwind(AssertUnwindSafe(|| run(quick))) {
+        Ok(table) => {
+            out.push_str(&table.render());
+            out.push('\n');
+            match table.try_write_csv(name) {
+                Ok(path) => {
+                    out.push_str(&format!("[csv] {}\n", path.display()));
+                    (out, ExperimentStatus::Ok, None)
+                }
+                Err(e) => {
+                    let detail = format!("cannot write table: {e}");
+                    out.push_str(&format!("[error] {name}: {detail}\n"));
+                    (out, ExperimentStatus::WriteFailed, Some(detail))
                 }
             }
-            Err(_) => {
-                eprintln!("[error] {name}: panicked (see message above); continuing");
-                ExperimentStatus::Panicked
-            }
-        };
-        records.push(ExperimentRecord {
-            name: name.to_string(),
-            status,
-            wall_time_ms: started.elapsed().as_millis() as u64,
-        });
+        }
+        Err(payload) => {
+            let detail = panic_message(payload);
+            out.push_str(&format!("[error] {name}: panicked: {detail}\n"));
+            (out, ExperimentStatus::Panicked, Some(detail))
+        }
     }
+}
+
+fn main() -> ExitCode {
+    let quick = exp::quick_flag();
+    let workers = jobs();
+    let t0 = Instant::now();
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, String, ExperimentRecord)>();
+
+    let mut by_index: BTreeMap<usize, (String, ExperimentRecord)> = BTreeMap::new();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(name, run)) = EXPERIMENTS.get(i) else {
+                    return;
+                };
+                let started = Instant::now();
+                let (out, status, detail) = run_one(name, run, quick);
+                let record = ExperimentRecord {
+                    name: name.to_string(),
+                    status,
+                    wall_time_ms: started.elapsed().as_millis() as u64,
+                    detail,
+                };
+                if tx.send((i, out, record)).is_err() {
+                    return;
+                }
+            });
+        }
+        drop(tx);
+
+        // Print completed experiments in registration order, holding back
+        // any that finish ahead of a still-running predecessor.
+        let mut next_to_print = 0;
+        for (i, out, record) in rx {
+            by_index.insert(i, (out, record));
+            while let Some((out, _)) = by_index.get(&next_to_print) {
+                print!("{out}");
+                next_to_print += 1;
+            }
+        }
+    });
+
+    let records: Vec<ExperimentRecord> = by_index.into_values().map(|(_, record)| record).collect();
+    assert_eq!(records.len(), EXPERIMENTS.len(), "lost experiment results");
 
     let manifest = ExperimentManifest {
         experiments: records,
@@ -91,12 +184,16 @@ fn main() -> ExitCode {
         peak_rss_bytes: dbp_obs::manifest::peak_rss_bytes(),
     };
 
-    let mut summary = Table::new("run_all timing", &["experiment", "status", "wall ms"]);
+    let mut summary = Table::new(
+        "run_all timing",
+        &["experiment", "status", "wall ms", "detail"],
+    );
     for r in &manifest.experiments {
         summary.push(vec![
             r.name.clone(),
             format!("{:?}", r.status),
             r.wall_time_ms.to_string(),
+            r.detail.clone().unwrap_or_default(),
         ]);
     }
     summary.print();
@@ -112,8 +209,9 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "\nall experiments done in {:.1}s ({} ok, {} failed)",
+        "\nall experiments done in {:.1}s on {} worker(s) ({} ok, {} failed)",
         t0.elapsed().as_secs_f64(),
+        workers,
         manifest.experiments.len() - manifest.failures(),
         manifest.failures()
     );
@@ -121,5 +219,26 @@ fn main() -> ExitCode {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn capture(f: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        panic_message(catch_unwind(f).unwrap_err())
+    }
+
+    #[test]
+    fn panic_message_downcasts_str_and_string() {
+        // Silence the default hook's stderr spew for the two induced panics.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let from_str = capture(|| panic!("plain str payload"));
+        let from_string = capture(|| panic!("formatted {} payload", 42));
+        std::panic::set_hook(hook);
+        assert_eq!(from_str, "plain str payload");
+        assert_eq!(from_string, "formatted 42 payload");
     }
 }

@@ -104,6 +104,10 @@ pub struct ExperimentRecord {
     pub status: ExperimentStatus,
     /// Wall-clock time spent, milliseconds.
     pub wall_time_ms: u64,
+    /// Failure detail when there is one: the panic message for
+    /// [`ExperimentStatus::Panicked`], the I/O error for
+    /// [`ExperimentStatus::WriteFailed`]. `None` on success.
+    pub detail: Option<String>,
 }
 
 /// Manifest for a whole `run_all` sweep, written to `results/manifest.json`.
@@ -167,11 +171,13 @@ mod tests {
                     name: "table2".into(),
                     status: ExperimentStatus::Ok,
                     wall_time_ms: 12,
+                    detail: None,
                 },
                 ExperimentRecord {
                     name: "fig3".into(),
                     status: ExperimentStatus::Panicked,
                     wall_time_ms: 0,
+                    detail: Some("assertion failed: ratio <= bound".into()),
                 },
             ],
             total_wall_time_ms: 12,

@@ -24,7 +24,9 @@ impl EventLog {
         &self.events
     }
 
-    /// Per-decision wall times in nanoseconds, in arrival order.
+    /// Per-arrival wall times in nanoseconds, in arrival order. Each entry
+    /// covers the full arrival handling (selection plus the engine's
+    /// placement bookkeeping), matching the cost callers observe.
     pub fn decision_ns(&self) -> &[u64] {
         &self.decision_ns
     }

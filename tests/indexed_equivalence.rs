@@ -1,0 +1,138 @@
+//! Property tests: the indexed FF/BF selectors are decision-for-decision
+//! equivalent to the naive scanning implementations — same `Decision`
+//! sequence, identical `PackingTrace`, and byte-identical probe event
+//! streams (JSONL) — on arbitrary churn-heavy instances.
+
+use dbp::prelude::*;
+use dbp_core::algorithms::{BestFit, FirstFit, IndexedBestFit, IndexedFirstFit};
+use dbp_core::bin::{BinId, BinTag, OpenBinView};
+use dbp_core::engine::{any_fit_violations, simulate_probed, simulate_validated};
+use dbp_core::item::ArrivingItem;
+use dbp_core::packer::{BinSelector, Decision};
+use dbp_obs::export::events_to_jsonl;
+use dbp_obs::EventLog;
+use proptest::prelude::*;
+
+/// Forwards everything to the wrapped selector — including `needs_views`
+/// and every state-change hook, so the engine drives the inner selector
+/// exactly as it would undecorated — while recording the decision sequence.
+struct Recording<S> {
+    inner: S,
+    decisions: Vec<Decision>,
+}
+
+impl<S: BinSelector> Recording<S> {
+    fn new(inner: S) -> Recording<S> {
+        Recording {
+            inner,
+            decisions: Vec::new(),
+        }
+    }
+}
+
+impl<S: BinSelector> BinSelector for Recording<S> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+        let d = self.inner.select(bins, item, capacity);
+        self.decisions.push(d);
+        d
+    }
+
+    fn needs_views(&self) -> bool {
+        self.inner.needs_views()
+    }
+
+    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Size) {
+        self.inner.on_bin_opened(bin, tag, level);
+    }
+
+    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+        self.inner.on_item_placed(bin, level);
+    }
+
+    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+        self.inner.on_item_departed(bin, level);
+    }
+
+    fn on_bin_closed(&mut self, bin: BinId) {
+        self.inner.on_bin_closed(bin);
+    }
+
+    fn is_any_fit(&self) -> bool {
+        self.inner.is_any_fit()
+    }
+}
+
+/// Strategy: arbitrary valid instances with heavy interval overlap (many
+/// bins open at once), plus ties in size so tie-breaking paths get hit.
+fn instances(max_items: usize) -> impl Strategy<Value = Instance> {
+    let item = (0u64..300, 1u64..150, 1u64..=100);
+    proptest::collection::vec(item, 1..max_items).prop_map(|raw| {
+        let mut b = InstanceBuilder::new(100);
+        for (a, len, s) in raw {
+            b.add(a, a + len, s);
+        }
+        b.build().expect("generated instance is valid")
+    })
+}
+
+/// Run `naive` and `indexed` over `inst`, asserting identical decision
+/// sequences, traces, event streams (to the byte, via JSONL), and decision
+/// counts.
+fn assert_equivalent<A: BinSelector, B: BinSelector>(
+    inst: &Instance,
+    naive: A,
+    indexed: B,
+) -> proptest::TestCaseResult {
+    let mut naive = Recording::new(naive);
+    let mut naive_log = EventLog::new();
+    let naive_trace = simulate_probed(inst, &mut naive, &mut naive_log);
+
+    let mut indexed = Recording::new(indexed);
+    let mut indexed_log = EventLog::new();
+    let indexed_trace = simulate_probed(inst, &mut indexed, &mut indexed_log);
+
+    prop_assert_eq!(&naive.decisions, &indexed.decisions);
+    prop_assert_eq!(&naive_trace, &indexed_trace);
+    prop_assert_eq!(
+        events_to_jsonl(naive_log.events()),
+        events_to_jsonl(indexed_log.events())
+    );
+    prop_assert_eq!(
+        naive_log.decision_ns().len(),
+        indexed_log.decision_ns().len()
+    );
+    prop_assert!(any_fit_violations(inst, &indexed_trace).is_empty());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn indexed_ff_equals_naive_ff(inst in instances(80)) {
+        assert_equivalent(&inst, FirstFit::new(), IndexedFirstFit::new())?;
+    }
+
+    #[test]
+    fn indexed_bf_equals_naive_bf(inst in instances(80)) {
+        assert_equivalent(&inst, BestFit::new(), IndexedBestFit::new())?;
+    }
+
+    /// The validated entry point (which cross-checks the trace against the
+    /// instance) agrees too, without the recording wrapper in the way.
+    #[test]
+    fn validated_traces_agree(inst in instances(50)) {
+        prop_assert_eq!(
+            simulate_validated(&inst, &mut FirstFit::new()),
+            simulate_validated(&inst, &mut IndexedFirstFit::new())
+        );
+        prop_assert_eq!(
+            simulate_validated(&inst, &mut BestFit::new()),
+            simulate_validated(&inst, &mut IndexedBestFit::new())
+        );
+    }
+}
