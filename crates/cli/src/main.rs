@@ -8,6 +8,8 @@
 //! dbp run trace.json --algo ff [--validate] [--trace-events ev.jsonl] [--metrics m.prom]
 //! dbp run trace.json --algo ff --faults 42          # seeded crash/flaky-boot injection
 //! dbp run trace.json --algo ff --faults plan.json   # explicit fault plan
+//! dbp run trace.json --algo ff --journal run.wal --run-manifest run.json
+//! dbp recover run.wal --trace trace.json --manifest run.json
 //! dbp trace ev.jsonl              # replay a JSONL event log as a timeline
 //! dbp compare trace.json
 //! dbp analyze trace.json          # §4.3 FF proof-machinery report
@@ -25,10 +27,14 @@ use dbp_core::algorithms::{
 };
 use dbp_core::analysis::analyze_first_fit;
 use dbp_core::bounds;
-use dbp_core::engine::{simulate, simulate_probed, simulate_validated, simulate_validated_probed};
+use dbp_core::engine::{
+    simulate, simulate_probed, simulate_resumed_probed, simulate_validated,
+    simulate_validated_probed,
+};
 use dbp_core::instance::Instance;
 use dbp_core::metrics::summarize;
 use dbp_core::packer::BinSelector;
+use dbp_core::probe::{Probe, ProbeEvent};
 use dbp_core::ratio::Ratio;
 use dbp_opt::{opt_total, SolveMode};
 use dbp_workloads::{
@@ -51,6 +57,11 @@ USAGE:
           [--validate] [--gantt] [--fleet] [--save-trace FILE] [--svg FILE]
           [--trace-events FILE.jsonl] [--metrics FILE.prom] [--timeseries FILE.csv]
           [--faults SEED|PLAN.json]   # resilient dispatch under injected faults
+          [--journal FILE.wal] [--fsync always|never|N]   # crash-safe event journal
+          [--run-manifest FILE.json]  # provenance + exact cost, for `recover`
+  dbp recover FILE.wal [--repair] [--manifest FILE.json]
+          [--trace FILE] [--algo NAME] [--faults SEED|PLAN.json]
+          [--resume-jsonl FILE.jsonl]
   dbp trace FILE.jsonl [--summary]
   dbp compare FILE
   dbp analyze FILE
@@ -77,6 +88,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "generate" => cmd_generate(&args),
         "adversary" => cmd_adversary(&args),
         "run" => cmd_run(&args),
+        "recover" => cmd_recover(&args),
         "trace" => cmd_trace(&args),
         "compare" => cmd_compare(&args),
         "analyze" => cmd_analyze(&args),
@@ -233,11 +245,18 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if let Some(spec) = args.str_flag("faults") {
         return cmd_run_faults(args, &inst, algo, &mut *sel, spec);
     }
-    let observing = args.has("trace-events") || args.has("metrics") || args.has("timeseries");
+    let observing = args.has("trace-events")
+        || args.has("metrics")
+        || args.has("timeseries")
+        || args.has("journal")
+        || args.has("run-manifest");
     let started = std::time::Instant::now();
     let mut probe = (
-        (dbp_obs::EventLog::new(), dbp_obs::MetricsProbe::new()),
-        dbp_obs::TimeSeriesSampler::new(inst.capacity().raw()),
+        (
+            (dbp_obs::EventLog::new(), dbp_obs::MetricsProbe::new()),
+            dbp_obs::TimeSeriesSampler::new(inst.capacity().raw()),
+        ),
+        MaybeJournal::open(args)?,
     );
     let trace = match (observing, args.has("validate")) {
         (true, true) => simulate_validated_probed(&inst, &mut *sel, &mut probe),
@@ -246,7 +265,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         (false, false) => simulate(&inst, &mut *sel),
     };
     let wall = started.elapsed();
-    let ((event_log, metrics_probe), sampler) = probe;
+    let (((event_log, metrics_probe), sampler), journal) = probe;
+    journal.finish()?;
     if let Some(path) = args.str_flag("trace-events") {
         dbp_obs::export::write_jsonl(std::path::Path::new(path), event_log.events())
             .map_err(|e| format!("{path}: {e}"))?;
@@ -274,7 +294,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     println!("cost / LB      : {:.4}", s.ratio_vs_lower_bound.to_f64());
     println!("utilization    : {:.4}", s.mean_utilization.to_f64());
     if observing {
-        let manifest = dbp_obs::RunManifest::capture(&s.algorithm, None, &inst, wall);
+        let manifest = dbp_obs::RunManifest::capture(&s.algorithm, None, &inst, wall)
+            .with_cost(trace.total_cost_ticks());
         println!("instance digest: {}", manifest.instance_digest);
         println!(
             "wall time      : {:.3} ms",
@@ -282,6 +303,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         );
         if let Some(rss) = manifest.peak_rss_bytes {
             println!("peak rss       : {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+        }
+        if let Some(path) = args.str_flag("run-manifest") {
+            dbp_obs::export::write_json(std::path::Path::new(path), &manifest)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("manifest saved to {path}");
         }
     }
     if args.has("fleet") {
@@ -311,6 +337,70 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         println!("trace saved to {path}");
     }
     Ok(())
+}
+
+/// The paper's cost model over `inst`'s capacity: per-tick billing on
+/// GPU VMs. Shared by `run --faults` and `recover --faults`, which must
+/// reconstruct the *same* system for deterministic re-execution.
+fn paper_gaming_system(inst: &Instance) -> dbp_cloudsim::GamingSystem {
+    dbp_cloudsim::GamingSystem {
+        server: dbp_cloudsim::ServerType {
+            gpu_capacity: inst.capacity().raw(),
+            ..dbp_cloudsim::ServerType::default_gpu_vm()
+        },
+        granularity: dbp_cloudsim::Granularity::PerTick,
+    }
+}
+
+/// Optional write-ahead-journal leg of the run probe: a no-op when
+/// `--journal` is absent, so the probe tuple composes without a separate
+/// code path per flag combination.
+struct MaybeJournal {
+    probe: Option<dbp_obs::JournalProbe>,
+    path: String,
+}
+
+impl MaybeJournal {
+    /// Open the journal named by `--journal`, honoring `--fsync`
+    /// (default `always`: a crash loses at most the frame being written).
+    fn open(args: &Args) -> Result<MaybeJournal, String> {
+        let Some(path) = args.str_flag("journal") else {
+            if args.has("fsync") {
+                return Err("--fsync only makes sense with --journal FILE".into());
+            }
+            return Ok(MaybeJournal {
+                probe: None,
+                path: String::new(),
+            });
+        };
+        let policy = match args.str_flag("fsync") {
+            None => dbp_obs::FsyncPolicy::Always,
+            Some(spec) => dbp_obs::FsyncPolicy::parse(spec).map_err(|e| format!("--fsync: {e}"))?,
+        };
+        let probe = dbp_obs::JournalProbe::create(std::path::Path::new(path), policy)
+            .map_err(|e| format!("{path}: {e}"))?;
+        Ok(MaybeJournal {
+            probe: Some(probe),
+            path: path.to_string(),
+        })
+    }
+
+    /// Seal the journal, surfacing any write error latched during the run.
+    fn finish(self) -> Result<(), String> {
+        if let Some(probe) = self.probe {
+            let records = probe.finish().map_err(|e| format!("{}: {e}", self.path))?;
+            println!("journal saved to {} ({records} records)", self.path);
+        }
+        Ok(())
+    }
+}
+
+impl Probe for MaybeJournal {
+    fn record(&mut self, event: ProbeEvent) {
+        if let Some(probe) = &mut self.probe {
+            probe.record(event);
+        }
+    }
 }
 
 /// Resolve a `--faults` spec: a `.json` file holding a serialized
@@ -343,23 +433,33 @@ fn cmd_run_faults(
         .map(|t| t.raw())
         .unwrap_or(0);
     let plan = load_fault_plan(spec, horizon)?;
-    let sys = dbp_cloudsim::GamingSystem {
-        server: dbp_cloudsim::ServerType {
-            gpu_capacity: inst.capacity().raw(),
-            ..dbp_cloudsim::ServerType::default_gpu_vm()
-        },
-        granularity: dbp_cloudsim::Granularity::PerTick,
-    };
-    let resilient = dbp_cloudsim::ResilientSystem::new(sys, plan.clone());
-    let observing = args.has("trace-events") || args.has("metrics");
-    let mut probe = (dbp_obs::EventLog::new(), dbp_obs::MetricsProbe::new());
+    let resilient = dbp_cloudsim::ResilientSystem::new(paper_gaming_system(inst), plan.clone());
+    let observing = args.has("trace-events")
+        || args.has("metrics")
+        || args.has("journal")
+        || args.has("run-manifest");
+    let started = std::time::Instant::now();
+    let mut probe = (
+        (dbp_obs::EventLog::new(), dbp_obs::MetricsProbe::new()),
+        MaybeJournal::open(args)?,
+    );
     let report = if observing {
         resilient.run_probed(inst, sel, &mut probe)
     } else {
         resilient.run(inst, sel)
     }
     .map_err(|e| e.to_string())?;
-    let (event_log, metrics_probe) = probe;
+    let wall = started.elapsed();
+    let ((event_log, metrics_probe), journal) = probe;
+    journal.finish()?;
+    if let Some(path) = args.str_flag("run-manifest") {
+        // No packing trace here, so no exact cost: `recover --faults`
+        // re-derives the report by verified re-execution instead.
+        let manifest = dbp_obs::RunManifest::capture(sel.name(), None, inst, wall);
+        dbp_obs::export::write_json(std::path::Path::new(path), &manifest)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("manifest saved to {path}");
+    }
     if let Some(path) = args.str_flag("trace-events") {
         dbp_obs::export::write_jsonl(std::path::Path::new(path), event_log.events())
             .map_err(|e| format!("{path}: {e}"))?;
@@ -406,6 +506,220 @@ fn cmd_run_faults(
         "bill           : {:.2} USD",
         report.cost_cents.to_f64() / 100.0
     );
+    Ok(())
+}
+
+/// `dbp recover JOURNAL`: audit a write-ahead journal from `run --journal`.
+///
+/// Always: read the journal tolerating a torn tail frame (`--repair`
+/// truncates it on disk), replay the event stream checking every structural
+/// invariant, and recompute the exact integer cost from the events alone.
+///
+/// With `--trace FILE` (the instance the run packed): rebuild an engine
+/// snapshot at the last complete-operation boundary and resume the
+/// interrupted run — `--resume-jsonl OUT` writes the journaled prefix plus
+/// the continuation, byte-identical to an uninterrupted run's stream. A
+/// journal carrying fault-injection events instead needs `--faults` (the
+/// original plan) and recovers by verified deterministic re-execution.
+///
+/// With `--manifest FILE` (from `run --run-manifest`): diff the replayed
+/// run against the recorded provenance — algorithm, item count, instance
+/// digest, and exact cost — and fail on any disagreement.
+fn cmd_recover(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("missing journal argument (a .wal file from run --journal)")?;
+    let contents = dbp_obs::journal::read_journal(std::path::Path::new(path))?;
+    match &contents.torn {
+        Some(torn) => {
+            println!(
+                "journal        : torn tail — {} (sound prefix {} bytes)",
+                torn.reason, torn.sound_len
+            );
+            if args.has("repair") {
+                dbp_obs::journal::repair_journal(std::path::Path::new(path))?;
+                println!("repaired       : truncated to {} bytes", torn.sound_len);
+            }
+        }
+        None => println!("journal        : clean"),
+    }
+    let fault_events = contents
+        .events
+        .iter()
+        .filter(|e| e.is_fault_event())
+        .count();
+    println!("events         : {}", contents.events.len());
+    // A fault-injection stream breaks the engine's structural invariants by
+    // design (crashed bins vanish, their sessions reopen elsewhere), so its
+    // audit is the verified re-execution below, not the replay walk.
+    let summary = if fault_events == 0 {
+        let s = dbp_obs::replay::replay_events(&contents.events)
+            .map_err(|e| format!("{path}: audit failed: {e}"))?;
+        println!(
+            "items          : {} arrived, {} placed, {} departed",
+            s.arrivals, s.placements, s.departures
+        );
+        println!(
+            "bins           : {} opened, {} closed, {} still open (peak {})",
+            s.bins_opened, s.bins_closed, s.open_at_end, s.max_open
+        );
+        if s.violations > 0 {
+            println!("carried        : {} violations", s.violations);
+        }
+        println!(
+            "replayed cost  : {} bin-ticks ({})",
+            s.cost_ticks,
+            if s.is_complete() {
+                "complete run"
+            } else {
+                "closed bins only — run was interrupted"
+            }
+        );
+        Some(s)
+    } else {
+        println!(
+            "audit          : {fault_events} fault events — a resilient-dispatch journal; \
+             pass --trace and --faults to audit by verified re-execution"
+        );
+        None
+    };
+    let complete = summary.as_ref().is_some_and(|s| s.is_complete());
+
+    // With the original instance in hand, finish what the journal started.
+    let mut final_cost = complete.then(|| summary.as_ref().unwrap().cost_ticks);
+    let mut algorithm_used: Option<String> = None;
+    let mut trace_digest: Option<String> = None;
+    if let Some(trace_path) = args.str_flag("trace") {
+        let body = std::fs::read_to_string(trace_path).map_err(|e| format!("{trace_path}: {e}"))?;
+        let inst: Instance =
+            serde_json::from_str(&body).map_err(|e| format!("{trace_path}: {e}"))?;
+        trace_digest = Some(dbp_obs::manifest::instance_digest(&inst));
+        let algo = args.str_flag("algo").unwrap_or("ff");
+        let mut sel = selector_by_name(algo, mu_hint(&inst))?;
+        algorithm_used = Some(sel.name().to_string());
+        if fault_events > 0 {
+            let spec = args.str_flag("faults").ok_or(
+                "journal carries fault-injection events; pass --faults SEED|PLAN.json \
+                 matching the original run",
+            )?;
+            let horizon = dbp_core::events::event_ticks(&inst)
+                .last()
+                .map(|t| t.raw())
+                .unwrap_or(0);
+            let plan = load_fault_plan(spec, horizon)?;
+            let resilient = dbp_cloudsim::ResilientSystem::new(paper_gaming_system(&inst), plan);
+            let mut log = dbp_obs::EventLog::new();
+            let out = resilient
+                .recover_probed(&inst, &mut *sel, &mut log, &contents.events)
+                .map_err(|e| format!("recovery failed: {e}"))?;
+            println!(
+                "recovery       : {} journaled events verified, {} re-derived",
+                out.events_replayed, out.events_appended
+            );
+            println!(
+                "report         : {}/{} sessions served, {} crashes, {} re-dispatched",
+                out.report.sessions_served,
+                out.report.sessions_total,
+                out.report.crashes,
+                out.report.redispatches
+            );
+            if let Some(out_path) = args.str_flag("resume-jsonl") {
+                let mut combined = dbp_obs::export::events_to_jsonl(&contents.events);
+                combined.push_str(&dbp_obs::export::events_to_jsonl(log.events()));
+                dbp_obs::export::atomic_write(std::path::Path::new(out_path), combined.as_bytes())
+                    .map_err(|e| format!("{out_path}: {e}"))?;
+                println!("combined stream saved to {out_path}");
+            }
+        } else {
+            if args.has("faults") {
+                return Err("--faults given but the journal carries no fault events".into());
+            }
+            let alg = sel.name().to_string();
+            let rec = dbp_obs::replay::snapshot_from_events(&inst, &alg, &contents.events)
+                .map_err(|e| format!("recovery failed: {e}"))?;
+            println!(
+                "snapshot       : at event {} ({} trailing partial events dropped)",
+                rec.events_used, rec.events_dropped
+            );
+            let mut log = dbp_obs::EventLog::new();
+            let trace = simulate_resumed_probed(&inst, &mut *sel, &mut log, &rec.snapshot)
+                .map_err(|e| format!("resume failed: {e}"))?;
+            println!(
+                "resumed cost   : {} bin-ticks ({} continuation events)",
+                trace.total_cost_ticks(),
+                log.len()
+            );
+            final_cost = Some(trace.total_cost_ticks());
+            if let Some(out_path) = args.str_flag("resume-jsonl") {
+                let mut combined =
+                    dbp_obs::export::events_to_jsonl(&contents.events[..rec.events_used]);
+                combined.push_str(&dbp_obs::export::events_to_jsonl(log.events()));
+                dbp_obs::export::atomic_write(std::path::Path::new(out_path), combined.as_bytes())
+                    .map_err(|e| format!("{out_path}: {e}"))?;
+                println!("combined stream saved to {out_path}");
+            }
+        }
+    } else if args.has("resume-jsonl") {
+        return Err("--resume-jsonl needs --trace FILE (the instance the run packed)".into());
+    }
+
+    // Diff everything the journal could recompute against the recorded
+    // provenance; any disagreement is a hard failure.
+    if let Some(manifest_path) = args.str_flag("manifest") {
+        let body =
+            std::fs::read_to_string(manifest_path).map_err(|e| format!("{manifest_path}: {e}"))?;
+        let recorded: dbp_obs::RunManifest =
+            serde_json::from_str(&body).map_err(|e| format!("{manifest_path}: {e}"))?;
+        let mut mismatches: Vec<String> = Vec::new();
+        match (recorded.total_cost_ticks, final_cost) {
+            (Some(want), Some(got)) if want != got => mismatches.push(format!(
+                "total cost: manifest records {want} bin-ticks, journal replays to {got}"
+            )),
+            (Some(want), Some(_)) => {
+                println!("cost check     : OK ({want} bin-ticks, recomputed exactly)");
+            }
+            (Some(_), None) => mismatches.push(
+                "total cost: journal is an incomplete prefix; pass --trace FILE to \
+                 resume the run and recompute it"
+                    .into(),
+            ),
+            (None, _) => println!("cost check     : manifest records no cost (skipped)"),
+        }
+        if let Some(s) = &summary {
+            if s.is_complete() && s.arrivals != recorded.n_items {
+                mismatches.push(format!(
+                    "items: manifest records {}, journal replays {}",
+                    recorded.n_items, s.arrivals
+                ));
+            }
+        }
+        if let Some(alg) = &algorithm_used {
+            if *alg != recorded.algorithm {
+                mismatches.push(format!(
+                    "algorithm: manifest records {}, recovery used {alg} (pass --algo)",
+                    recorded.algorithm
+                ));
+            }
+        }
+        if let Some(digest) = &trace_digest {
+            if *digest != recorded.instance_digest {
+                mismatches.push(format!(
+                    "instance digest: manifest records {}, --trace hashes to {digest}",
+                    recorded.instance_digest
+                ));
+            } else {
+                println!("digest check   : OK ({digest})");
+            }
+        }
+        if !mismatches.is_empty() {
+            return Err(format!(
+                "manifest {manifest_path} disagrees with the journal:\n  {}",
+                mismatches.join("\n  ")
+            ));
+        }
+        println!("manifest check : OK");
+    }
     Ok(())
 }
 

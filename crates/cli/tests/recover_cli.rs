@@ -1,0 +1,262 @@
+//! End-to-end tests of the crash-recovery CLI surface: `run --journal` /
+//! `--run-manifest` and the `recover` subcommand, through a real process.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn dbp(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dbp"))
+        .args(args)
+        .output()
+        .expect("failed to spawn dbp")
+}
+
+fn tmpdir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dbp-recover-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn path(dir: &std::path::Path, name: &str) -> String {
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+fn stdout(o: &Output) -> String {
+    assert!(
+        o.status.success(),
+        "command failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&o.stdout),
+        String::from_utf8_lossy(&o.stderr)
+    );
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr_of_failure(o: &Output) -> String {
+    assert!(
+        !o.status.success(),
+        "command unexpectedly succeeded:\nstdout: {}",
+        String::from_utf8_lossy(&o.stdout)
+    );
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+/// Generate an instance and run it with a journal + manifest; returns
+/// (trace path, journal path, manifest path).
+fn journaled_run(dir: &std::path::Path, stem: &str) -> (String, String, String) {
+    let tr = path(dir, &format!("{stem}.json"));
+    let wal = path(dir, &format!("{stem}.wal"));
+    let man = path(dir, &format!("{stem}.manifest.json"));
+    stdout(&dbp(&[
+        "generate", "mu", "--mu", "10", "--n", "60", "--seed", "7", "--out", &tr,
+    ]));
+    // `--fsync never`: these tests exercise the format, not durability.
+    let out = stdout(&dbp(&[
+        "run",
+        &tr,
+        "--algo",
+        "ff",
+        "--journal",
+        &wal,
+        "--fsync",
+        "never",
+        "--run-manifest",
+        &man,
+    ]));
+    assert!(out.contains("journal saved to"), "{out}");
+    assert!(out.contains("manifest saved to"), "{out}");
+    (tr, wal, man)
+}
+
+#[test]
+fn recover_audits_a_clean_journal_against_its_manifest() {
+    let dir = tmpdir();
+    let (tr, wal, man) = journaled_run(&dir, "clean");
+    let out = stdout(&dbp(&["recover", &wal, "--trace", &tr, "--manifest", &man]));
+    assert!(out.contains("journal        : clean"), "{out}");
+    assert!(out.contains("complete run"), "{out}");
+    assert!(out.contains("cost check     : OK"), "{out}");
+    assert!(out.contains("digest check   : OK"), "{out}");
+    assert!(out.contains("manifest check : OK"), "{out}");
+}
+
+#[test]
+fn recover_resumes_a_torn_journal_to_a_byte_identical_stream() {
+    let dir = tmpdir();
+    let (tr, wal, man) = journaled_run(&dir, "torn");
+    // Reference JSONL stream from an uninterrupted probed run.
+    let reference = path(&dir, "reference.jsonl");
+    stdout(&dbp(&[
+        "run",
+        &tr,
+        "--algo",
+        "ff",
+        "--trace-events",
+        &reference,
+    ]));
+    // Tear the journal mid-frame, as a SIGKILL mid-append would.
+    let bytes = std::fs::read(&wal).unwrap();
+    let torn = path(&dir, "torn.wal");
+    std::fs::write(&torn, &bytes[..bytes.len() / 2 - 3]).unwrap();
+    let combined = path(&dir, "combined.jsonl");
+    let out = stdout(&dbp(&[
+        "recover",
+        &torn,
+        "--trace",
+        &tr,
+        "--manifest",
+        &man,
+        "--resume-jsonl",
+        &combined,
+        "--repair",
+    ]));
+    assert!(out.contains("torn tail"), "{out}");
+    assert!(out.contains("repaired"), "{out}");
+    // The resumed run recomputes the exact recorded cost...
+    assert!(out.contains("cost check     : OK"), "{out}");
+    // ...and prefix + continuation is the uninterrupted stream, bytewise.
+    assert_eq!(
+        std::fs::read(&combined).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "combined stream differs from the uninterrupted run"
+    );
+    // --repair truncated the torn frame: the file now reads back clean.
+    let out = stdout(&dbp(&["recover", &torn]));
+    assert!(out.contains("journal        : clean"), "{out}");
+}
+
+#[test]
+fn recover_fails_on_a_manifest_that_disagrees() {
+    let dir = tmpdir();
+    let (tr, wal, man) = journaled_run(&dir, "diff");
+    // Tamper with the recorded cost.
+    let body = std::fs::read_to_string(&man).unwrap();
+    let cost: u128 = body
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"total_cost_ticks\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .expect("manifest records a cost");
+    let bad = path(&dir, "bad.manifest.json");
+    std::fs::write(
+        &bad,
+        body.replace(&cost.to_string(), &(cost + 1).to_string()),
+    )
+    .unwrap();
+    let err = stderr_of_failure(&dbp(&["recover", &wal, "--manifest", &bad]));
+    assert!(err.contains("disagrees"), "{err}");
+    assert!(err.contains("total cost"), "{err}");
+    // A wrong --algo is caught through the manifest's recorded algorithm.
+    let err = stderr_of_failure(&dbp(&[
+        "recover",
+        &wal,
+        "--trace",
+        &tr,
+        "--manifest",
+        &man,
+        "--algo",
+        "bf",
+    ]));
+    assert!(err.contains("algorithm: manifest records FF"), "{err}");
+    // An incomplete journal cannot satisfy a cost check without --trace.
+    let bytes = std::fs::read(&wal).unwrap();
+    let torn = path(&dir, "diff-torn.wal");
+    std::fs::write(&torn, &bytes[..bytes.len() / 2]).unwrap();
+    let err = stderr_of_failure(&dbp(&["recover", &torn, "--manifest", &man]));
+    assert!(err.contains("incomplete prefix"), "{err}");
+}
+
+#[test]
+fn recover_reexecutes_fault_journals_and_rejects_foreign_plans() {
+    let dir = tmpdir();
+    let tr = path(&dir, "faulty.json");
+    stdout(&dbp(&[
+        "generate", "mu", "--mu", "10", "--n", "60", "--seed", "7", "--out", &tr,
+    ]));
+    let wal = path(&dir, "faulty.wal");
+    stdout(&dbp(&[
+        "run",
+        &tr,
+        "--algo",
+        "ff",
+        "--faults",
+        "42",
+        "--journal",
+        &wal,
+        "--fsync",
+        "never",
+    ]));
+    let reference = path(&dir, "faulty-ref.jsonl");
+    stdout(&dbp(&[
+        "run",
+        &tr,
+        "--algo",
+        "ff",
+        "--faults",
+        "42",
+        "--trace-events",
+        &reference,
+    ]));
+    // Tear the journal and recover by verified re-execution.
+    let bytes = std::fs::read(&wal).unwrap();
+    let torn = path(&dir, "faulty-torn.wal");
+    std::fs::write(&torn, &bytes[..bytes.len() * 2 / 3]).unwrap();
+    let combined = path(&dir, "faulty-combined.jsonl");
+    let out = stdout(&dbp(&[
+        "recover",
+        &torn,
+        "--trace",
+        &tr,
+        "--faults",
+        "42",
+        "--resume-jsonl",
+        &combined,
+    ]));
+    assert!(out.contains("events verified"), "{out}");
+    assert_eq!(
+        std::fs::read(&combined).unwrap(),
+        std::fs::read(&reference).unwrap(),
+        "combined fault stream differs from the uninterrupted run"
+    );
+    // A journal from one plan must not recover under another.
+    let err = stderr_of_failure(&dbp(&["recover", &torn, "--trace", &tr, "--faults", "43"]));
+    assert!(err.contains("diverges"), "{err}");
+}
+
+#[test]
+fn journal_flag_validation() {
+    let dir = tmpdir();
+    let tr = path(&dir, "flags.json");
+    stdout(&dbp(&[
+        "generate", "mu", "--mu", "10", "--n", "20", "--seed", "1", "--out", &tr,
+    ]));
+    // --fsync without --journal is rejected.
+    let err = stderr_of_failure(&dbp(&["run", &tr, "--algo", "ff", "--fsync", "always"]));
+    assert!(err.contains("--fsync"), "{err}");
+    // A bad --fsync spelling is rejected.
+    let wal = path(&dir, "flags.wal");
+    let err = stderr_of_failure(&dbp(&[
+        "run",
+        &tr,
+        "--algo",
+        "ff",
+        "--journal",
+        &wal,
+        "--fsync",
+        "sometimes",
+    ]));
+    assert!(err.contains("--fsync"), "{err}");
+    // The EveryN policy parses and runs.
+    let out = stdout(&dbp(&[
+        "run",
+        &tr,
+        "--algo",
+        "ff",
+        "--journal",
+        &wal,
+        "--fsync",
+        "8",
+    ]));
+    assert!(out.contains("journal saved to"), "{out}");
+    // --resume-jsonl without --trace cannot work.
+    let err = stderr_of_failure(&dbp(&["recover", &wal, "--resume-jsonl", &wal]));
+    assert!(err.contains("--trace"), "{err}");
+}

@@ -95,7 +95,16 @@ impl RetryPolicy {
     /// Deterministic backoff (without jitter) after `failed_attempts`
     /// attempts have failed.
     pub fn backoff_ticks(&self, failed_attempts: u32) -> u64 {
-        let exp = failed_attempts.saturating_sub(1).min(63);
+        if self.base == 0 {
+            return 0;
+        }
+        // Cap the exponent *before* shifting: `1u64 << exp` is only defined
+        // for exp < 64, and any exponent that large is already past every
+        // representable cap.
+        let exp = failed_attempts.saturating_sub(1);
+        if exp >= 64 {
+            return self.cap;
+        }
         self.base.saturating_mul(1u64 << exp).min(self.cap)
     }
 }
@@ -1321,5 +1330,28 @@ mod tests {
         let p = RetryPolicy::default();
         let seq: Vec<u64> = (1..8).map(|k| p.backoff_ticks(k)).collect();
         assert_eq!(seq, vec![4, 8, 16, 32, 64, 64, 64]);
+    }
+
+    #[test]
+    fn backoff_never_overflows_at_extreme_attempt_counts() {
+        let p = RetryPolicy::default();
+        // Exponents at and past the shift-width boundary stay at the cap.
+        for k in [63, 64, 65, 66, 1_000, u32::MAX] {
+            assert_eq!(p.backoff_ticks(k), p.cap, "attempt {k}");
+        }
+        // A zero base backs off by zero no matter the attempt count.
+        let zero = RetryPolicy {
+            base: 0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(zero.backoff_ticks(u32::MAX), 0);
+        // A huge base is still capped from the first retry.
+        let huge = RetryPolicy {
+            base: u64::MAX,
+            cap: 100,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(huge.backoff_ticks(1), 100);
+        assert_eq!(huge.backoff_ticks(u32::MAX), 100);
     }
 }

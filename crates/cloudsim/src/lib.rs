@@ -14,7 +14,10 @@
 //! * [`faults`] — seeded, fully deterministic fault injection:
 //!   [`FaultPlan`] (crashes, flaky provisioning, dispatch rejections) and
 //!   [`ResilientSystem`], which retries, re-dispatches orphans, and
-//!   accounts every dropped or interrupted session.
+//!   accounts every dropped or interrupted session;
+//! * [`recover`] — dispatcher crash recovery: verified deterministic
+//!   re-execution from a journaled event prefix
+//!   ([`ResilientSystem::recover_probed`](faults::ResilientSystem::recover_probed)).
 //!
 //! [`BinSelector`]: dbp_core::packer::BinSelector
 
@@ -36,6 +39,7 @@
 
 pub mod billing;
 pub mod faults;
+pub mod recover;
 pub mod system;
 
 pub use billing::{billed_ticks, rental_cost_cents, Granularity, ServerType, TICKS_PER_HOUR};
@@ -43,4 +47,5 @@ pub use faults::{
     AdmissionPolicy, CrashEvent, FaultConfig, FaultPlan, ResilientReport, ResilientSystem,
     RetryPolicy,
 };
+pub use recover::{RecoveryOutcome, VerifyProbe};
 pub use system::{DispatchError, GamingSystem, SystemReport};

@@ -140,6 +140,12 @@ impl BinSelector for IndexedFirstFit {
         false
     }
 
+    fn on_decision_replayed(&mut self, _item: &ArrivingItem, _decision: Decision, capacity: Size) {
+        // `select` learns the capacity on its first call; replay must seed
+        // it the same way or the hooks below cannot compute residuals.
+        self.capacity = Some(capacity);
+    }
+
     fn on_bin_opened(&mut self, bin: BinId, _tag: BinTag, level: Size) {
         self.tree.set(bin.0, self.residual(level));
     }

@@ -3,13 +3,23 @@
 //! The engine replays an instance's event schedule, consults a
 //! [`BinSelector`] on every arrival, maintains open-bin state, and records a
 //! [`PackingTrace`]. All accounting is exact integer arithmetic.
+//!
+//! Two entry points exist: the one-shot [`simulate_probed`] (the hot path —
+//! identical codegen to the pre-stepping engine), and the stepping
+//! [`EngineRun`] used by crash-safe drivers that need to [`snapshot`] the
+//! engine mid-run and [`resume`] it later. Both process the same schedule
+//! event-by-event and produce identical traces and probe event streams.
+//!
+//! [`snapshot`]: EngineRun::snapshot
+//! [`resume`]: EngineRun::resume
 
 use crate::bin::{BinId, OpenBinView};
-use crate::events::{schedule, EventKind};
+use crate::events::{schedule, Event, EventKind};
 use crate::instance::Instance;
 use crate::item::{ArrivingItem, ItemId, Size};
 use crate::packer::{BinSelector, Decision};
 use crate::probe::{NoProbe, Probe, ProbeEvent};
+use crate::snapshot::Snapshot;
 use crate::time::Tick;
 use crate::trace::{BinRecord, PackingTrace};
 
@@ -37,243 +47,652 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
     selector: &mut S,
     probe: &mut P,
 ) -> PackingTrace {
-    let capacity = instance.capacity();
-    let events = schedule(instance);
+    EngineRun::new(instance, selector, probe).finish()
+}
 
-    // Dense per-bin state, indexed directly by bin id (ids are assigned
-    // 0, 1, 2, … in opening order and never reused), so departures and
-    // placements touch their bin in O(1) with no search.
-    let mut levels: Vec<Size> = Vec::new();
-    let mut bin_items: Vec<Vec<ItemId>> = Vec::new();
-    let mut is_open: Vec<bool> = Vec::new();
-    let mut open_count: usize = 0;
-    // Each packed item's slot in its bin's item list, so a departure finds
-    // it in O(1) instead of scanning (`swap_remove` keeps the slot map
-    // exact by re-homing the displaced last item).
-    let mut slot: Vec<u32> = vec![0; instance.len()];
-    // Selector-facing mirror of the open set, ascending id, updated
-    // incrementally (one entry per state change instead of a full rebuild
-    // per arrival). Skipped entirely when the selector answers from its own
-    // hook-maintained index and no probe needs scan ranks.
-    let keep_views = P::ENABLED || selector.needs_views();
-    let mut views: Vec<OpenBinView> = Vec::new();
-    // Full per-bin records; index == bin id.
-    let mut records: Vec<BinRecord> = Vec::new();
-    let mut assignment: Vec<Option<BinId>> = vec![None; instance.len()];
-    let mut steps: Vec<(Tick, u32)> = Vec::new();
+/// Resume a run from `snapshot` and drive it to completion. Convenience
+/// wrapper over [`EngineRun::resume`] + [`EngineRun::finish`]: the returned
+/// trace, and the probe events emitted from the snapshot point onward, are
+/// identical to the corresponding suffix of an uninterrupted run.
+pub fn simulate_resumed_probed<S: BinSelector + ?Sized, P: Probe>(
+    instance: &Instance,
+    selector: &mut S,
+    probe: &mut P,
+    snapshot: &Snapshot,
+) -> Result<PackingTrace, String> {
+    Ok(EngineRun::resume(instance, selector, probe, snapshot)?.finish())
+}
 
-    let mut i = 0;
-    while i < events.len() {
-        let tick = events[i].at;
-        // Process every event at this tick (departures first — the schedule
-        // is ordered that way).
-        while i < events.len() && events[i].at == tick {
-            let ev = events[i];
-            i += 1;
-            match ev.kind {
-                EventKind::Departure => {
-                    let item = instance.item(ev.item);
-                    let bin_id = assignment[ev.item.index()]
-                        .expect("departure for an item that was never packed");
-                    let b = bin_id.index();
-                    assert!(is_open[b], "departure from a closed bin");
-                    levels[b] -= item.size;
-                    let s = slot[ev.item.index()] as usize;
-                    let items = &mut bin_items[b];
-                    debug_assert_eq!(items[s], ev.item, "slot map out of sync");
-                    items.swap_remove(s);
-                    if let Some(&moved) = items.get(s) {
-                        slot[moved.index()] = s as u32;
-                    }
-                    let emptied = items.is_empty();
-                    if keep_views {
-                        let vpos = views
-                            .binary_search_by_key(&bin_id, |v| v.id)
-                            .expect("open bin missing from view mirror");
-                        if emptied {
-                            views.remove(vpos);
-                        } else {
-                            views[vpos].level = levels[b];
-                            views[vpos].n_items -= 1;
-                        }
-                    }
+/// Dense per-bin engine state, indexed directly by bin id (ids are assigned
+/// 0, 1, 2, … in opening order and never reused), so departures and
+/// placements touch their bin in O(1) with no search. This is exactly the
+/// state a [`Snapshot`] captures.
+struct State {
+    /// Index of the next schedule event to process.
+    cursor: usize,
+    levels: Vec<Size>,
+    bin_items: Vec<Vec<ItemId>>,
+    is_open: Vec<bool>,
+    open_count: usize,
+    /// Each packed item's slot in its bin's item list, so a departure finds
+    /// it in O(1) instead of scanning (`swap_remove` keeps the slot map
+    /// exact by re-homing the displaced last item).
+    slot: Vec<u32>,
+    /// Selector-facing mirror of the open set, ascending id, updated
+    /// incrementally (one entry per state change instead of a full rebuild
+    /// per arrival). Skipped entirely when the selector answers from its own
+    /// hook-maintained index and no probe needs scan ranks. Not part of a
+    /// snapshot: it is rebuilt deterministically during replay.
+    views: Vec<OpenBinView>,
+    /// Full per-bin records; index == bin id.
+    records: Vec<BinRecord>,
+    assignment: Vec<Option<BinId>>,
+    steps: Vec<(Tick, u32)>,
+}
+
+impl State {
+    fn new(instance: &Instance) -> State {
+        State {
+            cursor: 0,
+            levels: Vec::new(),
+            bin_items: Vec::new(),
+            is_open: Vec::new(),
+            open_count: 0,
+            slot: vec![0; instance.len()],
+            views: Vec::new(),
+            records: Vec::new(),
+            assignment: vec![None; instance.len()],
+            steps: Vec::new(),
+        }
+    }
+
+    /// Process one departure: remove the item from its bin, closing the bin
+    /// if it empties.
+    fn apply_departure<S: BinSelector + ?Sized, P: Probe>(
+        &mut self,
+        instance: &Instance,
+        selector: &mut S,
+        probe: &mut P,
+        keep_views: bool,
+        tick: Tick,
+        item_id: ItemId,
+    ) {
+        let item = instance.item(item_id);
+        let bin_id =
+            self.assignment[item_id.index()].expect("departure for an item that was never packed");
+        let b = bin_id.index();
+        assert!(self.is_open[b], "departure from a closed bin");
+        self.levels[b] -= item.size;
+        let s = self.slot[item_id.index()] as usize;
+        let items = &mut self.bin_items[b];
+        debug_assert_eq!(items[s], item_id, "slot map out of sync");
+        items.swap_remove(s);
+        if let Some(&moved) = items.get(s) {
+            self.slot[moved.index()] = s as u32;
+        }
+        let emptied = self.bin_items[b].is_empty();
+        if keep_views {
+            let vpos = self
+                .views
+                .binary_search_by_key(&bin_id, |v| v.id)
+                .expect("open bin missing from view mirror");
+            if emptied {
+                self.views.remove(vpos);
+            } else {
+                self.views[vpos].level = self.levels[b];
+                self.views[vpos].n_items -= 1;
+            }
+        }
+        if P::ENABLED {
+            probe.record(ProbeEvent::ItemDeparted {
+                at: tick,
+                item: item_id,
+                bin: bin_id,
+                level: self.levels[b],
+            });
+        }
+        selector.on_item_departed(bin_id, self.levels[b]);
+        if emptied {
+            debug_assert_eq!(self.levels[b].raw(), 0, "empty bin with nonzero level");
+            self.records[b].closed_at = tick;
+            if P::ENABLED {
+                probe.record(ProbeEvent::BinClosed {
+                    at: tick,
+                    bin: bin_id,
+                    open_ticks: tick.0 - self.records[b].opened_at.0,
+                });
+            }
+            self.is_open[b] = false;
+            self.open_count -= 1;
+            selector.on_bin_closed(bin_id);
+        }
+    }
+
+    /// Apply an already-made decision for an arriving item: validate it,
+    /// update bin state, emit probe events, and notify the selector.
+    #[allow(clippy::too_many_arguments)] // internal seam shared by run/resume
+    fn apply_arrival<S: BinSelector + ?Sized, P: Probe>(
+        &mut self,
+        instance: &Instance,
+        selector: &mut S,
+        probe: &mut P,
+        keep_views: bool,
+        capacity: Size,
+        tick: Tick,
+        item_id: ItemId,
+        decision: Decision,
+    ) {
+        let item = instance.item(item_id);
+        let bin_id = match decision {
+            Decision::Use(id) => {
+                let b = id.index();
+                assert!(
+                    b < self.is_open.len() && self.is_open[b],
+                    "{}: selected bin {id} is not open",
+                    selector.name()
+                );
+                assert!(
+                    self.levels[b]
+                        .checked_add(item.size)
+                        .is_some_and(|l| l <= capacity),
+                    "{}: item {} (size {}) does not fit bin {} (level {})",
+                    selector.name(),
+                    item.id,
+                    item.size,
+                    id,
+                    self.levels[b]
+                );
+                self.levels[b] += item.size;
+                self.slot[item_id.index()] = self.bin_items[b].len() as u32;
+                self.bin_items[b].push(item_id);
+                self.records[b].items.push(item_id);
+                if keep_views {
+                    let vpos = self
+                        .views
+                        .binary_search_by_key(&id, |v| v.id)
+                        .expect("open bin missing from view mirror");
+                    self.views[vpos].level = self.levels[b];
+                    self.views[vpos].n_items += 1;
                     if P::ENABLED {
-                        probe.record(ProbeEvent::ItemDeparted {
+                        // Scan depth of a reuse: the chosen bin's 1-based
+                        // position in opening order.
+                        probe.record(ProbeEvent::FitAttempt {
                             at: tick,
-                            item: ev.item,
-                            bin: bin_id,
-                            level: levels[b],
+                            item: item_id,
+                            bins_scanned: vpos as u32 + 1,
+                            open_bins: self.open_count as u32,
                         });
-                    }
-                    selector.on_item_departed(bin_id, levels[b]);
-                    if emptied {
-                        debug_assert_eq!(levels[b].raw(), 0, "empty bin with nonzero level");
-                        records[b].closed_at = tick;
-                        if P::ENABLED {
-                            probe.record(ProbeEvent::BinClosed {
-                                at: tick,
-                                bin: bin_id,
-                                open_ticks: tick.0 - records[b].opened_at.0,
-                            });
-                        }
-                        is_open[b] = false;
-                        open_count -= 1;
-                        selector.on_bin_closed(bin_id);
+                        probe.record(ProbeEvent::ItemPlaced {
+                            at: tick,
+                            item: item_id,
+                            bin: id,
+                            level: self.levels[b],
+                        });
                     }
                 }
-                EventKind::Arrival => {
-                    let item = instance.item(ev.item);
-                    let arriving = ArrivingItem::of(item);
-                    if P::ENABLED {
-                        probe.record(ProbeEvent::ItemArrived {
-                            at: tick,
-                            item: ev.item,
-                            size: item.size,
-                        });
-                    }
-                    // Timed span: the *whole* arrival handling — selection
-                    // plus placement bookkeeping — so `on_decision_ns`
-                    // reflects the per-arrival cost users actually observe.
-                    let started = if P::ENABLED {
-                        Some(std::time::Instant::now())
-                    } else {
-                        None
-                    };
-                    let decision = selector.select(&views, &arriving, capacity);
-                    let bin_id = match decision {
-                        Decision::Use(id) => {
-                            let b = id.index();
-                            assert!(
-                                b < is_open.len() && is_open[b],
-                                "{}: selected bin {id} is not open",
-                                selector.name()
-                            );
-                            assert!(
-                                levels[b]
-                                    .checked_add(item.size)
-                                    .is_some_and(|l| l <= capacity),
-                                "{}: item {} (size {}) does not fit bin {} (level {})",
-                                selector.name(),
-                                item.id,
-                                item.size,
-                                id,
-                                levels[b]
-                            );
-                            levels[b] += item.size;
-                            slot[ev.item.index()] = bin_items[b].len() as u32;
-                            bin_items[b].push(ev.item);
-                            records[b].items.push(ev.item);
-                            if keep_views {
-                                let vpos = views
-                                    .binary_search_by_key(&id, |v| v.id)
-                                    .expect("open bin missing from view mirror");
-                                views[vpos].level = levels[b];
-                                views[vpos].n_items += 1;
-                                if P::ENABLED {
-                                    // Scan depth of a reuse: the chosen
-                                    // bin's 1-based position in opening
-                                    // order.
-                                    probe.record(ProbeEvent::FitAttempt {
-                                        at: tick,
-                                        item: ev.item,
-                                        bins_scanned: vpos as u32 + 1,
-                                        open_bins: open_count as u32,
-                                    });
-                                    probe.record(ProbeEvent::ItemPlaced {
-                                        at: tick,
-                                        item: ev.item,
-                                        bin: id,
-                                        level: levels[b],
-                                    });
-                                }
-                            }
-                            selector.on_item_placed(id, levels[b]);
-                            id
-                        }
-                        Decision::Open { tag } => {
-                            let id = BinId(records.len() as u32);
-                            if P::ENABLED {
-                                // Scan depth of an open: every open bin was
-                                // (conceptually) scanned and rejected.
-                                probe.record(ProbeEvent::FitAttempt {
-                                    at: tick,
-                                    item: ev.item,
-                                    bins_scanned: open_count as u32,
-                                    open_bins: open_count as u32,
-                                });
-                                probe.record(ProbeEvent::BinOpened {
-                                    at: tick,
-                                    bin: id,
-                                    tag,
-                                    item: ev.item,
-                                });
-                                probe.record(ProbeEvent::ItemPlaced {
-                                    at: tick,
-                                    item: ev.item,
-                                    bin: id,
-                                    level: item.size,
-                                });
-                            }
-                            levels.push(item.size);
-                            bin_items.push(vec![ev.item]);
-                            is_open.push(true);
-                            open_count += 1;
-                            slot[ev.item.index()] = 0;
-                            if keep_views {
-                                // Ids are assigned in increasing order, so
-                                // pushing preserves the mirror's sortedness.
-                                views.push(OpenBinView {
-                                    id,
-                                    opened_at: tick,
-                                    level: item.size,
-                                    capacity,
-                                    n_items: 1,
-                                    tag,
-                                });
-                            }
-                            records.push(BinRecord {
-                                id,
-                                tag,
-                                opened_at: tick,
-                                // Placeholder; overwritten when the bin closes.
-                                closed_at: tick,
-                                items: vec![ev.item],
-                            });
-                            selector.on_bin_opened(id, tag, item.size);
-                            id
-                        }
-                    };
-                    assignment[ev.item.index()] = Some(bin_id);
-                    if let Some(started) = started {
-                        probe.on_decision_ns(started.elapsed().as_nanos() as u64);
-                    }
+                selector.on_item_placed(id, self.levels[b]);
+                id
+            }
+            Decision::Open { tag } => {
+                let id = BinId(self.records.len() as u32);
+                if P::ENABLED {
+                    // Scan depth of an open: every open bin was
+                    // (conceptually) scanned and rejected.
+                    probe.record(ProbeEvent::FitAttempt {
+                        at: tick,
+                        item: item_id,
+                        bins_scanned: self.open_count as u32,
+                        open_bins: self.open_count as u32,
+                    });
+                    probe.record(ProbeEvent::BinOpened {
+                        at: tick,
+                        bin: id,
+                        tag,
+                        item: item_id,
+                    });
+                    probe.record(ProbeEvent::ItemPlaced {
+                        at: tick,
+                        item: item_id,
+                        bin: id,
+                        level: item.size,
+                    });
+                }
+                self.levels.push(item.size);
+                self.bin_items.push(vec![item_id]);
+                self.is_open.push(true);
+                self.open_count += 1;
+                self.slot[item_id.index()] = 0;
+                if keep_views {
+                    // Ids are assigned in increasing order, so pushing
+                    // preserves the mirror's sortedness.
+                    self.views.push(OpenBinView {
+                        id,
+                        opened_at: tick,
+                        level: item.size,
+                        capacity,
+                        n_items: 1,
+                        tag,
+                    });
+                }
+                self.records.push(BinRecord {
+                    id,
+                    tag,
+                    opened_at: tick,
+                    // Placeholder; overwritten when the bin closes.
+                    closed_at: tick,
+                    items: vec![item_id],
+                });
+                selector.on_bin_opened(id, tag, item.size);
+                id
+            }
+        };
+        self.assignment[item_id.index()] = Some(bin_id);
+    }
+
+    /// Record the open-bin count after a tick's batch, if the event just
+    /// processed was the last one at `tick` and the count changed.
+    #[inline]
+    fn record_step_if_batch_end(&mut self, events: &[Event], tick: Tick) {
+        if self.cursor == events.len() || events[self.cursor].at != tick {
+            let n = self.open_count as u32;
+            match self.steps.last() {
+                Some(&(_, last_n)) if last_n == n => {}
+                _ => self.steps.push((tick, n)),
+            }
+        }
+    }
+}
+
+/// A stepping handle on one packing run: the crash-safe counterpart of
+/// [`simulate_probed`].
+///
+/// Drive it with [`step`](EngineRun::step) (one schedule event at a time),
+/// capture a [`Snapshot`] between steps, and [`finish`](EngineRun::finish)
+/// to obtain the trace. A run resumed from a snapshot via
+/// [`resume`](EngineRun::resume) continues *exactly* where the snapshot was
+/// taken: the remaining probe events and the final trace are identical to
+/// the corresponding parts of an uninterrupted run.
+pub struct EngineRun<'a, S: BinSelector + ?Sized, P: Probe> {
+    instance: &'a Instance,
+    capacity: Size,
+    events: Vec<Event>,
+    selector: &'a mut S,
+    probe: &'a mut P,
+    keep_views: bool,
+    st: State,
+}
+
+impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
+    /// Start a fresh run at the beginning of the schedule.
+    pub fn new(instance: &'a Instance, selector: &'a mut S, probe: &'a mut P) -> Self {
+        let keep_views = P::ENABLED || selector.needs_views();
+        EngineRun {
+            instance,
+            capacity: instance.capacity(),
+            events: schedule(instance),
+            selector,
+            probe,
+            keep_views,
+            st: State::new(instance),
+        }
+    }
+
+    /// Rebuild a run from a [`Snapshot`], positioned exactly where the
+    /// snapshot was taken.
+    ///
+    /// `selector` must be a **fresh** instance of the same algorithm
+    /// (same construction — including the seed, for randomized selectors)
+    /// that produced the snapshot. Its internal state is restored by
+    /// replaying the already-decided event prefix against it: every state
+    /// hook fires as in the original run, and
+    /// [`BinSelector::on_decision_replayed`] stands in for each `select`
+    /// call so select-time state (NF's current bin, RF's RNG cursor) is
+    /// advanced identically. The probe sees nothing during replay; events
+    /// emitted after this call are exactly the suffix an uninterrupted run
+    /// would have produced.
+    ///
+    /// Errors (never panics) if the snapshot is inconsistent with
+    /// `instance` and `selector`: wrong algorithm name, capacity or item
+    /// count, an impossible assignment, or replayed state that does not
+    /// reproduce the snapshot bit-for-bit.
+    pub fn resume(
+        instance: &'a Instance,
+        selector: &'a mut S,
+        probe: &'a mut P,
+        snapshot: &Snapshot,
+    ) -> Result<Self, String> {
+        let mut run = EngineRun::new(instance, selector, probe);
+        if snapshot.algorithm != run.selector.name() {
+            return Err(format!(
+                "snapshot algorithm {:?} does not match selector {:?}",
+                snapshot.algorithm,
+                run.selector.name()
+            ));
+        }
+        if snapshot.capacity != run.capacity {
+            return Err(format!(
+                "snapshot capacity {} does not match instance capacity {}",
+                snapshot.capacity, run.capacity
+            ));
+        }
+        if snapshot.n_items as usize != instance.len() {
+            return Err(format!(
+                "snapshot has {} items, instance has {}",
+                snapshot.n_items,
+                instance.len()
+            ));
+        }
+        if snapshot.cursor as usize > run.events.len() {
+            return Err(format!(
+                "snapshot cursor {} beyond schedule length {}",
+                snapshot.cursor,
+                run.events.len()
+            ));
+        }
+        if snapshot.assignment.len() != instance.len() {
+            return Err(format!(
+                "snapshot assignment covers {} items, instance has {}",
+                snapshot.assignment.len(),
+                instance.len()
+            ));
+        }
+        let tag_of = |b: usize| snapshot.records.get(b).map(|r| r.tag);
+        for k in 0..snapshot.cursor as usize {
+            run.replay_step(&snapshot.assignment, &tag_of)
+                .map_err(|e| format!("snapshot replay failed at event {k}: {e}"))?;
+        }
+        run.verify_state(snapshot)?;
+        Ok(run)
+    }
+
+    /// Process the next schedule event. Returns `false` when the schedule
+    /// is exhausted (the run is complete).
+    ///
+    /// # Panics
+    /// Same contract as [`simulate`]: an invalid selector decision panics.
+    pub fn step(&mut self) -> bool {
+        let Some(&ev) = self.events.get(self.st.cursor) else {
+            return false;
+        };
+        let tick = ev.at;
+        match ev.kind {
+            EventKind::Departure => {
+                self.st.apply_departure(
+                    self.instance,
+                    &mut *self.selector,
+                    &mut *self.probe,
+                    self.keep_views,
+                    tick,
+                    ev.item,
+                );
+            }
+            EventKind::Arrival => {
+                let item = self.instance.item(ev.item);
+                let arriving = ArrivingItem::of(item);
+                if P::ENABLED {
+                    self.probe.record(ProbeEvent::ItemArrived {
+                        at: tick,
+                        item: ev.item,
+                        size: item.size,
+                    });
+                }
+                // Timed span: the *whole* arrival handling — selection plus
+                // placement bookkeeping — so `on_decision_ns` reflects the
+                // per-arrival cost users actually observe.
+                let started = if P::ENABLED {
+                    Some(std::time::Instant::now())
+                } else {
+                    None
+                };
+                let decision = self
+                    .selector
+                    .select(&self.st.views, &arriving, self.capacity);
+                self.st.apply_arrival(
+                    self.instance,
+                    &mut *self.selector,
+                    &mut *self.probe,
+                    self.keep_views,
+                    self.capacity,
+                    tick,
+                    ev.item,
+                    decision,
+                );
+                if let Some(started) = started {
+                    self.probe
+                        .on_decision_ns(started.elapsed().as_nanos() as u64);
                 }
             }
         }
-        // Record the open-bin count after this tick's batch, if it changed.
-        let n = open_count as u32;
-        match steps.last() {
-            Some(&(_, last_n)) if last_n == n => {}
-            _ => steps.push((tick, n)),
+        self.st.cursor += 1;
+        self.st.record_step_if_batch_end(&self.events, tick);
+        true
+    }
+
+    /// Replay one already-decided event: departures run normally, arrivals
+    /// take their recorded decision instead of calling `select`. The probe
+    /// is bypassed (replayed events were already observed in the original
+    /// run) and every invalid condition is an `Err`, never a panic — a
+    /// corrupt snapshot must not take the recovering process down.
+    fn replay_step(
+        &mut self,
+        assignment: &[Option<BinId>],
+        tag_of: &dyn Fn(usize) -> Option<crate::bin::BinTag>,
+    ) -> Result<(), String> {
+        let Some(&ev) = self.events.get(self.st.cursor) else {
+            return Err("replay past end of schedule".to_string());
+        };
+        let tick = ev.at;
+        match ev.kind {
+            EventKind::Departure => {
+                let Some(bin) = self.st.assignment[ev.item.index()] else {
+                    return Err(format!("departure of unpacked item {}", ev.item));
+                };
+                if !self.st.is_open.get(bin.index()).copied().unwrap_or(false) {
+                    return Err(format!(
+                        "departure of item {} from closed bin {bin}",
+                        ev.item
+                    ));
+                }
+                self.st.apply_departure(
+                    self.instance,
+                    &mut *self.selector,
+                    &mut NoProbe,
+                    self.keep_views,
+                    tick,
+                    ev.item,
+                );
+            }
+            EventKind::Arrival => {
+                let item = self.instance.item(ev.item);
+                let arriving = ArrivingItem::of(item);
+                let Some(bin) = assignment.get(ev.item.index()).copied().flatten() else {
+                    return Err(format!("no recorded assignment for item {}", ev.item));
+                };
+                let b = bin.index();
+                let decision = if b == self.st.records.len() {
+                    let Some(tag) = tag_of(b) else {
+                        return Err(format!("no recorded tag for newly opened bin {bin}"));
+                    };
+                    Decision::Open { tag }
+                } else if b < self.st.records.len() {
+                    if !self.st.is_open[b] {
+                        return Err(format!("item {} assigned to closed bin {bin}", ev.item));
+                    }
+                    if self.st.levels[b]
+                        .checked_add(item.size)
+                        .is_none_or(|l| l > self.capacity)
+                    {
+                        return Err(format!(
+                            "item {} (size {}) does not fit bin {bin} (level {})",
+                            ev.item, item.size, self.st.levels[b]
+                        ));
+                    }
+                    Decision::Use(bin)
+                } else {
+                    return Err(format!(
+                        "item {} assigned to bin {bin} but only {} bins exist",
+                        ev.item,
+                        self.st.records.len()
+                    ));
+                };
+                self.selector
+                    .on_decision_replayed(&arriving, decision, self.capacity);
+                self.st.apply_arrival(
+                    self.instance,
+                    &mut *self.selector,
+                    &mut NoProbe,
+                    self.keep_views,
+                    self.capacity,
+                    tick,
+                    ev.item,
+                    decision,
+                );
+            }
+        }
+        self.st.cursor += 1;
+        self.st.record_step_if_batch_end(&self.events, tick);
+        Ok(())
+    }
+
+    /// Check that replayed state reproduces the snapshot exactly.
+    fn verify_state(&self, snapshot: &Snapshot) -> Result<(), String> {
+        let st = &self.st;
+        let same = st.levels == snapshot.levels
+            && st.bin_items == snapshot.bin_items
+            && st.is_open == snapshot.is_open
+            && st.open_count as u64 == snapshot.open_count
+            && st.slot == snapshot.slot
+            && st.records == snapshot.records
+            && st.assignment == snapshot.assignment
+            && st.steps == snapshot.steps;
+        if same {
+            Ok(())
+        } else {
+            Err(
+                "snapshot does not match deterministic replay of the event prefix \
+                 (wrong instance, wrong selector construction, or corrupted snapshot)"
+                    .to_string(),
+            )
         }
     }
 
-    assert!(
-        open_count == 0,
-        "engine invariant: all bins must close by the last departure"
-    );
-    debug_assert!(views.is_empty(), "view mirror leaked entries");
-
-    PackingTrace {
-        algorithm: selector.name().to_string(),
-        capacity,
-        bins: records,
-        assignment: assignment
-            .into_iter()
-            .map(|b| b.expect("unpacked item at end of simulation"))
-            .collect(),
-        open_bins_steps: steps,
+    /// Number of schedule events processed so far.
+    pub fn events_processed(&self) -> usize {
+        self.st.cursor
     }
+
+    /// Total number of events in the schedule (2× the item count).
+    pub fn events_total(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the whole schedule has been processed.
+    pub fn is_done(&self) -> bool {
+        self.st.cursor == self.events.len()
+    }
+
+    /// Capture the complete engine state at the current position. The view
+    /// mirror is intentionally excluded: it is a derived structure, rebuilt
+    /// deterministically on [`resume`](EngineRun::resume).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            algorithm: self.selector.name().to_string(),
+            capacity: self.capacity,
+            n_items: self.instance.len() as u64,
+            cursor: self.st.cursor as u64,
+            levels: self.st.levels.clone(),
+            bin_items: self.st.bin_items.clone(),
+            is_open: self.st.is_open.clone(),
+            open_count: self.st.open_count as u64,
+            slot: self.st.slot.clone(),
+            records: self.st.records.clone(),
+            assignment: self.st.assignment.clone(),
+            steps: self.st.steps.clone(),
+        }
+    }
+
+    /// Run the schedule to completion and produce the trace.
+    ///
+    /// # Panics
+    /// Same contract as [`simulate`].
+    pub fn finish(mut self) -> PackingTrace {
+        while self.step() {}
+        assert!(
+            self.st.open_count == 0,
+            "engine invariant: all bins must close by the last departure"
+        );
+        debug_assert!(self.st.views.is_empty(), "view mirror leaked entries");
+        PackingTrace {
+            algorithm: self.selector.name().to_string(),
+            capacity: self.capacity,
+            bins: self.st.records,
+            assignment: self
+                .st
+                .assignment
+                .into_iter()
+                .map(|b| b.expect("unpacked item at end of simulation"))
+                .collect(),
+            open_bins_steps: self.st.steps,
+        }
+    }
+}
+
+/// Selector stand-in for assignment-driven replay: [`rebuild_snapshot`]
+/// never calls `select`, so this selector has no decisions to make.
+struct ReplaySelector;
+
+impl BinSelector for ReplaySelector {
+    fn name(&self) -> &'static str {
+        "REPLAY"
+    }
+    fn select(&mut self, _: &[OpenBinView], _: &ArrivingItem, _: Size) -> Decision {
+        unreachable!("ReplaySelector only replays recorded decisions")
+    }
+    fn needs_views(&self) -> bool {
+        false
+    }
+}
+
+/// Rebuild the [`Snapshot`] an engine would have after processing the first
+/// `cursor` schedule events of `instance`, given the recorded placement of
+/// every item in that prefix (`assignment[item] = bin`) and the tag each
+/// opened bin carries (`tags[bin id]`). This is how a write-ahead journal —
+/// which records placements, not engine internals — is turned back into
+/// resumable state.
+///
+/// `algorithm` is stamped into the snapshot; [`EngineRun::resume`] will
+/// check it against the fresh selector.
+pub fn rebuild_snapshot(
+    instance: &Instance,
+    algorithm: &str,
+    cursor: usize,
+    assignment: &[Option<BinId>],
+    tags: &[crate::bin::BinTag],
+) -> Result<Snapshot, String> {
+    if assignment.len() != instance.len() {
+        return Err(format!(
+            "assignment covers {} items, instance has {}",
+            assignment.len(),
+            instance.len()
+        ));
+    }
+    let mut selector = ReplaySelector;
+    let mut probe = NoProbe;
+    let mut run = EngineRun::new(instance, &mut selector, &mut probe);
+    if cursor > run.events.len() {
+        return Err(format!(
+            "cursor {cursor} beyond schedule length {}",
+            run.events.len()
+        ));
+    }
+    let tag_of = |b: usize| tags.get(b).copied();
+    for k in 0..cursor {
+        run.replay_step(assignment, &tag_of)
+            .map_err(|e| format!("journal replay failed at event {k}: {e}"))?;
+    }
+    let mut snap = run.snapshot();
+    snap.algorithm = algorithm.to_string();
+    Ok(snap)
 }
 
 /// Convenience: simulate and panic (with the violation list) if the trace
@@ -533,5 +952,88 @@ mod tests {
         b.add(0, 5, 8);
         let inst = b.build().unwrap();
         let _ = simulate(&inst, &mut Buggy);
+    }
+
+    #[test]
+    fn stepping_run_matches_one_shot() {
+        let inst = demo_instance();
+        let one_shot = simulate(&inst, &mut NaiveFirstFit);
+        let mut sel = NaiveFirstFit;
+        let mut probe = NoProbe;
+        let mut run = EngineRun::new(&inst, &mut sel, &mut probe);
+        let mut steps = 0;
+        while run.step() {
+            steps += 1;
+        }
+        assert_eq!(steps, run.events_total());
+        assert!(run.is_done());
+        assert_eq!(run.finish(), one_shot);
+    }
+
+    #[test]
+    fn snapshot_resume_mid_run_reproduces_trace() {
+        let inst = demo_instance();
+        let full = simulate(&inst, &mut NaiveFirstFit);
+        for k in 0..=2 * inst.len() {
+            let mut sel = NaiveFirstFit;
+            let mut probe = NoProbe;
+            let mut run = EngineRun::new(&inst, &mut sel, &mut probe);
+            for _ in 0..k {
+                assert!(run.step());
+            }
+            let snap = run.snapshot();
+            let mut sel2 = NaiveFirstFit;
+            let mut probe2 = NoProbe;
+            let resumed = EngineRun::resume(&inst, &mut sel2, &mut probe2, &snap)
+                .unwrap_or_else(|e| panic!("resume at prefix {k}: {e}"))
+                .finish();
+            assert_eq!(resumed, full, "prefix {k}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_wrong_algorithm_and_corrupt_snapshot() {
+        let inst = demo_instance();
+        let mut sel = NaiveFirstFit;
+        let mut probe = NoProbe;
+        let mut run = EngineRun::new(&inst, &mut sel, &mut probe);
+        for _ in 0..3 {
+            run.step();
+        }
+        let snap = run.snapshot();
+
+        let mut wrong = AlwaysOpen;
+        let mut p = NoProbe;
+        let err = EngineRun::resume(&inst, &mut wrong, &mut p, &snap)
+            .err()
+            .unwrap();
+        assert!(err.contains("algorithm"), "{err}");
+
+        let mut corrupt = snap.clone();
+        if let Some(l) = corrupt.levels.first_mut() {
+            *l = Size(l.raw() + 1);
+        }
+        let mut sel2 = NaiveFirstFit;
+        let err = EngineRun::resume(&inst, &mut sel2, &mut p, &corrupt)
+            .err()
+            .unwrap();
+        assert!(err.contains("replay") || err.contains("snapshot"), "{err}");
+    }
+
+    #[test]
+    fn rebuild_snapshot_from_assignment_matches_live_snapshot() {
+        let inst = demo_instance();
+        for k in 0..=2 * inst.len() {
+            let mut sel = NaiveFirstFit;
+            let mut probe = NoProbe;
+            let mut run = EngineRun::new(&inst, &mut sel, &mut probe);
+            for _ in 0..k {
+                run.step();
+            }
+            let live = run.snapshot();
+            let tags: Vec<BinTag> = live.records.iter().map(|r| r.tag).collect();
+            let rebuilt = rebuild_snapshot(&inst, "NAIVE-FF", k, &live.assignment, &tags).unwrap();
+            assert_eq!(rebuilt, live, "prefix {k}");
+        }
     }
 }

@@ -77,19 +77,22 @@ pub mod probe;
 #[cfg(test)]
 mod proptests;
 pub mod ratio;
+pub mod snapshot;
 pub mod svg;
 pub mod time;
 pub mod trace;
 
 pub use bin::{BinId, BinTag, OpenBinView};
 pub use engine::{
-    any_fit_violations, simulate, simulate_probed, simulate_validated, simulate_validated_probed,
+    any_fit_violations, rebuild_snapshot, simulate, simulate_probed, simulate_resumed_probed,
+    simulate_validated, simulate_validated_probed, EngineRun,
 };
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
 pub use item::{ArrivingItem, Item, ItemId, RegionId, Size};
 pub use packer::{BinSelector, Decision, SelectorFactory};
 pub use probe::{DropReason, NoProbe, Probe, ProbeEvent};
 pub use ratio::Ratio;
+pub use snapshot::Snapshot;
 pub use time::{Dur, Interval, Tick};
 pub use trace::{BinRecord, PackingTrace};
 
@@ -102,8 +105,8 @@ pub mod prelude {
     pub use crate::bin::{BinId, BinTag, OpenBinView};
     pub use crate::bounds;
     pub use crate::engine::{
-        any_fit_violations, simulate, simulate_probed, simulate_validated,
-        simulate_validated_probed,
+        any_fit_violations, rebuild_snapshot, simulate, simulate_probed, simulate_resumed_probed,
+        simulate_validated, simulate_validated_probed, EngineRun,
     };
     pub use crate::instance::{Instance, InstanceBuilder};
     pub use crate::item::{ArrivingItem, Item, ItemId, RegionId, Size};
@@ -111,6 +114,7 @@ pub mod prelude {
     pub use crate::packer::{BinSelector, Decision, SelectorFactory};
     pub use crate::probe::{DropReason, NoProbe, Probe, ProbeEvent};
     pub use crate::ratio::Ratio;
+    pub use crate::snapshot::Snapshot;
     pub use crate::time::{Dur, Interval, Tick};
     pub use crate::trace::PackingTrace;
 }

@@ -1,0 +1,152 @@
+//! Durable engine state for crash-safe resume.
+//!
+//! A [`Snapshot`] is the complete, serializable image of one
+//! [`EngineRun`](crate::engine::EngineRun) between two schedule events:
+//! per-bin levels and membership, the open set, the per-item slot map, the
+//! bin records and assignment built so far, the open-bin step function, and
+//! the replay cursor (how many schedule events have been processed).
+//!
+//! ## Invariants
+//!
+//! A well-formed snapshot satisfies, and [`EngineRun::resume`] verifies by
+//! deterministic replay:
+//!
+//! * `levels`, `bin_items`, `is_open`, `records` all have one entry per bin
+//!   ever opened, indexed by bin id;
+//! * `open_count` equals the number of `true` entries in `is_open`, and an
+//!   open bin's `level` is the sum of its members' sizes;
+//! * `assignment[i]` is `Some` exactly for the items whose arrival lies in
+//!   the processed prefix (`cursor` events of the schedule);
+//! * replaying the first `cursor` schedule events of the instance, taking
+//!   the recorded decision for each arrival, reproduces every field
+//!   bit-for-bit.
+//!
+//! Selector-internal state (Next Fit's current bin, Random Fit's RNG
+//! cursor) is deliberately **not** stored: it is restored by replaying the
+//! decided prefix against a fresh selector through the [`BinSelector`]
+//! hooks plus [`BinSelector::on_decision_replayed`]. That keeps the
+//! snapshot format algorithm-independent — any selector whose select-time
+//! state is a function of its own past decisions can resume.
+//!
+//! The open-bin *view mirror* is also absent: it is derived state, rebuilt
+//! during replay.
+//!
+//! [`BinSelector`]: crate::packer::BinSelector
+//! [`BinSelector::on_decision_replayed`]: crate::packer::BinSelector::on_decision_replayed
+//! [`EngineRun::resume`]: crate::engine::EngineRun::resume
+
+use crate::bin::BinId;
+use crate::item::{ItemId, Size};
+use crate::time::Tick;
+use crate::trace::BinRecord;
+use serde::{Deserialize, Serialize};
+
+/// Complete engine state between two schedule events. See the module docs
+/// for the invariants; construct via
+/// [`EngineRun::snapshot`](crate::engine::EngineRun::snapshot) or
+/// [`rebuild_snapshot`](crate::engine::rebuild_snapshot).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Name of the algorithm that produced the prefix (checked against the
+    /// fresh selector on resume).
+    pub algorithm: String,
+    /// Bin capacity `W` of the instance.
+    pub capacity: Size,
+    /// Item count of the instance (sanity check on resume).
+    pub n_items: u64,
+    /// Number of schedule events already processed (the resume point).
+    pub cursor: u64,
+    /// Current level of every bin ever opened, by bin id.
+    pub levels: Vec<Size>,
+    /// Current members of every bin, by bin id (empty for closed bins).
+    pub bin_items: Vec<Vec<ItemId>>,
+    /// Whether each bin is currently open, by bin id.
+    pub is_open: Vec<bool>,
+    /// Number of currently open bins.
+    pub open_count: u64,
+    /// Each item's slot in its bin's member list (stale for departed
+    /// items — replay reproduces the stale values too, so equality checks
+    /// stay exact).
+    pub slot: Vec<u32>,
+    /// Lifetime record of every bin opened so far, by bin id.
+    pub records: Vec<BinRecord>,
+    /// Bin each item was packed into; `None` for items not yet arrived.
+    pub assignment: Vec<Option<BinId>>,
+    /// Open-bin step function recorded so far.
+    pub steps: Vec<(Tick, u32)>,
+}
+
+impl Snapshot {
+    /// Whether the snapshot covers a completed run (every schedule event
+    /// processed). The schedule has two events per item.
+    pub fn is_complete(&self) -> bool {
+        self.cursor == 2 * self.n_items
+    }
+
+    /// Exact cost in bin-ticks of the *closed* bins so far
+    /// (`Σ len([opened_at, closed_at))`). For a complete run this equals
+    /// [`PackingTrace::total_cost_ticks`](crate::trace::PackingTrace::total_cost_ticks).
+    pub fn closed_cost_ticks(&self) -> u128 {
+        self.records
+            .iter()
+            .zip(&self.is_open)
+            .filter(|(_, open)| !**open)
+            .map(|(r, _)| r.usage_len().0 as u128)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bin::BinTag;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            algorithm: "FF".to_string(),
+            capacity: Size(10),
+            n_items: 2,
+            cursor: 3,
+            levels: vec![Size(0), Size(4)],
+            bin_items: vec![vec![], vec![ItemId(1)]],
+            is_open: vec![false, true],
+            open_count: 1,
+            slot: vec![0, 0],
+            records: vec![
+                BinRecord {
+                    id: BinId(0),
+                    tag: BinTag::DEFAULT,
+                    opened_at: Tick(0),
+                    closed_at: Tick(5),
+                    items: vec![ItemId(0)],
+                },
+                BinRecord {
+                    id: BinId(1),
+                    tag: BinTag::DEFAULT,
+                    opened_at: Tick(2),
+                    closed_at: Tick(2),
+                    items: vec![ItemId(1)],
+                },
+            ],
+            assignment: vec![Some(BinId(0)), Some(BinId(1))],
+            steps: vec![(Tick(0), 1), (Tick(2), 2)],
+        }
+    }
+
+    #[test]
+    fn snapshot_serde_round_trip() {
+        let snap = sample();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: Snapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn completion_and_closed_cost() {
+        let mut snap = sample();
+        assert!(!snap.is_complete());
+        assert_eq!(snap.closed_cost_ticks(), 5); // only bin 0 is closed
+        snap.cursor = 4;
+        assert!(snap.is_complete());
+    }
+}

@@ -14,21 +14,43 @@
 //! experiment panicked or failed to write its table. Panic messages are
 //! captured into the manifest's `detail` field and echoed in the final
 //! timing table.
+//!
+//! ## Crash safety and resume
+//!
+//! After every experiment completes, a [`SweepCheckpoint`] is written
+//! atomically to `results/run_all.checkpoint.json`; it is deleted when the
+//! whole sweep succeeds. A sweep killed mid-flight (SIGKILL, power loss)
+//! can be restarted with `--resume`: completed experiments are skipped and
+//! their recorded results reused, the interrupted one simply reruns (each
+//! experiment is deterministic), and the final CSVs and manifest come out
+//! identical to an uninterrupted run (use `--stable-manifest` to zero the
+//! timing fields when byte-comparing).
+//!
+//! SIGINT/SIGTERM trigger a *graceful* shutdown: in-flight experiments
+//! finish, no new ones start, never-started ones are stamped `Skipped` in
+//! the manifest, the checkpoint is flushed, and the exit code is nonzero.
+//!
+//! Further flags: `--only a,b` restricts the sweep to a named subset;
+//! `--jobs 0` is rejected with a clear error.
 
 use dbp_experiments as exp;
 
-use dbp_obs::{ExperimentManifest, ExperimentRecord, ExperimentStatus};
+use dbp_obs::{ExperimentManifest, ExperimentRecord, ExperimentStatus, SweepCheckpoint};
 use exp::harness::Table;
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
 /// One experiment: its CSV stem and a quick-flag-taking runner.
 type Experiment = (&'static str, fn(bool) -> Table);
+/// An [`Experiment`] joined with its registration index, the unit of
+/// scheduling and of checkpoint bookkeeping.
+type IndexedExperiment = (usize, &'static str, fn(bool) -> Table);
 
 /// Every experiment, in registration order (the order output and manifest
 /// records appear in, independent of scheduling).
@@ -66,25 +88,126 @@ const EXPERIMENTS: &[Experiment] = &[
     ("hff_class_ablation", |q| exp::hff_class_ablation::run(q).0),
 ];
 
-/// Worker count: `--jobs N` if given, else available parallelism; always in
-/// `1..=EXPERIMENTS.len()`.
-fn jobs() -> usize {
-    let mut args = std::env::args();
-    let mut requested = None;
+/// Parsed command line.
+struct Options {
+    quick: bool,
+    jobs: Option<usize>,
+    resume: bool,
+    only: Option<Vec<String>>,
+    stable_manifest: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut o = Options {
+        quick: false,
+        jobs: None,
+        resume: false,
+        only: None,
+        stable_manifest: false,
+    };
+    let parse_jobs = |v: &str| -> Result<usize, String> {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("--jobs expects a positive integer, got {v:?}"))?;
+        if n == 0 {
+            return Err(
+                "--jobs 0 would build an empty worker pool and run nothing; \
+                 pass a positive worker count (or omit --jobs for the default)"
+                    .to_string(),
+            );
+        }
+        Ok(n)
+    };
+    let parse_only = |v: &str| -> Result<Vec<String>, String> {
+        let names: Vec<String> = v
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+        if names.is_empty() {
+            return Err("--only expects a comma-separated experiment list".to_string());
+        }
+        for n in &names {
+            if !EXPERIMENTS.iter().any(|&(name, _)| name == n) {
+                return Err(format!(
+                    "--only: unknown experiment {n:?}; valid names: {}",
+                    EXPERIMENTS
+                        .iter()
+                        .map(|&(name, _)| name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        Ok(names)
+    };
+    let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
-        if a == "--jobs" {
-            requested = args.next().and_then(|v| v.parse::<usize>().ok());
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            requested = v.parse::<usize>().ok();
+        match a.as_str() {
+            "--quick" => o.quick = true,
+            "--resume" => o.resume = true,
+            "--stable-manifest" => o.stable_manifest = true,
+            "--jobs" => {
+                let v = args.next().ok_or("--jobs expects a value")?;
+                o.jobs = Some(parse_jobs(&v)?);
+            }
+            "--only" => {
+                let v = args.next().ok_or("--only expects a value")?;
+                o.only = Some(parse_only(&v)?);
+            }
+            other => {
+                if let Some(v) = other.strip_prefix("--jobs=") {
+                    o.jobs = Some(parse_jobs(v)?);
+                } else if let Some(v) = other.strip_prefix("--only=") {
+                    o.only = Some(parse_only(v)?);
+                } else {
+                    return Err(format!(
+                        "unknown argument {other:?}; flags: --quick --jobs N \
+                         --only a,b --resume --stable-manifest"
+                    ));
+                }
+            }
         }
     }
+    Ok(o)
+}
+
+/// Worker count: `--jobs N` if given (already validated nonzero), else
+/// available parallelism; always in `1..=n_selected`.
+fn jobs(requested: Option<usize>, n_selected: usize) -> usize {
     let n = requested.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(|p| p.get())
             .unwrap_or(1)
     });
-    n.clamp(1, EXPERIMENTS.len())
+    n.clamp(1, n_selected.max(1))
 }
+
+/// Graceful-shutdown latch, set from the SIGINT/SIGTERM handler. Workers
+/// stop claiming new experiments once it is raised; in-flight ones finish.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    // An atomic store is async-signal-safe.
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 /// Render a panic payload the way the default hook would: the `&str` or
 /// `String` message when there is one.
@@ -130,22 +253,123 @@ fn run_one(
     }
 }
 
+fn checkpoint_path() -> PathBuf {
+    exp::harness::results_dir().join("run_all.checkpoint.json")
+}
+
+/// Load and validate the checkpoint for a `--resume` run. `Ok(None)` when
+/// there is nothing to resume (a fresh start).
+fn load_checkpoint(o: &Options) -> Result<Option<SweepCheckpoint>, String> {
+    let path = checkpoint_path();
+    if !path.exists() {
+        return Ok(None);
+    }
+    let cp: SweepCheckpoint = dbp_obs::export::read_json(&path)?;
+    if cp.quick != o.quick {
+        return Err(format!(
+            "checkpoint at {} was written by a {} sweep but this run is {}; \
+             results are not interchangeable — rerun without --resume to start over",
+            path.display(),
+            if cp.quick { "--quick" } else { "full" },
+            if o.quick { "--quick" } else { "full" },
+        ));
+    }
+    if cp.only != o.only {
+        return Err(format!(
+            "checkpoint at {} covers subset {:?} but this run selects {:?}; \
+             rerun without --resume to start over",
+            path.display(),
+            cp.only,
+            o.only
+        ));
+    }
+    Ok(Some(cp))
+}
+
 fn main() -> ExitCode {
-    let quick = exp::quick_flag();
-    let workers = jobs();
+    let o = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("[error] {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    install_signal_handlers();
+
+    // The experiments this sweep covers, in registration order.
+    let selected: Vec<IndexedExperiment> = EXPERIMENTS
+        .iter()
+        .enumerate()
+        .filter(|(_, &(name, _))| {
+            o.only
+                .as_ref()
+                .is_none_or(|names| names.iter().any(|n| n == name))
+        })
+        .map(|(i, &(name, run))| (i, name, run))
+        .collect();
+
+    // Resume: reuse every Ok record from the checkpoint; everything else
+    // (failed, interrupted, never started) reruns.
+    let resumed: BTreeMap<usize, ExperimentRecord> = match o.resume {
+        false => BTreeMap::new(),
+        true => match load_checkpoint(&o) {
+            Ok(None) => {
+                println!("[resume] no checkpoint found; running everything");
+                BTreeMap::new()
+            }
+            Ok(Some(cp)) => selected
+                .iter()
+                .filter_map(|&(i, name, _)| {
+                    cp.record(name)
+                        .filter(|r| r.status == ExperimentStatus::Ok)
+                        .map(|r| (i, r.clone()))
+                })
+                .collect(),
+            Err(e) => {
+                eprintln!("[error] {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if !resumed.is_empty() {
+        println!(
+            "[resume] skipping {} completed experiment(s), rerunning {}",
+            resumed.len(),
+            selected.len() - resumed.len()
+        );
+    }
+    let todo: Vec<IndexedExperiment> = selected
+        .iter()
+        .filter(|(i, ..)| !resumed.contains_key(i))
+        .copied()
+        .collect();
+
+    let workers = jobs(o.jobs, todo.len());
     let t0 = Instant::now();
 
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, String, ExperimentRecord)>();
 
-    let mut by_index: BTreeMap<usize, (String, ExperimentRecord)> = BTreeMap::new();
+    // Registration-index → (buffered output, record). Pre-filled with the
+    // resumed records (empty output: their tables were already printed by
+    // the original run and their CSVs are on disk).
+    let mut by_index: BTreeMap<usize, (String, ExperimentRecord)> = resumed
+        .into_iter()
+        .map(|(i, r)| (i, (String::new(), r)))
+        .collect();
+
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
+            let todo = &todo;
+            let quick = o.quick;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(&(name, run)) = EXPERIMENTS.get(i) else {
+                if SHUTDOWN.load(Ordering::SeqCst) {
+                    return;
+                }
+                let claimed = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(i, name, run)) = todo.get(claimed) else {
                     return;
                 };
                 let started = Instant::now();
@@ -164,25 +388,63 @@ fn main() -> ExitCode {
         drop(tx);
 
         // Print completed experiments in registration order, holding back
-        // any that finish ahead of a still-running predecessor.
+        // any that finish ahead of a still-running predecessor — and flush
+        // the checkpoint after every completion so a kill at any point
+        // loses at most the in-flight experiments.
         let mut next_to_print = 0;
         for (i, out, record) in rx {
             by_index.insert(i, (out, record));
-            while let Some((out, _)) = by_index.get(&next_to_print) {
+            let cp = SweepCheckpoint {
+                quick: o.quick,
+                only: o.only.clone(),
+                completed: by_index.values().map(|(_, r)| r.clone()).collect(),
+            };
+            if let Err(e) = dbp_obs::export::write_json(&checkpoint_path(), &cp) {
+                eprintln!("[warn] cannot write checkpoint: {e}");
+            }
+            while let Some((out, _)) = selected
+                .get(next_to_print)
+                .and_then(|&(i, ..)| by_index.get(&i))
+            {
                 print!("{out}");
                 next_to_print += 1;
             }
         }
     });
 
-    let records: Vec<ExperimentRecord> = by_index.into_values().map(|(_, record)| record).collect();
-    assert_eq!(records.len(), EXPERIMENTS.len(), "lost experiment results");
+    let interrupted = SHUTDOWN.load(Ordering::SeqCst);
 
-    let manifest = ExperimentManifest {
+    // Stamp experiments the shutdown prevented from ever starting.
+    let records: Vec<ExperimentRecord> = selected
+        .iter()
+        .map(|&(i, name, _)| {
+            by_index
+                .get(&i)
+                .map(|(_, r)| r.clone())
+                .unwrap_or_else(|| ExperimentRecord {
+                    name: name.to_string(),
+                    status: ExperimentStatus::Skipped,
+                    wall_time_ms: 0,
+                    detail: Some("graceful shutdown before this experiment started".to_string()),
+                })
+        })
+        .collect();
+    assert_eq!(records.len(), selected.len(), "lost experiment results");
+
+    let mut manifest = ExperimentManifest {
         experiments: records,
         total_wall_time_ms: t0.elapsed().as_millis() as u64,
         peak_rss_bytes: dbp_obs::manifest::peak_rss_bytes(),
     };
+    if o.stable_manifest {
+        // Byte-stable output for clean-vs-resumed comparisons: zero every
+        // timing-dependent field.
+        manifest.total_wall_time_ms = 0;
+        manifest.peak_rss_bytes = None;
+        for r in &mut manifest.experiments {
+            r.wall_time_ms = 0;
+        }
+    }
 
     let mut summary = Table::new(
         "run_all timing",
@@ -208,6 +470,22 @@ fn main() -> ExitCode {
         }
     }
 
+    if interrupted {
+        // The checkpoint stays behind for `--resume`.
+        println!(
+            "\ninterrupted after {:.1}s; {} of {} experiment(s) completed — \
+             rerun with --resume to continue",
+            t0.elapsed().as_secs_f64(),
+            manifest
+                .experiments
+                .iter()
+                .filter(|r| r.status == ExperimentStatus::Ok)
+                .count(),
+            manifest.experiments.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
     println!(
         "\nall experiments done in {:.1}s on {} worker(s) ({} ok, {} failed)",
         t0.elapsed().as_secs_f64(),
@@ -216,6 +494,9 @@ fn main() -> ExitCode {
         manifest.failures()
     );
     if failed == 0 {
+        // A fully successful sweep needs no resume state; removing it also
+        // makes clean and resumed result directories identical.
+        let _ = std::fs::remove_file(checkpoint_path());
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -240,5 +521,13 @@ mod tests {
         std::panic::set_hook(hook);
         assert_eq!(from_str, "plain str payload");
         assert_eq!(from_string, "formatted 42 payload");
+    }
+
+    #[test]
+    fn jobs_clamps_to_selection() {
+        assert_eq!(jobs(Some(99), 5), 5);
+        assert_eq!(jobs(Some(2), 5), 2);
+        assert_eq!(jobs(Some(3), 0), 1);
+        assert!(jobs(None, EXPERIMENTS.len()) >= 1);
     }
 }

@@ -1,0 +1,143 @@
+//! Chaos test for the `run_all` checkpoint/resume machinery: SIGKILL a
+//! child sweep at an arbitrary point, resume it, and demand the final
+//! results directory — every CSV and the manifest — byte-identical to an
+//! uninterrupted run's. Also exercises the graceful SIGTERM path.
+
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::Instant;
+
+fn results_dir(stem: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join(format!("dbp-kill-resume-{}", std::process::id()))
+        .join(stem);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run_all(results: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .env("DBP_RESULTS", results)
+        .args(["--quick", "--stable-manifest", "--jobs", "2"])
+        .args(extra)
+        .output()
+        .expect("failed to spawn run_all")
+}
+
+/// Every file under `dir`, relative path → contents.
+fn dir_contents(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    let mut out = BTreeMap::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).unwrap() {
+            let p = entry.unwrap().path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                let rel = p.strip_prefix(dir).unwrap().to_string_lossy().into_owned();
+                out.insert(rel, std::fs::read(&p).unwrap());
+            }
+        }
+    }
+    out
+}
+
+fn assert_identical(clean: &Path, recovered: &Path) {
+    let want = dir_contents(clean);
+    let got = dir_contents(recovered);
+    assert_eq!(
+        want.keys().collect::<Vec<_>>(),
+        got.keys().collect::<Vec<_>>(),
+        "file sets differ"
+    );
+    for (name, bytes) in &want {
+        assert_eq!(&got[name], bytes, "{name} differs from the clean run's");
+    }
+}
+
+#[test]
+fn sigkill_then_resume_reproduces_a_clean_run_byte_for_byte() {
+    let clean = results_dir("clean");
+    let started = Instant::now();
+    let out = run_all(&clean, &[]);
+    assert!(out.status.success(), "clean run failed: {out:?}");
+    let clean_wall = started.elapsed();
+    assert!(
+        !clean.join("run_all.checkpoint.json").exists(),
+        "a successful sweep must remove its checkpoint"
+    );
+
+    // Kill at several points across the sweep's lifetime: early (likely
+    // before any experiment finishes), mid, and late (possibly after the
+    // child already exited — resume must cope with every case).
+    for (tag, num, den) in [("early", 1u32, 20u32), ("mid", 1, 3), ("late", 9, 10)] {
+        let dir = results_dir(&format!("kill-{tag}"));
+        let mut child = Command::new(env!("CARGO_BIN_EXE_run_all"))
+            .env("DBP_RESULTS", &dir)
+            .args(["--quick", "--stable-manifest", "--jobs", "2"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("failed to spawn run_all");
+        std::thread::sleep(clean_wall * num / den);
+        // SIGKILL: no handler runs, no flush, the worst possible crash.
+        let _ = child.kill();
+        let _ = child.wait();
+
+        let out = run_all(&dir, &["--resume"]);
+        assert!(
+            out.status.success(),
+            "resume ({tag}) failed:\nstdout: {}\nstderr: {}",
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            !dir.join("run_all.checkpoint.json").exists(),
+            "resume ({tag}) left its checkpoint behind"
+        );
+        assert_identical(&clean, &dir);
+    }
+}
+
+#[test]
+fn sigterm_checkpoints_and_resume_finishes_the_sweep() {
+    let clean = results_dir("term-clean");
+    let started = Instant::now();
+    assert!(run_all(&clean, &[]).status.success());
+    let clean_wall = started.elapsed();
+
+    let dir = results_dir("term-kill");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .env("DBP_RESULTS", &dir)
+        .args(["--quick", "--stable-manifest", "--jobs", "2"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("failed to spawn run_all");
+    std::thread::sleep(clean_wall / 3);
+    let terminated = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("failed to run kill")
+        .success();
+    let status = child.wait().unwrap();
+    if terminated && !status.success() {
+        // The shutdown landed mid-sweep: a checkpoint and a manifest
+        // stamping the never-run experiments must both be on disk.
+        assert!(
+            dir.join("run_all.checkpoint.json").exists(),
+            "graceful shutdown left no checkpoint"
+        );
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains("Skipped"), "{manifest}");
+    }
+    // Whether the signal landed mid-sweep or raced past its end, resuming
+    // converges to the clean artifacts.
+    let out = run_all(&dir, &["--resume"]);
+    assert!(out.status.success(), "resume failed: {out:?}");
+    assert_identical(&clean, &dir);
+}

@@ -1,6 +1,7 @@
 //! Exporters: JSONL event logs, Prometheus text files, CSV — all written
-//! atomically (temp file in the target directory, then rename) so a crash
-//! mid-run never leaves a truncated artifact behind.
+//! atomically (temp file in the target directory, fsync, rename, then fsync
+//! of the directory) so neither a crash mid-run nor a power loss right
+//! after the rename leaves a truncated or missing artifact behind.
 
 use crate::metrics::MetricsRegistry;
 use dbp_core::probe::ProbeEvent;
@@ -10,14 +11,20 @@ use std::io::Write;
 use std::path::Path;
 
 /// Write `bytes` to `path` atomically: the parent directory is created if
-/// missing, content goes to a `.tmp` sibling first, then a rename makes it
-/// visible in one step.
+/// missing, content goes to a `.tmp` sibling first (flushed to stable
+/// storage with fsync), then a rename makes it visible in one step, and
+/// finally the parent directory itself is fsynced — without that last step
+/// the rename lives only in the page cache, and a power loss could roll the
+/// directory back to the old (or no) entry even though the data blocks were
+/// synced.
 pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
-    if let Some(parent) = path.parent() {
-        if !parent.as_os_str().is_empty() {
-            fs::create_dir_all(parent)?;
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => {
+            fs::create_dir_all(p)?;
+            Some(p)
         }
-    }
+        _ => None,
+    };
     let tmp = path.with_extension(match path.extension() {
         Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
         None => "tmp".to_string(),
@@ -27,7 +34,13 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.write_all(bytes)?;
         f.sync_all()?;
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = parent {
+        // Directories cannot be opened for writing; a read handle is what
+        // fsync-on-directory takes on Unix.
+        fs::File::open(parent)?.sync_all()?;
+    }
+    Ok(())
 }
 
 /// Render events as JSONL: one externally-tagged JSON object per line,

@@ -1,0 +1,520 @@
+//! Write-ahead journal for engine event streams.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! +----------------+----------------------------------------------+
+//! | magic (8 B)    | "DBPWAL01"                                   |
+//! +----------------+----------------------------------------------+
+//! | frame 0        | len: u32 LE | crc: u32 LE | payload: len B   |
+//! | frame 1        | ...                                          |
+//! +----------------+----------------------------------------------+
+//! ```
+//!
+//! Each frame's payload is one [`ProbeEvent`] in the same externally-tagged
+//! single-line JSON the JSONL exporter emits, so `dbp trace` and every JSONL
+//! consumer understand a decoded journal directly. `crc` is the CRC-32
+//! (IEEE 802.3, reflected, polynomial `0xEDB88320`) of the payload bytes.
+//!
+//! ## Torn-tail tolerance
+//!
+//! The writer appends frames sequentially and never seeks, so a crash —
+//! including SIGKILL and power loss — can corrupt **only the final frame**:
+//! a partial header, a partial payload, or a complete-looking frame whose
+//! CRC fails because some of its sectors never hit the disk. The reader
+//! therefore distinguishes two situations:
+//!
+//! * damage at the very end of the file → a *torn tail*: the sound prefix
+//!   is returned together with a [`TornTail`] describing what was dropped
+//!   (truncate-and-warn; **never** a panic);
+//! * a bad CRC (or undecodable payload) with more bytes after it → real
+//!   mid-file corruption, which honest appends cannot produce → a hard
+//!   error.
+//!
+//! ## Durability policy
+//!
+//! [`FsyncPolicy`] trades write latency for the number of trailing events
+//! an OS crash may lose (a process crash alone loses nothing once the
+//! buffer is flushed): `Always` fsyncs every record, `EveryN(n)` amortizes,
+//! `Never` leaves flushing to the OS.
+
+use dbp_core::probe::{Probe, ProbeEvent};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every journal file (format version 01).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"DBPWAL01";
+
+/// Upper bound on a sane frame payload; a length field beyond this is
+/// corruption, not a real record.
+const MAX_FRAME_LEN: u32 = 1 << 24;
+
+/// CRC-32 (IEEE 802.3, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3) of `bytes` — the checksum scheme of zip/PNG/ethernet.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+/// When the journal writer forces records to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FsyncPolicy {
+    /// Never fsync explicitly; the OS flushes on its own schedule. An OS
+    /// crash may lose trailing records (a process crash does not).
+    Never,
+    /// Fsync after every record — maximum durability, maximum latency.
+    Always,
+    /// Fsync after every `n` records (`n ≥ 1`).
+    EveryN(u32),
+}
+
+impl FsyncPolicy {
+    /// Parse a CLI spelling: `never`, `always`, or a positive integer `n`
+    /// meaning [`FsyncPolicy::EveryN`]`(n)`.
+    pub fn parse(s: &str) -> Result<FsyncPolicy, String> {
+        match s {
+            "never" => Ok(FsyncPolicy::Never),
+            "always" => Ok(FsyncPolicy::Always),
+            _ => match s.parse::<u32>() {
+                Ok(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!(
+                    "invalid fsync policy {s:?}: expected `always`, `never`, or a positive count"
+                )),
+            },
+        }
+    }
+}
+
+/// Appends length-prefixed, CRC-framed [`ProbeEvent`] records to a journal
+/// file. See the module docs for the format.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: BufWriter<fs::File>,
+    path: PathBuf,
+    policy: FsyncPolicy,
+    unsynced: u32,
+    records: u64,
+}
+
+impl JournalWriter {
+    /// Create (truncating) a journal at `path`, writing the magic header.
+    /// Parent directories are created as needed.
+    pub fn create(path: &Path, policy: FsyncPolicy) -> std::io::Result<JournalWriter> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = BufWriter::new(fs::File::create(path)?);
+        file.write_all(JOURNAL_MAGIC)?;
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            unsynced: 0,
+            records: 0,
+        })
+    }
+
+    /// Append one event as a framed record, honoring the fsync policy.
+    pub fn append(&mut self, event: &ProbeEvent) -> std::io::Result<()> {
+        let payload = serde_json::to_string(event).expect("ProbeEvent serializes infallibly");
+        let payload = payload.as_bytes();
+        debug_assert!(payload.len() < MAX_FRAME_LEN as usize);
+        self.file.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.file.write_all(&crc32(payload).to_le_bytes())?;
+        self.file.write_all(payload)?;
+        self.records += 1;
+        self.unsynced += 1;
+        let due = match self.policy {
+            FsyncPolicy::Never => false,
+            FsyncPolicy::Always => true,
+            FsyncPolicy::EveryN(n) => self.unsynced >= n,
+        };
+        if due {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flush buffered frames and fsync the file.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.get_ref().sync_all()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The journal's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Flush, fsync, and close; returns the total record count.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.sync()?;
+        Ok(self.records)
+    }
+}
+
+/// A [`Probe`] that journals every event as it is emitted. I/O errors are
+/// latched (the engine's probe seam cannot propagate them mid-run) and
+/// surfaced by [`JournalProbe::finish`]; after the first error no further
+/// writes are attempted.
+#[derive(Debug)]
+pub struct JournalProbe {
+    writer: JournalWriter,
+    error: Option<std::io::Error>,
+}
+
+impl JournalProbe {
+    /// Journal to a fresh file at `path`.
+    pub fn create(path: &Path, policy: FsyncPolicy) -> std::io::Result<JournalProbe> {
+        Ok(JournalProbe {
+            writer: JournalWriter::create(path, policy)?,
+            error: None,
+        })
+    }
+
+    /// Wrap an existing writer (e.g. one positioned after a recovered
+    /// prefix).
+    pub fn from_writer(writer: JournalWriter) -> JournalProbe {
+        JournalProbe {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Close the journal: the record count on success, the first latched
+    /// I/O error otherwise.
+    pub fn finish(self) -> std::io::Result<u64> {
+        match self.error {
+            Some(e) => Err(e),
+            None => self.writer.finish(),
+        }
+    }
+}
+
+impl Probe for JournalProbe {
+    fn record(&mut self, event: ProbeEvent) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.append(&event) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Description of a torn tail frame dropped by the reader.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// Byte offset of the start of the damaged frame — the length a repair
+    /// should truncate the file to.
+    pub sound_len: u64,
+    /// What was wrong with the tail.
+    pub reason: String,
+}
+
+/// Result of reading a journal: the decoded sound prefix, plus a
+/// [`TornTail`] when the final frame was damaged.
+#[derive(Debug)]
+pub struct JournalContents {
+    /// Events decoded from intact frames, in write order.
+    pub events: Vec<ProbeEvent>,
+    /// Present when the file ends in a damaged frame (crash mid-append).
+    pub torn: Option<TornTail>,
+}
+
+impl JournalContents {
+    /// Whether the journal ended cleanly (no torn tail).
+    pub fn is_clean(&self) -> bool {
+        self.torn.is_none()
+    }
+}
+
+/// Decode a journal byte image. Mid-file corruption is an `Err`; a damaged
+/// final frame is tolerated and reported via [`JournalContents::torn`].
+/// Never panics on any input.
+pub fn parse_journal(bytes: &[u8]) -> Result<JournalContents, String> {
+    if bytes.len() < JOURNAL_MAGIC.len() {
+        // Even the magic is incomplete: a crash before the header sync.
+        return Ok(JournalContents {
+            events: Vec::new(),
+            torn: Some(TornTail {
+                sound_len: 0,
+                reason: format!("file shorter than the {}-byte magic", JOURNAL_MAGIC.len()),
+            }),
+        });
+    }
+    if &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        return Err(format!(
+            "not a journal: bad magic {:?}",
+            &bytes[..JOURNAL_MAGIC.len()]
+        ));
+    }
+    let mut events = Vec::new();
+    let mut pos = JOURNAL_MAGIC.len();
+    loop {
+        if pos == bytes.len() {
+            return Ok(JournalContents { events, torn: None });
+        }
+        let frame_start = pos;
+        macro_rules! torn {
+            ($($arg:tt)*) => {
+                return Ok(JournalContents {
+                    events,
+                    torn: Some(TornTail {
+                        sound_len: frame_start as u64,
+                        reason: format!($($arg)*),
+                    }),
+                })
+            };
+        }
+        if bytes.len() - pos < 8 {
+            torn!("incomplete frame header ({} of 8 bytes)", bytes.len() - pos);
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        pos += 8;
+        if len > MAX_FRAME_LEN {
+            // A garbage length field. If real frames followed we could not
+            // find them anyway (framing is sequential), so this is only
+            // recoverable as a tail condition.
+            torn!("frame length {len} exceeds the {MAX_FRAME_LEN} cap");
+        }
+        if bytes.len() - pos < len as usize {
+            torn!(
+                "incomplete frame payload ({} of {len} bytes)",
+                bytes.len() - pos
+            );
+        }
+        let payload = &bytes[pos..pos + len as usize];
+        pos += len as usize;
+        let at_tail = pos == bytes.len();
+        if crc32(payload) != crc {
+            if at_tail {
+                torn!("CRC mismatch in final frame");
+            }
+            return Err(format!(
+                "CRC mismatch in frame at byte {frame_start} with {} bytes following: \
+                 mid-file corruption, refusing to replay",
+                bytes.len() - pos
+            ));
+        }
+        match serde_json::from_str::<ProbeEvent>(std::str::from_utf8(payload).map_err(|_| {
+            format!("frame at byte {frame_start}: payload is not UTF-8 despite valid CRC")
+        })?) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                return Err(format!(
+                    "frame at byte {frame_start}: undecodable event despite valid CRC: {e:?}"
+                ))
+            }
+        }
+    }
+}
+
+/// Read and decode a journal file. See [`parse_journal`] for the
+/// torn-tail / corruption contract.
+pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
+    let mut bytes = Vec::new();
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    parse_journal(&bytes)
+}
+
+/// Truncate a journal with a torn tail down to its sound prefix, so that
+/// subsequent appends produce a clean file. No-op on a clean journal.
+/// Returns the dropped tail description, if any.
+pub fn repair_journal(path: &Path) -> Result<Option<TornTail>, String> {
+    let contents = read_journal(path)?;
+    if let Some(torn) = &contents.torn {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?;
+        file.set_len(torn.sound_len)
+            .and_then(|()| file.sync_all())
+            .map_err(|e| format!("{}: truncate failed: {e}", path.display()))?;
+    }
+    Ok(contents.torn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::prelude::*;
+
+    fn sample_events() -> Vec<ProbeEvent> {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 40, 6);
+        b.add(5, 25, 6);
+        b.add(10, 35, 4);
+        let inst = b.build().unwrap();
+        let mut log = crate::recorder::EventLog::new();
+        simulate_probed(&inst, &mut FirstFit::new(), &mut log);
+        log.into_events()
+    }
+
+    fn tmpfile(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dbp_obs_journal_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check values for CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let path = tmpfile("round_trip.wal");
+        let events = sample_events();
+        let mut w = JournalWriter::create(&path, FsyncPolicy::EveryN(3)).unwrap();
+        for ev in &events {
+            w.append(ev).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), events.len() as u64);
+        let back = read_journal(&path).unwrap();
+        assert!(back.is_clean());
+        assert_eq!(back.events, events);
+    }
+
+    #[test]
+    fn journal_probe_captures_engine_stream() {
+        let path = tmpfile("probe.wal");
+        let events = sample_events();
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 40, 6);
+        b.add(5, 25, 6);
+        b.add(10, 35, 4);
+        let inst = b.build().unwrap();
+        let mut probe = JournalProbe::create(&path, FsyncPolicy::Never).unwrap();
+        simulate_probed(&inst, &mut FirstFit::new(), &mut probe);
+        assert_eq!(probe.finish().unwrap(), events.len() as u64);
+        assert_eq!(read_journal(&path).unwrap().events, events);
+    }
+
+    #[test]
+    fn torn_tail_variants_truncate_and_never_panic() {
+        let events = sample_events();
+        let path = tmpfile("torn.wal");
+        let mut w = JournalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        for ev in &events {
+            w.append(ev).unwrap();
+        }
+        w.finish().unwrap();
+        let clean = fs::read(&path).unwrap();
+
+        // Chop the file at every possible byte boundary: the reader must
+        // never error, never panic, and must return a prefix of the events.
+        for cut in 0..clean.len() {
+            let contents = parse_journal(&clean[..cut]).unwrap_or_else(|e| {
+                panic!("cut at {cut}: torn tail misdiagnosed as corruption: {e}")
+            });
+            assert!(
+                events.starts_with(&contents.events),
+                "cut at {cut}: decoded events are not a prefix"
+            );
+            if cut < clean.len() {
+                // Unless the cut landed exactly on a frame boundary the
+                // reader reports the tear.
+                if contents.torn.is_none() {
+                    assert!(contents.events.len() < events.len());
+                }
+            }
+        }
+
+        // Flipping a byte in the *final* frame's payload is a torn tail...
+        let mut flipped = clean.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0xFF;
+        let contents = parse_journal(&flipped).unwrap();
+        assert_eq!(contents.events.len(), events.len() - 1);
+        let torn = contents.torn.unwrap();
+        assert!(torn.reason.contains("CRC"), "{}", torn.reason);
+
+        // ...and repair_journal truncates to the sound prefix.
+        fs::write(&path, &flipped).unwrap();
+        let dropped = repair_journal(&path).unwrap().unwrap();
+        assert_eq!(dropped.sound_len, torn.sound_len);
+        let repaired = read_journal(&path).unwrap();
+        assert!(repaired.is_clean());
+        assert_eq!(repaired.events.len(), events.len() - 1);
+        assert!(repair_journal(&path).unwrap().is_none());
+    }
+
+    #[test]
+    fn midfile_corruption_is_rejected() {
+        let events = sample_events();
+        let path = tmpfile("midfile.wal");
+        let mut w = JournalWriter::create(&path, FsyncPolicy::Never).unwrap();
+        for ev in &events {
+            w.append(ev).unwrap();
+        }
+        w.finish().unwrap();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a payload byte in the middle of the file (well past the
+        // magic + first header, well before the final frame).
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = parse_journal(&bytes).unwrap_err();
+        assert!(err.contains("corruption"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected_and_short_file_is_torn() {
+        let err = parse_journal(b"NOTAWAL0rest").unwrap_err();
+        assert!(err.contains("magic"), "{err}");
+        let short = parse_journal(b"DBP").unwrap();
+        assert!(short.events.is_empty());
+        assert!(short.torn.is_some());
+    }
+
+    #[test]
+    fn fsync_policy_parses() {
+        assert_eq!(FsyncPolicy::parse("always").unwrap(), FsyncPolicy::Always);
+        assert_eq!(FsyncPolicy::parse("never").unwrap(), FsyncPolicy::Never);
+        assert_eq!(FsyncPolicy::parse("64").unwrap(), FsyncPolicy::EveryN(64));
+        assert!(FsyncPolicy::parse("0").is_err());
+        assert!(FsyncPolicy::parse("sometimes").is_err());
+    }
+}

@@ -12,8 +12,14 @@
 //!   exact step functions `n(t)` (the paper's `A(R,t)`), used capacity,
 //!   and waste;
 //! * [`export`] — atomic JSONL / Prometheus / JSON writers and parsers;
+//! * [`journal`] — the crash-safe write-ahead event journal
+//!   (length-prefixed + CRC32-framed records, torn-tail-tolerant reader);
+//! * [`replay`] — journal audit ([`replay_events`](replay::replay_events))
+//!   and snapshot recovery
+//!   ([`snapshot_from_events`](replay::snapshot_from_events));
 //! * [`manifest`] — [`RunManifest`](manifest::RunManifest) provenance
-//!   records and the `run_all` sweep manifest;
+//!   records, the `run_all` sweep manifest, and the sweep resume
+//!   checkpoint;
 //! * [`timeline`] — the `dbp trace` timeline renderer.
 //!
 //! Probes compose with the tuple combinator from `dbp-core`, so one
@@ -43,23 +49,33 @@
 #![warn(rust_2018_idioms)]
 
 pub mod export;
+pub mod journal;
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
+pub mod replay;
 pub mod sampler;
 pub mod timeline;
 
-pub use manifest::{ExperimentManifest, ExperimentRecord, ExperimentStatus, RunManifest};
+pub use journal::{FsyncPolicy, JournalContents, JournalProbe, JournalWriter};
+pub use manifest::{
+    ExperimentManifest, ExperimentRecord, ExperimentStatus, RunManifest, SweepCheckpoint,
+};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{CountingProbe, EventLog, MetricsProbe};
+pub use replay::{RecoveredSnapshot, ReplaySummary};
 pub use sampler::{Sample, TimeSeriesSampler};
 
 /// Everything most users need, in one import.
 pub mod prelude {
     pub use crate::export::{events_to_jsonl, parse_jsonl, read_jsonl, write_jsonl};
-    pub use crate::manifest::{instance_digest, ExperimentManifest, RunManifest};
+    pub use crate::journal::{
+        read_journal, FsyncPolicy, JournalContents, JournalProbe, JournalWriter,
+    };
+    pub use crate::manifest::{instance_digest, ExperimentManifest, RunManifest, SweepCheckpoint};
     pub use crate::metrics::{Histogram, MetricsRegistry};
     pub use crate::recorder::{CountingProbe, EventLog, MetricsProbe};
+    pub use crate::replay::{replay_events, snapshot_from_events};
     pub use crate::sampler::{Sample, TimeSeriesSampler};
     pub use crate::timeline::render_timeline;
 }

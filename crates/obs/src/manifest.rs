@@ -25,6 +25,10 @@ pub struct RunManifest {
     /// Peak resident set size in bytes, when the platform exposes it
     /// (`/proc/self/status` `VmHWM` on Linux).
     pub peak_rss_bytes: Option<u64>,
+    /// Exact total cost Σᵢ span(bin i) in ticks, when the run computed a
+    /// packing trace. `dbp recover` re-derives this value from the journal
+    /// alone and diffs it against the recorded one.
+    pub total_cost_ticks: Option<u128>,
 }
 
 impl RunManifest {
@@ -43,7 +47,14 @@ impl RunManifest {
             capacity: instance.capacity().raw(),
             wall_time_ns: wall_time.as_nanos() as u64,
             peak_rss_bytes: peak_rss_bytes(),
+            total_cost_ticks: None,
         }
+    }
+
+    /// Attach the exact packing cost (builder style).
+    pub fn with_cost(mut self, cost_ticks: u128) -> RunManifest {
+        self.total_cost_ticks = Some(cost_ticks);
+        self
     }
 }
 
@@ -93,6 +104,9 @@ pub enum ExperimentStatus {
     Panicked,
     /// The experiment ran but its table could not be written.
     WriteFailed,
+    /// The experiment never ran: a graceful shutdown (SIGINT/SIGTERM)
+    /// landed before a worker claimed it. A `--resume` run picks it up.
+    Skipped,
 }
 
 /// Timing/outcome record for one experiment in a sweep.
@@ -128,6 +142,30 @@ impl ExperimentManifest {
             .iter()
             .filter(|r| r.status != ExperimentStatus::Ok)
             .count()
+    }
+}
+
+/// Crash-recovery checkpoint for a `run_all` sweep, written atomically to
+/// `results/run_all.checkpoint.json` after every experiment completes and
+/// deleted when the whole sweep succeeds. `run_all --resume` reloads it,
+/// verifies the sweep configuration matches, reuses the recorded results
+/// of every [`ExperimentStatus::Ok`] experiment, and re-runs the rest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepCheckpoint {
+    /// Whether the sweep ran with `--quick` (results are not interchangeable
+    /// across modes, so a resume must match).
+    pub quick: bool,
+    /// The `--only` subset the sweep was restricted to, when it was.
+    pub only: Option<Vec<String>>,
+    /// Records of experiments that finished (any status) before the
+    /// checkpoint was written.
+    pub completed: Vec<ExperimentRecord>,
+}
+
+impl SweepCheckpoint {
+    /// The record for `name`, if that experiment already completed.
+    pub fn record(&self, name: &str) -> Option<&ExperimentRecord> {
+        self.completed.iter().find(|r| r.name == name)
     }
 }
 
@@ -187,5 +225,34 @@ mod tests {
         let back: ExperimentManifest = serde_json::from_str(&text).unwrap();
         assert_eq!(back, m);
         assert_eq!(back.failures(), 1);
+    }
+
+    #[test]
+    fn run_manifest_cost_round_trips() {
+        let m = RunManifest::capture("FF", None, &inst(0), Duration::from_millis(1))
+            .with_cost(123456789012345678901234567890u128);
+        let text = serde_json::to_string(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_cost_ticks, Some(123456789012345678901234567890));
+    }
+
+    #[test]
+    fn sweep_checkpoint_round_trips() {
+        let cp = SweepCheckpoint {
+            quick: true,
+            only: Some(vec!["table2".into()]),
+            completed: vec![ExperimentRecord {
+                name: "table2".into(),
+                status: ExperimentStatus::Skipped,
+                wall_time_ms: 0,
+                detail: None,
+            }],
+        };
+        let text = serde_json::to_string_pretty(&cp).unwrap();
+        let back: SweepCheckpoint = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, cp);
+        assert!(back.record("table2").is_some());
+        assert!(back.record("fig3").is_none());
     }
 }

@@ -1,0 +1,414 @@
+//! Journal replay: audit an event stream and rebuild engine state from it.
+//!
+//! Two consumers sit on top of a decoded journal
+//! ([`JournalContents`](crate::journal::JournalContents)):
+//!
+//! * [`replay_events`] — an *audit*: walks the stream checking structural
+//!   invariants (placements go to open bins, closes match opens, levels
+//!   are consistent) and recomputes the exact integer total cost from the
+//!   `BinClosed` events, independently of any recorded manifest;
+//! * [`snapshot_from_events`] — a *recovery*: finds the longest prefix of
+//!   the stream that corresponds to complete engine operations, rebuilds a
+//!   [`Snapshot`](dbp_core::snapshot::Snapshot) at that boundary via
+//!   deterministic re-execution ([`dbp_core::rebuild_snapshot`]), and
+//!   reports how many trailing partial events were dropped. Resuming the
+//!   engine from that snapshot re-emits exactly the dropped events first,
+//!   so `journal prefix + resumed stream` is byte-identical to an
+//!   uninterrupted run.
+//!
+//! Both functions return `Err` (never panic) on streams that no fault-free
+//! engine run could have produced.
+
+use dbp_core::bin::{BinId, BinTag};
+use dbp_core::instance::Instance;
+use dbp_core::probe::ProbeEvent;
+use dbp_core::snapshot::Snapshot;
+use dbp_core::time::Tick;
+
+/// Aggregate results of auditing a journal stream. All quantities are
+/// exact integers recomputed from the events alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// `ItemArrived` events seen.
+    pub arrivals: u64,
+    /// `ItemPlaced` events seen.
+    pub placements: u64,
+    /// `ItemDeparted` events seen.
+    pub departures: u64,
+    /// Bins opened.
+    pub bins_opened: u64,
+    /// Bins closed.
+    pub bins_closed: u64,
+    /// Bins still open when the stream ended (nonzero ⇒ the run was
+    /// interrupted or the journal is a prefix).
+    pub open_at_end: u64,
+    /// Peak number of simultaneously open bins.
+    pub max_open: u64,
+    /// Total cost Σ open-ticks over *closed* bins — equals the paper's
+    /// objective Σᵢ span(bin i) when `open_at_end == 0`.
+    pub cost_ticks: u128,
+    /// `Violation` events carried in the stream.
+    pub violations: u64,
+    /// Fault-injection events carried in the stream (crash/retry/drop).
+    pub fault_events: u64,
+    /// Tick of the last event, if any.
+    pub last_tick: Option<Tick>,
+}
+
+impl ReplaySummary {
+    /// Whether the stream describes a run that finished (every opened bin
+    /// closed again), making [`cost_ticks`](ReplaySummary::cost_ticks) the
+    /// complete objective value.
+    pub fn is_complete(&self) -> bool {
+        self.open_at_end == 0 && self.bins_opened == self.bins_closed
+    }
+}
+
+/// Audit an event stream: check structural invariants and recompute the
+/// exact total cost. Errors describe the first inconsistency found.
+pub fn replay_events(events: &[ProbeEvent]) -> Result<ReplaySummary, String> {
+    let mut summary = ReplaySummary {
+        arrivals: 0,
+        placements: 0,
+        departures: 0,
+        bins_opened: 0,
+        bins_closed: 0,
+        open_at_end: 0,
+        max_open: 0,
+        cost_ticks: 0,
+        violations: 0,
+        fault_events: 0,
+        last_tick: None,
+    };
+    // Per opened bin (indexed by BinId): (is_open, member_count, opened_at).
+    let mut bins: Vec<(bool, u32, Tick)> = Vec::new();
+    let mut open = 0u64;
+    let err = |i: usize, msg: String| Err(format!("event {i}: {msg}"));
+    for (i, ev) in events.iter().enumerate() {
+        if let Some(last) = summary.last_tick {
+            if ev.at() < last {
+                return err(i, format!("tick went backwards ({} after {last})", ev.at()));
+            }
+        }
+        summary.last_tick = Some(ev.at());
+        match ev {
+            ProbeEvent::ItemArrived { .. } => summary.arrivals += 1,
+            ProbeEvent::FitAttempt { open_bins, .. } => {
+                // Emitted before any BinOpened, so it must agree with the
+                // running open count exactly.
+                if u64::from(*open_bins) != open {
+                    return err(
+                        i,
+                        format!("FitAttempt claims {open_bins} open bins, saw {open}"),
+                    );
+                }
+            }
+            ProbeEvent::BinOpened { bin, .. } => {
+                if bin.index() != bins.len() {
+                    return err(
+                        i,
+                        format!("bin {bin} opened out of order (expected b{})", bins.len()),
+                    );
+                }
+                bins.push((true, 0, ev.at()));
+                summary.bins_opened += 1;
+                open += 1;
+                summary.max_open = summary.max_open.max(open);
+            }
+            ProbeEvent::ItemPlaced { bin, .. } => {
+                match bins.get_mut(bin.index()) {
+                    Some((true, count, _)) => *count += 1,
+                    Some((false, ..)) => return err(i, format!("placement into closed bin {bin}")),
+                    None => return err(i, format!("placement into never-opened bin {bin}")),
+                }
+                summary.placements += 1;
+            }
+            ProbeEvent::ItemDeparted { bin, .. } => {
+                match bins.get_mut(bin.index()) {
+                    Some((true, count @ 1.., _)) => *count -= 1,
+                    Some((true, 0, _)) => return err(i, format!("departure from empty bin {bin}")),
+                    Some((false, ..)) => return err(i, format!("departure from closed bin {bin}")),
+                    None => return err(i, format!("departure from never-opened bin {bin}")),
+                }
+                summary.departures += 1;
+            }
+            ProbeEvent::BinClosed {
+                bin, open_ticks, ..
+            } => {
+                match bins.get_mut(bin.index()) {
+                    Some((is_open @ true, 0, opened_at)) => {
+                        let span = ev.at().0.saturating_sub(opened_at.0);
+                        if span != *open_ticks {
+                            return err(
+                                i,
+                                format!(
+                                    "bin {bin} closed with open_ticks {open_ticks}, \
+                                     but opened at {opened_at} and closed at {} (span {span})",
+                                    ev.at()
+                                ),
+                            );
+                        }
+                        *is_open = false;
+                    }
+                    Some((true, count, _)) => {
+                        return err(i, format!("bin {bin} closed while holding {count} items"))
+                    }
+                    Some((false, ..)) => return err(i, format!("bin {bin} closed twice")),
+                    None => return err(i, format!("never-opened bin {bin} closed")),
+                }
+                summary.bins_closed += 1;
+                open -= 1;
+                summary.cost_ticks += u128::from(*open_ticks);
+            }
+            ProbeEvent::Violation { .. } => summary.violations += 1,
+            _ => summary.fault_events += 1,
+        }
+    }
+    summary.open_at_end = open;
+    Ok(summary)
+}
+
+/// A snapshot recovered from a journal prefix.
+#[derive(Debug)]
+pub struct RecoveredSnapshot {
+    /// Engine state at the boundary, rebuilt by deterministic replay.
+    pub snapshot: Snapshot,
+    /// Number of leading journal events the snapshot accounts for.
+    pub events_used: usize,
+    /// Trailing events dropped because they belong to an engine operation
+    /// the crash cut in half. Resuming from the snapshot re-emits exactly
+    /// these first.
+    pub events_dropped: usize,
+}
+
+/// Rebuild engine state from a journaled event stream.
+///
+/// The journal is a flat event stream, but the engine advances in
+/// *operations* — an arrival emits `ItemArrived`, `FitAttempt`,
+/// (`BinOpened`,) `ItemPlaced`; a departure emits `ItemDeparted` and, when
+/// it empties the bin, `BinClosed`. A crash can leave the final operation
+/// half-journaled, so this scans for the last operation boundary, derives
+/// the assignment prefix and bin tags up to it, and rebuilds the exact
+/// [`Snapshot`] there via [`dbp_core::rebuild_snapshot`].
+///
+/// Errors on fault-injection events (crash-recovery journals describe a
+/// different state machine) and on streams no engine run could emit.
+pub fn snapshot_from_events(
+    instance: &Instance,
+    algorithm: &str,
+    events: &[ProbeEvent],
+) -> Result<RecoveredSnapshot, String> {
+    // Pass 1: find the boundary — the end of the last complete operation —
+    // and count completed operations (the engine-event cursor).
+    let mut boundary = 0usize;
+    let mut cursor = 0usize;
+    // Member count per opened bin; a departure that empties its bin is only
+    // complete once the matching BinClosed lands.
+    let mut members: Vec<u32> = Vec::new();
+    let mut pending_close: Option<BinId> = None;
+    for (i, ev) in events.iter().enumerate() {
+        if ev.is_fault_event() {
+            return Err(format!(
+                "event {i} is a fault-injection event ({}); snapshot recovery \
+                 handles fault-free engine journals only",
+                ev.kind()
+            ));
+        }
+        if let Some(bin) = pending_close {
+            match ev {
+                ProbeEvent::BinClosed { bin: b, .. } if *b == bin => {
+                    pending_close = None;
+                    boundary = i + 1;
+                    cursor += 1;
+                    continue;
+                }
+                _ => {
+                    return Err(format!(
+                        "event {i}: expected BinClosed for emptied bin {bin}, found {}",
+                        ev.kind()
+                    ))
+                }
+            }
+        }
+        match ev {
+            ProbeEvent::ItemArrived { .. } | ProbeEvent::FitAttempt { .. } => {}
+            ProbeEvent::BinOpened { bin, .. } => {
+                if bin.index() != members.len() {
+                    return Err(format!(
+                        "event {i}: bin {bin} opened out of order (expected b{})",
+                        members.len()
+                    ));
+                }
+                members.push(0);
+            }
+            ProbeEvent::ItemPlaced { bin, .. } => {
+                match members.get_mut(bin.index()) {
+                    Some(count) => *count += 1,
+                    None => {
+                        return Err(format!("event {i}: placement into never-opened bin {bin}"))
+                    }
+                }
+                boundary = i + 1;
+                cursor += 1;
+            }
+            ProbeEvent::ItemDeparted { bin, .. } => match members.get_mut(bin.index()) {
+                Some(count @ 1..) => {
+                    *count -= 1;
+                    if *count == 0 {
+                        pending_close = Some(*bin);
+                    } else {
+                        boundary = i + 1;
+                        cursor += 1;
+                    }
+                }
+                Some(0) => return Err(format!("event {i}: departure from empty bin {bin}")),
+                None => return Err(format!("event {i}: departure from never-opened bin {bin}")),
+            },
+            ProbeEvent::BinClosed { bin, .. } => {
+                return Err(format!("event {i}: unexpected BinClosed for bin {bin}"))
+            }
+            ProbeEvent::Violation { message, .. } => {
+                return Err(format!("event {i}: journal records a violation: {message}"))
+            }
+            _ => unreachable!("fault events rejected above"),
+        }
+    }
+
+    // Pass 2: derive the assignment prefix and bin tags from the complete
+    // prefix only (a half-journaled arrival may have opened a bin or placed
+    // nothing — neither belongs in the snapshot).
+    let mut assignment: Vec<Option<BinId>> = vec![None; instance.len()];
+    let mut tags: Vec<BinTag> = Vec::new();
+    for (i, ev) in events[..boundary].iter().enumerate() {
+        match ev {
+            ProbeEvent::BinOpened { tag, .. } => tags.push(*tag),
+            ProbeEvent::ItemPlaced { item, bin, .. } => match assignment.get_mut(item.index()) {
+                Some(slot @ None) => *slot = Some(*bin),
+                Some(Some(_)) => return Err(format!("event {i}: item {item} placed twice")),
+                None => {
+                    return Err(format!(
+                        "event {i}: item {item} is outside the instance ({} items)",
+                        instance.len()
+                    ))
+                }
+            },
+            _ => {}
+        }
+    }
+
+    let snapshot = dbp_core::rebuild_snapshot(instance, algorithm, cursor, &assignment, &tags)?;
+    Ok(RecoveredSnapshot {
+        snapshot,
+        events_used: boundary,
+        events_dropped: events.len() - boundary,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::EventLog;
+    use dbp_core::prelude::*;
+
+    fn sample() -> (Instance, Vec<ProbeEvent>) {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 40, 6);
+        b.add(5, 25, 6);
+        b.add(10, 35, 4);
+        b.add(12, 20, 3);
+        let inst = b.build().unwrap();
+        let mut log = EventLog::new();
+        simulate_probed(&inst, &mut FirstFit::new(), &mut log);
+        (inst, log.into_events())
+    }
+
+    #[test]
+    fn audit_of_complete_run_matches_trace_cost() {
+        let (inst, events) = sample();
+        let trace = simulate(&inst, &mut FirstFit::new());
+        let summary = replay_events(&events).unwrap();
+        assert!(summary.is_complete());
+        assert_eq!(summary.arrivals, inst.len() as u64);
+        assert_eq!(summary.placements, inst.len() as u64);
+        assert_eq!(summary.departures, inst.len() as u64);
+        assert_eq!(summary.bins_opened, trace.bins_used() as u64);
+        assert_eq!(summary.cost_ticks, trace.total_cost_ticks());
+        assert_eq!(summary.violations, 0);
+        assert_eq!(summary.fault_events, 0);
+    }
+
+    #[test]
+    fn audit_rejects_impossible_streams() {
+        use dbp_core::bin::BinId;
+        use dbp_core::item::{ItemId, Size};
+        use dbp_core::time::Tick;
+        // Placement into a bin that never opened.
+        let bad = vec![ProbeEvent::ItemPlaced {
+            at: Tick(0),
+            item: ItemId(0),
+            bin: BinId(3),
+            level: Size(5),
+        }];
+        assert!(replay_events(&bad).unwrap_err().contains("never-opened"));
+        // A close whose open_ticks disagrees with its open/close ticks.
+        let bad = vec![
+            ProbeEvent::BinOpened {
+                at: Tick(0),
+                bin: BinId(0),
+                tag: BinTag(0),
+                item: ItemId(0),
+            },
+            ProbeEvent::BinClosed {
+                at: Tick(10),
+                bin: BinId(0),
+                open_ticks: 7,
+            },
+        ];
+        assert!(replay_events(&bad).unwrap_err().contains("span"));
+    }
+
+    #[test]
+    fn snapshot_from_full_stream_is_complete() {
+        let (inst, events) = sample();
+        let rec = snapshot_from_events(&inst, "FF", &events).unwrap();
+        assert_eq!(rec.events_used, events.len());
+        assert_eq!(rec.events_dropped, 0);
+        assert!(rec.snapshot.is_complete());
+        let trace = simulate(&inst, &mut FirstFit::new());
+        assert_eq!(rec.snapshot.closed_cost_ticks(), trace.total_cost_ticks());
+    }
+
+    #[test]
+    fn snapshot_from_every_prefix_resumes_to_identical_stream() {
+        let (inst, events) = sample();
+        for cut in 0..=events.len() {
+            let rec = snapshot_from_events(&inst, "FF", &events[..cut])
+                .unwrap_or_else(|e| panic!("cut {cut}: {e}"));
+            assert!(rec.events_used <= cut);
+            // Resume with a fresh selector and capture the continuation.
+            let mut log = EventLog::new();
+            let mut ff = FirstFit::new();
+            let trace = simulate_resumed_probed(&inst, &mut ff, &mut log, &rec.snapshot).unwrap();
+            assert_eq!(trace, simulate(&inst, &mut FirstFit::new()));
+            // Journal prefix (complete ops only) + continuation == full
+            // uninterrupted stream.
+            let mut combined = events[..rec.events_used].to_vec();
+            combined.extend(log.into_events());
+            assert_eq!(combined, events, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_fault_journals() {
+        use dbp_core::bin::BinId;
+        use dbp_core::time::Tick;
+        let (inst, mut events) = sample();
+        events.push(ProbeEvent::BinCrashed {
+            at: Tick(99),
+            bin: BinId(0),
+            orphans: 1,
+        });
+        let err = snapshot_from_events(&inst, "FF", &events).unwrap_err();
+        assert!(err.contains("fault"), "{err}");
+    }
+}
