@@ -1,0 +1,190 @@
+//! Cluster ingestion throughput: how dispatch scales with shard count.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dbp-bench --bin cluster_scaling [--quick] [--out PATH]
+//! ```
+//!
+//! Packs `churn_workload` (10^6 items; `--quick`: 10^5) through
+//! [`ClusterEngine`] at 1, 2, 4 and 8 shards under the hash router with the
+//! naive scanning First Fit, and writes `BENCH_CLUSTER.json`. Two effects
+//! compound: each shard's per-arrival scan touches only its own open bins
+//! (~1/K of the fleet), and shards run concurrently on the worker pool — so
+//! the 4-shard row's throughput should come out well above 2× the 1-shard
+//! row even on modest hardware. The exact aggregate `busy_ticks` per row
+//! makes the cost of that speedup visible in the same report.
+
+use dbp_bench::churn_workload;
+use dbp_cloudsim::{GamingSystem, Granularity, ServerType};
+use dbp_cluster::{ClusterConfig, ClusterEngine, Router};
+use dbp_core::algorithms::FirstFit;
+use dbp_core::instance::Instance;
+use dbp_core::packer::SelectorFactory;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+
+/// Report schema; bump when fields change (CI validates this).
+const SCHEMA_VERSION: u64 = 1;
+
+/// One measured shard count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ScalingResult {
+    /// Shard count.
+    shards: u64,
+    /// Wall time of the cluster run, milliseconds.
+    wall_ms: u64,
+    /// Ingestion throughput over the whole run.
+    items_per_sec: u64,
+    /// Exact aggregate cost, bin-ticks.
+    busy_ticks: u128,
+    /// Servers rented across all shards.
+    servers_rented: u64,
+    /// Sum of per-shard peak fleets.
+    peak_servers: u64,
+    /// Throughput relative to the 1-shard row, thousandths (2000 = 2×).
+    speedup_millis: u64,
+}
+
+/// The whole report, written as `BENCH_CLUSTER.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClusterBenchReport {
+    schema_version: u64,
+    quick: bool,
+    seed: u64,
+    n_items: u64,
+    capacity: u64,
+    router: String,
+    algorithm: String,
+    peak_rss_bytes: Option<u64>,
+    results: Vec<ScalingResult>,
+}
+
+fn measure(inst: &Instance, shards: usize) -> (u64, ScalingResult) {
+    let system = GamingSystem {
+        server: ServerType {
+            gpu_capacity: inst.capacity().raw(),
+            ..ServerType::default_gpu_vm()
+        },
+        granularity: Granularity::PerTick,
+    };
+    let engine = ClusterEngine::new(system, ClusterConfig::new(shards, Router::HashByItem));
+    let factory = SelectorFactory::new("FF", || Box::new(FirstFit::new()));
+    let started = Instant::now();
+    let run = engine
+        .run(inst, &factory)
+        .expect("workload and system share one capacity");
+    let wall = started.elapsed();
+    assert_eq!(run.report.sessions_served, inst.len(), "items lost");
+    let wall_ns = wall.as_nanos().max(1);
+    let items_per_sec = (inst.len() as u128 * 1_000_000_000 / wall_ns) as u64;
+    (
+        items_per_sec,
+        ScalingResult {
+            shards: shards as u64,
+            wall_ms: wall.as_millis() as u64,
+            items_per_sec,
+            busy_ticks: run.report.busy_ticks,
+            servers_rented: run.report.servers_rented as u64,
+            peak_servers: run.report.peak_servers as u64,
+            speedup_millis: 0, // filled in once the 1-shard row exists
+        },
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = PathBuf::from("BENCH_CLUSTER.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out requires a path");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            out = PathBuf::from(p);
+        }
+    }
+
+    let n = if quick { 100_000 } else { 1_000_000 };
+    eprintln!("[gen] churn_workload n={n}");
+    let inst = churn_workload(n, SEED);
+
+    let mut results = Vec::new();
+    let mut base_throughput = 0u64;
+    for shards in [1usize, 2, 4, 8] {
+        let (throughput, mut r) = measure(&inst, shards);
+        if shards == 1 {
+            base_throughput = throughput;
+        }
+        r.speedup_millis = (throughput as u128 * 1000 / base_throughput.max(1) as u128) as u64;
+        eprintln!(
+            "[bench] shards={shards} {:>9} items/s  {:>7} ms  {:.2}x  busy {}",
+            r.items_per_sec,
+            r.wall_ms,
+            r.speedup_millis as f64 / 1000.0,
+            r.busy_ticks
+        );
+        results.push(r);
+    }
+
+    let report = ClusterBenchReport {
+        schema_version: SCHEMA_VERSION,
+        quick,
+        seed: SEED,
+        n_items: n as u64,
+        capacity: inst.capacity().raw(),
+        router: Router::HashByItem.name().to_string(),
+        algorithm: "FF".to_string(),
+        peak_rss_bytes: dbp_obs::manifest::peak_rss_bytes(),
+        results,
+    };
+    match dbp_obs::export::write_json(&out, &report) {
+        Ok(()) => {
+            println!("[report] {}", out.display());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("[error] cannot write {}: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_and_shard_counts_agree_on_cost_order() {
+        let inst = churn_workload(3_000, 7);
+        let (_, one) = measure(&inst, 1);
+        let (_, four) = measure(&inst, 4);
+        // No ordering assertion between the two bills: First Fit is a
+        // heuristic and partitioning occasionally beats the global scan.
+        assert!(one.busy_ticks > 0 && four.busy_ticks > 0);
+        let report = ClusterBenchReport {
+            schema_version: SCHEMA_VERSION,
+            quick: true,
+            seed: 7,
+            n_items: 3_000,
+            capacity: inst.capacity().raw(),
+            router: "hash".to_string(),
+            algorithm: "FF".to_string(),
+            peak_rss_bytes: None,
+            results: vec![one, four],
+        };
+        let body = serde_json::to_string(&report).unwrap();
+        let back: ClusterBenchReport = serde_json::from_str(&body).unwrap();
+        assert_eq!(report, back);
+    }
+}

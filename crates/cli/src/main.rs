@@ -59,6 +59,12 @@ USAGE:
           [--faults SEED|PLAN.json]   # resilient dispatch under injected faults
           [--journal FILE.wal] [--fsync always|never|N]   # crash-safe event journal
           [--run-manifest FILE.json]  # provenance + exact cost, for `recover`
+  dbp cluster FILE --algo NAME --shards N [--router hash|affinity|least-loaded]
+          [--batch event|whole|N] [--jobs N]
+          [--trace-events FILE.jsonl] [--metrics FILE.prom]
+          [--faults SEED|PLAN.json]   # per-shard fault plans (seed+shard / shared plan)
+          [--journal FILE.wal] [--fsync always|never|N]   # one journal per shard: FILE.wal.shardK
+          [--run-manifest FILE.json]  # merged provenance + exact aggregate cost
   dbp recover FILE.wal [--repair] [--manifest FILE.json]
           [--trace FILE] [--algo NAME] [--faults SEED|PLAN.json]
           [--resume-jsonl FILE.jsonl]
@@ -88,6 +94,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "generate" => cmd_generate(&args),
         "adversary" => cmd_adversary(&args),
         "run" => cmd_run(&args),
+        "cluster" => cmd_cluster(&args),
         "recover" => cmd_recover(&args),
         "trace" => cmd_trace(&args),
         "compare" => cmd_compare(&args),
@@ -506,6 +513,225 @@ fn cmd_run_faults(
         "bill           : {:.2} USD",
         report.cost_cents.to_f64() / 100.0
     );
+    Ok(())
+}
+
+/// The CLI algorithm roster as `'static` names, for [`SelectorFactory`]
+/// (whose name field is `&'static str`).
+fn static_algo_name(name: &str) -> Option<&'static str> {
+    const NAMES: [&str; 11] = [
+        "ff", "bf", "wf", "nf", "lf", "mi", "rf", "hff", "mff", "mff-mu", "cff",
+    ];
+    NAMES.into_iter().find(|n| *n == name)
+}
+
+/// One shard's instrumentation leg: event log + metrics + optional journal.
+type ShardProbe = ((dbp_obs::EventLog, dbp_obs::MetricsProbe), MaybeJournal);
+
+/// `dbp cluster FILE --algo A --shards N --router R`: partition the request
+/// stream across N independent dispatcher shards, run them on a worker
+/// pool, and report the exact aggregate bill. `--journal FILE.wal` writes
+/// one crash-safe journal per shard at `FILE.wal.shardK` (each replayable
+/// with `dbp recover`); `--faults` derives one fault plan per shard (seed
+/// plans get `seed + shard`, explicit `.json` plans are shared verbatim).
+fn cmd_cluster(args: &Args) -> Result<(), String> {
+    let inst = load_instance(args, 1)?;
+    let algo = args.str_flag("algo").unwrap_or("ff");
+    let algo = static_algo_name(algo).ok_or_else(|| format!("unknown algorithm '{algo}'"))?;
+    let shards = args.u64_flag_or("shards", 2)? as usize;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let router_name = args.str_flag("router").unwrap_or("hash");
+    let router = dbp_cluster::Router::from_name(router_name)
+        .ok_or_else(|| format!("unknown router '{router_name}' (hash|affinity|least-loaded)"))?;
+    let batch = match args.str_flag("batch") {
+        None | Some("whole") => dbp_cluster::BatchPolicy::WholeStream,
+        Some("event") => dbp_cluster::BatchPolicy::PerEvent,
+        Some(n) => dbp_cluster::BatchPolicy::Chunks(
+            n.parse()
+                .map_err(|_| format!("--batch expects event|whole|N, got '{n}'"))?,
+        ),
+    };
+    let mut config = dbp_cluster::ClusterConfig::new(shards, router);
+    config.batch = batch;
+    config.jobs = args.u64_flag_or("jobs", 0)? as usize;
+    let engine = dbp_cluster::ClusterEngine::new(paper_gaming_system(&inst), config);
+
+    let hint = mu_hint(&inst);
+    selector_by_name(algo, hint)?; // validate (incl. the mff-mu µ hint) up front
+    let algo_name = algo.to_string();
+    let factory = dbp_core::packer::SelectorFactory::new(algo, move || {
+        selector_by_name(&algo_name, hint).expect("algorithm name validated above")
+    });
+
+    // Pre-open every shard's instrumentation so journal I/O errors surface
+    // before any work runs; the pool then takes them by shard index.
+    let journal_base = args.str_flag("journal");
+    if args.has("fsync") && journal_base.is_none() {
+        return Err("--fsync only makes sense with --journal FILE".into());
+    }
+    let fsync = match args.str_flag("fsync") {
+        None => dbp_obs::FsyncPolicy::Always,
+        Some(spec) => dbp_obs::FsyncPolicy::parse(spec).map_err(|e| format!("--fsync: {e}"))?,
+    };
+    let mut shard_probes: Vec<Option<ShardProbe>> = Vec::with_capacity(shards);
+    for s in 0..shards {
+        let journal = match journal_base {
+            Some(base) => {
+                let path = format!("{base}.shard{s}");
+                let probe = dbp_obs::JournalProbe::create(std::path::Path::new(&path), fsync)
+                    .map_err(|e| format!("{path}: {e}"))?;
+                MaybeJournal {
+                    probe: Some(probe),
+                    path,
+                }
+            }
+            None => MaybeJournal {
+                probe: None,
+                path: String::new(),
+            },
+        };
+        shard_probes.push(Some((
+            (dbp_obs::EventLog::new(), dbp_obs::MetricsProbe::new()),
+            journal,
+        )));
+    }
+    let take_probe = |s: usize, probes: &mut Vec<Option<ShardProbe>>| {
+        probes[s].take().expect("each shard probe is taken once")
+    };
+
+    let started = std::time::Instant::now();
+    if let Some(spec) = args.str_flag("faults") {
+        let horizon = dbp_core::events::event_ticks(&inst)
+            .last()
+            .map(|t| t.raw())
+            .unwrap_or(0);
+        let plans: Vec<dbp_cloudsim::FaultPlan> =
+            if spec.ends_with(".json") || std::path::Path::new(spec).exists() {
+                let plan = load_fault_plan(spec, horizon)?;
+                vec![plan; shards]
+            } else {
+                let seed: u64 = spec.parse().map_err(|_| {
+                    format!("--faults expects a seed or a plan .json, got '{spec}'")
+                })?;
+                (0..shards as u64)
+                    .map(|s| dbp_cloudsim::FaultPlan::from_seed(seed + s, horizon))
+                    .collect()
+            };
+        let (run, probes) = engine
+            .run_resilient_probed(&inst, &factory, &plans, |s| {
+                take_probe(s, &mut shard_probes)
+            })
+            .map_err(|e| e.to_string())?;
+        let wall = started.elapsed();
+        drain_cluster_probes(args, probes, None)?;
+        if let Some(path) = args.str_flag("run-manifest") {
+            // No single packing trace under faults, so no exact cost —
+            // mirrors `run --faults`.
+            let manifest = dbp_obs::RunManifest::capture(algo, None, &inst, wall);
+            dbp_obs::export::write_json(std::path::Path::new(path), &manifest)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("manifest saved to {path}");
+        }
+        let r = &run.report;
+        println!("algorithm      : {}", r.algorithm);
+        println!("router         : {}", r.router);
+        println!("shards         : {}", r.shards);
+        println!("sessions       : {}", r.sessions_total);
+        println!("served         : {}", r.sessions_served);
+        println!("dropped        : {}", r.sessions_dropped);
+        println!("lost to crash  : {}", r.sessions_lost);
+        println!(
+            "ledger         : {}",
+            if r.conserved() {
+                "conserved"
+            } else {
+                "NOT CONSERVED"
+            }
+        );
+        println!("busy ticks     : {}", r.busy_ticks);
+        println!("billed ticks   : {}", r.billed_ticks);
+        println!("bill           : {:.2} USD", r.cost_cents.to_f64() / 100.0);
+        for (s, shard) in run.shards.iter().enumerate() {
+            println!(
+                "  shard {s:>2}     : {} sessions, {}/{} served, {} busy ticks",
+                shard.sessions_total, shard.sessions_served, shard.sessions_total, shard.busy_ticks
+            );
+        }
+        return Ok(());
+    }
+
+    let (run, probes) = engine
+        .run_probed(&inst, &factory, |s| take_probe(s, &mut shard_probes))
+        .map_err(|e| e.to_string())?;
+    drain_cluster_probes(args, probes, Some(&run))?;
+    if let Some(path) = args.str_flag("run-manifest") {
+        dbp_obs::export::write_json(std::path::Path::new(path), &run.report.manifest)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("manifest saved to {path}");
+    }
+    let r = &run.report;
+    println!("algorithm      : {}", r.algorithm);
+    println!("router         : {}", r.router);
+    println!("shards         : {}", r.shards);
+    println!("sessions       : {}", r.sessions_served);
+    println!(
+        "servers        : {} rented, peak {} (sum of shard peaks)",
+        r.servers_rented, r.peak_servers
+    );
+    println!("busy ticks     : {}", r.busy_ticks);
+    println!("billed ticks   : {}", r.billed_ticks);
+    println!("bill           : {:.2} USD", r.cost_cents.to_f64() / 100.0);
+    println!("utilization    : {:.4}", r.utilization.to_f64());
+    println!("instance digest: {}", r.manifest.instance_digest);
+    for shard in &run.shards {
+        println!(
+            "  shard {:>2}     : {} sessions, {} busy ticks, {} servers",
+            shard.shard,
+            shard.report.sessions_served,
+            shard.report.busy_ticks,
+            shard.report.servers_rented
+        );
+    }
+    Ok(())
+}
+
+/// Seal every shard journal and write the cluster's `--trace-events` /
+/// `--metrics` artifacts: one JSONL stream per shard (`FILE.jsonl.shardK`)
+/// and a single Prometheus file with `{shard="K"}`-labelled series plus
+/// cluster totals (when the plain run's merged view is available).
+fn drain_cluster_probes(
+    args: &Args,
+    probes: Vec<ShardProbe>,
+    run: Option<&dbp_cluster::ClusterRun>,
+) -> Result<(), String> {
+    let mut registries = Vec::with_capacity(probes.len());
+    for (s, ((event_log, metrics_probe), journal)) in probes.into_iter().enumerate() {
+        journal.finish()?;
+        if let Some(base) = args.str_flag("trace-events") {
+            let path = format!("{base}.shard{s}");
+            dbp_obs::export::write_jsonl(std::path::Path::new(&path), event_log.events())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("events saved to {path} ({} events)", event_log.len());
+        }
+        registries.push(metrics_probe.registry().clone());
+    }
+    if let Some(path) = args.str_flag("metrics") {
+        let merged = match run {
+            Some(run) => run.metrics(&registries),
+            None => {
+                let mut merged = dbp_obs::MetricsRegistry::new();
+                for (s, reg) in registries.iter().enumerate() {
+                    merged.absorb_labeled(reg, "shard", &s.to_string());
+                }
+                merged
+            }
+        };
+        dbp_obs::export::write_prometheus(std::path::Path::new(path), &merged)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics saved to {path}");
+    }
     Ok(())
 }
 

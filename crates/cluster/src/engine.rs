@@ -1,0 +1,693 @@
+//! The cluster engine: partition one request stream across N independent
+//! `dbp-core` engine shards, run them on a bounded thread pool, and merge
+//! the accounting exactly.
+//!
+//! Every shard is a full [`GamingSystem`]-equivalent dispatch run over the
+//! restricted instance its router slice produced; costs are additive
+//! because shards share no servers, so the aggregate `busy_ticks`,
+//! `billed_ticks` and `cost_cents` are plain sums in `u128`/[`Ratio`] —
+//! no floats anywhere in the ledger. A 1-shard cluster is *the* plain
+//! system run: same trace, same event stream, same report.
+
+use crate::router::Router;
+use dbp_cloudsim::{
+    billed_ticks, rental_cost_cents, DispatchError, FaultPlan, GamingSystem, ResilientReport,
+    ResilientSystem, SystemReport,
+};
+use dbp_core::engine::EngineRun;
+use dbp_core::instance::Instance;
+use dbp_core::item::ItemId;
+use dbp_core::packer::SelectorFactory;
+use dbp_core::probe::{NoProbe, Probe, ProbeEvent};
+use dbp_core::ratio::Ratio;
+use dbp_core::time::Tick;
+use dbp_core::trace::PackingTrace;
+use dbp_obs::{MetricsRegistry, RunManifest};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How the ingestion loop drains each shard's schedule.
+///
+/// Batching is *transparent by construction*: the engine's schedule is
+/// already time-ordered and a batch boundary only decides how many events
+/// one `step()` burst processes before the worker yields, so the decision
+/// sequence, trace and cost are identical for every policy (property-tested
+/// in `tests/cluster_props.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// One schedule event per burst — the unbatched reference feeding.
+    PerEvent,
+    /// Time-ordered chunks of up to `n` schedule events.
+    Chunks(usize),
+    /// Drain the whole shard schedule in one burst.
+    WholeStream,
+}
+
+impl BatchPolicy {
+    fn burst(self) -> usize {
+        match self {
+            BatchPolicy::PerEvent => 1,
+            BatchPolicy::Chunks(n) => n.max(1),
+            BatchPolicy::WholeStream => usize::MAX,
+        }
+    }
+}
+
+/// Cluster shape: shard count, routing policy, ingestion batching and the
+/// worker pool bound.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of engine shards (≥ 1).
+    pub shards: usize,
+    /// Routing policy.
+    pub router: Router,
+    /// Ingestion batching policy.
+    pub batch: BatchPolicy,
+    /// Worker threads running shards; `0` means available parallelism.
+    /// Always clamped to the shard count, like `run_all`'s pool.
+    pub jobs: usize,
+}
+
+impl ClusterConfig {
+    /// A cluster of `shards` shards under `router`, whole-stream batching,
+    /// default worker pool.
+    pub fn new(shards: usize, router: Router) -> ClusterConfig {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        ClusterConfig {
+            shards,
+            router,
+            batch: BatchPolicy::WholeStream,
+            jobs: 0,
+        }
+    }
+
+    fn workers(&self) -> usize {
+        let n = if self.jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.jobs
+        };
+        n.clamp(1, self.shards)
+    }
+}
+
+/// One shard's complete outcome.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// Shard index in `0..shards`.
+    pub shard: usize,
+    /// The shard's dispatch report (per-shard manifest attached, its
+    /// digest taken over the shard's restricted instance).
+    pub report: SystemReport,
+    /// The shard's packing trace (item ids are shard-local).
+    pub trace: PackingTrace,
+    /// Back-map: shard-local item id index → original [`ItemId`].
+    pub back: Vec<ItemId>,
+}
+
+/// Exact aggregate of a cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Dispatcher name (every shard runs the same policy).
+    pub algorithm: String,
+    /// Router name.
+    pub router: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Sessions served across all shards (= the instance size).
+    pub sessions_served: usize,
+    /// Distinct servers rented across all shards (ids are per-shard).
+    pub servers_rented: usize,
+    /// Sum of per-shard peak fleets — what the cluster must be able to
+    /// provision if every pool peaks at once.
+    pub peak_servers: u32,
+    /// Exact sum of shard busy times, in server-ticks.
+    pub busy_ticks: u128,
+    /// Exact sum of shard billed times.
+    pub billed_ticks: u128,
+    /// Exact sum of shard bills, in cents.
+    pub cost_cents: Ratio,
+    /// Cluster-wide utilization: total demand over `W ·` total busy time.
+    pub utilization: Ratio,
+    /// Merged provenance: the *combined* digest is taken over the full
+    /// (pre-partition) instance, so it is independent of shard count and
+    /// router — any two clusterings of the same stream share it — and for
+    /// one shard it equals the plain run's digest byte for byte.
+    pub manifest: RunManifest,
+}
+
+/// A finished cluster run: the aggregate report, every shard's outcome,
+/// and the router's item → shard assignment.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Exact aggregate accounting.
+    pub report: ClusterReport,
+    /// Per-shard outcomes, indexed by shard.
+    pub shards: Vec<ShardRun>,
+    /// `assignment[item.index()]` is the shard that served the item.
+    pub assignment: Vec<usize>,
+}
+
+impl ClusterRun {
+    /// Per-shard metrics with `{shard="N"}`-labelled names plus unlabelled
+    /// cluster totals, ready for Prometheus text export. The per-shard
+    /// registries fan in via [`MetricsRegistry::absorb_labeled`].
+    pub fn metrics(&self, per_shard: &[MetricsRegistry]) -> MetricsRegistry {
+        let mut merged = MetricsRegistry::new();
+        merged.counter_add("dbp_cluster_shards", self.report.shards as u64);
+        merged.counter_add(
+            "dbp_cluster_sessions_served_total",
+            self.report.sessions_served as u64,
+        );
+        merged.counter_add(
+            "dbp_cluster_servers_rented_total",
+            self.report.servers_rented as u64,
+        );
+        merged.counter_add(
+            "dbp_cluster_busy_ticks_total",
+            u64::try_from(self.report.busy_ticks).unwrap_or(u64::MAX),
+        );
+        merged.counter_add(
+            "dbp_cluster_billed_ticks_total",
+            u64::try_from(self.report.billed_ticks).unwrap_or(u64::MAX),
+        );
+        for (shard, reg) in per_shard.iter().enumerate() {
+            merged.absorb_labeled(reg, "shard", &shard.to_string());
+        }
+        merged
+    }
+}
+
+/// Aggregate SLA ledger of a fault-injected cluster run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterResilientReport {
+    /// Dispatcher name.
+    pub algorithm: String,
+    /// Router name.
+    pub router: String,
+    /// Shard count.
+    pub shards: usize,
+    /// Sum of shard session totals (= the instance size).
+    pub sessions_total: u64,
+    /// Sessions served to completion, across shards.
+    pub sessions_served: u64,
+    /// Sessions dropped at admission, across shards.
+    pub sessions_dropped: u64,
+    /// Sessions lost to crashes, across shards.
+    pub sessions_lost: u64,
+    /// Exact sum of shard busy times.
+    pub busy_ticks: u128,
+    /// Exact sum of shard billed times.
+    pub billed_ticks: u128,
+    /// Exact sum of shard bills, in cents.
+    pub cost_cents: Ratio,
+}
+
+impl ClusterResilientReport {
+    /// The conservation law, cluster-wide: every session is served,
+    /// dropped or lost — nothing double-counted, nothing vanishes.
+    pub fn conserved(&self) -> bool {
+        self.sessions_served + self.sessions_dropped + self.sessions_lost == self.sessions_total
+    }
+}
+
+/// A finished fault-injected cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterResilientRun {
+    /// Aggregate SLA ledger.
+    pub report: ClusterResilientReport,
+    /// Per-shard ledgers, indexed by shard.
+    pub shards: Vec<ResilientReport>,
+    /// Router assignment, item → shard.
+    pub assignment: Vec<usize>,
+}
+
+/// The scale-out dispatch layer: a [`GamingSystem`] per shard behind a
+/// [`Router`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterEngine {
+    /// The per-shard system (server flavor + billing granularity).
+    pub system: GamingSystem,
+    /// Cluster shape.
+    pub config: ClusterConfig,
+}
+
+impl ClusterEngine {
+    /// A cluster of `config` shape over `system`.
+    pub fn new(system: GamingSystem, config: ClusterConfig) -> ClusterEngine {
+        ClusterEngine { system, config }
+    }
+
+    /// Partition `requests` by the configured router: one restricted
+    /// instance + back-map per shard, plus the item → shard assignment.
+    /// Restriction preserves arrival order and renumbers densely, so each
+    /// shard is a well-formed instance in its own right.
+    pub fn partition(&self, requests: &Instance) -> (Vec<(Instance, Vec<ItemId>)>, Vec<usize>) {
+        let assignment = self.config.router.assign(requests, self.config.shards);
+        let parts = (0..self.config.shards)
+            .map(|s| requests.restrict(|it| assignment[it.id.index()] == s))
+            .collect();
+        (parts, assignment)
+    }
+
+    /// Run the cluster without instrumentation.
+    pub fn run(
+        &self,
+        requests: &Instance,
+        factory: &SelectorFactory,
+    ) -> Result<ClusterRun, DispatchError> {
+        self.run_probed(requests, factory, |_| NoProbe)
+            .map(|(run, _)| run)
+    }
+
+    /// Run the cluster with one probe per shard. `make_probe(shard)` is
+    /// called in shard order before the pool starts; the probes come back
+    /// in the same order for draining (event logs, journal sealing).
+    ///
+    /// # Errors
+    /// [`DispatchError::CapacityMismatch`] when the workload was generated
+    /// against a different `W` than the shard server flavor provides.
+    pub fn run_probed<P, F>(
+        &self,
+        requests: &Instance,
+        factory: &SelectorFactory,
+        mut make_probe: F,
+    ) -> Result<(ClusterRun, Vec<P>), DispatchError>
+    where
+        P: Probe + Send,
+        F: FnMut(usize) -> P,
+    {
+        self.check_capacity(requests)?;
+        let started = std::time::Instant::now();
+        let (parts, assignment) = self.partition(requests);
+        let units: Vec<(Instance, Vec<ItemId>, P)> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(s, (inst, back))| (inst, back, make_probe(s)))
+            .collect();
+        let system = self.system;
+        let batch = self.config.batch;
+        let outcomes = run_pool(
+            units,
+            self.config.workers(),
+            |shard, (inst, back, mut probe)| {
+                let mut sel = factory.build();
+                let (report, trace) =
+                    run_shard_probed(&system, &inst, &mut *sel, &mut probe, batch);
+                (
+                    ShardRun {
+                        shard,
+                        report,
+                        trace,
+                        back,
+                    },
+                    probe,
+                )
+            },
+        );
+        let mut shards = Vec::with_capacity(outcomes.len());
+        let mut probes = Vec::with_capacity(outcomes.len());
+        for (shard, probe) in outcomes {
+            shards.push(shard);
+            probes.push(probe);
+        }
+        let report = self.aggregate(requests, &shards, started.elapsed());
+        Ok((
+            ClusterRun {
+                report,
+                shards,
+                assignment,
+            },
+            probes,
+        ))
+    }
+
+    /// Run the cluster under per-shard fault plans through
+    /// [`ResilientSystem`]; `plans` must hold one plan per shard.
+    ///
+    /// # Errors
+    /// [`DispatchError::CapacityMismatch`] as for [`run`](Self::run).
+    ///
+    /// # Panics
+    /// Panics when `plans.len()` differs from the shard count.
+    pub fn run_resilient(
+        &self,
+        requests: &Instance,
+        factory: &SelectorFactory,
+        plans: &[FaultPlan],
+    ) -> Result<ClusterResilientRun, DispatchError> {
+        self.run_resilient_probed(requests, factory, plans, |_| NoProbe)
+            .map(|(run, _)| run)
+    }
+
+    /// [`run_resilient`](Self::run_resilient) with one probe per shard.
+    pub fn run_resilient_probed<P, F>(
+        &self,
+        requests: &Instance,
+        factory: &SelectorFactory,
+        plans: &[FaultPlan],
+        mut make_probe: F,
+    ) -> Result<(ClusterResilientRun, Vec<P>), DispatchError>
+    where
+        P: Probe + Send,
+        F: FnMut(usize) -> P,
+    {
+        assert_eq!(
+            plans.len(),
+            self.config.shards,
+            "need exactly one fault plan per shard"
+        );
+        self.check_capacity(requests)?;
+        let (parts, assignment) = self.partition(requests);
+        let units: Vec<(Instance, FaultPlan, P)> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(s, (inst, _back))| (inst, plans[s].clone(), make_probe(s)))
+            .collect();
+        let system = self.system;
+        let results = run_pool(
+            units,
+            self.config.workers(),
+            |_shard, (inst, plan, mut probe)| {
+                let mut sel = factory.build();
+                let resilient = ResilientSystem::new(system, plan);
+                let report = resilient
+                    .run_probed(&inst, &mut *sel, &mut probe)
+                    .expect("capacity was checked at the cluster boundary");
+                (report, probe)
+            },
+        );
+        let mut shards = Vec::with_capacity(results.len());
+        let mut probes = Vec::with_capacity(results.len());
+        for (report, probe) in results {
+            shards.push(report);
+            probes.push(probe);
+        }
+        let algorithm = shards
+            .first()
+            .map(|r| r.algorithm.clone())
+            .unwrap_or_else(|| factory.name().to_string());
+        let report = ClusterResilientReport {
+            algorithm,
+            router: self.config.router.name().to_string(),
+            shards: self.config.shards,
+            sessions_total: shards.iter().map(|r| r.sessions_total).sum(),
+            sessions_served: shards.iter().map(|r| r.sessions_served).sum(),
+            sessions_dropped: shards.iter().map(|r| r.sessions_dropped).sum(),
+            sessions_lost: shards.iter().map(|r| r.sessions_lost).sum(),
+            busy_ticks: shards.iter().map(|r| r.busy_ticks).sum(),
+            billed_ticks: shards.iter().map(|r| r.billed_ticks).sum(),
+            cost_cents: shards.iter().fold(Ratio::ZERO, |acc, r| acc + r.cost_cents),
+        };
+        Ok((
+            ClusterResilientRun {
+                report,
+                shards,
+                assignment,
+            },
+            probes,
+        ))
+    }
+
+    fn check_capacity(&self, requests: &Instance) -> Result<(), DispatchError> {
+        if requests.capacity().raw() != self.system.server.gpu_capacity {
+            return Err(DispatchError::CapacityMismatch {
+                workload: requests.capacity().raw(),
+                server: self.system.server.gpu_capacity,
+            });
+        }
+        Ok(())
+    }
+
+    /// Merge shard reports into the exact aggregate.
+    fn aggregate(
+        &self,
+        requests: &Instance,
+        shards: &[ShardRun],
+        wall: std::time::Duration,
+    ) -> ClusterReport {
+        let busy: u128 = shards.iter().map(|s| s.report.busy_ticks).sum();
+        let algorithm = shards
+            .first()
+            .map(|s| s.report.algorithm.clone())
+            .expect("a cluster has at least one shard");
+        let utilization = if busy == 0 {
+            Ratio::ZERO
+        } else {
+            Ratio::new(
+                requests.total_demand(),
+                requests.capacity().raw() as u128 * busy,
+            )
+        };
+        ClusterReport {
+            algorithm: algorithm.clone(),
+            router: self.config.router.name().to_string(),
+            shards: self.config.shards,
+            sessions_served: shards.iter().map(|s| s.report.sessions_served).sum(),
+            servers_rented: shards.iter().map(|s| s.report.servers_rented).sum(),
+            peak_servers: shards.iter().map(|s| s.report.peak_servers).sum(),
+            busy_ticks: busy,
+            billed_ticks: shards.iter().map(|s| s.report.billed_ticks).sum(),
+            cost_cents: shards
+                .iter()
+                .fold(Ratio::ZERO, |acc, s| acc + s.report.cost_cents),
+            utilization,
+            manifest: RunManifest::capture(&algorithm, None, requests, wall).with_cost(busy),
+        }
+    }
+}
+
+/// One shard's dispatch: the [`GamingSystem::run`] accounting, driven
+/// through [`EngineRun`] in time-ordered bursts so ingestion can batch.
+/// Validation and report construction mirror the plain system run exactly —
+/// a 1-shard cluster must be byte-identical to it.
+pub fn run_shard_probed<S, P>(
+    system: &GamingSystem,
+    requests: &Instance,
+    dispatcher: &mut S,
+    probe: &mut P,
+    batch: BatchPolicy,
+) -> (SystemReport, PackingTrace)
+where
+    S: dbp_core::packer::BinSelector + ?Sized,
+    P: Probe,
+{
+    assert_eq!(
+        requests.capacity().raw(),
+        system.server.gpu_capacity,
+        "capacity is checked at the cluster boundary"
+    );
+    let started = std::time::Instant::now();
+    let burst = batch.burst();
+    let mut run = EngineRun::new(requests, &mut *dispatcher, &mut *probe);
+    while !run.is_done() {
+        for _ in 0..burst {
+            if !run.step() {
+                break;
+            }
+        }
+    }
+    let trace = run.finish();
+    let errs = trace.validate(requests);
+    if P::ENABLED {
+        for err in &errs {
+            probe.record(ProbeEvent::Violation {
+                at: Tick(0),
+                message: err.clone(),
+            });
+        }
+    }
+    assert!(
+        errs.is_empty(),
+        "trace validation failed for {}:\n{}",
+        trace.algorithm,
+        errs.join("\n")
+    );
+    let wall = started.elapsed();
+    let busy = trace.total_cost_ticks();
+    let utilization = if busy == 0 {
+        Ratio::ZERO
+    } else {
+        Ratio::new(
+            requests.total_demand(),
+            requests.capacity().raw() as u128 * busy,
+        )
+    };
+    let report = SystemReport {
+        algorithm: trace.algorithm.clone(),
+        sessions_served: requests.len(),
+        servers_rented: trace.bins_used(),
+        peak_servers: trace.max_open_bins(),
+        busy_ticks: busy,
+        billed_ticks: billed_ticks(&trace, system.granularity),
+        cost_cents: rental_cost_cents(&trace, system.server, system.granularity),
+        utilization,
+        manifest: Some(RunManifest::capture(&trace.algorithm, None, requests, wall)),
+    };
+    (report, trace)
+}
+
+/// The bounded worker pool `run_all` uses, as a library primitive: `n`
+/// work units claimed by index from `workers` scoped threads, results
+/// returned in unit order regardless of scheduling.
+fn run_pool<U, T, F>(units: Vec<U>, workers: usize, work: F) -> Vec<T>
+where
+    U: Send,
+    T: Send,
+    F: Fn(usize, U) -> T + Sync,
+{
+    let n = units.len();
+    let slots: Vec<Mutex<Option<U>>> = units.into_iter().map(|u| Mutex::new(Some(u))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers.clamp(1, n.max(1)) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    return;
+                }
+                let unit = slots[i]
+                    .lock()
+                    .expect("poisoned work slot")
+                    .take()
+                    .expect("work unit claimed twice");
+                let out = work(i, unit);
+                *results[i].lock().expect("poisoned result slot") = Some(out);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("poisoned result slot")
+                .expect("worker pool lost a result")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::algorithms::FirstFit;
+    use dbp_core::instance::InstanceBuilder;
+    use dbp_workloads::{generate, CloudGamingConfig};
+
+    fn workload(seed: u64) -> Instance {
+        generate(&CloudGamingConfig {
+            horizon: 1800,
+            seed,
+            ..CloudGamingConfig::default()
+        })
+    }
+
+    fn ff_factory() -> SelectorFactory {
+        SelectorFactory::new("FF", || Box::new(FirstFit::new()))
+    }
+
+    #[test]
+    fn shard_reports_sum_to_the_aggregate_exactly() {
+        let inst = workload(11);
+        for router in Router::ALL {
+            let engine =
+                ClusterEngine::new(GamingSystem::paper_model(), ClusterConfig::new(4, router));
+            let run = engine.run(&inst, &ff_factory()).unwrap();
+            let busy: u128 = run.shards.iter().map(|s| s.report.busy_ticks).sum();
+            assert_eq!(run.report.busy_ticks, busy, "{}", router.name());
+            let cents = run
+                .shards
+                .iter()
+                .fold(Ratio::ZERO, |acc, s| acc + s.report.cost_cents);
+            assert_eq!(run.report.cost_cents, cents, "{}", router.name());
+            assert_eq!(run.report.sessions_served, inst.len(), "{}", router.name());
+        }
+    }
+
+    #[test]
+    fn manifest_digest_is_router_and_shard_count_independent() {
+        let inst = workload(12);
+        let mut digests = Vec::new();
+        for router in Router::ALL {
+            for shards in [1, 2, 8] {
+                let engine = ClusterEngine::new(
+                    GamingSystem::paper_model(),
+                    ClusterConfig::new(shards, router),
+                );
+                let run = engine.run(&inst, &ff_factory()).unwrap();
+                digests.push(run.report.manifest.instance_digest.clone());
+            }
+        }
+        digests.dedup();
+        assert_eq!(digests.len(), 1, "combined digest must be the stream's");
+        assert_eq!(digests[0], dbp_obs::manifest::instance_digest(&inst));
+    }
+
+    #[test]
+    fn capacity_mismatch_is_rejected_at_the_boundary() {
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 5, 3);
+        let inst = b.build().unwrap();
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(2, Router::HashByItem),
+        );
+        assert!(matches!(
+            engine.run(&inst, &ff_factory()),
+            Err(DispatchError::CapacityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn more_shards_than_items_leaves_empty_shards_sound() {
+        let mut b = InstanceBuilder::new(1000);
+        b.add(0, 10, 100);
+        b.add(2, 8, 200);
+        let inst = b.build().unwrap();
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(8, Router::HashByItem),
+        );
+        let run = engine.run(&inst, &ff_factory()).unwrap();
+        assert_eq!(run.report.sessions_served, 2);
+        let nonempty = run.shards.iter().filter(|s| !s.back.is_empty()).count();
+        assert!(nonempty <= 2);
+        assert!(run.report.busy_ticks > 0);
+    }
+
+    #[test]
+    fn resilient_ledger_is_conserved_across_shards() {
+        let inst = workload(13);
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(3, Router::LeastLoaded),
+        );
+        let plans: Vec<FaultPlan> = (0..3)
+            .map(|s| FaultPlan::from_seed(100 + s, 1800))
+            .collect();
+        let run = engine.run_resilient(&inst, &ff_factory(), &plans).unwrap();
+        assert!(run.report.conserved());
+        assert_eq!(run.report.sessions_total, inst.len() as u64);
+        for shard in &run.shards {
+            assert!(shard.conserved());
+        }
+    }
+
+    #[test]
+    fn zero_fault_plans_reproduce_the_plain_cluster_bill() {
+        let inst = workload(14);
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(4, Router::HashByItem),
+        );
+        let plain = engine.run(&inst, &ff_factory()).unwrap();
+        let plans = vec![FaultPlan::none(); 4];
+        let faulted = engine.run_resilient(&inst, &ff_factory(), &plans).unwrap();
+        assert_eq!(faulted.report.busy_ticks, plain.report.busy_ticks);
+        assert_eq!(faulted.report.cost_cents, plain.report.cost_cents);
+        assert_eq!(faulted.report.sessions_served, inst.len() as u64);
+    }
+}

@@ -1,0 +1,40 @@
+//! # dbp-cluster — sharded multi-dispatcher scale-out
+//!
+//! The paper's dispatcher is a single MinTotal DBP instance; the providers
+//! its introduction cites run many regional server pools behind a routing
+//! layer. This crate is that layer over the `dbp-core` engine:
+//!
+//! * [`Router`] — deterministic routing policies (hash-by-item,
+//!   game-affinity against the `dbp-workloads` catalog, exact-integer
+//!   least-loaded) that partition one request stream into per-shard
+//!   instances via [`Instance::restrict`](dbp_core::instance::Instance::restrict);
+//! * [`ClusterEngine`] — runs every shard as an independent
+//!   [`GamingSystem`](dbp_cloudsim::GamingSystem)-equivalent dispatch on a
+//!   bounded thread pool, with batched time-ordered ingestion
+//!   ([`BatchPolicy`]) and a per-shard
+//!   [`Probe`](dbp_core::probe::Probe) fan-in;
+//! * [`ClusterReport`] — the exact aggregate: `busy_ticks`, `billed_ticks`
+//!   and `cost_cents` are plain `u128`/`Ratio` sums over the shards
+//!   (shards share no servers, so costs are additive), plus a merged
+//!   [`RunManifest`](dbp_obs::RunManifest) whose digest covers the full
+//!   pre-partition stream;
+//! * [`ClusterEngine::run_resilient`] — per-shard
+//!   [`FaultPlan`](dbp_cloudsim::FaultPlan)s through the resilient
+//!   dispatcher, with a cluster-wide conserved SLA ledger.
+//!
+//! The differential guarantee the test suite pins down: a 1-shard cluster
+//! *is* the plain system run — same report, same JSONL event stream, same
+//! manifest digest — and for any shard count the union of shard traces
+//! serves every item exactly once.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod router;
+
+pub use engine::{
+    run_shard_probed, BatchPolicy, ClusterConfig, ClusterEngine, ClusterReport,
+    ClusterResilientReport, ClusterResilientRun, ClusterRun, ShardRun,
+};
+pub use router::Router;

@@ -1,0 +1,220 @@
+//! Routing policies: which shard serves which request.
+//!
+//! A router is a *pure function* of the instance — no RNG, no wall clock —
+//! so the same workload always lands on the same shards and every cluster
+//! run is exactly reproducible. Routing happens before dispatch and sees
+//! only what an online router could see at arrival time: the item's id,
+//! arrival tick and size (never the departure).
+
+use dbp_core::instance::Instance;
+use dbp_core::item::Item;
+use dbp_workloads::GameCatalog;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// The routing policy catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Router {
+    /// SplitMix64 hash of the item id — stateless, uniform in expectation.
+    HashByItem,
+    /// Game affinity: requests for the same title (recovered from the
+    /// session's GPU footprint against the default
+    /// [`GameCatalog`]) go to the same shard, so
+    /// each pool holds few distinct game images. Sizes matching no
+    /// catalog title fall back to the hash route.
+    GameAffinity,
+    /// Exact-integer least-loaded: route each arrival to the shard whose
+    /// currently *active* routed load (sum of sizes of sessions routed
+    /// there and not yet departed) is smallest, lowest shard index winning
+    /// ties. The load view uses the router's own bookkeeping — integers
+    /// only, no floats.
+    LeastLoaded,
+}
+
+impl Router {
+    /// Every router, for sweeps.
+    pub const ALL: [Router; 3] = [
+        Router::HashByItem,
+        Router::GameAffinity,
+        Router::LeastLoaded,
+    ];
+
+    /// Stable CLI name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Router::HashByItem => "hash",
+            Router::GameAffinity => "affinity",
+            Router::LeastLoaded => "least-loaded",
+        }
+    }
+
+    /// Parse a CLI name.
+    pub fn from_name(name: &str) -> Option<Router> {
+        Router::ALL.into_iter().find(|r| r.name() == name)
+    }
+
+    /// Assign every item of `requests` to a shard in `0..shards`.
+    /// Deterministic: two calls on equal instances return equal vectors.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn assign(self, requests: &Instance, shards: usize) -> Vec<usize> {
+        assert!(shards > 0, "a cluster needs at least one shard");
+        match self {
+            Router::HashByItem => requests
+                .items()
+                .iter()
+                .map(|it| (splitmix64(it.id.0 as u64) % shards as u64) as usize)
+                .collect(),
+            Router::GameAffinity => {
+                let by_size = title_by_gpu_units();
+                requests
+                    .items()
+                    .iter()
+                    .map(|it| match by_size.get(&it.size.raw()) {
+                        Some(&title) => title % shards,
+                        None => (splitmix64(it.id.0 as u64) % shards as u64) as usize,
+                    })
+                    .collect()
+            }
+            Router::LeastLoaded => least_loaded(requests, shards),
+        }
+    }
+}
+
+/// First catalog index per GPU footprint. Two titles sharing a footprint
+/// (the default catalog has two such pairs) collapse onto the first — the
+/// router cannot tell them apart from the size alone, which is all an
+/// arrival carries.
+fn title_by_gpu_units() -> HashMap<u64, usize> {
+    let mut map = HashMap::new();
+    for (i, g) in GameCatalog::default_catalog().games.iter().enumerate() {
+        map.entry(g.gpu_units).or_insert(i);
+    }
+    map
+}
+
+/// SplitMix64 finalizer — the same avalanche the fault layer's hash
+/// streams use, applied to item ids.
+fn splitmix64(v: u64) -> u64 {
+    let mut z = v.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Least-loaded routing: process arrivals in (tick, id) order, expiring
+/// departed sessions first (the engine's departures-before-arrivals rule),
+/// and keep per-shard active-load counters in exact integers.
+fn least_loaded(requests: &Instance, shards: usize) -> Vec<usize> {
+    let mut order: Vec<&Item> = requests.items().iter().collect();
+    order.sort_by_key(|it| (it.arrival.raw(), it.id.0));
+    let mut load = vec![0u128; shards];
+    // Min-heap of (departure, shard, size) via Reverse ordering.
+    let mut active: BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>> = BinaryHeap::new();
+    let mut assignment = vec![0usize; requests.len()];
+    for it in order {
+        while let Some(&std::cmp::Reverse((dep, shard, size))) = active.peek() {
+            if dep > it.arrival.raw() {
+                break;
+            }
+            active.pop();
+            load[shard] -= size as u128;
+        }
+        let best = (0..shards)
+            .min_by_key(|&s| load[s])
+            .expect("shards is nonzero");
+        load[best] += it.size.raw() as u128;
+        active.push(std::cmp::Reverse((it.departure.raw(), best, it.size.raw())));
+        assignment[it.id.index()] = best;
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::instance::InstanceBuilder;
+
+    fn tiny() -> Instance {
+        let mut b = InstanceBuilder::new(100);
+        b.add(0, 10, 5);
+        b.add(0, 10, 5);
+        b.add(5, 20, 7);
+        b.add(12, 30, 9);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for r in Router::ALL {
+            assert_eq!(Router::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Router::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn assignments_cover_every_item_and_stay_in_range() {
+        let inst = tiny();
+        for r in Router::ALL {
+            for shards in [1, 2, 3, 8] {
+                let a = r.assign(&inst, shards);
+                assert_eq!(a.len(), inst.len(), "{}", r.name());
+                assert!(a.iter().all(|&s| s < shards), "{}", r.name());
+            }
+        }
+    }
+
+    #[test]
+    fn one_shard_routes_everything_to_zero() {
+        let inst = tiny();
+        for r in Router::ALL {
+            assert!(r.assign(&inst, 1).iter().all(|&s| s == 0));
+        }
+    }
+
+    #[test]
+    fn least_loaded_balances_simultaneous_arrivals() {
+        // Two identical items arriving together must go to different shards.
+        let mut b = InstanceBuilder::new(100);
+        b.add(0, 10, 5);
+        b.add(0, 10, 5);
+        let inst = b.build().unwrap();
+        let a = Router::LeastLoaded.assign(&inst, 2);
+        assert_eq!(a, vec![0, 1]);
+    }
+
+    #[test]
+    fn least_loaded_expires_departed_sessions() {
+        // Item 0 departs before item 2 arrives, so shard 0 is free again.
+        let mut b = InstanceBuilder::new(100);
+        b.add(0, 5, 9);
+        b.add(0, 20, 1);
+        b.add(5, 10, 9);
+        let inst = b.build().unwrap();
+        let a = Router::LeastLoaded.assign(&inst, 2);
+        assert_eq!(a[0], 0);
+        assert_eq!(a[1], 1);
+        // At t=5 shard 0's load is 0 (item 0 gone), shard 1 holds size 1.
+        assert_eq!(a[2], 0);
+    }
+
+    #[test]
+    fn affinity_groups_equal_footprints() {
+        let catalog = GameCatalog::default_catalog();
+        let units = catalog.games[0].gpu_units;
+        let mut b = InstanceBuilder::new(1000);
+        b.add(0, 10, units);
+        b.add(3, 12, units);
+        b.add(5, 20, units);
+        let inst = b.build().unwrap();
+        let a = Router::GameAffinity.assign(&inst, 4);
+        assert!(a.windows(2).all(|w| w[0] == w[1]), "{a:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = Router::HashByItem.assign(&tiny(), 0);
+    }
+}

@@ -86,6 +86,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("fault_tolerance", |q| exp::fault_tolerance::run(q).0),
     ("ff_gap_search", |q| exp::ff_gap_search::run(q).0),
     ("hff_class_ablation", |q| exp::hff_class_ablation::run(q).0),
+    ("sharding_overhead", |q| exp::sharding_overhead::run(q).0),
 ];
 
 /// Parsed command line.

@@ -1,0 +1,6 @@
+//! Binary for the `sharding_overhead` experiment (see the library module of
+//! the same name). Pass `--quick` for a reduced grid.
+fn main() {
+    let (table, _) = dbp_experiments::sharding_overhead::run(dbp_experiments::quick_flag());
+    dbp_experiments::harness::finish(&table, "sharding_overhead");
+}

@@ -28,6 +28,7 @@
 //! | [`value_of_clairvoyance`] | related work \[14\]/\[21\] (known departure times) |
 //! | [`migration_gap`] | strength of the `OPT_total` repacking baseline |
 //! | [`server_churn`] | provisioning fees vs bin churn |
+//! | [`sharding_overhead`] | §5 scale-out: K-shard cluster cost vs one dispatcher |
 //! | [`fault_tolerance`] | resilience: crashes & flaky provisioning vs the fault-free bill |
 //! | [`ff_gap_search`] | the open `[µ, 2µ+13]` gap, probed by adversarial search |
 //! | [`hff_class_ablation`] | Harmonic-class generalization of MFF's split |
@@ -53,6 +54,7 @@ pub mod mff_ratio;
 pub mod migration_gap;
 pub mod mu_sensitivity;
 pub mod server_churn;
+pub mod sharding_overhead;
 pub mod sweep;
 pub mod tab2_case_classification;
 pub mod thm3_large_items;

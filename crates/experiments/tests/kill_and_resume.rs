@@ -104,6 +104,41 @@ fn sigkill_then_resume_reproduces_a_clean_run_byte_for_byte() {
 }
 
 #[test]
+fn sigkill_mid_cluster_experiment_resumes_byte_for_byte() {
+    // The sharding_overhead experiment runs multi-threaded cluster
+    // dispatches inside the sweep's own worker pool; a SIGKILL landing
+    // while shard threads are mid-flight must leave nothing that a
+    // resume can't reproduce exactly.
+    let clean = results_dir("cluster-clean");
+    let started = Instant::now();
+    let out = run_all(&clean, &["--only", "sharding_overhead"]);
+    assert!(out.status.success(), "clean run failed: {out:?}");
+    let clean_wall = started.elapsed();
+
+    let dir = results_dir("cluster-kill");
+    let mut child = Command::new(env!("CARGO_BIN_EXE_run_all"))
+        .env("DBP_RESULTS", &dir)
+        .args(["--quick", "--stable-manifest", "--jobs", "2"])
+        .args(["--only", "sharding_overhead"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("failed to spawn run_all");
+    std::thread::sleep(clean_wall / 2);
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let out = run_all(&dir, &["--resume", "--only", "sharding_overhead"]);
+    assert!(
+        out.status.success(),
+        "resume failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_identical(&clean, &dir);
+}
+
+#[test]
 fn sigterm_checkpoints_and_resume_finishes_the_sweep() {
     let clean = results_dir("term-clean");
     let started = Instant::now();

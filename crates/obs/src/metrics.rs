@@ -153,6 +153,46 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// Every counter, in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// Every gauge, in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> + '_ {
+        self.gauges.iter().map(|(n, &v)| (n.as_str(), v))
+    }
+
+    /// Fan another registry into this one under a `{label="value"}` suffix:
+    /// `other`'s `dbp_items_placed_total` lands here as
+    /// `dbp_items_placed_total{label="value"}`. This is how per-shard
+    /// registries merge into one cluster-wide export while staying
+    /// distinguishable. Counters add, gauges keep their maximum (the
+    /// labelled name is normally unique per source anyway), histogram
+    /// entries merge exactly.
+    pub fn absorb_labeled(&mut self, other: &MetricsRegistry, label: &str, value: &str) {
+        let labeled = |name: &str| format!("{name}{{{label}=\"{value}\"}}");
+        for (name, v) in &other.counters {
+            self.counter_add(&labeled(name), *v);
+        }
+        for (name, v) in &other.gauges {
+            self.gauge_max(&labeled(name), *v);
+        }
+        for (name, h) in &other.histograms {
+            let target = self.histograms.entry(labeled(name)).or_default();
+            for (v, c) in h.entries() {
+                match target.counts.get_mut(&v) {
+                    Some(n) => *n += c,
+                    None => {
+                        target.counts.insert(v, c);
+                    }
+                }
+                target.count += c;
+                target.sum += v as u128 * c as u128;
+            }
+        }
+    }
+
     /// Render in Prometheus text exposition format. Histograms are emitted
     /// as summaries (`{quantile="..."}` series plus `_sum`/`_count`), which
     /// keeps exact values exact — no lossy bucket boundaries.
@@ -216,5 +256,36 @@ mod tests {
         assert!(text.contains("dbp_fit_scan_depth{quantile=\"1\"} 7"));
         assert!(text.contains("dbp_fit_scan_depth_count 2"));
         assert_eq!(reg.counter("missing"), 0);
+    }
+
+    #[test]
+    fn absorb_labeled_merges_under_suffixed_names() {
+        let mut shard0 = MetricsRegistry::new();
+        shard0.counter_add("dbp_items_placed_total", 3);
+        shard0.gauge_max("dbp_open_bins_peak", 4);
+        shard0.observe("dbp_fit_scan_depth", 2);
+        shard0.observe("dbp_fit_scan_depth", 2);
+        let mut shard1 = MetricsRegistry::new();
+        shard1.counter_add("dbp_items_placed_total", 5);
+
+        let mut merged = MetricsRegistry::new();
+        merged.absorb_labeled(&shard0, "shard", "0");
+        merged.absorb_labeled(&shard1, "shard", "1");
+        // Same shard absorbed twice: counters keep adding.
+        merged.absorb_labeled(&shard1, "shard", "1");
+
+        assert_eq!(merged.counter("dbp_items_placed_total{shard=\"0\"}"), 3);
+        assert_eq!(merged.counter("dbp_items_placed_total{shard=\"1\"}"), 10);
+        assert_eq!(merged.gauge("dbp_open_bins_peak{shard=\"0\"}"), Some(4));
+        let h = merged
+            .histogram("dbp_fit_scan_depth{shard=\"0\"}")
+            .expect("histogram absorbed");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 4);
+        assert_eq!(h.quantile(1.0), Some(2));
+        // The labelled series render as distinct Prometheus lines.
+        let text = merged.to_prometheus();
+        assert!(text.contains("dbp_items_placed_total{shard=\"0\"} 3"));
+        assert!(text.contains("dbp_items_placed_total{shard=\"1\"} 10"));
     }
 }

@@ -5,6 +5,7 @@
 
 use dbp::prelude::*;
 use dbp_core::algorithms::standard_factories;
+use dbp_workloads::Scenario;
 
 /// The Theorem 1 witness (k = 8, µ = 10): forced costs are closed-form.
 #[test]
@@ -69,6 +70,43 @@ fn golden_gaming_trace_costs() {
     assert_eq!(inst, again);
     let mut ff2 = FirstFit::new();
     assert_eq!(simulate(&again, &mut ff2).total_cost_ticks(), ff);
+}
+
+/// Pinned `sharding_overhead` rows: the exact aggregate busy-ticks of the
+/// clustered First Fit dispatch on two scenarios with the experiment's own
+/// configuration (seed 17, hash router). Any drift in the router, the
+/// `Instance::restrict` partitioning, or the cluster aggregation shows up
+/// here as a loud diff. (Values verified on first green run.)
+#[test]
+fn golden_sharding_overhead_rows() {
+    use dbp_cluster::{ClusterConfig, ClusterEngine, Router};
+
+    let golden: [(Scenario, &[(usize, u128)]); 2] = [
+        (
+            Scenario::Steady,
+            &[(1, 649_724), (2, 668_869), (4, 692_843)],
+        ),
+        (
+            Scenario::LaunchDay,
+            &[(1, 1_561_595), (2, 1_601_852), (4, 1_641_040)],
+        ),
+    ];
+    for (scenario, rows) in golden {
+        let cfg = CloudGamingConfig {
+            seed: 17,
+            ..scenario.config()
+        };
+        let inst = generate(&cfg);
+        let factory = dbp_core::packer::SelectorFactory::new("FF", || Box::new(FirstFit::new()));
+        for &(shards, want) in rows {
+            let engine = ClusterEngine::new(
+                dbp_cloudsim::GamingSystem::paper_model(),
+                ClusterConfig::new(shards, Router::HashByItem),
+            );
+            let run = engine.run(&inst, &factory).unwrap();
+            assert_eq!(run.report.busy_ticks, want, "{} x{shards}", scenario.name());
+        }
+    }
 }
 
 /// Exact OPT on the canonical migration-gap instance.
