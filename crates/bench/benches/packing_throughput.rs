@@ -4,8 +4,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dbp_bench::standard_workload;
 use dbp_core::algorithms::standard_factories;
-use dbp_core::engine::{simulate, simulate_probed};
+use dbp_core::engine::{simulate, simulate_probed, simulate_traced};
 use dbp_core::probe::NoProbe;
+use dbp_core::span::NoSpans;
 use std::hint::black_box;
 
 fn packing_throughput(c: &mut Criterion) {
@@ -70,6 +71,58 @@ fn probe_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// The zero-cost contract of the span seam, mirroring `probe_overhead`:
+/// `simulate` (implicit `NoSpans`), an explicit `NoSpans` through
+/// `simulate_traced`, and a live `SpanCollector`/`StageAggregator`. The
+/// first two must be within noise — `ENABLED = false` compiles every
+/// emission site out.
+fn span_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("span_overhead");
+    let n = 10_000usize;
+    let inst = standard_workload(n, 42);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(BenchmarkId::new("uninstrumented", n), &inst, |b, inst| {
+        b.iter(|| {
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            black_box(simulate(inst, &mut ff).total_cost_ticks())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("noop_spans", n), &inst, |b, inst| {
+        b.iter(|| {
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            black_box(simulate_traced(inst, &mut ff, &mut NoProbe, NoSpans).total_cost_ticks())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("span_collector", n), &inst, |b, inst| {
+        b.iter(|| {
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            let mut spans = dbp_obs::SpanCollector::new(0);
+            let trace = simulate_traced(inst, &mut ff, &mut NoProbe, &mut spans);
+            // One arrival span per item, nothing left open. Assertions run
+            // under `cargo bench -- --test` so CI smoke-checks the seam.
+            assert_eq!(
+                spans
+                    .spans()
+                    .iter()
+                    .filter(|s| s.name == dbp_core::span::stage::ARRIVAL)
+                    .count(),
+                inst.len()
+            );
+            black_box(trace.total_cost_ticks())
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("stage_aggregator", n), &inst, |b, inst| {
+        b.iter(|| {
+            let mut ff = dbp_core::algorithms::FirstFit::new();
+            let mut spans = dbp_obs::StageAggregator::new(0);
+            let trace = simulate_traced(inst, &mut ff, &mut NoProbe, &mut spans);
+            assert!(!spans.breakdown().is_empty());
+            black_box(trace.total_cost_ticks())
+        })
+    });
+    group.finish();
+}
+
 fn adversarial_instances(c: &mut Criterion) {
     let mut group = c.benchmark_group("adversarial_build_and_pack");
     group.sample_size(20);
@@ -96,6 +149,7 @@ criterion_group!(
     benches,
     packing_throughput,
     probe_overhead,
+    span_overhead,
     adversarial_instances
 );
 criterion_main!(benches);

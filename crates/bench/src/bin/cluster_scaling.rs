@@ -19,8 +19,11 @@ use dbp_bench::churn_workload;
 use dbp_cloudsim::{GamingSystem, Granularity, ServerType};
 use dbp_cluster::{ClusterConfig, ClusterEngine, Router};
 use dbp_core::algorithms::FirstFit;
+use dbp_core::engine::simulate;
 use dbp_core::instance::Instance;
 use dbp_core::packer::SelectorFactory;
+use dbp_core::probe::NoProbe;
+use dbp_obs::span::{StageAggregator, StageRow};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,7 +32,7 @@ use std::time::Instant;
 const SEED: u64 = 42;
 
 /// Report schema; bump when fields change (CI validates this).
-const SCHEMA_VERSION: u64 = 1;
+const SCHEMA_VERSION: u64 = 2;
 
 /// One measured shard count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -48,6 +51,20 @@ struct ScalingResult {
     peak_servers: u64,
     /// Throughput relative to the 1-shard row, thousandths (2000 = 2×).
     speedup_millis: u64,
+    /// This row's wall time relative to the plain single-engine `simulate`
+    /// run on the same stream, thousandths (1000 = parity, 2500 = the
+    /// cluster path takes 2.5× as long). The 1-shard row quantifies the
+    /// dispatch layer's bookkeeping tax — the gap between BENCH_ENGINE's
+    /// items/sec and this report's.
+    overhead_vs_plain_engine: u64,
+    /// Per shard: ns the work unit waited for a pool worker (from the
+    /// traced pass).
+    queue_wait_ns: Vec<u64>,
+    /// Per shard: ns from worker claim to shard completion (traced pass).
+    busy_ns: Vec<u64>,
+    /// Ranked per-stage self-time table from the traced pass, driver and
+    /// shard lanes merged.
+    stage_breakdown: Vec<StageRow>,
 }
 
 /// The whole report, written as `BENCH_CLUSTER.json`.
@@ -64,7 +81,18 @@ struct ClusterBenchReport {
     results: Vec<ScalingResult>,
 }
 
-fn measure(inst: &Instance, shards: usize) -> (u64, ScalingResult) {
+/// Wall time of the plain single-engine run (naive FF through `simulate`,
+/// no cluster layer at all) — the denominator of every row's
+/// `overhead_vs_plain_engine`.
+fn measure_plain_engine(inst: &Instance) -> u128 {
+    let started = Instant::now();
+    let trace = simulate(inst, &mut FirstFit::new());
+    let ns = started.elapsed().as_nanos().max(1);
+    assert!(trace.bins_used() > 0);
+    ns
+}
+
+fn measure(inst: &Instance, shards: usize, plain_ns: u128) -> (u64, ScalingResult) {
     let system = GamingSystem {
         server: ServerType {
             gpu_capacity: inst.capacity().raw(),
@@ -82,6 +110,27 @@ fn measure(inst: &Instance, shards: usize) -> (u64, ScalingResult) {
     assert_eq!(run.report.sessions_served, inst.len(), "items lost");
     let wall_ns = wall.as_nanos().max(1);
     let items_per_sec = (inst.len() as u128 * 1_000_000_000 / wall_ns) as u64;
+
+    // Second, traced pass for the stage attribution: streaming per-shard
+    // aggregators (constant memory even at 10^6 items) plus the driver
+    // lane. The throughput numbers above come from the untraced pass, so
+    // the report's headline is never polluted by instrumentation cost.
+    let (traced_run, _probes, trace) = engine
+        .run_traced(
+            inst,
+            &factory,
+            |_| NoProbe,
+            |s, epoch| StageAggregator::with_epoch(epoch, s as u32),
+        )
+        .expect("capacity already validated by the untraced pass");
+    assert_eq!(
+        traced_run.report.busy_ticks, run.report.busy_ticks,
+        "spans must not change the bill"
+    );
+    let mut breakdown = trace.driver.stage_breakdown();
+    for lane in trace.shards {
+        breakdown.merge(&lane.finish());
+    }
     (
         items_per_sec,
         ScalingResult {
@@ -92,6 +141,10 @@ fn measure(inst: &Instance, shards: usize) -> (u64, ScalingResult) {
             servers_rented: run.report.servers_rented as u64,
             peak_servers: run.report.peak_servers as u64,
             speedup_millis: 0, // filled in once the 1-shard row exists
+            overhead_vs_plain_engine: (wall_ns * 1000 / plain_ns) as u64,
+            queue_wait_ns: trace.timing.queue_wait_ns,
+            busy_ns: trace.timing.busy_ns,
+            stage_breakdown: breakdown.rows(),
         },
     )
 }
@@ -119,20 +172,24 @@ fn main() -> ExitCode {
     eprintln!("[gen] churn_workload n={n}");
     let inst = churn_workload(n, SEED);
 
+    eprintln!("[bench] plain engine baseline (naive FF, no cluster layer)");
+    let plain_ns = measure_plain_engine(&inst);
+
     let mut results = Vec::new();
     let mut base_throughput = 0u64;
     for shards in [1usize, 2, 4, 8] {
-        let (throughput, mut r) = measure(&inst, shards);
+        let (throughput, mut r) = measure(&inst, shards, plain_ns);
         if shards == 1 {
             base_throughput = throughput;
         }
         r.speedup_millis = (throughput as u128 * 1000 / base_throughput.max(1) as u128) as u64;
         eprintln!(
-            "[bench] shards={shards} {:>9} items/s  {:>7} ms  {:.2}x  busy {}",
+            "[bench] shards={shards} {:>9} items/s  {:>7} ms  {:.2}x  busy {}  {:.2}x plain",
             r.items_per_sec,
             r.wall_ms,
             r.speedup_millis as f64 / 1000.0,
-            r.busy_ticks
+            r.busy_ticks,
+            r.overhead_vs_plain_engine as f64 / 1000.0,
         );
         results.push(r);
     }
@@ -167,8 +224,23 @@ mod tests {
     #[test]
     fn report_round_trips_and_shard_counts_agree_on_cost_order() {
         let inst = churn_workload(3_000, 7);
-        let (_, one) = measure(&inst, 1);
-        let (_, four) = measure(&inst, 4);
+        let plain_ns = measure_plain_engine(&inst);
+        let (_, one) = measure(&inst, 1, plain_ns);
+        let (_, four) = measure(&inst, 4, plain_ns);
+        assert!(one.overhead_vs_plain_engine > 0);
+        assert_eq!(one.queue_wait_ns.len(), 1);
+        assert_eq!(four.busy_ns.len(), 4);
+        // The traced pass must attribute the engine's hot stages.
+        for row in [&one, &four] {
+            let stages: Vec<&str> = row
+                .stage_breakdown
+                .iter()
+                .map(|s| s.stage.as_str())
+                .collect();
+            for need in ["arrival", "decide", "place", "shard_busy", "dispatch"] {
+                assert!(stages.contains(&need), "missing stage {need}: {stages:?}");
+            }
+        }
         // No ordering assertion between the two bills: First Fit is a
         // heuristic and partitioning occasionally beats the global scan.
         assert!(one.busy_ticks > 0 && four.busy_ticks > 0);

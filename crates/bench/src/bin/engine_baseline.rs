@@ -19,10 +19,12 @@
 //! (or strings/bool), so the report diffs cleanly across runs.
 
 use dbp_bench::churn_workload;
+use dbp_cloudsim::{GamingSystem, Granularity, ServerType};
+use dbp_cluster::{ClusterConfig, ClusterEngine, Router};
 use dbp_core::algorithms::{BestFit, FirstFit, IndexedBestFit, IndexedFirstFit, ModifiedFirstFit};
 use dbp_core::engine::{simulate, simulate_probed};
 use dbp_core::instance::Instance;
-use dbp_core::packer::BinSelector;
+use dbp_core::packer::{BinSelector, SelectorFactory};
 use dbp_core::probe::{Probe, ProbeEvent};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -32,7 +34,7 @@ use std::time::Instant;
 const SEED: u64 = 42;
 
 /// Report schema; bump when fields change (CI validates this).
-const SCHEMA_VERSION: u64 = 1;
+const SCHEMA_VERSION: u64 = 2;
 
 /// One measured (algorithm, engine, n) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -55,6 +57,28 @@ struct BenchResult {
     max_open_bins: u64,
 }
 
+/// Plain `simulate` vs a 1-shard cluster on the same stream and selector
+/// (naive FF at the smaller grid size). This is the exact answer to "why
+/// does BENCH_CLUSTER's 1-shard row sit far below BENCH_ENGINE's
+/// items/sec": the cluster path pays partition + trace validation +
+/// report/manifest construction that the bare engine loop never runs. The
+/// two bills are asserted identical, so the ratio is pure bookkeeping tax.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ClusterOverhead {
+    /// Items in the comparison stream.
+    n_items: u64,
+    /// Plain engine wall, milliseconds.
+    plain_wall_ms: u64,
+    /// Plain engine throughput.
+    plain_items_per_sec: u64,
+    /// 1-shard cluster wall, milliseconds.
+    cluster_wall_ms: u64,
+    /// 1-shard cluster throughput.
+    cluster_items_per_sec: u64,
+    /// Cluster wall over plain wall, thousandths (1000 = parity).
+    overhead_millis: u64,
+}
+
 /// The whole report, written as `BENCH_ENGINE.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 struct BenchReport {
@@ -63,6 +87,8 @@ struct BenchReport {
     seed: u64,
     capacity: u64,
     peak_rss_bytes: Option<u64>,
+    /// The dispatch-layer tax: plain engine vs 1-shard cluster.
+    overhead_vs_plain_engine: ClusterOverhead,
     results: Vec<BenchResult>,
 }
 
@@ -129,6 +155,45 @@ fn measure(
     }
 }
 
+/// Measure the dispatch-layer tax: the same stream through bare `simulate`
+/// and through a 1-shard cluster, both on naive First Fit.
+fn measure_cluster_overhead(inst: &Instance) -> ClusterOverhead {
+    let n = inst.len() as u64;
+
+    let started = Instant::now();
+    let trace = simulate(inst, &mut FirstFit::new());
+    let plain_ns = started.elapsed().as_nanos().max(1);
+
+    let system = GamingSystem {
+        server: ServerType {
+            gpu_capacity: inst.capacity().raw(),
+            ..ServerType::default_gpu_vm()
+        },
+        granularity: Granularity::PerTick,
+    };
+    let engine = ClusterEngine::new(system, ClusterConfig::new(1, Router::HashByItem));
+    let factory = SelectorFactory::new("FF", || Box::new(FirstFit::new()));
+    let started = Instant::now();
+    let run = engine
+        .run(inst, &factory)
+        .expect("workload and system share one capacity");
+    let cluster_ns = started.elapsed().as_nanos().max(1);
+    assert_eq!(
+        run.report.busy_ticks,
+        trace.total_cost_ticks(),
+        "a 1-shard cluster must reproduce the plain bill exactly"
+    );
+
+    ClusterOverhead {
+        n_items: n,
+        plain_wall_ms: (plain_ns / 1_000_000) as u64,
+        plain_items_per_sec: (n as u128 * 1_000_000_000 / plain_ns) as u64,
+        cluster_wall_ms: (cluster_ns / 1_000_000) as u64,
+        cluster_items_per_sec: (n as u128 * 1_000_000_000 / cluster_ns) as u64,
+        overhead_millis: (cluster_ns * 1000 / plain_ns) as u64,
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -165,6 +230,7 @@ fn main() -> ExitCode {
 
     let mut results = Vec::new();
     let mut capacity = 0;
+    let mut overhead = None;
     for &n in sizes {
         eprintln!("[gen] churn_workload n={n}");
         let inst = churn_workload(n, SEED);
@@ -182,6 +248,17 @@ fn main() -> ExitCode {
             );
             results.push(r);
         }
+        if n == sizes[0] {
+            let o = measure_cluster_overhead(&inst);
+            eprintln!(
+                "[bench] dispatch-layer tax: plain {} items/s vs 1-shard cluster {} items/s \
+                 ({:.2}x wall)",
+                o.plain_items_per_sec,
+                o.cluster_items_per_sec,
+                o.overhead_millis as f64 / 1000.0,
+            );
+            overhead = Some(o);
+        }
     }
 
     let report = BenchReport {
@@ -190,6 +267,7 @@ fn main() -> ExitCode {
         seed: SEED,
         capacity,
         peak_rss_bytes: dbp_obs::manifest::peak_rss_bytes(),
+        overhead_vs_plain_engine: overhead.expect("the first grid size always runs"),
         results,
     };
     match dbp_obs::export::write_json(&out, &report) {
@@ -215,12 +293,15 @@ mod tests {
         let naive = measure(&inst, "FF", "naive", &|| Box::new(FirstFit::new()));
         assert_eq!(indexed.bins_used, naive.bins_used);
         assert_eq!(indexed.max_open_bins, naive.max_open_bins);
+        let overhead = measure_cluster_overhead(&inst);
+        assert!(overhead.overhead_millis > 0);
         let report = BenchReport {
             schema_version: SCHEMA_VERSION,
             quick: true,
             seed: 7,
             capacity: inst.capacity().raw(),
             peak_rss_bytes: None,
+            overhead_vs_plain_engine: overhead,
             results: vec![indexed, naive],
         };
         let text = serde_json::to_string_pretty(&report).unwrap();

@@ -15,21 +15,12 @@ pub fn standard_workload(n: usize, seed: u64) -> Instance {
     })
 }
 
-/// A churn-heavy workload of `n` items for engine-scaling benches: high
-/// arrival rate and long, widely-spread intervals keep thousands of bins
-/// open at once, so per-arrival work that scales with the open-bin count
-/// dominates the run. This is the fixture behind `engine_baseline` and the
-/// perf regression test.
+/// A churn-heavy workload of `n` items for engine-scaling benches — the
+/// shared [`dbp_workloads::churn`] fixture, re-exported under the bench
+/// crate's historical name so `engine_baseline`, the perf regression test
+/// and `dbp profile` all measure the same stream.
 pub fn churn_workload(n: usize, seed: u64) -> Instance {
-    generate_mu_controlled(&MuControlledConfig {
-        n_items: n,
-        mu: 10,
-        delta: 2_000,
-        arrival_rate: 0.5,
-        sizes: SizeModel::Uniform { lo: 5, hi: 60 },
-        seed,
-        ..MuControlledConfig::new(10)
-    })
+    dbp_workloads::churn(n, seed)
 }
 
 /// Random static multiset of `n` sizes for the exact-solver benches.

@@ -65,6 +65,10 @@ USAGE:
           [--faults SEED|PLAN.json]   # per-shard fault plans (seed+shard / shared plan)
           [--journal FILE.wal] [--fsync always|never|N]   # one journal per shard: FILE.wal.shardK
           [--run-manifest FILE.json]  # merged provenance + exact aggregate cost
+  dbp profile [FILE] [--algo NAME] [--shards N] [--router hash|affinity|least-loaded]
+          [--batch event|whole|N] [--jobs N] [--items N] [--seed N]
+          [--trace-out FILE.json]     # Chrome-trace JSON (chrome://tracing, Perfetto)
+          [--metrics FILE.prom]       # per-stage latency histograms
   dbp recover FILE.wal [--repair] [--manifest FILE.json]
           [--trace FILE] [--algo NAME] [--faults SEED|PLAN.json]
           [--resume-jsonl FILE.jsonl]
@@ -95,6 +99,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "adversary" => cmd_adversary(&args),
         "run" => cmd_run(&args),
         "cluster" => cmd_cluster(&args),
+        "profile" => cmd_profile(&args),
         "recover" => cmd_recover(&args),
         "trace" => cmd_trace(&args),
         "compare" => cmd_compare(&args),
@@ -542,17 +547,8 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    let router_name = args.str_flag("router").unwrap_or("hash");
-    let router = dbp_cluster::Router::from_name(router_name)
-        .ok_or_else(|| format!("unknown router '{router_name}' (hash|affinity|least-loaded)"))?;
-    let batch = match args.str_flag("batch") {
-        None | Some("whole") => dbp_cluster::BatchPolicy::WholeStream,
-        Some("event") => dbp_cluster::BatchPolicy::PerEvent,
-        Some(n) => dbp_cluster::BatchPolicy::Chunks(
-            n.parse()
-                .map_err(|_| format!("--batch expects event|whole|N, got '{n}'"))?,
-        ),
-    };
+    let router = parse_router(args)?;
+    let batch = parse_batch(args)?;
     let mut config = dbp_cluster::ClusterConfig::new(shards, router);
     config.batch = batch;
     config.jobs = args.u64_flag_or("jobs", 0)? as usize;
@@ -729,6 +725,152 @@ fn drain_cluster_probes(
             }
         };
         dbp_obs::export::write_prometheus(std::path::Path::new(path), &merged)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics saved to {path}");
+    }
+    Ok(())
+}
+
+fn parse_router(args: &Args) -> Result<dbp_cluster::Router, String> {
+    let name = args.str_flag("router").unwrap_or("hash");
+    dbp_cluster::Router::from_name(name)
+        .ok_or_else(|| format!("unknown router '{name}' (hash|affinity|least-loaded)"))
+}
+
+fn parse_batch(args: &Args) -> Result<dbp_cluster::BatchPolicy, String> {
+    Ok(match args.str_flag("batch") {
+        None | Some("whole") => dbp_cluster::BatchPolicy::WholeStream,
+        Some("event") => dbp_cluster::BatchPolicy::PerEvent,
+        Some(n) => dbp_cluster::BatchPolicy::Chunks(
+            n.parse()
+                .map_err(|_| format!("--batch expects event|whole|N, got '{n}'"))?,
+        ),
+    })
+}
+
+/// `dbp profile`: run one traced cluster dispatch and explain where the
+/// wall clock went — the ranked per-stage self-time table, the per-shard
+/// busy vs queue-wait utilization split, and (with `--trace-out`) the full
+/// Chrome-trace flamechart. With no FILE it packs the shared churn fixture
+/// (`dbp_workloads::churn`), the same stream the scaling benches measure,
+/// so the numbers here explain those curves directly.
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let inst = match args.positional.get(1) {
+        Some(_) => load_instance(args, 1)?,
+        None => {
+            let n = args.u64_flag_or("items", 100_000)? as usize;
+            let seed = args.u64_flag_or("seed", 42)?;
+            dbp_workloads::churn(n, seed)
+        }
+    };
+    let algo = args.str_flag("algo").unwrap_or("ff");
+    let algo = static_algo_name(algo).ok_or_else(|| format!("unknown algorithm '{algo}'"))?;
+    let shards = args.u64_flag_or("shards", 8)? as usize;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let mut config = dbp_cluster::ClusterConfig::new(shards, parse_router(args)?);
+    config.batch = parse_batch(args)?;
+    config.jobs = args.u64_flag_or("jobs", 0)? as usize;
+    let engine = dbp_cluster::ClusterEngine::new(paper_gaming_system(&inst), config);
+
+    let hint = mu_hint(&inst);
+    selector_by_name(algo, hint)?;
+    let algo_name = algo.to_string();
+    let factory = dbp_core::packer::SelectorFactory::new(algo, move || {
+        selector_by_name(&algo_name, hint).expect("algorithm name validated above")
+    });
+
+    let (run, _probes, trace) = engine
+        .run_traced(
+            &inst,
+            &factory,
+            |_| dbp_core::probe::NoProbe,
+            |s, epoch| dbp_obs::SpanCollector::with_epoch(epoch, s as u32),
+        )
+        .map_err(|e| e.to_string())?;
+
+    let t = &trace.timing;
+    let r = &run.report;
+    println!("algorithm      : {}", r.algorithm);
+    println!("router         : {}", r.router);
+    println!(
+        "shards         : {} ({} workers)",
+        r.shards,
+        config.workers()
+    );
+    println!("sessions       : {}", r.sessions_served);
+    println!("wall           : {:.3} ms", t.wall_ns as f64 / 1e6);
+
+    // Ranked self-time table over every lane (driver + shards).
+    let mut breakdown = dbp_obs::StageBreakdown::from_spans(trace.driver.spans());
+    for lane in &trace.shards {
+        breakdown.absorb_spans(lane.spans());
+    }
+    println!();
+    print!("{}", breakdown.render(t.wall_ns));
+
+    // Per-shard utilization: where each shard's slice of the dispatch
+    // window went. queue-wait is pool contention — with fewer workers than
+    // shards this is exactly the scaling plateau.
+    println!();
+    println!("shard   sessions     busy_ms   queue_ms   busy%_of_dispatch");
+    for s in 0..shards {
+        let busy = t.busy_ns[s];
+        let wait = t.queue_wait_ns[s];
+        let pct = if t.dispatch_ns == 0 {
+            0.0
+        } else {
+            busy as f64 * 100.0 / t.dispatch_ns as f64
+        };
+        println!(
+            "{s:>5}   {:>8}   {:>9.3}   {:>8.3}   {pct:>6.1}%",
+            run.shards[s].report.sessions_served,
+            busy as f64 / 1e6,
+            wait as f64 / 1e6,
+        );
+    }
+
+    // Driver coverage: the sequential stages must explain the wall.
+    let accounted = t.accounted_ns();
+    let pct = |ns: u64| ns as f64 * 100.0 / t.wall_ns.max(1) as f64;
+    println!();
+    println!(
+        "coverage       : partition {:.1}% + enqueue {:.1}% + dispatch {:.1}% + fan-in {:.1}% \
+         = {:.1}% of wall",
+        pct(t.partition_ns),
+        pct(t.batch_enqueue_ns),
+        pct(t.dispatch_ns),
+        pct(t.fan_in_ns),
+        pct(accounted),
+    );
+
+    if let Some(path) = args.str_flag("trace-out") {
+        let mut names = vec!["driver".to_string()];
+        names.extend((0..shards).map(|s| format!("shard {s}")));
+        let mut lanes: Vec<(&str, &[dbp_core::span::SpanEvent])> =
+            vec![(names[0].as_str(), trace.driver.spans())];
+        for (s, lane) in trace.shards.iter().enumerate() {
+            lanes.push((names[s + 1].as_str(), lane.spans()));
+        }
+        let json = dbp_obs::chrome_trace_json(lanes);
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("chrome trace saved to {path} (open in chrome://tracing or Perfetto)");
+    }
+    if let Some(path) = args.str_flag("metrics") {
+        let mut reg = dbp_obs::MetricsRegistry::new();
+        breakdown.export_metrics(&mut reg);
+        for s in 0..shards {
+            reg.gauge_set(
+                &format!("dbp_shard_busy_ns{{shard=\"{s}\"}}"),
+                t.busy_ns[s] as i64,
+            );
+            reg.gauge_set(
+                &format!("dbp_shard_queue_wait_ns{{shard=\"{s}\"}}"),
+                t.queue_wait_ns[s] as i64,
+            );
+        }
+        dbp_obs::export::write_prometheus(std::path::Path::new(path), &reg)
             .map_err(|e| format!("{path}: {e}"))?;
         println!("metrics saved to {path}");
     }

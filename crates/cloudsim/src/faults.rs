@@ -46,6 +46,7 @@ use dbp_core::item::{ArrivingItem, ItemId, RegionId, Size};
 use dbp_core::packer::{BinSelector, Decision};
 use dbp_core::probe::{DropReason, NoProbe, Probe, ProbeEvent};
 use dbp_core::ratio::Ratio;
+use dbp_core::span::{stage, NoSpans, SpanRecorder};
 use dbp_core::time::Tick;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -358,13 +359,32 @@ impl ResilientSystem {
         dispatcher: &mut S,
         probe: &mut P,
     ) -> Result<ResilientReport, DispatchError> {
+        self.run_traced(requests, dispatcher, probe, &mut NoSpans)
+    }
+
+    /// [`run_probed`](Self::run_probed) plus a [`SpanRecorder`]: every
+    /// retry dispatch attempt gets a `retry` span and every crash's orphan
+    /// re-placement sweep gets a `redispatch` span, so fault-handling cost
+    /// shows up in the stage breakdown next to the engine stages. With
+    /// [`NoSpans`] this is exactly the probed run.
+    ///
+    /// # Errors
+    /// [`DispatchError::CapacityMismatch`] when the workload was generated
+    /// against a different server capacity.
+    pub fn run_traced<S: BinSelector + ?Sized, P: Probe, R: SpanRecorder>(
+        &self,
+        requests: &Instance,
+        dispatcher: &mut S,
+        probe: &mut P,
+        spans: &mut R,
+    ) -> Result<ResilientReport, DispatchError> {
         if requests.capacity().raw() != self.system.server.gpu_capacity {
             return Err(DispatchError::CapacityMismatch {
                 workload: requests.capacity().raw(),
                 server: self.system.server.gpu_capacity,
             });
         }
-        let mut sim = Sim::new(requests, &self.plan, dispatcher, probe);
+        let mut sim = Sim::new(requests, &self.plan, dispatcher, probe, spans);
         sim.run();
         Ok(sim.into_report(
             self.system.server,
@@ -458,10 +478,11 @@ struct Recovery {
 /// committed to it, plus the rental-start tick the bill runs from.
 type PendingBoot = Reverse<(u64, u64, u32, u32, u32, u64)>;
 
-struct Sim<'a, S: BinSelector + ?Sized, P: Probe> {
+struct Sim<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> {
     plan: &'a FaultPlan,
     selector: &'a mut S,
     probe: &'a mut P,
+    spans: &'a mut R,
     capacity: Size,
     // Per-item workload data, indexed by ItemId.
     arrival: Vec<u64>,
@@ -511,13 +532,14 @@ struct Sim<'a, S: BinSelector + ?Sized, P: Probe> {
     server_busy: Vec<u64>,
 }
 
-impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
+impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> Sim<'a, S, P, R> {
     fn new(
         instance: &Instance,
         plan: &'a FaultPlan,
         selector: &'a mut S,
         probe: &'a mut P,
-    ) -> Sim<'a, S, P> {
+        spans: &'a mut R,
+    ) -> Sim<'a, S, P, R> {
         let n = instance.len();
         let mut arrival = Vec::with_capacity(n);
         let mut duration = Vec::with_capacity(n);
@@ -538,6 +560,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
             plan,
             selector,
             probe,
+            spans,
             capacity: instance.capacity(),
             arrival,
             duration,
@@ -719,10 +742,16 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
                 self.recovery_of[item.index()] = Some(rec_idx);
             }
             // Re-dispatch orphans immediately, in the server's item order.
+            if R::ENABLED {
+                self.spans.enter(stage::REDISPATCH);
+            }
             for item in server.items {
                 if let AttemptOutcome::Failed = self.dispatch_attempt(t, item) {
                     self.schedule_retry_or_drop(t, item);
                 }
+            }
+            if R::ENABLED {
+                self.spans.exit();
             }
         }
     }
@@ -808,7 +837,14 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> Sim<'a, S, P> {
                 // Terminal while the retry was in flight (e.g. timed out).
                 _ => continue,
             }
-            if let AttemptOutcome::Failed = self.dispatch_attempt(t, item) {
+            if R::ENABLED {
+                self.spans.enter(stage::RETRY);
+            }
+            let outcome = self.dispatch_attempt(t, item);
+            if R::ENABLED {
+                self.spans.exit();
+            }
+            if let AttemptOutcome::Failed = outcome {
                 self.schedule_retry_or_drop(t, item);
             }
         }
@@ -1275,6 +1311,54 @@ mod tests {
         // Redispatched sessions keep their original end: still 1000 ticks
         // of service each, but the replacement server is billed from 500.
         assert_eq!(report.busy_ticks, 500 + 500);
+    }
+
+    #[test]
+    fn faulted_runs_record_retry_and_redispatch_spans() {
+        use dbp_obs::SpanCollector;
+        // One crash with two orphans: exactly one redispatch sweep span,
+        // and the span seam must not perturb the ledger.
+        let mut b = InstanceBuilder::new(1000);
+        b.add(0, 1000, 400);
+        b.add(0, 1000, 400);
+        let inst = b.build().unwrap();
+        let mut plan = FaultPlan::none();
+        plan.crashes.push(CrashEvent { at: 500, server: 0 });
+        let sys = ResilientSystem::new(GamingSystem::paper_model(), plan);
+        let plain = sys.run(&inst, &mut FirstFit::new()).unwrap();
+        let mut spans = SpanCollector::new(0);
+        let traced = sys
+            .run_traced(&inst, &mut FirstFit::new(), &mut NoProbe, &mut spans)
+            .unwrap();
+        assert_eq!(traced, plain);
+        let sweeps = spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == stage::REDISPATCH)
+            .count();
+        assert_eq!(sweeps, 1);
+
+        // Flaky provisioning: every fired retry attempt gets its own span.
+        let inst = workload(15, 2400);
+        let cfg = FaultConfig {
+            crash_rate_per_hour: 0.0,
+            boot_fail_prob: 0.5,
+            boot_delay_max: 0,
+            reject_prob: 0.0,
+        };
+        let plan = FaultPlan::generate(21, 2400, 8, &cfg);
+        let mut spans = SpanCollector::new(0);
+        let report = ResilientSystem::new(GamingSystem::paper_model(), plan)
+            .run_traced(&inst, &mut FirstFit::new(), &mut NoProbe, &mut spans)
+            .unwrap();
+        assert!(report.retries_scheduled > 0);
+        let retries = spans
+            .spans()
+            .iter()
+            .filter(|s| s.name == stage::RETRY)
+            .count() as u64;
+        assert!(retries > 0, "retry attempts must be visible as spans");
+        assert!(retries <= report.retries_scheduled);
     }
 
     #[test]

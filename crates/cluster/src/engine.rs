@@ -20,12 +20,15 @@ use dbp_core::item::ItemId;
 use dbp_core::packer::SelectorFactory;
 use dbp_core::probe::{NoProbe, Probe, ProbeEvent};
 use dbp_core::ratio::Ratio;
+use dbp_core::span::{stage, NoSpans, SpanRecorder};
 use dbp_core::time::Tick;
 use dbp_core::trace::PackingTrace;
+use dbp_obs::span::{SpanCollector, DRIVER_LANE};
 use dbp_obs::{MetricsRegistry, RunManifest};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// How the ingestion loop drains each shard's schedule.
 ///
@@ -82,7 +85,9 @@ impl ClusterConfig {
         }
     }
 
-    fn workers(&self) -> usize {
+    /// The resolved worker-pool size: `jobs` (or available parallelism
+    /// when 0), clamped to the shard count.
+    pub fn workers(&self) -> usize {
         let n = if self.jobs == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -181,6 +186,53 @@ impl ClusterRun {
     }
 }
 
+/// Exact wall-clock attribution of one cluster run, nanoseconds end to
+/// end: where the driver spent its time and, per shard, how long the work
+/// unit waited for a pool worker versus actually ran. Derived from the
+/// same epoch as every span lane, so `partition + batch_enqueue + dispatch
+/// + fan_in` accounts for (nearly all of) `wall_ns`, and per shard
+/// `queue_wait + busy ≤ dispatch`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterTiming {
+    /// Whole run, capacity check to merged report.
+    pub wall_ns: u64,
+    /// Router assignment + instance restriction.
+    pub partition_ns: u64,
+    /// Building the per-shard work units.
+    pub batch_enqueue_ns: u64,
+    /// The parallel section: pool start to last shard done.
+    pub dispatch_ns: u64,
+    /// Collecting shard outcomes and merging the ledger + manifest.
+    pub fan_in_ns: u64,
+    /// Per shard: pool start → a worker claimed the unit.
+    pub queue_wait_ns: Vec<u64>,
+    /// Per shard: claim → shard complete (engine run + validation + report).
+    pub busy_ns: Vec<u64>,
+}
+
+impl ClusterTiming {
+    /// Driver-side accounted time: the sequential stages end to end.
+    pub fn accounted_ns(&self) -> u64 {
+        self.partition_ns + self.batch_enqueue_ns + self.dispatch_ns + self.fan_in_ns
+    }
+}
+
+/// Span capture of one traced cluster run: the driver lane, one recorder
+/// per shard (in shard order, merged lock-free by collection), and the
+/// derived [`ClusterTiming`]. All lanes share one epoch.
+#[derive(Debug, Clone)]
+pub struct ClusterTrace<R> {
+    /// Driver-lane spans: `partition`/`route`, `batch_enqueue`,
+    /// `dispatch`, `fan_in`/`manifest_merge`.
+    pub driver: SpanCollector,
+    /// Per-shard recorders, indexed by shard. Each holds the shard's
+    /// `queue_wait` and `shard_busy` spans with the engine's
+    /// `arrival`/`decide`/`place`/`departure` spans nested inside.
+    pub shards: Vec<R>,
+    /// Exact stage/utilization attribution.
+    pub timing: ClusterTiming,
+}
+
 /// Aggregate SLA ledger of a fault-injected cluster run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClusterResilientReport {
@@ -274,29 +326,90 @@ impl ClusterEngine {
         &self,
         requests: &Instance,
         factory: &SelectorFactory,
-        mut make_probe: F,
+        make_probe: F,
     ) -> Result<(ClusterRun, Vec<P>), DispatchError>
     where
         P: Probe + Send,
         F: FnMut(usize) -> P,
     {
+        self.run_traced(requests, factory, make_probe, |_, _| NoSpans)
+            .map(|(run, probes, _trace)| (run, probes))
+    }
+
+    /// [`run_probed`](Self::run_probed) plus one [`SpanRecorder`] per shard
+    /// and a driver-lane recorder, all sharing one epoch so their
+    /// timestamps compose into a single timeline (Chrome trace, stage
+    /// table). `make_spans(shard, epoch)` is called in shard order before
+    /// the pool starts; recorders come back in [`ClusterTrace::shards`] in
+    /// the same order — merged at fan-in time, lock-free by construction
+    /// because each lane is single-writer.
+    ///
+    /// The driver lane records `partition`/`route`, `batch_enqueue`,
+    /// `dispatch` and `fan_in`/`manifest_merge`. Each shard recorder is
+    /// entered into its `queue_wait` span *before* the pool starts and
+    /// flipped to `shard_busy` the moment a worker claims the unit, so
+    /// pool contention is attributed, not lost. Pass `|_, _| NoSpans` to
+    /// get the zero-cost path — [`run_probed`](Self::run_probed) is
+    /// exactly that delegation.
+    ///
+    /// # Errors
+    /// [`DispatchError::CapacityMismatch`] as for [`run`](Self::run).
+    pub fn run_traced<P, R, FP, FR>(
+        &self,
+        requests: &Instance,
+        factory: &SelectorFactory,
+        mut make_probe: FP,
+        mut make_spans: FR,
+    ) -> Result<(ClusterRun, Vec<P>, ClusterTrace<R>), DispatchError>
+    where
+        P: Probe + Send,
+        R: SpanRecorder + Send,
+        FP: FnMut(usize) -> P,
+        FR: FnMut(usize, Instant) -> R,
+    {
         self.check_capacity(requests)?;
-        let started = std::time::Instant::now();
-        let (parts, assignment) = self.partition(requests);
-        let units: Vec<(Instance, Vec<ItemId>, P)> = parts
+        let epoch = Instant::now();
+        let mut driver = SpanCollector::with_epoch(epoch, DRIVER_LANE);
+
+        driver.enter(stage::PARTITION);
+        driver.enter(stage::ROUTE);
+        let assignment = self.config.router.assign(requests, self.config.shards);
+        driver.exit();
+        let parts: Vec<(Instance, Vec<ItemId>)> = (0..self.config.shards)
+            .map(|s| requests.restrict(|it| assignment[it.id.index()] == s))
+            .collect();
+        driver.exit();
+
+        driver.enter(stage::BATCH_ENQUEUE);
+        let mut units: Vec<(Instance, Vec<ItemId>, P, R)> = parts
             .into_iter()
             .enumerate()
-            .map(|(s, (inst, back))| (inst, back, make_probe(s)))
+            .map(|(s, (inst, back))| (inst, back, make_probe(s), make_spans(s, epoch)))
             .collect();
+        driver.exit();
+
+        // Open every shard's queue-wait span on the driver thread, before
+        // the pool exists: the gap until a worker claims the unit is real
+        // contention and must land in the shard's own lane.
+        let dispatch_start = elapsed_ns(epoch);
+        for unit in &mut units {
+            unit.3.enter(stage::QUEUE_WAIT);
+        }
+        driver.enter(stage::DISPATCH);
         let system = self.system;
         let batch = self.config.batch;
         let outcomes = run_pool(
             units,
             self.config.workers(),
-            |shard, (inst, back, mut probe)| {
+            |shard, (inst, back, mut probe, mut spans)| {
+                let claim_ns = elapsed_ns(epoch);
+                spans.exit(); // queue_wait ends the moment the worker claims
+                spans.enter(stage::SHARD_BUSY);
                 let mut sel = factory.build();
                 let (report, trace) =
-                    run_shard_probed(&system, &inst, &mut *sel, &mut probe, batch);
+                    run_shard_traced(&system, &inst, &mut *sel, &mut probe, &mut spans, batch);
+                spans.exit();
+                let done_ns = elapsed_ns(epoch);
                 (
                     ShardRun {
                         shard,
@@ -305,16 +418,49 @@ impl ClusterEngine {
                         back,
                     },
                     probe,
+                    spans,
+                    claim_ns,
+                    done_ns,
                 )
             },
         );
-        let mut shards = Vec::with_capacity(outcomes.len());
-        let mut probes = Vec::with_capacity(outcomes.len());
-        for (shard, probe) in outcomes {
+        driver.exit();
+
+        let n = outcomes.len();
+        let mut shards = Vec::with_capacity(n);
+        let mut probes = Vec::with_capacity(n);
+        let mut recorders = Vec::with_capacity(n);
+        let mut queue_wait_ns = Vec::with_capacity(n);
+        let mut busy_ns = Vec::with_capacity(n);
+        for (shard, probe, spans, claim_ns, done_ns) in outcomes {
+            queue_wait_ns.push(claim_ns.saturating_sub(dispatch_start));
+            busy_ns.push(done_ns.saturating_sub(claim_ns));
             shards.push(shard);
             probes.push(probe);
+            recorders.push(spans);
         }
-        let report = self.aggregate(requests, &shards, started.elapsed());
+
+        driver.enter(stage::FAN_IN);
+        let report = self.aggregate(requests, &shards, epoch.elapsed(), &mut driver);
+        driver.exit();
+
+        let stage_ns = |name: &'static str| -> u64 {
+            driver
+                .spans()
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.dur_ns)
+                .sum()
+        };
+        let timing = ClusterTiming {
+            wall_ns: elapsed_ns(epoch),
+            partition_ns: stage_ns(stage::PARTITION),
+            batch_enqueue_ns: stage_ns(stage::BATCH_ENQUEUE),
+            dispatch_ns: stage_ns(stage::DISPATCH),
+            fan_in_ns: stage_ns(stage::FAN_IN),
+            queue_wait_ns,
+            busy_ns,
+        };
         Ok((
             ClusterRun {
                 report,
@@ -322,6 +468,11 @@ impl ClusterEngine {
                 assignment,
             },
             probes,
+            ClusterTrace {
+                driver,
+                shards: recorders,
+                timing,
+            },
         ))
     }
 
@@ -422,12 +573,14 @@ impl ClusterEngine {
         Ok(())
     }
 
-    /// Merge shard reports into the exact aggregate.
-    fn aggregate(
+    /// Merge shard reports into the exact aggregate. The manifest capture
+    /// (full-stream digest) dominates fan-in cost, so it gets its own span.
+    fn aggregate<R: SpanRecorder>(
         &self,
         requests: &Instance,
         shards: &[ShardRun],
         wall: std::time::Duration,
+        spans: &mut R,
     ) -> ClusterReport {
         let busy: u128 = shards.iter().map(|s| s.report.busy_ticks).sum();
         let algorithm = shards
@@ -442,6 +595,9 @@ impl ClusterEngine {
                 requests.capacity().raw() as u128 * busy,
             )
         };
+        spans.enter(stage::MANIFEST_MERGE);
+        let manifest = RunManifest::capture(&algorithm, None, requests, wall).with_cost(busy);
+        spans.exit();
         ClusterReport {
             algorithm: algorithm.clone(),
             router: self.config.router.name().to_string(),
@@ -455,9 +611,13 @@ impl ClusterEngine {
                 .iter()
                 .fold(Ratio::ZERO, |acc, s| acc + s.report.cost_cents),
             utilization,
-            manifest: RunManifest::capture(&algorithm, None, requests, wall).with_cost(busy),
+            manifest,
         }
     }
+}
+
+fn elapsed_ns(epoch: Instant) -> u64 {
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// One shard's dispatch: the [`GamingSystem::run`] accounting, driven
@@ -475,6 +635,27 @@ where
     S: dbp_core::packer::BinSelector + ?Sized,
     P: Probe,
 {
+    run_shard_traced(system, requests, dispatcher, probe, &mut NoSpans, batch)
+}
+
+/// [`run_shard_probed`] plus a [`SpanRecorder`]: the engine loop runs
+/// through [`EngineRun::traced`] (per-event `arrival`/`decide`/`place`/
+/// `departure` spans), and the shard's own validation and report
+/// construction get `validate` / `report_build` spans. With [`NoSpans`]
+/// this compiles down to exactly the probed path.
+pub fn run_shard_traced<S, P, R>(
+    system: &GamingSystem,
+    requests: &Instance,
+    dispatcher: &mut S,
+    probe: &mut P,
+    spans: &mut R,
+    batch: BatchPolicy,
+) -> (SystemReport, PackingTrace)
+where
+    S: dbp_core::packer::BinSelector + ?Sized,
+    P: Probe,
+    R: SpanRecorder,
+{
     assert_eq!(
         requests.capacity().raw(),
         system.server.gpu_capacity,
@@ -482,7 +663,7 @@ where
     );
     let started = std::time::Instant::now();
     let burst = batch.burst();
-    let mut run = EngineRun::new(requests, &mut *dispatcher, &mut *probe);
+    let mut run = EngineRun::traced(requests, &mut *dispatcher, &mut *probe, &mut *spans);
     while !run.is_done() {
         for _ in 0..burst {
             if !run.step() {
@@ -491,7 +672,13 @@ where
         }
     }
     let trace = run.finish();
+    if R::ENABLED {
+        spans.enter(stage::VALIDATE);
+    }
     let errs = trace.validate(requests);
+    if R::ENABLED {
+        spans.exit();
+    }
     if P::ENABLED {
         for err in &errs {
             probe.record(ProbeEvent::Violation {
@@ -506,6 +693,9 @@ where
         trace.algorithm,
         errs.join("\n")
     );
+    if R::ENABLED {
+        spans.enter(stage::REPORT_BUILD);
+    }
     let wall = started.elapsed();
     let busy = trace.total_cost_ticks();
     let utilization = if busy == 0 {
@@ -527,6 +717,9 @@ where
         utilization,
         manifest: Some(RunManifest::capture(&trace.algorithm, None, requests, wall)),
     };
+    if R::ENABLED {
+        spans.exit();
+    }
     (report, trace)
 }
 
@@ -656,6 +849,114 @@ mod tests {
         let nonempty = run.shards.iter().filter(|s| !s.back.is_empty()).count();
         assert!(nonempty <= 2);
         assert!(run.report.busy_ticks > 0);
+    }
+
+    #[test]
+    fn traced_run_matches_probed_run_and_accounts_the_wall() {
+        let inst = workload(21);
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(4, Router::HashByItem),
+        );
+        let (plain, _) = engine
+            .run_probed(&inst, &ff_factory(), |_| NoProbe)
+            .unwrap();
+        let (traced, _, trace) = engine
+            .run_traced(
+                &inst,
+                &ff_factory(),
+                |_| NoProbe,
+                |s, e| SpanCollector::with_epoch(e, s as u32),
+            )
+            .unwrap();
+
+        // Spans never touch the ledger.
+        assert_eq!(traced.report.busy_ticks, plain.report.busy_ticks);
+        assert_eq!(traced.report.cost_cents, plain.report.cost_cents);
+        assert_eq!(traced.report.sessions_served, plain.report.sessions_served);
+        for (a, b) in traced.shards.iter().zip(plain.shards.iter()) {
+            assert_eq!(a.trace, b.trace);
+        }
+
+        // Exact timing: the sequential driver stages fit inside the wall,
+        // and every shard's queue-wait + busy fits inside dispatch.
+        let t = &trace.timing;
+        assert!(t.accounted_ns() <= t.wall_ns);
+        assert!(t.dispatch_ns > 0);
+        assert_eq!(t.queue_wait_ns.len(), 4);
+        assert_eq!(t.busy_ns.len(), 4);
+        for s in 0..4 {
+            assert!(t.queue_wait_ns[s] + t.busy_ns[s] <= t.wall_ns);
+        }
+
+        // Every shard lane starts with queue_wait then shard_busy, with
+        // the engine's spans nested under shard_busy.
+        for lane in &trace.shards {
+            let shape = lane.shape();
+            assert_eq!(
+                shape[0],
+                (stage::QUEUE_WAIT, dbp_core::span::SpanEvent::ROOT)
+            );
+            assert_eq!(
+                shape[1],
+                (stage::SHARD_BUSY, dbp_core::span::SpanEvent::ROOT)
+            );
+        }
+    }
+
+    #[test]
+    fn driver_lane_records_the_pipeline_stages_in_order() {
+        let inst = workload(22);
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(2, Router::LeastLoaded),
+        );
+        let (_, _, trace) = engine
+            .run_traced(&inst, &ff_factory(), |_| NoProbe, |_, _| NoSpans)
+            .unwrap();
+        let shape = trace.driver.shape();
+        use dbp_core::span::SpanEvent;
+        const ROOT: u32 = SpanEvent::ROOT;
+        assert_eq!(
+            shape,
+            vec![
+                (stage::PARTITION, ROOT),
+                (stage::ROUTE, 0),
+                (stage::BATCH_ENQUEUE, ROOT),
+                (stage::DISPATCH, ROOT),
+                (stage::FAN_IN, ROOT),
+                (stage::MANIFEST_MERGE, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn shard_span_shapes_are_deterministic_for_a_fixed_seed() {
+        let inst = workload(23);
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(3, Router::HashByItem),
+        );
+        let run = |_: &()| {
+            let (_, _, trace) = engine
+                .run_traced(
+                    &inst,
+                    &ff_factory(),
+                    |_| NoProbe,
+                    |s, e| SpanCollector::with_epoch(e, s as u32),
+                )
+                .unwrap();
+            trace
+                .shards
+                .iter()
+                .map(|lane| lane.shape())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(
+            run(&()),
+            run(&()),
+            "span structure must not depend on timing"
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   pre-partition stream;
 //! * [`ClusterEngine::run_resilient`] — per-shard
 //!   [`FaultPlan`](dbp_cloudsim::FaultPlan)s through the resilient
-//!   dispatcher, with a cluster-wide conserved SLA ledger.
+//!   dispatcher, with a cluster-wide conserved SLA ledger;
+//! * [`ClusterEngine::run_traced`] — the probed run plus one
+//!   [`SpanRecorder`](dbp_core::span::SpanRecorder) per shard and a
+//!   driver lane, returning a [`ClusterTrace`] with exact
+//!   [`ClusterTiming`] (partition / enqueue / dispatch / fan-in, and
+//!   per-shard queue-wait vs busy) for `dbp profile` and Chrome traces.
 //!
 //! The differential guarantee the test suite pins down: a 1-shard cluster
 //! *is* the plain system run — same report, same JSONL event stream, same
@@ -34,7 +39,7 @@ pub mod engine;
 pub mod router;
 
 pub use engine::{
-    run_shard_probed, BatchPolicy, ClusterConfig, ClusterEngine, ClusterReport,
-    ClusterResilientReport, ClusterResilientRun, ClusterRun, ShardRun,
+    run_shard_probed, run_shard_traced, BatchPolicy, ClusterConfig, ClusterEngine, ClusterReport,
+    ClusterResilientReport, ClusterResilientRun, ClusterRun, ClusterTiming, ClusterTrace, ShardRun,
 };
 pub use router::Router;

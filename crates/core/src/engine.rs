@@ -20,6 +20,7 @@ use crate::item::{ArrivingItem, ItemId, Size};
 use crate::packer::{BinSelector, Decision};
 use crate::probe::{NoProbe, Probe, ProbeEvent};
 use crate::snapshot::Snapshot;
+use crate::span::{stage, NoSpans, SpanRecorder};
 use crate::time::Tick;
 use crate::trace::{BinRecord, PackingTrace};
 
@@ -48,6 +49,23 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
     probe: &mut P,
 ) -> PackingTrace {
     EngineRun::new(instance, selector, probe).finish()
+}
+
+/// [`simulate_probed`] with a [`SpanRecorder`] attached: every arrival is
+/// wrapped in an `arrival` span containing `decide` (the selector call) and
+/// `place` (the engine's bookkeeping), and every departure in a `departure`
+/// span. Pass `&mut recorder` to keep ownership of the recorded spans.
+/// With [`NoSpans`] this is byte-for-byte [`simulate_probed`].
+///
+/// # Panics
+/// Same contract as [`simulate`].
+pub fn simulate_traced<S: BinSelector + ?Sized, P: Probe, R: SpanRecorder>(
+    instance: &Instance,
+    selector: &mut S,
+    probe: &mut P,
+    spans: R,
+) -> PackingTrace {
+    EngineRun::traced(instance, selector, probe, spans).finish()
 }
 
 /// Resume a run from `snapshot` and drive it to completion. Convenience
@@ -312,12 +330,13 @@ impl State {
 /// [`resume`](EngineRun::resume) continues *exactly* where the snapshot was
 /// taken: the remaining probe events and the final trace are identical to
 /// the corresponding parts of an uninterrupted run.
-pub struct EngineRun<'a, S: BinSelector + ?Sized, P: Probe> {
+pub struct EngineRun<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder = NoSpans> {
     instance: &'a Instance,
     capacity: Size,
     events: Vec<Event>,
     selector: &'a mut S,
     probe: &'a mut P,
+    spans: R,
     keep_views: bool,
     st: State,
 }
@@ -325,16 +344,7 @@ pub struct EngineRun<'a, S: BinSelector + ?Sized, P: Probe> {
 impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
     /// Start a fresh run at the beginning of the schedule.
     pub fn new(instance: &'a Instance, selector: &'a mut S, probe: &'a mut P) -> Self {
-        let keep_views = P::ENABLED || selector.needs_views();
-        EngineRun {
-            instance,
-            capacity: instance.capacity(),
-            events: schedule(instance),
-            selector,
-            probe,
-            keep_views,
-            st: State::new(instance),
-        }
+        EngineRun::traced(instance, selector, probe, NoSpans)
     }
 
     /// Rebuild a run from a [`Snapshot`], positioned exactly where the
@@ -404,6 +414,27 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
         run.verify_state(snapshot)?;
         Ok(run)
     }
+}
+
+impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P, R> {
+    /// Start a fresh run with a [`SpanRecorder`] attached (see
+    /// [`simulate_traced`]). Pass `&mut recorder` to keep ownership of the
+    /// recorder across the run; pass [`NoSpans`] to get [`new`] exactly.
+    ///
+    /// [`new`]: EngineRun::new
+    pub fn traced(instance: &'a Instance, selector: &'a mut S, probe: &'a mut P, spans: R) -> Self {
+        let keep_views = P::ENABLED || selector.needs_views();
+        EngineRun {
+            instance,
+            capacity: instance.capacity(),
+            events: schedule(instance),
+            selector,
+            probe,
+            spans,
+            keep_views,
+            st: State::new(instance),
+        }
+    }
 
     /// Process the next schedule event. Returns `false` when the schedule
     /// is exhausted (the run is complete).
@@ -417,6 +448,9 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
         let tick = ev.at;
         match ev.kind {
             EventKind::Departure => {
+                if R::ENABLED {
+                    self.spans.enter(stage::DEPARTURE);
+                }
                 self.st.apply_departure(
                     self.instance,
                     &mut *self.selector,
@@ -425,10 +459,16 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
                     tick,
                     ev.item,
                 );
+                if R::ENABLED {
+                    self.spans.exit();
+                }
             }
             EventKind::Arrival => {
                 let item = self.instance.item(ev.item);
                 let arriving = ArrivingItem::of(item);
+                if R::ENABLED {
+                    self.spans.enter(stage::ARRIVAL);
+                }
                 if P::ENABLED {
                     self.probe.record(ProbeEvent::ItemArrived {
                         at: tick,
@@ -444,9 +484,16 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
                 } else {
                     None
                 };
+                if R::ENABLED {
+                    self.spans.enter(stage::DECIDE);
+                }
                 let decision = self
                     .selector
                     .select(&self.st.views, &arriving, self.capacity);
+                if R::ENABLED {
+                    self.spans.exit();
+                    self.spans.enter(stage::PLACE);
+                }
                 self.st.apply_arrival(
                     self.instance,
                     &mut *self.selector,
@@ -457,9 +504,15 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
                     ev.item,
                     decision,
                 );
+                if R::ENABLED {
+                    self.spans.exit();
+                }
                 if let Some(started) = started {
                     self.probe
                         .on_decision_ns(started.elapsed().as_nanos() as u64);
+                }
+                if R::ENABLED {
+                    self.spans.exit();
                 }
             }
         }

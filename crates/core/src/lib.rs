@@ -78,6 +78,7 @@ pub mod probe;
 mod proptests;
 pub mod ratio;
 pub mod snapshot;
+pub mod span;
 pub mod svg;
 pub mod time;
 pub mod trace;
@@ -85,7 +86,7 @@ pub mod trace;
 pub use bin::{BinId, BinTag, OpenBinView};
 pub use engine::{
     any_fit_violations, rebuild_snapshot, simulate, simulate_probed, simulate_resumed_probed,
-    simulate_validated, simulate_validated_probed, EngineRun,
+    simulate_traced, simulate_validated, simulate_validated_probed, EngineRun,
 };
 pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
 pub use item::{ArrivingItem, Item, ItemId, RegionId, Size};
@@ -93,6 +94,7 @@ pub use packer::{BinSelector, Decision, SelectorFactory};
 pub use probe::{DropReason, NoProbe, Probe, ProbeEvent};
 pub use ratio::Ratio;
 pub use snapshot::Snapshot;
+pub use span::{NoSpans, SpanEvent, SpanRecorder};
 pub use time::{Dur, Interval, Tick};
 pub use trace::{BinRecord, PackingTrace};
 
@@ -106,7 +108,7 @@ pub mod prelude {
     pub use crate::bounds;
     pub use crate::engine::{
         any_fit_violations, rebuild_snapshot, simulate, simulate_probed, simulate_resumed_probed,
-        simulate_validated, simulate_validated_probed, EngineRun,
+        simulate_traced, simulate_validated, simulate_validated_probed, EngineRun,
     };
     pub use crate::instance::{Instance, InstanceBuilder};
     pub use crate::item::{ArrivingItem, Item, ItemId, RegionId, Size};
@@ -115,6 +117,7 @@ pub mod prelude {
     pub use crate::probe::{DropReason, NoProbe, Probe, ProbeEvent};
     pub use crate::ratio::Ratio;
     pub use crate::snapshot::Snapshot;
+    pub use crate::span::{NoSpans, SpanEvent, SpanRecorder};
     pub use crate::time::{Dur, Interval, Tick};
     pub use crate::trace::PackingTrace;
 }

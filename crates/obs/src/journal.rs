@@ -38,7 +38,9 @@
 //! buffer is flushed): `Always` fsyncs every record, `EveryN(n)` amortizes,
 //! `Never` leaves flushing to the OS.
 
+use crate::span::StageAggregator;
 use dbp_core::probe::{Probe, ProbeEvent};
+use dbp_core::span::{stage, SpanRecorder};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::{BufWriter, Read, Write};
@@ -119,6 +121,11 @@ pub struct JournalWriter {
     policy: FsyncPolicy,
     unsynced: u32,
     records: u64,
+    /// Optional span recorder: when set, every append is wrapped in a
+    /// `journal_append` span with policy-due fsyncs nested as
+    /// `journal_fsync`. `None` (the default) keeps the write path free of
+    /// clock reads.
+    spans: Option<StageAggregator>,
 }
 
 impl JournalWriter {
@@ -138,11 +145,34 @@ impl JournalWriter {
             policy,
             unsynced: 0,
             records: 0,
+            spans: None,
         })
+    }
+
+    /// Attach a span recorder: subsequent appends record `journal_append`
+    /// spans with nested `journal_fsync` spans for policy-due syncs.
+    pub fn set_spans(&mut self, spans: StageAggregator) {
+        self.spans = Some(spans);
+    }
+
+    /// Detach and return the span recorder, if one was attached.
+    pub fn take_spans(&mut self) -> Option<StageAggregator> {
+        self.spans.take()
     }
 
     /// Append one event as a framed record, honoring the fsync policy.
     pub fn append(&mut self, event: &ProbeEvent) -> std::io::Result<()> {
+        if let Some(sp) = &mut self.spans {
+            sp.enter(stage::JOURNAL_APPEND);
+        }
+        let result = self.append_inner(event);
+        if let Some(sp) = &mut self.spans {
+            sp.exit();
+        }
+        result
+    }
+
+    fn append_inner(&mut self, event: &ProbeEvent) -> std::io::Result<()> {
         let payload = serde_json::to_string(event).expect("ProbeEvent serializes infallibly");
         let payload = payload.as_bytes();
         debug_assert!(payload.len() < MAX_FRAME_LEN as usize);
@@ -164,8 +194,17 @@ impl JournalWriter {
 
     /// Flush buffered frames and fsync the file.
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.file.flush()?;
-        self.file.get_ref().sync_all()?;
+        if let Some(sp) = &mut self.spans {
+            sp.enter(stage::JOURNAL_FSYNC);
+        }
+        let result = (|| {
+            self.file.flush()?;
+            self.file.get_ref().sync_all()
+        })();
+        if let Some(sp) = &mut self.spans {
+            sp.exit();
+        }
+        result?;
         self.unsynced = 0;
         Ok(())
     }
@@ -222,6 +261,17 @@ impl JournalProbe {
             Some(e) => Err(e),
             None => self.writer.finish(),
         }
+    }
+
+    /// Attach a span recorder to the underlying writer (see
+    /// [`JournalWriter::set_spans`]).
+    pub fn set_spans(&mut self, spans: StageAggregator) {
+        self.writer.set_spans(spans);
+    }
+
+    /// Detach and return the underlying writer's span recorder, if any.
+    pub fn take_spans(&mut self) -> Option<StageAggregator> {
+        self.writer.take_spans()
     }
 }
 
@@ -430,6 +480,28 @@ mod tests {
         let mut probe = JournalProbe::create(&path, FsyncPolicy::Never).unwrap();
         simulate_probed(&inst, &mut FirstFit::new(), &mut probe);
         assert_eq!(probe.finish().unwrap(), events.len() as u64);
+        assert_eq!(read_journal(&path).unwrap().events, events);
+    }
+
+    #[test]
+    fn journal_spans_attribute_appends_and_fsyncs() {
+        let path = tmpfile("spans.wal");
+        let events = sample_events();
+        let mut w = JournalWriter::create(&path, FsyncPolicy::EveryN(3)).unwrap();
+        w.set_spans(StageAggregator::new(0));
+        for ev in &events {
+            w.append(ev).unwrap();
+        }
+        let breakdown = w.take_spans().unwrap().finish();
+        w.finish().unwrap();
+        let appends = breakdown.get(stage::JOURNAL_APPEND).unwrap();
+        assert_eq!(appends.count, events.len() as u64);
+        let fsyncs = breakdown.get(stage::JOURNAL_FSYNC).unwrap();
+        // EveryN(3): one fsync per full group of three appends.
+        assert_eq!(fsyncs.count, events.len() as u64 / 3);
+        // Fsync time nests inside append time.
+        assert!(appends.total_ns >= fsyncs.total_ns);
+        // The journal itself is untouched by instrumentation.
         assert_eq!(read_journal(&path).unwrap().events, events);
     }
 

@@ -20,6 +20,11 @@
 //! * [`manifest`] — [`RunManifest`](manifest::RunManifest) provenance
 //!   records, the `run_all` sweep manifest, and the sweep resume
 //!   checkpoint;
+//! * [`span`] — consumers of the `SpanRecorder` seam:
+//!   [`SpanCollector`](span::SpanCollector) (full capture, Chrome-trace
+//!   export), [`StageAggregator`](span::StageAggregator) (streaming
+//!   per-stage histograms), and the ranked
+//!   [`StageBreakdown`](span::StageBreakdown) self-time table;
 //! * [`timeline`] — the `dbp trace` timeline renderer.
 //!
 //! Probes compose with the tuple combinator from `dbp-core`, so one
@@ -55,6 +60,7 @@ pub mod metrics;
 pub mod recorder;
 pub mod replay;
 pub mod sampler;
+pub mod span;
 pub mod timeline;
 
 pub use journal::{FsyncPolicy, JournalContents, JournalProbe, JournalWriter};
@@ -65,6 +71,9 @@ pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{CountingProbe, EventLog, MetricsProbe};
 pub use replay::{RecoveredSnapshot, ReplaySummary};
 pub use sampler::{Sample, TimeSeriesSampler};
+pub use span::{
+    chrome_trace_json, SpanCollector, StageAggregator, StageBreakdown, StageRow, StageStats,
+};
 
 /// Everything most users need, in one import.
 pub mod prelude {
@@ -77,5 +86,8 @@ pub mod prelude {
     pub use crate::recorder::{CountingProbe, EventLog, MetricsProbe};
     pub use crate::replay::{replay_events, snapshot_from_events};
     pub use crate::sampler::{Sample, TimeSeriesSampler};
+    pub use crate::span::{
+        chrome_trace_json, SpanCollector, StageAggregator, StageBreakdown, StageRow,
+    };
     pub use crate::timeline::render_timeline;
 }

@@ -61,6 +61,58 @@ impl Histogram {
         }
     }
 
+    /// Exact nearest-rank percentile, all-integer: the smallest observed
+    /// value whose cumulative count reaches rank `⌈p·count/100⌉` (1-based;
+    /// `p` is clamped to 100). `percentile(0)` is the minimum,
+    /// `percentile(100)` the maximum — true order statistics, since the
+    /// histogram keeps every observed value.
+    pub fn percentile(&self, p: u64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let p = p.min(100) as u128;
+        let rank = (self.count as u128 * p).div_ceil(100).max(1) as u64;
+        let mut cumulative = 0;
+        for (&value, &n) in &self.counts {
+            cumulative += n;
+            if cumulative >= rank {
+                return Some(value);
+            }
+        }
+        self.max()
+    }
+
+    /// Nearest-rank median ([`percentile`](Histogram::percentile)`(50)`).
+    pub fn p50(&self) -> Option<u64> {
+        self.percentile(50)
+    }
+
+    /// Nearest-rank 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.percentile(90)
+    }
+
+    /// Nearest-rank 95th percentile.
+    pub fn p95(&self) -> Option<u64> {
+        self.percentile(95)
+    }
+
+    /// Nearest-rank 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.percentile(99)
+    }
+
+    /// Merge another histogram into this one, exactly: counts per value
+    /// add, so every derived statistic equals the one of the concatenated
+    /// observation streams.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (v, c) in other.entries() {
+            *self.counts.entry(v).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Exact `q`-quantile (`0.0 ≤ q ≤ 1.0`): the smallest observed value
     /// with cumulative count ≥ `q · count`.
     pub fn quantile(&self, q: f64) -> Option<u64> {
@@ -179,18 +231,19 @@ impl MetricsRegistry {
             self.gauge_max(&labeled(name), *v);
         }
         for (name, h) in &other.histograms {
-            let target = self.histograms.entry(labeled(name)).or_default();
-            for (v, c) in h.entries() {
-                match target.counts.get_mut(&v) {
-                    Some(n) => *n += c,
-                    None => {
-                        target.counts.insert(v, c);
-                    }
-                }
-                target.count += c;
-                target.sum += v as u128 * c as u128;
-            }
+            self.histograms.entry(labeled(name)).or_default().merge(h);
         }
+    }
+
+    /// Merge a free-standing histogram into the one registered under
+    /// `name` (creating it empty first). The named-registry counterpart of
+    /// [`Histogram::merge`], used when per-stage span histograms fan into
+    /// the Prometheus export.
+    pub fn observe_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
     }
 
     /// Render in Prometheus text exposition format. Histograms are emitted
@@ -216,6 +269,27 @@ impl MetricsRegistry {
                 h.sum(),
                 h.count()
             ));
+            // Nearest-rank percentile gauges (`_p50` … `_max`). For
+            // labelled series (`name{shard="0"}`) the suffix lands on the
+            // metric name, before the label set.
+            let (base, labels) = match name.find('{') {
+                Some(i) => name.split_at(i),
+                None => (name.as_str(), ""),
+            };
+            let points = [
+                ("p50", h.p50()),
+                ("p90", h.p90()),
+                ("p95", h.p95()),
+                ("p99", h.p99()),
+                ("max", h.max()),
+            ];
+            for (suffix, v) in points {
+                if let Some(v) = v {
+                    out.push_str(&format!(
+                        "# TYPE {base}_{suffix} gauge\n{base}_{suffix}{labels} {v}\n"
+                    ));
+                }
+            }
         }
         out
     }
@@ -238,6 +312,85 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(3));
         assert_eq!(h.quantile(1.0), Some(9));
         assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn nearest_rank_percentiles_are_exact_order_statistics() {
+        // The canonical nearest-rank example: {15, 20, 35, 40, 50}.
+        let mut h = Histogram::new();
+        for v in [15, 20, 35, 40, 50] {
+            h.observe(v);
+        }
+        assert_eq!(h.percentile(0), Some(15));
+        assert_eq!(h.percentile(5), Some(15));
+        assert_eq!(h.percentile(30), Some(20));
+        assert_eq!(h.percentile(40), Some(20));
+        assert_eq!(h.percentile(41), Some(35));
+        assert_eq!(h.p50(), Some(35));
+        assert_eq!(h.percentile(95), Some(50));
+        assert_eq!(h.percentile(100), Some(50));
+        assert_eq!(h.percentile(900), Some(50), "p clamps to 100");
+
+        // Single observation: every percentile is that value.
+        let mut one = Histogram::new();
+        one.observe(7);
+        for p in [0, 1, 50, 99, 100] {
+            assert_eq!(one.percentile(p), Some(7));
+        }
+        assert_eq!(Histogram::new().p99(), None);
+
+        // Against a brute-force nearest-rank over the sorted multiset.
+        let values = [3u64, 3, 1, 9, 9, 9, 2, 8, 4, 4, 4, 4];
+        let mut h = Histogram::new();
+        let mut sorted = values.to_vec();
+        for v in values {
+            h.observe(v);
+        }
+        sorted.sort_unstable();
+        for p in 1..=100u64 {
+            let rank = ((sorted.len() as u64 * p).div_ceil(100)).max(1) as usize;
+            assert_eq!(h.percentile(p), Some(sorted[rank - 1]), "p{p}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_concatenated_streams() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in [1, 5, 5, 9] {
+            a.observe(v);
+            both.observe(v);
+        }
+        for v in [2, 5, 100] {
+            b.observe(v);
+            both.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.p99(), Some(100));
+    }
+
+    #[test]
+    fn prometheus_emits_percentile_gauges_with_label_aware_names() {
+        let mut reg = MetricsRegistry::new();
+        for v in [10, 20, 30] {
+            reg.observe("dbp_stage_ns", v);
+        }
+        let mut shard = MetricsRegistry::new();
+        shard.observe("dbp_decision_ns", 400);
+        reg.absorb_labeled(&shard, "shard", "3");
+        let text = reg.to_prometheus();
+        assert!(text.contains("dbp_stage_ns_p50 20"), "{text}");
+        assert!(text.contains("dbp_stage_ns_p99 30"), "{text}");
+        assert!(text.contains("dbp_stage_ns_max 30"), "{text}");
+        // The suffix must land before the label set, not after it.
+        assert!(
+            text.contains("dbp_decision_ns_p95{shard=\"3\"} 400"),
+            "{text}"
+        );
+        assert!(!text.contains("{shard=\"3\"}_p95"), "{text}");
     }
 
     #[test]

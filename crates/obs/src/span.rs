@@ -1,0 +1,600 @@
+//! Recorders for the [`SpanRecorder`] seam: full span capture
+//! ([`SpanCollector`]), streaming per-stage aggregation
+//! ([`StageAggregator`]), the merged [`StageBreakdown`] table, and
+//! Chrome-trace JSON export ([`chrome_trace_json`]).
+//!
+//! The merge model mirrors the cluster's metrics fan-in: every shard owns
+//! its recorder for the whole run (no shared registry, no locks on the hot
+//! path), and the driver collects the finished recorders in shard order at
+//! report time. Timestamps are nanoseconds since a caller-supplied epoch
+//! `Instant`, shared across lanes so all streams line up on one timeline.
+//!
+//! All measured quantities stay exact integers (`u64` nanoseconds,
+//! [`Histogram`] value maps); floats appear only in rendered tables.
+
+use crate::metrics::{Histogram, MetricsRegistry};
+use dbp_core::span::{SpanEvent, SpanRecorder};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Shard id recorded for driver-lane spans (no shard owns them).
+pub const DRIVER_LANE: u32 = u32::MAX;
+
+/// A [`SpanRecorder`] that keeps every span: the input for Chrome-trace
+/// export and span-correctness tests. Spans are stored in `enter` order
+/// (pre-order), each carrying the index of its enclosing span.
+#[derive(Debug, Clone)]
+pub struct SpanCollector {
+    shard: u32,
+    epoch: Instant,
+    spans: Vec<SpanEvent>,
+    stack: Vec<u32>,
+}
+
+impl SpanCollector {
+    /// A collector for `shard` with a fresh epoch (`Instant::now()`).
+    pub fn new(shard: u32) -> SpanCollector {
+        SpanCollector::with_epoch(Instant::now(), shard)
+    }
+
+    /// A collector whose timestamps are relative to `epoch` — pass the
+    /// same epoch to every lane of a run so the streams merge onto one
+    /// timeline.
+    pub fn with_epoch(epoch: Instant, shard: u32) -> SpanCollector {
+        SpanCollector {
+            shard,
+            epoch,
+            spans: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    /// The collector's epoch.
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+
+    /// The shard lane this collector records.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The recorded spans, in `enter` order. Spans still open have
+    /// `dur_ns == 0`; call [`close_open`](SpanCollector::close_open) first
+    /// if the stream may be unbalanced.
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// Consume the collector, returning its spans.
+    pub fn into_spans(self) -> Vec<SpanEvent> {
+        self.spans
+    }
+
+    /// Close any spans still open (stamping them with the current time).
+    /// Normal instrumentation balances every `enter` with an `exit`; this
+    /// is the safety net for aborted runs.
+    pub fn close_open(&mut self) {
+        while !self.stack.is_empty() {
+            self.exit();
+        }
+    }
+
+    /// The structural shape of the stream — `(name, parent)` per span, no
+    /// timings — which is deterministic for a fixed workload even though
+    /// durations are not.
+    pub fn shape(&self) -> Vec<(&'static str, u32)> {
+        self.spans.iter().map(|s| (s.name, s.parent)).collect()
+    }
+
+    /// Aggregate the collected spans into a per-stage table.
+    pub fn stage_breakdown(&self) -> StageBreakdown {
+        StageBreakdown::from_spans(&self.spans)
+    }
+}
+
+impl SpanRecorder for SpanCollector {
+    fn enter(&mut self, name: &'static str) {
+        let parent = self.stack.last().copied().unwrap_or(SpanEvent::ROOT);
+        let idx = self.spans.len() as u32;
+        self.spans.push(SpanEvent {
+            name,
+            shard: self.shard,
+            start_ns: self.now_ns(),
+            dur_ns: 0,
+            parent,
+        });
+        self.stack.push(idx);
+    }
+
+    fn exit(&mut self) {
+        debug_assert!(!self.stack.is_empty(), "span exit without matching enter");
+        if let Some(idx) = self.stack.pop() {
+            let now = self.now_ns();
+            let span = &mut self.spans[idx as usize];
+            span.dur_ns = now.saturating_sub(span.start_ns);
+        }
+    }
+}
+
+/// Exact per-stage statistics: how often the stage ran, its total and
+/// *self* time (total minus time spent in child spans), and the full
+/// latency histogram of its durations.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageStats {
+    /// Completed spans of this stage.
+    pub count: u64,
+    /// Sum of span durations, nanoseconds.
+    pub total_ns: u64,
+    /// Total minus the time spent in enclosed child spans.
+    pub self_ns: u64,
+    /// Exact histogram of span durations (nanoseconds).
+    pub hist: Histogram,
+}
+
+/// One row of the serialized stage table (bench JSON, `dbp profile`).
+/// Percentiles are nearest-rank over the exact duration histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageRow {
+    /// Stage name (see `dbp_core::span::stage`).
+    pub stage: String,
+    /// Completed spans.
+    pub count: u64,
+    /// Sum of durations, nanoseconds.
+    pub total_ns: u64,
+    /// Self time (total minus child spans), nanoseconds.
+    pub self_ns: u64,
+    /// Median duration, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th-percentile duration, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th-percentile duration, nanoseconds.
+    pub p99_ns: u64,
+    /// Largest duration, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Per-stage aggregation over one or more span streams, merged exactly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageBreakdown {
+    stages: BTreeMap<&'static str, StageStats>,
+}
+
+impl StageBreakdown {
+    /// Empty breakdown.
+    pub fn new() -> StageBreakdown {
+        StageBreakdown::default()
+    }
+
+    /// Aggregate a finished span stream. Self time uses the stream's
+    /// parent links: each span's duration is charged against its parent's
+    /// self time.
+    pub fn from_spans(spans: &[SpanEvent]) -> StageBreakdown {
+        let mut b = StageBreakdown::new();
+        b.absorb_spans(spans);
+        b
+    }
+
+    /// Merge a finished span stream into this breakdown.
+    pub fn absorb_spans(&mut self, spans: &[SpanEvent]) {
+        for span in spans {
+            let s = self.stages.entry(span.name).or_default();
+            s.count += 1;
+            s.total_ns += span.dur_ns;
+            s.self_ns += span.dur_ns;
+            s.hist.observe(span.dur_ns);
+        }
+        for span in spans {
+            if span.parent != SpanEvent::ROOT {
+                let parent = spans[span.parent as usize].name;
+                let s = self.stages.entry(parent).or_default();
+                // Children of one span never overlap and lie within it, so
+                // the subtraction cannot underflow on balanced streams;
+                // saturate anyway for spans closed early by `close_open`.
+                s.self_ns = s.self_ns.saturating_sub(span.dur_ns);
+            }
+        }
+    }
+
+    /// Merge another breakdown into this one (exact: counts/totals add,
+    /// histograms merge value-for-value).
+    pub fn merge(&mut self, other: &StageBreakdown) {
+        for (&name, stats) in &other.stages {
+            let s = self.stages.entry(name).or_default();
+            s.count += stats.count;
+            s.total_ns += stats.total_ns;
+            s.self_ns += stats.self_ns;
+            s.hist.merge(&stats.hist);
+        }
+    }
+
+    /// Whether no stage was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The statistics of one stage, if recorded.
+    pub fn get(&self, stage: &str) -> Option<&StageStats> {
+        self.stages.get(stage)
+    }
+
+    /// Every stage, in name order.
+    pub fn stages(&self) -> impl Iterator<Item = (&'static str, &StageStats)> + '_ {
+        self.stages.iter().map(|(&n, s)| (n, s))
+    }
+
+    /// Serializable rows, ranked by self time (descending) — the order a
+    /// profiler wants: the stage where the wall-clock actually went first.
+    pub fn rows(&self) -> Vec<StageRow> {
+        let mut rows: Vec<StageRow> = self
+            .stages
+            .iter()
+            .map(|(&name, s)| StageRow {
+                stage: name.to_string(),
+                count: s.count,
+                total_ns: s.total_ns,
+                self_ns: s.self_ns,
+                p50_ns: s.hist.p50().unwrap_or(0),
+                p95_ns: s.hist.p95().unwrap_or(0),
+                p99_ns: s.hist.p99().unwrap_or(0),
+                max_ns: s.hist.max().unwrap_or(0),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.stage.cmp(&b.stage)));
+        rows
+    }
+
+    /// Fan the breakdown into a metrics registry as
+    /// `dbp_stage_ns{stage="..."}` histograms (rendered with `_p50`/`_p95`/
+    /// `_p99`/`_max` gauges by the Prometheus exporter) plus
+    /// `dbp_stage_self_ns_total` counters.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        for (name, s) in &self.stages {
+            reg.observe_histogram(&format!("dbp_stage_ns{{stage=\"{name}\"}}"), &s.hist);
+            reg.counter_add(
+                &format!("dbp_stage_self_ns_total{{stage=\"{name}\"}}"),
+                s.self_ns,
+            );
+        }
+    }
+
+    /// Render the ranked self-time table as aligned text. `wall_ns` scales
+    /// the `self%` column; floats appear here only, at render time.
+    pub fn render(&self, wall_ns: u64) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>10} {:>12} {:>12} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+            "stage",
+            "count",
+            "total_ms",
+            "self_ms",
+            "self%",
+            "p50_ns",
+            "p95_ns",
+            "p99_ns",
+            "max_ns"
+        ));
+        for r in self.rows() {
+            let pct = if wall_ns == 0 {
+                0.0
+            } else {
+                100.0 * r.self_ns as f64 / wall_ns as f64
+            };
+            out.push_str(&format!(
+                "{:<16} {:>10} {:>12.3} {:>12.3} {:>6.1} {:>10} {:>10} {:>10} {:>10}\n",
+                r.stage,
+                r.count,
+                r.total_ns as f64 / 1e6,
+                r.self_ns as f64 / 1e6,
+                pct,
+                r.p50_ns,
+                r.p95_ns,
+                r.p99_ns,
+                r.max_ns
+            ));
+        }
+        out
+    }
+}
+
+/// A [`SpanRecorder`] that aggregates into a [`StageBreakdown`] as spans
+/// close, without buffering them — constant memory however many spans the
+/// run produces, which is what the scaling bench needs at 10⁶ items.
+///
+/// Self time is computed on the fly: every frame accumulates the duration
+/// of its direct children and subtracts it when the frame closes.
+#[derive(Debug, Clone)]
+pub struct StageAggregator {
+    shard: u32,
+    epoch: Instant,
+    stack: Vec<Frame>,
+    breakdown: StageBreakdown,
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    name: &'static str,
+    start_ns: u64,
+    child_ns: u64,
+}
+
+impl StageAggregator {
+    /// An aggregator for `shard` with a fresh epoch.
+    pub fn new(shard: u32) -> StageAggregator {
+        StageAggregator::with_epoch(Instant::now(), shard)
+    }
+
+    /// An aggregator whose timestamps are relative to `epoch`.
+    pub fn with_epoch(epoch: Instant, shard: u32) -> StageAggregator {
+        StageAggregator {
+            shard,
+            epoch,
+            stack: Vec::new(),
+            breakdown: StageBreakdown::new(),
+        }
+    }
+
+    /// The shard lane this aggregator records.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Close any spans still open, then return the breakdown.
+    pub fn finish(mut self) -> StageBreakdown {
+        while !self.stack.is_empty() {
+            self.exit();
+        }
+        self.breakdown
+    }
+
+    /// The breakdown accumulated so far (open spans not included).
+    pub fn breakdown(&self) -> &StageBreakdown {
+        &self.breakdown
+    }
+}
+
+impl SpanRecorder for StageAggregator {
+    fn enter(&mut self, name: &'static str) {
+        self.stack.push(Frame {
+            name,
+            start_ns: self.epoch.elapsed().as_nanos() as u64,
+            child_ns: 0,
+        });
+    }
+
+    fn exit(&mut self) {
+        debug_assert!(!self.stack.is_empty(), "span exit without matching enter");
+        if let Some(frame) = self.stack.pop() {
+            let now = self.epoch.elapsed().as_nanos() as u64;
+            let dur = now.saturating_sub(frame.start_ns);
+            if let Some(parent) = self.stack.last_mut() {
+                parent.child_ns += dur;
+            }
+            let s = self.breakdown.stages.entry(frame.name).or_default();
+            s.count += 1;
+            s.total_ns += dur;
+            s.self_ns += dur.saturating_sub(frame.child_ns);
+            s.hist.observe(dur);
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn format_us(ns: u64) -> String {
+    // Chrome trace timestamps are microseconds; keep the nanosecond
+    // remainder as exact decimals instead of rounding through a float.
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Render span lanes as Chrome-trace-format JSON (the "trace event
+/// format" understood by `chrome://tracing` and Perfetto): one complete
+/// (`"ph":"X"`) event per span with microsecond timestamps, plus a
+/// `thread_name` metadata record per lane so the flamechart rows carry the
+/// lane labels. Lanes must share one epoch to line up.
+pub fn chrome_trace_json<'a, I>(lanes: I) -> String
+where
+    I: IntoIterator<Item = (&'a str, &'a [SpanEvent])>,
+{
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (tid, (label, spans)) in lanes.into_iter().enumerate() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(label)
+        ));
+        for span in spans {
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\
+                 \"ts\":{},\"dur\":{}}}",
+                json_escape(span.name),
+                format_us(span.start_ns),
+                format_us(span.dur_ns)
+            ));
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbp_core::span::stage;
+
+    fn walk(rec: &mut impl SpanRecorder) {
+        rec.enter(stage::ARRIVAL);
+        rec.enter(stage::DECIDE);
+        rec.exit();
+        rec.enter(stage::PLACE);
+        rec.exit();
+        rec.exit();
+        rec.enter(stage::DEPARTURE);
+        rec.exit();
+    }
+
+    #[test]
+    fn collector_records_nested_spans_with_parent_links() {
+        let mut c = SpanCollector::new(2);
+        walk(&mut c);
+        let spans = c.spans();
+        assert_eq!(spans.len(), 4);
+        assert_eq!(
+            c.shape(),
+            vec![
+                (stage::ARRIVAL, SpanEvent::ROOT),
+                (stage::DECIDE, 0),
+                (stage::PLACE, 0),
+                (stage::DEPARTURE, SpanEvent::ROOT),
+            ]
+        );
+        for s in spans {
+            assert_eq!(s.shard, 2);
+        }
+        // Children lie within their parent.
+        let arrival = spans[0];
+        for child in &spans[1..3] {
+            assert!(child.start_ns >= arrival.start_ns);
+            assert!(child.end_ns() <= arrival.end_ns());
+        }
+        // Departure starts after arrival ends (sequential).
+        assert!(spans[3].start_ns >= arrival.end_ns());
+    }
+
+    #[test]
+    fn close_open_closes_unbalanced_streams() {
+        let mut c = SpanCollector::new(0);
+        c.enter(stage::DISPATCH);
+        c.enter(stage::QUEUE_WAIT);
+        c.close_open();
+        assert_eq!(c.spans().len(), 2);
+        assert!(c.spans().iter().all(|s| s.end_ns() >= s.start_ns));
+    }
+
+    #[test]
+    fn breakdown_self_time_subtracts_children() {
+        let spans = [
+            SpanEvent {
+                name: stage::ARRIVAL,
+                shard: 0,
+                start_ns: 0,
+                dur_ns: 100,
+                parent: SpanEvent::ROOT,
+            },
+            SpanEvent {
+                name: stage::DECIDE,
+                shard: 0,
+                start_ns: 10,
+                dur_ns: 30,
+                parent: 0,
+            },
+            SpanEvent {
+                name: stage::PLACE,
+                shard: 0,
+                start_ns: 50,
+                dur_ns: 40,
+                parent: 0,
+            },
+        ];
+        let b = StageBreakdown::from_spans(&spans);
+        let arrival = b.get(stage::ARRIVAL).unwrap();
+        assert_eq!(arrival.total_ns, 100);
+        assert_eq!(arrival.self_ns, 30); // 100 - 30 - 40
+        assert_eq!(b.get(stage::DECIDE).unwrap().self_ns, 30);
+        let rows = b.rows();
+        assert_eq!(rows.len(), 3);
+        // Ranked by self time: place (40) first.
+        assert_eq!(rows[0].stage, stage::PLACE);
+        assert_eq!(rows[0].p50_ns, 40);
+        assert!(!b.render(100).is_empty());
+    }
+
+    #[test]
+    fn aggregator_matches_collector_breakdown_shape() {
+        let epoch = Instant::now();
+        let mut c = SpanCollector::with_epoch(epoch, 1);
+        let mut a = StageAggregator::with_epoch(epoch, 1);
+        walk(&mut c);
+        walk(&mut a);
+        let cb = c.stage_breakdown();
+        let ab = a.finish();
+        // Same stages, same counts (durations differ — different clock reads).
+        let names: Vec<&str> = cb.stages().map(|(n, _)| n).collect();
+        assert_eq!(names, ab.stages().map(|(n, _)| n).collect::<Vec<_>>());
+        for (n, s) in cb.stages() {
+            assert_eq!(s.count, ab.get(n).unwrap().count, "{n}");
+        }
+        // Self + children totals are conserved: Σ self == Σ top-level total.
+        let self_sum: u64 = ab.stages().map(|(_, s)| s.self_ns).sum();
+        let top_total =
+            ab.get(stage::ARRIVAL).unwrap().total_ns + ab.get(stage::DEPARTURE).unwrap().total_ns;
+        assert_eq!(self_sum, top_total);
+    }
+
+    #[test]
+    fn breakdown_merge_is_exact() {
+        let mut a = StageAggregator::new(0);
+        let mut b = StageAggregator::new(1);
+        walk(&mut a);
+        walk(&mut b);
+        walk(&mut b);
+        let ba = a.finish();
+        let bb = b.finish();
+        let mut merged = ba.clone();
+        merged.merge(&bb);
+        let s = merged.get(stage::ARRIVAL).unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(
+            s.total_ns,
+            ba.get(stage::ARRIVAL).unwrap().total_ns + bb.get(stage::ARRIVAL).unwrap().total_ns
+        );
+        assert_eq!(s.hist.count(), 3);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_lane_names() {
+        let mut c = SpanCollector::new(0);
+        walk(&mut c);
+        let spans = c.into_spans();
+        let json = chrome_trace_json([("driver", &spans[..])]);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_seq().unwrap();
+        assert_eq!(events.len(), 1 + spans.len());
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            events[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("driver")
+        );
+        assert_eq!(events[1].get("ph").unwrap().as_str(), Some("X"));
+        assert!(events[1].get("ts").unwrap().as_f64().is_some());
+    }
+
+    #[test]
+    fn export_metrics_lands_labeled_stage_histograms() {
+        let mut a = StageAggregator::new(0);
+        walk(&mut a);
+        let mut reg = MetricsRegistry::new();
+        a.finish().export_metrics(&mut reg);
+        let h = reg
+            .histogram("dbp_stage_ns{stage=\"decide\"}")
+            .expect("stage histogram exported");
+        assert_eq!(h.count(), 1);
+        let text = reg.to_prometheus();
+        assert!(
+            text.contains("dbp_stage_ns_p95{stage=\"decide\"}"),
+            "{text}"
+        );
+    }
+}

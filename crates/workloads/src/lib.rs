@@ -41,7 +41,7 @@ pub mod scenarios;
 pub use arrivals::{ArrivalProcess, DiurnalPoisson, FlashCrowd, Poisson};
 pub use games::{GameCatalog, GameProfile, SessionKind};
 pub use generator::{generate, ArrivalKind, CloudGamingConfig};
-pub use mu_control::{generate_mu_controlled, MuControlledConfig, SizeModel};
+pub use mu_control::{churn, generate_mu_controlled, MuControlledConfig, SizeModel};
 pub use scenarios::{FaultProfile, Scenario};
 
 #[cfg(test)]

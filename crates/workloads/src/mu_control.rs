@@ -167,6 +167,23 @@ pub fn generate_mu_controlled(cfg: &MuControlledConfig) -> Instance {
     b.build().expect("mu-controlled workload must be valid")
 }
 
+/// The churn-heavy profiling workload: high arrival rate and long,
+/// widely-spread intervals keep thousands of bins open at once, so
+/// per-arrival work that scales with the open-bin count dominates the run.
+/// This is the shared fixture behind `engine_baseline`, `cluster_scaling`,
+/// and `dbp profile` — one definition so their numbers are comparable.
+pub fn churn(n_items: usize, seed: u64) -> Instance {
+    generate_mu_controlled(&MuControlledConfig {
+        n_items,
+        mu: 10,
+        delta: 2_000,
+        arrival_rate: 0.5,
+        sizes: SizeModel::Uniform { lo: 5, hi: 60 },
+        seed,
+        ..MuControlledConfig::new(10)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
