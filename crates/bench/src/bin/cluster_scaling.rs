@@ -100,7 +100,10 @@ fn measure(inst: &Instance, shards: usize, plain_ns: u128) -> (u64, ScalingResul
         },
         granularity: Granularity::PerTick,
     };
-    let engine = ClusterEngine::new(system, ClusterConfig::new(shards, Router::HashByItem));
+    let engine = ClusterEngine::new(
+        system,
+        ClusterConfig::new(shards, Router::HashByItem).unwrap(),
+    );
     let factory = SelectorFactory::new("FF", || Box::new(FirstFit::new()));
     let started = Instant::now();
     let run = engine

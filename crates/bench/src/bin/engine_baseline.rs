@@ -171,7 +171,7 @@ fn measure_cluster_overhead(inst: &Instance) -> ClusterOverhead {
         },
         granularity: Granularity::PerTick,
     };
-    let engine = ClusterEngine::new(system, ClusterConfig::new(1, Router::HashByItem));
+    let engine = ClusterEngine::new(system, ClusterConfig::new(1, Router::HashByItem).unwrap());
     let factory = SelectorFactory::new("FF", || Box::new(FirstFit::new()));
     let started = Instant::now();
     let run = engine

@@ -63,10 +63,12 @@ USAGE:
           [--batch event|whole|N] [--jobs N]
           [--trace-events FILE.jsonl] [--metrics FILE.prom]
           [--faults SEED|PLAN.json]   # per-shard fault plans (seed+shard / shared plan)
+          [--shard-faults SEED|PLAN.json]  # kill shards mid-run; self-heal from journals
           [--journal FILE.wal] [--fsync always|never|N]   # one journal per shard: FILE.wal.shardK
           [--run-manifest FILE.json]  # merged provenance + exact aggregate cost
   dbp profile [FILE] [--algo NAME] [--shards N] [--router hash|affinity|least-loaded]
           [--batch event|whole|N] [--jobs N] [--items N] [--seed N]
+          [--shard-faults SEED|PLAN.json]  # profile the self-healing engine instead
           [--trace-out FILE.json]     # Chrome-trace JSON (chrome://tracing, Perfetto)
           [--metrics FILE.prom]       # per-stage latency histograms
   dbp recover FILE.wal [--repair] [--manifest FILE.json]
@@ -533,12 +535,41 @@ fn static_algo_name(name: &str) -> Option<&'static str> {
 /// One shard's instrumentation leg: event log + metrics + optional journal.
 type ShardProbe = ((dbp_obs::EventLog, dbp_obs::MetricsProbe), MaybeJournal);
 
+/// Parse a `--shard-faults` spec: a bare integer seeds a deterministic
+/// [`ShardFaultPlan`] sized to the instance (about two kills' worth of
+/// events per shard); anything that looks like a file loads an explicit
+/// plan JSON.
+fn load_shard_fault_plan(
+    spec: &str,
+    shards: usize,
+    inst: &dbp_core::instance::Instance,
+) -> Result<dbp_cluster::ShardFaultPlan, String> {
+    if spec.ends_with(".json") || std::path::Path::new(spec).exists() {
+        let text = std::fs::read_to_string(spec).map_err(|e| format!("{spec}: {e}"))?;
+        serde_json::from_str(&text).map_err(|e| format!("{spec}: {e}"))
+    } else {
+        let seed: u64 = spec
+            .parse()
+            .map_err(|_| format!("--shard-faults expects a seed or a plan .json, got '{spec}'"))?;
+        // Each shard sees ~2 events per item it serves; aim kill offsets
+        // inside the live part of the stream.
+        let events_hint = (2 * inst.len() as u64 / shards.max(1) as u64).max(4);
+        Ok(dbp_cluster::ShardFaultPlan::from_seed(
+            seed,
+            shards,
+            events_hint,
+        ))
+    }
+}
+
 /// `dbp cluster FILE --algo A --shards N --router R`: partition the request
 /// stream across N independent dispatcher shards, run them on a worker
 /// pool, and report the exact aggregate bill. `--journal FILE.wal` writes
 /// one crash-safe journal per shard at `FILE.wal.shardK` (each replayable
 /// with `dbp recover`); `--faults` derives one fault plan per shard (seed
-/// plans get `seed + shard`, explicit `.json` plans are shared verbatim).
+/// plans get `seed + shard`, explicit `.json` plans are shared verbatim);
+/// `--shard-faults` kills whole shards mid-run instead and self-heals them
+/// from their journals (seed or a `ShardFaultPlan` `.json`).
 fn cmd_cluster(args: &Args) -> Result<(), String> {
     let inst = load_instance(args, 1)?;
     let algo = args.str_flag("algo").unwrap_or("ff");
@@ -549,7 +580,7 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     }
     let router = parse_router(args)?;
     let batch = parse_batch(args)?;
-    let mut config = dbp_cluster::ClusterConfig::new(shards, router);
+    let mut config = dbp_cluster::ClusterConfig::new(shards, router).map_err(|e| e.to_string())?;
     config.batch = batch;
     config.jobs = args.u64_flag_or("jobs", 0)? as usize;
     let engine = dbp_cluster::ClusterEngine::new(paper_gaming_system(&inst), config);
@@ -560,6 +591,90 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     let factory = dbp_core::packer::SelectorFactory::new(algo, move || {
         selector_by_name(&algo_name, hint).expect("algorithm name validated above")
     });
+
+    if let Some(spec) = args.str_flag("shard-faults") {
+        if args.str_flag("faults").is_some() {
+            return Err(
+                "--faults and --shard-faults are mutually exclusive; pick one fault model".into(),
+            );
+        }
+        if args.str_flag("journal").is_some() {
+            return Err(
+                "--journal is not supported with --shard-faults: each shard keeps its own \
+                 in-memory journal for resurrection; use --trace-events for the merged stream"
+                    .into(),
+            );
+        }
+        let plan = load_shard_fault_plan(spec, shards, &inst)?;
+        let mut probe = (dbp_obs::EventLog::new(), dbp_obs::MetricsProbe::new());
+        let run = engine
+            .run_self_healing_probed(&inst, &factory, &plan, &mut probe)
+            .map_err(|e| e.to_string())?;
+        let (event_log, metrics_probe) = probe;
+        if let Some(path) = args.str_flag("trace-events") {
+            dbp_obs::export::write_jsonl(std::path::Path::new(path), event_log.events())
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("events saved to {path} ({} events)", event_log.len());
+        }
+        if let Some(path) = args.str_flag("metrics") {
+            let mut merged = run.metrics();
+            merged.absorb_labeled(metrics_probe.registry(), "scope", "cluster");
+            dbp_obs::export::write_prometheus(std::path::Path::new(path), &merged)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("metrics saved to {path}");
+        }
+        if let Some(path) = args.str_flag("run-manifest") {
+            dbp_obs::export::write_json(std::path::Path::new(path), &run.manifest)
+                .map_err(|e| format!("{path}: {e}"))?;
+            println!("manifest saved to {path}");
+        }
+        let r = &run.report;
+        println!("algorithm      : {}", r.algorithm);
+        println!("router         : {}", r.router);
+        println!("shards         : {}", r.shards);
+        println!("sessions       : {}", r.sessions_total);
+        println!("served         : {}", r.sessions_served);
+        println!("dropped        : {}", r.sessions_dropped);
+        println!("lost to kills  : {}", r.sessions_lost);
+        println!("rerouted       : {}", r.sessions_rerouted);
+        println!(
+            "ledger         : {}",
+            if r.conserved() {
+                "conserved"
+            } else {
+                "NOT CONSERVED"
+            }
+        );
+        println!("busy ticks     : {}", r.busy_ticks);
+        println!("billed ticks   : {}", r.billed_ticks);
+        println!("bill           : {:.2} USD", r.cost_cents.to_f64() / 100.0);
+        for h in &run.shards {
+            println!(
+                "  shard {:>2}     : {:<10} {}/{} served, {} lost, {} rerouted out, \
+                 {} hosted, {} kills, {} restarts",
+                h.shard,
+                h.health.name(),
+                h.sessions_served,
+                h.sessions_total,
+                h.sessions_lost,
+                h.sessions_rerouted_out,
+                h.sessions_rerouted_in,
+                h.kills,
+                h.restarts,
+            );
+            if let Some(reason) = &h.down_reason {
+                println!("                 down: {reason}");
+            }
+        }
+        // Mirror `dbp trace`'s shard-fault footer so greps work on both.
+        if r.shard_kills + r.shard_restarts + r.shards_lost > 0 {
+            println!(
+                "-- shards: {} kills, {} restarts, {} abandoned",
+                r.shard_kills, r.shard_restarts, r.shards_lost
+            );
+        }
+        return Ok(());
+    }
 
     // Pre-open every shard's instrumentation so journal I/O errors surface
     // before any work runs; the pool then takes them by shard index.
@@ -769,7 +884,8 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     if shards == 0 {
         return Err("--shards must be at least 1".into());
     }
-    let mut config = dbp_cluster::ClusterConfig::new(shards, parse_router(args)?);
+    let mut config =
+        dbp_cluster::ClusterConfig::new(shards, parse_router(args)?).map_err(|e| e.to_string())?;
     config.batch = parse_batch(args)?;
     config.jobs = args.u64_flag_or("jobs", 0)? as usize;
     let engine = dbp_cluster::ClusterEngine::new(paper_gaming_system(&inst), config);
@@ -781,25 +897,45 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         selector_by_name(&algo_name, hint).expect("algorithm name validated above")
     });
 
-    let (run, _probes, trace) = engine
-        .run_traced(
-            &inst,
-            &factory,
-            |_| dbp_core::probe::NoProbe,
-            |s, epoch| dbp_obs::SpanCollector::with_epoch(epoch, s as u32),
-        )
-        .map_err(|e| e.to_string())?;
+    // With `--shard-faults` the profile runs the self-healing engine
+    // instead, so `shard_restart` / `shard_replay` spans (and the driver's
+    // `reroute` span) show up in the stage table and the Chrome trace.
+    let (algorithm, router_name, shard_sessions, trace) =
+        if let Some(spec) = args.str_flag("shard-faults") {
+            let plan = load_shard_fault_plan(spec, shards, &inst)?;
+            let (run, trace) = engine
+                .run_self_healing_traced(
+                    &inst,
+                    &factory,
+                    &plan,
+                    &mut dbp_core::probe::NoProbe,
+                    |s, epoch| dbp_obs::SpanCollector::with_epoch(epoch, s as u32),
+                )
+                .map_err(|e| e.to_string())?;
+            let sessions: Vec<u64> = run.shards.iter().map(|h| h.sessions_served).collect();
+            (run.report.algorithm, run.report.router, sessions, trace)
+        } else {
+            let (run, _probes, trace) = engine
+                .run_traced(
+                    &inst,
+                    &factory,
+                    |_| dbp_core::probe::NoProbe,
+                    |s, epoch| dbp_obs::SpanCollector::with_epoch(epoch, s as u32),
+                )
+                .map_err(|e| e.to_string())?;
+            let sessions: Vec<u64> = run
+                .shards
+                .iter()
+                .map(|sr| sr.report.sessions_served as u64)
+                .collect();
+            (run.report.algorithm, run.report.router, sessions, trace)
+        };
 
     let t = &trace.timing;
-    let r = &run.report;
-    println!("algorithm      : {}", r.algorithm);
-    println!("router         : {}", r.router);
-    println!(
-        "shards         : {} ({} workers)",
-        r.shards,
-        config.workers()
-    );
-    println!("sessions       : {}", r.sessions_served);
+    println!("algorithm      : {algorithm}");
+    println!("router         : {router_name}");
+    println!("shards         : {} ({} workers)", shards, config.workers());
+    println!("sessions       : {}", shard_sessions.iter().sum::<u64>());
     println!("wall           : {:.3} ms", t.wall_ns as f64 / 1e6);
 
     // Ranked self-time table over every lane (driver + shards).
@@ -815,7 +951,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
     // shards this is exactly the scaling plateau.
     println!();
     println!("shard   sessions     busy_ms   queue_ms   busy%_of_dispatch");
-    for s in 0..shards {
+    for (s, &sessions) in shard_sessions.iter().enumerate().take(shards) {
         let busy = t.busy_ns[s];
         let wait = t.queue_wait_ns[s];
         let pct = if t.dispatch_ns == 0 {
@@ -824,8 +960,7 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
             busy as f64 * 100.0 / t.dispatch_ns as f64
         };
         println!(
-            "{s:>5}   {:>8}   {:>9.3}   {:>8.3}   {pct:>6.1}%",
-            run.shards[s].report.sessions_served,
+            "{s:>5}   {sessions:>8}   {:>9.3}   {:>8.3}   {pct:>6.1}%",
             busy as f64 / 1e6,
             wait as f64 / 1e6,
         );

@@ -190,3 +190,110 @@ fn batch_policies_do_not_change_the_bill() {
     assert_eq!(bills[0], bills[1]);
     assert_eq!(bills[1], bills[2]);
 }
+
+#[test]
+fn shard_faulted_cluster_heals_and_conserves_the_extended_ledger() {
+    let dir = tmpdir();
+    let tr = generate(&dir, "shardfaults");
+    let prom = path(&dir, "shardfaults.prom");
+    let man = path(&dir, "shardfaults.manifest.json");
+    let out = stdout(&dbp(&[
+        "cluster",
+        &tr,
+        "--algo",
+        "ff",
+        "--shards",
+        "4",
+        "--router",
+        "hash",
+        "--shard-faults",
+        "7",
+        "--metrics",
+        &prom,
+        "--run-manifest",
+        &man,
+    ]));
+    assert_eq!(field(&out, "ledger"), "conserved");
+    let total: u64 = field(&out, "sessions").parse().unwrap();
+    let served: u64 = field(&out, "served").parse().unwrap();
+    let dropped: u64 = field(&out, "dropped").parse().unwrap();
+    let lost: u64 = field(&out, "lost to kills").parse().unwrap();
+    let rerouted: u64 = field(&out, "rerouted").parse().unwrap();
+    assert_eq!(served + dropped + lost + rerouted, total);
+    // A seeded 4-shard plan lands kills; the footer mirrors `dbp trace`.
+    assert!(out.contains("-- shards:"), "{out}");
+
+    let text = std::fs::read_to_string(&prom).unwrap();
+    for s in 0..4 {
+        assert!(
+            text.contains(&format!("dbp_cluster_shard_up{{shard=\"{s}\"}}")),
+            "no shard {s} health gauge in:\n{text}"
+        );
+    }
+    assert!(text.contains("dbp_cluster_shard_restarts_total"), "{text}");
+
+    let manifest = std::fs::read_to_string(&man).unwrap();
+    assert!(manifest.contains("\"shard_restarts\""), "{manifest}");
+    assert!(
+        manifest.contains("\"ledger_conserved\": true"),
+        "{manifest}"
+    );
+}
+
+#[test]
+fn zero_kill_shard_fault_plan_matches_the_plain_cluster_bill() {
+    let dir = tmpdir();
+    let tr = generate(&dir, "zerokill");
+    let plan = path(&dir, "none.json");
+    std::fs::write(&plan, r#"{"seed":0,"kills":[]}"#).unwrap();
+    let plain = stdout(&dbp(&[
+        "cluster", &tr, "--algo", "ff", "--shards", "3", "--router", "hash",
+    ]));
+    let healed = stdout(&dbp(&[
+        "cluster",
+        &tr,
+        "--algo",
+        "ff",
+        "--shards",
+        "3",
+        "--router",
+        "hash",
+        "--shard-faults",
+        &plan,
+    ]));
+    assert_eq!(field(&healed, "busy ticks"), field(&plain, "busy ticks"));
+    assert_eq!(field(&healed, "bill"), field(&plain, "bill"));
+    assert_eq!(field(&healed, "ledger"), "conserved");
+    assert!(!healed.contains("-- shards:"), "{healed}");
+}
+
+#[test]
+fn zero_shards_is_a_clear_error() {
+    let dir = tmpdir();
+    let tr = generate(&dir, "zeroshards");
+    let out = dbp(&["cluster", &tr, "--algo", "ff", "--shards", "0"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--shards must be at least 1"), "{err}");
+}
+
+#[test]
+fn shard_faults_and_faults_are_mutually_exclusive() {
+    let dir = tmpdir();
+    let tr = generate(&dir, "exclusive");
+    let out = dbp(&[
+        "cluster",
+        &tr,
+        "--algo",
+        "ff",
+        "--shards",
+        "2",
+        "--faults",
+        "1",
+        "--shard-faults",
+        "2",
+    ]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
+}

@@ -9,6 +9,10 @@
 //! no floats anywhere in the ledger. A 1-shard cluster is *the* plain
 //! system run: same trace, same event stream, same report.
 
+use crate::faults::{
+    panic_message, supervise_shard, KillPoint, ShardFate, ShardFaultPlan, ShardHealth,
+    ShardSupervision,
+};
 use crate::router::Router;
 use dbp_cloudsim::{
     billed_ticks, rental_cost_cents, DispatchError, FaultPlan, GamingSystem, ResilientReport,
@@ -26,8 +30,9 @@ use dbp_core::trace::PackingTrace;
 use dbp_obs::span::{SpanCollector, DRIVER_LANE};
 use dbp_obs::{MetricsRegistry, RunManifest};
 use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Instant;
 
 /// How the ingestion loop drains each shard's schedule.
@@ -48,12 +53,80 @@ pub enum BatchPolicy {
 }
 
 impl BatchPolicy {
-    fn burst(self) -> usize {
+    pub(crate) fn burst(self) -> usize {
         match self {
             BatchPolicy::PerEvent => 1,
             BatchPolicy::Chunks(n) => n.max(1),
             BatchPolicy::WholeStream => usize::MAX,
         }
+    }
+}
+
+/// Typed failure of a cluster run: bad shape, workload mismatch, a
+/// malformed fault plan, or a shard worker panic the pool contained. One
+/// shard dying yields this value — never a process abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The cluster was configured with zero shards.
+    ZeroShards,
+    /// The ingestion batch size was zero ([`BatchPolicy::Chunks(0)`]).
+    ZeroBatch,
+    /// The per-shard system rejected the workload.
+    Dispatch(DispatchError),
+    /// A shard worker panicked; the pool contained the unwind and the
+    /// run was abandoned with this report instead of aborting.
+    ShardPanicked {
+        /// Index of the shard whose worker died.
+        shard: usize,
+        /// The panic payload, rendered.
+        message: String,
+    },
+    /// `run_resilient` needs exactly one [`FaultPlan`] per shard.
+    FaultPlanCount {
+        /// The cluster's shard count.
+        expected: usize,
+        /// Plans supplied.
+        got: usize,
+    },
+    /// A [`ShardFaultPlan`] is inconsistent with this cluster.
+    BadFaultPlan {
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::ZeroShards => write!(f, "a cluster needs at least one shard"),
+            ClusterError::ZeroBatch => write!(f, "ingestion batch size must be at least 1"),
+            ClusterError::Dispatch(e) => write!(f, "{e}"),
+            ClusterError::ShardPanicked { shard, message } => {
+                write!(f, "shard {shard} panicked: {message}")
+            }
+            ClusterError::FaultPlanCount { expected, got } => {
+                write!(
+                    f,
+                    "need exactly one fault plan per shard ({expected}), got {got}"
+                )
+            }
+            ClusterError::BadFaultPlan { message } => write!(f, "bad shard fault plan: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClusterError::Dispatch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DispatchError> for ClusterError {
+    fn from(e: DispatchError) -> ClusterError {
+        ClusterError::Dispatch(e)
     }
 }
 
@@ -75,14 +148,33 @@ pub struct ClusterConfig {
 impl ClusterConfig {
     /// A cluster of `shards` shards under `router`, whole-stream batching,
     /// default worker pool.
-    pub fn new(shards: usize, router: Router) -> ClusterConfig {
-        assert!(shards > 0, "a cluster needs at least one shard");
-        ClusterConfig {
+    ///
+    /// # Errors
+    /// [`ClusterError::ZeroShards`] when `shards == 0`.
+    pub fn new(shards: usize, router: Router) -> Result<ClusterConfig, ClusterError> {
+        let config = ClusterConfig {
             shards,
             router,
             batch: BatchPolicy::WholeStream,
             jobs: 0,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Check the shape invariants. The fields are public, so every run
+    /// boundary re-validates rather than trusting construction.
+    ///
+    /// # Errors
+    /// [`ClusterError::ZeroShards`] / [`ClusterError::ZeroBatch`].
+    pub fn validate(&self) -> Result<(), ClusterError> {
+        if self.shards == 0 {
+            return Err(ClusterError::ZeroShards);
         }
+        if matches!(self.batch, BatchPolicy::Chunks(0)) {
+            return Err(ClusterError::ZeroBatch);
+        }
+        Ok(())
     }
 
     /// The resolved worker-pool size: `jobs` (or available parallelism
@@ -256,13 +348,32 @@ pub struct ClusterResilientReport {
     pub billed_ticks: u128,
     /// Exact sum of shard bills, in cents.
     pub cost_cents: Ratio,
+    /// Sessions rerouted off dead shards onto healthy ones by the
+    /// self-healing runs; always 0 for [`ClusterEngine::run_resilient`].
+    #[serde(default)]
+    pub sessions_rerouted: u64,
+    /// Shard kills that landed (self-healing runs; injected or genuine).
+    #[serde(default)]
+    pub shard_kills: u64,
+    /// Successful journal-backed shard resurrections.
+    #[serde(default)]
+    pub shard_restarts: u64,
+    /// Total events replayed across all resurrections.
+    #[serde(default)]
+    pub shard_replayed_events: u64,
+    /// Shards that ended the run abandoned ([`ShardHealth::Down`]).
+    #[serde(default)]
+    pub shards_lost: u64,
 }
 
 impl ClusterResilientReport {
     /// The conservation law, cluster-wide: every session is served,
-    /// dropped or lost — nothing double-counted, nothing vanishes.
+    /// dropped, lost, or rerouted — nothing double-counted, nothing
+    /// vanishes. (Rerouted sessions are billed under `sessions_rerouted`
+    /// alone, even though a healthy shard ultimately served them.)
     pub fn conserved(&self) -> bool {
-        self.sessions_served + self.sessions_dropped + self.sessions_lost == self.sessions_total
+        self.sessions_served + self.sessions_dropped + self.sessions_lost + self.sessions_rerouted
+            == self.sessions_total
     }
 }
 
@@ -275,6 +386,134 @@ pub struct ClusterResilientRun {
     pub shards: Vec<ResilientReport>,
     /// Router assignment, item → shard.
     pub assignment: Vec<usize>,
+}
+
+/// One shard's outcome under self-healing supervision: final health, the
+/// four-way session ledger over its *original* assignment, restart
+/// statistics, and its exact bill (reroute work it hosted included).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealthReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Final health ([`ShardHealth::Up`] possibly after resurrections).
+    pub health: ShardHealth,
+    /// Sessions the router originally assigned to this shard.
+    pub sessions_total: u64,
+    /// Of those, sessions served to completion here.
+    pub sessions_served: u64,
+    /// Of those, sessions dropped (shard died with no healthy peer left).
+    pub sessions_dropped: u64,
+    /// Of those, sessions in flight when the shard was abandoned.
+    pub sessions_lost: u64,
+    /// Of those, not-yet-arrived sessions moved to healthy shards.
+    pub sessions_rerouted_out: u64,
+    /// Sessions this shard hosted *for* dead peers (not part of its own
+    /// conservation ledger — they stay billed under the cluster's
+    /// `sessions_rerouted`).
+    pub sessions_rerouted_in: u64,
+    /// Kills that landed on this shard.
+    pub kills: u64,
+    /// Successful journal-backed resurrections.
+    pub restarts: u64,
+    /// Events replayed across this shard's resurrections.
+    pub replayed_events: u64,
+    /// Restart backoff charged, in ticks.
+    pub backoff_ticks: u64,
+    /// Distinct servers this shard rented (host work included).
+    pub servers_rented: u64,
+    /// Server-ticks used (host work for rerouted sessions included).
+    pub busy_ticks: u128,
+    /// Billed ticks under the system granularity.
+    pub billed_ticks: u128,
+    /// Exact bill in cents.
+    pub cost_cents: Ratio,
+    /// Why the shard went [`ShardHealth::Down`], when it did.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub down_reason: Option<String>,
+}
+
+impl ShardHealthReport {
+    /// Per-shard conservation over the original assignment:
+    /// `served + dropped + lost + rerouted_out == total`.
+    pub fn conserved(&self) -> bool {
+        self.sessions_served
+            + self.sessions_dropped
+            + self.sessions_lost
+            + self.sessions_rerouted_out
+            == self.sessions_total
+    }
+}
+
+/// A finished self-healing cluster run: the extended SLA ledger, per-shard
+/// health, the original routing, and the run manifest (restart count and
+/// conservation verdict stamped in).
+#[derive(Debug, Clone)]
+pub struct ClusterHealedRun {
+    /// Extended aggregate ledger; `report.conserved()` is the cluster's
+    /// conservation law.
+    pub report: ClusterResilientReport,
+    /// Per-shard health reports, indexed by shard.
+    pub shards: Vec<ShardHealthReport>,
+    /// Router assignment, item → shard (the *original* assignment;
+    /// rerouted sessions keep their dead home shard here).
+    pub assignment: Vec<usize>,
+    /// Provenance with `shard_restarts` and `ledger_conserved` attached.
+    pub manifest: RunManifest,
+}
+
+impl ClusterHealedRun {
+    /// Prometheus-ready metrics: cluster totals plus per-shard
+    /// `dbp_cluster_shard_up{shard="K"}` gauges and restart/kill counters.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add("dbp_cluster_shards", self.report.shards as u64);
+        reg.counter_add(
+            "dbp_cluster_sessions_served_total",
+            self.report.sessions_served,
+        );
+        reg.counter_add(
+            "dbp_cluster_sessions_dropped_total",
+            self.report.sessions_dropped,
+        );
+        reg.counter_add("dbp_cluster_sessions_lost_total", self.report.sessions_lost);
+        reg.counter_add(
+            "dbp_cluster_sessions_rerouted_total",
+            self.report.sessions_rerouted,
+        );
+        reg.counter_add("dbp_cluster_shard_kills_total", self.report.shard_kills);
+        reg.counter_add(
+            "dbp_cluster_shard_restarts_total",
+            self.report.shard_restarts,
+        );
+        reg.counter_add(
+            "dbp_cluster_shard_replayed_events_total",
+            self.report.shard_replayed_events,
+        );
+        reg.counter_add(
+            "dbp_cluster_busy_ticks_total",
+            u64::try_from(self.report.busy_ticks).unwrap_or(u64::MAX),
+        );
+        reg.counter_add(
+            "dbp_cluster_billed_ticks_total",
+            u64::try_from(self.report.billed_ticks).unwrap_or(u64::MAX),
+        );
+        for h in &self.shards {
+            let up = matches!(h.health, ShardHealth::Up);
+            reg.gauge_set(
+                &format!("dbp_cluster_shard_up{{shard=\"{}\"}}", h.shard),
+                i64::from(up),
+            );
+            reg.counter_add(
+                &format!("dbp_cluster_shard_restarts{{shard=\"{}\"}}", h.shard),
+                h.restarts,
+            );
+            reg.counter_add(
+                &format!("dbp_cluster_shard_kills{{shard=\"{}\"}}", h.shard),
+                h.kills,
+            );
+        }
+        reg
+    }
 }
 
 /// The scale-out dispatch layer: a [`GamingSystem`] per shard behind a
@@ -310,7 +549,7 @@ impl ClusterEngine {
         &self,
         requests: &Instance,
         factory: &SelectorFactory,
-    ) -> Result<ClusterRun, DispatchError> {
+    ) -> Result<ClusterRun, ClusterError> {
         self.run_probed(requests, factory, |_| NoProbe)
             .map(|(run, _)| run)
     }
@@ -320,14 +559,17 @@ impl ClusterEngine {
     /// in the same order for draining (event logs, journal sealing).
     ///
     /// # Errors
-    /// [`DispatchError::CapacityMismatch`] when the workload was generated
-    /// against a different `W` than the shard server flavor provides.
+    /// [`ClusterError::Dispatch`] when the workload was generated against
+    /// a different `W` than the shard server flavor provides;
+    /// [`ClusterError::ZeroShards`] / [`ClusterError::ZeroBatch`] for a
+    /// malformed shape; [`ClusterError::ShardPanicked`] when a shard
+    /// worker dies (the pool contains the unwind).
     pub fn run_probed<P, F>(
         &self,
         requests: &Instance,
         factory: &SelectorFactory,
         make_probe: F,
-    ) -> Result<(ClusterRun, Vec<P>), DispatchError>
+    ) -> Result<(ClusterRun, Vec<P>), ClusterError>
     where
         P: Probe + Send,
         F: FnMut(usize) -> P,
@@ -353,20 +595,21 @@ impl ClusterEngine {
     /// exactly that delegation.
     ///
     /// # Errors
-    /// [`DispatchError::CapacityMismatch`] as for [`run`](Self::run).
+    /// As for [`run_probed`](Self::run_probed).
     pub fn run_traced<P, R, FP, FR>(
         &self,
         requests: &Instance,
         factory: &SelectorFactory,
         mut make_probe: FP,
         mut make_spans: FR,
-    ) -> Result<(ClusterRun, Vec<P>, ClusterTrace<R>), DispatchError>
+    ) -> Result<(ClusterRun, Vec<P>, ClusterTrace<R>), ClusterError>
     where
         P: Probe + Send,
         R: SpanRecorder + Send,
         FP: FnMut(usize) -> P,
         FR: FnMut(usize, Instant) -> R,
     {
+        self.config.validate()?;
         self.check_capacity(requests)?;
         let epoch = Instant::now();
         let mut driver = SpanCollector::with_epoch(epoch, DRIVER_LANE);
@@ -432,7 +675,12 @@ impl ClusterEngine {
         let mut recorders = Vec::with_capacity(n);
         let mut queue_wait_ns = Vec::with_capacity(n);
         let mut busy_ns = Vec::with_capacity(n);
-        for (shard, probe, spans, claim_ns, done_ns) in outcomes {
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (shard, probe, spans, claim_ns, done_ns) =
+                outcome.map_err(|p| ClusterError::ShardPanicked {
+                    shard: i,
+                    message: panic_message(&*p),
+                })?;
             queue_wait_ns.push(claim_ns.saturating_sub(dispatch_start));
             busy_ns.push(done_ns.saturating_sub(claim_ns));
             shards.push(shard);
@@ -441,7 +689,13 @@ impl ClusterEngine {
         }
 
         driver.enter(stage::FAN_IN);
-        let report = self.aggregate(requests, &shards, epoch.elapsed(), &mut driver);
+        let report = self.aggregate(
+            requests,
+            &shards,
+            epoch.elapsed(),
+            factory.name(),
+            &mut driver,
+        );
         driver.exit();
 
         let stage_ns = |name: &'static str| -> u64 {
@@ -480,37 +734,41 @@ impl ClusterEngine {
     /// [`ResilientSystem`]; `plans` must hold one plan per shard.
     ///
     /// # Errors
-    /// [`DispatchError::CapacityMismatch`] as for [`run`](Self::run).
-    ///
-    /// # Panics
-    /// Panics when `plans.len()` differs from the shard count.
+    /// As for [`run_probed`](Self::run_probed), plus
+    /// [`ClusterError::FaultPlanCount`] when `plans.len()` differs from
+    /// the shard count.
     pub fn run_resilient(
         &self,
         requests: &Instance,
         factory: &SelectorFactory,
         plans: &[FaultPlan],
-    ) -> Result<ClusterResilientRun, DispatchError> {
+    ) -> Result<ClusterResilientRun, ClusterError> {
         self.run_resilient_probed(requests, factory, plans, |_| NoProbe)
             .map(|(run, _)| run)
     }
 
     /// [`run_resilient`](Self::run_resilient) with one probe per shard.
+    ///
+    /// # Errors
+    /// As for [`run_resilient`](Self::run_resilient).
     pub fn run_resilient_probed<P, F>(
         &self,
         requests: &Instance,
         factory: &SelectorFactory,
         plans: &[FaultPlan],
         mut make_probe: F,
-    ) -> Result<(ClusterResilientRun, Vec<P>), DispatchError>
+    ) -> Result<(ClusterResilientRun, Vec<P>), ClusterError>
     where
         P: Probe + Send,
         F: FnMut(usize) -> P,
     {
-        assert_eq!(
-            plans.len(),
-            self.config.shards,
-            "need exactly one fault plan per shard"
-        );
+        if plans.len() != self.config.shards {
+            return Err(ClusterError::FaultPlanCount {
+                expected: self.config.shards,
+                got: plans.len(),
+            });
+        }
+        self.config.validate()?;
         self.check_capacity(requests)?;
         let (parts, assignment) = self.partition(requests);
         let units: Vec<(Instance, FaultPlan, P)> = parts
@@ -525,16 +783,18 @@ impl ClusterEngine {
             |_shard, (inst, plan, mut probe)| {
                 let mut sel = factory.build();
                 let resilient = ResilientSystem::new(system, plan);
-                let report = resilient
-                    .run_probed(&inst, &mut *sel, &mut probe)
-                    .expect("capacity was checked at the cluster boundary");
+                let report = resilient.run_probed(&inst, &mut *sel, &mut probe);
                 (report, probe)
             },
         );
         let mut shards = Vec::with_capacity(results.len());
         let mut probes = Vec::with_capacity(results.len());
-        for (report, probe) in results {
-            shards.push(report);
+        for (i, result) in results.into_iter().enumerate() {
+            let (report, probe) = result.map_err(|p| ClusterError::ShardPanicked {
+                shard: i,
+                message: panic_message(&*p),
+            })?;
+            shards.push(report.map_err(ClusterError::Dispatch)?);
             probes.push(probe);
         }
         let algorithm = shards
@@ -552,6 +812,11 @@ impl ClusterEngine {
             busy_ticks: shards.iter().map(|r| r.busy_ticks).sum(),
             billed_ticks: shards.iter().map(|r| r.billed_ticks).sum(),
             cost_cents: shards.iter().fold(Ratio::ZERO, |acc, r| acc + r.cost_cents),
+            sessions_rerouted: 0,
+            shard_kills: 0,
+            shard_restarts: 0,
+            shard_replayed_events: 0,
+            shards_lost: 0,
         };
         Ok((
             ClusterResilientRun {
@@ -560,6 +825,379 @@ impl ClusterEngine {
                 assignment,
             },
             probes,
+        ))
+    }
+
+    /// Run the cluster under a [`ShardFaultPlan`] with self-healing
+    /// supervision: every scheduled kill is contained with
+    /// `catch_unwind`, the killed shard is resurrected from its own
+    /// write-ahead event journal (bounded retries with
+    /// [`RetryPolicy`](dbp_cloudsim::RetryPolicy) backoff), and shards
+    /// that exhaust their budget are abandoned with exact accounting —
+    /// in-flight sessions billed lost, not-yet-arrived sessions rerouted
+    /// to healthy shards.
+    ///
+    /// # Errors
+    /// As for [`run_probed`](Self::run_probed), plus
+    /// [`ClusterError::BadFaultPlan`] when a kill targets a shard outside
+    /// the cluster. [`ClusterError::ShardPanicked`] here means the
+    /// *supervisor itself* died — engine and selector panics are treated
+    /// as kills and handled inside the run.
+    pub fn run_self_healing(
+        &self,
+        requests: &Instance,
+        factory: &SelectorFactory,
+        plan: &ShardFaultPlan,
+    ) -> Result<ClusterHealedRun, ClusterError> {
+        self.run_self_healing_probed(requests, factory, plan, &mut NoProbe)
+    }
+
+    /// [`run_self_healing`](Self::run_self_healing) with a single probe.
+    ///
+    /// Unlike [`run_probed`](Self::run_probed)'s per-shard probes, the
+    /// whole cluster's event stream is delivered to `probe` at fan-in on
+    /// the driver thread, shard by shard in shard order: each shard's
+    /// engine events with its `ShardKilled`/`ShardRestarted` markers
+    /// interleaved at the stream positions they occurred, and a final
+    /// `ShardAbandoned` marker for dead shards. Under a zero-kill plan
+    /// the delivered stream is byte-identical to the per-shard streams of
+    /// a plain run, concatenated.
+    ///
+    /// # Errors
+    /// As for [`run_self_healing`](Self::run_self_healing).
+    pub fn run_self_healing_probed<P: Probe>(
+        &self,
+        requests: &Instance,
+        factory: &SelectorFactory,
+        plan: &ShardFaultPlan,
+        probe: &mut P,
+    ) -> Result<ClusterHealedRun, ClusterError> {
+        self.run_self_healing_traced(requests, factory, plan, probe, |_, _| NoSpans)
+            .map(|(run, _)| run)
+    }
+
+    /// [`run_self_healing_probed`](Self::run_self_healing_probed) plus
+    /// span capture, mirroring [`run_traced`](Self::run_traced): one
+    /// recorder per shard and a driver lane sharing one epoch. Shard
+    /// lanes additionally carry `shard_restart` (journal snapshot
+    /// rebuild) and `shard_replay` (resume replay) spans for every
+    /// resurrection; the driver lane carries a `reroute` span nested in
+    /// `fan_in` when degraded-mode routing ran.
+    ///
+    /// # Errors
+    /// As for [`run_self_healing`](Self::run_self_healing).
+    pub fn run_self_healing_traced<P, R, FR>(
+        &self,
+        requests: &Instance,
+        factory: &SelectorFactory,
+        plan: &ShardFaultPlan,
+        probe: &mut P,
+        mut make_spans: FR,
+    ) -> Result<(ClusterHealedRun, ClusterTrace<R>), ClusterError>
+    where
+        P: Probe,
+        R: SpanRecorder + Send,
+        FR: FnMut(usize, Instant) -> R,
+    {
+        self.config.validate()?;
+        self.check_capacity(requests)?;
+        let shards_n = self.config.shards;
+        let mut sched: Vec<Vec<KillPoint>> = vec![Vec::new(); shards_n];
+        for kill in &plan.kills {
+            let s = kill.shard as usize;
+            if s >= shards_n {
+                return Err(ClusterError::BadFaultPlan {
+                    message: format!(
+                        "kill targets shard {} but the cluster has {} shards",
+                        kill.shard, shards_n
+                    ),
+                });
+            }
+            sched[s].push(kill.at);
+        }
+        let epoch = Instant::now();
+        let mut driver = SpanCollector::with_epoch(epoch, DRIVER_LANE);
+
+        driver.enter(stage::PARTITION);
+        driver.enter(stage::ROUTE);
+        let assignment = self.config.router.assign(requests, shards_n);
+        driver.exit();
+        let parts: Vec<(Instance, Vec<ItemId>)> = (0..shards_n)
+            .map(|s| requests.restrict(|it| assignment[it.id.index()] == s))
+            .collect();
+        driver.exit();
+
+        driver.enter(stage::BATCH_ENQUEUE);
+        let mut units: Vec<(Instance, Vec<ItemId>, Vec<KillPoint>, R)> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(s, (inst, back))| {
+                (
+                    inst,
+                    back,
+                    std::mem::take(&mut sched[s]),
+                    make_spans(s, epoch),
+                )
+            })
+            .collect();
+        driver.exit();
+
+        let dispatch_start = elapsed_ns(epoch);
+        for unit in &mut units {
+            unit.3.enter(stage::QUEUE_WAIT);
+        }
+        driver.enter(stage::DISPATCH);
+        let system = self.system;
+        let batch = self.config.batch;
+        let restart = plan.restart;
+        let outcomes = run_pool(
+            units,
+            self.config.workers(),
+            |shard, (inst, back, kills, mut spans)| {
+                let claim_ns = elapsed_ns(epoch);
+                spans.exit(); // queue_wait
+                spans.enter(stage::SHARD_BUSY);
+                let sup = supervise_shard(
+                    &system,
+                    &inst,
+                    factory,
+                    kills,
+                    restart,
+                    batch,
+                    shard as u32,
+                    &mut spans,
+                );
+                spans.exit();
+                let done_ns = elapsed_ns(epoch);
+                (back, sup, spans, claim_ns, done_ns)
+            },
+        );
+        driver.exit();
+
+        let mut collected: Vec<(Vec<ItemId>, ShardSupervision)> = Vec::with_capacity(shards_n);
+        let mut recorders = Vec::with_capacity(shards_n);
+        let mut queue_wait_ns = Vec::with_capacity(shards_n);
+        let mut busy_ns = Vec::with_capacity(shards_n);
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            let (back, sup, spans, claim_ns, done_ns) =
+                outcome.map_err(|p| ClusterError::ShardPanicked {
+                    shard: i,
+                    message: panic_message(&*p),
+                })?;
+            queue_wait_ns.push(claim_ns.saturating_sub(dispatch_start));
+            busy_ns.push(done_ns.saturating_sub(claim_ns));
+            recorders.push(spans);
+            collected.push((back, sup));
+        }
+
+        driver.enter(stage::FAN_IN);
+        let any_healthy = collected
+            .iter()
+            .any(|(_, sup)| matches!(sup.fate, ShardFate::Completed { .. }));
+
+        // First pass: per-shard ledgers, abandon markers, the reroute set.
+        let mut health_reports: Vec<ShardHealthReport> = Vec::with_capacity(shards_n);
+        let mut streams: Vec<Vec<ProbeEvent>> = Vec::with_capacity(shards_n);
+        let mut decision_streams: Vec<Vec<u64>> = Vec::with_capacity(shards_n);
+        let mut algorithm: Option<String> = None;
+        let mut reroute = vec![false; requests.len()];
+        let mut rerouted_total = 0u64;
+        for (s, (back, sup)) in collected.into_iter().enumerate() {
+            let health = sup.health();
+            let ShardSupervision {
+                mut events,
+                decisions,
+                kills,
+                restarts,
+                replayed_events,
+                backoff_ticks,
+                fate,
+                ..
+            } = sup;
+            match fate {
+                ShardFate::Completed { report, .. } => {
+                    if algorithm.is_none() {
+                        algorithm = Some(report.algorithm.clone());
+                    }
+                    health_reports.push(ShardHealthReport {
+                        shard: s,
+                        health,
+                        sessions_total: back.len() as u64,
+                        sessions_served: report.sessions_served as u64,
+                        sessions_dropped: 0,
+                        sessions_lost: 0,
+                        sessions_rerouted_out: 0,
+                        sessions_rerouted_in: 0,
+                        kills: kills as u64,
+                        restarts: restarts as u64,
+                        replayed_events,
+                        backoff_ticks,
+                        servers_rented: report.servers_rented as u64,
+                        busy_ticks: report.busy_ticks,
+                        billed_ticks: report.billed_ticks,
+                        cost_cents: report.cost_cents,
+                        down_reason: None,
+                    });
+                }
+                ShardFate::Dead(dead) => {
+                    // Online-legal degradation: only sessions that had NOT
+                    // yet arrived at the time of death move — in-flight
+                    // sessions are lost with their servers, never migrated.
+                    let moved = if any_healthy {
+                        dead.unarrived.len() as u64
+                    } else {
+                        0
+                    };
+                    let dropped = dead.unarrived.len() as u64 - moved;
+                    if any_healthy {
+                        for &local in &dead.unarrived {
+                            reroute[back[local].index()] = true;
+                        }
+                    }
+                    rerouted_total += moved;
+                    events.push(ProbeEvent::ShardAbandoned {
+                        at: Tick(dead.died_at),
+                        shard: s as u32,
+                        lost: dead.lost as u32,
+                        rerouted: moved as u32,
+                    });
+                    health_reports.push(ShardHealthReport {
+                        shard: s,
+                        health,
+                        sessions_total: back.len() as u64,
+                        sessions_served: dead.served,
+                        sessions_dropped: dropped,
+                        sessions_lost: dead.lost,
+                        sessions_rerouted_out: moved,
+                        sessions_rerouted_in: 0,
+                        kills: kills as u64,
+                        restarts: restarts as u64,
+                        replayed_events,
+                        backoff_ticks,
+                        servers_rented: dead.servers_rented,
+                        busy_ticks: dead.busy_ticks,
+                        billed_ticks: dead.billed_ticks,
+                        cost_cents: dead.cost_cents,
+                        down_reason: Some(dead.reason),
+                    });
+                }
+            }
+            streams.push(events);
+            decision_streams.push(decisions);
+        }
+
+        // Degraded-mode routing: re-run the router over the displaced
+        // sub-stream across the surviving shards only. Each host packs its
+        // slice in a fresh overflow pool — an upper bound on the cost a
+        // merged packing would pay, and the only online-legal choice
+        // (rerouted sessions arrive in the future; no migration happens).
+        // Host-side reroute events are deliberately NOT journaled into any
+        // shard stream: healthy journals stay single-engine-replayable.
+        if rerouted_total > 0 {
+            driver.enter(stage::REROUTE);
+            let (sub, _sub_back) = requests.restrict(|it| reroute[it.id.index()]);
+            let hosts: Vec<usize> = health_reports
+                .iter()
+                .filter(|h| matches!(h.health, ShardHealth::Up))
+                .map(|h| h.shard)
+                .collect();
+            let sub_assign = self.config.router.assign(&sub, hosts.len());
+            for (pos, &host) in hosts.iter().enumerate() {
+                let (hinst, _) = sub.restrict(|it| sub_assign[it.id.index()] == pos);
+                if hinst.is_empty() {
+                    continue;
+                }
+                let mut sel = factory.build();
+                let (rep, _trace) =
+                    run_shard_probed(&system, &hinst, &mut *sel, &mut NoProbe, batch);
+                let hr = &mut health_reports[host];
+                hr.sessions_rerouted_in += hinst.len() as u64;
+                hr.servers_rented += rep.servers_rented as u64;
+                hr.busy_ticks += rep.busy_ticks;
+                hr.billed_ticks += rep.billed_ticks;
+                hr.cost_cents = hr.cost_cents + rep.cost_cents;
+            }
+            driver.exit();
+        }
+
+        // Deliver the whole cluster's stream to the user probe, shard by
+        // shard in shard order — on the driver thread, after the ledger is
+        // final, so markers and engine events interleave deterministically.
+        if P::ENABLED {
+            for events in &streams {
+                for ev in events {
+                    probe.record(ev.clone());
+                }
+            }
+            for decisions in &decision_streams {
+                for &ns in decisions {
+                    probe.on_decision_ns(ns);
+                }
+            }
+        }
+
+        let algorithm = algorithm.unwrap_or_else(|| factory.name().to_string());
+        let busy: u128 = health_reports.iter().map(|h| h.busy_ticks).sum();
+        let total_restarts: u64 = health_reports.iter().map(|h| h.restarts).sum();
+        let report = ClusterResilientReport {
+            algorithm: algorithm.clone(),
+            router: self.config.router.name().to_string(),
+            shards: shards_n,
+            sessions_total: health_reports.iter().map(|h| h.sessions_total).sum(),
+            sessions_served: health_reports.iter().map(|h| h.sessions_served).sum(),
+            sessions_dropped: health_reports.iter().map(|h| h.sessions_dropped).sum(),
+            sessions_lost: health_reports.iter().map(|h| h.sessions_lost).sum(),
+            busy_ticks: busy,
+            billed_ticks: health_reports.iter().map(|h| h.billed_ticks).sum(),
+            cost_cents: health_reports
+                .iter()
+                .fold(Ratio::ZERO, |acc, h| acc + h.cost_cents),
+            sessions_rerouted: rerouted_total,
+            shard_kills: health_reports.iter().map(|h| h.kills).sum(),
+            shard_restarts: total_restarts,
+            shard_replayed_events: health_reports.iter().map(|h| h.replayed_events).sum(),
+            shards_lost: health_reports
+                .iter()
+                .filter(|h| !matches!(h.health, ShardHealth::Up))
+                .count() as u64,
+        };
+        driver.enter(stage::MANIFEST_MERGE);
+        let manifest = RunManifest::capture(&algorithm, None, requests, epoch.elapsed())
+            .with_cost(busy)
+            .with_shard_restarts(total_restarts)
+            .with_ledger_conserved(report.conserved());
+        driver.exit();
+        driver.exit(); // fan_in
+
+        let stage_ns = |name: &'static str| -> u64 {
+            driver
+                .spans()
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.dur_ns)
+                .sum()
+        };
+        let timing = ClusterTiming {
+            wall_ns: elapsed_ns(epoch),
+            partition_ns: stage_ns(stage::PARTITION),
+            batch_enqueue_ns: stage_ns(stage::BATCH_ENQUEUE),
+            dispatch_ns: stage_ns(stage::DISPATCH),
+            fan_in_ns: stage_ns(stage::FAN_IN),
+            queue_wait_ns,
+            busy_ns,
+        };
+        Ok((
+            ClusterHealedRun {
+                report,
+                shards: health_reports,
+                assignment,
+                manifest,
+            },
+            ClusterTrace {
+                driver,
+                shards: recorders,
+                timing,
+            },
         ))
     }
 
@@ -580,13 +1218,14 @@ impl ClusterEngine {
         requests: &Instance,
         shards: &[ShardRun],
         wall: std::time::Duration,
+        fallback_algorithm: &str,
         spans: &mut R,
     ) -> ClusterReport {
         let busy: u128 = shards.iter().map(|s| s.report.busy_ticks).sum();
         let algorithm = shards
             .first()
             .map(|s| s.report.algorithm.clone())
-            .expect("a cluster has at least one shard");
+            .unwrap_or_else(|| fallback_algorithm.to_string());
         let utilization = if busy == 0 {
             Ratio::ZERO
         } else {
@@ -723,10 +1362,21 @@ where
     (report, trace)
 }
 
+/// One pool unit's outcome: the work's value, or the panic payload the
+/// unit died with.
+type PoolResult<T> = Result<T, Box<dyn std::any::Any + Send>>;
+
 /// The bounded worker pool `run_all` uses, as a library primitive: `n`
 /// work units claimed by index from `workers` scoped threads, results
 /// returned in unit order regardless of scheduling.
-fn run_pool<U, T, F>(units: Vec<U>, workers: usize, work: F) -> Vec<T>
+///
+/// Fault containment: each unit runs under `catch_unwind`, so one unit
+/// panicking yields `Err(payload)` in its slot instead of unwinding
+/// through the scope and aborting the whole run; every other unit still
+/// completes. Mutex poison left behind by a dying sibling is recovered,
+/// not propagated — the guarded data (a claim token / result slot) is
+/// valid regardless of where the panic landed.
+fn run_pool<U, T, F>(units: Vec<U>, workers: usize, work: F) -> Vec<PoolResult<T>>
 where
     U: Send,
     T: Send,
@@ -734,7 +1384,7 @@ where
 {
     let n = units.len();
     let slots: Vec<Mutex<Option<U>>> = units.into_iter().map(|u| Mutex::new(Some(u))).collect();
-    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let results: Vec<Mutex<Option<PoolResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..workers.clamp(1, n.max(1)) {
@@ -745,11 +1395,11 @@ where
                 }
                 let unit = slots[i]
                     .lock()
-                    .expect("poisoned work slot")
-                    .take()
-                    .expect("work unit claimed twice");
-                let out = work(i, unit);
-                *results[i].lock().expect("poisoned result slot") = Some(out);
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                let Some(unit) = unit else { continue };
+                let out = catch_unwind(AssertUnwindSafe(|| work(i, unit)));
+                *results[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(out);
             });
         }
     });
@@ -757,8 +1407,11 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("poisoned result slot")
-                .expect("worker pool lost a result")
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| {
+                    Err(Box::new("worker pool lost a result".to_string())
+                        as Box<dyn std::any::Any + Send>)
+                })
         })
         .collect()
 }
@@ -786,8 +1439,10 @@ mod tests {
     fn shard_reports_sum_to_the_aggregate_exactly() {
         let inst = workload(11);
         for router in Router::ALL {
-            let engine =
-                ClusterEngine::new(GamingSystem::paper_model(), ClusterConfig::new(4, router));
+            let engine = ClusterEngine::new(
+                GamingSystem::paper_model(),
+                ClusterConfig::new(4, router).unwrap(),
+            );
             let run = engine.run(&inst, &ff_factory()).unwrap();
             let busy: u128 = run.shards.iter().map(|s| s.report.busy_ticks).sum();
             assert_eq!(run.report.busy_ticks, busy, "{}", router.name());
@@ -808,7 +1463,7 @@ mod tests {
             for shards in [1, 2, 8] {
                 let engine = ClusterEngine::new(
                     GamingSystem::paper_model(),
-                    ClusterConfig::new(shards, router),
+                    ClusterConfig::new(shards, router).unwrap(),
                 );
                 let run = engine.run(&inst, &ff_factory()).unwrap();
                 digests.push(run.report.manifest.instance_digest.clone());
@@ -826,11 +1481,192 @@ mod tests {
         let inst = b.build().unwrap();
         let engine = ClusterEngine::new(
             GamingSystem::paper_model(),
-            ClusterConfig::new(2, Router::HashByItem),
+            ClusterConfig::new(2, Router::HashByItem).unwrap(),
         );
         assert!(matches!(
             engine.run(&inst, &ff_factory()),
-            Err(DispatchError::CapacityMismatch { .. })
+            Err(ClusterError::Dispatch(
+                DispatchError::CapacityMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn zero_shards_and_zero_batch_are_typed_errors() {
+        assert_eq!(
+            ClusterConfig::new(0, Router::HashByItem).unwrap_err(),
+            ClusterError::ZeroShards
+        );
+        // The fields are public, so the run boundary re-validates.
+        let mut config = ClusterConfig::new(2, Router::HashByItem).unwrap();
+        config.batch = BatchPolicy::Chunks(0);
+        let engine = ClusterEngine::new(GamingSystem::paper_model(), config);
+        assert_eq!(
+            engine.run(&workload(31), &ff_factory()).unwrap_err(),
+            ClusterError::ZeroBatch
+        );
+    }
+
+    /// A selector that panics on the k-th select call — a stand-in for a
+    /// genuine dispatcher bug, not an injected kill.
+    struct PanicAfter {
+        calls: u32,
+        at: u32,
+    }
+
+    impl dbp_core::packer::BinSelector for PanicAfter {
+        fn name(&self) -> &'static str {
+            "PanicAfter"
+        }
+        fn select(
+            &mut self,
+            bins: &[dbp_core::OpenBinView],
+            item: &dbp_core::ArrivingItem,
+            _capacity: dbp_core::Size,
+        ) -> dbp_core::packer::Decision {
+            self.calls += 1;
+            assert!(self.calls < self.at, "selector bug tripped");
+            for b in bins {
+                if b.fits(item.size) {
+                    return dbp_core::packer::Decision::Use(b.id);
+                }
+            }
+            dbp_core::packer::Decision::Open {
+                tag: dbp_core::BinTag::DEFAULT,
+            }
+        }
+    }
+
+    #[test]
+    fn a_panicking_selector_is_contained_as_a_typed_error() {
+        let inst = workload(32);
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(3, Router::HashByItem).unwrap(),
+        );
+        let factory =
+            SelectorFactory::new("PanicAfter", || Box::new(PanicAfter { calls: 0, at: 5 }));
+        // The pool contains the unwind: a failure value, not an abort,
+        // and the test process is alive to assert on it.
+        let err = engine.run(&inst, &factory).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::ShardPanicked { .. }),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("selector bug tripped"));
+    }
+
+    #[test]
+    fn self_healing_with_zero_kills_is_byte_identical_to_the_plain_run() {
+        let inst = workload(33);
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(4, Router::HashByItem).unwrap(),
+        );
+        let mut healed_log = dbp_obs::EventLog::new();
+        let healed = engine
+            .run_self_healing_probed(
+                &inst,
+                &ff_factory(),
+                &ShardFaultPlan::none(),
+                &mut healed_log,
+            )
+            .unwrap();
+        // Same ledger as the zero-fault resilient run...
+        let resilient = engine
+            .run_resilient(&inst, &ff_factory(), &vec![FaultPlan::none(); 4])
+            .unwrap();
+        assert_eq!(healed.report, resilient.report);
+        assert!(healed.report.conserved());
+        assert_eq!(healed.report.shard_restarts, 0);
+        assert_eq!(healed.manifest.ledger_conserved, Some(true));
+        // ...and the delivered stream is the plain per-shard streams,
+        // concatenated in shard order, byte for byte.
+        let (_, logs) = engine
+            .run_probed(&inst, &ff_factory(), |_| dbp_obs::EventLog::new())
+            .unwrap();
+        let plain: Vec<ProbeEvent> = logs
+            .iter()
+            .flat_map(|l| l.events().iter().cloned())
+            .collect();
+        assert_eq!(healed_log.events(), &plain[..]);
+        for shard in &healed.shards {
+            assert!(shard.conserved());
+            assert_eq!(shard.health, ShardHealth::Up);
+        }
+    }
+
+    #[test]
+    fn self_healing_reroutes_only_future_arrivals_off_dead_shards() {
+        let inst = workload(34);
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(4, Router::HashByItem).unwrap(),
+        );
+        // Kill shard 2 four times at event 5: budget of 3 restarts is
+        // exhausted on the fourth kill and the shard dies for good.
+        let plan = ShardFaultPlan {
+            seed: 0,
+            kills: vec![
+                crate::faults::ShardKill {
+                    shard: 2,
+                    at: KillPoint::Event(5),
+                };
+                4
+            ],
+            restart: crate::faults::RestartPolicy::default(),
+        };
+        let mut log = dbp_obs::EventLog::new();
+        let healed = engine
+            .run_self_healing_probed(&inst, &ff_factory(), &plan, &mut log)
+            .unwrap();
+        assert!(healed.report.conserved(), "extended ledger must conserve");
+        let dead = &healed.shards[2];
+        assert_eq!(dead.health, ShardHealth::Down);
+        assert!(dead.down_reason.is_some());
+        assert_eq!(dead.kills, 4);
+        assert_eq!(dead.restarts, 3);
+        assert!(dead.conserved());
+        assert!(
+            dead.sessions_rerouted_out > 0,
+            "a shard killed early must strand future arrivals"
+        );
+        assert_eq!(healed.report.sessions_rerouted, dead.sessions_rerouted_out);
+        let hosted: u64 = healed.shards.iter().map(|h| h.sessions_rerouted_in).sum();
+        assert_eq!(hosted, dead.sessions_rerouted_out);
+        // The abandonment is stamped into the delivered stream.
+        assert!(log
+            .events()
+            .iter()
+            .any(|e| matches!(e, ProbeEvent::ShardAbandoned { shard: 2, .. })));
+        assert_eq!(healed.manifest.shard_restarts, Some(3));
+    }
+
+    #[test]
+    fn fault_plan_outside_the_cluster_is_rejected() {
+        let engine = ClusterEngine::new(
+            GamingSystem::paper_model(),
+            ClusterConfig::new(2, Router::HashByItem).unwrap(),
+        );
+        let plan = ShardFaultPlan {
+            seed: 0,
+            kills: vec![crate::faults::ShardKill {
+                shard: 7,
+                at: KillPoint::Event(1),
+            }],
+            restart: crate::faults::RestartPolicy::default(),
+        };
+        assert!(matches!(
+            engine.run_self_healing(&workload(35), &ff_factory(), &plan),
+            Err(ClusterError::BadFaultPlan { .. })
+        ));
+        let wrong_count = engine.run_resilient(&workload(35), &ff_factory(), &[FaultPlan::none()]);
+        assert!(matches!(
+            wrong_count,
+            Err(ClusterError::FaultPlanCount {
+                expected: 2,
+                got: 1
+            })
         ));
     }
 
@@ -842,7 +1678,7 @@ mod tests {
         let inst = b.build().unwrap();
         let engine = ClusterEngine::new(
             GamingSystem::paper_model(),
-            ClusterConfig::new(8, Router::HashByItem),
+            ClusterConfig::new(8, Router::HashByItem).unwrap(),
         );
         let run = engine.run(&inst, &ff_factory()).unwrap();
         assert_eq!(run.report.sessions_served, 2);
@@ -856,7 +1692,7 @@ mod tests {
         let inst = workload(21);
         let engine = ClusterEngine::new(
             GamingSystem::paper_model(),
-            ClusterConfig::new(4, Router::HashByItem),
+            ClusterConfig::new(4, Router::HashByItem).unwrap(),
         );
         let (plain, _) = engine
             .run_probed(&inst, &ff_factory(), |_| NoProbe)
@@ -909,7 +1745,7 @@ mod tests {
         let inst = workload(22);
         let engine = ClusterEngine::new(
             GamingSystem::paper_model(),
-            ClusterConfig::new(2, Router::LeastLoaded),
+            ClusterConfig::new(2, Router::LeastLoaded).unwrap(),
         );
         let (_, _, trace) = engine
             .run_traced(&inst, &ff_factory(), |_| NoProbe, |_, _| NoSpans)
@@ -935,7 +1771,7 @@ mod tests {
         let inst = workload(23);
         let engine = ClusterEngine::new(
             GamingSystem::paper_model(),
-            ClusterConfig::new(3, Router::HashByItem),
+            ClusterConfig::new(3, Router::HashByItem).unwrap(),
         );
         let run = |_: &()| {
             let (_, _, trace) = engine
@@ -964,7 +1800,7 @@ mod tests {
         let inst = workload(13);
         let engine = ClusterEngine::new(
             GamingSystem::paper_model(),
-            ClusterConfig::new(3, Router::LeastLoaded),
+            ClusterConfig::new(3, Router::LeastLoaded).unwrap(),
         );
         let plans: Vec<FaultPlan> = (0..3)
             .map(|s| FaultPlan::from_seed(100 + s, 1800))
@@ -982,7 +1818,7 @@ mod tests {
         let inst = workload(14);
         let engine = ClusterEngine::new(
             GamingSystem::paper_model(),
-            ClusterConfig::new(4, Router::HashByItem),
+            ClusterConfig::new(4, Router::HashByItem).unwrap(),
         );
         let plain = engine.run(&inst, &ff_factory()).unwrap();
         let plans = vec![FaultPlan::none(); 4];

@@ -27,6 +27,17 @@
 //!   [`ClusterTiming`] (partition / enqueue / dispatch / fan-in, and
 //!   per-shard queue-wait vs busy) for `dbp profile` and Chrome traces.
 //!
+//! * [`ClusterEngine::run_self_healing`] — shard-level fault containment:
+//!   a deterministic [`ShardFaultPlan`] kills shards mid-run, a per-shard
+//!   supervisor catches the unwind, rebuilds the engine from the shard's
+//!   own event journal
+//!   ([`snapshot_from_events`](dbp_obs::prelude::snapshot_from_events) +
+//!   [`EngineRun::resume`](dbp_core::engine::EngineRun::resume)) under a
+//!   bounded restart budget, and reroutes only *future* arrivals off
+//!   shards that stay dead — returning a [`ClusterHealedRun`] whose
+//!   extended ledger conserves
+//!   `served + dropped + lost + rerouted == total`.
+//!
 //! The differential guarantee the test suite pins down: a 1-shard cluster
 //! *is* the plain system run — same report, same JSONL event stream, same
 //! manifest digest — and for any shard count the union of shard traces
@@ -36,10 +47,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod engine;
+pub mod faults;
 pub mod router;
 
 pub use engine::{
-    run_shard_probed, run_shard_traced, BatchPolicy, ClusterConfig, ClusterEngine, ClusterReport,
-    ClusterResilientReport, ClusterResilientRun, ClusterRun, ClusterTiming, ClusterTrace, ShardRun,
+    run_shard_probed, run_shard_traced, BatchPolicy, ClusterConfig, ClusterEngine, ClusterError,
+    ClusterHealedRun, ClusterReport, ClusterResilientReport, ClusterResilientRun, ClusterRun,
+    ClusterTiming, ClusterTrace, ShardHealthReport, ShardRun,
 };
+pub use faults::{KillPoint, RestartPolicy, ShardFaultPlan, ShardHealth, ShardKill};
 pub use router::Router;

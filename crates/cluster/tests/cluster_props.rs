@@ -181,7 +181,7 @@ proptest! {
         for router in Router::ALL {
             let engine = ClusterEngine::new(
                 small_system(),
-                ClusterConfig::new(shards, router),
+                ClusterConfig::new(shards, router).unwrap(),
             );
             let (parts, assignment) = engine.partition(&inst);
             prop_assert_eq!(assignment.len(), inst.len());
@@ -213,7 +213,7 @@ proptest! {
         for router in Router::ALL {
             let engine = ClusterEngine::new(
                 small_system(),
-                ClusterConfig::new(shards, router),
+                ClusterConfig::new(shards, router).unwrap(),
             );
             let run = engine.run(&inst, &factory).unwrap();
             let busy: u128 = run.shards.iter().map(|s| s.trace.total_cost_ticks()).sum();

@@ -1,0 +1,344 @@
+//! Chaos suite for the self-healing cluster: shards are killed mid-run at
+//! every phase of their stream, and the engine must contain each death,
+//! resurrect from the journal where the budget allows, reroute only future
+//! arrivals where it does not, and keep the extended SLA ledger conserved
+//! — all without ever aborting the process.
+
+use dbp_cloudsim::{FaultPlan, GamingSystem, RetryPolicy};
+use dbp_cluster::{
+    ClusterConfig, ClusterEngine, KillPoint, RestartPolicy, Router, ShardFaultPlan, ShardHealth,
+    ShardKill,
+};
+use dbp_core::algorithms::FirstFit;
+use dbp_core::instance::Instance;
+use dbp_core::packer::SelectorFactory;
+use dbp_core::probe::ProbeEvent;
+use dbp_obs::export::events_to_jsonl;
+use dbp_obs::prelude::instance_digest;
+use dbp_obs::EventLog;
+use dbp_workloads::{generate, CloudGamingConfig};
+use proptest::prelude::*;
+
+fn workload(seed: u64) -> Instance {
+    generate(&CloudGamingConfig {
+        horizon: 900,
+        seed,
+        ..CloudGamingConfig::default()
+    })
+}
+
+fn ff_factory() -> SelectorFactory {
+    SelectorFactory::new("FF", || Box::new(FirstFit::new()))
+}
+
+fn engine(shards: usize, router: Router) -> ClusterEngine {
+    ClusterEngine::new(
+        GamingSystem::paper_model(),
+        ClusterConfig::new(shards, router).unwrap(),
+    )
+}
+
+/// Number of engine events the unkilled run of shard `s` emits, so kill
+/// offsets can be aimed at exact phases of the stream.
+fn shard_event_counts(eng: &ClusterEngine, inst: &Instance, factory: &SelectorFactory) -> Vec<u64> {
+    let (run, probes) = eng.run_probed(inst, factory, |_| EventLog::new()).unwrap();
+    let _ = run;
+    probes.into_iter().map(|log| log.len() as u64).collect()
+}
+
+/// Tentpole acceptance: a 4-shard run with a kill landing early, mid, and
+/// late in a shard's stream (one shard left untouched) completes without
+/// aborting, heals every kill inside the default budget, and conserves
+/// the extended ledger.
+#[test]
+fn shard_death_at_every_phase_is_healed_and_conserved() {
+    let inst = workload(11);
+    let eng = engine(4, Router::HashByItem);
+    let factory = ff_factory();
+    let counts = shard_event_counts(&eng, &inst, &factory);
+    assert!(
+        counts.iter().all(|&c| c > 4),
+        "fixture too small: {counts:?}"
+    );
+
+    let plan = ShardFaultPlan {
+        seed: 0,
+        kills: vec![
+            ShardKill {
+                shard: 0,
+                at: KillPoint::Event(1), // earliest possible: one event in
+            },
+            ShardKill {
+                shard: 1,
+                at: KillPoint::Event(counts[1] / 2), // mid-stream
+            },
+            ShardKill {
+                shard: 2,
+                at: KillPoint::Event(counts[2] - 1), // one event before done
+            },
+        ],
+        restart: RestartPolicy::default(),
+    };
+    let healed = eng.run_self_healing(&inst, &factory, &plan).unwrap();
+    let r = &healed.report;
+    assert!(r.conserved(), "extended ledger must conserve: {r:?}");
+    assert_eq!(r.sessions_total, inst.len() as u64);
+    assert_eq!(r.sessions_served, inst.len() as u64);
+    assert_eq!(
+        (r.sessions_lost, r.sessions_dropped, r.sessions_rerouted),
+        (0, 0, 0)
+    );
+    assert_eq!(r.shard_kills, 3);
+    assert_eq!(r.shard_restarts, 3);
+    assert!(r.shard_replayed_events > 0);
+    assert_eq!(r.shards_lost, 0);
+    for h in &healed.shards {
+        assert!(h.conserved(), "shard {} ledger: {h:?}", h.shard);
+        assert_eq!(h.health, ShardHealth::Up);
+    }
+    assert_eq!(healed.manifest.shard_restarts, Some(3));
+    assert_eq!(healed.manifest.ledger_conserved, Some(true));
+}
+
+/// The resurrection invariant at cluster scope: when every kill heals,
+/// the delivered event stream minus the fault markers is byte-identical
+/// to the zero-fault run's stream, and the bills match exactly.
+#[test]
+fn healed_run_stream_is_byte_identical_to_the_unkilled_run() {
+    let inst = workload(12);
+    let eng = engine(4, Router::LeastLoaded);
+    let factory = ff_factory();
+    let counts = shard_event_counts(&eng, &inst, &factory);
+    assert!(
+        counts.iter().all(|&c| c > 2),
+        "fixture too small: {counts:?}"
+    );
+
+    let mut clean_log = EventLog::new();
+    let clean = eng
+        .run_self_healing_probed(&inst, &factory, &ShardFaultPlan::none(), &mut clean_log)
+        .unwrap();
+
+    let plan = ShardFaultPlan {
+        seed: 0,
+        kills: (0..4)
+            .map(|s| ShardKill {
+                shard: s,
+                at: KillPoint::Event((counts[s as usize] / 2).max(1)),
+            })
+            .collect(),
+        restart: RestartPolicy::default(),
+    };
+    let mut killed_log = EventLog::new();
+    let killed = eng
+        .run_self_healing_probed(&inst, &factory, &plan, &mut killed_log)
+        .unwrap();
+
+    let survivors: Vec<&ProbeEvent> = killed_log
+        .events()
+        .iter()
+        .filter(|e| !e.is_fault_event())
+        .collect();
+    let originals: Vec<&ProbeEvent> = clean_log.events().iter().collect();
+    assert_eq!(
+        survivors, originals,
+        "resurrected stream must be byte-identical"
+    );
+    assert_eq!(killed.report.sessions_served, clean.report.sessions_served);
+    assert_eq!(killed.report.busy_ticks, clean.report.busy_ticks);
+    assert_eq!(killed.report.cost_cents, clean.report.cost_cents);
+    assert_eq!(killed.report.shard_restarts, 4);
+    assert!(killed
+        .shards
+        .iter()
+        .all(|h| h.health == ShardHealth::Up && h.restarts == 1));
+}
+
+/// A shard whose kills exhaust the restart budget goes Down; sessions
+/// that had not arrived yet are rerouted to the healthy shards, in-flight
+/// ones are billed lost, and the ledger still conserves.
+#[test]
+fn budget_exhaustion_reroutes_future_arrivals_and_conserves() {
+    let inst = workload(13);
+    let eng = engine(4, Router::HashByItem);
+    let factory = ff_factory();
+    let plan = ShardFaultPlan {
+        seed: 0,
+        kills: (0..3)
+            .map(|_| ShardKill {
+                shard: 1,
+                at: KillPoint::Event(2),
+            })
+            .collect(),
+        restart: RestartPolicy {
+            max_restarts: 2,
+            backoff: RetryPolicy::default(),
+        },
+    };
+    let mut log = EventLog::new();
+    let healed = eng
+        .run_self_healing_probed(&inst, &factory, &plan, &mut log)
+        .unwrap();
+    let r = &healed.report;
+    assert!(r.conserved(), "{r:?}");
+    assert_eq!(r.shards_lost, 1);
+    assert_eq!(r.shard_kills, 3);
+    assert_eq!(r.shard_restarts, 2);
+    assert!(r.sessions_rerouted > 0, "future arrivals must move: {r:?}");
+    let dead = &healed.shards[1];
+    assert_eq!(dead.health, ShardHealth::Down);
+    assert!(dead.down_reason.is_some());
+    assert!(dead.conserved());
+    let hosted: u64 = healed.shards.iter().map(|h| h.sessions_rerouted_in).sum();
+    assert_eq!(hosted, r.sessions_rerouted);
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, ProbeEvent::ShardAbandoned { shard: 1, .. })));
+}
+
+/// With no healthy peer left, displaced sessions cannot move: every shard
+/// dies, the remainder is dropped, and the ledger still conserves.
+#[test]
+fn total_cluster_death_drops_the_remainder_conserved() {
+    let inst = workload(14);
+    let eng = engine(2, Router::HashByItem);
+    let factory = ff_factory();
+    let plan = ShardFaultPlan {
+        seed: 0,
+        kills: (0..2)
+            .flat_map(|s| {
+                std::iter::repeat_n(
+                    ShardKill {
+                        shard: s,
+                        at: KillPoint::Event(2),
+                    },
+                    2,
+                )
+            })
+            .collect(),
+        restart: RestartPolicy {
+            max_restarts: 1,
+            backoff: RetryPolicy::default(),
+        },
+    };
+    let healed = eng.run_self_healing(&inst, &factory, &plan).unwrap();
+    let r = &healed.report;
+    assert!(r.conserved(), "{r:?}");
+    assert_eq!(r.shards_lost, 2);
+    assert_eq!(r.sessions_rerouted, 0, "no healthy host remains");
+    assert!(r.sessions_dropped > 0);
+    assert!(healed
+        .shards
+        .iter()
+        .all(|h| h.health == ShardHealth::Down && h.conserved()));
+    assert_eq!(healed.manifest.ledger_conserved, Some(true));
+}
+
+/// Tick-scheduled kills land between events; the triggering event dies
+/// with the shard and must be re-emitted by the resurrection.
+#[test]
+fn tick_kills_are_healed_too() {
+    let inst = workload(15);
+    let eng = engine(2, Router::HashByItem);
+    let factory = ff_factory();
+    let plan = ShardFaultPlan {
+        seed: 0,
+        kills: vec![
+            ShardKill {
+                shard: 0,
+                at: KillPoint::Tick(40),
+            },
+            ShardKill {
+                shard: 1,
+                at: KillPoint::Tick(200),
+            },
+        ],
+        restart: RestartPolicy::default(),
+    };
+    let clean = eng
+        .run_self_healing(&inst, &factory, &ShardFaultPlan::none())
+        .unwrap();
+    let healed = eng.run_self_healing(&inst, &factory, &plan).unwrap();
+    assert!(healed.report.conserved());
+    assert_eq!(healed.report.shard_kills, 2);
+    assert_eq!(healed.report.shard_restarts, 2);
+    assert_eq!(healed.report.sessions_served, clean.report.sessions_served);
+    assert_eq!(healed.report.busy_ticks, clean.report.busy_ticks);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite: seeded shard-kill schedules conserve the extended
+    /// ledger for every router and 2/4/8 shards, whatever the kills hit.
+    #[test]
+    fn seeded_shard_kills_conserve_the_extended_ledger(
+        seed in 0u64..500,
+        shards_ix in 0usize..3,
+    ) {
+        let shards = [2usize, 4, 8][shards_ix];
+        let inst = workload(seed % 7);
+        let factory = ff_factory();
+        for router in Router::ALL {
+            let eng = engine(shards, router);
+            let plan = ShardFaultPlan::from_seed(seed, shards, 40);
+            let healed = eng.run_self_healing(&inst, &factory, &plan).unwrap();
+            prop_assert!(healed.report.conserved(), "{}: {:?}", router.name(), healed.report);
+            prop_assert_eq!(healed.report.sessions_total, inst.len() as u64);
+            for h in &healed.shards {
+                prop_assert!(h.conserved(), "{} shard {}", router.name(), h.shard);
+            }
+            let rerouted_in: u64 = healed.shards.iter().map(|h| h.sessions_rerouted_in).sum();
+            prop_assert_eq!(rerouted_in, healed.report.sessions_rerouted);
+            prop_assert_eq!(
+                healed.manifest.ledger_conserved, Some(true)
+            );
+        }
+    }
+
+    /// Satellite: a zero-kill `ShardFaultPlan` is exactly transparent —
+    /// byte-identical report, JSONL stream, and manifest digest against
+    /// `run_resilient` with empty per-shard fault plans, for every router.
+    #[test]
+    fn zero_fault_plans_are_exactly_transparent(
+        seed in 0u64..200,
+        shards_ix in 0usize..2,
+    ) {
+        let shards = [2usize, 4][shards_ix];
+        let inst = workload(seed % 5);
+        let factory = ff_factory();
+        for router in Router::ALL {
+            let eng = engine(shards, router);
+
+            let mut healed_log = EventLog::new();
+            let healed = eng
+                .run_self_healing_probed(&inst, &factory, &ShardFaultPlan::none(), &mut healed_log)
+                .unwrap();
+
+            let plans = vec![FaultPlan::none(); shards];
+            let mut resilient_logs: Vec<EventLog> = Vec::new();
+            let (resilient, probes) = eng
+                .run_resilient_probed(&inst, &factory, &plans, |_| EventLog::new())
+                .unwrap();
+            resilient_logs.extend(probes);
+
+            prop_assert_eq!(&healed.report, &resilient.report, "{}", router.name());
+            prop_assert_eq!(&healed.assignment, &resilient.assignment);
+            let merged: Vec<ProbeEvent> = resilient_logs
+                .iter()
+                .flat_map(|l| l.events().iter().cloned())
+                .collect();
+            prop_assert_eq!(
+                events_to_jsonl(healed_log.events()),
+                events_to_jsonl(&merged),
+                "{}", router.name()
+            );
+            prop_assert_eq!(
+                &healed.manifest.instance_digest,
+                &instance_digest(&inst)
+            );
+            prop_assert_eq!(healed.manifest.shard_restarts, Some(0));
+        }
+    }
+}

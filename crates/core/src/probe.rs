@@ -179,6 +179,41 @@ pub enum ProbeEvent {
         /// Orphans lost.
         lost: u32,
     },
+    /// A whole dispatcher shard died mid-run (injected kill or contained
+    /// panic). `events_done` is how many engine events the shard had
+    /// journaled before it went down.
+    ShardKilled {
+        /// Simulation tick of the shard's last journaled event.
+        at: Tick,
+        /// The dead shard.
+        shard: u32,
+        /// Engine events the shard emitted before dying.
+        events_done: u64,
+    },
+    /// A killed shard came back up: its engine state was rebuilt from the
+    /// shard's write-ahead event stream and the run continued.
+    ShardRestarted {
+        /// Simulation tick the restart resumed from.
+        at: Tick,
+        /// The resurrected shard.
+        shard: u32,
+        /// 1-based restart attempt for this shard.
+        attempt: u32,
+        /// Events replayed from the WAL to rebuild state.
+        replayed: u64,
+    },
+    /// A shard exhausted its restart budget and was abandoned: in-flight
+    /// sessions are billed lost, unarrived ones rerouted to healthy shards.
+    ShardAbandoned {
+        /// Simulation tick the shard was abandoned at.
+        at: Tick,
+        /// The abandoned shard.
+        shard: u32,
+        /// In-flight sessions lost with the shard.
+        lost: u32,
+        /// Unarrived sessions rerouted to healthy shards.
+        rerouted: u32,
+    },
 }
 
 /// Why an item was dropped instead of served (see
@@ -224,7 +259,10 @@ impl ProbeEvent {
             | ProbeEvent::DispatchRejected { at, .. }
             | ProbeEvent::ItemDropped { at, .. }
             | ProbeEvent::ItemRedispatched { at, .. }
-            | ProbeEvent::RecoveryEnded { at, .. } => *at,
+            | ProbeEvent::RecoveryEnded { at, .. }
+            | ProbeEvent::ShardKilled { at, .. }
+            | ProbeEvent::ShardRestarted { at, .. }
+            | ProbeEvent::ShardAbandoned { at, .. } => *at,
         }
     }
 
@@ -245,6 +283,9 @@ impl ProbeEvent {
             ProbeEvent::ItemDropped { .. } => "ItemDropped",
             ProbeEvent::ItemRedispatched { .. } => "ItemRedispatched",
             ProbeEvent::RecoveryEnded { .. } => "RecoveryEnded",
+            ProbeEvent::ShardKilled { .. } => "ShardKilled",
+            ProbeEvent::ShardRestarted { .. } => "ShardRestarted",
+            ProbeEvent::ShardAbandoned { .. } => "ShardAbandoned",
         }
     }
 
@@ -260,6 +301,9 @@ impl ProbeEvent {
                 | ProbeEvent::ItemDropped { .. }
                 | ProbeEvent::ItemRedispatched { .. }
                 | ProbeEvent::RecoveryEnded { .. }
+                | ProbeEvent::ShardKilled { .. }
+                | ProbeEvent::ShardRestarted { .. }
+                | ProbeEvent::ShardAbandoned { .. }
         )
     }
 }
@@ -440,6 +484,23 @@ mod tests {
                 redispatched: 2,
                 lost: 1,
             },
+            ProbeEvent::ShardKilled {
+                at: Tick(10),
+                shard: 1,
+                events_done: 42,
+            },
+            ProbeEvent::ShardRestarted {
+                at: Tick(10),
+                shard: 1,
+                attempt: 1,
+                replayed: 40,
+            },
+            ProbeEvent::ShardAbandoned {
+                at: Tick(11),
+                shard: 2,
+                lost: 3,
+                rerouted: 5,
+            },
         ];
         for ev in &events {
             assert!(ev.is_fault_event(), "{}", ev.kind());
@@ -456,6 +517,9 @@ mod tests {
                 "ItemDropped",
                 "ItemRedispatched",
                 "RecoveryEnded",
+                "ShardKilled",
+                "ShardRestarted",
+                "ShardAbandoned",
             ]
         );
         assert_eq!(DropReason::CrashLost.name(), "crash_lost");

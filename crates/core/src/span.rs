@@ -94,6 +94,13 @@ pub mod stage {
     pub const RETRY: &str = "retry";
     /// Cloudsim: re-dispatching the orphans of one crash.
     pub const REDISPATCH: &str = "redispatch";
+    /// Per shard: rebuilding a killed shard's snapshot from its WAL.
+    pub const SHARD_RESTART: &str = "shard_restart";
+    /// Per shard: replaying the recovered snapshot into a resumed engine.
+    pub const SHARD_REPLAY: &str = "shard_replay";
+    /// Cluster driver: re-routing a dead shard's unarrived sessions onto
+    /// the healthy shards.
+    pub const REROUTE: &str = "reroute";
 }
 
 /// Receiver of `enter`/`exit` stage boundaries. The recorder takes its own

@@ -87,6 +87,7 @@ const EXPERIMENTS: &[Experiment] = &[
     ("ff_gap_search", |q| exp::ff_gap_search::run(q).0),
     ("hff_class_ablation", |q| exp::hff_class_ablation::run(q).0),
     ("sharding_overhead", |q| exp::sharding_overhead::run(q).0),
+    ("shard_resilience", |q| exp::shard_resilience::run(q).0),
 ];
 
 /// Parsed command line.

@@ -29,6 +29,7 @@
 //! | [`migration_gap`] | strength of the `OPT_total` repacking baseline |
 //! | [`server_churn`] | provisioning fees vs bin churn |
 //! | [`sharding_overhead`] | §5 scale-out: K-shard cluster cost vs one dispatcher |
+//! | [`shard_resilience`] | self-healing: shard kills, journal resurrection, degraded routing |
 //! | [`fault_tolerance`] | resilience: crashes & flaky provisioning vs the fault-free bill |
 //! | [`ff_gap_search`] | the open `[µ, 2µ+13]` gap, probed by adversarial search |
 //! | [`hff_class_ablation`] | Harmonic-class generalization of MFF's split |
@@ -54,6 +55,7 @@ pub mod mff_ratio;
 pub mod migration_gap;
 pub mod mu_sensitivity;
 pub mod server_churn;
+pub mod shard_resilience;
 pub mod sharding_overhead;
 pub mod sweep;
 pub mod tab2_case_classification;

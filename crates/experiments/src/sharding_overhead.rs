@@ -66,7 +66,7 @@ pub fn run(quick: bool) -> (Table, Vec<ShardRow>) {
             // conservation suite), so it serves as the exact baseline.
             let one = ClusterEngine::new(
                 GamingSystem::paper_model(),
-                ClusterConfig::new(1, Router::HashByItem),
+                ClusterConfig::new(1, Router::HashByItem).unwrap(),
             );
             let baseline = one
                 .run(&inst, &factory)
@@ -77,7 +77,7 @@ pub fn run(quick: bool) -> (Table, Vec<ShardRow>) {
                 for &shards in shard_counts {
                     let engine = ClusterEngine::new(
                         GamingSystem::paper_model(),
-                        ClusterConfig::new(shards, router),
+                        ClusterConfig::new(shards, router).unwrap(),
                     );
                     let run = engine
                         .run(&inst, &factory)

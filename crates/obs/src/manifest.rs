@@ -29,6 +29,14 @@ pub struct RunManifest {
     /// packing trace. `dbp recover` re-derives this value from the journal
     /// alone and diffs it against the recorded one.
     pub total_cost_ticks: Option<u128>,
+    /// Shard restarts performed by the self-healing cluster supervisor,
+    /// when the run injected shard faults.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub shard_restarts: Option<u64>,
+    /// Whether the extended SLA ledger conserved
+    /// `served + dropped + lost + rerouted == total` (self-healing runs).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ledger_conserved: Option<bool>,
 }
 
 impl RunManifest {
@@ -48,12 +56,26 @@ impl RunManifest {
             wall_time_ns: wall_time.as_nanos() as u64,
             peak_rss_bytes: peak_rss_bytes(),
             total_cost_ticks: None,
+            shard_restarts: None,
+            ledger_conserved: None,
         }
     }
 
     /// Attach the exact packing cost (builder style).
     pub fn with_cost(mut self, cost_ticks: u128) -> RunManifest {
         self.total_cost_ticks = Some(cost_ticks);
+        self
+    }
+
+    /// Attach the self-healing restart count (builder style).
+    pub fn with_shard_restarts(mut self, restarts: u64) -> RunManifest {
+        self.shard_restarts = Some(restarts);
+        self
+    }
+
+    /// Attach the extended-ledger conservation verdict (builder style).
+    pub fn with_ledger_conserved(mut self, conserved: bool) -> RunManifest {
+        self.ledger_conserved = Some(conserved);
         self
     }
 }

@@ -100,6 +100,14 @@ pub struct CountingProbe {
     pub items_redispatched: u64,
     /// `RecoveryEnded` events seen.
     pub recoveries: u64,
+    /// `ShardKilled` events seen.
+    pub shard_kills: u64,
+    /// `ShardRestarted` events seen.
+    pub shard_restarts: u64,
+    /// `ShardAbandoned` events seen.
+    pub shards_abandoned: u64,
+    /// Sum of `replayed` over all shard restarts.
+    pub shard_replayed_total: u64,
 }
 
 impl CountingProbe {
@@ -124,6 +132,9 @@ impl CountingProbe {
             + self.items_dropped
             + self.items_redispatched
             + self.recoveries
+            + self.shard_kills
+            + self.shard_restarts
+            + self.shards_abandoned
     }
 }
 
@@ -153,6 +164,12 @@ impl Probe for CountingProbe {
             ProbeEvent::ItemDropped { .. } => self.items_dropped += 1,
             ProbeEvent::ItemRedispatched { .. } => self.items_redispatched += 1,
             ProbeEvent::RecoveryEnded { .. } => self.recoveries += 1,
+            ProbeEvent::ShardKilled { .. } => self.shard_kills += 1,
+            ProbeEvent::ShardRestarted { replayed, .. } => {
+                self.shard_restarts += 1;
+                self.shard_replayed_total += replayed;
+            }
+            ProbeEvent::ShardAbandoned { .. } => self.shards_abandoned += 1,
         }
     }
 
@@ -238,6 +255,16 @@ impl Probe for MetricsProbe {
                 reg.counter_add("dbp_recoveries_total", 1);
                 reg.counter_add("dbp_recovery_redispatched_total", redispatched as u64);
                 reg.counter_add("dbp_recovery_lost_total", lost as u64);
+            }
+            ProbeEvent::ShardKilled { .. } => reg.counter_add("dbp_shard_kills_total", 1),
+            ProbeEvent::ShardRestarted { replayed, .. } => {
+                reg.counter_add("dbp_shard_restarts_total", 1);
+                reg.counter_add("dbp_shard_replayed_events_total", replayed);
+            }
+            ProbeEvent::ShardAbandoned { lost, rerouted, .. } => {
+                reg.counter_add("dbp_shards_abandoned_total", 1);
+                reg.counter_add("dbp_shard_sessions_lost_total", lost as u64);
+                reg.counter_add("dbp_shard_sessions_rerouted_total", rerouted as u64);
             }
         }
     }

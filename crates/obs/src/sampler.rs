@@ -170,7 +170,10 @@ impl Probe for TimeSeriesSampler {
             | ProbeEvent::RetryScheduled { .. }
             | ProbeEvent::DispatchRejected { .. }
             | ProbeEvent::ItemDropped { .. }
-            | ProbeEvent::RecoveryEnded { .. } => {}
+            | ProbeEvent::RecoveryEnded { .. }
+            | ProbeEvent::ShardKilled { .. }
+            | ProbeEvent::ShardRestarted { .. }
+            | ProbeEvent::ShardAbandoned { .. } => {}
         }
     }
 }

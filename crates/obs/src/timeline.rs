@@ -37,6 +37,9 @@ pub fn render_timeline(events: &[ProbeEvent]) -> String {
     let mut dropped = 0u64;
     let mut redispatched = 0u64;
     let mut lost = 0u64;
+    let mut shard_kills = 0u64;
+    let mut shard_restarts = 0u64;
+    let mut shards_abandoned = 0u64;
 
     for event in events {
         let t = event.at().0;
@@ -159,6 +162,43 @@ pub fn render_timeline(events: &[ProbeEvent]) -> String {
                     bin.0, re, lo
                 );
             }
+            ProbeEvent::ShardKilled {
+                shard, events_done, ..
+            } => {
+                shard_kills += 1;
+                let _ = writeln!(
+                    out,
+                    "  KILL    shard {} ({} events journaled)",
+                    shard, events_done
+                );
+            }
+            ProbeEvent::ShardRestarted {
+                shard,
+                attempt,
+                replayed,
+                ..
+            } => {
+                shard_restarts += 1;
+                let _ = writeln!(
+                    out,
+                    "  resume  shard {} attempt {} ({} events replayed)",
+                    shard, attempt, replayed
+                );
+            }
+            ProbeEvent::ShardAbandoned {
+                shard,
+                lost: lo,
+                rerouted,
+                ..
+            } => {
+                shards_abandoned += 1;
+                lost += *lo as u64;
+                let _ = writeln!(
+                    out,
+                    "  ABANDON shard {} ({} lost, {} rerouted)",
+                    shard, lo, rerouted
+                );
+            }
         }
     }
     let _ = write!(
@@ -176,6 +216,13 @@ pub fn render_timeline(events: &[ProbeEvent]) -> String {
             out,
             "-- faults: {crashes} crashes, {boot_failures} boot failures, {retries} retries, \
              {rejections} rejections, {dropped} dropped, {redispatched} redispatched, {lost} lost"
+        );
+    }
+    if shard_kills + shard_restarts + shards_abandoned > 0 {
+        let _ = writeln!(
+            out,
+            "-- shards: {shard_kills} kills, {shard_restarts} restarts, \
+             {shards_abandoned} abandoned"
         );
     }
     out
@@ -250,6 +297,23 @@ mod tests {
                 redispatched: 2,
                 lost: 1,
             },
+            ProbeEvent::ShardKilled {
+                at: Tick(15),
+                shard: 1,
+                events_done: 42,
+            },
+            ProbeEvent::ShardRestarted {
+                at: Tick(15),
+                shard: 1,
+                attempt: 1,
+                replayed: 40,
+            },
+            ProbeEvent::ShardAbandoned {
+                at: Tick(16),
+                shard: 2,
+                lost: 2,
+                rerouted: 5,
+            },
         ];
         let text = render_timeline(&events);
         assert!(text.contains("CRASH   b2 (3 orphans)"));
@@ -259,8 +323,12 @@ mod tests {
         assert!(text.contains("redisp  r4 b2 -> b5 (level 6)"));
         assert!(text.contains("DROP    r9 (queue_timeout)"));
         assert!(text.contains("recover b2 done (2 redispatched, 1 lost)"));
+        assert!(text.contains("KILL    shard 1 (42 events journaled)"));
+        assert!(text.contains("resume  shard 1 attempt 1 (40 events replayed)"));
+        assert!(text.contains("ABANDON shard 2 (2 lost, 5 rerouted)"));
         assert!(text.contains(
-            "-- faults: 1 crashes, 1 boot failures, 1 retries, 1 rejections, 1 dropped, 1 redispatched, 1 lost"
+            "-- faults: 1 crashes, 1 boot failures, 1 retries, 1 rejections, 1 dropped, 1 redispatched, 3 lost"
         ));
+        assert!(text.contains("-- shards: 1 kills, 1 restarts, 1 abandoned"));
     }
 }

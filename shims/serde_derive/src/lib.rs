@@ -4,7 +4,8 @@
 //! offline, so this is a small hand-rolled parser over `proc_macro` token
 //! trees. It supports exactly the shapes this workspace derives on:
 //!
-//! * structs with named fields;
+//! * structs with named fields (per-field `#[serde(default)]` and
+//!   `#[serde(skip_serializing_if = "path")]` honored);
 //! * tuple structs (including `#[serde(transparent)]` newtypes);
 //! * enums with unit, tuple, and struct variants (externally tagged).
 //!
@@ -21,10 +22,20 @@ struct Item {
 }
 
 enum Shape {
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
     Unit,
     Enum(Vec<Variant>),
+}
+
+/// One named field plus the serde attributes this shim honors.
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: absent keys deserialize to `Default::default()`.
+    default: bool,
+    /// `#[serde(skip_serializing_if = "path")]`: the entry is omitted when
+    /// `path(&self.field)` is true.
+    skip_if: Option<String>,
 }
 
 struct Variant {
@@ -35,7 +46,7 @@ struct Variant {
 enum VariantShape {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 /// Derive `serde::Serialize` (value-tree based).
@@ -69,35 +80,59 @@ fn ident_of(t: Option<&TokenTree>) -> Option<String> {
     }
 }
 
-/// Does an attribute bracket group spell `serde(transparent)`?
-fn is_transparent_attr(group: &proc_macro::Group) -> bool {
+/// Serde attributes recognized by this shim, at item or field level.
+#[derive(Default)]
+struct Attrs {
+    transparent: bool,
+    default: bool,
+    skip_if: Option<String>,
+}
+
+/// Fold one `#[serde(...)]` bracket group into `attrs`; other attributes
+/// are ignored.
+fn parse_serde_attr(group: &proc_macro::Group, attrs: &mut Attrs) {
     let toks: Vec<TokenTree> = group.stream().into_iter().collect();
     if ident_of(toks.first()).as_deref() != Some("serde") {
-        return false;
+        return;
     }
-    match toks.get(1) {
-        Some(TokenTree::Group(inner)) if inner.delimiter() == Delimiter::Parenthesis => inner
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "transparent")),
-        _ => false,
+    let inner: Vec<TokenTree> = match toks.get(1) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            g.stream().into_iter().collect()
+        }
+        _ => return,
+    };
+    let mut i = 0;
+    while i < inner.len() {
+        match ident_of(inner.get(i)).as_deref() {
+            Some("transparent") => attrs.transparent = true,
+            Some("default") => attrs.default = true,
+            Some("skip_serializing_if") if is_punct(inner.get(i + 1), '=') => {
+                if let Some(TokenTree::Literal(lit)) = inner.get(i + 2) {
+                    let raw = lit.to_string();
+                    attrs.skip_if = Some(raw.trim_matches('"').to_string());
+                    i += 2;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
     }
 }
 
-/// Skip attributes starting at `i`; returns the new index and whether a
-/// `#[serde(transparent)]` was seen.
-fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
-    let mut transparent = false;
+/// Skip attributes starting at `i`; returns the new index and the serde
+/// attributes seen across them.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, Attrs) {
+    let mut attrs = Attrs::default();
     while is_punct(tokens.get(i), '#') {
         match tokens.get(i + 1) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
-                transparent |= is_transparent_attr(g);
+                parse_serde_attr(g, &mut attrs);
                 i += 2;
             }
             _ => break,
         }
     }
-    (i, transparent)
+    (i, attrs)
 }
 
 /// Skip a visibility modifier (`pub`, `pub(crate)`, ...) at `i`.
@@ -115,7 +150,8 @@ fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
 
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let (mut i, transparent) = skip_attrs(&tokens, 0);
+    let (mut i, item_attrs) = skip_attrs(&tokens, 0);
+    let transparent = item_attrs.transparent;
     i = skip_vis(&tokens, i);
     let kw = ident_of(tokens.get(i)).unwrap_or_else(|| {
         panic!(
@@ -156,13 +192,15 @@ fn parse_item(input: TokenStream) -> Item {
     }
 }
 
-/// Field names of a named-field body, in declaration order.
-fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+/// Fields of a named-field body (names + serde attrs), in declaration
+/// order.
+fn parse_named_fields(ts: TokenStream) -> Vec<Field> {
     let tokens: Vec<TokenTree> = ts.into_iter().collect();
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        (i, _) = skip_attrs(&tokens, i);
+        let attrs;
+        (i, attrs) = skip_attrs(&tokens, i);
         i = skip_vis(&tokens, i);
         if i >= tokens.len() {
             break;
@@ -193,7 +231,11 @@ fn parse_named_fields(ts: TokenStream) -> Vec<String> {
             i += 1;
         }
         i += 1; // past the comma (or end)
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default: attrs.default,
+            skip_if: attrs.skip_if,
+        });
     }
     fields
 }
@@ -270,17 +312,75 @@ fn missing_field(owner: &str, field: &str) -> String {
     )
 }
 
+/// Initializer expression for one named struct field. `#[serde(default)]`
+/// fields tolerate an absent key (and a `null`, so omitted `Option`s
+/// round-trip) instead of erroring.
+fn named_field_init(owner: &str, f: &Field) -> String {
+    let n = &f.name;
+    if f.default {
+        format!(
+            "{n}: match __v.get(\"{n}\") {{\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\
+             ::std::option::Option::None => ::std::default::Default::default() }}"
+        )
+    } else {
+        format!(
+            "{n}: ::serde::Deserialize::from_value({})?",
+            missing_field(owner, n)
+        )
+    }
+}
+
+/// Same as [`named_field_init`], against the enum payload `__inner`.
+fn variant_field_init(owner: &str, f: &Field) -> String {
+    let n = &f.name;
+    if f.default {
+        format!(
+            "{n}: match __inner.get(\"{n}\") {{\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\
+             ::std::option::Option::None => ::std::default::Default::default() }}"
+        )
+    } else {
+        format!(
+            "{n}: ::serde::Deserialize::from_value(\
+             __inner.get(\"{n}\").ok_or_else(|| ::serde::Error::custom(\
+             \"missing field `{n}` in {owner}\"))?)?"
+        )
+    }
+}
+
 fn gen_serialize(item: &Item) -> String {
     let name = &item.name;
     let body = match &item.shape {
         Shape::Named(fields) if item.transparent && fields.len() == 1 => {
-            format!("::serde::Serialize::to_value(&self.{})", fields[0])
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
         }
         Shape::Tuple(1) if item.transparent => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Named(fields) if fields.iter().any(|f| f.skip_if.is_some()) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let n = &f.name;
+                let entry = map_entry(n, &format!("::serde::Serialize::to_value(&self.{n})"));
+                match &f.skip_if {
+                    Some(pred) => pushes
+                        .push_str(&format!("if !{pred}(&self.{n}) {{ __m.push({entry}); }}\n")),
+                    None => pushes.push_str(&format!("__m.push({entry});\n")),
+                }
+            }
+            format!(
+                "{{\nlet mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__m)\n}}"
+            )
+        }
         Shape::Named(fields) => {
             let entries: Vec<String> = fields
                 .iter()
-                .map(|f| map_entry(f, &format!("::serde::Serialize::to_value(&self.{f})")))
+                .map(|f| {
+                    map_entry(
+                        &f.name,
+                        &format!("::serde::Serialize::to_value(&self.{})", f.name),
+                    )
+                })
                 .collect();
             format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
         }
@@ -326,11 +426,17 @@ fn gen_serialize(item: &Item) -> String {
                     VariantShape::Named(fields) => {
                         let entries: Vec<String> = fields
                             .iter()
-                            .map(|f| map_entry(f, &format!("::serde::Serialize::to_value({f})")))
+                            .map(|f| {
+                                map_entry(
+                                    &f.name,
+                                    &format!("::serde::Serialize::to_value({})", f.name),
+                                )
+                            })
                             .collect();
+                        let binders: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                         arms.push_str(&format!(
                             "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![{}]),\n",
-                            fields.join(", "),
+                            binders.join(", "),
                             map_entry(
                                 vn,
                                 &format!(
@@ -358,22 +464,14 @@ fn gen_deserialize(item: &Item) -> String {
         Shape::Named(fields) if item.transparent && fields.len() == 1 => {
             format!(
                 "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(__v)? }})",
-                fields[0]
+                fields[0].name
             )
         }
         Shape::Tuple(1) if item.transparent => {
             format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
         }
         Shape::Named(fields) => {
-            let inits: Vec<String> = fields
-                .iter()
-                .map(|f| {
-                    format!(
-                        "{f}: ::serde::Deserialize::from_value({})?",
-                        missing_field(name, f)
-                    )
-                })
-                .collect();
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(name, f)).collect();
             format!(
                 "if !__v.is_object() {{\n\
                  return ::std::result::Result::Err(::serde::Error::custom(\
@@ -437,15 +535,10 @@ fn gen_deserialize(item: &Item) -> String {
                         ));
                     }
                     VariantShape::Named(fields) => {
+                        let owner = format!("{name}::{vn}");
                         let inits: Vec<String> = fields
                             .iter()
-                            .map(|f| {
-                                format!(
-                                    "{f}: ::serde::Deserialize::from_value(\
-                                     __inner.get(\"{f}\").ok_or_else(|| ::serde::Error::custom(\
-                                     \"missing field `{f}` in {name}::{vn}\"))?)?"
-                                )
-                            })
+                            .map(|f| variant_field_init(&owner, f))
                             .collect();
                         payload_arms.push_str(&format!(
                             "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }}),\n",

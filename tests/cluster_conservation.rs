@@ -84,7 +84,7 @@ fn one_shard_cluster_is_byte_identical_to_the_plain_run() {
             let plain_trace2 = simulate_validated_probed(&inst, &mut *make(), &mut plain_log);
             assert_eq!(plain_trace, plain_trace2);
 
-            let engine = ClusterEngine::new(system, ClusterConfig::new(1, router));
+            let engine = ClusterEngine::new(system, ClusterConfig::new(1, router).unwrap());
             let factory = SelectorFactory::new(name, make);
             let (run, mut probes) = engine
                 .run_probed(&inst, &factory, |_| EventLog::new())
@@ -134,7 +134,7 @@ fn every_standard_policy_conserves_items_and_cost_on_the_gaming_workload() {
     let system = GamingSystem::paper_model();
     for factory in standard_factories(0) {
         for router in Router::ALL {
-            let engine = ClusterEngine::new(system, ClusterConfig::new(4, router));
+            let engine = ClusterEngine::new(system, ClusterConfig::new(4, router).unwrap());
             let run = engine.run(&inst, &factory).unwrap();
             let seen = service_counts(&run, inst.len());
             assert!(
@@ -159,7 +159,7 @@ proptest! {
     fn conservation_holds_for_all_routers_and_shard_counts(inst in instances(50)) {
         for shards in [2usize, 4, 8] {
             for router in Router::ALL {
-                let engine = ClusterEngine::new(small_system(), ClusterConfig::new(shards, router));
+                let engine = ClusterEngine::new(small_system(), ClusterConfig::new(shards, router).unwrap());
                 let factory = SelectorFactory::new("FF", || Box::new(FirstFit::new()));
                 let run = engine.run(&inst, &factory).unwrap();
 
@@ -192,7 +192,7 @@ proptest! {
         shards in 2usize..=4,
     ) {
         for router in Router::ALL {
-            let engine = ClusterEngine::new(small_system(), ClusterConfig::new(shards, router));
+            let engine = ClusterEngine::new(small_system(), ClusterConfig::new(shards, router).unwrap());
             let factory = SelectorFactory::new("FF", || Box::new(FirstFit::new()));
             let plans: Vec<FaultPlan> = (0..shards as u64)
                 .map(|s| FaultPlan::from_seed(fault_seed + s, 600))

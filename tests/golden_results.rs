@@ -101,7 +101,7 @@ fn golden_sharding_overhead_rows() {
         for &(shards, want) in rows {
             let engine = ClusterEngine::new(
                 dbp_cloudsim::GamingSystem::paper_model(),
-                ClusterConfig::new(shards, Router::HashByItem),
+                ClusterConfig::new(shards, Router::HashByItem).unwrap(),
             );
             let run = engine.run(&inst, &factory).unwrap();
             assert_eq!(run.report.busy_ticks, want, "{} x{shards}", scenario.name());
