@@ -8,17 +8,21 @@
 //!
 //! Packs `churn_workload` (10^6 items; `--quick`: 10^5) through
 //! [`ClusterEngine`] at 1, 2, 4 and 8 shards under the hash router with the
-//! naive scanning First Fit, and writes `BENCH_CLUSTER.json`. Two effects
-//! compound: each shard's per-arrival scan touches only its own open bins
-//! (~1/K of the fleet), and shards run concurrently on the worker pool — so
-//! the 4-shard row's throughput should come out well above 2× the 1-shard
-//! row even on modest hardware. The exact aggregate `busy_ticks` per row
-//! makes the cost of that speedup visible in the same report.
+//! **indexed** First Fit — the O(log m) engine the repo ships — and writes
+//! `BENCH_CLUSTER.json`. (Earlier schema versions silently benchmarked the
+//! naive scanning selector here, which made the 1-shard row incomparable to
+//! BENCH_ENGINE and overstated the sharding speedup: with an O(open bins)
+//! scan, splitting the fleet K ways shrinks the scan itself.) Shards run
+//! concurrently when the host has cores to offer; the report records the
+//! host's `available_parallelism` so a plateau can be attributed to
+//! hardware rather than to the dispatch layer. The exact aggregate
+//! `busy_ticks` per row makes the cost of any speedup visible in the same
+//! report.
 
 use dbp_bench::churn_workload;
 use dbp_cloudsim::{GamingSystem, Granularity, ServerType};
 use dbp_cluster::{ClusterConfig, ClusterEngine, Router};
-use dbp_core::algorithms::FirstFit;
+use dbp_core::algorithms::IndexedFirstFit;
 use dbp_core::engine::simulate;
 use dbp_core::instance::Instance;
 use dbp_core::packer::SelectorFactory;
@@ -32,7 +36,16 @@ use std::time::Instant;
 const SEED: u64 = 42;
 
 /// Report schema; bump when fields change (CI validates this).
-const SCHEMA_VERSION: u64 = 2;
+/// v3: the bench runs the indexed selector engine (and records which), the
+/// report carries the host's `available_parallelism`, and wall fields are
+/// nanosecond-rounded instead of truncated.
+const SCHEMA_VERSION: u64 = 3;
+
+/// Round nanoseconds to milliseconds (half-up) — never the truncation that
+/// turned sub-millisecond quick-mode runs into `wall_ms: 0`.
+fn ns_to_ms_rounded(ns: u128) -> u64 {
+    ((ns + 500_000) / 1_000_000) as u64
+}
 
 /// One measured shard count.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -77,16 +90,25 @@ struct ClusterBenchReport {
     capacity: u64,
     router: String,
     algorithm: String,
+    /// Which selector engine produced every row: "indexed" (the shipped
+    /// O(log m) engine) — recorded so a report can never again silently
+    /// describe the naive scanning selector.
+    selector_engine: String,
+    /// The host's `std::thread::available_parallelism()` at run time. Rows
+    /// cannot speed up past this however many shards they split into;
+    /// compare it against the plateau before blaming the dispatch layer.
+    available_parallelism: u64,
     peak_rss_bytes: Option<u64>,
     results: Vec<ScalingResult>,
 }
 
-/// Wall time of the plain single-engine run (naive FF through `simulate`,
-/// no cluster layer at all) — the denominator of every row's
-/// `overhead_vs_plain_engine`.
+/// Wall time of the plain single-engine run (indexed FF through
+/// `simulate`, no cluster layer at all) — the denominator of every row's
+/// `overhead_vs_plain_engine`. Must run the same selector engine as the
+/// cluster rows or the ratio mixes selector cost into dispatch cost.
 fn measure_plain_engine(inst: &Instance) -> u128 {
     let started = Instant::now();
-    let trace = simulate(inst, &mut FirstFit::new());
+    let trace = simulate(inst, &mut IndexedFirstFit::new());
     let ns = started.elapsed().as_nanos().max(1);
     assert!(trace.bins_used() > 0);
     ns
@@ -104,7 +126,7 @@ fn measure(inst: &Instance, shards: usize, plain_ns: u128) -> (u64, ScalingResul
         system,
         ClusterConfig::new(shards, Router::HashByItem).unwrap(),
     );
-    let factory = SelectorFactory::new("FF", || Box::new(FirstFit::new()));
+    let factory = SelectorFactory::new("FF", || Box::new(IndexedFirstFit::new()));
     let started = Instant::now();
     let run = engine
         .run(inst, &factory)
@@ -138,13 +160,15 @@ fn measure(inst: &Instance, shards: usize, plain_ns: u128) -> (u64, ScalingResul
         items_per_sec,
         ScalingResult {
             shards: shards as u64,
-            wall_ms: wall.as_millis() as u64,
+            wall_ms: ns_to_ms_rounded(wall_ns),
             items_per_sec,
             busy_ticks: run.report.busy_ticks,
             servers_rented: run.report.servers_rented as u64,
             peak_servers: run.report.peak_servers as u64,
             speedup_millis: 0, // filled in once the 1-shard row exists
-            overhead_vs_plain_engine: (wall_ns * 1000 / plain_ns) as u64,
+            // Ratio from raw nanoseconds (both clamped ≥ 1 at the source),
+            // never from the rounded millisecond fields.
+            overhead_vs_plain_engine: ((wall_ns * 1000 + plain_ns / 2) / plain_ns) as u64,
             queue_wait_ns: trace.timing.queue_wait_ns,
             busy_ns: trace.timing.busy_ns,
             stage_breakdown: breakdown.rows(),
@@ -175,7 +199,7 @@ fn main() -> ExitCode {
     eprintln!("[gen] churn_workload n={n}");
     let inst = churn_workload(n, SEED);
 
-    eprintln!("[bench] plain engine baseline (naive FF, no cluster layer)");
+    eprintln!("[bench] plain engine baseline (indexed FF, no cluster layer)");
     let plain_ns = measure_plain_engine(&inst);
 
     let mut results = Vec::new();
@@ -185,7 +209,8 @@ fn main() -> ExitCode {
         if shards == 1 {
             base_throughput = throughput;
         }
-        r.speedup_millis = (throughput as u128 * 1000 / base_throughput.max(1) as u128) as u64;
+        let base = base_throughput.max(1) as u128;
+        r.speedup_millis = ((throughput as u128 * 1000 + base / 2) / base) as u64;
         eprintln!(
             "[bench] shards={shards} {:>9} items/s  {:>7} ms  {:.2}x  busy {}  {:.2}x plain",
             r.items_per_sec,
@@ -205,6 +230,10 @@ fn main() -> ExitCode {
         capacity: inst.capacity().raw(),
         router: Router::HashByItem.name().to_string(),
         algorithm: "FF".to_string(),
+        selector_engine: "indexed".to_string(),
+        available_parallelism: std::thread::available_parallelism()
+            .map(|p| p.get() as u64)
+            .unwrap_or(1),
         peak_rss_bytes: dbp_obs::manifest::peak_rss_bytes(),
         results,
     };
@@ -255,6 +284,8 @@ mod tests {
             capacity: inst.capacity().raw(),
             router: "hash".to_string(),
             algorithm: "FF".to_string(),
+            selector_engine: "indexed".to_string(),
+            available_parallelism: 1,
             peak_rss_bytes: None,
             results: vec![one, four],
         };

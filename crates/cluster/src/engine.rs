@@ -1314,7 +1314,12 @@ where
     if R::ENABLED {
         spans.enter(stage::VALIDATE);
     }
-    let errs = trace.validate(requests);
+    // O(n + B) conservation check, not the full quadratic
+    // `PackingTrace::validate`: the engine already asserts fit on every
+    // placement, so the per-tick level audit is redundant defense that used
+    // to dominate shard wall time. Full validation stays available through
+    // `simulate_validated` and the test suites.
+    let errs = trace.check_conservation(requests);
     if R::ENABLED {
         spans.exit();
     }
@@ -1328,7 +1333,7 @@ where
     }
     assert!(
         errs.is_empty(),
-        "trace validation failed for {}:\n{}",
+        "trace conservation check failed for {}:\n{}",
         trace.algorithm,
         errs.join("\n")
     );
@@ -1383,6 +1388,28 @@ where
     F: Fn(usize, U) -> T + Sync,
 {
     let n = units.len();
+    // Dedicated-thread fast path: with a worker per unit there is nothing
+    // to schedule, so each shard gets its own long-lived thread with a
+    // direct handoff — no claim counter, no Mutex slots, no contention on
+    // the dispatch path. Containment is identical: the unit runs under
+    // `catch_unwind` and a panicking thread yields `Err(payload)` in its
+    // slot via the join handle.
+    if workers >= n && n > 0 {
+        return std::thread::scope(|scope| {
+            let handles: Vec<_> = units
+                .into_iter()
+                .enumerate()
+                .map(|(i, unit)| {
+                    let work = &work;
+                    scope.spawn(move || catch_unwind(AssertUnwindSafe(|| work(i, unit))))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(Err))
+                .collect()
+        });
+    }
     let slots: Vec<Mutex<Option<U>>> = units.into_iter().map(|u| Mutex::new(Some(u))).collect();
     let results: Vec<Mutex<Option<PoolResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);

@@ -552,7 +552,9 @@ where
     if R::ENABLED {
         spans.enter(stage::VALIDATE);
     }
-    let errs = trace.validate(requests);
+    // Same cheap conservation check as the normal shard path — resumed
+    // shards must not pay more validation than healthy ones.
+    let errs = trace.check_conservation(requests);
     if R::ENABLED {
         spans.exit();
     }
@@ -566,7 +568,7 @@ where
     }
     assert!(
         errs.is_empty(),
-        "trace validation failed for resumed {}:\n{}",
+        "trace conservation check failed for resumed {}:\n{}",
         trace.algorithm,
         errs.join("\n")
     );

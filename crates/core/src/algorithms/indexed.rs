@@ -18,18 +18,26 @@
 //!   open bin with level ≤ W − s, ties to the earliest-opened" is a range
 //!   query for the greatest feasible level followed by that bucket's
 //!   minimum id, O(log m).
+//! * [`IndexedMff`] — the paper's MFF (§4.4) on two class-segregated
+//!   residual trees, one per size class. Classification picks the tree;
+//!   within a tree the query is the same leftmost descent as indexed FF,
+//!   which matches naive MFF because MFF *is* First Fit restricted to
+//!   same-tag bins and each tree holds residual 0 for every bin outside
+//!   its class.
 //!
-//! Both return `false` from [`BinSelector::needs_views`], so the engine
-//! skips open-bin view maintenance entirely and the whole arrival path runs
-//! in O(log m).
+//! All three return `false` from [`BinSelector::needs_views`], so the
+//! engine skips open-bin view maintenance entirely and the whole arrival
+//! path runs in O(log m).
 //!
 //! [`FirstFit`]: super::FirstFit
 //! [`BestFit`]: super::BestFit
 //! [`name`]: BinSelector::name
 
+use super::modified_first_fit::{ItemClass, ModifiedFirstFit, LARGE_TAG, SMALL_TAG};
 use crate::bin::{BinId, BinTag, OpenBinView};
 use crate::item::{ArrivingItem, Size};
 use crate::packer::{BinSelector, Decision};
+use crate::ratio::Ratio;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Max-residual segment tree keyed by bin id. Leaves hold the residual
@@ -257,6 +265,157 @@ impl BinSelector for IndexedBestFit {
     }
 }
 
+/// Modified First Fit answered from two class-segregated residual trees:
+/// same decisions as [`ModifiedFirstFit`], O(log B) per arrival.
+///
+/// Classification is delegated to an inner naive [`ModifiedFirstFit`] so
+/// the exact-rational threshold arithmetic has a single home. Each class
+/// keeps its own [`ResidualTree`]; bins of the other class (and closed
+/// bins) hold residual 0 there, so the leftmost-fitting query within a
+/// tree is exactly naive MFF's "first same-tag bin that fits" scan.
+#[derive(Debug, Clone)]
+pub struct IndexedMff {
+    inner: ModifiedFirstFit,
+    large: ResidualTree,
+    small: ResidualTree,
+    /// Class each bin id was opened under (by tag); `None` for ids never
+    /// opened, so burned ids can be closed without guessing a tree.
+    class_of: Vec<Option<ItemClass>>,
+    capacity: Option<Size>,
+}
+
+impl IndexedMff {
+    /// Indexed MFF with an integer `k ≥ 2` (the paper's µ-oblivious
+    /// setting is `k = 8`).
+    ///
+    /// # Panics
+    /// Panics if `k < 2`, same contract as [`ModifiedFirstFit::new`].
+    pub fn new(k: u64) -> IndexedMff {
+        IndexedMff::from_inner(ModifiedFirstFit::new(k))
+    }
+
+    /// Indexed MFF with a rational `k = num/den > 1`.
+    ///
+    /// # Panics
+    /// Same contract as [`ModifiedFirstFit::with_rational_k`].
+    pub fn with_rational_k(num: u64, den: u64) -> IndexedMff {
+        IndexedMff::from_inner(ModifiedFirstFit::with_rational_k(num, den))
+    }
+
+    /// The semi-online setting: µ known, `k = µ + 7`.
+    pub fn for_known_mu(mu: u64) -> IndexedMff {
+        IndexedMff::from_inner(ModifiedFirstFit::for_known_mu(mu))
+    }
+
+    fn from_inner(inner: ModifiedFirstFit) -> IndexedMff {
+        IndexedMff {
+            inner,
+            large: ResidualTree::default(),
+            small: ResidualTree::default(),
+            class_of: Vec::new(),
+            capacity: None,
+        }
+    }
+
+    /// The classification threshold parameter `k`, exactly.
+    pub fn k(&self) -> Ratio {
+        self.inner.k()
+    }
+
+    fn residual(&self, level: Size) -> u64 {
+        let w = self
+            .capacity
+            .expect("hook before the first select call")
+            .raw();
+        w - level.raw()
+    }
+
+    fn tree_of(&mut self, class: ItemClass) -> &mut ResidualTree {
+        match class {
+            ItemClass::Large => &mut self.large,
+            ItemClass::Small => &mut self.small,
+        }
+    }
+
+    /// Re-publish bin's residual into its class tree (no-op for ids whose
+    /// class was never recorded, which cannot hold items).
+    fn update(&mut self, bin: BinId, level: Size) {
+        let b = bin.index();
+        if let Some(Some(class)) = self.class_of.get(b).copied() {
+            let residual = self.residual(level);
+            self.tree_of(class).set(bin.0, residual);
+        }
+    }
+}
+
+impl BinSelector for IndexedMff {
+    fn name(&self) -> &'static str {
+        // Deliberately the naive selector's name — see IndexedFirstFit.
+        "MFF"
+    }
+
+    fn select(&mut self, _bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+        debug_assert!(item.size.raw() > 0, "zero-size items break the 0-sentinel");
+        self.capacity = Some(capacity);
+        let class = self.inner.classify(item.size, capacity);
+        let tree = match class {
+            ItemClass::Large => &self.large,
+            ItemClass::Small => &self.small,
+        };
+        match tree.first_fitting(item.size.raw()) {
+            Some(id) => Decision::Use(BinId(id)),
+            None => Decision::Open { tag: class.tag() },
+        }
+    }
+
+    fn needs_views(&self) -> bool {
+        false
+    }
+
+    fn on_decision_replayed(&mut self, _item: &ArrivingItem, _decision: Decision, capacity: Size) {
+        // Seed the capacity exactly as `select` would — see IndexedFirstFit.
+        self.capacity = Some(capacity);
+    }
+
+    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Size) {
+        let class = match tag {
+            LARGE_TAG => ItemClass::Large,
+            SMALL_TAG => ItemClass::Small,
+            other => unreachable!("MFF opened a bin with foreign tag {other:?}"),
+        };
+        let b = bin.index();
+        if b >= self.class_of.len() {
+            self.class_of.resize(b + 1, None);
+        }
+        self.class_of[b] = Some(class);
+        let residual = self.residual(level);
+        self.tree_of(class).set(bin.0, residual);
+    }
+
+    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+        self.update(bin, level);
+    }
+
+    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+        self.update(bin, level);
+    }
+
+    fn on_bin_closed(&mut self, bin: BinId) {
+        // Burned ids (failed boots) may close without ever opening; their
+        // class is unrecorded and both trees already hold 0 for them.
+        let b = bin.index();
+        if let Some(Some(class)) = self.class_of.get(b).copied() {
+            self.tree_of(class).set(bin.0, 0);
+            self.class_of[b] = None;
+        }
+    }
+
+    // MFF is NOT Any Fit: it refuses cross-class placements.
+    fn is_any_fit(&self) -> bool {
+        false
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,10 +487,60 @@ mod tests {
     }
 
     #[test]
+    fn indexed_mff_matches_naive_on_fixture() {
+        let inst = churny_instance();
+        let naive = simulate_validated(&inst, &mut ModifiedFirstFit::new(8));
+        let indexed = simulate_validated(&inst, &mut IndexedMff::new(8));
+        assert_eq!(naive, indexed);
+    }
+
+    #[test]
+    fn indexed_mff_matches_naive_with_mixed_classes() {
+        // W = 10, k = 2 -> threshold 5: the fixture's sizes straddle it, so
+        // both trees see churn, exact fills, and closes.
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 9, 6); // large -> b0
+        b.add(0, 4, 3); // small -> b1, closes at 4
+        b.add(1, 8, 5); // large, doesn't fit b0 -> b2
+        b.add(2, 7, 2); // small, fits b1
+        b.add(3, 6, 4); // small, 3+2+4 > 10 -> new small bin
+        b.add(5, 9, 5); // large, fits b2 after nothing departed? 5+5=10 exact
+        b.add(6, 9, 1); // small, b1 closed at 4 -> earliest open small bin
+        let inst = b.build().unwrap();
+        let naive = simulate_validated(&inst, &mut ModifiedFirstFit::new(2));
+        let indexed = simulate_validated(&inst, &mut IndexedMff::new(2));
+        assert_eq!(naive, indexed);
+        for bin in &indexed.bins {
+            assert!(bin.tag == LARGE_TAG || bin.tag == SMALL_TAG);
+        }
+    }
+
+    #[test]
+    fn indexed_mff_keeps_classes_separate() {
+        // Large item leaves room, but the small item must open its own bin
+        // (mirrors the naive engine_tests fixture).
+        let mut b = InstanceBuilder::new(80);
+        b.add(0, 10, 20); // large (threshold 10)
+        b.add(1, 10, 5); // small
+        let inst = b.build().unwrap();
+        let trace = simulate_validated(&inst, &mut IndexedMff::new(8));
+        assert_eq!(trace.bins_used(), 2);
+        assert_eq!(trace.bins[0].tag, LARGE_TAG);
+        assert_eq!(trace.bins[1].tag, SMALL_TAG);
+    }
+
+    #[test]
     fn indexed_selectors_skip_view_maintenance() {
         assert!(!IndexedFirstFit::new().needs_views());
         assert!(!IndexedBestFit::new().needs_views());
+        assert!(!IndexedMff::new(8).needs_views());
         assert!(FirstFit::new().needs_views());
+    }
+
+    #[test]
+    fn indexed_mff_reports_k_exactly() {
+        assert_eq!(IndexedMff::for_known_mu(10).k(), Ratio::from_int(17));
+        assert_eq!(IndexedMff::with_rational_k(3, 2).k(), Ratio::new(3, 2));
     }
 
     #[test]
@@ -342,5 +551,8 @@ mod tests {
         ff.on_bin_closed(BinId(17));
         let mut bf = IndexedBestFit::new();
         bf.on_bin_closed(BinId(17));
+        let mut mff = IndexedMff::new(8);
+        mff.capacity = Some(Size(10));
+        mff.on_bin_closed(BinId(17));
     }
 }

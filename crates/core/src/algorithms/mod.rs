@@ -6,9 +6,9 @@
 //!   [`MostItemsFit`];
 //! * [`ConstrainedFirstFit`] — the §5 future-work extension (items restricted
 //!   to region-compatible bins);
-//! * [`IndexedFirstFit`], [`IndexedBestFit`] — decision-identical O(log m)
-//!   reimplementations of FF/BF over hook-maintained indexes (see
-//!   [`indexed`]).
+//! * [`IndexedFirstFit`], [`IndexedBestFit`], [`IndexedMff`] —
+//!   decision-identical O(log m) reimplementations of FF/BF/MFF over
+//!   hook-maintained indexes (see [`indexed`]).
 
 mod best_fit;
 mod constrained;
@@ -26,7 +26,7 @@ pub use best_fit::BestFit;
 pub use constrained::ConstrainedFirstFit;
 pub use first_fit::FirstFit;
 pub use harmonic::HarmonicFit;
-pub use indexed::{IndexedBestFit, IndexedFirstFit};
+pub use indexed::{IndexedBestFit, IndexedFirstFit, IndexedMff};
 pub use last_fit::LastFit;
 pub use modified_first_fit::{ItemClass, ModifiedFirstFit, LARGE_TAG, SMALL_TAG};
 pub use most_items::MostItemsFit;
@@ -89,6 +89,19 @@ pub fn standard_factories(seed: u64) -> Vec<SelectorFactory> {
     ]
 }
 
+/// The indexed selector roster: the engines the repo actually ships for
+/// FF, BF, and MFF. Decision-identical to the naive selectors of the same
+/// display names (see [`indexed`]) but O(log m) per arrival with no
+/// open-bin view maintenance — benches and cluster baselines should use
+/// this family so their numbers describe the production hot path.
+pub fn indexed_factories() -> Vec<SelectorFactory> {
+    vec![
+        SelectorFactory::new("FF", || Box::new(IndexedFirstFit::new())),
+        SelectorFactory::new("BF", || Box::new(IndexedBestFit::new())),
+        SelectorFactory::new("MFF(8)", || Box::new(IndexedMff::new(8))),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +143,25 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), fs.len());
+    }
+
+    #[test]
+    fn indexed_roster_mirrors_naive_display_names() {
+        let standard: Vec<String> = standard_factories(42)
+            .iter()
+            .map(|f| f.name().to_string())
+            .collect();
+        for f in indexed_factories() {
+            assert!(
+                standard.contains(&f.name().to_string()),
+                "indexed factory {} has no naive counterpart",
+                f.name()
+            );
+            // Built selectors report the naive names too, so traces from
+            // either family are byte-identical.
+            let built = f.build();
+            assert!(f.name().starts_with(built.name()));
+            assert!(!built.needs_views());
+        }
     }
 }

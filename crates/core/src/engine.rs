@@ -13,7 +13,7 @@
 //! [`snapshot`]: EngineRun::snapshot
 //! [`resume`]: EngineRun::resume
 
-use crate::bin::{BinId, OpenBinView};
+use crate::bin::{BinId, BinTag, OpenBinView};
 use crate::events::{schedule, Event, EventKind};
 use crate::instance::Instance;
 use crate::item::{ArrivingItem, ItemId, Size};
@@ -81,47 +81,157 @@ pub fn simulate_resumed_probed<S: BinSelector + ?Sized, P: Probe>(
     Ok(EngineRun::resume(instance, selector, probe, snapshot)?.finish())
 }
 
-/// Dense per-bin engine state, indexed directly by bin id (ids are assigned
-/// 0, 1, 2, … in opening order and never reused), so departures and
-/// placements touch their bin in O(1) with no search. This is exactly the
-/// state a [`Snapshot`] captures.
+/// Sentinel for "no item" in the intrusive membership lists.
+const NO_ITEM: u32 = u32::MAX;
+
+/// Dense per-bin engine state as a struct-of-arrays flat arena: every
+/// per-bin attribute is its own `Vec` indexed directly by bin id (ids are
+/// assigned 0, 1, 2, … in opening order and never reused), and bin
+/// membership is an intrusive doubly-linked list threaded through two
+/// per-item arrays sized once at construction. The arrival path therefore
+/// performs **no per-arrival heap allocation**: placing an item is a
+/// handful of array writes (opening a bin appends one element to each bin
+/// column, which is amortized O(1) with no per-bin `Vec` to allocate).
+///
+/// The nested representations a [`Snapshot`] / [`PackingTrace`] expose
+/// (`Vec<Vec<ItemId>>` membership, `BinRecord` item lists) are materialized
+/// on demand from this arena — snapshots and `finish()` are cold paths.
 struct State {
     /// Index of the next schedule event to process.
     cursor: usize,
+    // ---- per-bin columns, indexed by bin id ----
     levels: Vec<Size>,
-    bin_items: Vec<Vec<ItemId>>,
+    tags: Vec<BinTag>,
+    opened_at: Vec<Tick>,
+    /// Placeholder (== `opened_at`) until the bin closes.
+    closed_at: Vec<Tick>,
     is_open: Vec<bool>,
+    /// First / last current member of the bin (`NO_ITEM` when empty).
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    /// Current member count of the bin.
+    n_items: Vec<u32>,
     open_count: usize,
-    /// Each packed item's slot in its bin's item list, so a departure finds
-    /// it in O(1) instead of scanning (`swap_remove` keeps the slot map
-    /// exact by re-homing the displaced last item).
-    slot: Vec<u32>,
+    // ---- per-item columns, sized `instance.len()` at construction ----
+    /// Intrusive membership links: `next_in_bin[i]` / `prev_in_bin[i]`
+    /// chain item `i` into its bin's current member list, in placement
+    /// order. Stale once the item departs (each item departs exactly once).
+    next_in_bin: Vec<u32>,
+    prev_in_bin: Vec<u32>,
+    assignment: Vec<Option<BinId>>,
+    /// Append-only placement log in decision order; capacity reserved for
+    /// the whole instance upfront, so pushes never reallocate.
+    placed: Vec<ItemId>,
     /// Selector-facing mirror of the open set, ascending id, updated
     /// incrementally (one entry per state change instead of a full rebuild
     /// per arrival). Skipped entirely when the selector answers from its own
     /// hook-maintained index and no probe needs scan ranks. Not part of a
     /// snapshot: it is rebuilt deterministically during replay.
     views: Vec<OpenBinView>,
-    /// Full per-bin records; index == bin id.
-    records: Vec<BinRecord>,
-    assignment: Vec<Option<BinId>>,
     steps: Vec<(Tick, u32)>,
 }
 
 impl State {
     fn new(instance: &Instance) -> State {
+        let n = instance.len();
         State {
             cursor: 0,
             levels: Vec::new(),
-            bin_items: Vec::new(),
+            tags: Vec::new(),
+            opened_at: Vec::new(),
+            closed_at: Vec::new(),
             is_open: Vec::new(),
+            head: Vec::new(),
+            tail: Vec::new(),
+            n_items: Vec::new(),
             open_count: 0,
-            slot: vec![0; instance.len()],
+            next_in_bin: vec![NO_ITEM; n],
+            prev_in_bin: vec![NO_ITEM; n],
+            assignment: vec![None; n],
+            placed: Vec::with_capacity(n),
             views: Vec::new(),
-            records: Vec::new(),
-            assignment: vec![None; instance.len()],
             steps: Vec::new(),
         }
+    }
+
+    /// Number of bins ever opened.
+    #[inline]
+    fn bins(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Append item `i` to bin `b`'s member list in O(1).
+    #[inline]
+    fn link(&mut self, b: usize, i: usize) {
+        let t = self.tail[b];
+        self.prev_in_bin[i] = t;
+        self.next_in_bin[i] = NO_ITEM;
+        if t == NO_ITEM {
+            self.head[b] = i as u32;
+        } else {
+            self.next_in_bin[t as usize] = i as u32;
+        }
+        self.tail[b] = i as u32;
+        self.n_items[b] += 1;
+    }
+
+    /// Remove item `i` from bin `b`'s member list in O(1).
+    #[inline]
+    fn unlink(&mut self, b: usize, i: usize) {
+        let p = self.prev_in_bin[i];
+        let nx = self.next_in_bin[i];
+        if p == NO_ITEM {
+            self.head[b] = nx;
+        } else {
+            self.next_in_bin[p as usize] = nx;
+        }
+        if nx == NO_ITEM {
+            self.tail[b] = p;
+        } else {
+            self.prev_in_bin[nx as usize] = p;
+        }
+        self.n_items[b] -= 1;
+    }
+
+    /// Materialize the nested current-membership representation a
+    /// [`Snapshot`] carries: per-bin member lists in placement order, plus
+    /// each present item's index in its list (0 for absent items).
+    fn materialize_membership(&self) -> (Vec<Vec<ItemId>>, Vec<u32>) {
+        let mut bin_items = Vec::with_capacity(self.bins());
+        let mut slot = vec![0u32; self.assignment.len()];
+        for b in 0..self.bins() {
+            let mut members = Vec::with_capacity(self.n_items[b] as usize);
+            let mut cur = self.head[b];
+            while cur != NO_ITEM {
+                slot[cur as usize] = members.len() as u32;
+                members.push(ItemId(cur));
+                cur = self.next_in_bin[cur as usize];
+            }
+            bin_items.push(members);
+        }
+        (bin_items, slot)
+    }
+
+    /// Materialize the full per-bin lifetime records from the columns and
+    /// the placement log: `items` holds every item ever placed in the bin,
+    /// in placement order.
+    fn materialize_records(&self) -> Vec<BinRecord> {
+        let mut items: Vec<Vec<ItemId>> = vec![Vec::new(); self.bins()];
+        for &it in &self.placed {
+            let b = self.assignment[it.index()].expect("placed item lacks an assignment");
+            items[b.index()].push(it);
+        }
+        items
+            .into_iter()
+            .enumerate()
+            .map(|(b, items)| BinRecord {
+                id: BinId(b as u32),
+                tag: self.tags[b],
+                opened_at: self.opened_at[b],
+                closed_at: self.closed_at[b],
+                items,
+            })
+            .collect()
     }
 
     /// Process one departure: remove the item from its bin, closing the bin
@@ -141,14 +251,9 @@ impl State {
         let b = bin_id.index();
         assert!(self.is_open[b], "departure from a closed bin");
         self.levels[b] -= item.size;
-        let s = self.slot[item_id.index()] as usize;
-        let items = &mut self.bin_items[b];
-        debug_assert_eq!(items[s], item_id, "slot map out of sync");
-        items.swap_remove(s);
-        if let Some(&moved) = items.get(s) {
-            self.slot[moved.index()] = s as u32;
-        }
-        let emptied = self.bin_items[b].is_empty();
+        debug_assert!(self.n_items[b] > 0, "membership list out of sync");
+        self.unlink(b, item_id.index());
+        let emptied = self.n_items[b] == 0;
         if keep_views {
             let vpos = self
                 .views
@@ -172,12 +277,12 @@ impl State {
         selector.on_item_departed(bin_id, self.levels[b]);
         if emptied {
             debug_assert_eq!(self.levels[b].raw(), 0, "empty bin with nonzero level");
-            self.records[b].closed_at = tick;
+            self.closed_at[b] = tick;
             if P::ENABLED {
                 probe.record(ProbeEvent::BinClosed {
                     at: tick,
                     bin: bin_id,
-                    open_ticks: tick.0 - self.records[b].opened_at.0,
+                    open_ticks: tick.0 - self.opened_at[b].0,
                 });
             }
             self.is_open[b] = false;
@@ -221,9 +326,8 @@ impl State {
                     self.levels[b]
                 );
                 self.levels[b] += item.size;
-                self.slot[item_id.index()] = self.bin_items[b].len() as u32;
-                self.bin_items[b].push(item_id);
-                self.records[b].items.push(item_id);
+                self.link(b, item_id.index());
+                self.placed.push(item_id);
                 if keep_views {
                     let vpos = self
                         .views
@@ -252,7 +356,7 @@ impl State {
                 id
             }
             Decision::Open { tag } => {
-                let id = BinId(self.records.len() as u32);
+                let id = BinId(self.bins() as u32);
                 if P::ENABLED {
                     // Scan depth of an open: every open bin was
                     // (conceptually) scanned and rejected.
@@ -275,11 +379,19 @@ impl State {
                         level: item.size,
                     });
                 }
+                let b = self.bins();
                 self.levels.push(item.size);
-                self.bin_items.push(vec![item_id]);
+                self.tags.push(tag);
+                self.opened_at.push(tick);
+                // Placeholder; overwritten when the bin closes.
+                self.closed_at.push(tick);
                 self.is_open.push(true);
+                self.head.push(NO_ITEM);
+                self.tail.push(NO_ITEM);
+                self.n_items.push(0);
                 self.open_count += 1;
-                self.slot[item_id.index()] = 0;
+                self.link(b, item_id.index());
+                self.placed.push(item_id);
                 if keep_views {
                     // Ids are assigned in increasing order, so pushing
                     // preserves the mirror's sortedness.
@@ -292,14 +404,6 @@ impl State {
                         tag,
                     });
                 }
-                self.records.push(BinRecord {
-                    id,
-                    tag,
-                    opened_at: tick,
-                    // Placeholder; overwritten when the bin closes.
-                    closed_at: tick,
-                    items: vec![item_id],
-                });
                 selector.on_bin_opened(id, tag, item.size);
                 id
             }
@@ -562,12 +666,12 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
                     return Err(format!("no recorded assignment for item {}", ev.item));
                 };
                 let b = bin.index();
-                let decision = if b == self.st.records.len() {
+                let decision = if b == self.st.bins() {
                     let Some(tag) = tag_of(b) else {
                         return Err(format!("no recorded tag for newly opened bin {bin}"));
                     };
                     Decision::Open { tag }
-                } else if b < self.st.records.len() {
+                } else if b < self.st.bins() {
                     if !self.st.is_open[b] {
                         return Err(format!("item {} assigned to closed bin {bin}", ev.item));
                     }
@@ -585,7 +689,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
                     return Err(format!(
                         "item {} assigned to bin {bin} but only {} bins exist",
                         ev.item,
-                        self.st.records.len()
+                        self.st.bins()
                     ));
                 };
                 self.selector
@@ -610,12 +714,13 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
     /// Check that replayed state reproduces the snapshot exactly.
     fn verify_state(&self, snapshot: &Snapshot) -> Result<(), String> {
         let st = &self.st;
+        let (bin_items, slot) = st.materialize_membership();
         let same = st.levels == snapshot.levels
-            && st.bin_items == snapshot.bin_items
+            && bin_items == snapshot.bin_items
             && st.is_open == snapshot.is_open
             && st.open_count as u64 == snapshot.open_count
-            && st.slot == snapshot.slot
-            && st.records == snapshot.records
+            && slot == snapshot.slot
+            && st.materialize_records() == snapshot.records
             && st.assignment == snapshot.assignment
             && st.steps == snapshot.steps;
         if same {
@@ -648,17 +753,18 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
     /// mirror is intentionally excluded: it is a derived structure, rebuilt
     /// deterministically on [`resume`](EngineRun::resume).
     pub fn snapshot(&self) -> Snapshot {
+        let (bin_items, slot) = self.st.materialize_membership();
         Snapshot {
             algorithm: self.selector.name().to_string(),
             capacity: self.capacity,
             n_items: self.instance.len() as u64,
             cursor: self.st.cursor as u64,
             levels: self.st.levels.clone(),
-            bin_items: self.st.bin_items.clone(),
+            bin_items,
             is_open: self.st.is_open.clone(),
             open_count: self.st.open_count as u64,
-            slot: self.st.slot.clone(),
-            records: self.st.records.clone(),
+            slot,
+            records: self.st.materialize_records(),
             assignment: self.st.assignment.clone(),
             steps: self.st.steps.clone(),
         }
@@ -678,7 +784,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
         PackingTrace {
             algorithm: self.selector.name().to_string(),
             capacity: self.capacity,
-            bins: self.st.records,
+            bins: self.st.materialize_records(),
             assignment: self
                 .st
                 .assignment

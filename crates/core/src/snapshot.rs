@@ -58,15 +58,17 @@ pub struct Snapshot {
     pub cursor: u64,
     /// Current level of every bin ever opened, by bin id.
     pub levels: Vec<Size>,
-    /// Current members of every bin, by bin id (empty for closed bins).
+    /// Current members of every bin, by bin id (empty for closed bins),
+    /// in placement (insertion) order — materialized from the engine's
+    /// intrusive membership lists at snapshot time.
     pub bin_items: Vec<Vec<ItemId>>,
     /// Whether each bin is currently open, by bin id.
     pub is_open: Vec<bool>,
     /// Number of currently open bins.
     pub open_count: u64,
-    /// Each item's slot in its bin's member list (stale for departed
-    /// items — replay reproduces the stale values too, so equality checks
-    /// stay exact).
+    /// Each present item's index within its bin's `bin_items` list; 0 for
+    /// items that are absent (departed or not yet arrived). Replay
+    /// materializes the same values, so equality checks stay exact.
     pub slot: Vec<u32>,
     /// Lifetime record of every bin opened so far, by bin id.
     pub records: Vec<BinRecord>,

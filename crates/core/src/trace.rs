@@ -209,6 +209,85 @@ impl PackingTrace {
         }
         errs
     }
+
+    /// Cheap O(n + B) conservation check for hot paths. A strict subset of
+    /// [`validate`](Self::validate): it drops the quadratic per-tick level
+    /// audit (the engine already asserts fit on every placement) and the
+    /// interval-union reconstruction, keeping the structural invariants
+    /// that catch routing or fan-in corruption in cluster runs:
+    ///
+    /// 1. The assignment covers exactly the instance's items.
+    /// 2. Bin ids are dense and indexed (`bins[i].id == i`).
+    /// 3. Items and bin member lists agree in both directions — every item
+    ///    is listed exactly once, by the bin it is assigned to.
+    /// 4. Each bin's usage period spans exactly its members' activity
+    ///    (earliest arrival to latest departure).
+    /// 5. The two independent cost computations agree.
+    pub fn check_conservation(&self, instance: &Instance) -> Vec<String> {
+        let mut errs = Vec::new();
+        if self.assignment.len() != instance.len() {
+            errs.push(format!(
+                "assignment covers {} items, instance has {}",
+                self.assignment.len(),
+                instance.len()
+            ));
+            return errs;
+        }
+        let mut listed = vec![false; instance.len()];
+        for (i, bin) in self.bins.iter().enumerate() {
+            if bin.id.index() != i {
+                errs.push(format!("bin at index {i} has id {}", bin.id));
+                continue;
+            }
+            if bin.items.is_empty() {
+                errs.push(format!("bin {} has no items", bin.id));
+                continue;
+            }
+            let mut first_arrival = Tick(u64::MAX);
+            let mut last_departure = Tick(0);
+            for &id in &bin.items {
+                match listed.get_mut(id.index()) {
+                    None => {
+                        errs.push(format!("bin {} lists unknown item {id}", bin.id));
+                        continue;
+                    }
+                    Some(seen @ false) => *seen = true,
+                    Some(_) => {
+                        errs.push(format!("item {id} listed more than once"));
+                        continue;
+                    }
+                }
+                if self.assignment[id.index()] != bin.id {
+                    errs.push(format!(
+                        "item {id} listed by bin {} but assigned to {}",
+                        bin.id,
+                        self.assignment[id.index()]
+                    ));
+                }
+                let iv = instance.item(id).interval();
+                first_arrival = first_arrival.min(iv.start);
+                last_departure = last_departure.max(iv.end);
+            }
+            if bin.opened_at != first_arrival || bin.closed_at != last_departure {
+                errs.push(format!(
+                    "bin {} usage {} does not span its items' activity [{first_arrival}, {last_departure})",
+                    bin.id,
+                    bin.usage_period()
+                ));
+            }
+        }
+        if let Some(i) = listed.iter().position(|&seen| !seen) {
+            errs.push(format!("item {} is assigned but listed by no bin", ItemId(i as u32)));
+        }
+        let a = self.total_cost_ticks();
+        let b = self.cost_from_step_function();
+        if a != b {
+            errs.push(format!(
+                "cost mismatch: usage periods give {a}, step function gives {b}"
+            ));
+        }
+        errs
+    }
 }
 
 #[cfg(test)]
@@ -338,5 +417,68 @@ mod tests {
     fn cost_ratio_is_exact() {
         let t = tiny_trace();
         assert_eq!(t.cost_ratio_to(7), Ratio::from_int(2));
+    }
+
+    #[test]
+    fn conservation_check_accepts_engine_traces_and_catches_corruption() {
+        use crate::algorithms::FirstFit;
+        use crate::engine::simulate;
+        use crate::instance::InstanceBuilder;
+
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 10, 6);
+        b.add(0, 5, 4);
+        b.add(6, 12, 6);
+        let inst = b.build().unwrap();
+        let good = simulate(&inst, &mut FirstFit::new());
+        assert!(good.check_conservation(&inst).is_empty());
+
+        // Wrong-bin assignment: listed by one bin, assigned to another.
+        let mut bad = good.clone();
+        bad.assignment[2] = BinId(0);
+        assert!(bad
+            .check_conservation(&inst)
+            .iter()
+            .any(|e| e.contains("but assigned to")));
+
+        // Duplicated membership.
+        let mut bad = good.clone();
+        let dup = bad.bins[0].items[0];
+        bad.bins[0].items.push(dup);
+        assert!(bad
+            .check_conservation(&inst)
+            .iter()
+            .any(|e| e.contains("more than once")));
+
+        // Dropped membership: assigned but listed nowhere.
+        let mut bad = good.clone();
+        let lost = bad.bins[0].items.pop().unwrap();
+        assert!(bad.check_conservation(&inst).iter().any(|e| {
+            e.contains(&format!("item {lost} is assigned but listed by no bin"))
+                || e.contains("does not span")
+        }));
+
+        // Usage period drift.
+        let mut bad = good.clone();
+        bad.bins[0].closed_at = Tick(999);
+        assert!(bad
+            .check_conservation(&inst)
+            .iter()
+            .any(|e| e.contains("does not span")));
+
+        // Step-function drift breaks the cost cross-check.
+        let mut bad = good.clone();
+        if let Some(last) = bad.open_bins_steps.last_mut() {
+            last.0 = Tick(last.0.raw() + 50);
+        }
+        assert!(bad
+            .check_conservation(&inst)
+            .iter()
+            .any(|e| e.contains("cost mismatch")));
+
+        // Truncated assignment vector.
+        let mut bad = good.clone();
+        bad.assignment.pop();
+        assert!(!bad.check_conservation(&inst).is_empty());
     }
 }

@@ -138,7 +138,11 @@ pub struct StageStats {
 }
 
 /// One row of the serialized stage table (bench JSON, `dbp profile`).
-/// Percentiles are nearest-rank over the exact duration histogram.
+/// Percentiles are nearest-rank over the exact duration histogram and are
+/// only reported for stages with at least two observations: a
+/// single-observation stage has no distribution, and serializing
+/// `p50 == p95 == p99 == total` there reads as one (the table renders
+/// such rows with `-` in the percentile columns).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StageRow {
     /// Stage name (see `dbp_core::span::stage`).
@@ -149,12 +153,15 @@ pub struct StageRow {
     pub total_ns: u64,
     /// Self time (total minus child spans), nanoseconds.
     pub self_ns: u64,
-    /// Median duration, nanoseconds.
-    pub p50_ns: u64,
-    /// 95th-percentile duration, nanoseconds.
-    pub p95_ns: u64,
-    /// 99th-percentile duration, nanoseconds.
-    pub p99_ns: u64,
+    /// Median duration, nanoseconds (`None` when `count < 2`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p50_ns: Option<u64>,
+    /// 95th-percentile duration, nanoseconds (`None` when `count < 2`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p95_ns: Option<u64>,
+    /// 99th-percentile duration, nanoseconds (`None` when `count < 2`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub p99_ns: Option<u64>,
     /// Largest duration, nanoseconds.
     pub max_ns: u64,
 }
@@ -234,15 +241,19 @@ impl StageBreakdown {
         let mut rows: Vec<StageRow> = self
             .stages
             .iter()
-            .map(|(&name, s)| StageRow {
-                stage: name.to_string(),
-                count: s.count,
-                total_ns: s.total_ns,
-                self_ns: s.self_ns,
-                p50_ns: s.hist.p50().unwrap_or(0),
-                p95_ns: s.hist.p95().unwrap_or(0),
-                p99_ns: s.hist.p99().unwrap_or(0),
-                max_ns: s.hist.max().unwrap_or(0),
+            .map(|(&name, s)| {
+                // A one-observation stage has no distribution to report.
+                let dist = s.count >= 2;
+                StageRow {
+                    stage: name.to_string(),
+                    count: s.count,
+                    total_ns: s.total_ns,
+                    self_ns: s.self_ns,
+                    p50_ns: if dist { s.hist.p50() } else { None },
+                    p95_ns: if dist { s.hist.p95() } else { None },
+                    p99_ns: if dist { s.hist.p99() } else { None },
+                    max_ns: s.hist.max().unwrap_or(0),
+                }
             })
             .collect();
         rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.stage.cmp(&b.stage)));
@@ -279,6 +290,10 @@ impl StageBreakdown {
             "p99_ns",
             "max_ns"
         ));
+        let fmt_p = |p: Option<u64>| match p {
+            Some(v) => v.to_string(),
+            None => "-".to_string(),
+        };
         for r in self.rows() {
             let pct = if wall_ns == 0 {
                 0.0
@@ -292,9 +307,9 @@ impl StageBreakdown {
                 r.total_ns as f64 / 1e6,
                 r.self_ns as f64 / 1e6,
                 pct,
-                r.p50_ns,
-                r.p95_ns,
-                r.p99_ns,
+                fmt_p(r.p50_ns),
+                fmt_p(r.p95_ns),
+                fmt_p(r.p99_ns),
                 r.max_ns
             ));
         }
@@ -517,8 +532,67 @@ mod tests {
         assert_eq!(rows.len(), 3);
         // Ranked by self time: place (40) first.
         assert_eq!(rows[0].stage, stage::PLACE);
-        assert_eq!(rows[0].p50_ns, 40);
+        // Single observation: no distribution, so no percentiles.
+        assert_eq!(rows[0].p50_ns, None);
+        assert_eq!(rows[0].max_ns, 40);
         assert!(!b.render(100).is_empty());
+    }
+
+    #[test]
+    fn single_observation_rows_suppress_percentiles() {
+        let one = [SpanEvent {
+            name: stage::DISPATCH,
+            shard: 0,
+            start_ns: 0,
+            dur_ns: 70,
+            parent: SpanEvent::ROOT,
+        }];
+        let two = [
+            SpanEvent {
+                name: stage::DECIDE,
+                shard: 0,
+                start_ns: 0,
+                dur_ns: 10,
+                parent: SpanEvent::ROOT,
+            },
+            SpanEvent {
+                name: stage::DECIDE,
+                shard: 0,
+                start_ns: 20,
+                dur_ns: 30,
+                parent: SpanEvent::ROOT,
+            },
+        ];
+        let mut b = StageBreakdown::from_spans(&one);
+        b.absorb_spans(&two);
+        let rows = b.rows();
+        let dispatch = rows.iter().find(|r| r.stage == stage::DISPATCH).unwrap();
+        assert_eq!(dispatch.count, 1);
+        assert_eq!(
+            (dispatch.p50_ns, dispatch.p95_ns, dispatch.p99_ns),
+            (None, None, None)
+        );
+        assert_eq!(dispatch.max_ns, 70);
+        let decide = rows.iter().find(|r| r.stage == stage::DECIDE).unwrap();
+        assert_eq!(decide.count, 2);
+        assert!(decide.p50_ns.is_some() && decide.p99_ns.is_some());
+
+        // Serialized form drops the keys entirely for count-1 rows and a
+        // round trip restores `None` via the serde defaults.
+        let json = serde_json::to_string(&dispatch).unwrap();
+        assert!(!json.contains("p50_ns"), "{json}");
+        let back: StageRow = serde_json::from_str(&json).unwrap();
+        assert_eq!(&back, dispatch);
+        let json = serde_json::to_string(&decide).unwrap();
+        assert!(json.contains("p50_ns"), "{json}");
+
+        // Rendered table shows `-` in the percentile columns.
+        let table = b.render(100);
+        let line = table
+            .lines()
+            .find(|l| l.starts_with(stage::DISPATCH))
+            .unwrap();
+        assert!(line.contains(" - "), "{line}");
     }
 
     #[test]

@@ -1,10 +1,12 @@
-//! Property tests: the indexed FF/BF selectors are decision-for-decision
-//! equivalent to the naive scanning implementations — same `Decision`
-//! sequence, identical `PackingTrace`, and byte-identical probe event
-//! streams (JSONL) — on arbitrary churn-heavy instances.
+//! Property tests: the indexed FF/BF/MFF selectors are
+//! decision-for-decision equivalent to the naive scanning implementations
+//! — same `Decision` sequence, identical `PackingTrace`, and byte-identical
+//! probe event streams (JSONL) — on arbitrary churn-heavy instances.
 
 use dbp::prelude::*;
-use dbp_core::algorithms::{BestFit, FirstFit, IndexedBestFit, IndexedFirstFit};
+use dbp_core::algorithms::{
+    BestFit, FirstFit, IndexedBestFit, IndexedFirstFit, IndexedMff, ModifiedFirstFit,
+};
 use dbp_core::bin::{BinId, BinTag, OpenBinView};
 use dbp_core::engine::{any_fit_violations, simulate_probed, simulate_validated};
 use dbp_core::item::ArrivingItem;
@@ -87,6 +89,18 @@ fn assert_equivalent<A: BinSelector, B: BinSelector>(
     naive: A,
     indexed: B,
 ) -> proptest::TestCaseResult {
+    let trace = assert_same_behavior(inst, naive, indexed)?;
+    prop_assert!(any_fit_violations(inst, &trace).is_empty());
+    Ok(())
+}
+
+/// [`assert_equivalent`] minus the Any Fit audit, returning the trace —
+/// for selectors like MFF that legitimately refuse cross-class placements.
+fn assert_same_behavior<A: BinSelector, B: BinSelector>(
+    inst: &Instance,
+    naive: A,
+    indexed: B,
+) -> Result<PackingTrace, proptest::TestCaseError> {
     let mut naive = Recording::new(naive);
     let mut naive_log = EventLog::new();
     let naive_trace = simulate_probed(inst, &mut naive, &mut naive_log);
@@ -105,8 +119,7 @@ fn assert_equivalent<A: BinSelector, B: BinSelector>(
         naive_log.decision_ns().len(),
         indexed_log.decision_ns().len()
     );
-    prop_assert!(any_fit_violations(inst, &indexed_trace).is_empty());
-    Ok(())
+    Ok(indexed_trace)
 }
 
 proptest! {
@@ -122,6 +135,27 @@ proptest! {
         assert_equivalent(&inst, BestFit::new(), IndexedBestFit::new())?;
     }
 
+    /// MFF is not Any Fit (it refuses cross-class placements), so it gets
+    /// the behavior check without the Any Fit audit. `k = 8` is the
+    /// paper's µ-oblivious setting; the generated capacity is 100, so the
+    /// size range straddles the W/k = 12.5 threshold and both classes see
+    /// real churn.
+    #[test]
+    fn indexed_mff_equals_naive_mff(inst in instances(80)) {
+        assert_same_behavior(&inst, ModifiedFirstFit::new(8), IndexedMff::new(8))?;
+    }
+
+    /// A rational threshold exercises the exact-arithmetic classification
+    /// path on both sides.
+    #[test]
+    fn indexed_mff_equals_naive_mff_rational_k(inst in instances(60)) {
+        assert_same_behavior(
+            &inst,
+            ModifiedFirstFit::with_rational_k(3, 2),
+            IndexedMff::with_rational_k(3, 2),
+        )?;
+    }
+
     /// The validated entry point (which cross-checks the trace against the
     /// instance) agrees too, without the recording wrapper in the way.
     #[test]
@@ -134,5 +168,25 @@ proptest! {
             simulate_validated(&inst, &mut BestFit::new()),
             simulate_validated(&inst, &mut IndexedBestFit::new())
         );
+        prop_assert_eq!(
+            simulate_validated(&inst, &mut ModifiedFirstFit::new(8)),
+            simulate_validated(&inst, &mut IndexedMff::new(8))
+        );
+    }
+
+    /// Every indexed trace satisfies the cheap conservation check the
+    /// cluster shard path now runs, and the check agrees with the full
+    /// quadratic validation on these instances.
+    #[test]
+    fn conservation_check_accepts_indexed_traces(inst in instances(60)) {
+        let traces = [
+            simulate_validated(&inst, &mut IndexedFirstFit::new()),
+            simulate_validated(&inst, &mut IndexedBestFit::new()),
+            simulate_validated(&inst, &mut IndexedMff::new(8)),
+        ];
+        for trace in &traces {
+            prop_assert!(trace.check_conservation(&inst).is_empty());
+            prop_assert!(trace.validate(&inst).is_empty());
+        }
     }
 }
