@@ -65,7 +65,7 @@ fn cluster_dispatch_stays_near_the_engine() {
     let mut cluster_walls = Vec::new();
     for shards in [1usize, 4] {
         let engine = ClusterEngine::new(
-            system.clone(),
+            system,
             ClusterConfig::new(shards, Router::HashByItem).unwrap(),
         );
         let started = Instant::now();

@@ -71,9 +71,15 @@ USAGE:
           [--shard-faults SEED|PLAN.json]  # profile the self-healing engine instead
           [--trace-out FILE.json]     # Chrome-trace JSON (chrome://tracing, Perfetto)
           [--metrics FILE.prom]       # per-stage latency histograms
+  dbp serve --shards N [--algo NAME] [--capacity W] [--router hash|least-loaded]
+          [--addr HOST:PORT] [--metrics-addr HOST:PORT]   # NDJSON ingest + Prometheus
+          [--queue-capacity N] [--queue-timeout TICKS]    # bounded ingress + event-time shed
+          [--backpressure block|shed] [--max-sessions N]
+          [--journal BASE] [--fsync always|never|N]       # per-shard WAL: BASE.shardK
   dbp recover FILE.wal [--repair] [--manifest FILE.json]
           [--trace FILE] [--algo NAME] [--faults SEED|PLAN.json]
           [--resume-jsonl FILE.jsonl]
+          [--serve-shards N]          # audit a daemon's BASE.shardK journal set
   dbp trace FILE.jsonl [--summary]
   dbp compare FILE
   dbp analyze FILE
@@ -101,6 +107,7 @@ fn run(argv: Vec<String>) -> Result<(), String> {
         "adversary" => cmd_adversary(&args),
         "run" => cmd_run(&args),
         "cluster" => cmd_cluster(&args),
+        "serve" => cmd_serve(&args),
         "profile" => cmd_profile(&args),
         "recover" => cmd_recover(&args),
         "trace" => cmd_trace(&args),
@@ -272,14 +279,49 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         ),
         MaybeJournal::open(args)?,
     );
-    let trace = match (observing, args.has("validate")) {
-        (true, true) => simulate_validated_probed(&inst, &mut *sel, &mut probe),
-        (true, false) => simulate_probed(&inst, &mut *sel, &mut probe),
-        (false, true) => simulate_validated(&inst, &mut *sel),
-        (false, false) => simulate(&inst, &mut *sel),
+    // Journaled runs honor SIGINT/SIGTERM: the step loop polls the
+    // shutdown latch between bursts and exits early, so the journal seals
+    // a clean prefix that `dbp recover --trace` can resume. Validated
+    // runs keep the one-shot path — validation needs the complete trace.
+    let interruptible = probe.1.probe.is_some() && !args.has("validate");
+    let trace = if interruptible {
+        dbp_serve::install_signal_handlers();
+        let mut run = dbp_core::engine::EngineRun::new(&inst, &mut *sel, &mut probe);
+        let mut interrupted = false;
+        while !run.is_done() {
+            if dbp_serve::shutdown_requested() {
+                interrupted = true;
+                break;
+            }
+            for _ in 0..4096 {
+                if !run.step() {
+                    break;
+                }
+            }
+        }
+        if interrupted {
+            None
+        } else {
+            Some(run.finish())
+        }
+    } else {
+        Some(match (observing, args.has("validate")) {
+            (true, true) => simulate_validated_probed(&inst, &mut *sel, &mut probe),
+            (true, false) => simulate_probed(&inst, &mut *sel, &mut probe),
+            (false, true) => simulate_validated(&inst, &mut *sel),
+            (false, false) => simulate(&inst, &mut *sel),
+        })
     };
     let wall = started.elapsed();
     let (((event_log, metrics_probe), sampler), journal) = probe;
+    let Some(trace) = trace else {
+        let wal = journal.path.clone();
+        let trace_file = args.positional.get(1).cloned().unwrap_or_default();
+        journal.finish()?;
+        println!("interrupted    : stopped by signal; the journal holds a clean prefix");
+        println!("resume with    : dbp recover {wal} --trace {trace_file} --algo {algo}");
+        return Ok(());
+    };
     journal.finish()?;
     if let Some(path) = args.str_flag("trace-events") {
         dbp_obs::export::write_jsonl(std::path::Path::new(path), event_log.events())
@@ -773,9 +815,27 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         return Ok(());
     }
 
-    let (run, probes) = engine
-        .run_probed(&inst, &factory, |s| take_probe(s, &mut shard_probes))
-        .map_err(|e| e.to_string())?;
+    // Journaled cluster runs honor SIGINT/SIGTERM: the shard loops poll
+    // the shutdown latch, the run surfaces as Interrupted, and dropping
+    // the probes flushes + fsyncs every shard journal on the way out.
+    if journal_base.is_some() {
+        dbp_serve::install_signal_handlers();
+        dbp_cluster::cancel::set_flag(dbp_serve::global_flag());
+    }
+    let (run, probes) =
+        match engine.run_probed(&inst, &factory, |s| take_probe(s, &mut shard_probes)) {
+            Ok(ok) => ok,
+            Err(dbp_cluster::ClusterError::Interrupted) => {
+                println!("interrupted    : stopped by signal; shard journals hold clean prefixes");
+                if let Some(base) = journal_base {
+                    for s in 0..shards {
+                        println!("  shard {s:>2}     : dbp recover {base}.shard{s}");
+                    }
+                }
+                return Ok(());
+            }
+            Err(e) => return Err(e.to_string()),
+        };
     drain_cluster_probes(args, probes, Some(&run))?;
     if let Some(path) = args.str_flag("run-manifest") {
         dbp_obs::export::write_json(std::path::Path::new(path), &run.report.manifest)
@@ -861,6 +921,98 @@ fn parse_batch(args: &Args) -> Result<dbp_cluster::BatchPolicy, String> {
                 .map_err(|_| format!("--batch expects event|whole|N, got '{n}'"))?,
         ),
     })
+}
+
+/// `dbp serve --shards N`: the live dispatcher daemon. NDJSON arrivals and
+/// departures over TCP, online routing across N shard pipelines (each a
+/// bounded-memory streaming engine), bounded ingress queues with
+/// block/shed backpressure, event-time admission control, optional
+/// per-shard write-ahead journals (`BASE.shardK`, each auditable with
+/// `dbp recover`), and a Prometheus `/metrics` endpoint. SIGINT/SIGTERM
+/// drains gracefully: open connections finish, journals seal, and the
+/// conserved final ledger prints as one JSON line.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let shards = args.u64_flag_or("shards", 2)? as usize;
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let algo = args.str_flag("algo").unwrap_or("ff");
+    let algo = static_algo_name(algo).ok_or_else(|| format!("unknown algorithm '{algo}'"))?;
+    // No instance up front, so no µ hint: validate the name accepts that.
+    selector_by_name(algo, None)?;
+    let algo_name = algo.to_string();
+    let factory = dbp_core::packer::SelectorFactory::new(algo, move || {
+        selector_by_name(&algo_name, None).expect("algorithm name validated above")
+    });
+
+    let capacity = args.u64_flag_or("capacity", 100)?;
+    if capacity == 0 {
+        return Err("--capacity must be at least 1".into());
+    }
+    let defaults = dbp_cloudsim::AdmissionPolicy::default();
+    let admission = dbp_cloudsim::AdmissionPolicy {
+        queue_capacity: args.u64_flag_or("queue-capacity", defaults.queue_capacity as u64)? as u32,
+        queue_timeout: args.u64_flag_or("queue-timeout", defaults.queue_timeout)?,
+    };
+    let backpressure = match args.str_flag("backpressure") {
+        None => dbp_serve::BackpressurePolicy::Block,
+        Some(name) => dbp_serve::BackpressurePolicy::parse(name)?,
+    };
+    let journal_base = args.str_flag("journal").map(std::path::PathBuf::from);
+    if args.has("fsync") && journal_base.is_none() {
+        return Err("--fsync only makes sense with --journal BASE".into());
+    }
+    let fsync = match args.str_flag("fsync") {
+        None => dbp_obs::FsyncPolicy::Always,
+        Some(spec) => dbp_obs::FsyncPolicy::parse(spec).map_err(|e| format!("--fsync: {e}"))?,
+    };
+    let cfg = dbp_serve::ServeConfig {
+        addr: args
+            .str_flag("addr")
+            .unwrap_or("127.0.0.1:7878")
+            .to_string(),
+        metrics_addr: args.str_flag("metrics-addr").map(|s| s.to_string()),
+        shards,
+        router: parse_router(args)?,
+        capacity,
+        admission,
+        backpressure,
+        max_sessions: args.u64_flag_or("max-sessions", 65_536)? as usize,
+        read_timeout_ms: args.u64_flag_or("read-timeout-ms", 25)?,
+        journal_base,
+        fsync,
+    };
+
+    dbp_serve::install_signal_handlers();
+    let summary = dbp_serve::run_server(cfg, &factory, dbp_serve::global_flag(), |h| {
+        println!("listening      : {} ({} shards, {algo})", h.addr, shards);
+        if let Some(m) = h.metrics_addr {
+            println!("metrics        : http://{m}/metrics");
+        }
+        println!(
+            "protocol       : one JSON object per line — \
+                  {{\"op\":\"arrive\",\"id\":N,\"at\":T,\"size\":S}} | \
+                  {{\"op\":\"depart\",\"id\":N,\"at\":T}} | {{\"op\":\"ping\",\"id\":N}}"
+        );
+    })?;
+
+    println!(
+        "drained        : {} served, {} dropped, {} lost of {} arrivals",
+        summary.served, summary.dropped, summary.lost, summary.total
+    );
+    println!(
+        "ledger         : {}",
+        if summary.conserved() {
+            "conserved"
+        } else {
+            "NOT CONSERVED"
+        }
+    );
+    println!("{}", summary.to_json());
+    if !summary.conserved() {
+        return Err("drain ledger is not conserved (served + dropped + lost != total)".into());
+    }
+    Ok(())
 }
 
 /// `dbp profile`: run one traced cluster dispatch and explain where the
@@ -1033,6 +1185,9 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
         .positional
         .get(1)
         .ok_or("missing journal argument (a .wal file from run --journal)")?;
+    if args.has("serve-shards") {
+        return cmd_recover_serve(path, args.u64_flag("serve-shards")? as usize);
+    }
     let contents = dbp_obs::journal::read_journal(std::path::Path::new(path))?;
     match &contents.torn {
         Some(torn) => {
@@ -1223,6 +1378,64 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
         }
         println!("manifest check : OK");
     }
+    Ok(())
+}
+
+/// `dbp recover BASE --serve-shards N`: audit a daemon's journal set.
+///
+/// Reads `BASE.shardK` for every shard — tolerating torn tails, exactly
+/// what a SIGKILL'd daemon leaves behind — replays each through the
+/// instance-free auditor, and prints the aggregate as one JSON line. The
+/// placements/departures counts are the daemon's served/departed ledger
+/// recomputed from disk alone, so CI can diff them against a pre-kill
+/// `/metrics` scrape.
+fn cmd_recover_serve(base: &str, shards: usize) -> Result<(), String> {
+    if shards == 0 {
+        return Err("--serve-shards must be at least 1".into());
+    }
+    let mut events = 0u64;
+    let mut torn_shards = 0u64;
+    let mut placements = 0u64;
+    let mut departures = 0u64;
+    let mut sheds = 0u64;
+    let mut open_bins = 0u64;
+    let mut cost_ticks = 0u128;
+    for k in 0..shards {
+        let path = format!("{base}.shard{k}");
+        let contents = dbp_obs::journal::read_journal(std::path::Path::new(&path))?;
+        // Serve journals interleave drop records (admission sheds) with
+        // the engine stream; the auditor counts them alongside the
+        // structural replay.
+        let s = dbp_obs::replay::replay_events(&contents.events)
+            .map_err(|e| format!("{path}: audit failed: {e}"))?;
+        let tail = match &contents.torn {
+            Some(torn) => {
+                torn_shards += 1;
+                format!("torn tail ({})", torn.reason)
+            }
+            None => "clean".to_string(),
+        };
+        println!(
+            "shard {k:>2}       : {} events, {} placed, {} departed, {} shed, \
+             {} bins open — {tail}",
+            contents.events.len(),
+            s.placements,
+            s.departures,
+            s.fault_events,
+            s.open_at_end,
+        );
+        events += contents.events.len() as u64;
+        placements += s.placements;
+        departures += s.departures;
+        sheds += s.fault_events;
+        open_bins += s.open_at_end;
+        cost_ticks += s.cost_ticks;
+    }
+    println!(
+        "{{\"shards\":{shards},\"torn_shards\":{torn_shards},\"events\":{events},\
+         \"placements\":{placements},\"departures\":{departures},\"sheds\":{sheds},\
+         \"open_bins\":{open_bins},\"closed_cost_ticks\":{cost_ticks}}}"
+    );
     Ok(())
 }
 

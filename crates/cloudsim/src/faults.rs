@@ -118,8 +118,11 @@ pub struct AdmissionPolicy {
     /// An arrival finding the queue full is dropped with
     /// [`DropReason::QueueFull`].
     pub queue_capacity: u32,
-    /// Maximum ticks a session may wait for its first placement; checked
-    /// when a retry fires, dropping with [`DropReason::QueueTimeout`].
+    /// Maximum ticks a session may wait for its first placement, measured
+    /// in **event time** against the injected clock: a session that has
+    /// waited `queue_timeout` ticks or more when its retry fires (i.e.
+    /// `now - arrival >= queue_timeout`; the boundary `wait == timeout` is
+    /// a drop) leaves with [`DropReason::QueueTimeout`].
     pub queue_timeout: u64,
 }
 
@@ -821,7 +824,9 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> Sim<'a, S, P, R> {
             let item = ItemId(raw);
             match self.state[item.index()] {
                 ItemState::Waiting => {
-                    if t - self.arrival[item.index()] > self.plan.admission.queue_timeout {
+                    // Event-time wait, boundary inclusive: a session whose
+                    // wait *equals* the timeout is already out of budget.
+                    if t - self.arrival[item.index()] >= self.plan.admission.queue_timeout {
                         self.terminal_drop(t, item, DropReason::QueueTimeout);
                         continue;
                     }
@@ -1187,6 +1192,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> Sim<'a, S, P, R> {
 mod tests {
     use super::*;
     use dbp_core::prelude::*;
+    use dbp_core::probe::FnProbe;
     use dbp_obs::export::events_to_jsonl;
     use dbp_obs::EventLog;
     use dbp_workloads::{generate, CloudGamingConfig};
@@ -1384,6 +1390,50 @@ mod tests {
         assert_eq!(report.servers_rented, 0);
         assert_eq!(report.cost_cents, Ratio::ZERO);
         assert_eq!(report.queue_peak, 2);
+    }
+
+    #[test]
+    fn queue_timeout_boundary_wait_equal_to_timeout_drops() {
+        // One oversized session that can never provision, retrying on a
+        // jitter-free fixed cadence: retries fire at event-time waits of
+        // exactly 4, 8, 12, … ticks after arrival. With `queue_timeout: 8`
+        // the wait-8 retry sits exactly on the boundary — and the boundary
+        // is a drop (`wait >= timeout`), so the session must leave with
+        // `QueueTimeout` at tick arrival + 8, not survive to wait 12.
+        let mut b = InstanceBuilder::new(1000);
+        b.add(10, 500, 600);
+        let inst = b.build().unwrap();
+        let mut plan = FaultPlan::none();
+        plan.boot_fail_prob = 1.0;
+        plan.retry = RetryPolicy {
+            base: 4,
+            cap: 4,
+            jitter: 0,
+            max_attempts: 100,
+        };
+        plan.admission = AdmissionPolicy {
+            queue_capacity: 64,
+            queue_timeout: 8,
+        };
+        let mut events = Vec::new();
+        let report = ResilientSystem::new(GamingSystem::paper_model(), plan)
+            .run_probed(
+                &inst,
+                &mut FirstFit::new(),
+                &mut FnProbe::new(|ev| events.push(ev)),
+            )
+            .unwrap();
+        assert!(report.conserved());
+        assert_eq!(report.sessions_served, 0);
+        assert_eq!(report.sessions_dropped, 1);
+        let drops: Vec<_> = events
+            .iter()
+            .filter_map(|ev| match ev {
+                ProbeEvent::ItemDropped { at, reason, .. } => Some((*at, *reason)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(drops, vec![(Tick(18), DropReason::QueueTimeout)]);
     }
 
     #[test]

@@ -93,6 +93,11 @@ pub enum ClusterError {
         /// What was wrong.
         message: String,
     },
+    /// The registered [`cancel`](crate::cancel) latch was raised mid-run:
+    /// every shard stopped stepping promptly and the run was abandoned.
+    /// Probes (journals included) flush and fsync on the way out, so a
+    /// journaled run interrupted this way stays `dbp recover`-clean.
+    Interrupted,
 }
 
 impl std::fmt::Display for ClusterError {
@@ -103,6 +108,9 @@ impl std::fmt::Display for ClusterError {
             ClusterError::Dispatch(e) => write!(f, "{e}"),
             ClusterError::ShardPanicked { shard, message } => {
                 write!(f, "shard {shard} panicked: {message}")
+            }
+            ClusterError::Interrupted => {
+                write!(f, "run interrupted by shutdown request; journals flushed")
             }
             ClusterError::FaultPlanCount { expected, got } => {
                 write!(
@@ -686,6 +694,14 @@ impl ClusterEngine {
             shards.push(shard);
             probes.push(probe);
             recorders.push(spans);
+        }
+
+        if crate::cancel::requested() {
+            // Shards returned sentinels, not real reports; aggregating
+            // them would fabricate a zero-cost run. Dropping the probes
+            // here flushes and fsyncs any journals (JournalWriter syncs
+            // on drop), so the on-disk prefix is recover-clean.
+            return Err(ClusterError::Interrupted);
         }
 
         driver.enter(stage::FAN_IN);
@@ -1301,9 +1317,38 @@ where
         "capacity is checked at the cluster boundary"
     );
     let started = std::time::Instant::now();
-    let burst = batch.burst();
+    // Poll the cancellation latch at least every CANCEL_CHECK steps even
+    // under whole-stream batching; the clamp is semantically invisible
+    // (the outer loop re-enters until `is_done`).
+    const CANCEL_CHECK: usize = 4096;
+    let burst = batch.burst().min(CANCEL_CHECK);
     let mut run = EngineRun::traced(requests, &mut *dispatcher, &mut *probe, &mut *spans);
     while !run.is_done() {
+        if crate::cancel::requested() {
+            // Stop stepping now. The journaled prefix is already durable
+            // (probes flush + fsync on drop); the caller sees
+            // [`ClusterError::Interrupted`] and discards this sentinel.
+            return (
+                SystemReport {
+                    algorithm: dispatcher.name().to_string(),
+                    sessions_served: 0,
+                    servers_rented: 0,
+                    peak_servers: 0,
+                    busy_ticks: 0,
+                    billed_ticks: 0,
+                    cost_cents: Ratio::ZERO,
+                    utilization: Ratio::ZERO,
+                    manifest: None,
+                },
+                PackingTrace {
+                    algorithm: dispatcher.name().to_string(),
+                    capacity: requests.capacity(),
+                    bins: Vec::new(),
+                    assignment: Vec::new(),
+                    open_bins_steps: Vec::new(),
+                },
+            );
+        }
         for _ in 0..burst {
             if !run.step() {
                 break;

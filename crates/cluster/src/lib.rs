@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cancel;
 pub mod engine;
 pub mod faults;
 pub mod router;

@@ -80,6 +80,40 @@ impl Router {
             Router::LeastLoaded => least_loaded(requests, shards),
         }
     }
+
+    /// Route **one** arrival online, without the whole stream: the shape a
+    /// live daemon needs, where the next request is unknown until it lands.
+    /// `loads` is the caller's live per-shard active-load view (sum of sizes
+    /// of routed, not-yet-departed sessions), consulted only by
+    /// [`Router::LeastLoaded`]; hash and affinity routes are stateless.
+    ///
+    /// Consistency with [`Router::assign`]: fed the same stream in event
+    /// order with `loads` maintained from its own answers (add the size on
+    /// route, subtract on departure), this returns the same shard for every
+    /// item — the batch router is just this function folded over the
+    /// instance.
+    ///
+    /// # Panics
+    /// Panics if `loads.len()` is zero (a cluster needs at least one shard).
+    pub fn route_one(self, id: u64, size: u64, loads: &[u128]) -> usize {
+        let shards = loads.len();
+        assert!(shards > 0, "a cluster needs at least one shard");
+        match self {
+            Router::HashByItem => (splitmix64(id) % shards as u64) as usize,
+            Router::GameAffinity => {
+                // Built once: `route_one` is a daemon hot path.
+                static BY_SIZE: std::sync::OnceLock<HashMap<u64, usize>> =
+                    std::sync::OnceLock::new();
+                match BY_SIZE.get_or_init(title_by_gpu_units).get(&size) {
+                    Some(&title) => title % shards,
+                    None => (splitmix64(id) % shards as u64) as usize,
+                }
+            }
+            Router::LeastLoaded => (0..shards)
+                .min_by_key(|&s| loads[s])
+                .expect("shards is nonzero"),
+        }
+    }
 }
 
 /// First catalog index per GPU footprint. Two titles sharing a footprint
@@ -216,5 +250,35 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn zero_shards_panics() {
         let _ = Router::HashByItem.assign(&tiny(), 0);
+    }
+
+    #[test]
+    fn route_one_folds_to_the_batch_assignment() {
+        // Online routing fed the stream in event order, with the live-load
+        // view maintained from its own answers, must reproduce `assign`.
+        let inst = tiny();
+        for r in Router::ALL {
+            for shards in [1usize, 2, 3] {
+                let batch = r.assign(&inst, shards);
+                let mut order: Vec<&Item> = inst.items().iter().collect();
+                order.sort_by_key(|it| (it.arrival.raw(), it.id.0));
+                let mut loads = vec![0u128; shards];
+                let mut active: BinaryHeap<std::cmp::Reverse<(u64, usize, u64)>> =
+                    BinaryHeap::new();
+                for it in order {
+                    while let Some(&std::cmp::Reverse((dep, shard, size))) = active.peek() {
+                        if dep > it.arrival.raw() {
+                            break;
+                        }
+                        active.pop();
+                        loads[shard] -= size as u128;
+                    }
+                    let s = r.route_one(it.id.0 as u64, it.size.raw(), &loads);
+                    assert_eq!(s, batch[it.id.index()], "{} item {}", r.name(), it.id);
+                    loads[s] += it.size.raw() as u128;
+                    active.push(std::cmp::Reverse((it.departure.raw(), s, it.size.raw())));
+                }
+            }
+        }
     }
 }

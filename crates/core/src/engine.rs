@@ -82,7 +82,7 @@ pub fn simulate_resumed_probed<S: BinSelector + ?Sized, P: Probe>(
 }
 
 /// Sentinel for "no item" in the intrusive membership lists.
-const NO_ITEM: u32 = u32::MAX;
+pub(crate) const NO_ITEM: u32 = u32::MAX;
 
 /// Dense per-bin engine state as a struct-of-arrays flat arena: every
 /// per-bin attribute is its own `Vec` indexed directly by bin id (ids are
@@ -96,7 +96,11 @@ const NO_ITEM: u32 = u32::MAX;
 /// The nested representations a [`Snapshot`] / [`PackingTrace`] expose
 /// (`Vec<Vec<ItemId>>` membership, `BinRecord` item lists) are materialized
 /// on demand from this arena — snapshots and `finish()` are cold paths.
-struct State {
+///
+/// Shared (`pub(crate)`) with the [`crate::streaming`] engine, which drives
+/// the same arena from an unbounded push stream instead of a schedule; the
+/// per-item columns then grow on demand via [`State::ensure_item`].
+pub(crate) struct State {
     /// Index of the next schedule event to process.
     cursor: usize,
     // ---- per-bin columns, indexed by bin id ----
@@ -111,14 +115,14 @@ struct State {
     tail: Vec<u32>,
     /// Current member count of the bin.
     n_items: Vec<u32>,
-    open_count: usize,
+    pub(crate) open_count: usize,
     // ---- per-item columns, sized `instance.len()` at construction ----
     /// Intrusive membership links: `next_in_bin[i]` / `prev_in_bin[i]`
     /// chain item `i` into its bin's current member list, in placement
     /// order. Stale once the item departs (each item departs exactly once).
     next_in_bin: Vec<u32>,
     prev_in_bin: Vec<u32>,
-    assignment: Vec<Option<BinId>>,
+    pub(crate) assignment: Vec<Option<BinId>>,
     /// Append-only placement log in decision order; capacity reserved for
     /// the whole instance upfront, so pushes never reallocate.
     placed: Vec<ItemId>,
@@ -127,13 +131,19 @@ struct State {
     /// per arrival). Skipped entirely when the selector answers from its own
     /// hook-maintained index and no probe needs scan ranks. Not part of a
     /// snapshot: it is rebuilt deterministically during replay.
-    views: Vec<OpenBinView>,
-    steps: Vec<(Tick, u32)>,
+    pub(crate) views: Vec<OpenBinView>,
+    pub(crate) steps: Vec<(Tick, u32)>,
 }
 
 impl State {
     fn new(instance: &Instance) -> State {
-        let n = instance.len();
+        State::with_items(instance.len())
+    }
+
+    /// An empty arena with the per-item columns pre-sized for `n` items.
+    /// Streaming callers may start at `n = 0` and grow via
+    /// [`State::ensure_item`].
+    pub(crate) fn with_items(n: usize) -> State {
         State {
             cursor: 0,
             levels: Vec::new(),
@@ -154,9 +164,19 @@ impl State {
         }
     }
 
+    /// Grow the per-item columns so index `idx` is addressable. No-op when
+    /// the columns already cover it.
+    pub(crate) fn ensure_item(&mut self, idx: usize) {
+        if idx >= self.assignment.len() {
+            self.next_in_bin.resize(idx + 1, NO_ITEM);
+            self.prev_in_bin.resize(idx + 1, NO_ITEM);
+            self.assignment.resize(idx + 1, None);
+        }
+    }
+
     /// Number of bins ever opened.
     #[inline]
-    fn bins(&self) -> usize {
+    pub(crate) fn bins(&self) -> usize {
         self.levels.len()
     }
 
@@ -215,7 +235,7 @@ impl State {
     /// Materialize the full per-bin lifetime records from the columns and
     /// the placement log: `items` holds every item ever placed in the bin,
     /// in placement order.
-    fn materialize_records(&self) -> Vec<BinRecord> {
+    pub(crate) fn materialize_records(&self) -> Vec<BinRecord> {
         let mut items: Vec<Vec<ItemId>> = vec![Vec::new(); self.bins()];
         for &it in &self.placed {
             let b = self.assignment[it.index()].expect("placed item lacks an assignment");
@@ -234,23 +254,24 @@ impl State {
             .collect()
     }
 
-    /// Process one departure: remove the item from its bin, closing the bin
-    /// if it empties.
-    fn apply_departure<S: BinSelector + ?Sized, P: Probe>(
+    /// Process one departure: remove the item (of the given `size`) from its
+    /// bin, closing the bin if it empties. Takes the size rather than an
+    /// `Instance` so the streaming engine — which has no instance — can
+    /// drive the same arena.
+    pub(crate) fn apply_departure<S: BinSelector + ?Sized, P: Probe>(
         &mut self,
-        instance: &Instance,
+        size: Size,
         selector: &mut S,
         probe: &mut P,
         keep_views: bool,
         tick: Tick,
         item_id: ItemId,
     ) {
-        let item = instance.item(item_id);
         let bin_id =
             self.assignment[item_id.index()].expect("departure for an item that was never packed");
         let b = bin_id.index();
         assert!(self.is_open[b], "departure from a closed bin");
-        self.levels[b] -= item.size;
+        self.levels[b] -= size;
         debug_assert!(self.n_items[b] > 0, "membership list out of sync");
         self.unlink(b, item_id.index());
         let emptied = self.n_items[b] == 0;
@@ -292,11 +313,13 @@ impl State {
     }
 
     /// Apply an already-made decision for an arriving item: validate it,
-    /// update bin state, emit probe events, and notify the selector.
+    /// update bin state, emit probe events, and notify the selector. Takes
+    /// the item's `size` rather than an `Instance` (see
+    /// [`State::apply_departure`]).
     #[allow(clippy::too_many_arguments)] // internal seam shared by run/resume
-    fn apply_arrival<S: BinSelector + ?Sized, P: Probe>(
+    pub(crate) fn apply_arrival<S: BinSelector + ?Sized, P: Probe>(
         &mut self,
-        instance: &Instance,
+        size: Size,
         selector: &mut S,
         probe: &mut P,
         keep_views: bool,
@@ -305,7 +328,6 @@ impl State {
         item_id: ItemId,
         decision: Decision,
     ) {
-        let item = instance.item(item_id);
         let bin_id = match decision {
             Decision::Use(id) => {
                 let b = id.index();
@@ -316,16 +338,16 @@ impl State {
                 );
                 assert!(
                     self.levels[b]
-                        .checked_add(item.size)
+                        .checked_add(size)
                         .is_some_and(|l| l <= capacity),
                     "{}: item {} (size {}) does not fit bin {} (level {})",
                     selector.name(),
-                    item.id,
-                    item.size,
+                    item_id,
+                    size,
                     id,
                     self.levels[b]
                 );
-                self.levels[b] += item.size;
+                self.levels[b] += size;
                 self.link(b, item_id.index());
                 self.placed.push(item_id);
                 if keep_views {
@@ -376,11 +398,11 @@ impl State {
                         at: tick,
                         item: item_id,
                         bin: id,
-                        level: item.size,
+                        level: size,
                     });
                 }
                 let b = self.bins();
-                self.levels.push(item.size);
+                self.levels.push(size);
                 self.tags.push(tag);
                 self.opened_at.push(tick);
                 // Placeholder; overwritten when the bin closes.
@@ -398,13 +420,13 @@ impl State {
                     self.views.push(OpenBinView {
                         id,
                         opened_at: tick,
-                        level: item.size,
+                        level: size,
                         capacity,
                         n_items: 1,
                         tag,
                     });
                 }
-                selector.on_bin_opened(id, tag, item.size);
+                selector.on_bin_opened(id, tag, size);
                 id
             }
         };
@@ -416,11 +438,19 @@ impl State {
     #[inline]
     fn record_step_if_batch_end(&mut self, events: &[Event], tick: Tick) {
         if self.cursor == events.len() || events[self.cursor].at != tick {
-            let n = self.open_count as u32;
-            match self.steps.last() {
-                Some(&(_, last_n)) if last_n == n => {}
-                _ => self.steps.push((tick, n)),
-            }
+            self.record_step(tick);
+        }
+    }
+
+    /// Record the open-bin count at the end of `tick`'s batch, deduplicating
+    /// consecutive equal counts. The streaming engine calls this directly
+    /// (it learns a batch ended only when a later tick arrives).
+    #[inline]
+    pub(crate) fn record_step(&mut self, tick: Tick) {
+        let n = self.open_count as u32;
+        match self.steps.last() {
+            Some(&(_, last_n)) if last_n == n => {}
+            _ => self.steps.push((tick, n)),
         }
     }
 }
@@ -556,7 +586,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
                     self.spans.enter(stage::DEPARTURE);
                 }
                 self.st.apply_departure(
-                    self.instance,
+                    self.instance.item(ev.item).size,
                     &mut *self.selector,
                     &mut *self.probe,
                     self.keep_views,
@@ -599,7 +629,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
                     self.spans.enter(stage::PLACE);
                 }
                 self.st.apply_arrival(
-                    self.instance,
+                    item.size,
                     &mut *self.selector,
                     &mut *self.probe,
                     self.keep_views,
@@ -651,7 +681,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
                     ));
                 }
                 self.st.apply_departure(
-                    self.instance,
+                    self.instance.item(ev.item).size,
                     &mut *self.selector,
                     &mut NoProbe,
                     self.keep_views,
@@ -695,7 +725,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
                 self.selector
                     .on_decision_replayed(&arriving, decision, self.capacity);
                 self.st.apply_arrival(
-                    self.instance,
+                    item.size,
                     &mut *self.selector,
                     &mut NoProbe,
                     self.keep_views,

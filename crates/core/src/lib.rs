@@ -79,6 +79,7 @@ mod proptests;
 pub mod ratio;
 pub mod snapshot;
 pub mod span;
+pub mod streaming;
 pub mod svg;
 pub mod time;
 pub mod trace;
@@ -95,6 +96,7 @@ pub use probe::{DropReason, NoProbe, Probe, ProbeEvent};
 pub use ratio::Ratio;
 pub use snapshot::Snapshot;
 pub use span::{NoSpans, SpanEvent, SpanRecorder};
+pub use streaming::{Clock, ManualClock, StreamError, StreamingEngine, WallClock};
 pub use time::{Dur, Interval, Tick};
 pub use trace::{BinRecord, PackingTrace};
 
@@ -118,6 +120,7 @@ pub mod prelude {
     pub use crate::ratio::Ratio;
     pub use crate::snapshot::Snapshot;
     pub use crate::span::{NoSpans, SpanEvent, SpanRecorder};
+    pub use crate::streaming::{Clock, ManualClock, StreamError, StreamingEngine, WallClock};
     pub use crate::time::{Dur, Interval, Tick};
     pub use crate::trace::PackingTrace;
 }

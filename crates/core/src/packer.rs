@@ -151,6 +151,39 @@ impl<S: BinSelector + ?Sized> BinSelector for &mut S {
     }
 }
 
+/// Forwarding impl so `Box<dyn BinSelector>` is itself a selector — the
+/// streaming engine owns its selector, and long-running daemons pick the
+/// algorithm at run time.
+impl<S: BinSelector + ?Sized> BinSelector for Box<S> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+        (**self).select(bins, item, capacity)
+    }
+    fn needs_views(&self) -> bool {
+        (**self).needs_views()
+    }
+    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Size) {
+        (**self).on_bin_opened(bin, tag, level)
+    }
+    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+        (**self).on_item_placed(bin, level)
+    }
+    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+        (**self).on_item_departed(bin, level)
+    }
+    fn on_bin_closed(&mut self, bin: BinId) {
+        (**self).on_bin_closed(bin)
+    }
+    fn on_decision_replayed(&mut self, item: &ArrivingItem, decision: Decision, capacity: Size) {
+        (**self).on_decision_replayed(item, decision, capacity)
+    }
+    fn is_any_fit(&self) -> bool {
+        (**self).is_any_fit()
+    }
+}
+
 /// A boxed factory for selectors, letting experiment harnesses iterate over
 /// algorithm families generically.
 pub struct SelectorFactory {

@@ -4,13 +4,15 @@
 
 #![cfg(test)]
 
-use crate::algorithms::indexed::{IndexedBestFit, IndexedFirstFit};
+use crate::algorithms::indexed::{IndexedBestFit, IndexedFirstFit, IndexedMff};
 use crate::algorithms::{BestFit, FirstFit, ModifiedFirstFit, NextFit, RandomFit};
 use crate::engine::EngineRun;
 use crate::instance::{Instance, InstanceBuilder};
+use crate::item::Item;
 use crate::packer::SelectorFactory;
-use crate::probe::NoProbe;
+use crate::probe::{FnProbe, NoProbe};
 use crate::ratio::Ratio;
+use crate::streaming::StreamingEngine;
 use crate::time::{union_intervals, union_length, Interval, Tick};
 use proptest::prelude::*;
 use proptest::TestCaseError;
@@ -112,6 +114,61 @@ proptest! {
                     .finish();
                 prop_assert_eq!(&resumed, &full, "{} diverged at prefix {}", factory.name(), k);
             }
+        }
+    }
+
+    #[test]
+    fn streaming_engine_is_byte_identical_to_batch(
+        raw in proptest::collection::vec((0u64..40, 1u64..25, 1u64..10), 1..14),
+        seed in 0u64..1_000,
+    ) {
+        let mut b = InstanceBuilder::new(10);
+        for &(a, len, size) in &raw {
+            b.add(a, a + len, size);
+        }
+        let inst: Instance = b.build().unwrap();
+        // The valid interleaving a streaming caller can feed: arrivals in
+        // event-time order (the batch schedule's arrival order at equal
+        // ticks is instance order = id order).
+        let mut stream: Vec<Item> = inst.items().to_vec();
+        stream.sort_by_key(|it| (it.arrival, it.id));
+        let selectors = [
+            SelectorFactory::new("FF", || Box::new(FirstFit::new())),
+            SelectorFactory::new("BF", || Box::new(BestFit::new())),
+            SelectorFactory::new("MFF", || Box::new(ModifiedFirstFit::new(4))),
+            SelectorFactory::new("IFF", || Box::new(IndexedFirstFit::new())),
+            SelectorFactory::new("IBF", || Box::new(IndexedBestFit::new())),
+            SelectorFactory::new("IMFF", || Box::new(IndexedMff::new(4))),
+            SelectorFactory::new("RF", move || Box::new(RandomFit::seeded(seed))),
+        ];
+        for factory in &selectors {
+            let mut batch_events = Vec::new();
+            let mut batch_sel = factory.build();
+            let batch = crate::engine::simulate_probed(
+                &inst,
+                &mut *batch_sel,
+                &mut FnProbe::new(|ev| batch_events.push(ev)),
+            );
+
+            let mut stream_events = Vec::new();
+            let mut eng = StreamingEngine::new(
+                inst.capacity(),
+                factory.build(),
+                FnProbe::new(|ev| stream_events.push(ev)),
+            );
+            for it in &stream {
+                eng.push_arrival(*it, it.arrival).map_err(|e| {
+                    TestCaseError::Fail(format!("{}: push {}: {e}", factory.name(), it.id))
+                })?;
+            }
+            let trace = eng.finish().map_err(|e| {
+                TestCaseError::Fail(format!("{}: finish: {e}", factory.name()))
+            })?;
+            prop_assert_eq!(&trace, &batch, "{} trace diverged", factory.name());
+            prop_assert_eq!(
+                &stream_events, &batch_events,
+                "{} probe stream diverged", factory.name()
+            );
         }
     }
 

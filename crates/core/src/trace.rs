@@ -277,7 +277,10 @@ impl PackingTrace {
             }
         }
         if let Some(i) = listed.iter().position(|&seen| !seen) {
-            errs.push(format!("item {} is assigned but listed by no bin", ItemId(i as u32)));
+            errs.push(format!(
+                "item {} is assigned but listed by no bin",
+                ItemId(i as u32)
+            ));
         }
         let a = self.total_cost_ticks();
         let b = self.cost_from_step_function();

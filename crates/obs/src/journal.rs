@@ -226,6 +226,22 @@ impl JournalWriter {
     }
 }
 
+impl Drop for JournalWriter {
+    /// Crash-path safety net: a writer dropped without [`finish`]
+    /// (a panic unwinding through a shard worker, an interrupted run)
+    /// still pushes buffered frames to disk, so the on-disk prefix is
+    /// always `dbp recover`-clean. Errors are swallowed — there is no
+    /// caller left to report them to, and [`finish`] remains the path
+    /// that surfaces them.
+    ///
+    /// [`finish`]: JournalWriter::finish
+    fn drop(&mut self) {
+        if self.unsynced > 0 {
+            let _ = self.sync();
+        }
+    }
+}
+
 /// A [`Probe`] that journals every event as it is emitted. I/O errors are
 /// latched (the engine's probe seam cannot propagate them mid-run) and
 /// surfaced by [`JournalProbe::finish`]; after the first error no further

@@ -1,0 +1,214 @@
+//! Newline-delimited JSON wire protocol for the live dispatcher.
+//!
+//! Clients write one JSON object per line and read one JSON reply per
+//! request, in order. The protocol is **online**: an arrival carries only
+//! what the paper's dispatcher may see — an id, an event-time tick and a
+//! size — never the departure time. Departures are separate messages.
+//!
+//! ```text
+//! → {"op":"arrive","id":1,"at":0,"size":6}
+//! ← {"ok":true,"id":1,"shard":0,"bin":0}
+//! → {"op":"depart","id":1,"at":9}
+//! ← {"ok":true,"id":1,"shard":0}
+//! ```
+//!
+//! Malformed lines get `{"ok":false,...,"reason":"..."}` and do not tear
+//! the connection down; the stream stays line-synchronized.
+
+use serde::{Deserialize, Serialize};
+
+/// One request line as it appears on the wire. `size` is only meaningful
+/// for `op == "arrive"` and is therefore optional at the serde layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WireMsg {
+    /// `"arrive"`, `"depart"` or `"ping"`.
+    pub op: String,
+    /// Client-chosen session id, unique among live sessions.
+    pub id: u64,
+    /// Event-time tick of the request. Ticks behind a shard's event-time
+    /// horizon are clamped forward (event time never rewinds).
+    #[serde(default)]
+    pub at: u64,
+    /// Session size in resource units (arrivals only).
+    #[serde(default)]
+    pub size: Option<u64>,
+}
+
+/// A parsed, validated request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Request {
+    /// A session arrival: place `id` of `size` at event time `at`.
+    Arrive {
+        /// Client session id.
+        id: u64,
+        /// Event-time tick.
+        at: u64,
+        /// Session size.
+        size: u64,
+    },
+    /// A session departure: release `id` at event time `at`.
+    Depart {
+        /// Client session id.
+        id: u64,
+        /// Event-time tick.
+        at: u64,
+    },
+    /// Liveness probe; answered without touching any shard.
+    Ping {
+        /// Echoed id.
+        id: u64,
+    },
+}
+
+impl Request {
+    /// The session id the request concerns.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Request::Arrive { id, .. } | Request::Depart { id, .. } | Request::Ping { id } => id,
+        }
+    }
+}
+
+/// Parse one wire line into a [`Request`].
+pub fn parse_line(line: &str) -> Result<Request, String> {
+    let msg: WireMsg = serde_json::from_str(line).map_err(|e| format!("bad json: {e}"))?;
+    match msg.op.as_str() {
+        "arrive" => match msg.size {
+            Some(size) if size > 0 => Ok(Request::Arrive {
+                id: msg.id,
+                at: msg.at,
+                size,
+            }),
+            Some(_) => Err("arrive needs a positive size".to_string()),
+            None => Err("arrive needs a size".to_string()),
+        },
+        "depart" => Ok(Request::Depart {
+            id: msg.id,
+            at: msg.at,
+        }),
+        "ping" => Ok(Request::Ping { id: msg.id }),
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// One reply line. `shard`/`bin` are present on successful placements,
+/// `reason` on rejections and drops.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Reply {
+    /// Whether the request was served.
+    pub ok: bool,
+    /// The session id the reply concerns (0 for unparseable lines).
+    pub id: u64,
+    /// Shard that handled the request.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub shard: Option<u64>,
+    /// Bin the arrival was placed into.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub bin: Option<u64>,
+    /// Why the request was not served.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub reason: Option<String>,
+}
+
+impl Reply {
+    /// A successful placement reply.
+    pub fn placed(id: u64, shard: usize, bin: u64) -> Reply {
+        Reply {
+            ok: true,
+            id,
+            shard: Some(shard as u64),
+            bin: Some(bin),
+            reason: None,
+        }
+    }
+
+    /// A successful non-placement reply (departure, ping).
+    pub fn ok(id: u64, shard: Option<usize>) -> Reply {
+        Reply {
+            ok: true,
+            id,
+            shard: shard.map(|s| s as u64),
+            bin: None,
+            reason: None,
+        }
+    }
+
+    /// A rejection or drop reply.
+    pub fn refused(id: u64, reason: impl Into<String>) -> Reply {
+        Reply {
+            ok: false,
+            id,
+            shard: None,
+            bin: None,
+            reason: Some(reason.into()),
+        }
+    }
+
+    /// Serialize to one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("reply serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrive_depart_ping_parse() {
+        assert_eq!(
+            parse_line(r#"{"op":"arrive","id":7,"at":3,"size":5}"#),
+            Ok(Request::Arrive {
+                id: 7,
+                at: 3,
+                size: 5
+            })
+        );
+        assert_eq!(
+            parse_line(r#"{"op":"depart","id":7,"at":9}"#),
+            Ok(Request::Depart { id: 7, at: 9 })
+        );
+        assert_eq!(
+            parse_line(r#"{"op":"ping","id":1}"#),
+            Ok(Request::Ping { id: 1 })
+        );
+    }
+
+    #[test]
+    fn missing_at_defaults_to_zero() {
+        assert_eq!(
+            parse_line(r#"{"op":"arrive","id":2,"size":4}"#),
+            Ok(Request::Arrive {
+                id: 2,
+                at: 0,
+                size: 4
+            })
+        );
+    }
+
+    #[test]
+    fn bad_lines_are_rejected_not_fatal() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"op":"arrive","id":3,"at":1}"#).is_err());
+        assert!(parse_line(r#"{"op":"arrive","id":3,"at":1,"size":0}"#).is_err());
+        assert!(parse_line(r#"{"op":"levitate","id":3}"#).is_err());
+    }
+
+    #[test]
+    fn replies_round_trip_and_omit_absent_fields() {
+        let r = Reply::placed(7, 2, 3);
+        let line = r.to_line();
+        assert!(!line.contains("reason"), "{line}");
+        let back: Reply = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, r);
+
+        let d = Reply::refused(9, "queue_full");
+        let line = d.to_line();
+        assert!(!line.contains("bin"), "{line}");
+        let back: Reply = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, d);
+    }
+}

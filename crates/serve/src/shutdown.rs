@@ -1,0 +1,58 @@
+//! Process-wide graceful-shutdown latch, shared by the daemon and the CLI's
+//! journaled one-shot commands.
+//!
+//! One `AtomicBool`, raised from a SIGINT/SIGTERM handler (an atomic store
+//! is async-signal-safe), polled by accept loops, connection readers and
+//! simulation step loops. Raising it never aborts in-flight work: loops
+//! finish the current unit, flush and fsync their journals, then exit — so
+//! an interrupted run is always `dbp recover`-clean.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_sig: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Install SIGINT/SIGTERM handlers that raise the latch. Idempotent; a
+/// no-op on non-Unix targets.
+#[cfg(unix)]
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as *const () as usize);
+        signal(SIGTERM, on_signal as *const () as usize);
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers that raise the latch. Idempotent; a
+/// no-op on non-Unix targets.
+#[cfg(not(unix))]
+pub fn install_signal_handlers() {}
+
+/// The process-wide latch itself, for callers (the daemon, step loops)
+/// that poll a `&AtomicBool` rather than the free function.
+pub fn global_flag() -> &'static AtomicBool {
+    &SHUTDOWN
+}
+
+/// Has a shutdown been requested (by signal or [`request_shutdown`])?
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Raise the latch programmatically — tests and embedders use this in
+/// place of a signal.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Lower the latch. Tests only: a real daemon never un-requests shutdown.
+pub fn reset_shutdown() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}

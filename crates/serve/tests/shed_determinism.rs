@@ -1,0 +1,172 @@
+//! Shed determinism (satellite of the streaming-core PR): the same seed
+//! and the same overload produce the **same dropped set** and a conserved
+//! ledger, every time.
+//!
+//! The daemon's shed decisions live in two places: the bounded ingress
+//! queue (front door, `queue_full`) and the event-time admission check
+//! inside [`ShardPipeline`] (`queue_timeout`). This harness replays both
+//! through a single-threaded driver — a seeded interleaving of offers and
+//! processing steps over a bounded queue — so the whole decision chain is
+//! exercised without scheduler nondeterminism.
+
+use dbp_cloudsim::faults::AdmissionPolicy;
+use dbp_core::algorithms::FirstFit;
+use dbp_core::item::Size;
+use dbp_serve::protocol::Request;
+use dbp_serve::shard::{Outcome, ShardPipeline};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// SplitMix-style deterministic generator.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// What one deterministic overload run produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct RunResult {
+    /// (external id, reason) of every shed arrival, in decision order.
+    dropped: Vec<(u64, &'static str)>,
+    offered: u64,
+    queue_full: u64,
+    placed: u64,
+    dropped_timeout: u64,
+    rejected: u64,
+    departed: u64,
+}
+
+/// Drive `n` arrivals (plus interleaved departures) through a bounded
+/// queue of `queue_cap` into one pipeline. `burst` controls overload: how
+/// many offers the driver attempts per processing step.
+fn run_overload(seed: u64, n: u64, queue_cap: usize, burst: u64, timeout: u64) -> RunResult {
+    let mut rng = Lcg(seed.wrapping_mul(2654435761).wrapping_add(1));
+    let mut pipe = ShardPipeline::new(
+        Size(10),
+        Box::new(FirstFit::new()),
+        AdmissionPolicy {
+            queue_capacity: queue_cap as u32,
+            queue_timeout: timeout,
+        },
+    );
+    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut dropped: Vec<(u64, &'static str)> = Vec::new();
+    let mut queue_full = 0u64;
+    let mut offered = 0u64;
+    let mut placed_ids: Vec<u64> = Vec::new();
+    let mut at = 0u64;
+    let mut next_id = 1u64;
+
+    let offer = |q: &mut VecDeque<Request>,
+                     req: Request,
+                     dropped: &mut Vec<(u64, &'static str)>,
+                     queue_full: &mut u64| {
+        if q.len() >= queue_cap {
+            // The front door sheds arrivals only; departures always land
+            // (dropping a release would leak capacity).
+            if matches!(req, Request::Arrive { .. }) {
+                dropped.push((req.id(), "queue_full"));
+                *queue_full += 1;
+                return;
+            }
+        }
+        q.push_back(req);
+    };
+
+    while next_id <= n || !queue.is_empty() {
+        // Offer a burst (overload pressure), then process one message.
+        for _ in 0..burst {
+            if next_id > n {
+                break;
+            }
+            at += rng.next() % 3;
+            if !placed_ids.is_empty() && rng.next().is_multiple_of(4) {
+                let idx = (rng.next() as usize) % placed_ids.len();
+                let id = placed_ids.swap_remove(idx);
+                offer(
+                    &mut queue,
+                    Request::Depart { id, at },
+                    &mut dropped,
+                    &mut queue_full,
+                );
+            } else {
+                let size = 1 + rng.next() % 5;
+                offered += 1;
+                offer(
+                    &mut queue,
+                    Request::Arrive {
+                        id: next_id,
+                        at,
+                        size,
+                    },
+                    &mut dropped,
+                    &mut queue_full,
+                );
+                next_id += 1;
+            }
+        }
+        if let Some(req) = queue.pop_front() {
+            // The queue delays the request: it is processed later in event
+            // time than it was stamped, which is what the event-time
+            // timeout measures.
+            let outcome = pipe.handle(&req);
+            match outcome {
+                Outcome::Placed { .. } => placed_ids.push(req.id()),
+                Outcome::Dropped { .. } => dropped.push((req.id(), "queue_timeout")),
+                _ => {}
+            }
+        }
+    }
+
+    let ledger = pipe.ledger;
+    assert!(ledger.conserved(), "{ledger:?}");
+    RunResult {
+        dropped,
+        offered,
+        queue_full,
+        placed: ledger.placed,
+        dropped_timeout: ledger.dropped_timeout,
+        rejected: ledger.rejected,
+        departed: ledger.departed,
+    }
+}
+
+proptest! {
+    #[test]
+    fn same_seed_same_overload_same_dropped_set(
+        seed in 0u64..500,
+        n in 20u64..120,
+        queue_cap in 1usize..6,
+        burst in 1u64..8,
+        timeout in 1u64..20,
+    ) {
+        let a = run_overload(seed, n, queue_cap, burst, timeout);
+        let b = run_overload(seed, n, queue_cap, burst, timeout);
+        prop_assert_eq!(&a, &b, "shed decisions must be deterministic");
+
+        // Full-chain conservation: every offered arrival is accounted
+        // exactly once across the front door and the pipeline.
+        prop_assert_eq!(
+            a.placed + a.dropped_timeout + a.rejected + a.queue_full,
+            a.offered
+        );
+        // The dropped set is exactly the queue_full + timeout decisions.
+        prop_assert_eq!(
+            a.dropped.len() as u64,
+            a.queue_full + a.dropped_timeout
+        );
+        // Under real overload pressure something must actually shed
+        // (otherwise the case is vacuous) — only assert when the driver
+        // clamped hard.
+        if burst >= 4 && queue_cap == 1 && timeout == 1 && n >= 40 {
+            prop_assert!(!a.dropped.is_empty(), "hard overload must shed");
+        }
+    }
+}
