@@ -39,7 +39,9 @@ const SEED: u64 = 42;
 /// v3: the bench runs the indexed selector engine (and records which), the
 /// report carries the host's `available_parallelism`, and wall fields are
 /// nanosecond-rounded instead of truncated.
-const SCHEMA_VERSION: u64 = 3;
+/// v4: `dimensions` alongside `selector_engine` (this bench drives the
+/// scalar cluster, so the value is 1).
+const SCHEMA_VERSION: u64 = 4;
 
 /// Round nanoseconds to milliseconds (half-up) — never the truncation that
 /// turned sub-millisecond quick-mode runs into `wall_ms: 0`.
@@ -94,6 +96,8 @@ struct ClusterBenchReport {
     /// O(log m) engine) — recorded so a report can never again silently
     /// describe the naive scanning selector.
     selector_engine: String,
+    /// Demand dimensionality the rows ran at (1 = scalar `Size`).
+    dimensions: u64,
     /// The host's `std::thread::available_parallelism()` at run time. Rows
     /// cannot speed up past this however many shards they split into;
     /// compare it against the plateau before blaming the dispatch layer.
@@ -231,6 +235,7 @@ fn main() -> ExitCode {
         router: Router::HashByItem.name().to_string(),
         algorithm: "FF".to_string(),
         selector_engine: "indexed".to_string(),
+        dimensions: 1,
         available_parallelism: std::thread::available_parallelism()
             .map(|p| p.get() as u64)
             .unwrap_or(1),
@@ -285,6 +290,7 @@ mod tests {
             router: "hash".to_string(),
             algorithm: "FF".to_string(),
             selector_engine: "indexed".to_string(),
+            dimensions: 1,
             available_parallelism: 1,
             peak_rss_bytes: None,
             results: vec![one, four],

@@ -28,7 +28,7 @@ use dbp_core::algorithms::{
 use dbp_core::engine::{simulate, simulate_probed};
 use dbp_core::instance::Instance;
 use dbp_core::packer::{BinSelector, SelectorFactory};
-use dbp_core::probe::{Probe, ProbeEvent};
+use dbp_core::probe::{GProbeEvent, Probe};
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -39,7 +39,10 @@ const SEED: u64 = 42;
 /// Report schema; bump when fields change (CI validates this).
 /// v3: indexed MFF row, nanosecond-rounded wall fields, and the cluster
 /// overhead comparison runs the indexed selector (the shipped engine).
-const SCHEMA_VERSION: u64 = 3;
+/// v4: `dimensions` on every row and on the overhead block (1 = scalar),
+/// plus a D=3 vector row measuring the const-generic engine on the
+/// heterogeneous widening of the same churn stream.
+const SCHEMA_VERSION: u64 = 4;
 
 /// Round nanoseconds to milliseconds (half-up) — never the truncation that
 /// turned sub-millisecond quick-mode runs into `wall_ms: 0`.
@@ -54,6 +57,8 @@ struct BenchResult {
     algorithm: String,
     /// "indexed" (hook-maintained index) or "naive" (view scan).
     engine: String,
+    /// Demand dimensionality the row ran at (1 = scalar `Size`).
+    dimensions: u64,
     /// Items packed.
     n_items: u64,
     /// Wall time of the uninstrumented run, milliseconds.
@@ -79,6 +84,8 @@ struct BenchResult {
 struct ClusterOverhead {
     /// Selector engine both sides ran ("indexed").
     selector_engine: String,
+    /// Demand dimensionality of the comparison stream (1 = scalar).
+    dimensions: u64,
     /// Items in the comparison stream.
     n_items: u64,
     /// Plain engine wall, milliseconds.
@@ -116,14 +123,14 @@ struct EngineStats {
     max_open_bins: u64,
 }
 
-impl Probe for EngineStats {
-    fn record(&mut self, event: ProbeEvent) {
+impl<Sz: dbp_core::demand::Demand> Probe<Sz> for EngineStats {
+    fn record(&mut self, event: GProbeEvent<Sz>) {
         match event {
-            ProbeEvent::BinOpened { .. } => {
+            GProbeEvent::BinOpened { .. } => {
                 self.open_bins += 1;
                 self.max_open_bins = self.max_open_bins.max(self.open_bins);
             }
-            ProbeEvent::BinClosed { .. } | ProbeEvent::BinCrashed { .. } => {
+            GProbeEvent::BinClosed { .. } | GProbeEvent::BinCrashed { .. } => {
                 self.open_bins -= 1;
             }
             _ => {}
@@ -160,6 +167,43 @@ fn measure(
     BenchResult {
         algorithm: algorithm.to_string(),
         engine: engine.to_string(),
+        dimensions: 1,
+        n_items: n,
+        wall_ms: ns_to_ms_rounded(wall_ns),
+        items_per_sec: (n as u128 * 1_000_000_000 / wall_ns) as u64,
+        mean_decision_ns: stats.decision_ns_total / n.max(1),
+        bins_used: trace.bins_used() as u64,
+        max_open_bins: stats.max_open_bins,
+    }
+}
+
+/// The same double measurement for the const-generic engine at D=3: the
+/// heterogeneous `[gpu, cpu, mem]` widening of the scalar stream through
+/// the indexed selector. This is the vector engine's cost-of-generality
+/// row — compare it against the scalar indexed row at the same `n`.
+fn measure_vector(inst: &Instance, algorithm: &str) -> BenchResult {
+    use dbp_core::demand::VSize;
+    let vinst = dbp_workloads::widen(inst);
+    let n = vinst.len() as u64;
+    let name = format!("{algorithm}-idx");
+    let build = || dbp_core::algorithms::selector_for::<VSize<3>>(&name).expect("vector roster");
+
+    let mut sel = build();
+    let started = Instant::now();
+    let trace = dbp_core::engine::simulate(&vinst, &mut *sel);
+    let wall = started.elapsed();
+
+    let mut sel = build();
+    let mut stats = EngineStats::default();
+    let probed = simulate_probed(&vinst, &mut *sel, &mut stats);
+    assert_eq!(probed, trace, "probed vector run diverged from plain run");
+    assert_eq!(stats.decisions, n, "missing decision timings");
+
+    let wall_ns = wall.as_nanos().max(1);
+    BenchResult {
+        algorithm: algorithm.to_string(),
+        engine: "indexed".to_string(),
+        dimensions: 3,
         n_items: n,
         wall_ms: ns_to_ms_rounded(wall_ns),
         items_per_sec: (n as u128 * 1_000_000_000 / wall_ns) as u64,
@@ -202,6 +246,7 @@ fn measure_cluster_overhead(inst: &Instance) -> ClusterOverhead {
 
     ClusterOverhead {
         selector_engine: "indexed".to_string(),
+        dimensions: 1,
         n_items: n,
         plain_wall_ms: ns_to_ms_rounded(plain_ns),
         plain_items_per_sec: (n as u128 * 1_000_000_000 / plain_ns) as u64,
@@ -216,6 +261,9 @@ fn measure_cluster_overhead(inst: &Instance) -> ClusterOverhead {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // Undocumented: a 1k-item grid so the schema-validation test can run
+    // the real binary end-to-end in seconds, debug build included.
+    let tiny = args.iter().any(|a| a == "--tiny");
     let mut out = PathBuf::from("BENCH_ENGINE.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -232,7 +280,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let sizes: &[usize] = if quick {
+    let sizes: &[usize] = if tiny {
+        &[1_000]
+    } else if quick {
         &[10_000, 100_000]
     } else {
         &[100_000, 1_000_000]
@@ -269,6 +319,14 @@ fn main() -> ExitCode {
             results.push(r);
         }
         if n == sizes[0] {
+            // The D=3 vector row at the smaller size: the same stream,
+            // widened, through the const-generic indexed engine.
+            let r = measure_vector(&inst, "FF");
+            eprintln!(
+                "[bench] {:>6} {:>7} n={:>7} {:>9} items/s mean {:>6} ns/decision (D=3)",
+                r.algorithm, r.engine, r.n_items, r.items_per_sec, r.mean_decision_ns
+            );
+            results.push(r);
             let o = measure_cluster_overhead(&inst);
             eprintln!(
                 "[bench] dispatch-layer tax: plain {} items/s vs 1-shard cluster {} items/s \
@@ -313,8 +371,14 @@ mod tests {
         let naive = measure(&inst, "FF", "naive", &|| Box::new(FirstFit::new()));
         assert_eq!(indexed.bins_used, naive.bins_used);
         assert_eq!(indexed.max_open_bins, naive.max_open_bins);
+        assert_eq!((indexed.dimensions, naive.dimensions), (1, 1));
+        let vector = measure_vector(&inst, "FF");
+        assert_eq!(vector.dimensions, 3);
+        assert_eq!(vector.n_items, indexed.n_items);
+        assert!(vector.bins_used > 0);
         let overhead = measure_cluster_overhead(&inst);
         assert!(overhead.overhead_millis > 0);
+        assert_eq!(overhead.dimensions, 1);
         let report = BenchReport {
             schema_version: SCHEMA_VERSION,
             quick: true,
@@ -322,9 +386,11 @@ mod tests {
             capacity: inst.capacity().raw(),
             peak_rss_bytes: None,
             overhead_vs_plain_engine: overhead,
-            results: vec![indexed, naive],
+            results: vec![indexed, naive, vector],
         };
+        assert_eq!(report.schema_version, 4, "v4 adds the dimensions fields");
         let text = serde_json::to_string_pretty(&report).unwrap();
+        assert!(text.contains("\"dimensions\""));
         let back: BenchReport = serde_json::from_str(&text).unwrap();
         assert_eq!(back, report);
     }

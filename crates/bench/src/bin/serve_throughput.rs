@@ -39,7 +39,9 @@ const QUEUE_TIMEOUT: u64 = 50;
 /// Report schema; bump when fields change (CI validates this). Starts at
 /// v3 to match the other bench reports' conventions (rounded walls,
 /// `selector_engine`, `available_parallelism`).
-const SCHEMA_VERSION: u64 = 3;
+/// v4: `dimensions` alongside `selector_engine` (the drive is scalar, 1;
+/// vector daemons report their D here when benched).
+const SCHEMA_VERSION: u64 = 4;
 
 /// Round nanoseconds to milliseconds (half-up).
 fn ns_to_ms_rounded(ns: u128) -> u64 {
@@ -85,6 +87,8 @@ struct ServeBenchReport {
     /// Which selector engine produced every row: "indexed", matching
     /// BENCH_ENGINE / BENCH_CLUSTER so the rows are comparable.
     selector_engine: String,
+    /// Demand dimensionality of the driven daemon (1 = scalar).
+    dimensions: u64,
     /// The host's `available_parallelism` at run time. The drive itself is
     /// single-threaded by design; recorded for cross-report context only.
     available_parallelism: u64,
@@ -152,10 +156,12 @@ fn measure(n: u64, overload: u64) -> OverloadResult {
                 } else {
                     at
                 };
+                let mut demand = [0u64; dbp_serve::MAX_DIMS];
+                demand[0] = 1 + rng.next() % 50;
                 let req = Request::Arrive {
                     id: next_id,
                     at: stamp,
-                    size: 1 + rng.next() % 50,
+                    demand,
                 };
                 next_id += 1;
                 if queue.len() >= queue_cap {
@@ -243,6 +249,7 @@ fn main() -> ExitCode {
         queue_timeout: QUEUE_TIMEOUT,
         algorithm: "FF".to_string(),
         selector_engine: "indexed".to_string(),
+        dimensions: 1,
         available_parallelism: std::thread::available_parallelism()
             .map(|p| p.get() as u64)
             .unwrap_or(1),
@@ -287,6 +294,7 @@ mod tests {
             queue_timeout: QUEUE_TIMEOUT,
             algorithm: "FF".to_string(),
             selector_engine: "indexed".to_string(),
+            dimensions: 1,
             available_parallelism: 1,
             peak_rss_bytes: None,
             results: vec![one, hard],

@@ -93,6 +93,53 @@ fn cluster_dispatch_stays_near_the_engine() {
     }
 }
 
+/// Bench report schema v4: run the real `engine_baseline` binary end to end
+/// (tiny size) and validate the shape CI depends on — `schema_version` is 4,
+/// every result row carries `dimensions` next to `selector_engine`, the D=3
+/// vector row is present, and the overhead block is labeled the same way.
+#[test]
+fn engine_baseline_report_is_schema_v4_with_dimensions() {
+    let out = std::env::temp_dir().join(format!("dbp-bench-schema-{}.json", std::process::id()));
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_engine_baseline"))
+        .args(["--tiny", "--out"])
+        .arg(&out)
+        .status()
+        .expect("engine_baseline should launch");
+    assert!(status.success(), "engine_baseline --tiny failed");
+
+    let body = std::fs::read_to_string(&out).unwrap();
+    std::fs::remove_file(&out).ok();
+    let report: serde_json::Value = serde_json::from_str(&body).unwrap();
+
+    let field = |v: &serde_json::Value, key: &str| -> serde_json::Value {
+        v.get(key)
+            .unwrap_or_else(|| panic!("report is missing `{key}`"))
+            .clone()
+    };
+    assert_eq!(field(&report, "schema_version").as_u64(), Some(4));
+    let results = field(&report, "results");
+    let rows = results.as_seq().expect("results array");
+    assert!(!rows.is_empty());
+    let mut saw_vector = false;
+    for row in rows {
+        let dims = field(row, "dimensions")
+            .as_u64()
+            .expect("every row carries `dimensions`");
+        assert!(dims >= 1);
+        assert!(
+            field(row, "engine").as_str().is_some(),
+            "every row carries `engine`"
+        );
+        if dims == 3 {
+            saw_vector = true;
+        }
+    }
+    assert!(saw_vector, "the D=3 vector row is missing from the report");
+    let overhead = field(&report, "overhead_vs_plain_engine");
+    assert_eq!(field(&overhead, "dimensions").as_u64(), Some(1));
+    assert!(field(&overhead, "selector_engine").as_str().is_some());
+}
+
 /// Byte-identical equivalence of the indexed family against the naive
 /// selectors, across many seeds on the bench workload itself: same trace
 /// struct, same serialized JSONL bytes.

@@ -54,12 +54,14 @@ USAGE:
   dbp adversary thm2 --k N --mu N --n N [--out FILE]
   dbp adversary adaptive --k N --mu N --algo NAME [--out FILE]
   dbp run FILE --algo ff|bf|wf|nf|lf|mi|rf|hff|mff|mff-mu|cff
+          [--hetero]                  # widen to the [gpu,cpu,mem] vector catalog
           [--validate] [--gantt] [--fleet] [--save-trace FILE] [--svg FILE]
           [--trace-events FILE.jsonl] [--metrics FILE.prom] [--timeseries FILE.csv]
           [--faults SEED|PLAN.json]   # resilient dispatch under injected faults
           [--journal FILE.wal] [--fsync always|never|N]   # crash-safe event journal
           [--run-manifest FILE.json]  # provenance + exact cost, for `recover`
   dbp cluster FILE --algo NAME --shards N [--router hash|affinity|least-loaded]
+          [--hetero]                  # vector dispatch with per-dimension ledger
           [--batch event|whole|N] [--jobs N]
           [--trace-events FILE.jsonl] [--metrics FILE.prom]
           [--faults SEED|PLAN.json]   # per-shard fault plans (seed+shard / shared plan)
@@ -72,6 +74,7 @@ USAGE:
           [--trace-out FILE.json]     # Chrome-trace JSON (chrome://tracing, Perfetto)
           [--metrics FILE.prom]       # per-stage latency histograms
   dbp serve --shards N [--algo NAME] [--capacity W] [--router hash|least-loaded]
+          [--dims D] [--capacities A,B,..]  # D-dimensional demands (demand:[..] on the wire)
           [--addr HOST:PORT] [--metrics-addr HOST:PORT]   # NDJSON ingest + Prometheus
           [--queue-capacity N] [--queue-timeout TICKS]    # bounded ingress + event-time shed
           [--backpressure block|shed] [--max-sessions N]
@@ -262,6 +265,9 @@ fn mu_hint(inst: &Instance) -> Option<u64> {
 fn cmd_run(args: &Args) -> Result<(), String> {
     let inst = load_instance(args, 1)?;
     let algo = args.str_flag("algo").unwrap_or("ff");
+    if args.has("hetero") {
+        return cmd_run_hetero(args, &inst, algo);
+    }
     let mut sel = selector_by_name(algo, mu_hint(&inst))?;
     if let Some(spec) = args.str_flag("faults") {
         return cmd_run_faults(args, &inst, algo, &mut *sel, spec);
@@ -391,6 +397,160 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let body = serde_json::to_string(&trace).map_err(|e| e.to_string())?;
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
         println!("trace saved to {path}");
+    }
+    Ok(())
+}
+
+/// `dbp run FILE --hetero`: widen the scalar trace to the heterogeneous
+/// `[gpu, cpu, mem]` catalog and pack it as one 3-dimensional vector
+/// instance. Feasibility is the intersection of the per-dimension
+/// constraints; the per-dimension utilization table shows which
+/// dimension actually binds.
+fn cmd_run_hetero(args: &Args, scalar: &Instance, algo: &str) -> Result<(), String> {
+    use dbp_core::demand::{Demand, VSize};
+    use dbp_workloads::vector::{DIM_NAMES, HETERO_DIMS};
+    let inst = dbp_workloads::widen(scalar);
+    let mut sel =
+        dbp_core::algorithms::selector_for::<VSize<HETERO_DIMS>>(algo).ok_or_else(|| {
+            format!(
+            "--hetero packs with ff, bf, mff or dom (plus -idx variants); '{algo}' is scalar-only"
+        )
+        })?;
+    let started = std::time::Instant::now();
+    let trace = if args.has("validate") {
+        dbp_core::engine::simulate_validated(&inst, &mut sel)
+    } else {
+        dbp_core::engine::simulate(&inst, &mut sel)
+    };
+    let wall = started.elapsed();
+    let busy = trace.total_cost_ticks();
+    println!(
+        "algorithm      : {} ({HETERO_DIMS}-dimensional)",
+        trace.algorithm
+    );
+    println!("items          : {}", inst.len());
+    println!("total cost     : {busy} bin-ticks");
+    println!("bins used      : {}", trace.bins_used());
+    println!("max open bins  : {}", trace.max_open_bins());
+    let cap = inst.capacity();
+    let peak = dbp_workloads::vector::peak_pressure(&inst);
+    let mut dim_reg = Vec::new();
+    for d in 0..HETERO_DIMS {
+        let demand: u128 = inst
+            .items()
+            .iter()
+            .map(|it| {
+                it.size.component(d) as u128 * (it.departure.raw() - it.arrival.raw()) as u128
+            })
+            .sum();
+        let rented = cap.component(d) as u128 * busy;
+        let waste = rented - demand;
+        let ppm = (demand * 1_000_000).checked_div(rented).unwrap_or(0);
+        // Peak concurrent demand is fleet-wide; divide by the per-server
+        // capacity to express it in servers' worth of this resource.
+        println!(
+            "dim {} ({:<3})    : {:.4} utilized, {} demand-ticks, {} wasted, peak {:.1} servers",
+            d,
+            DIM_NAMES[d],
+            ppm as f64 / 1e6,
+            demand,
+            waste,
+            peak[d].0 as f64 / peak[d].1 as f64,
+        );
+        dim_reg.push((demand, rented, waste, ppm));
+    }
+    println!("wall time      : {:.3} ms", wall.as_secs_f64() * 1e3);
+    if let Some(path) = args.str_flag("metrics") {
+        let clamp = |v: u128| v.min(i64::MAX as u128) as i64;
+        let mut reg = dbp_obs::MetricsRegistry::new();
+        reg.gauge_set("dbp_bins_used", trace.bins_used() as i64);
+        reg.gauge_set("dbp_cost_ticks", clamp(busy));
+        for (d, (demand, rented, waste, ppm)) in dim_reg.iter().enumerate() {
+            let mut dreg = dbp_obs::MetricsRegistry::new();
+            dreg.gauge_set("dbp_dim_demand_ticks", clamp(*demand));
+            dreg.gauge_set("dbp_dim_rented_ticks", clamp(*rented));
+            dreg.gauge_set("dbp_dim_waste_ticks", clamp(*waste));
+            dreg.gauge_set("dbp_dim_utilization_ppm", clamp(*ppm));
+            reg.absorb_labeled(&dreg, "dim", DIM_NAMES[d]);
+        }
+        dbp_obs::export::write_prometheus(std::path::Path::new(path), &reg)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics saved to {path}");
+    }
+    Ok(())
+}
+
+/// `dbp cluster FILE --hetero`: route the widened vector instance across
+/// shards with per-dimension load folds and report the exact
+/// per-dimension ledger (conservation is asserted inside
+/// [`dbp_cluster::vector::run_cluster_vec`]).
+fn cmd_cluster_hetero(
+    args: &Args,
+    scalar: &Instance,
+    algo: &str,
+    shards: usize,
+    router: dbp_cluster::Router,
+) -> Result<(), String> {
+    use dbp_core::demand::VSize;
+    use dbp_workloads::vector::{DIM_NAMES, HETERO_DIMS};
+    let inst = dbp_workloads::widen(scalar);
+    dbp_core::algorithms::selector_for::<VSize<HETERO_DIMS>>(algo).ok_or_else(|| {
+        format!(
+            "--hetero packs with ff, bf, mff or dom (plus -idx variants); '{algo}' is scalar-only"
+        )
+    })?;
+    let run = dbp_cluster::vector::run_cluster_vec(&inst, router, shards, || {
+        dbp_core::algorithms::selector_for::<VSize<HETERO_DIMS>>(algo)
+            .expect("algorithm name validated above")
+    });
+    println!(
+        "algorithm      : {} ({HETERO_DIMS}-dimensional)",
+        run.algorithm
+    );
+    println!("router         : {}", run.router);
+    println!("shards         : {}", run.shards_used);
+    println!("sessions       : {}", run.sessions_served);
+    println!("servers rented : {}", run.servers_rented);
+    println!("busy ticks     : {}", run.busy_ticks);
+    println!("ledger         : conserved");
+    for d in &run.dims {
+        println!(
+            "dim {} ({:<3})    : {:.4} utilized, {} demand-ticks, {} wasted",
+            d.dim,
+            DIM_NAMES[d.dim],
+            d.utilization.to_f64(),
+            d.demand_ticks,
+            d.waste_ticks,
+        );
+    }
+    for s in &run.shards {
+        println!(
+            "  shard {:>2}     : {} sessions, {} bins, {} bin-ticks",
+            s.shard,
+            s.back.len(),
+            s.trace.bins_used(),
+            s.trace.total_cost_ticks(),
+        );
+    }
+    if let Some(path) = args.str_flag("metrics") {
+        let clamp = |v: u128| v.min(i64::MAX as u128) as i64;
+        let mut reg = dbp_obs::MetricsRegistry::new();
+        reg.gauge_set("dbp_cluster_servers_rented", run.servers_rented as i64);
+        reg.gauge_set("dbp_cluster_busy_ticks", clamp(run.busy_ticks));
+        for d in &run.dims {
+            let mut dreg = dbp_obs::MetricsRegistry::new();
+            dreg.gauge_set("dbp_dim_demand_ticks", clamp(d.demand_ticks));
+            dreg.gauge_set("dbp_dim_rented_ticks", clamp(d.rented_ticks));
+            dreg.gauge_set("dbp_dim_waste_ticks", clamp(d.waste_ticks));
+            let ppm = (d.demand_ticks * 1_000_000)
+                .checked_div(d.rented_ticks)
+                .unwrap_or(0);
+            dreg.gauge_set("dbp_dim_utilization_ppm", clamp(ppm));
+            reg.absorb_labeled(&dreg, "dim", DIM_NAMES[d.dim]);
+        }
+        dbp_obs::export::write_prometheus(std::path::Path::new(path), &reg)
+            .map_err(|e| format!("{path}: {e}"))?;
+        println!("metrics saved to {path}");
     }
     Ok(())
 }
@@ -621,6 +781,9 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         return Err("--shards must be at least 1".into());
     }
     let router = parse_router(args)?;
+    if args.has("hetero") {
+        return cmd_cluster_hetero(args, &inst, algo, shards, router);
+    }
     let batch = parse_batch(args)?;
     let mut config = dbp_cluster::ClusterConfig::new(shards, router).map_err(|e| e.to_string())?;
     config.batch = batch;
@@ -949,6 +1112,41 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     if capacity == 0 {
         return Err("--capacity must be at least 1".into());
     }
+    // --capacities A,B,.. implies the dimensionality; --dims D alone splats
+    // --capacity across D resource dimensions.
+    let capacities: Option<Vec<u64>> = match args.str_flag("capacities") {
+        None => None,
+        Some(spec) => Some(
+            spec.split(',')
+                .map(|c| {
+                    c.trim()
+                        .parse::<u64>()
+                        .map_err(|_| format!("--capacities expects N,N,.. — got '{c}'"))
+                })
+                .collect::<Result<Vec<u64>, String>>()?,
+        ),
+    };
+    let dims = match (&capacities, args.str_flag("dims")) {
+        (Some(caps), None) => caps.len(),
+        (caps, Some(d)) => {
+            let d: usize = d
+                .parse()
+                .map_err(|_| format!("--dims expects 1..={}, got '{d}'", dbp_serve::MAX_DIMS))?;
+            if let Some(caps) = caps {
+                if caps.len() != d {
+                    return Err(format!(
+                        "--capacities lists {} dimensions but --dims says {d}",
+                        caps.len()
+                    ));
+                }
+            }
+            d
+        }
+        (None, None) => 1,
+    };
+    if !(1..=dbp_serve::MAX_DIMS).contains(&dims) {
+        return Err(format!("--dims must be 1..={}", dbp_serve::MAX_DIMS));
+    }
     let defaults = dbp_cloudsim::AdmissionPolicy::default();
     let admission = dbp_cloudsim::AdmissionPolicy {
         queue_capacity: args.u64_flag_or("queue-capacity", defaults.queue_capacity as u64)? as u32,
@@ -975,6 +1173,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         shards,
         router: parse_router(args)?,
         capacity,
+        dims,
+        capacities,
         admission,
         backpressure,
         max_sessions: args.u64_flag_or("max-sessions", 65_536)? as usize,
@@ -985,13 +1185,20 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
 
     dbp_serve::install_signal_handlers();
     let summary = dbp_serve::run_server(cfg, &factory, dbp_serve::global_flag(), |h| {
-        println!("listening      : {} ({} shards, {algo})", h.addr, shards);
+        println!(
+            "listening      : {} ({} shards, {algo}, {dims}-dimensional)",
+            h.addr, shards
+        );
         if let Some(m) = h.metrics_addr {
             println!("metrics        : http://{m}/metrics");
         }
+        let arrive = if dims == 1 {
+            "{\"op\":\"arrive\",\"id\":N,\"at\":T,\"size\":S}".to_string()
+        } else {
+            format!("{{\"op\":\"arrive\",\"id\":N,\"at\":T,\"demand\":[{dims} components]}}")
+        };
         println!(
-            "protocol       : one JSON object per line — \
-                  {{\"op\":\"arrive\",\"id\":N,\"at\":T,\"size\":S}} | \
+            "protocol       : one JSON object per line — {arrive} | \
                   {{\"op\":\"depart\",\"id\":N,\"at\":T}} | {{\"op\":\"ping\",\"id\":N}}"
         );
     })?;
@@ -1188,6 +1395,21 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
     if args.has("serve-shards") {
         return cmd_recover_serve(path, args.u64_flag("serve-shards")? as usize);
     }
+    // Vector journals (format v2) carry their dimensionality in the header;
+    // dispatch to the monomorphized per-dimension audit. Scalar (v1)
+    // journals keep the original path byte-for-byte.
+    let dims = dbp_obs::journal::peek_journal_dims(std::path::Path::new(path))
+        .map_err(|e| format!("{path}: {e}"))?;
+    if dims > 1 {
+        return match dims {
+            2 => cmd_recover_vector::<2>(args, path),
+            3 => cmd_recover_vector::<3>(args, path),
+            4 => cmd_recover_vector::<4>(args, path),
+            d => Err(format!(
+                "{path}: journal holds {d}-dimensional demands; this build audits up to 4"
+            )),
+        };
+    }
     let contents = dbp_obs::journal::read_journal(std::path::Path::new(path))?;
     match &contents.torn {
         Some(torn) => {
@@ -1381,6 +1603,70 @@ fn cmd_recover(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `dbp recover FILE.wal` for a format-v2 (vector) journal: the
+/// structural audit plus the **exact per-dimension cost audit** — served
+/// demand-ticks recomputed from the events alone, one integer per
+/// resource dimension. Resume (`--trace`) stays scalar-only; a vector
+/// journal names its own dimensionality, so this path never guesses.
+fn cmd_recover_vector<const D: usize>(args: &Args, path: &str) -> Result<(), String> {
+    if args.has("trace") {
+        return Err(format!(
+            "--trace resume is scalar-only; this journal is {D}-dimensional"
+        ));
+    }
+    let contents = dbp_obs::journal::read_journal_dims::<dbp_core::demand::VSize<D>>(
+        std::path::Path::new(path),
+    )?;
+    match &contents.torn {
+        Some(torn) => {
+            println!(
+                "journal        : torn tail — {} (sound prefix {} bytes)",
+                torn.reason, torn.sound_len
+            );
+            if args.has("repair") {
+                dbp_obs::journal::repair_journal(std::path::Path::new(path))?;
+                println!("repaired       : truncated to {} bytes", torn.sound_len);
+            }
+        }
+        None => println!("journal        : clean"),
+    }
+    println!("dimensions     : {D}");
+    println!("events         : {}", contents.events.len());
+    let s = dbp_obs::replay::replay_events_dims(&contents.events)
+        .map_err(|e| format!("{path}: audit failed: {e}"))?;
+    println!(
+        "items          : {} arrived, {} placed, {} departed",
+        s.arrivals, s.placements, s.departures
+    );
+    println!(
+        "bins           : {} opened, {} closed, {} still open (peak {})",
+        s.bins_opened, s.bins_closed, s.open_at_end, s.max_open
+    );
+    if s.violations > 0 {
+        println!("carried        : {} violations", s.violations);
+    }
+    println!(
+        "replayed cost  : {} bin-ticks ({})",
+        s.cost_ticks,
+        if s.is_complete() {
+            "complete run"
+        } else {
+            "closed bins only — run was interrupted"
+        }
+    );
+    let (ticks, resident) = dbp_obs::per_dim_demand_ticks(&contents.events);
+    for (d, t) in ticks.iter().enumerate() {
+        println!("dim {d} served   : {t} demand-ticks");
+    }
+    if resident > 0 {
+        println!(
+            "resident       : {resident} items still placed at stream end \
+             (their demand-ticks are not yet accountable)"
+        );
+    }
+    Ok(())
+}
+
 /// `dbp recover BASE --serve-shards N`: audit a daemon's journal set.
 ///
 /// Reads `BASE.shardK` for every shard — tolerating torn tails, exactly
@@ -1400,43 +1686,93 @@ fn cmd_recover_serve(base: &str, shards: usize) -> Result<(), String> {
     let mut sheds = 0u64;
     let mut open_bins = 0u64;
     let mut cost_ticks = 0u128;
+    let mut journal_dims = 1usize;
+    let mut dim_ticks: Vec<u128> = Vec::new();
     for k in 0..shards {
         let path = format!("{base}.shard{k}");
-        let contents = dbp_obs::journal::read_journal(std::path::Path::new(&path))?;
-        // Serve journals interleave drop records (admission sheds) with
-        // the engine stream; the auditor counts them alongside the
-        // structural replay.
-        let s = dbp_obs::replay::replay_events(&contents.events)
-            .map_err(|e| format!("{path}: audit failed: {e}"))?;
-        let tail = match &contents.torn {
-            Some(torn) => {
+        let a = audit_serve_journal(std::path::Path::new(&path))?;
+        journal_dims = journal_dims.max(a.dim_ticks.len());
+        let s = &a.summary;
+        let tail = match &a.torn {
+            Some(reason) => {
                 torn_shards += 1;
-                format!("torn tail ({})", torn.reason)
+                format!("torn tail ({reason})")
             }
             None => "clean".to_string(),
         };
         println!(
             "shard {k:>2}       : {} events, {} placed, {} departed, {} shed, \
              {} bins open — {tail}",
-            contents.events.len(),
-            s.placements,
-            s.departures,
-            s.fault_events,
-            s.open_at_end,
+            a.events, s.placements, s.departures, s.fault_events, s.open_at_end,
         );
-        events += contents.events.len() as u64;
+        events += a.events as u64;
         placements += s.placements;
         departures += s.departures;
         sheds += s.fault_events;
         open_bins += s.open_at_end;
         cost_ticks += s.cost_ticks;
+        dim_ticks.resize(dim_ticks.len().max(a.dim_ticks.len()), 0);
+        for (slot, t) in dim_ticks.iter_mut().zip(&a.dim_ticks) {
+            *slot += t;
+        }
     }
+    if journal_dims > 1 {
+        for (d, t) in dim_ticks.iter().enumerate() {
+            println!("dim {d} served   : {t} demand-ticks");
+        }
+    }
+    let dims_json = if journal_dims > 1 {
+        let ticks: Vec<String> = dim_ticks.iter().map(|t| t.to_string()).collect();
+        format!(
+            ",\"dims\":{journal_dims},\"dim_demand_ticks\":[{}]",
+            ticks.join(",")
+        )
+    } else {
+        String::new()
+    };
     println!(
         "{{\"shards\":{shards},\"torn_shards\":{torn_shards},\"events\":{events},\
          \"placements\":{placements},\"departures\":{departures},\"sheds\":{sheds},\
-         \"open_bins\":{open_bins},\"closed_cost_ticks\":{cost_ticks}}}"
+         \"open_bins\":{open_bins},\"closed_cost_ticks\":{cost_ticks}{dims_json}}}"
     );
     Ok(())
+}
+
+/// One serve-shard journal, read at whatever dimensionality its header
+/// declares, audited structurally plus per-dimension.
+struct ShardAudit {
+    events: usize,
+    torn: Option<String>,
+    summary: dbp_obs::ReplaySummary,
+    dim_ticks: Vec<u128>,
+}
+
+fn audit_serve_journal(path: &std::path::Path) -> Result<ShardAudit, String> {
+    fn at_dims<const D: usize>(path: &std::path::Path) -> Result<ShardAudit, String> {
+        let c = dbp_obs::journal::read_journal_dims::<dbp_core::demand::VSize<D>>(path)?;
+        // Serve journals interleave drop records (admission sheds) with
+        // the engine stream; the auditor counts them alongside the
+        // structural replay.
+        let summary = dbp_obs::replay::replay_events_dims(&c.events)
+            .map_err(|e| format!("{}: audit failed: {e}", path.display()))?;
+        let (dim_ticks, _) = dbp_obs::per_dim_demand_ticks(&c.events);
+        Ok(ShardAudit {
+            events: c.events.len(),
+            torn: c.torn.map(|t| t.reason),
+            summary,
+            dim_ticks,
+        })
+    }
+    match dbp_obs::journal::peek_journal_dims(path)? {
+        1 => at_dims::<1>(path),
+        2 => at_dims::<2>(path),
+        3 => at_dims::<3>(path),
+        4 => at_dims::<4>(path),
+        d => Err(format!(
+            "{}: journal holds {d}-dimensional demands; this build audits up to 4",
+            path.display()
+        )),
+    }
 }
 
 fn cmd_trace(args: &Args) -> Result<(), String> {

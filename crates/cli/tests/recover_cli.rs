@@ -260,3 +260,170 @@ fn journal_flag_validation() {
     let err = stderr_of_failure(&dbp(&["recover", &wal, "--resume-jsonl", &wal]));
     assert!(err.contains("--trace"), "{err}");
 }
+
+// ---------------------------------------------------------------------
+// Format-v2 (vector) journals: append → SIGKILL → `dbp recover` with the
+// exact per-dimension cost audit; v1 scalar journals keep their path.
+
+/// Write a 3-dimensional journal exactly as a daemon shard would — then
+/// "SIGKILL" it: the writer is dropped mid-stream, never `finish`ed.
+/// Returns the journal path and the exact per-dimension demand-ticks of
+/// the departed items.
+fn vector_journal_killed_midstream(dir: &std::path::Path, stem: &str) -> (String, [u128; 3]) {
+    use dbp_core::demand::VSize;
+    use dbp_core::item::{GItem, ItemId};
+    use dbp_core::StreamingEngine;
+    use dbp_obs::journal::{FsyncPolicy, JournalProbe};
+
+    let wal = path(dir, &format!("{stem}.wal"));
+    let probe = JournalProbe::create_dims(std::path::Path::new(&wal), FsyncPolicy::Never, 3)
+        .expect("journal opens");
+    let mut eng = StreamingEngine::new(
+        VSize::<3>([1000, 800, 1000]),
+        dbp_core::algorithms::selector_for::<VSize<3>>("FF").unwrap(),
+        probe,
+    );
+    // Three sessions with heterogeneous footprints; the first two depart
+    // inside the journaled window, the third is still resident at the
+    // kill. Demand-ticks below count the departed only.
+    let items: [(u64, u64, [u64; 3]); 3] = [
+        (0, 40, [125, 90, 220]),
+        (5, 25, [240, 170, 680]),
+        (10, 900, [65, 45, 120]),
+    ];
+    let mut ticks = [0u128; 3];
+    for (i, &(a, dep, size)) in items.iter().enumerate() {
+        eng.push_arrival(
+            GItem::<VSize<3>> {
+                id: ItemId(i as u32),
+                arrival: dbp_core::time::Tick(a),
+                departure: dbp_core::time::Tick(dep),
+                size: VSize(size),
+                region: dbp_core::item::RegionId::GLOBAL,
+            },
+            dbp_core::time::Tick(a),
+        )
+        .unwrap();
+    }
+    // Advance past the first two departures so they hit the journal.
+    eng.push_arrival(
+        GItem::<VSize<3>> {
+            id: ItemId(3),
+            arrival: dbp_core::time::Tick(50),
+            departure: dbp_core::time::Tick(60),
+            size: VSize([1, 1, 1]),
+            region: dbp_core::item::RegionId::GLOBAL,
+        },
+        dbp_core::time::Tick(50),
+    )
+    .unwrap();
+    for &(a, dep, size) in &items[..2] {
+        let span = (dep - a) as u128;
+        for d in 0..3 {
+            ticks[d] += size[d] as u128 * span;
+        }
+    }
+    drop(eng); // SIGKILL: no finish, no drain
+    (wal, ticks)
+}
+
+#[test]
+fn recover_audits_a_killed_vector_journal_per_dimension() {
+    let dir = tmpdir();
+    let (wal, ticks) = vector_journal_killed_midstream(&dir, "vec-kill");
+    let out = stdout(&dbp(&["recover", &wal]));
+    assert!(out.contains("journal        : clean"), "{out}");
+    assert!(out.contains("dimensions     : 3"), "{out}");
+    assert!(
+        out.contains("closed bins only — run was interrupted"),
+        "{out}"
+    );
+    for (d, t) in ticks.iter().enumerate() {
+        assert!(
+            out.contains(&format!("dim {d} served   : {t} demand-ticks")),
+            "missing exact dim {d} audit in:\n{out}"
+        );
+    }
+    assert!(out.contains("resident       : 2 items"), "{out}");
+}
+
+#[test]
+fn vector_journals_reject_scalar_only_resume() {
+    let dir = tmpdir();
+    let (wal, _) = vector_journal_killed_midstream(&dir, "vec-resume");
+    let tr = path(&dir, "vec-resume.json");
+    stdout(&dbp(&[
+        "generate", "mu", "--mu", "10", "--n", "20", "--seed", "3", "--out", &tr,
+    ]));
+    let err = stderr_of_failure(&dbp(&["recover", &wal, "--trace", &tr]));
+    assert!(err.contains("scalar-only"), "{err}");
+    assert!(err.contains("3-dimensional"), "{err}");
+}
+
+#[test]
+fn torn_vector_journal_reports_and_repairs() {
+    let dir = tmpdir();
+    let (wal, ticks) = vector_journal_killed_midstream(&dir, "vec-torn");
+    // Tear the tail: chop a few bytes off the final record.
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 3]).unwrap();
+    let out = stdout(&dbp(&["recover", &wal]));
+    assert!(out.contains("torn tail"), "{out}");
+    assert!(out.contains("dimensions     : 3"), "{out}");
+    let out = stdout(&dbp(&["recover", &wal, "--repair"]));
+    assert!(out.contains("repaired       : truncated to"), "{out}");
+    // After repair the journal is clean and the audit is unchanged for
+    // every fully-journaled dimension total.
+    let out = stdout(&dbp(&["recover", &wal]));
+    assert!(out.contains("journal        : clean"), "{out}");
+    assert!(
+        out.contains(&format!("dim 0 served   : {} demand-ticks", ticks[0])),
+        "{out}"
+    );
+}
+
+#[test]
+fn serve_shard_set_audit_aggregates_vector_dimensions() {
+    let dir = tmpdir();
+    // Two shards of the same daemon: BASE.shard0 and BASE.shard1.
+    let base = path(&dir, "vecdaemon.wal");
+    let (s0, t0) = vector_journal_killed_midstream(&dir, "vecdaemon.wal.shard0-stage");
+    let (s1, t1) = vector_journal_killed_midstream(&dir, "vecdaemon.wal.shard1-stage");
+    std::fs::rename(&s0, format!("{base}.shard0")).unwrap();
+    std::fs::rename(&s1, format!("{base}.shard1")).unwrap();
+    let out = stdout(&dbp(&["recover", &base, "--serve-shards", "2"]));
+    assert!(out.contains("shard  0"), "{out}");
+    assert!(out.contains("shard  1"), "{out}");
+    for d in 0..3usize {
+        let total = t0[d] + t1[d];
+        assert!(
+            out.contains(&format!("dim {d} served   : {total} demand-ticks")),
+            "missing aggregated dim {d} in:\n{out}"
+        );
+    }
+    assert!(out.contains("\"dims\":3"), "{out}");
+    assert!(out.contains("\"dim_demand_ticks\":["), "{out}");
+}
+
+/// A v1 scalar journal written today still replays through the scalar
+/// path — no dims line, no per-dimension rows, byte-stable output shape.
+#[test]
+fn v1_scalar_journals_keep_the_scalar_recover_path() {
+    let dir = tmpdir();
+    let (_, wal, _) = journaled_run(&dir, "v1-compat");
+    let header = {
+        let mut f = std::fs::File::open(&wal).unwrap();
+        use std::io::Read;
+        let mut m = [0u8; 8];
+        f.read_exact(&mut m).unwrap();
+        m
+    };
+    assert_eq!(&header, b"DBPWAL01", "scalar journals must stay format v1");
+    let out = stdout(&dbp(&["recover", &wal]));
+    assert!(out.contains("journal        : clean"), "{out}");
+    assert!(
+        !out.contains("dimensions"),
+        "scalar output grew a dims line:\n{out}"
+    );
+    assert!(!out.contains("dim 0 served"), "{out}");
+}

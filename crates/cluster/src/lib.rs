@@ -50,6 +50,7 @@ pub mod cancel;
 pub mod engine;
 pub mod faults;
 pub mod router;
+pub mod vector;
 
 pub use engine::{
     run_shard_probed, run_shard_traced, BatchPolicy, ClusterConfig, ClusterEngine, ClusterError,
@@ -58,3 +59,4 @@ pub use engine::{
 };
 pub use faults::{KillPoint, RestartPolicy, ShardFaultPlan, ShardHealth, ShardKill};
 pub use router::Router;
+pub use vector::{assign_vec, route_one_dims, route_one_vec, run_cluster_vec, VectorClusterRun};

@@ -31,6 +31,12 @@ fn ff_factory() -> SelectorFactory {
     SelectorFactory::new("FF", || Box::new(FirstFit::new()))
 }
 
+fn temp_journal(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dbp-chaos-{tag}-{}", std::process::id()));
+    p
+}
+
 fn engine(shards: usize, router: Router) -> ClusterEngine {
     ClusterEngine::new(
         GamingSystem::paper_model(),
@@ -294,6 +300,126 @@ proptest! {
             prop_assert_eq!(
                 healed.manifest.ledger_conserved, Some(true)
             );
+        }
+    }
+
+    /// Satellite (vector demands): killing one shard of a 3-dimensional
+    /// cluster mid-stream leaves a clean format-v2 journal whose events
+    /// are a byte-identical prefix of the unkilled shard's stream, and a
+    /// deterministic resurrection (re-run of the same sub-stream)
+    /// converges to the identical final trace with the per-dimension
+    /// ledger conserved — for every router.
+    #[test]
+    fn vector_shard_kill_heals_byte_identically(
+        seed in 0u64..200,
+        shards_ix in 0usize..2,
+        kill_frac in 1u32..100,
+    ) {
+        use dbp_core::demand::{Demand, VSize};
+        use dbp_core::StreamingEngine;
+        use dbp_core::algorithms::selector_for;
+        use dbp_cluster::vector::assign_vec;
+        use dbp_obs::journal::{read_journal_dims, FsyncPolicy, JournalProbe};
+
+        let shards = [2usize, 4][shards_ix];
+        let vinst = dbp_workloads::widen(&workload(seed % 7));
+        for router in Router::ALL {
+            let assignment = assign_vec(router, &vinst, shards);
+            let victim = (seed as usize) % shards;
+            let (sub, _back) = vinst.restrict(|it| assignment[it.id.index()] == victim);
+            if sub.len() < 2 {
+                continue; // nothing to kill mid-stream
+            }
+            let mut order: Vec<_> = sub.items().to_vec();
+            order.sort_by_key(|it| (it.arrival, it.id));
+
+            let tag = format!("vchaos-{seed}-{shards}-{}", router.name());
+            let full_path = temp_journal(&format!("{tag}-full"));
+            let killed_path = temp_journal(&format!("{tag}-killed"));
+
+            // The unkilled run, journaled.
+            let probe = JournalProbe::create_dims(&full_path, FsyncPolicy::Never, 3)
+                .expect("journal opens");
+            let mut eng = StreamingEngine::new(
+                sub.capacity(),
+                selector_for::<VSize<3>>("FF").unwrap(),
+                probe,
+            );
+            for it in &order {
+                eng.push_arrival(*it, it.arrival).unwrap();
+            }
+            let full_trace = eng.finish().unwrap();
+
+            // The killed run: stop after a prefix and drop the engine —
+            // the shard dies with its journal mid-stream.
+            let kill_after = ((order.len() as u32 * kill_frac / 100).max(1) as usize)
+                .min(order.len() - 1);
+            let probe = JournalProbe::create_dims(&killed_path, FsyncPolicy::Never, 3)
+                .expect("journal opens");
+            let mut eng = StreamingEngine::new(
+                sub.capacity(),
+                selector_for::<VSize<3>>("FF").unwrap(),
+                probe,
+            );
+            for it in &order[..kill_after] {
+                eng.push_arrival(*it, it.arrival).unwrap();
+            }
+            drop(eng); // kill: no finish(), no drain — drop-path seal only
+
+            let full = read_journal_dims::<VSize<3>>(&full_path).expect("full journal readable");
+            let killed =
+                read_journal_dims::<VSize<3>>(&killed_path).expect("killed journal readable");
+            prop_assert!(full.torn.is_none());
+            prop_assert!(killed.torn.is_none(), "{}: drop-path seal tore", router.name());
+            prop_assert!(!killed.events.is_empty());
+            prop_assert_eq!(
+                dbp_obs::export::events_to_jsonl_dims(&killed.events),
+                dbp_obs::export::events_to_jsonl_dims(&full.events[..killed.events.len()]),
+                "{}: killed journal is not a byte prefix of the clean stream", router.name()
+            );
+
+            // Resurrection: the engine is deterministic, so a replayed
+            // shard converges to the identical final trace …
+            let mut eng = StreamingEngine::new(
+                sub.capacity(),
+                selector_for::<VSize<3>>("FF").unwrap(),
+                dbp_core::probe::NoProbe,
+            );
+            for it in &order {
+                eng.push_arrival(*it, it.arrival).unwrap();
+            }
+            let healed_trace = eng.finish().unwrap();
+            prop_assert_eq!(
+                serde_json::to_string(&healed_trace).unwrap(),
+                serde_json::to_string(&full_trace).unwrap(),
+                "{}: resurrected trace diverged", router.name()
+            );
+
+            // … and the journal's per-dimension ledger balances exactly:
+            // everything placed departs, with demand-ticks matching the
+            // sub-instance dimension by dimension.
+            let audit = dbp_obs::replay_events_dims(&full.events).expect("audit passes");
+            prop_assert_eq!(audit.placements, sub.len() as u64);
+            prop_assert_eq!(audit.departures, sub.len() as u64);
+            let (dim_ticks, resident) = dbp_obs::per_dim_demand_ticks(&full.events);
+            prop_assert_eq!(resident, 0);
+            for (d, &got) in dim_ticks.iter().enumerate() {
+                let expected: u128 = sub
+                    .items()
+                    .iter()
+                    .map(|it| {
+                        it.size.component(d) as u128
+                            * (it.departure.raw() - it.arrival.raw()) as u128
+                    })
+                    .sum();
+                prop_assert_eq!(
+                    got, expected,
+                    "{}: dim {} demand-ticks diverged", router.name(), d
+                );
+            }
+
+            std::fs::remove_file(&full_path).ok();
+            std::fs::remove_file(&killed_path).ok();
         }
     }
 

@@ -4,8 +4,9 @@
 //! MinTotal DBP, for any µ; `dbp-adversary::theorem2` builds the witness.
 
 use super::argmin_fitting;
-use crate::bin::OpenBinView;
-use crate::item::{ArrivingItem, Size};
+use crate::bin::GOpenBinView;
+use crate::demand::Demand;
+use crate::item::GArrivingItem;
 use crate::packer::{BinSelector, Decision};
 
 /// Best Fit packing. Ties (equal levels) break toward the earliest-opened
@@ -20,13 +21,20 @@ impl BestFit {
     }
 }
 
-impl BinSelector for BestFit {
+impl<Sz: Demand> BinSelector<Sz> for BestFit {
     fn name(&self) -> &'static str {
         "BF"
     }
 
-    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _capacity: Size) -> Decision {
-        argmin_fitting(bins, item.size, |b| std::cmp::Reverse(b.level))
+    fn select(
+        &mut self,
+        bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        _capacity: Sz,
+    ) -> Decision {
+        // Fullness is the L1 level total: exactly the scalar level at D=1,
+        // so D=1 decisions are byte-identical to the scalar engine's.
+        argmin_fitting(bins, item.size, |b| std::cmp::Reverse(b.level.total()))
             .map(|b| Decision::Use(b.id))
             .unwrap_or(Decision::OPEN)
     }

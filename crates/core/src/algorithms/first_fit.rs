@@ -5,8 +5,9 @@
 //! below `W/k` (Theorem 4).
 
 use super::argmin_fitting;
-use crate::bin::OpenBinView;
-use crate::item::{ArrivingItem, Size};
+use crate::bin::GOpenBinView;
+use crate::demand::Demand;
+use crate::item::GArrivingItem;
 use crate::packer::{BinSelector, Decision};
 
 /// First Fit packing. Stateless — all decisions derive from the open-bin
@@ -21,12 +22,17 @@ impl FirstFit {
     }
 }
 
-impl BinSelector for FirstFit {
+impl<Sz: Demand> BinSelector<Sz> for FirstFit {
     fn name(&self) -> &'static str {
         "FF"
     }
 
-    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, _capacity: Size) -> Decision {
+    fn select(
+        &mut self,
+        bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        _capacity: Sz,
+    ) -> Decision {
         // Bin ids are assigned in opening order, so min-id == earliest opened.
         argmin_fitting(bins, item.size, |b| b.id)
             .map(|b| Decision::Use(b.id))

@@ -14,16 +14,29 @@
 //!   O(log B) where B is the number of bins ever opened. Closed (and
 //!   never-opened) ids hold residual 0, which no item can fit since item
 //!   sizes are validated positive.
-//! * [`IndexedBestFit`] — a `BTreeMap<level, BTreeSet<BinId>>`. "Fullest
-//!   open bin with level ≤ W − s, ties to the earliest-opened" is a range
-//!   query for the greatest feasible level followed by that bucket's
-//!   minimum id, O(log m).
+//! * [`IndexedBestFit`] — a `BTreeMap<level, BTreeSet<BinId>>` keyed by the
+//!   L1 level total. "Fullest open bin with level ≤ W − s, ties to the
+//!   earliest-opened" is a range query for the greatest feasible level
+//!   followed by that bucket's minimum id, O(log m).
 //! * [`IndexedMff`] — the paper's MFF (§4.4) on two class-segregated
 //!   residual trees, one per size class. Classification picks the tree;
 //!   within a tree the query is the same leftmost descent as indexed FF,
 //!   which matches naive MFF because MFF *is* First Fit restricted to
 //!   same-tag bins and each tree holds residual 0 for every bin outside
 //!   its class.
+//!
+//! ## Vector demands
+//!
+//! Every structure is generic over the [`Demand`] type. For `D > 1` the
+//! segment tree's internal nodes hold the componentwise **join** (per-
+//! dimension max) of their children, which over-approximates feasibility:
+//! `s ⊑ join(a, b)` does not imply `s ⊑ a ∨ s ⊑ b`, so the descent
+//! backtracks when both children's subtrees turn out infeasible. At `D = 1`
+//! the join *is* the max and the subtree bound is exact, so the descent
+//! never backtracks and is byte-identical (decisions and complexity) to the
+//! scalar tree. Indexed BF buckets by the L1 total and re-checks
+//! componentwise fit against the stored per-bin level, which degenerates to
+//! the pure range query at `D = 1` where total-feasibility implies fit.
 //!
 //! All three return `false` from [`BinSelector::needs_views`], so the
 //! engine skips open-bin view maintenance entirely and the whole arrival
@@ -34,41 +47,71 @@
 //! [`name`]: BinSelector::name
 
 use super::modified_first_fit::{ItemClass, ModifiedFirstFit, LARGE_TAG, SMALL_TAG};
-use crate::bin::{BinId, BinTag, OpenBinView};
-use crate::item::{ArrivingItem, Size};
+use crate::bin::{BinId, BinTag, GOpenBinView};
+use crate::demand::Demand;
+use crate::item::{GArrivingItem, Size};
 use crate::packer::{BinSelector, Decision};
 use crate::ratio::Ratio;
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Max-residual segment tree keyed by bin id. Leaves hold the residual
-/// capacity of open bins and 0 for closed/unopened ids; internal nodes hold
-/// subtree maxima. Grows by doubling as ids are allocated.
+/// Max-residual segment tree keyed by bin id, generic over the demand type.
+/// Leaves hold the residual capacity of open bins and the all-zero demand
+/// for closed/unopened ids; internal nodes hold the componentwise join
+/// (per-dimension max) of their subtrees. Grows by doubling as ids are
+/// allocated.
 #[derive(Debug, Clone, Default)]
-struct ResidualTree {
+struct ResidualTree<Sz> {
     /// 1-based heap layout; `tree[leaf_base + id]` is bin `id`'s residual.
-    tree: Vec<u64>,
+    tree: Vec<Sz>,
     /// Number of leaves (a power of two, or 0 before the first insert).
     leaves: usize,
 }
 
-impl ResidualTree {
-    /// Smallest open bin id whose residual is at least `s` (`s ≥ 1`).
-    fn first_fitting(&self, s: u64) -> Option<u32> {
-        if self.leaves == 0 || self.tree[1] < s {
+impl<Sz: Demand> ResidualTree<Sz> {
+    /// Smallest open bin id whose residual fits `s` componentwise (`s`
+    /// validated nonzero). The join bound is exact at `D = 1` (no
+    /// backtracking, the classic leftmost descent); at higher dimensions
+    /// the descent backtracks out of subtrees whose join was feasible only
+    /// as a mixture of different leaves.
+    fn first_fitting(&self, s: Sz) -> Option<u32> {
+        if self.leaves == 0 || !s.fits_within(self.tree[1]) {
             return None;
         }
-        let mut node = 1;
-        while node < self.leaves {
-            node *= 2;
-            if self.tree[node] < s {
-                node += 1;
+        let mut node = 1usize;
+        loop {
+            if node < self.leaves {
+                // Internal node known feasible: try the left child first.
+                let left = 2 * node;
+                node = if s.fits_within(self.tree[left]) {
+                    left
+                } else {
+                    left + 1
+                };
+                if s.fits_within(self.tree[node]) {
+                    continue;
+                }
+                // Right child infeasible after a failed left probe (only
+                // possible at D > 1): backtrack to the nearest ancestor
+                // whose right sibling is untried and feasible.
+                loop {
+                    let from_left = node.is_multiple_of(2);
+                    node /= 2;
+                    if node == 0 {
+                        return None;
+                    }
+                    if from_left && s.fits_within(self.tree[2 * node + 1]) {
+                        node = 2 * node + 1;
+                        break;
+                    }
+                }
+            } else {
+                return Some((node - self.leaves) as u32);
             }
         }
-        Some((node - self.leaves) as u32)
     }
 
     /// Set bin `id`'s residual, growing the tree if the id is new.
-    fn set(&mut self, id: u32, residual: u64) {
+    fn set(&mut self, id: u32, residual: Sz) {
         let id = id as usize;
         if id >= self.leaves {
             self.grow(id + 1);
@@ -77,28 +120,28 @@ impl ResidualTree {
         self.tree[node] = residual;
         while node > 1 {
             node /= 2;
-            self.tree[node] = self.tree[2 * node].max(self.tree[2 * node + 1]);
+            self.tree[node] = self.tree[2 * node].join(self.tree[2 * node + 1]);
         }
     }
 
-    /// Bin `id`'s current residual (0 if never seen).
+    /// Bin `id`'s current residual (all-zero if never seen).
     #[cfg(test)]
-    fn get(&self, id: u32) -> u64 {
+    fn get(&self, id: u32) -> Sz {
         let id = id as usize;
         if id < self.leaves {
             self.tree[self.leaves + id]
         } else {
-            0
+            Sz::ZERO
         }
     }
 
     fn grow(&mut self, min_leaves: usize) {
         let new_leaves = min_leaves.next_power_of_two().max(64);
-        let mut tree = vec![0u64; 2 * new_leaves];
+        let mut tree = vec![Sz::ZERO; 2 * new_leaves];
         tree[new_leaves..new_leaves + self.leaves]
             .copy_from_slice(&self.tree[self.leaves..2 * self.leaves]);
         for node in (1..new_leaves).rev() {
-            tree[node] = tree[2 * node].max(tree[2 * node + 1]);
+            tree[node] = tree[2 * node].join(tree[2 * node + 1]);
         }
         self.tree = tree;
         self.leaves = new_leaves;
@@ -106,39 +149,49 @@ impl ResidualTree {
 }
 
 /// First Fit answered from a segment tree: same decisions as
-/// [`FirstFit`](super::FirstFit), O(log B) per arrival.
+/// [`FirstFit`](super::FirstFit), O(log B) per arrival. Scalar via the
+/// [`IndexedFirstFit`] alias.
 #[derive(Debug, Clone, Default)]
-pub struct IndexedFirstFit {
-    tree: ResidualTree,
-    capacity: Option<Size>,
+pub struct GIndexedFirstFit<Sz> {
+    tree: ResidualTree<Sz>,
+    capacity: Option<Sz>,
 }
 
-impl IndexedFirstFit {
+/// The scalar indexed First Fit of the paper's model.
+pub type IndexedFirstFit = GIndexedFirstFit<Size>;
+
+impl<Sz: Demand> GIndexedFirstFit<Sz> {
     /// Create an indexed First Fit selector.
-    pub fn new() -> IndexedFirstFit {
-        IndexedFirstFit::default()
+    pub fn new() -> GIndexedFirstFit<Sz> {
+        GIndexedFirstFit {
+            tree: ResidualTree::default(),
+            capacity: None,
+        }
     }
 
-    fn residual(&self, level: Size) -> u64 {
-        let w = self
-            .capacity
+    fn residual(&self, level: Sz) -> Sz {
+        self.capacity
             .expect("hook before the first select call")
-            .raw();
-        w - level.raw()
+            .sub(level)
     }
 }
 
-impl BinSelector for IndexedFirstFit {
+impl<Sz: Demand> BinSelector<Sz> for GIndexedFirstFit<Sz> {
     fn name(&self) -> &'static str {
         // Deliberately the naive selector's name: this *is* First Fit, so
         // traces (which carry the algorithm name) stay byte-identical.
         "FF"
     }
 
-    fn select(&mut self, _bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
-        debug_assert!(item.size.raw() > 0, "zero-size items break the 0-sentinel");
+    fn select(
+        &mut self,
+        _bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        capacity: Sz,
+    ) -> Decision {
+        debug_assert!(!item.size.is_zero(), "zero-size items break the 0-sentinel");
         self.capacity = Some(capacity);
-        match self.tree.first_fitting(item.size.raw()) {
+        match self.tree.first_fitting(item.size) {
             Some(id) => Decision::Use(BinId(id)),
             None => Decision::OPEN,
         }
@@ -148,28 +201,33 @@ impl BinSelector for IndexedFirstFit {
         false
     }
 
-    fn on_decision_replayed(&mut self, _item: &ArrivingItem, _decision: Decision, capacity: Size) {
+    fn on_decision_replayed(
+        &mut self,
+        _item: &GArrivingItem<Sz>,
+        _decision: Decision,
+        capacity: Sz,
+    ) {
         // `select` learns the capacity on its first call; replay must seed
         // it the same way or the hooks below cannot compute residuals.
         self.capacity = Some(capacity);
     }
 
-    fn on_bin_opened(&mut self, bin: BinId, _tag: BinTag, level: Size) {
+    fn on_bin_opened(&mut self, bin: BinId, _tag: BinTag, level: Sz) {
         self.tree.set(bin.0, self.residual(level));
     }
 
-    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+    fn on_item_placed(&mut self, bin: BinId, level: Sz) {
         self.tree.set(bin.0, self.residual(level));
     }
 
-    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+    fn on_item_departed(&mut self, bin: BinId, level: Sz) {
         self.tree.set(bin.0, self.residual(level));
     }
 
     fn on_bin_closed(&mut self, bin: BinId) {
         // Also reached for ids burned by failed boots (never opened): the
         // leaf is already 0, and `set` tolerates unseen ids.
-        self.tree.set(bin.0, 0);
+        self.tree.set(bin.0, Sz::ZERO);
     }
 
     fn is_any_fit(&self) -> bool {
@@ -178,29 +236,41 @@ impl BinSelector for IndexedFirstFit {
 }
 
 /// Best Fit answered from a level-keyed order: same decisions as
-/// [`BestFit`](super::BestFit), O(log m) per arrival.
+/// [`BestFit`](super::BestFit), O(log m) per arrival. Scalar via the
+/// [`IndexedBestFit`] alias.
 #[derive(Debug, Clone, Default)]
-pub struct IndexedBestFit {
-    /// Open bins bucketed by current level; the BTreeSet gives the
-    /// earliest-opened (minimum id) bin within a level in O(log).
-    by_level: BTreeMap<u64, BTreeSet<BinId>>,
-    /// Current level per bin id (`u64::MAX` = not open), for O(1) lookup of
-    /// the bucket a bin must leave on update.
-    level_of: Vec<u64>,
+pub struct GIndexedBestFit<Sz> {
+    /// Open bins bucketed by current L1 level total; the BTreeSet gives the
+    /// earliest-opened (minimum id) bin within a total in O(log).
+    by_level: BTreeMap<u128, BTreeSet<BinId>>,
+    /// Current level total per bin id (`u128::MAX` = not open), for O(1)
+    /// lookup of the bucket a bin must leave on update.
+    level_of: Vec<u128>,
+    /// Current componentwise level per open bin, for the per-dimension fit
+    /// re-check at `D > 1` (redundant but harmless at `D = 1`).
+    vec_level_of: Vec<Sz>,
 }
 
-impl IndexedBestFit {
+/// The scalar indexed Best Fit of the paper's model.
+pub type IndexedBestFit = GIndexedBestFit<Size>;
+
+impl<Sz: Demand> GIndexedBestFit<Sz> {
     /// Create an indexed Best Fit selector.
-    pub fn new() -> IndexedBestFit {
-        IndexedBestFit::default()
+    pub fn new() -> GIndexedBestFit<Sz> {
+        GIndexedBestFit {
+            by_level: BTreeMap::new(),
+            level_of: Vec::new(),
+            vec_level_of: Vec::new(),
+        }
     }
 
-    const CLOSED: u64 = u64::MAX;
+    const CLOSED: u128 = u128::MAX;
 
-    fn move_bin(&mut self, bin: BinId, new_level: u64) {
+    fn move_bin(&mut self, bin: BinId, new_level: Option<Sz>) {
         let b = bin.index();
         if b >= self.level_of.len() {
             self.level_of.resize(b + 1, Self::CLOSED);
+            self.vec_level_of.resize(b + 1, Sz::ZERO);
         }
         let old = self.level_of[b];
         if old != Self::CLOSED {
@@ -211,53 +281,76 @@ impl IndexedBestFit {
                 }
             }
         }
-        self.level_of[b] = new_level;
-        if new_level != Self::CLOSED {
-            self.by_level.entry(new_level).or_default().insert(bin);
+        match new_level {
+            Some(level) => {
+                self.level_of[b] = level.total();
+                self.vec_level_of[b] = level;
+                self.by_level.entry(level.total()).or_default().insert(bin);
+            }
+            None => {
+                self.level_of[b] = Self::CLOSED;
+                self.vec_level_of[b] = Sz::ZERO;
+            }
         }
     }
 }
 
-impl BinSelector for IndexedBestFit {
+impl<Sz: Demand> BinSelector<Sz> for GIndexedBestFit<Sz> {
     fn name(&self) -> &'static str {
         // Deliberately the naive selector's name — see IndexedFirstFit.
         "BF"
     }
 
-    fn select(&mut self, _bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
-        // Highest level that still fits is W − s; if s > W no bin can ever
-        // fit and BF opens (and the engine will reject the overflow, same
-        // as with the naive selector).
-        let Some(bound) = capacity.raw().checked_sub(item.size.raw()) else {
+    fn select(
+        &mut self,
+        _bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        capacity: Sz,
+    ) -> Decision {
+        // A fitting bin satisfies level_d ≤ W_d − s_d in every dimension,
+        // hence total(level) ≤ total(W) − total(s): the range query below is
+        // a sound upper bound, exact at D = 1. If s exceeds W in some
+        // dimension no bin can ever fit and BF opens (and the engine will
+        // reject the overflow, same as with the naive selector).
+        if !item.size.fits_within(capacity) {
             return Decision::OPEN;
-        };
-        match self.by_level.range(..=bound).next_back() {
-            Some((_, bucket)) => {
-                let id = bucket.first().expect("empty level bucket");
-                Decision::Use(*id)
-            }
-            None => Decision::OPEN,
         }
+        let bound = capacity.total() - item.size.total();
+        // Fullest-first, earliest-id within a total — exactly the order
+        // naive generic BF (argmin by Reverse(total), ties to lowest id)
+        // inspects candidates. The componentwise re-check only rejects at
+        // D > 1; at D = 1 the first candidate always fits.
+        for (_, bucket) in self.by_level.range(..=bound).rev() {
+            for &id in bucket {
+                let fits = self.vec_level_of[id.index()]
+                    .checked_add(item.size)
+                    .is_some_and(|l| l.fits_within(capacity));
+                if fits {
+                    return Decision::Use(id);
+                }
+            }
+        }
+        Decision::OPEN
     }
 
     fn needs_views(&self) -> bool {
         false
     }
 
-    fn on_bin_opened(&mut self, bin: BinId, _tag: BinTag, level: Size) {
-        self.move_bin(bin, level.raw());
+    fn on_bin_opened(&mut self, bin: BinId, _tag: BinTag, level: Sz) {
+        self.move_bin(bin, Some(level));
     }
 
-    fn on_item_placed(&mut self, bin: BinId, level: Size) {
-        self.move_bin(bin, level.raw());
+    fn on_item_placed(&mut self, bin: BinId, level: Sz) {
+        self.move_bin(bin, Some(level));
     }
 
-    fn on_item_departed(&mut self, bin: BinId, level: Size) {
-        self.move_bin(bin, level.raw());
+    fn on_item_departed(&mut self, bin: BinId, level: Sz) {
+        self.move_bin(bin, Some(level));
     }
 
     fn on_bin_closed(&mut self, bin: BinId) {
-        self.move_bin(bin, Self::CLOSED);
+        self.move_bin(bin, None);
     }
 
     fn is_any_fit(&self) -> bool {
@@ -266,7 +359,8 @@ impl BinSelector for IndexedBestFit {
 }
 
 /// Modified First Fit answered from two class-segregated residual trees:
-/// same decisions as [`ModifiedFirstFit`], O(log B) per arrival.
+/// same decisions as [`ModifiedFirstFit`], O(log B) per arrival. Scalar via
+/// the [`IndexedMff`] alias.
 ///
 /// Classification is delegated to an inner naive [`ModifiedFirstFit`] so
 /// the exact-rational threshold arithmetic has a single home. Each class
@@ -274,41 +368,44 @@ impl BinSelector for IndexedBestFit {
 /// bins) hold residual 0 there, so the leftmost-fitting query within a
 /// tree is exactly naive MFF's "first same-tag bin that fits" scan.
 #[derive(Debug, Clone)]
-pub struct IndexedMff {
+pub struct GIndexedMff<Sz> {
     inner: ModifiedFirstFit,
-    large: ResidualTree,
-    small: ResidualTree,
+    large: ResidualTree<Sz>,
+    small: ResidualTree<Sz>,
     /// Class each bin id was opened under (by tag); `None` for ids never
     /// opened, so burned ids can be closed without guessing a tree.
     class_of: Vec<Option<ItemClass>>,
-    capacity: Option<Size>,
+    capacity: Option<Sz>,
 }
 
-impl IndexedMff {
+/// The scalar indexed MFF of the paper's model.
+pub type IndexedMff = GIndexedMff<Size>;
+
+impl<Sz: Demand> GIndexedMff<Sz> {
     /// Indexed MFF with an integer `k ≥ 2` (the paper's µ-oblivious
     /// setting is `k = 8`).
     ///
     /// # Panics
     /// Panics if `k < 2`, same contract as [`ModifiedFirstFit::new`].
-    pub fn new(k: u64) -> IndexedMff {
-        IndexedMff::from_inner(ModifiedFirstFit::new(k))
+    pub fn new(k: u64) -> GIndexedMff<Sz> {
+        GIndexedMff::from_inner(ModifiedFirstFit::new(k))
     }
 
     /// Indexed MFF with a rational `k = num/den > 1`.
     ///
     /// # Panics
     /// Same contract as [`ModifiedFirstFit::with_rational_k`].
-    pub fn with_rational_k(num: u64, den: u64) -> IndexedMff {
-        IndexedMff::from_inner(ModifiedFirstFit::with_rational_k(num, den))
+    pub fn with_rational_k(num: u64, den: u64) -> GIndexedMff<Sz> {
+        GIndexedMff::from_inner(ModifiedFirstFit::with_rational_k(num, den))
     }
 
     /// The semi-online setting: µ known, `k = µ + 7`.
-    pub fn for_known_mu(mu: u64) -> IndexedMff {
-        IndexedMff::from_inner(ModifiedFirstFit::for_known_mu(mu))
+    pub fn for_known_mu(mu: u64) -> GIndexedMff<Sz> {
+        GIndexedMff::from_inner(ModifiedFirstFit::for_known_mu(mu))
     }
 
-    fn from_inner(inner: ModifiedFirstFit) -> IndexedMff {
-        IndexedMff {
+    fn from_inner(inner: ModifiedFirstFit) -> GIndexedMff<Sz> {
+        GIndexedMff {
             inner,
             large: ResidualTree::default(),
             small: ResidualTree::default(),
@@ -322,15 +419,13 @@ impl IndexedMff {
         self.inner.k()
     }
 
-    fn residual(&self, level: Size) -> u64 {
-        let w = self
-            .capacity
+    fn residual(&self, level: Sz) -> Sz {
+        self.capacity
             .expect("hook before the first select call")
-            .raw();
-        w - level.raw()
+            .sub(level)
     }
 
-    fn tree_of(&mut self, class: ItemClass) -> &mut ResidualTree {
+    fn tree_of(&mut self, class: ItemClass) -> &mut ResidualTree<Sz> {
         match class {
             ItemClass::Large => &mut self.large,
             ItemClass::Small => &mut self.small,
@@ -339,7 +434,7 @@ impl IndexedMff {
 
     /// Re-publish bin's residual into its class tree (no-op for ids whose
     /// class was never recorded, which cannot hold items).
-    fn update(&mut self, bin: BinId, level: Size) {
+    fn update(&mut self, bin: BinId, level: Sz) {
         let b = bin.index();
         if let Some(Some(class)) = self.class_of.get(b).copied() {
             let residual = self.residual(level);
@@ -348,21 +443,26 @@ impl IndexedMff {
     }
 }
 
-impl BinSelector for IndexedMff {
+impl<Sz: Demand> BinSelector<Sz> for GIndexedMff<Sz> {
     fn name(&self) -> &'static str {
         // Deliberately the naive selector's name — see IndexedFirstFit.
         "MFF"
     }
 
-    fn select(&mut self, _bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
-        debug_assert!(item.size.raw() > 0, "zero-size items break the 0-sentinel");
+    fn select(
+        &mut self,
+        _bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        capacity: Sz,
+    ) -> Decision {
+        debug_assert!(!item.size.is_zero(), "zero-size items break the 0-sentinel");
         self.capacity = Some(capacity);
         let class = self.inner.classify(item.size, capacity);
         let tree = match class {
             ItemClass::Large => &self.large,
             ItemClass::Small => &self.small,
         };
-        match tree.first_fitting(item.size.raw()) {
+        match tree.first_fitting(item.size) {
             Some(id) => Decision::Use(BinId(id)),
             None => Decision::Open { tag: class.tag() },
         }
@@ -372,12 +472,17 @@ impl BinSelector for IndexedMff {
         false
     }
 
-    fn on_decision_replayed(&mut self, _item: &ArrivingItem, _decision: Decision, capacity: Size) {
+    fn on_decision_replayed(
+        &mut self,
+        _item: &GArrivingItem<Sz>,
+        _decision: Decision,
+        capacity: Sz,
+    ) {
         // Seed the capacity exactly as `select` would — see IndexedFirstFit.
         self.capacity = Some(capacity);
     }
 
-    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Size) {
+    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Sz) {
         let class = match tag {
             LARGE_TAG => ItemClass::Large,
             SMALL_TAG => ItemClass::Small,
@@ -392,11 +497,11 @@ impl BinSelector for IndexedMff {
         self.tree_of(class).set(bin.0, residual);
     }
 
-    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+    fn on_item_placed(&mut self, bin: BinId, level: Sz) {
         self.update(bin, level);
     }
 
-    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+    fn on_item_departed(&mut self, bin: BinId, level: Sz) {
         self.update(bin, level);
     }
 
@@ -405,7 +510,7 @@ impl BinSelector for IndexedMff {
         // class is unrecorded and both trees already hold 0 for them.
         let b = bin.index();
         if let Some(Some(class)) = self.class_of.get(b).copied() {
-            self.tree_of(class).set(bin.0, 0);
+            self.tree_of(class).set(bin.0, Sz::ZERO);
             self.class_of[b] = None;
         }
     }
@@ -420,26 +525,44 @@ impl BinSelector for IndexedMff {
 mod tests {
     use super::*;
     use crate::algorithms::{BestFit, FirstFit};
+    use crate::demand::VSize;
     use crate::engine::{any_fit_violations, simulate_validated};
     use crate::instance::InstanceBuilder;
 
     #[test]
     fn residual_tree_leftmost_query() {
-        let mut t = ResidualTree::default();
-        assert_eq!(t.first_fitting(1), None);
-        t.set(0, 3);
-        t.set(1, 7);
-        t.set(2, 7);
-        assert_eq!(t.first_fitting(1), Some(0));
-        assert_eq!(t.first_fitting(4), Some(1));
-        assert_eq!(t.first_fitting(8), None);
-        t.set(1, 0); // close bin 1
-        assert_eq!(t.first_fitting(4), Some(2));
-        assert_eq!(t.get(1), 0);
+        let mut t = ResidualTree::<Size>::default();
+        assert_eq!(t.first_fitting(Size(1)), None);
+        t.set(0, Size(3));
+        t.set(1, Size(7));
+        t.set(2, Size(7));
+        assert_eq!(t.first_fitting(Size(1)), Some(0));
+        assert_eq!(t.first_fitting(Size(4)), Some(1));
+        assert_eq!(t.first_fitting(Size(8)), None);
+        t.set(1, Size(0)); // close bin 1
+        assert_eq!(t.first_fitting(Size(4)), Some(2));
+        assert_eq!(t.get(1), Size(0));
         // Grow past the initial allocation and query across the boundary.
-        t.set(1000, 9);
-        assert_eq!(t.first_fitting(8), Some(1000));
-        assert_eq!(t.get(1000), 9);
+        t.set(1000, Size(9));
+        assert_eq!(t.first_fitting(Size(8)), Some(1000));
+        assert_eq!(t.get(1000), Size(9));
+    }
+
+    #[test]
+    fn residual_tree_backtracks_at_higher_dims() {
+        // join(leaf0, leaf1) = [5,5] claims feasibility for [4,4], but no
+        // single leaf fits — the descent must backtrack past both and land
+        // on leaf 2.
+        let mut t = ResidualTree::<VSize<2>>::default();
+        t.set(0, VSize([5, 1]));
+        t.set(1, VSize([1, 5]));
+        t.set(2, VSize([4, 4]));
+        assert_eq!(t.first_fitting(VSize([4, 4])), Some(2));
+        assert_eq!(t.first_fitting(VSize([5, 1])), Some(0));
+        assert_eq!(t.first_fitting(VSize([0, 5])), Some(1));
+        assert_eq!(t.first_fitting(VSize([5, 5])), None);
+        t.set(2, VSize([0, 0]));
+        assert_eq!(t.first_fitting(VSize([4, 4])), None);
     }
 
     fn churny_instance() -> crate::instance::Instance {
@@ -534,7 +657,9 @@ mod tests {
         assert!(!IndexedFirstFit::new().needs_views());
         assert!(!IndexedBestFit::new().needs_views());
         assert!(!IndexedMff::new(8).needs_views());
-        assert!(FirstFit::new().needs_views());
+        assert!(<FirstFit as BinSelector<Size>>::needs_views(
+            &FirstFit::new()
+        ));
     }
 
     #[test]

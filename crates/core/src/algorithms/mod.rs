@@ -12,6 +12,7 @@
 
 mod best_fit;
 mod constrained;
+mod dominance;
 mod first_fit;
 mod harmonic;
 pub mod indexed;
@@ -24,6 +25,7 @@ mod worst_fit;
 
 pub use best_fit::BestFit;
 pub use constrained::ConstrainedFirstFit;
+pub use dominance::DominanceFit;
 pub use first_fit::FirstFit;
 pub use harmonic::HarmonicFit;
 pub use indexed::{IndexedBestFit, IndexedFirstFit, IndexedMff};
@@ -34,20 +36,21 @@ pub use next_fit::NextFit;
 pub use random_fit::RandomFit;
 pub use worst_fit::WorstFit;
 
-use crate::bin::OpenBinView;
-use crate::item::Size;
+use crate::bin::GOpenBinView;
+use crate::demand::Demand;
 use crate::packer::SelectorFactory;
 
-/// Among the open bins that fit `size`, pick the one minimizing `key`
-/// (ties broken toward the earliest-opened bin, because `bins` is in
-/// opening order and the comparison is strict). Returns `None` if no open
-/// bin fits — the Any Fit trigger for opening a new bin.
-pub(crate) fn argmin_fitting<K: Ord>(
-    bins: &[OpenBinView],
-    size: Size,
-    mut key: impl FnMut(&OpenBinView) -> K,
-) -> Option<&OpenBinView> {
-    let mut best: Option<(&OpenBinView, K)> = None;
+/// Among the open bins that fit `size` (componentwise, per
+/// [`GOpenBinView::fits`]), pick the one minimizing `key` (ties broken
+/// toward the earliest-opened bin, because `bins` is in opening order and
+/// the comparison is strict). Returns `None` if no open bin fits — the Any
+/// Fit trigger for opening a new bin.
+pub(crate) fn argmin_fitting<Sz: Demand, K: Ord>(
+    bins: &[GOpenBinView<Sz>],
+    size: Sz,
+    mut key: impl FnMut(&GOpenBinView<Sz>) -> K,
+) -> Option<&GOpenBinView<Sz>> {
+    let mut best: Option<(&GOpenBinView<Sz>, K)> = None;
     for b in bins.iter().filter(|b| b.fits(size)) {
         let k = key(b);
         match &best {
@@ -102,10 +105,31 @@ pub fn indexed_factories() -> Vec<SelectorFactory> {
     ]
 }
 
+/// Build a selector by roster name for **any** demand dimensionality —
+/// the construction seam for components that pick their demand type at
+/// runtime (the serve daemon's `--dims` dispatch). Covers every
+/// deterministic dimension-agnostic selector: the naive and indexed
+/// display names resolve to the same decision sequence, so either roster's
+/// name works. Returns `None` for unknown names and for the scalar-only
+/// foils (WF/NF/LF/MI/RF/HFF classify on a single size).
+pub fn selector_for<Sz: Demand>(name: &str) -> Option<Box<dyn crate::packer::BinSelector<Sz>>> {
+    Some(match name {
+        "FF" | "ff" => Box::new(FirstFit::new()),
+        "BF" | "bf" => Box::new(BestFit::new()),
+        "MFF(8)" | "MFF" | "mff" => Box::new(ModifiedFirstFit::new(8)),
+        "DOM" | "dom" => Box::new(DominanceFit::new()),
+        "FF-idx" => Box::new(indexed::GIndexedFirstFit::<Sz>::new()),
+        "BF-idx" => Box::new(indexed::GIndexedBestFit::<Sz>::new()),
+        "MFF-idx" | "MFF(8)-idx" => Box::new(indexed::GIndexedMff::<Sz>::new(8)),
+        _ => return None,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bin::{BinId, BinTag};
+    use crate::bin::{BinId, BinTag, OpenBinView};
+    use crate::item::Size;
     use crate::time::Tick;
 
     fn view(id: u32, level: u64) -> OpenBinView {

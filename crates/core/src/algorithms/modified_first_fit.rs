@@ -15,8 +15,9 @@
 //!
 //! [`BinTag`]: crate::bin::BinTag
 
-use crate::bin::{BinTag, OpenBinView};
-use crate::item::{ArrivingItem, Size};
+use crate::bin::{BinTag, GOpenBinView};
+use crate::demand::Demand;
+use crate::item::GArrivingItem;
 use crate::packer::{BinSelector, Decision};
 use crate::ratio::Ratio;
 
@@ -85,12 +86,12 @@ impl ModifiedFirstFit {
         Ratio::new(self.k_num as u128, self.k_den as u128)
     }
 
-    /// Classify a size against capacity: large iff `s ≥ W/k`, i.e.
-    /// `s·k ≥ W`, evaluated exactly as `s·k_num ≥ W·k_den`.
-    pub fn classify(&self, size: Size, capacity: Size) -> ItemClass {
-        let lhs = size.raw() as u128 * self.k_num as u128;
-        let rhs = capacity.raw() as u128 * self.k_den as u128;
-        if lhs >= rhs {
+    /// Classify a size against capacity: large iff `s ≥ W/k` in **some**
+    /// dimension, i.e. `∃d: s_d·k ≥ W_d`, evaluated exactly as
+    /// `s_d·k_num ≥ W_d·k_den`. At `D = 1` the existential quantifier is
+    /// vacuous and this is precisely the paper's scalar threshold.
+    pub fn classify<Sz: Demand>(&self, size: Sz, capacity: Sz) -> ItemClass {
+        if size.any_component_ge_frac(&capacity, self.k_num as u128, self.k_den as u128) {
             ItemClass::Large
         } else {
             ItemClass::Small
@@ -98,12 +99,17 @@ impl ModifiedFirstFit {
     }
 }
 
-impl BinSelector for ModifiedFirstFit {
+impl<Sz: Demand> BinSelector<Sz> for ModifiedFirstFit {
     fn name(&self) -> &'static str {
         "MFF"
     }
 
-    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+    fn select(
+        &mut self,
+        bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        capacity: Sz,
+    ) -> Decision {
         let class = self.classify(item.size, capacity);
         let tag = class.tag();
         // First Fit restricted to this class's bins: min id among fitting
@@ -130,6 +136,7 @@ impl BinSelector for ModifiedFirstFit {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::item::Size;
 
     #[test]
     fn classification_threshold_is_inclusive_for_large() {

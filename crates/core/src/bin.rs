@@ -1,5 +1,6 @@
 //! Bins (rented game servers) as seen during a simulation.
 
+use crate::demand::Demand;
 use crate::item::Size;
 use crate::time::Tick;
 use core::fmt;
@@ -41,38 +42,43 @@ impl BinTag {
     pub const DEFAULT: BinTag = BinTag(0);
 }
 
-/// The read-only view of one open bin given to a [`BinSelector`].
+/// The read-only view of one open bin given to a [`BinSelector`], generic
+/// over the demand type (scalar [`Size`] via the [`OpenBinView`] alias).
 ///
 /// [`BinSelector`]: crate::packer::BinSelector
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct OpenBinView {
+pub struct GOpenBinView<Sz> {
     /// Bin id (opening order).
     pub id: BinId,
     /// When the bin was opened.
     pub opened_at: Tick,
-    /// Current level: total size of the items in the bin.
-    pub level: Size,
+    /// Current level: componentwise total size of the items in the bin.
+    pub level: Sz,
     /// Bin capacity `W` (same for every bin).
-    pub capacity: Size,
+    pub capacity: Sz,
     /// Number of items currently in the bin.
     pub n_items: usize,
     /// Tag assigned by the algorithm when the bin was opened.
     pub tag: BinTag,
 }
 
-impl OpenBinView {
-    /// Residual capacity `W − level`.
+/// The scalar open-bin view of the source paper.
+pub type OpenBinView = GOpenBinView<Size>;
+
+impl<Sz: Demand> GOpenBinView<Sz> {
+    /// Residual capacity `W − level`, componentwise.
     #[inline]
-    pub fn residual(&self) -> Size {
-        self.capacity - self.level
+    pub fn residual(&self) -> Sz {
+        self.capacity.sub(self.level)
     }
 
-    /// Whether an item of size `s` fits.
+    /// Whether an item of size `s` fits: feasibility is the intersection
+    /// of per-dimension feasibility (`level_d + s_d ≤ W_d` for every `d`).
     #[inline]
-    pub fn fits(&self, s: Size) -> bool {
+    pub fn fits(&self, s: Sz) -> bool {
         self.level
             .checked_add(s)
-            .is_some_and(|lv| lv <= self.capacity)
+            .is_some_and(|lv| lv.fits_within(self.capacity))
     }
 }
 

@@ -13,16 +13,17 @@
 //! [`snapshot`]: EngineRun::snapshot
 //! [`resume`]: EngineRun::resume
 
-use crate::bin::{BinId, BinTag, OpenBinView};
+use crate::bin::{BinId, BinTag, GOpenBinView};
+use crate::demand::Demand;
 use crate::events::{schedule, Event, EventKind};
-use crate::instance::Instance;
-use crate::item::{ArrivingItem, ItemId, Size};
+use crate::instance::GInstance;
+use crate::item::{GArrivingItem, ItemId, Size};
 use crate::packer::{BinSelector, Decision};
-use crate::probe::{NoProbe, Probe, ProbeEvent};
-use crate::snapshot::Snapshot;
+use crate::probe::{GProbeEvent, NoProbe, Probe};
+use crate::snapshot::GSnapshot;
 use crate::span::{stage, NoSpans, SpanRecorder};
 use crate::time::Tick;
-use crate::trace::{BinRecord, PackingTrace};
+use crate::trace::{BinRecord, GPackingTrace};
 
 /// Simulate packing `instance` with `selector`, producing the full trace.
 ///
@@ -33,7 +34,10 @@ use crate::trace::{BinRecord, PackingTrace};
 /// Panics if the selector returns an invalid decision (unknown bin, or a bin
 /// the item does not fit) — that is a bug in the algorithm under test, and
 /// continuing would corrupt every measurement derived from the trace.
-pub fn simulate<S: BinSelector + ?Sized>(instance: &Instance, selector: &mut S) -> PackingTrace {
+pub fn simulate<Sz: Demand, S: BinSelector<Sz> + ?Sized>(
+    instance: &GInstance<Sz>,
+    selector: &mut S,
+) -> GPackingTrace<Sz> {
     simulate_probed(instance, selector, &mut NoProbe)
 }
 
@@ -43,11 +47,11 @@ pub fn simulate<S: BinSelector + ?Sized>(instance: &Instance, selector: &mut S) 
 ///
 /// # Panics
 /// Same contract as [`simulate`].
-pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
-    instance: &Instance,
+pub fn simulate_probed<Sz: Demand, S: BinSelector<Sz> + ?Sized, P: Probe<Sz>>(
+    instance: &GInstance<Sz>,
     selector: &mut S,
     probe: &mut P,
-) -> PackingTrace {
+) -> GPackingTrace<Sz> {
     EngineRun::new(instance, selector, probe).finish()
 }
 
@@ -59,12 +63,12 @@ pub fn simulate_probed<S: BinSelector + ?Sized, P: Probe>(
 ///
 /// # Panics
 /// Same contract as [`simulate`].
-pub fn simulate_traced<S: BinSelector + ?Sized, P: Probe, R: SpanRecorder>(
-    instance: &Instance,
+pub fn simulate_traced<Sz: Demand, S: BinSelector<Sz> + ?Sized, P: Probe<Sz>, R: SpanRecorder>(
+    instance: &GInstance<Sz>,
     selector: &mut S,
     probe: &mut P,
     spans: R,
-) -> PackingTrace {
+) -> GPackingTrace<Sz> {
     EngineRun::traced(instance, selector, probe, spans).finish()
 }
 
@@ -72,12 +76,12 @@ pub fn simulate_traced<S: BinSelector + ?Sized, P: Probe, R: SpanRecorder>(
 /// wrapper over [`EngineRun::resume`] + [`EngineRun::finish`]: the returned
 /// trace, and the probe events emitted from the snapshot point onward, are
 /// identical to the corresponding suffix of an uninterrupted run.
-pub fn simulate_resumed_probed<S: BinSelector + ?Sized, P: Probe>(
-    instance: &Instance,
+pub fn simulate_resumed_probed<Sz: Demand, S: BinSelector<Sz> + ?Sized, P: Probe<Sz>>(
+    instance: &GInstance<Sz>,
     selector: &mut S,
     probe: &mut P,
-    snapshot: &Snapshot,
-) -> Result<PackingTrace, String> {
+    snapshot: &GSnapshot<Sz>,
+) -> Result<GPackingTrace<Sz>, String> {
     Ok(EngineRun::resume(instance, selector, probe, snapshot)?.finish())
 }
 
@@ -100,11 +104,11 @@ pub(crate) const NO_ITEM: u32 = u32::MAX;
 /// Shared (`pub(crate)`) with the [`crate::streaming`] engine, which drives
 /// the same arena from an unbounded push stream instead of a schedule; the
 /// per-item columns then grow on demand via [`State::ensure_item`].
-pub(crate) struct State {
+pub(crate) struct State<Sz> {
     /// Index of the next schedule event to process.
     cursor: usize,
     // ---- per-bin columns, indexed by bin id ----
-    levels: Vec<Size>,
+    levels: Vec<Sz>,
     tags: Vec<BinTag>,
     opened_at: Vec<Tick>,
     /// Placeholder (== `opened_at`) until the bin closes.
@@ -131,19 +135,19 @@ pub(crate) struct State {
     /// per arrival). Skipped entirely when the selector answers from its own
     /// hook-maintained index and no probe needs scan ranks. Not part of a
     /// snapshot: it is rebuilt deterministically during replay.
-    pub(crate) views: Vec<OpenBinView>,
+    pub(crate) views: Vec<GOpenBinView<Sz>>,
     pub(crate) steps: Vec<(Tick, u32)>,
 }
 
-impl State {
-    fn new(instance: &Instance) -> State {
+impl<Sz: Demand> State<Sz> {
+    fn new(instance: &GInstance<Sz>) -> State<Sz> {
         State::with_items(instance.len())
     }
 
     /// An empty arena with the per-item columns pre-sized for `n` items.
     /// Streaming callers may start at `n = 0` and grow via
     /// [`State::ensure_item`].
-    pub(crate) fn with_items(n: usize) -> State {
+    pub(crate) fn with_items(n: usize) -> State<Sz> {
         State {
             cursor: 0,
             levels: Vec::new(),
@@ -258,9 +262,9 @@ impl State {
     /// bin, closing the bin if it empties. Takes the size rather than an
     /// `Instance` so the streaming engine — which has no instance — can
     /// drive the same arena.
-    pub(crate) fn apply_departure<S: BinSelector + ?Sized, P: Probe>(
+    pub(crate) fn apply_departure<S: BinSelector<Sz> + ?Sized, P: Probe<Sz>>(
         &mut self,
-        size: Size,
+        size: Sz,
         selector: &mut S,
         probe: &mut P,
         keep_views: bool,
@@ -271,7 +275,7 @@ impl State {
             self.assignment[item_id.index()].expect("departure for an item that was never packed");
         let b = bin_id.index();
         assert!(self.is_open[b], "departure from a closed bin");
-        self.levels[b] -= size;
+        self.levels[b] = self.levels[b].sub(size);
         debug_assert!(self.n_items[b] > 0, "membership list out of sync");
         self.unlink(b, item_id.index());
         let emptied = self.n_items[b] == 0;
@@ -288,7 +292,7 @@ impl State {
             }
         }
         if P::ENABLED {
-            probe.record(ProbeEvent::ItemDeparted {
+            probe.record(GProbeEvent::ItemDeparted {
                 at: tick,
                 item: item_id,
                 bin: bin_id,
@@ -297,10 +301,10 @@ impl State {
         }
         selector.on_item_departed(bin_id, self.levels[b]);
         if emptied {
-            debug_assert_eq!(self.levels[b].raw(), 0, "empty bin with nonzero level");
+            debug_assert!(self.levels[b].is_zero(), "empty bin with nonzero level");
             self.closed_at[b] = tick;
             if P::ENABLED {
-                probe.record(ProbeEvent::BinClosed {
+                probe.record(GProbeEvent::BinClosed {
                     at: tick,
                     bin: bin_id,
                     open_ticks: tick.0 - self.opened_at[b].0,
@@ -317,13 +321,13 @@ impl State {
     /// the item's `size` rather than an `Instance` (see
     /// [`State::apply_departure`]).
     #[allow(clippy::too_many_arguments)] // internal seam shared by run/resume
-    pub(crate) fn apply_arrival<S: BinSelector + ?Sized, P: Probe>(
+    pub(crate) fn apply_arrival<S: BinSelector<Sz> + ?Sized, P: Probe<Sz>>(
         &mut self,
-        size: Size,
+        size: Sz,
         selector: &mut S,
         probe: &mut P,
         keep_views: bool,
-        capacity: Size,
+        capacity: Sz,
         tick: Tick,
         item_id: ItemId,
         decision: Decision,
@@ -339,7 +343,7 @@ impl State {
                 assert!(
                     self.levels[b]
                         .checked_add(size)
-                        .is_some_and(|l| l <= capacity),
+                        .is_some_and(|l| l.fits_within(capacity)),
                     "{}: item {} (size {}) does not fit bin {} (level {})",
                     selector.name(),
                     item_id,
@@ -347,7 +351,9 @@ impl State {
                     id,
                     self.levels[b]
                 );
-                self.levels[b] += size;
+                self.levels[b] = self.levels[b]
+                    .checked_add(size)
+                    .expect("level overflow past the fit assertion");
                 self.link(b, item_id.index());
                 self.placed.push(item_id);
                 if keep_views {
@@ -360,13 +366,13 @@ impl State {
                     if P::ENABLED {
                         // Scan depth of a reuse: the chosen bin's 1-based
                         // position in opening order.
-                        probe.record(ProbeEvent::FitAttempt {
+                        probe.record(GProbeEvent::FitAttempt {
                             at: tick,
                             item: item_id,
                             bins_scanned: vpos as u32 + 1,
                             open_bins: self.open_count as u32,
                         });
-                        probe.record(ProbeEvent::ItemPlaced {
+                        probe.record(GProbeEvent::ItemPlaced {
                             at: tick,
                             item: item_id,
                             bin: id,
@@ -382,19 +388,19 @@ impl State {
                 if P::ENABLED {
                     // Scan depth of an open: every open bin was
                     // (conceptually) scanned and rejected.
-                    probe.record(ProbeEvent::FitAttempt {
+                    probe.record(GProbeEvent::FitAttempt {
                         at: tick,
                         item: item_id,
                         bins_scanned: self.open_count as u32,
                         open_bins: self.open_count as u32,
                     });
-                    probe.record(ProbeEvent::BinOpened {
+                    probe.record(GProbeEvent::BinOpened {
                         at: tick,
                         bin: id,
                         tag,
                         item: item_id,
                     });
-                    probe.record(ProbeEvent::ItemPlaced {
+                    probe.record(GProbeEvent::ItemPlaced {
                         at: tick,
                         item: item_id,
                         bin: id,
@@ -417,7 +423,7 @@ impl State {
                 if keep_views {
                     // Ids are assigned in increasing order, so pushing
                     // preserves the mirror's sortedness.
-                    self.views.push(OpenBinView {
+                    self.views.push(GOpenBinView {
                         id,
                         opened_at: tick,
                         level: size,
@@ -464,20 +470,26 @@ impl State {
 /// [`resume`](EngineRun::resume) continues *exactly* where the snapshot was
 /// taken: the remaining probe events and the final trace are identical to
 /// the corresponding parts of an uninterrupted run.
-pub struct EngineRun<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder = NoSpans> {
-    instance: &'a Instance,
-    capacity: Size,
+pub struct EngineRun<
+    'a,
+    S: BinSelector<Sz> + ?Sized,
+    P: Probe<Sz>,
+    R: SpanRecorder = NoSpans,
+    Sz: Demand = Size,
+> {
+    instance: &'a GInstance<Sz>,
+    capacity: Sz,
     events: Vec<Event>,
     selector: &'a mut S,
     probe: &'a mut P,
     spans: R,
     keep_views: bool,
-    st: State,
+    st: State<Sz>,
 }
 
-impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
+impl<'a, Sz: Demand, S: BinSelector<Sz> + ?Sized, P: Probe<Sz>> EngineRun<'a, S, P, NoSpans, Sz> {
     /// Start a fresh run at the beginning of the schedule.
-    pub fn new(instance: &'a Instance, selector: &'a mut S, probe: &'a mut P) -> Self {
+    pub fn new(instance: &'a GInstance<Sz>, selector: &'a mut S, probe: &'a mut P) -> Self {
         EngineRun::traced(instance, selector, probe, NoSpans)
     }
 
@@ -500,10 +512,10 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
     /// count, an impossible assignment, or replayed state that does not
     /// reproduce the snapshot bit-for-bit.
     pub fn resume(
-        instance: &'a Instance,
+        instance: &'a GInstance<Sz>,
         selector: &'a mut S,
         probe: &'a mut P,
-        snapshot: &Snapshot,
+        snapshot: &GSnapshot<Sz>,
     ) -> Result<Self, String> {
         let mut run = EngineRun::new(instance, selector, probe);
         if snapshot.algorithm != run.selector.name() {
@@ -550,13 +562,20 @@ impl<'a, S: BinSelector + ?Sized, P: Probe> EngineRun<'a, S, P> {
     }
 }
 
-impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P, R> {
+impl<'a, Sz: Demand, S: BinSelector<Sz> + ?Sized, P: Probe<Sz>, R: SpanRecorder>
+    EngineRun<'a, S, P, R, Sz>
+{
     /// Start a fresh run with a [`SpanRecorder`] attached (see
     /// [`simulate_traced`]). Pass `&mut recorder` to keep ownership of the
     /// recorder across the run; pass [`NoSpans`] to get [`new`] exactly.
     ///
     /// [`new`]: EngineRun::new
-    pub fn traced(instance: &'a Instance, selector: &'a mut S, probe: &'a mut P, spans: R) -> Self {
+    pub fn traced(
+        instance: &'a GInstance<Sz>,
+        selector: &'a mut S,
+        probe: &'a mut P,
+        spans: R,
+    ) -> Self {
         let keep_views = P::ENABLED || selector.needs_views();
         EngineRun {
             instance,
@@ -599,12 +618,12 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
             }
             EventKind::Arrival => {
                 let item = self.instance.item(ev.item);
-                let arriving = ArrivingItem::of(item);
+                let arriving = GArrivingItem::of(item);
                 if R::ENABLED {
                     self.spans.enter(stage::ARRIVAL);
                 }
                 if P::ENABLED {
-                    self.probe.record(ProbeEvent::ItemArrived {
+                    self.probe.record(GProbeEvent::ItemArrived {
                         at: tick,
                         item: ev.item,
                         size: item.size,
@@ -691,7 +710,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
             }
             EventKind::Arrival => {
                 let item = self.instance.item(ev.item);
-                let arriving = ArrivingItem::of(item);
+                let arriving = GArrivingItem::of(item);
                 let Some(bin) = assignment.get(ev.item.index()).copied().flatten() else {
                     return Err(format!("no recorded assignment for item {}", ev.item));
                 };
@@ -707,7 +726,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
                     }
                     if self.st.levels[b]
                         .checked_add(item.size)
-                        .is_none_or(|l| l > self.capacity)
+                        .is_none_or(|l| !l.fits_within(self.capacity))
                     {
                         return Err(format!(
                             "item {} (size {}) does not fit bin {bin} (level {})",
@@ -742,7 +761,7 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
     }
 
     /// Check that replayed state reproduces the snapshot exactly.
-    fn verify_state(&self, snapshot: &Snapshot) -> Result<(), String> {
+    fn verify_state(&self, snapshot: &GSnapshot<Sz>) -> Result<(), String> {
         let st = &self.st;
         let (bin_items, slot) = st.materialize_membership();
         let same = st.levels == snapshot.levels
@@ -782,9 +801,9 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
     /// Capture the complete engine state at the current position. The view
     /// mirror is intentionally excluded: it is a derived structure, rebuilt
     /// deterministically on [`resume`](EngineRun::resume).
-    pub fn snapshot(&self) -> Snapshot {
+    pub fn snapshot(&self) -> GSnapshot<Sz> {
         let (bin_items, slot) = self.st.materialize_membership();
-        Snapshot {
+        GSnapshot {
             algorithm: self.selector.name().to_string(),
             capacity: self.capacity,
             n_items: self.instance.len() as u64,
@@ -804,14 +823,14 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
     ///
     /// # Panics
     /// Same contract as [`simulate`].
-    pub fn finish(mut self) -> PackingTrace {
+    pub fn finish(mut self) -> GPackingTrace<Sz> {
         while self.step() {}
         assert!(
             self.st.open_count == 0,
             "engine invariant: all bins must close by the last departure"
         );
         debug_assert!(self.st.views.is_empty(), "view mirror leaked entries");
-        PackingTrace {
+        GPackingTrace {
             algorithm: self.selector.name().to_string(),
             capacity: self.capacity,
             bins: self.st.materialize_records(),
@@ -830,11 +849,11 @@ impl<'a, S: BinSelector + ?Sized, P: Probe, R: SpanRecorder> EngineRun<'a, S, P,
 /// never calls `select`, so this selector has no decisions to make.
 struct ReplaySelector;
 
-impl BinSelector for ReplaySelector {
+impl<Sz: Demand> BinSelector<Sz> for ReplaySelector {
     fn name(&self) -> &'static str {
         "REPLAY"
     }
-    fn select(&mut self, _: &[OpenBinView], _: &ArrivingItem, _: Size) -> Decision {
+    fn select(&mut self, _: &[GOpenBinView<Sz>], _: &GArrivingItem<Sz>, _: Sz) -> Decision {
         unreachable!("ReplaySelector only replays recorded decisions")
     }
     fn needs_views(&self) -> bool {
@@ -851,13 +870,13 @@ impl BinSelector for ReplaySelector {
 ///
 /// `algorithm` is stamped into the snapshot; [`EngineRun::resume`] will
 /// check it against the fresh selector.
-pub fn rebuild_snapshot(
-    instance: &Instance,
+pub fn rebuild_snapshot<Sz: Demand>(
+    instance: &GInstance<Sz>,
     algorithm: &str,
     cursor: usize,
     assignment: &[Option<BinId>],
     tags: &[crate::bin::BinTag],
-) -> Result<Snapshot, String> {
+) -> Result<GSnapshot<Sz>, String> {
     if assignment.len() != instance.len() {
         return Err(format!(
             "assignment covers {} items, instance has {}",
@@ -887,26 +906,26 @@ pub fn rebuild_snapshot(
 /// Convenience: simulate and panic (with the violation list) if the trace
 /// fails self-validation. Intended for tests and experiments, where a
 /// corrupt trace must never be silently measured.
-pub fn simulate_validated<S: BinSelector + ?Sized>(
-    instance: &Instance,
+pub fn simulate_validated<Sz: Demand, S: BinSelector<Sz> + ?Sized>(
+    instance: &GInstance<Sz>,
     selector: &mut S,
-) -> PackingTrace {
+) -> GPackingTrace<Sz> {
     simulate_validated_probed(instance, selector, &mut NoProbe)
 }
 
 /// [`simulate_validated`] with a probe attached. Validation failures are
 /// reported to the probe as [`ProbeEvent::Violation`] events (so event logs
 /// capture *why* a run died) before the panic fires.
-pub fn simulate_validated_probed<S: BinSelector + ?Sized, P: Probe>(
-    instance: &Instance,
+pub fn simulate_validated_probed<Sz: Demand, S: BinSelector<Sz> + ?Sized, P: Probe<Sz>>(
+    instance: &GInstance<Sz>,
     selector: &mut S,
     probe: &mut P,
-) -> PackingTrace {
+) -> GPackingTrace<Sz> {
     let trace = simulate_probed(instance, selector, probe);
     let errs = trace.validate(instance);
     if P::ENABLED {
         for err in &errs {
-            probe.record(ProbeEvent::Violation {
+            probe.record(GProbeEvent::Violation {
                 at: Tick(0),
                 message: err.clone(),
             });
@@ -927,11 +946,14 @@ pub fn simulate_validated_probed<S: BinSelector + ?Sized, P: Probe>(
 /// This replays the trace against the instance, so it is independent of the
 /// selector implementation — used by property tests to certify that FF, BF,
 /// WF etc. really are Any Fit algorithms.
-pub fn any_fit_violations(instance: &Instance, trace: &PackingTrace) -> Vec<ItemId> {
+pub fn any_fit_violations<Sz: Demand>(
+    instance: &GInstance<Sz>,
+    trace: &GPackingTrace<Sz>,
+) -> Vec<ItemId> {
     let capacity = instance.capacity();
     let events = schedule(instance);
     // level[b] for currently open bins; None = closed or unopened.
-    let mut level: Vec<Option<u64>> = vec![None; trace.bins.len()];
+    let mut level: Vec<Option<Sz>> = vec![None; trace.bins.len()];
     let mut members: Vec<u32> = vec![0; trace.bins.len()];
     let mut violations = Vec::new();
     for ev in events {
@@ -940,7 +962,7 @@ pub fn any_fit_violations(instance: &Instance, trace: &PackingTrace) -> Vec<Item
         match ev.kind {
             EventKind::Departure => {
                 let l = level[bin.index()].as_mut().expect("closed bin in replay");
-                *l -= item.size.raw();
+                *l = l.sub(item.size);
                 members[bin.index()] -= 1;
                 if members[bin.index()] == 0 {
                     level[bin.index()] = None;
@@ -952,19 +974,22 @@ pub fn any_fit_violations(instance: &Instance, trace: &PackingTrace) -> Vec<Item
                     // the first in the bin's record.
                     && trace.bins[bin.index()].items.first() == Some(&ev.item);
                 if opened_new {
-                    let fits_somewhere = level
-                        .iter()
-                        .any(|l| l.is_some_and(|l| l + item.size.raw() <= capacity.raw()));
+                    let fits_somewhere = level.iter().any(|l| {
+                        l.is_some_and(|l| {
+                            l.checked_add(item.size)
+                                .is_some_and(|x| x.fits_within(capacity))
+                        })
+                    });
                     if fits_somewhere {
                         violations.push(ev.item);
                     }
-                    level[bin.index()] = Some(item.size.raw());
+                    level[bin.index()] = Some(item.size);
                     members[bin.index()] = 1;
                 } else {
                     let l = level[bin.index()]
                         .as_mut()
                         .expect("arrival into closed bin in replay");
-                    *l += item.size.raw();
+                    *l = l.checked_add(item.size).expect("level overflow in replay");
                     members[bin.index()] += 1;
                 }
             }
@@ -976,9 +1001,9 @@ pub fn any_fit_violations(instance: &Instance, trace: &PackingTrace) -> Vec<Item
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bin::BinTag;
+    use crate::bin::{BinTag, OpenBinView};
     use crate::instance::InstanceBuilder;
-    use crate::item::Size;
+    use crate::item::{ArrivingItem, Size};
     use crate::packer::Decision;
 
     /// Packs every item into a brand-new bin (the b.3 upper bound).

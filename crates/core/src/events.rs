@@ -10,7 +10,8 @@
 //!    departures likewise. Theorem 2's construction interleaves same-tick
 //!    group arrivals this way.
 
-use crate::instance::Instance;
+use crate::demand::Demand;
+use crate::instance::GInstance;
 use crate::item::ItemId;
 use crate::time::Tick;
 
@@ -35,7 +36,7 @@ pub struct Event {
 }
 
 /// Build the full, sorted event schedule for an instance.
-pub fn schedule(instance: &Instance) -> Vec<Event> {
+pub fn schedule<Sz: Demand>(instance: &GInstance<Sz>) -> Vec<Event> {
     let mut events = Vec::with_capacity(instance.len() * 2);
     for it in instance.items() {
         events.push(Event {
@@ -58,7 +59,7 @@ pub fn schedule(instance: &Instance) -> Vec<Event> {
 /// All distinct event ticks of an instance, ascending. The active item set is
 /// constant on each half-open segment between consecutive event ticks — the
 /// basis for exact piecewise-constant cost integration.
-pub fn event_ticks(instance: &Instance) -> Vec<Tick> {
+pub fn event_ticks<Sz: Demand>(instance: &GInstance<Sz>) -> Vec<Tick> {
     let mut ticks: Vec<Tick> = instance
         .items()
         .iter()

@@ -4,15 +4,17 @@
 //! statistics defined in §3.1 of the paper — `span(R)`, `u(R)`, the max/min
 //! interval-length ratio µ — are computed here exactly.
 
-use crate::item::{Item, ItemId, RegionId, Size};
+use crate::demand::Demand;
+use crate::item::{GItem, Item, ItemId, RegionId, Size};
 use crate::ratio::Ratio;
 use crate::time::{union_intervals, union_length, Dur, Interval, Tick};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Validation errors for [`Instance::new`].
+/// Validation errors for [`Instance::new`], generic over the demand type
+/// (scalar via the [`InstanceError`] alias).
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum InstanceError {
+pub enum GInstanceError<Sz> {
     /// The capacity must be positive.
     ZeroCapacity,
     /// Item ids must equal their index in the list.
@@ -32,85 +34,95 @@ pub enum InstanceError {
         /// The offending item.
         id: ItemId,
     },
-    /// No single item may exceed the bin capacity.
+    /// No single item may exceed the bin capacity in any dimension.
     Oversized {
         /// The offending item.
         id: ItemId,
         /// Its size.
-        size: Size,
+        size: Sz,
         /// The bin capacity it exceeds.
-        capacity: Size,
+        capacity: Sz,
     },
 }
 
-impl fmt::Display for InstanceError {
+/// The scalar instance-validation error of the source paper's model.
+pub type InstanceError = GInstanceError<Size>;
+
+impl<Sz: fmt::Display> fmt::Display for GInstanceError<Sz> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            InstanceError::ZeroCapacity => write!(f, "bin capacity must be positive"),
-            InstanceError::BadItemId { index, found } => {
+            GInstanceError::ZeroCapacity => {
+                write!(f, "bin capacity must be positive in every dimension")
+            }
+            GInstanceError::BadItemId { index, found } => {
                 write!(f, "item at index {index} has id {found}, expected r{index}")
             }
-            InstanceError::EmptyInterval { id } => {
+            GInstanceError::EmptyInterval { id } => {
                 write!(f, "item {id} has departure <= arrival")
             }
-            InstanceError::ZeroSize { id } => write!(f, "item {id} has zero size"),
-            InstanceError::Oversized { id, size, capacity } => {
+            GInstanceError::ZeroSize { id } => write!(f, "item {id} has zero size"),
+            GInstanceError::Oversized { id, size, capacity } => {
                 write!(f, "item {id} has size {size} > capacity {capacity}")
             }
         }
     }
 }
 
-impl std::error::Error for InstanceError {}
+impl<Sz: fmt::Debug + fmt::Display> std::error::Error for GInstanceError<Sz> {}
 
-/// An immutable, validated MinTotal DBP instance.
+/// An immutable, validated MinTotal DBP instance, generic over the demand
+/// type (scalar via the [`Instance`] alias, vector via
+/// [`VSize<D>`](crate::demand::VSize)).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Instance {
-    capacity: Size,
-    items: Vec<Item>,
+pub struct GInstance<Sz> {
+    capacity: Sz,
+    items: Vec<GItem<Sz>>,
 }
 
-impl Instance {
+/// The scalar instance of the source paper.
+pub type Instance = GInstance<Size>;
+
+impl<Sz: Demand> GInstance<Sz> {
     /// Validate and build an instance. Items keep their given order — the
     /// order is meaningful: simultaneous arrivals are presented to online
     /// algorithms in list order (the adversarial constructions rely on it).
-    pub fn new(capacity: Size, items: Vec<Item>) -> Result<Instance, InstanceError> {
-        if capacity.0 == 0 {
-            return Err(InstanceError::ZeroCapacity);
+    pub fn new(capacity: Sz, items: Vec<GItem<Sz>>) -> Result<GInstance<Sz>, GInstanceError<Sz>> {
+        if capacity.has_zero_component() {
+            return Err(GInstanceError::ZeroCapacity);
         }
         for (index, it) in items.iter().enumerate() {
             if it.id.index() != index {
-                return Err(InstanceError::BadItemId {
+                return Err(GInstanceError::BadItemId {
                     index,
                     found: it.id,
                 });
             }
             if it.departure <= it.arrival {
-                return Err(InstanceError::EmptyInterval { id: it.id });
+                return Err(GInstanceError::EmptyInterval { id: it.id });
             }
-            if it.size.0 == 0 {
-                return Err(InstanceError::ZeroSize { id: it.id });
+            if it.size.is_zero() {
+                return Err(GInstanceError::ZeroSize { id: it.id });
             }
-            if it.size > capacity {
-                return Err(InstanceError::Oversized {
+            if !it.size.fits_within(capacity) {
+                return Err(GInstanceError::Oversized {
                     id: it.id,
                     size: it.size,
                     capacity,
                 });
             }
         }
-        Ok(Instance { capacity, items })
+        Ok(GInstance { capacity, items })
     }
 
     /// Bin capacity `W`.
     #[inline]
-    pub fn capacity(&self) -> Size {
+    pub fn capacity(&self) -> Sz {
         self.capacity
     }
 
     #[inline]
     /// The items, in instance (arrival-presentation) order.
-    pub fn items(&self) -> &[Item] {
+    pub fn items(&self) -> &[GItem<Sz>] {
         &self.items
     }
 
@@ -128,7 +140,7 @@ impl Instance {
 
     #[inline]
     /// Look up an item by id.
-    pub fn item(&self, id: ItemId) -> &Item {
+    pub fn item(&self, id: ItemId) -> &GItem<Sz> {
         &self.items[id.index()]
     }
 
@@ -212,7 +224,10 @@ impl Instance {
     /// stay index-consistent. Returns the new instance and, for each new
     /// item, the original [`ItemId`] it came from. Relative arrival order
     /// (and hence online presentation order) is preserved.
-    pub fn restrict(&self, mut keep: impl FnMut(&Item) -> bool) -> (Instance, Vec<ItemId>) {
+    pub fn restrict(
+        &self,
+        mut keep: impl FnMut(&GItem<Sz>) -> bool,
+    ) -> (GInstance<Sz>, Vec<ItemId>) {
         let mut items = Vec::new();
         let mut back = Vec::new();
         for it in &self.items {
@@ -223,7 +238,7 @@ impl Instance {
                 back.push(it.id);
             }
         }
-        let inst = Instance {
+        let inst = GInstance {
             capacity: self.capacity,
             items,
         };
@@ -235,17 +250,17 @@ impl Instance {
     ///
     /// # Panics
     /// Panics on tick overflow.
-    pub fn shifted(&self, dt: u64) -> Instance {
+    pub fn shifted(&self, dt: u64) -> GInstance<Sz> {
         let items = self
             .items
             .iter()
-            .map(|it| Item {
+            .map(|it| GItem {
                 arrival: it.arrival + crate::time::Dur(dt),
                 departure: it.departure + crate::time::Dur(dt),
                 ..*it
             })
             .collect();
-        Instance {
+        GInstance {
             capacity: self.capacity,
             items,
         }
@@ -258,7 +273,7 @@ impl Instance {
     ///
     /// # Panics
     /// Panics if the capacities differ.
-    pub fn concat(&self, other: &Instance) -> Instance {
+    pub fn concat(&self, other: &GInstance<Sz>) -> GInstance<Sz> {
         assert_eq!(
             self.capacity, other.capacity,
             "concat requires equal capacities"
@@ -269,15 +284,41 @@ impl Instance {
             renumbered.id = ItemId(items.len() as u32);
             items.push(renumbered);
         }
-        Instance {
+        GInstance {
             capacity: self.capacity,
             items,
         }
     }
 
+    /// Per-dimension demand `u_d(R) = Σ s_d(r)·len(I(r))` — the exact
+    /// per-resource ledger a vector run's cost audit checks against.
+    pub fn total_demand_per_dim(&self) -> Vec<u128> {
+        let mut out = vec![0u128; Sz::DIMS];
+        for r in &self.items {
+            let len = r.interval_len().0 as u128;
+            for (d, slot) in out.iter_mut().enumerate() {
+                *slot += r.size.component(d) as u128 * len;
+            }
+        }
+        out
+    }
+
+    /// The same instance with every demand mapped through `f`; `None` if
+    /// the mapped instance fails validation (e.g. `f` produced a demand
+    /// exceeding the mapped capacity). The D=1 equivalence suite uses this
+    /// to lift scalar instances into vector space and back.
+    pub fn map_demand<T: Demand>(
+        &self,
+        mut f: impl FnMut(Sz) -> T,
+    ) -> Result<GInstance<T>, GInstanceError<T>> {
+        let capacity = f(self.capacity);
+        let items = self.items.iter().map(|it| it.map_demand(&mut f)).collect();
+        GInstance::new(capacity, items)
+    }
+
     /// Summary statistics used by experiment reports.
-    pub fn stats(&self) -> InstanceStats {
-        InstanceStats {
+    pub fn stats(&self) -> GInstanceStats<Sz> {
+        GInstanceStats {
             n_items: self.items.len(),
             capacity: self.capacity,
             span: self.span(),
@@ -285,29 +326,20 @@ impl Instance {
             min_interval_len: self.min_interval_len().unwrap_or(Dur::ZERO),
             max_interval_len: self.max_interval_len().unwrap_or(Dur::ZERO),
             mu: self.mu().unwrap_or(Ratio::ONE),
-            min_size: self
-                .items
-                .iter()
-                .map(|r| r.size)
-                .min()
-                .unwrap_or(Size::ZERO),
-            max_size: self
-                .items
-                .iter()
-                .map(|r| r.size)
-                .max()
-                .unwrap_or(Size::ZERO),
+            min_size: self.items.iter().map(|r| r.size).min().unwrap_or(Sz::ZERO),
+            max_size: self.items.iter().map(|r| r.size).max().unwrap_or(Sz::ZERO),
         }
     }
 }
 
-/// Aggregate instance statistics (§3.1 quantities).
+/// Aggregate instance statistics (§3.1 quantities), generic over the
+/// demand type (scalar via the [`InstanceStats`] alias).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct InstanceStats {
+pub struct GInstanceStats<Sz> {
     /// Number of items.
     pub n_items: usize,
     /// Bin capacity `W`.
-    pub capacity: Size,
+    pub capacity: Sz,
     /// `span(R)`.
     pub span: Dur,
     /// `u(R)` in size·ticks.
@@ -318,11 +350,14 @@ pub struct InstanceStats {
     pub max_interval_len: Dur,
     /// Max/min interval length ratio µ.
     pub mu: Ratio,
-    /// Smallest item size.
-    pub min_size: Size,
-    /// Largest item size.
-    pub max_size: Size,
+    /// Smallest item size (lexicographic minimum for vectors).
+    pub min_size: Sz,
+    /// Largest item size (lexicographic maximum for vectors).
+    pub max_size: Sz,
 }
+
+/// The scalar instance statistics of the source paper.
+pub type InstanceStats = GInstanceStats<Size>;
 
 /// Incremental builder for instances; assigns ids in insertion order.
 #[derive(Debug, Clone, Default)]
@@ -379,6 +414,65 @@ impl InstanceBuilder {
     /// Validate and build the instance.
     pub fn build(self) -> Result<Instance, InstanceError> {
         Instance::new(self.capacity, self.items)
+    }
+}
+
+/// Incremental builder for generic (vector-demand) instances; assigns ids
+/// in insertion order. The scalar [`InstanceBuilder`] keeps its `u64` API.
+#[derive(Debug, Clone)]
+pub struct GInstanceBuilder<Sz> {
+    capacity: Sz,
+    items: Vec<GItem<Sz>>,
+}
+
+impl<Sz: Demand> GInstanceBuilder<Sz> {
+    /// Start a builder for bins of the given (vector) capacity.
+    pub fn new(capacity: Sz) -> GInstanceBuilder<Sz> {
+        GInstanceBuilder {
+            capacity,
+            items: Vec::new(),
+        }
+    }
+
+    /// Add an item; returns its id.
+    pub fn add(&mut self, arrival: u64, departure: u64, size: Sz) -> ItemId {
+        let id = ItemId(self.items.len() as u32);
+        self.items.push(GItem {
+            id,
+            arrival: Tick(arrival),
+            departure: Tick(departure),
+            size,
+            region: RegionId::GLOBAL,
+        });
+        id
+    }
+
+    /// Add an item with a region tag (constrained-DBP extension).
+    pub fn add_in_region(
+        &mut self,
+        arrival: u64,
+        departure: u64,
+        size: Sz,
+        region: RegionId,
+    ) -> ItemId {
+        let id = self.add(arrival, departure, size);
+        self.items[id.index()].region = region;
+        id
+    }
+
+    /// Number of items added so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no items have been added.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Validate and build the instance.
+    pub fn build(self) -> Result<GInstance<Sz>, GInstanceError<Sz>> {
+        GInstance::new(self.capacity, self.items)
     }
 }
 

@@ -4,6 +4,7 @@
 //! time, departure time, and size — plus an identifier and an optional
 //! region tag used by the constrained-DBP extension (§5 future work).
 
+use crate::demand::Demand;
 use crate::ratio::Ratio;
 use crate::time::{Dur, Interval, Tick};
 use core::fmt;
@@ -111,9 +112,11 @@ impl RegionId {
     pub const GLOBAL: RegionId = RegionId(0);
 }
 
-/// An item of the MinTotal DBP instance.
+/// An item of the MinTotal DBP instance, generic over its demand type:
+/// scalar [`Size`] (the paper's model, via the [`Item`] alias) or a
+/// const-generic vector [`VSize<D>`](crate::demand::VSize).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct Item {
+pub struct GItem<Sz> {
     /// Item id (index into the instance).
     pub id: ItemId,
     /// `a(r)`: arrival time.
@@ -123,10 +126,13 @@ pub struct Item {
     /// see an [`ArrivingItem`].
     pub departure: Tick,
     /// `s(r)`: size.
-    pub size: Size,
+    pub size: Sz,
     /// Region constraint (extension); `RegionId::GLOBAL` for plain DBP.
     pub region: RegionId,
 }
+
+/// The scalar item of the source paper: demand is a single [`Size`].
+pub type Item = GItem<Size>;
 
 impl Item {
     /// Convenience constructor for the unconstrained problem.
@@ -139,7 +145,9 @@ impl Item {
             region: RegionId::GLOBAL,
         }
     }
+}
 
+impl<Sz: Demand> GItem<Sz> {
     /// The interval `I(r) = [a(r), d(r))` during which the item is active.
     #[inline]
     pub fn interval(&self) -> Interval {
@@ -152,10 +160,11 @@ impl Item {
         self.departure - self.arrival
     }
 
-    /// The resource demand `u(r) = s(r) · len(I(r))`, in size·ticks.
+    /// The resource demand `u(r) = s(r) · len(I(r))`, in size·ticks —
+    /// summed over dimensions (`Σ_d s_d` is exactly `s` at `D = 1`).
     #[inline]
     pub fn demand(&self) -> u128 {
-        self.size.0 as u128 * self.interval_len().0 as u128
+        self.size.total() * self.interval_len().0 as u128
     }
 
     /// Whether the item is active at time `t` (arrival inclusive, departure
@@ -164,6 +173,18 @@ impl Item {
     pub fn is_active_at(&self, t: Tick) -> bool {
         self.interval().contains(t)
     }
+
+    /// The same item with its demand mapped through `f` — how the D=1
+    /// equivalence suite lifts scalar instances into vector space and back.
+    pub fn map_demand<T: Demand>(&self, f: impl FnOnce(Sz) -> T) -> GItem<T> {
+        GItem {
+            id: self.id,
+            arrival: self.arrival,
+            departure: self.departure,
+            size: f(self.size),
+            region: self.region,
+        }
+    }
 }
 
 /// The online view of an item: what a packing algorithm is allowed to see at
@@ -171,20 +192,23 @@ impl Item {
 /// the item arrives, so it is simply absent from this type — online
 /// algorithms cannot cheat even by accident.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ArrivingItem {
+pub struct GArrivingItem<Sz> {
     /// Item id.
     pub id: ItemId,
     /// `a(r)`: arrival time.
     pub arrival: Tick,
     /// `s(r)`: size.
-    pub size: Size,
+    pub size: Sz,
     /// Region constraint tag.
     pub region: RegionId,
 }
 
-impl ArrivingItem {
-    pub(crate) fn of(item: &Item) -> ArrivingItem {
-        ArrivingItem {
+/// The scalar arriving item of the source paper.
+pub type ArrivingItem = GArrivingItem<Size>;
+
+impl<Sz: Demand> GArrivingItem<Sz> {
+    pub(crate) fn of(item: &GItem<Sz>) -> GArrivingItem<Sz> {
+        GArrivingItem {
             id: item.id,
             arrival: item.arrival,
             size: item.size,

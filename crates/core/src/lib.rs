@@ -66,6 +66,7 @@ pub mod analysis;
 pub mod bin;
 pub mod bounds;
 pub mod clairvoyant;
+pub mod demand;
 pub mod engine;
 pub mod events;
 pub mod gantt;
@@ -84,36 +85,41 @@ pub mod svg;
 pub mod time;
 pub mod trace;
 
-pub use bin::{BinId, BinTag, OpenBinView};
+pub use bin::{BinId, BinTag, GOpenBinView, OpenBinView};
+pub use demand::{scalar_of, vec1_of, Demand, VSize};
 pub use engine::{
     any_fit_violations, rebuild_snapshot, simulate, simulate_probed, simulate_resumed_probed,
     simulate_traced, simulate_validated, simulate_validated_probed, EngineRun,
 };
-pub use instance::{Instance, InstanceBuilder, InstanceError, InstanceStats};
-pub use item::{ArrivingItem, Item, ItemId, RegionId, Size};
+pub use instance::{
+    GInstance, GInstanceBuilder, GInstanceError, GInstanceStats, Instance, InstanceBuilder,
+    InstanceError, InstanceStats,
+};
+pub use item::{ArrivingItem, GArrivingItem, GItem, Item, ItemId, RegionId, Size};
 pub use packer::{BinSelector, Decision, SelectorFactory};
-pub use probe::{DropReason, NoProbe, Probe, ProbeEvent};
+pub use probe::{DropReason, GProbeEvent, NoProbe, Probe, ProbeEvent};
 pub use ratio::Ratio;
-pub use snapshot::Snapshot;
+pub use snapshot::{GSnapshot, Snapshot};
 pub use span::{NoSpans, SpanEvent, SpanRecorder};
-pub use streaming::{Clock, ManualClock, StreamError, StreamingEngine, WallClock};
+pub use streaming::{Clock, GStreamError, ManualClock, StreamError, StreamingEngine, WallClock};
 pub use time::{Dur, Interval, Tick};
-pub use trace::{BinRecord, PackingTrace};
+pub use trace::{BinRecord, GPackingTrace, PackingTrace};
 
 /// Everything most users need, in one import.
 pub mod prelude {
     pub use crate::algorithms::{
-        BestFit, ConstrainedFirstFit, FirstFit, HarmonicFit, LastFit, ModifiedFirstFit,
-        MostItemsFit, NextFit, RandomFit, WorstFit,
+        BestFit, ConstrainedFirstFit, DominanceFit, FirstFit, HarmonicFit, LastFit,
+        ModifiedFirstFit, MostItemsFit, NextFit, RandomFit, WorstFit,
     };
-    pub use crate::bin::{BinId, BinTag, OpenBinView};
+    pub use crate::bin::{BinId, BinTag, GOpenBinView, OpenBinView};
     pub use crate::bounds;
+    pub use crate::demand::{scalar_of, vec1_of, Demand, VSize};
     pub use crate::engine::{
         any_fit_violations, rebuild_snapshot, simulate, simulate_probed, simulate_resumed_probed,
         simulate_traced, simulate_validated, simulate_validated_probed, EngineRun,
     };
-    pub use crate::instance::{Instance, InstanceBuilder};
-    pub use crate::item::{ArrivingItem, Item, ItemId, RegionId, Size};
+    pub use crate::instance::{GInstance, GInstanceBuilder, Instance, InstanceBuilder};
+    pub use crate::item::{ArrivingItem, GArrivingItem, GItem, Item, ItemId, RegionId, Size};
     pub use crate::metrics::{summarize, RunSummary};
     pub use crate::packer::{BinSelector, Decision, SelectorFactory};
     pub use crate::probe::{DropReason, NoProbe, Probe, ProbeEvent};

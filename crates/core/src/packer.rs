@@ -6,8 +6,9 @@
 //! selector never sees departure times ([`ArrivingItem`] has none), which
 //! enforces the online model of the paper by construction.
 
-use crate::bin::{BinId, BinTag, OpenBinView};
-use crate::item::{ArrivingItem, Size};
+use crate::bin::{BinId, BinTag, GOpenBinView};
+use crate::demand::Demand;
+use crate::item::{GArrivingItem, Size};
 
 /// The decision a selector makes for an arriving item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,7 +56,7 @@ impl Decision {
 /// [`on_item_departed`]: BinSelector::on_item_departed
 /// [`on_bin_closed`]: BinSelector::on_bin_closed
 /// [`needs_views`]: BinSelector::needs_views
-pub trait BinSelector {
+pub trait BinSelector<Sz: Demand = Size> {
     /// Short stable name used in reports ("FF", "BF", ...).
     fn name(&self) -> &'static str;
 
@@ -68,7 +69,12 @@ pub trait BinSelector {
     /// When [`needs_views`](BinSelector::needs_views) is `false`, `bins`
     /// may be empty regardless of the true open set — the selector answers
     /// from its own hook-maintained index.
-    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision;
+    fn select(
+        &mut self,
+        bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        capacity: Sz,
+    ) -> Decision;
 
     /// Whether this selector reads the `bins` slice passed to
     /// [`select`](BinSelector::select). Must be constant for the lifetime
@@ -83,16 +89,16 @@ pub trait BinSelector {
     /// `Decision::Open` under the engine; under fault injection a delayed
     /// boot may deliver it later, or never (failed boot — see
     /// [`on_bin_closed`](BinSelector::on_bin_closed)).
-    fn on_bin_opened(&mut self, _bin: BinId, _tag: BinTag, _level: Size) {}
+    fn on_bin_opened(&mut self, _bin: BinId, _tag: BinTag, _level: Sz) {}
 
     /// Notification that an item was added to an already open bin; `level`
     /// is the bin's level *after* the placement.
-    fn on_item_placed(&mut self, _bin: BinId, _level: Size) {}
+    fn on_item_placed(&mut self, _bin: BinId, _level: Sz) {}
 
     /// Notification that an item left its bin; `level` is the bin's level
     /// *after* the departure. If the bin closes as a result,
     /// [`on_bin_closed`](BinSelector::on_bin_closed) follows immediately.
-    fn on_item_departed(&mut self, _bin: BinId, _level: Size) {}
+    fn on_item_departed(&mut self, _bin: BinId, _level: Sz) {}
 
     /// Notification that a bin is gone: it emptied and was closed, crashed
     /// (fault injection, possibly non-empty), or its id was burned by a
@@ -109,7 +115,12 @@ pub trait BinSelector {
     /// keep the default no-op. The usual state hooks (`on_bin_opened` etc.)
     /// still fire during replay, after this call. `capacity` is the same
     /// value `select` would have received.
-    fn on_decision_replayed(&mut self, _item: &ArrivingItem, _decision: Decision, _capacity: Size) {
+    fn on_decision_replayed(
+        &mut self,
+        _item: &GArrivingItem<Sz>,
+        _decision: Decision,
+        _capacity: Sz,
+    ) {
     }
 
     /// Whether the strategy belongs to the Any Fit family: it never opens a
@@ -121,29 +132,34 @@ pub trait BinSelector {
 }
 
 /// Blanket impl so `&mut S` can be passed where a selector is expected.
-impl<S: BinSelector + ?Sized> BinSelector for &mut S {
+impl<Sz: Demand, S: BinSelector<Sz> + ?Sized> BinSelector<Sz> for &mut S {
     fn name(&self) -> &'static str {
         (**self).name()
     }
-    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+    fn select(
+        &mut self,
+        bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        capacity: Sz,
+    ) -> Decision {
         (**self).select(bins, item, capacity)
     }
     fn needs_views(&self) -> bool {
         (**self).needs_views()
     }
-    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Size) {
+    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Sz) {
         (**self).on_bin_opened(bin, tag, level)
     }
-    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+    fn on_item_placed(&mut self, bin: BinId, level: Sz) {
         (**self).on_item_placed(bin, level)
     }
-    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+    fn on_item_departed(&mut self, bin: BinId, level: Sz) {
         (**self).on_item_departed(bin, level)
     }
     fn on_bin_closed(&mut self, bin: BinId) {
         (**self).on_bin_closed(bin)
     }
-    fn on_decision_replayed(&mut self, item: &ArrivingItem, decision: Decision, capacity: Size) {
+    fn on_decision_replayed(&mut self, item: &GArrivingItem<Sz>, decision: Decision, capacity: Sz) {
         (**self).on_decision_replayed(item, decision, capacity)
     }
     fn is_any_fit(&self) -> bool {
@@ -154,29 +170,34 @@ impl<S: BinSelector + ?Sized> BinSelector for &mut S {
 /// Forwarding impl so `Box<dyn BinSelector>` is itself a selector — the
 /// streaming engine owns its selector, and long-running daemons pick the
 /// algorithm at run time.
-impl<S: BinSelector + ?Sized> BinSelector for Box<S> {
+impl<Sz: Demand, S: BinSelector<Sz> + ?Sized> BinSelector<Sz> for Box<S> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
-    fn select(&mut self, bins: &[OpenBinView], item: &ArrivingItem, capacity: Size) -> Decision {
+    fn select(
+        &mut self,
+        bins: &[GOpenBinView<Sz>],
+        item: &GArrivingItem<Sz>,
+        capacity: Sz,
+    ) -> Decision {
         (**self).select(bins, item, capacity)
     }
     fn needs_views(&self) -> bool {
         (**self).needs_views()
     }
-    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Size) {
+    fn on_bin_opened(&mut self, bin: BinId, tag: BinTag, level: Sz) {
         (**self).on_bin_opened(bin, tag, level)
     }
-    fn on_item_placed(&mut self, bin: BinId, level: Size) {
+    fn on_item_placed(&mut self, bin: BinId, level: Sz) {
         (**self).on_item_placed(bin, level)
     }
-    fn on_item_departed(&mut self, bin: BinId, level: Size) {
+    fn on_item_departed(&mut self, bin: BinId, level: Sz) {
         (**self).on_item_departed(bin, level)
     }
     fn on_bin_closed(&mut self, bin: BinId) {
         (**self).on_bin_closed(bin)
     }
-    fn on_decision_replayed(&mut self, item: &ArrivingItem, decision: Decision, capacity: Size) {
+    fn on_decision_replayed(&mut self, item: &GArrivingItem<Sz>, decision: Decision, capacity: Sz) {
         (**self).on_decision_replayed(item, decision, capacity)
     }
     fn is_any_fit(&self) -> bool {

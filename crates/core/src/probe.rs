@@ -19,6 +19,7 @@
 //! honest.
 
 use crate::bin::{BinId, BinTag};
+use crate::demand::Demand;
 use crate::item::{ItemId, Size};
 use crate::time::Tick;
 use serde::{Deserialize, Serialize};
@@ -28,7 +29,7 @@ use serde::{Deserialize, Serialize};
 /// Serialization (via the JSONL exporter in `dbp-obs`) uses serde's
 /// externally-tagged enum form: `{"ItemArrived": {"at": 3, ...}}`.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub enum ProbeEvent {
+pub enum GProbeEvent<Sz> {
     /// An item reached the engine and a decision is about to be requested.
     ItemArrived {
         /// Simulation tick.
@@ -36,7 +37,7 @@ pub enum ProbeEvent {
         /// The arriving item.
         item: ItemId,
         /// Its size.
-        size: Size,
+        size: Sz,
     },
     /// The selector returned a decision; `bins_scanned` is the First-Fit
     /// scan depth it implies: the 1-based position of the chosen bin in
@@ -71,7 +72,7 @@ pub enum ProbeEvent {
         /// The receiving bin.
         bin: BinId,
         /// Bin level *after* the placement.
-        level: Size,
+        level: Sz,
     },
     /// An item departed from its bin.
     ItemDeparted {
@@ -82,7 +83,7 @@ pub enum ProbeEvent {
         /// The bin it left.
         bin: BinId,
         /// Bin level *after* the departure.
-        level: Size,
+        level: Sz,
     },
     /// A bin became empty and closed.
     BinClosed {
@@ -165,7 +166,7 @@ pub enum ProbeEvent {
         /// The bin it landed on.
         to: BinId,
         /// Level of the receiving bin *after* the placement.
-        level: Size,
+        level: Sz,
     },
     /// Every orphan of one crash reached a terminal state (re-placed or
     /// dropped); `at - crash_at` is the crash's recovery time.
@@ -216,6 +217,9 @@ pub enum ProbeEvent {
     },
 }
 
+/// The scalar probe event of the source paper's engine.
+pub type ProbeEvent = GProbeEvent<Size>;
+
 /// Why an item was dropped instead of served (see
 /// [`ProbeEvent::ItemDropped`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -242,50 +246,50 @@ impl DropReason {
     }
 }
 
-impl ProbeEvent {
+impl<Sz> GProbeEvent<Sz> {
     /// The tick the event is stamped with.
     pub fn at(&self) -> Tick {
         match self {
-            ProbeEvent::ItemArrived { at, .. }
-            | ProbeEvent::FitAttempt { at, .. }
-            | ProbeEvent::BinOpened { at, .. }
-            | ProbeEvent::ItemPlaced { at, .. }
-            | ProbeEvent::ItemDeparted { at, .. }
-            | ProbeEvent::BinClosed { at, .. }
-            | ProbeEvent::Violation { at, .. }
-            | ProbeEvent::BinCrashed { at, .. }
-            | ProbeEvent::ProvisionFailed { at, .. }
-            | ProbeEvent::RetryScheduled { at, .. }
-            | ProbeEvent::DispatchRejected { at, .. }
-            | ProbeEvent::ItemDropped { at, .. }
-            | ProbeEvent::ItemRedispatched { at, .. }
-            | ProbeEvent::RecoveryEnded { at, .. }
-            | ProbeEvent::ShardKilled { at, .. }
-            | ProbeEvent::ShardRestarted { at, .. }
-            | ProbeEvent::ShardAbandoned { at, .. } => *at,
+            GProbeEvent::ItemArrived { at, .. }
+            | GProbeEvent::FitAttempt { at, .. }
+            | GProbeEvent::BinOpened { at, .. }
+            | GProbeEvent::ItemPlaced { at, .. }
+            | GProbeEvent::ItemDeparted { at, .. }
+            | GProbeEvent::BinClosed { at, .. }
+            | GProbeEvent::Violation { at, .. }
+            | GProbeEvent::BinCrashed { at, .. }
+            | GProbeEvent::ProvisionFailed { at, .. }
+            | GProbeEvent::RetryScheduled { at, .. }
+            | GProbeEvent::DispatchRejected { at, .. }
+            | GProbeEvent::ItemDropped { at, .. }
+            | GProbeEvent::ItemRedispatched { at, .. }
+            | GProbeEvent::RecoveryEnded { at, .. }
+            | GProbeEvent::ShardKilled { at, .. }
+            | GProbeEvent::ShardRestarted { at, .. }
+            | GProbeEvent::ShardAbandoned { at, .. } => *at,
         }
     }
 
     /// Stable event-kind name (the serde variant tag).
     pub fn kind(&self) -> &'static str {
         match self {
-            ProbeEvent::ItemArrived { .. } => "ItemArrived",
-            ProbeEvent::FitAttempt { .. } => "FitAttempt",
-            ProbeEvent::BinOpened { .. } => "BinOpened",
-            ProbeEvent::ItemPlaced { .. } => "ItemPlaced",
-            ProbeEvent::ItemDeparted { .. } => "ItemDeparted",
-            ProbeEvent::BinClosed { .. } => "BinClosed",
-            ProbeEvent::Violation { .. } => "Violation",
-            ProbeEvent::BinCrashed { .. } => "BinCrashed",
-            ProbeEvent::ProvisionFailed { .. } => "ProvisionFailed",
-            ProbeEvent::RetryScheduled { .. } => "RetryScheduled",
-            ProbeEvent::DispatchRejected { .. } => "DispatchRejected",
-            ProbeEvent::ItemDropped { .. } => "ItemDropped",
-            ProbeEvent::ItemRedispatched { .. } => "ItemRedispatched",
-            ProbeEvent::RecoveryEnded { .. } => "RecoveryEnded",
-            ProbeEvent::ShardKilled { .. } => "ShardKilled",
-            ProbeEvent::ShardRestarted { .. } => "ShardRestarted",
-            ProbeEvent::ShardAbandoned { .. } => "ShardAbandoned",
+            GProbeEvent::ItemArrived { .. } => "ItemArrived",
+            GProbeEvent::FitAttempt { .. } => "FitAttempt",
+            GProbeEvent::BinOpened { .. } => "BinOpened",
+            GProbeEvent::ItemPlaced { .. } => "ItemPlaced",
+            GProbeEvent::ItemDeparted { .. } => "ItemDeparted",
+            GProbeEvent::BinClosed { .. } => "BinClosed",
+            GProbeEvent::Violation { .. } => "Violation",
+            GProbeEvent::BinCrashed { .. } => "BinCrashed",
+            GProbeEvent::ProvisionFailed { .. } => "ProvisionFailed",
+            GProbeEvent::RetryScheduled { .. } => "RetryScheduled",
+            GProbeEvent::DispatchRejected { .. } => "DispatchRejected",
+            GProbeEvent::ItemDropped { .. } => "ItemDropped",
+            GProbeEvent::ItemRedispatched { .. } => "ItemRedispatched",
+            GProbeEvent::RecoveryEnded { .. } => "RecoveryEnded",
+            GProbeEvent::ShardKilled { .. } => "ShardKilled",
+            GProbeEvent::ShardRestarted { .. } => "ShardRestarted",
+            GProbeEvent::ShardAbandoned { .. } => "ShardAbandoned",
         }
     }
 
@@ -294,30 +298,169 @@ impl ProbeEvent {
     pub fn is_fault_event(&self) -> bool {
         matches!(
             self,
-            ProbeEvent::BinCrashed { .. }
-                | ProbeEvent::ProvisionFailed { .. }
-                | ProbeEvent::RetryScheduled { .. }
-                | ProbeEvent::DispatchRejected { .. }
-                | ProbeEvent::ItemDropped { .. }
-                | ProbeEvent::ItemRedispatched { .. }
-                | ProbeEvent::RecoveryEnded { .. }
-                | ProbeEvent::ShardKilled { .. }
-                | ProbeEvent::ShardRestarted { .. }
-                | ProbeEvent::ShardAbandoned { .. }
+            GProbeEvent::BinCrashed { .. }
+                | GProbeEvent::ProvisionFailed { .. }
+                | GProbeEvent::RetryScheduled { .. }
+                | GProbeEvent::DispatchRejected { .. }
+                | GProbeEvent::ItemDropped { .. }
+                | GProbeEvent::ItemRedispatched { .. }
+                | GProbeEvent::RecoveryEnded { .. }
+                | GProbeEvent::ShardKilled { .. }
+                | GProbeEvent::ShardRestarted { .. }
+                | GProbeEvent::ShardAbandoned { .. }
         )
+    }
+}
+
+impl<Sz> GProbeEvent<Sz> {
+    /// The same event with its demand payloads mapped through `f`. The D=1
+    /// equivalence suite uses this to compare a `VSize<1>` event stream
+    /// against the scalar stream field-for-field.
+    pub fn map_demand<T>(self, mut f: impl FnMut(Sz) -> T) -> GProbeEvent<T> {
+        match self {
+            GProbeEvent::ItemArrived { at, item, size } => GProbeEvent::ItemArrived {
+                at,
+                item,
+                size: f(size),
+            },
+            GProbeEvent::FitAttempt {
+                at,
+                item,
+                bins_scanned,
+                open_bins,
+            } => GProbeEvent::FitAttempt {
+                at,
+                item,
+                bins_scanned,
+                open_bins,
+            },
+            GProbeEvent::BinOpened { at, bin, tag, item } => {
+                GProbeEvent::BinOpened { at, bin, tag, item }
+            }
+            GProbeEvent::ItemPlaced {
+                at,
+                item,
+                bin,
+                level,
+            } => GProbeEvent::ItemPlaced {
+                at,
+                item,
+                bin,
+                level: f(level),
+            },
+            GProbeEvent::ItemDeparted {
+                at,
+                item,
+                bin,
+                level,
+            } => GProbeEvent::ItemDeparted {
+                at,
+                item,
+                bin,
+                level: f(level),
+            },
+            GProbeEvent::BinClosed {
+                at,
+                bin,
+                open_ticks,
+            } => GProbeEvent::BinClosed {
+                at,
+                bin,
+                open_ticks,
+            },
+            GProbeEvent::Violation { at, message } => GProbeEvent::Violation { at, message },
+            GProbeEvent::BinCrashed { at, bin, orphans } => {
+                GProbeEvent::BinCrashed { at, bin, orphans }
+            }
+            GProbeEvent::ProvisionFailed { at, item, attempt } => {
+                GProbeEvent::ProvisionFailed { at, item, attempt }
+            }
+            GProbeEvent::RetryScheduled {
+                at,
+                item,
+                attempt,
+                next,
+            } => GProbeEvent::RetryScheduled {
+                at,
+                item,
+                attempt,
+                next,
+            },
+            GProbeEvent::DispatchRejected { at, item, bin } => {
+                GProbeEvent::DispatchRejected { at, item, bin }
+            }
+            GProbeEvent::ItemDropped { at, item, reason } => {
+                GProbeEvent::ItemDropped { at, item, reason }
+            }
+            GProbeEvent::ItemRedispatched {
+                at,
+                item,
+                from,
+                to,
+                level,
+            } => GProbeEvent::ItemRedispatched {
+                at,
+                item,
+                from,
+                to,
+                level: f(level),
+            },
+            GProbeEvent::RecoveryEnded {
+                at,
+                bin,
+                redispatched,
+                lost,
+            } => GProbeEvent::RecoveryEnded {
+                at,
+                bin,
+                redispatched,
+                lost,
+            },
+            GProbeEvent::ShardKilled {
+                at,
+                shard,
+                events_done,
+            } => GProbeEvent::ShardKilled {
+                at,
+                shard,
+                events_done,
+            },
+            GProbeEvent::ShardRestarted {
+                at,
+                shard,
+                attempt,
+                replayed,
+            } => GProbeEvent::ShardRestarted {
+                at,
+                shard,
+                attempt,
+                replayed,
+            },
+            GProbeEvent::ShardAbandoned {
+                at,
+                shard,
+                lost,
+                rerouted,
+            } => GProbeEvent::ShardAbandoned {
+                at,
+                shard,
+                lost,
+                rerouted,
+            },
+        }
     }
 }
 
 /// Receiver of engine events. See the module docs for the zero-cost
 /// contract; implementors outside benchmarks normally leave `ENABLED` at
 /// its default of `true`.
-pub trait Probe {
+pub trait Probe<Sz: Demand = Size> {
     /// Compile-time switch: when `false`, the engine skips event
     /// construction and decision timing entirely.
     const ENABLED: bool = true;
 
     /// Receive one event. Called in simulation order.
-    fn record(&mut self, event: ProbeEvent);
+    fn record(&mut self, event: GProbeEvent<Sz>);
 
     /// Receive the wall-clock duration of one full arrival handling — the
     /// `BinSelector::select` call *plus* the engine's placement bookkeeping
@@ -335,20 +478,20 @@ pub trait Probe {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoProbe;
 
-impl Probe for NoProbe {
+impl<Sz: Demand> Probe<Sz> for NoProbe {
     const ENABLED: bool = false;
 
     #[inline(always)]
-    fn record(&mut self, _event: ProbeEvent) {}
+    fn record(&mut self, _event: GProbeEvent<Sz>) {}
 
     #[inline(always)]
     fn on_decision_ns(&mut self, _ns: u64) {}
 }
 
-impl<P: Probe> Probe for &mut P {
+impl<Sz: Demand, P: Probe<Sz>> Probe<Sz> for &mut P {
     const ENABLED: bool = P::ENABLED;
 
-    fn record(&mut self, event: ProbeEvent) {
+    fn record(&mut self, event: GProbeEvent<Sz>) {
         (**self).record(event);
     }
 
@@ -359,10 +502,10 @@ impl<P: Probe> Probe for &mut P {
 
 /// Fan-out combinator: `(A, B)` forwards every event to both probes, so a
 /// run can, say, write a JSONL log *and* aggregate metrics in one pass.
-impl<A: Probe, B: Probe> Probe for (A, B) {
+impl<Sz: Demand, A: Probe<Sz>, B: Probe<Sz>> Probe<Sz> for (A, B) {
     const ENABLED: bool = A::ENABLED || B::ENABLED;
 
-    fn record(&mut self, event: ProbeEvent) {
+    fn record(&mut self, event: GProbeEvent<Sz>) {
         if A::ENABLED && B::ENABLED {
             self.0.record(event.clone());
             self.1.record(event);
@@ -386,19 +529,19 @@ impl<A: Probe, B: Probe> Probe for (A, B) {
 /// Adapter turning any closure into a probe, convenient in tests:
 /// `simulate_probed(&inst, &mut ff, &mut FnProbe::new(|ev| events.push(ev)))`.
 #[derive(Debug)]
-pub struct FnProbe<F: FnMut(ProbeEvent)> {
+pub struct FnProbe<F> {
     f: F,
 }
 
-impl<F: FnMut(ProbeEvent)> FnProbe<F> {
+impl<F> FnProbe<F> {
     /// Wrap a closure as a probe.
     pub fn new(f: F) -> FnProbe<F> {
         FnProbe { f }
     }
 }
 
-impl<F: FnMut(ProbeEvent)> Probe for FnProbe<F> {
-    fn record(&mut self, event: ProbeEvent) {
+impl<Sz: Demand, F: FnMut(GProbeEvent<Sz>)> Probe<Sz> for FnProbe<F> {
+    fn record(&mut self, event: GProbeEvent<Sz>) {
         (self.f)(event);
     }
 }
@@ -411,7 +554,10 @@ mod tests {
     fn noprobe_is_disabled_and_pairs_compose() {
         // Read through runtime bindings so the flags are checked as values
         // (a direct `assert!(!NoProbe::ENABLED)` is a constant assertion).
-        let flags = [NoProbe::ENABLED, <(NoProbe, NoProbe)>::ENABLED];
+        let flags = [
+            <NoProbe as Probe<Size>>::ENABLED,
+            <(NoProbe, NoProbe) as Probe<Size>>::ENABLED,
+        ];
         assert_eq!(flags, [false, false]);
         struct Count(u32);
         impl Probe for Count {

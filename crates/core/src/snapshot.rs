@@ -36,28 +36,30 @@
 //! [`EngineRun::resume`]: crate::engine::EngineRun::resume
 
 use crate::bin::BinId;
+use crate::demand::Demand;
 use crate::item::{ItemId, Size};
 use crate::time::Tick;
 use crate::trace::BinRecord;
 use serde::{Deserialize, Serialize};
 
-/// Complete engine state between two schedule events. See the module docs
-/// for the invariants; construct via
+/// Complete engine state between two schedule events, generic over the
+/// demand type (scalar [`Size`] via the [`Snapshot`] alias). See the module
+/// docs for the invariants; construct via
 /// [`EngineRun::snapshot`](crate::engine::EngineRun::snapshot) or
 /// [`rebuild_snapshot`](crate::engine::rebuild_snapshot).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct Snapshot {
+pub struct GSnapshot<Sz> {
     /// Name of the algorithm that produced the prefix (checked against the
     /// fresh selector on resume).
     pub algorithm: String,
     /// Bin capacity `W` of the instance.
-    pub capacity: Size,
+    pub capacity: Sz,
     /// Item count of the instance (sanity check on resume).
     pub n_items: u64,
     /// Number of schedule events already processed (the resume point).
     pub cursor: u64,
     /// Current level of every bin ever opened, by bin id.
-    pub levels: Vec<Size>,
+    pub levels: Vec<Sz>,
     /// Current members of every bin, by bin id (empty for closed bins),
     /// in placement (insertion) order — materialized from the engine's
     /// intrusive membership lists at snapshot time.
@@ -78,7 +80,10 @@ pub struct Snapshot {
     pub steps: Vec<(Tick, u32)>,
 }
 
-impl Snapshot {
+/// The scalar snapshot of the source paper's model.
+pub type Snapshot = GSnapshot<Size>;
+
+impl<Sz: Demand> GSnapshot<Sz> {
     /// Whether the snapshot covers a completed run (every schedule event
     /// processed). The schedule has two events per item.
     pub fn is_complete(&self) -> bool {

@@ -33,12 +33,13 @@
 //! [`push_departure`]: StreamingEngine::push_departure
 
 use crate::bin::BinId;
+use crate::demand::Demand;
 use crate::engine::State;
-use crate::item::{ArrivingItem, Item, ItemId, RegionId, Size};
+use crate::item::{GArrivingItem, GItem, ItemId, RegionId, Size};
 use crate::packer::BinSelector;
-use crate::probe::{Probe, ProbeEvent};
+use crate::probe::{GProbeEvent, Probe};
 use crate::time::Tick;
-use crate::trace::PackingTrace;
+use crate::trace::GPackingTrace;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::fmt;
@@ -114,10 +115,12 @@ impl Clock for WallClock {
     }
 }
 
-/// Typed rejection from the streaming engine. Every variant is a *caller*
-/// error: the engine's own state stays consistent after returning one.
+/// Typed rejection from the streaming engine, generic over the demand type
+/// (scalar [`Size`] via the [`StreamError`] alias). Every variant is a
+/// *caller* error: the engine's own state stays consistent after returning
+/// one.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum StreamError {
+pub enum GStreamError<Sz> {
     /// The push carried a tick behind the engine's event-time horizon.
     TimeTravel {
         /// The offending tick.
@@ -150,14 +153,15 @@ pub enum StreamError {
         /// The item.
         item: ItemId,
     },
-    /// The item does not fit an empty bin.
+    /// The item does not fit an empty bin (some demand component exceeds
+    /// the matching capacity component).
     Oversized {
         /// The item.
         item: ItemId,
         /// Its size.
-        size: Size,
+        size: Sz,
         /// The bin capacity it exceeds.
-        capacity: Size,
+        capacity: Sz,
     },
     /// An item id was pushed twice.
     DuplicateItem {
@@ -189,19 +193,22 @@ pub enum StreamError {
     },
 }
 
-impl fmt::Display for StreamError {
+/// The scalar stream error of the source paper's model.
+pub type StreamError = GStreamError<Size>;
+
+impl<Sz: fmt::Display> fmt::Display for GStreamError<Sz> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            StreamError::TimeTravel { at, horizon } => {
+            GStreamError::TimeTravel { at, horizon } => {
                 write!(f, "time travel: tick {at} is behind the horizon {horizon}")
             }
-            StreamError::ArrivalInFuture { item, arrival, now } => {
+            GStreamError::ArrivalInFuture { item, arrival, now } => {
                 write!(
                     f,
                     "item {item} arrives at {arrival}, after the clock reading {now}"
                 )
             }
-            StreamError::DepartureNotAfterArrival {
+            GStreamError::DepartureNotAfterArrival {
                 item,
                 arrival,
                 departure,
@@ -209,30 +216,30 @@ impl fmt::Display for StreamError {
                 f,
                 "item {item} departs at {departure}, not after its arrival {arrival}"
             ),
-            StreamError::ZeroSize { item } => write!(f, "item {item} has size 0"),
-            StreamError::Oversized {
+            GStreamError::ZeroSize { item } => write!(f, "item {item} has size 0"),
+            GStreamError::Oversized {
                 item,
                 size,
                 capacity,
             } => write!(f, "item {item} (size {size}) exceeds capacity {capacity}"),
-            StreamError::DuplicateItem { item } => write!(f, "item {item} was pushed twice"),
-            StreamError::UnknownItem { item } => {
+            GStreamError::DuplicateItem { item } => write!(f, "item {item} was pushed twice"),
+            GStreamError::UnknownItem { item } => {
                 write!(f, "departure for unknown item {item}")
             }
-            StreamError::AlreadyDeparted { item } => {
+            GStreamError::AlreadyDeparted { item } => {
                 write!(f, "item {item} already departed")
             }
-            StreamError::ItemsStillOpen { open } => {
+            GStreamError::ItemsStillOpen { open } => {
                 write!(f, "{open} item(s) still open at finish")
             }
-            StreamError::MissingItem { item } => {
+            GStreamError::MissingItem { item } => {
                 write!(f, "id space has a gap: item {item} was never pushed")
             }
         }
     }
 }
 
-impl std::error::Error for StreamError {}
+impl<Sz: fmt::Debug + fmt::Display> std::error::Error for GStreamError<Sz> {}
 
 /// Per-item lifecycle in the streaming engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -251,19 +258,19 @@ enum ItemPhase {
 /// The bounded-memory event-time engine. See the module docs for the
 /// contract; construction takes ownership of the selector and probe because
 /// a streaming run has no instance-scoped borrow to hang them on.
-pub struct StreamingEngine<S: BinSelector, P: Probe> {
-    capacity: Size,
+pub struct StreamingEngine<S: BinSelector<Sz>, P: Probe<Sz>, Sz: Demand = Size> {
+    capacity: Sz,
     selector: S,
     probe: P,
     keep_views: bool,
-    st: State,
+    st: State<Sz>,
     /// Min-heap of scheduled departures keyed `(tick, item id)` — exactly
     /// the order the batch scheduler's stable sort yields for equal-tick
     /// departures.
     departures: BinaryHeap<Reverse<(Tick, ItemId)>>,
     /// Per-item size (needed at departure) and lifecycle phase, indexed by
     /// item id like the arena's per-item columns.
-    sizes: Vec<Size>,
+    sizes: Vec<Sz>,
     phase: Vec<ItemPhase>,
     /// Event-time horizon: no processed event may carry a smaller tick.
     horizon: Tick,
@@ -276,13 +283,16 @@ pub struct StreamingEngine<S: BinSelector, P: Probe> {
     arrived: u64,
 }
 
-impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
+impl<Sz: Demand, S: BinSelector<Sz>, P: Probe<Sz>> StreamingEngine<S, P, Sz> {
     /// A fresh engine for bins of the given `capacity`.
     ///
     /// # Panics
-    /// Panics if `capacity` is zero.
-    pub fn new(capacity: Size, selector: S, probe: P) -> StreamingEngine<S, P> {
-        assert!(capacity.raw() > 0, "bin capacity must be positive");
+    /// Panics if any capacity component is zero.
+    pub fn new(capacity: Sz, selector: S, probe: P) -> StreamingEngine<S, P, Sz> {
+        assert!(
+            !capacity.has_zero_component(),
+            "bin capacity must be positive in every dimension"
+        );
         let keep_views = P::ENABLED || selector.needs_views();
         StreamingEngine {
             capacity,
@@ -343,7 +353,7 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
     /// Grow the per-item columns to cover `idx` and report its phase.
     fn phase_of(&mut self, idx: usize) -> ItemPhase {
         if idx >= self.phase.len() {
-            self.sizes.resize(idx + 1, Size::ZERO);
+            self.sizes.resize(idx + 1, Sz::ZERO);
             self.phase.resize(idx + 1, ItemPhase::Absent);
             self.st.ensure_item(idx);
         }
@@ -390,11 +400,11 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
     /// Shared arrival path: mirrors the batch engine's probe emission order
     /// exactly (`ItemArrived` → timed `select` → placement events →
     /// `on_decision_ns`).
-    fn process_arrival(&mut self, arriving: ArrivingItem) -> BinId {
+    fn process_arrival(&mut self, arriving: GArrivingItem<Sz>) -> BinId {
         let tick = arriving.arrival;
         self.note_tick(tick);
         if P::ENABLED {
-            self.probe.record(ProbeEvent::ItemArrived {
+            self.probe.record(GProbeEvent::ItemArrived {
                 at: tick,
                 item: arriving.id,
                 size: arriving.size,
@@ -433,34 +443,34 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
         &mut self,
         id: ItemId,
         arrival: Tick,
-        size: Size,
+        size: Sz,
         now: Tick,
-    ) -> Result<(), StreamError> {
+    ) -> Result<(), GStreamError<Sz>> {
         if arrival < self.horizon {
-            return Err(StreamError::TimeTravel {
+            return Err(GStreamError::TimeTravel {
                 at: arrival,
                 horizon: self.horizon,
             });
         }
         if arrival > now {
-            return Err(StreamError::ArrivalInFuture {
+            return Err(GStreamError::ArrivalInFuture {
                 item: id,
                 arrival,
                 now,
             });
         }
-        if size == Size::ZERO {
-            return Err(StreamError::ZeroSize { item: id });
+        if size.is_zero() {
+            return Err(GStreamError::ZeroSize { item: id });
         }
-        if size > self.capacity {
-            return Err(StreamError::Oversized {
+        if !size.fits_within(self.capacity) {
+            return Err(GStreamError::Oversized {
                 item: id,
                 size,
                 capacity: self.capacity,
             });
         }
         if self.phase_of(id.index()) != ItemPhase::Absent {
-            return Err(StreamError::DuplicateItem { item: id });
+            return Err(GStreamError::DuplicateItem { item: id });
         }
         Ok(())
     }
@@ -474,9 +484,9 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
     /// # Panics
     /// Panics if the selector returns an invalid decision — same contract
     /// as [`simulate`](crate::engine::simulate).
-    pub fn push_arrival(&mut self, item: Item, now: Tick) -> Result<BinId, StreamError> {
+    pub fn push_arrival(&mut self, item: GItem<Sz>, now: Tick) -> Result<BinId, GStreamError<Sz>> {
         if item.departure <= item.arrival {
-            return Err(StreamError::DepartureNotAfterArrival {
+            return Err(GStreamError::DepartureNotAfterArrival {
                 item: item.id,
                 arrival: item.arrival,
                 departure: item.departure,
@@ -487,7 +497,7 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
         self.sizes[item.id.index()] = item.size;
         self.phase[item.id.index()] = ItemPhase::Scheduled;
         self.departures.push(Reverse((item.departure, item.id)));
-        Ok(self.process_arrival(ArrivingItem::of(&item)))
+        Ok(self.process_arrival(GArrivingItem::of(&item)))
     }
 
     /// Push one arrival whose departure is *not* known — the live-daemon
@@ -500,15 +510,15 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
     pub fn push_open_arrival(
         &mut self,
         id: ItemId,
-        size: Size,
+        size: Sz,
         region: RegionId,
         now: Tick,
-    ) -> Result<BinId, StreamError> {
+    ) -> Result<BinId, GStreamError<Sz>> {
         self.check_arrival(id, now, size, now)?;
         self.drain_departures(now);
         self.sizes[id.index()] = size;
         self.phase[id.index()] = ItemPhase::Open;
-        Ok(self.process_arrival(ArrivingItem {
+        Ok(self.process_arrival(GArrivingItem {
             id,
             arrival: now,
             size,
@@ -518,17 +528,17 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
 
     /// Depart an open-mode item at tick `now`. Scheduled departures with
     /// ticks ≤ `now` fire first, preserving heap order.
-    pub fn push_departure(&mut self, id: ItemId, now: Tick) -> Result<(), StreamError> {
+    pub fn push_departure(&mut self, id: ItemId, now: Tick) -> Result<(), GStreamError<Sz>> {
         if now < self.horizon {
-            return Err(StreamError::TimeTravel {
+            return Err(GStreamError::TimeTravel {
                 at: now,
                 horizon: self.horizon,
             });
         }
         match self.phase_of(id.index()) {
-            ItemPhase::Absent => return Err(StreamError::UnknownItem { item: id }),
+            ItemPhase::Absent => return Err(GStreamError::UnknownItem { item: id }),
             ItemPhase::Scheduled | ItemPhase::Departed => {
-                return Err(StreamError::AlreadyDeparted { item: id })
+                return Err(GStreamError::AlreadyDeparted { item: id })
             }
             ItemPhase::Open => {}
         }
@@ -551,9 +561,9 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
     /// Advance event time to `now` without pushing anything: scheduled
     /// departures up to `now` fire. A reading behind the horizon is a
     /// [`StreamError::TimeTravel`].
-    pub fn advance_to(&mut self, now: Tick) -> Result<(), StreamError> {
+    pub fn advance_to(&mut self, now: Tick) -> Result<(), GStreamError<Sz>> {
         if now < self.horizon {
-            return Err(StreamError::TimeTravel {
+            return Err(GStreamError::TimeTravel {
                 at: now,
                 horizon: self.horizon,
             });
@@ -567,12 +577,12 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
     /// the trace — the streaming counterpart of
     /// [`EngineRun::finish`](crate::engine::EngineRun::finish). Requires a
     /// dense id space `0..n` with every item departed.
-    pub fn finish(mut self) -> Result<PackingTrace, StreamError> {
+    pub fn finish(mut self) -> Result<GPackingTrace<Sz>, GStreamError<Sz>> {
         while let Some(&Reverse((t, _))) = self.departures.peek() {
             self.drain_departures(t);
         }
         if self.in_flight > 0 {
-            return Err(StreamError::ItemsStillOpen {
+            return Err(GStreamError::ItemsStillOpen {
                 open: self.in_flight,
             });
         }
@@ -585,13 +595,13 @@ impl<S: BinSelector, P: Probe> StreamingEngine<S, P> {
             match b {
                 Some(b) => assignment.push(*b),
                 None => {
-                    return Err(StreamError::MissingItem {
+                    return Err(GStreamError::MissingItem {
                         item: ItemId(i as u32),
                     })
                 }
             }
         }
-        Ok(PackingTrace {
+        Ok(GPackingTrace {
             algorithm: self.selector.name().to_string(),
             capacity: self.capacity,
             bins: self.st.materialize_records(),
@@ -615,6 +625,7 @@ mod tests {
     use crate::algorithms::FirstFit;
     use crate::engine::simulate_probed;
     use crate::instance::InstanceBuilder;
+    use crate::item::Item;
     use crate::probe::FnProbe;
 
     fn demo() -> crate::instance::Instance {

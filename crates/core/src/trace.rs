@@ -6,7 +6,8 @@
 //! function are recorded independently and must integrate to the same cost.
 
 use crate::bin::{BinId, BinTag};
-use crate::instance::Instance;
+use crate::demand::Demand;
+use crate::instance::GInstance;
 use crate::item::{ItemId, Size};
 use crate::ratio::Ratio;
 use crate::time::{Dur, Interval, Tick};
@@ -41,13 +42,14 @@ impl BinRecord {
     }
 }
 
-/// The result of simulating one algorithm on one instance.
+/// The result of simulating one algorithm on one instance, generic over
+/// the demand type (scalar via the [`PackingTrace`] alias).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct PackingTrace {
+pub struct GPackingTrace<Sz> {
     /// Algorithm name as reported by the selector.
     pub algorithm: String,
     /// Bin capacity `W`.
-    pub capacity: Size,
+    pub capacity: Sz,
     /// Bins in opening order (`bins[i].id == BinId(i)`).
     pub bins: Vec<BinRecord>,
     /// `assignment[item.index()]` is the bin the item was packed into.
@@ -58,7 +60,26 @@ pub struct PackingTrace {
     pub open_bins_steps: Vec<(Tick, u32)>,
 }
 
-impl PackingTrace {
+/// The scalar packing trace of the source paper.
+pub type PackingTrace = GPackingTrace<Size>;
+
+impl<Sz> GPackingTrace<Sz> {
+    /// The same trace with its capacity mapped through `f`. Bin records
+    /// and step functions carry no demand values, so this is the complete
+    /// demand-type conversion — the D=1 equivalence suite uses it to
+    /// compare a `VSize<1>` trace byte-for-byte against the scalar trace.
+    pub fn map_demand<T>(self, f: impl FnOnce(Sz) -> T) -> GPackingTrace<T> {
+        GPackingTrace {
+            algorithm: self.algorithm,
+            capacity: f(self.capacity),
+            bins: self.bins,
+            assignment: self.assignment,
+            open_bins_steps: self.open_bins_steps,
+        }
+    }
+}
+
+impl<Sz: Demand> GPackingTrace<Sz> {
     /// Number of bins ever used (the classical DBP objective counts the
     /// maximum simultaneously open; this is the total distinct count).
     #[inline]
@@ -139,7 +160,7 @@ impl PackingTrace {
     /// 3. Bin usage periods exactly cover their items' activity
     ///    (`I_i = ∪_{r ∈ R_i} I(r)`).
     /// 4. The two independent cost computations agree.
-    pub fn validate(&self, instance: &Instance) -> Vec<String> {
+    pub fn validate(&self, instance: &GInstance<Sz>) -> Vec<String> {
         let mut errs = Vec::new();
         if self.assignment.len() != instance.len() {
             errs.push(format!(
@@ -185,18 +206,24 @@ impl PackingTrace {
             ticks.sort_unstable();
             ticks.dedup();
             for t in ticks {
-                let level: u64 = bin
-                    .items
-                    .iter()
-                    .map(|&id| instance.item(id))
-                    .filter(|r| r.is_active_at(t))
-                    .map(|r| r.size.0)
-                    .sum();
-                if level > self.capacity.0 {
-                    errs.push(format!(
-                        "bin {} over capacity at {t}: level {level} > {}",
-                        bin.id, self.capacity
-                    ));
+                // Exact per-dimension level audit: u128 accumulators per
+                // dimension, so the sum cannot overflow and feasibility is
+                // checked as the intersection over dimensions.
+                for d in 0..Sz::DIMS {
+                    let level: u128 = bin
+                        .items
+                        .iter()
+                        .map(|&id| instance.item(id))
+                        .filter(|r| r.is_active_at(t))
+                        .map(|r| r.size.component(d) as u128)
+                        .sum();
+                    if level > self.capacity.component(d) as u128 {
+                        errs.push(format!(
+                            "bin {} over capacity at {t} in dim {d}: level {level} > {}",
+                            bin.id,
+                            self.capacity.component(d)
+                        ));
+                    }
                 }
             }
         }
@@ -223,7 +250,7 @@ impl PackingTrace {
     /// 4. Each bin's usage period spans exactly its members' activity
     ///    (earliest arrival to latest departure).
     /// 5. The two independent cost computations agree.
-    pub fn check_conservation(&self, instance: &Instance) -> Vec<String> {
+    pub fn check_conservation(&self, instance: &GInstance<Sz>) -> Vec<String> {
         let mut errs = Vec::new();
         if self.assignment.len() != instance.len() {
             errs.push(format!(

@@ -46,6 +46,16 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
 /// Render events as JSONL: one externally-tagged JSON object per line,
 /// e.g. `{"ItemPlaced":{"at":5,"item":1,"bin":0,"level":12}}`.
 pub fn events_to_jsonl(events: &[ProbeEvent]) -> String {
+    events_to_jsonl_dims(events)
+}
+
+/// [`events_to_jsonl`] at any demand dimensionality. One-dimensional
+/// vector demands serialize as bare integers, so a `VSize<1>` stream is
+/// byte-identical to the scalar stream — the D=1 equivalence suite
+/// asserts exactly that.
+pub fn events_to_jsonl_dims<Sz: dbp_core::demand::Demand>(
+    events: &[dbp_core::probe::GProbeEvent<Sz>],
+) -> String {
     let mut out = String::new();
     for event in events {
         out.push_str(&serde_json::to_string(event).expect("ProbeEvent serializes infallibly"));

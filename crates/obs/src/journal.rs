@@ -16,6 +16,19 @@
 //! consumer understand a decoded journal directly. `crc` is the CRC-32
 //! (IEEE 802.3, reflected, polynomial `0xEDB88320`) of the payload bytes.
 //!
+//! ## Format v2 — vector demands
+//!
+//! Journals of multi-dimensional streams open with `"DBPWAL02"` followed
+//! by one **dims byte** (the demand dimensionality, `2 ..= 255`); frames
+//! are unchanged except that demand fields serialize as JSON arrays.
+//! One-dimensional journals keep the v1 header and bare-number demands —
+//! [`VSize<1>`](dbp_core::demand::VSize) serializes exactly like the
+//! scalar [`Size`](dbp_core::item::Size) — so every byte a scalar run
+//! journals is identical to the same run at `D = 1`, and v1 journals
+//! replay unchanged. Readers check the file's dimensionality against the
+//! requested demand type and reject mismatches with a typed arity error
+//! instead of truncating or panicking.
+//!
 //! ## Torn-tail tolerance
 //!
 //! The writer appends frames sequentially and never seeks, so a crash —
@@ -39,15 +52,25 @@
 //! `Never` leaves flushing to the OS.
 
 use crate::span::StageAggregator;
-use dbp_core::probe::{Probe, ProbeEvent};
+use dbp_core::demand::Demand;
+use dbp_core::item::Size;
+use dbp_core::probe::{GProbeEvent, Probe};
+
+#[allow(unused_imports)] // doc links
+use dbp_core::probe::ProbeEvent;
 use dbp_core::span::{stage, SpanRecorder};
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::{BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
-/// Magic bytes opening every journal file (format version 01).
+/// Magic bytes opening every scalar (one-dimensional) journal file
+/// (format version 01).
 pub const JOURNAL_MAGIC: &[u8; 8] = b"DBPWAL01";
+
+/// Magic bytes opening a vector journal (format version 02); followed by
+/// one dims byte before the first frame.
+pub const JOURNAL_MAGIC_V2: &[u8; 8] = b"DBPWAL02";
 
 /// Upper bound on a sane frame payload; a length field beyond this is
 /// corruption, not a real record.
@@ -129,16 +152,40 @@ pub struct JournalWriter {
 }
 
 impl JournalWriter {
-    /// Create (truncating) a journal at `path`, writing the magic header.
-    /// Parent directories are created as needed.
+    /// Create (truncating) a journal at `path`, writing the v1 magic
+    /// header (one-dimensional demands). Parent directories are created as
+    /// needed.
     pub fn create(path: &Path, policy: FsyncPolicy) -> std::io::Result<JournalWriter> {
+        JournalWriter::create_dims(path, policy, 1)
+    }
+
+    /// Create a journal for `dims`-dimensional demands: the v1 header when
+    /// `dims == 1` (byte-identical to a scalar journal), the v2 header
+    /// plus dims byte otherwise.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ dims ≤ 255`.
+    pub fn create_dims(
+        path: &Path,
+        policy: FsyncPolicy,
+        dims: usize,
+    ) -> std::io::Result<JournalWriter> {
+        assert!(
+            (1..=255).contains(&dims),
+            "journal dims must be in 1..=255, got {dims}"
+        );
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 fs::create_dir_all(parent)?;
             }
         }
         let mut file = BufWriter::new(fs::File::create(path)?);
-        file.write_all(JOURNAL_MAGIC)?;
+        if dims == 1 {
+            file.write_all(JOURNAL_MAGIC)?;
+        } else {
+            file.write_all(JOURNAL_MAGIC_V2)?;
+            file.write_all(&[dims as u8])?;
+        }
         Ok(JournalWriter {
             file,
             path: path.to_path_buf(),
@@ -161,7 +208,10 @@ impl JournalWriter {
     }
 
     /// Append one event as a framed record, honoring the fsync policy.
-    pub fn append(&mut self, event: &ProbeEvent) -> std::io::Result<()> {
+    /// Generic over the demand type — the caller is responsible for
+    /// matching the dimensionality declared in the header (the engine's
+    /// journal plumbing pins both to the same `Sz`).
+    pub fn append<Sz: Serialize>(&mut self, event: &GProbeEvent<Sz>) -> std::io::Result<()> {
         if let Some(sp) = &mut self.spans {
             sp.enter(stage::JOURNAL_APPEND);
         }
@@ -172,7 +222,7 @@ impl JournalWriter {
         result
     }
 
-    fn append_inner(&mut self, event: &ProbeEvent) -> std::io::Result<()> {
+    fn append_inner<Sz: Serialize>(&mut self, event: &GProbeEvent<Sz>) -> std::io::Result<()> {
         let payload = serde_json::to_string(event).expect("ProbeEvent serializes infallibly");
         let payload = payload.as_bytes();
         debug_assert!(payload.len() < MAX_FRAME_LEN as usize);
@@ -253,10 +303,20 @@ pub struct JournalProbe {
 }
 
 impl JournalProbe {
-    /// Journal to a fresh file at `path`.
+    /// Journal to a fresh v1 (one-dimensional) file at `path`.
     pub fn create(path: &Path, policy: FsyncPolicy) -> std::io::Result<JournalProbe> {
+        JournalProbe::create_dims(path, policy, 1)
+    }
+
+    /// Journal to a fresh `dims`-dimensional file at `path` (see
+    /// [`JournalWriter::create_dims`]).
+    pub fn create_dims(
+        path: &Path,
+        policy: FsyncPolicy,
+        dims: usize,
+    ) -> std::io::Result<JournalProbe> {
         Ok(JournalProbe {
-            writer: JournalWriter::create(path, policy)?,
+            writer: JournalWriter::create_dims(path, policy, dims)?,
             error: None,
         })
     }
@@ -291,8 +351,8 @@ impl JournalProbe {
     }
 }
 
-impl Probe for JournalProbe {
-    fn record(&mut self, event: ProbeEvent) {
+impl<Sz: Demand> Probe<Sz> for JournalProbe {
+    fn record(&mut self, event: GProbeEvent<Sz>) {
         if self.error.is_none() {
             if let Err(e) = self.writer.append(&event) {
                 self.error = Some(e);
@@ -312,52 +372,101 @@ pub struct TornTail {
 }
 
 /// Result of reading a journal: the decoded sound prefix, plus a
-/// [`TornTail`] when the final frame was damaged.
+/// [`TornTail`] when the final frame was damaged. Generic over the demand
+/// type; the scalar model uses the [`JournalContents`] alias.
 #[derive(Debug)]
-pub struct JournalContents {
+pub struct GJournalContents<Sz> {
     /// Events decoded from intact frames, in write order.
-    pub events: Vec<ProbeEvent>,
+    pub events: Vec<GProbeEvent<Sz>>,
     /// Present when the file ends in a damaged frame (crash mid-append).
     pub torn: Option<TornTail>,
 }
 
-impl JournalContents {
+/// The scalar journal contents of the source paper's model.
+pub type JournalContents = GJournalContents<Size>;
+
+impl<Sz> GJournalContents<Sz> {
     /// Whether the journal ended cleanly (no torn tail).
     pub fn is_clean(&self) -> bool {
         self.torn.is_none()
     }
 }
 
-/// Decode a journal byte image. Mid-file corruption is an `Err`; a damaged
-/// final frame is tolerated and reported via [`JournalContents::torn`].
-/// Never panics on any input.
-pub fn parse_journal(bytes: &[u8]) -> Result<JournalContents, String> {
+/// Decode the journal header: `(dims, header_len)`. A v1 magic is one
+/// dimension; a v2 magic carries an explicit dims byte. A file too short
+/// to hold its header is reported as a zero-length torn tail via `Ok(None)`;
+/// a wrong magic (or a v2 dims byte of 0 or 1, which the writer never
+/// emits) is a hard error.
+fn parse_header(bytes: &[u8]) -> Result<Option<(usize, usize)>, String> {
     if bytes.len() < JOURNAL_MAGIC.len() {
-        // Even the magic is incomplete: a crash before the header sync.
-        return Ok(JournalContents {
-            events: Vec::new(),
-            torn: Some(TornTail {
-                sound_len: 0,
-                reason: format!("file shorter than the {}-byte magic", JOURNAL_MAGIC.len()),
-            }),
-        });
+        return Ok(None);
     }
-    if &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
-        return Err(format!(
-            "not a journal: bad magic {:?}",
-            &bytes[..JOURNAL_MAGIC.len()]
-        ));
+    let magic = &bytes[..JOURNAL_MAGIC.len()];
+    if magic == JOURNAL_MAGIC {
+        return Ok(Some((1, JOURNAL_MAGIC.len())));
     }
+    if magic == JOURNAL_MAGIC_V2 {
+        if bytes.len() < JOURNAL_MAGIC.len() + 1 {
+            return Ok(None); // dims byte never made it to disk
+        }
+        let dims = bytes[JOURNAL_MAGIC.len()] as usize;
+        if dims < 2 {
+            return Err(format!(
+                "v2 journal declares {dims} dimension(s); the writer only \
+                 emits v2 headers for 2 or more"
+            ));
+        }
+        return Ok(Some((dims, JOURNAL_MAGIC.len() + 1)));
+    }
+    Err(format!("not a journal: bad magic {magic:?}"))
+}
+
+/// The demand dimensionality a journal byte image declares (1 for v1).
+pub fn journal_dims(bytes: &[u8]) -> Result<usize, String> {
+    match parse_header(bytes)? {
+        Some((dims, _)) => Ok(dims),
+        None => Err("file shorter than the journal header".to_string()),
+    }
+}
+
+/// The demand dimensionality a journal file declares, read from its
+/// header alone.
+pub fn peek_journal_dims(path: &Path) -> Result<usize, String> {
+    let mut bytes = [0u8; 9];
+    let n = fs::File::open(path)
+        .and_then(|mut f| {
+            let mut read = 0;
+            while read < bytes.len() {
+                let got = f.read(&mut bytes[read..])?;
+                if got == 0 {
+                    break;
+                }
+                read += got;
+            }
+            Ok(read)
+        })
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    journal_dims(&bytes[..n])
+}
+
+/// Frame-level walk shared by every decoder: checks framing and CRCs,
+/// hands each sound payload to `decode`, and applies the torn-tail versus
+/// mid-file-corruption distinction of the module docs. Never panics.
+fn parse_journal_with<T>(
+    bytes: &[u8],
+    header_len: usize,
+    mut decode: impl FnMut(&str, usize) -> Result<T, String>,
+) -> Result<GenericContents<T>, String> {
     let mut events = Vec::new();
-    let mut pos = JOURNAL_MAGIC.len();
+    let mut pos = header_len;
     loop {
         if pos == bytes.len() {
-            return Ok(JournalContents { events, torn: None });
+            return Ok(GenericContents { events, torn: None });
         }
         let frame_start = pos;
         macro_rules! torn {
             ($($arg:tt)*) => {
-                return Ok(JournalContents {
+                return Ok(GenericContents {
                     events,
                     torn: Some(TornTail {
                         sound_len: frame_start as u64,
@@ -397,35 +506,99 @@ pub fn parse_journal(bytes: &[u8]) -> Result<JournalContents, String> {
                 bytes.len() - pos
             ));
         }
-        match serde_json::from_str::<ProbeEvent>(std::str::from_utf8(payload).map_err(|_| {
+        let text = std::str::from_utf8(payload).map_err(|_| {
             format!("frame at byte {frame_start}: payload is not UTF-8 despite valid CRC")
-        })?) {
-            Ok(event) => events.push(event),
-            Err(e) => {
-                return Err(format!(
-                    "frame at byte {frame_start}: undecodable event despite valid CRC: {e:?}"
-                ))
-            }
-        }
+        })?;
+        events.push(decode(text, frame_start)?);
     }
 }
 
-/// Read and decode a journal file. See [`parse_journal`] for the
-/// torn-tail / corruption contract.
-pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
+struct GenericContents<T> {
+    events: Vec<T>,
+    torn: Option<TornTail>,
+}
+
+/// Decode a journal byte image into `Sz`-demand events. The file's
+/// declared dimensionality must equal `Sz::DIMS` — a mismatch is a typed
+/// `demand_arity` error, never a truncation. Mid-file corruption is an
+/// `Err`; a damaged final frame is tolerated and reported via
+/// [`GJournalContents::torn`]. Never panics on any input.
+pub fn parse_journal_dims<Sz: Demand>(bytes: &[u8]) -> Result<GJournalContents<Sz>, String> {
+    let Some((dims, header_len)) = parse_header(bytes)? else {
+        // Even the header is incomplete: a crash before the header sync.
+        return Ok(GJournalContents {
+            events: Vec::new(),
+            torn: Some(TornTail {
+                sound_len: 0,
+                reason: "file shorter than the journal header".to_string(),
+            }),
+        });
+    };
+    if dims != Sz::DIMS {
+        return Err(format!(
+            "demand_arity: journal holds {dims}-dimensional demands, \
+             reader expected {}",
+            Sz::DIMS
+        ));
+    }
+    let parsed = parse_journal_with(bytes, header_len, |text, frame_start| {
+        serde_json::from_str::<GProbeEvent<Sz>>(text).map_err(|e| {
+            format!("frame at byte {frame_start}: undecodable event despite valid CRC: {e:?}")
+        })
+    })?;
+    Ok(GJournalContents {
+        events: parsed.events,
+        torn: parsed.torn,
+    })
+}
+
+/// Decode a scalar (v1) journal byte image. See [`parse_journal_dims`].
+pub fn parse_journal(bytes: &[u8]) -> Result<JournalContents, String> {
+    parse_journal_dims::<Size>(bytes)
+}
+
+/// Read and decode a journal file with `Sz`-demand events. See
+/// [`parse_journal_dims`] for the torn-tail / corruption / arity contract.
+pub fn read_journal_dims<Sz: Demand>(path: &Path) -> Result<GJournalContents<Sz>, String> {
     let mut bytes = Vec::new();
     fs::File::open(path)
         .and_then(|mut f| f.read_to_end(&mut bytes))
         .map_err(|e| format!("{}: {e}", path.display()))?;
-    parse_journal(&bytes)
+    parse_journal_dims(&bytes)
+}
+
+/// Read and decode a scalar journal file. See [`parse_journal`] for the
+/// torn-tail / corruption contract.
+pub fn read_journal(path: &Path) -> Result<JournalContents, String> {
+    read_journal_dims::<Size>(path)
 }
 
 /// Truncate a journal with a torn tail down to its sound prefix, so that
 /// subsequent appends produce a clean file. No-op on a clean journal.
-/// Returns the dropped tail description, if any.
+/// Returns the dropped tail description, if any. Works on any
+/// dimensionality: repair is a frame-level operation, so payloads are only
+/// checked to be well-formed JSON, not arity-matched.
 pub fn repair_journal(path: &Path) -> Result<Option<TornTail>, String> {
-    let contents = read_journal(path)?;
-    if let Some(torn) = &contents.torn {
+    let mut bytes = Vec::new();
+    fs::File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let torn =
+        match parse_header(&bytes)? {
+            None => Some(TornTail {
+                sound_len: 0,
+                reason: "file shorter than the journal header".to_string(),
+            }),
+            Some((_, header_len)) => {
+                parse_journal_with(&bytes, header_len, |text, frame_start| {
+                    serde_json::from_str::<serde::Value>(text).map_err(|e| {
+                format!("frame at byte {frame_start}: undecodable event despite valid CRC: {e:?}")
+            })
+                })?
+                .torn
+            }
+        };
+    if let Some(torn) = &torn {
         let file = fs::OpenOptions::new()
             .write(true)
             .open(path)
@@ -434,7 +607,7 @@ pub fn repair_journal(path: &Path) -> Result<Option<TornTail>, String> {
             .and_then(|()| file.sync_all())
             .map_err(|e| format!("{}: truncate failed: {e}", path.display()))?;
     }
-    Ok(contents.torn)
+    Ok(torn)
 }
 
 #[cfg(test)]
@@ -595,6 +768,98 @@ mod tests {
         let short = parse_journal(b"DBP").unwrap();
         assert!(short.events.is_empty());
         assert!(short.torn.is_some());
+    }
+
+    #[test]
+    fn vector_journal_round_trips_with_v2_header() {
+        use dbp_core::demand::VSize;
+        let path = tmpfile("vector_v2.wal");
+        let mut b = dbp_core::instance::GInstanceBuilder::new(VSize([10u64, 8, 6]));
+        b.add(0, 40, VSize([6, 2, 3]));
+        b.add(5, 25, VSize([6, 2, 3]));
+        b.add(10, 35, VSize([4, 6, 3]));
+        let inst = b.build().unwrap();
+        let mut probe = JournalProbe::create_dims(&path, FsyncPolicy::Never, 3).unwrap();
+        simulate_probed(&inst, &mut FirstFit::new(), &mut probe);
+        let n = probe.finish().unwrap();
+        assert!(n > 0);
+
+        let bytes = fs::read(&path).unwrap();
+        assert_eq!(&bytes[..8], JOURNAL_MAGIC_V2);
+        assert_eq!(bytes[8], 3, "dims byte");
+        assert_eq!(journal_dims(&bytes).unwrap(), 3);
+        assert_eq!(peek_journal_dims(&path).unwrap(), 3);
+
+        let back = read_journal_dims::<VSize<3>>(&path).unwrap();
+        assert!(back.is_clean());
+        assert_eq!(back.events.len() as u64, n);
+        // Replaying through a fresh in-memory log matches event for event.
+        let mut log = crate::recorder::GEventLog::new();
+        simulate_probed(&inst, &mut FirstFit::new(), &mut log);
+        assert_eq!(back.events, log.into_events());
+    }
+
+    #[test]
+    fn dims_one_journal_keeps_the_v1_bytes() {
+        use dbp_core::demand::VSize;
+        let scalar_path = tmpfile("d1_scalar.wal");
+        let vector_path = tmpfile("d1_vector.wal");
+        let mut b = InstanceBuilder::new(10);
+        b.add(0, 40, 6);
+        b.add(5, 25, 6);
+        b.add(10, 35, 4);
+        let inst = b.build().unwrap();
+        let lifted = inst.map_demand(|s| VSize([s.raw()])).unwrap();
+
+        let mut p = JournalProbe::create(&scalar_path, FsyncPolicy::Never).unwrap();
+        simulate_probed(&inst, &mut FirstFit::new(), &mut p);
+        p.finish().unwrap();
+        let mut p = JournalProbe::create_dims(&vector_path, FsyncPolicy::Never, 1).unwrap();
+        simulate_probed(&lifted, &mut FirstFit::new(), &mut p);
+        p.finish().unwrap();
+
+        let scalar_bytes = fs::read(&scalar_path).unwrap();
+        let vector_bytes = fs::read(&vector_path).unwrap();
+        assert_eq!(
+            scalar_bytes, vector_bytes,
+            "a D=1 vector journal must be byte-identical to the scalar journal"
+        );
+        // And the v1 file replays through the vector reader (back-compat).
+        let back = read_journal_dims::<VSize<1>>(&vector_path).unwrap();
+        assert_eq!(
+            back.events.len(),
+            read_journal(&scalar_path).unwrap().events.len()
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_typed_error_and_repair_is_arity_blind() {
+        use dbp_core::demand::VSize;
+        let path = tmpfile("arity.wal");
+        let mut b = dbp_core::instance::GInstanceBuilder::new(VSize([10u64, 8]));
+        b.add(0, 40, VSize([6, 2]));
+        b.add(5, 25, VSize([4, 6]));
+        let inst = b.build().unwrap();
+        let mut probe = JournalProbe::create_dims(&path, FsyncPolicy::Never, 2).unwrap();
+        simulate_probed(&inst, &mut FirstFit::new(), &mut probe);
+        probe.finish().unwrap();
+
+        // Reading a 2-D journal as scalar (or as 3-D) is a typed error.
+        let err = read_journal(&path).unwrap_err();
+        assert!(err.contains("demand_arity"), "{err}");
+        let err = read_journal_dims::<VSize<3>>(&path).unwrap_err();
+        assert!(err.contains("demand_arity"), "{err}");
+
+        // Repair never needs the arity: flip the final payload byte and
+        // the v2 file truncates to its sound prefix.
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let dropped = repair_journal(&path).unwrap().unwrap();
+        assert!(dropped.reason.contains("CRC"), "{}", dropped.reason);
+        let repaired = read_journal_dims::<VSize<2>>(&path).unwrap();
+        assert!(repaired.is_clean());
     }
 
     #[test]

@@ -63,13 +63,17 @@ pub mod sampler;
 pub mod span;
 pub mod timeline;
 
-pub use journal::{FsyncPolicy, JournalContents, JournalProbe, JournalWriter};
+pub use journal::{
+    peek_journal_dims, read_journal_dims, FsyncPolicy, GJournalContents, JournalContents,
+    JournalProbe, JournalWriter,
+};
 pub use manifest::{
-    ExperimentManifest, ExperimentRecord, ExperimentStatus, RunManifest, SweepCheckpoint,
+    instance_digest_dims, ExperimentManifest, ExperimentRecord, ExperimentStatus, RunManifest,
+    SweepCheckpoint,
 };
 pub use metrics::{Histogram, MetricsRegistry};
-pub use recorder::{CountingProbe, EventLog, MetricsProbe};
-pub use replay::{RecoveredSnapshot, ReplaySummary};
+pub use recorder::{CountingProbe, EventLog, GEventLog, MetricsProbe};
+pub use replay::{per_dim_demand_ticks, replay_events_dims, RecoveredSnapshot, ReplaySummary};
 pub use sampler::{Sample, TimeSeriesSampler};
 pub use span::{
     chrome_trace_json, SpanCollector, StageAggregator, StageBreakdown, StageRow, StageStats,

@@ -84,6 +84,16 @@ impl RunManifest {
 /// item's `(arrival, departure, size)` in id order, rendered as 16 hex
 /// digits. Two runs with equal digests packed the same input.
 pub fn instance_digest(instance: &Instance) -> String {
+    instance_digest_dims(instance)
+}
+
+/// [`instance_digest`] at any demand dimensionality: every component of
+/// the capacity and each item's size is hashed in dimension order. A
+/// one-dimensional vector instance digests to the scalar digest exactly
+/// (one component each — the same byte stream).
+pub fn instance_digest_dims<Sz: dbp_core::demand::Demand>(
+    instance: &dbp_core::instance::GInstance<Sz>,
+) -> String {
     let mut h: u64 = 0xcbf29ce484222325;
     let mut eat = |v: u64| {
         for b in v.to_le_bytes() {
@@ -91,11 +101,15 @@ pub fn instance_digest(instance: &Instance) -> String {
             h = h.wrapping_mul(0x100000001b3);
         }
     };
-    eat(instance.capacity().raw());
+    for d in 0..Sz::DIMS {
+        eat(instance.capacity().component(d));
+    }
     for item in instance.items() {
         eat(item.arrival.0);
         eat(item.departure.0);
-        eat(item.size.raw());
+        for d in 0..Sz::DIMS {
+            eat(item.size.component(d));
+        }
     }
     format!("{h:016x}")
 }

@@ -3,24 +3,33 @@
 //! aggregates events into a [`MetricsRegistry`](crate::metrics::MetricsRegistry).
 
 use crate::metrics::MetricsRegistry;
-use dbp_core::probe::{Probe, ProbeEvent};
+use dbp_core::demand::Demand;
+use dbp_core::item::Size;
+use dbp_core::probe::{GProbeEvent, Probe, ProbeEvent};
 
-/// A probe that stores every event in order. The basis for JSONL export
+/// A probe that stores every event in order, generic over the demand type
+/// (scalar via the [`EventLog`] alias). The basis for JSONL export
 /// ([`crate::export`]) and the `dbp trace` timeline.
 #[derive(Debug, Clone, Default)]
-pub struct EventLog {
-    events: Vec<ProbeEvent>,
+pub struct GEventLog<Sz = Size> {
+    events: Vec<GProbeEvent<Sz>>,
     decision_ns: Vec<u64>,
 }
 
-impl EventLog {
+/// The scalar event log of the source paper's model.
+pub type EventLog = GEventLog<Size>;
+
+impl<Sz> GEventLog<Sz> {
     /// New empty log.
-    pub fn new() -> EventLog {
-        EventLog::default()
+    pub fn new() -> GEventLog<Sz> {
+        GEventLog {
+            events: Vec::new(),
+            decision_ns: Vec::new(),
+        }
     }
 
     /// The recorded events, in simulation order.
-    pub fn events(&self) -> &[ProbeEvent] {
+    pub fn events(&self) -> &[GProbeEvent<Sz>] {
         &self.events
     }
 
@@ -42,13 +51,13 @@ impl EventLog {
     }
 
     /// Consume the log, returning the events.
-    pub fn into_events(self) -> Vec<ProbeEvent> {
+    pub fn into_events(self) -> Vec<GProbeEvent<Sz>> {
         self.events
     }
 }
 
-impl Probe for EventLog {
-    fn record(&mut self, event: ProbeEvent) {
+impl<Sz: Demand> Probe<Sz> for GEventLog<Sz> {
+    fn record(&mut self, event: GProbeEvent<Sz>) {
         self.events.push(event);
     }
 

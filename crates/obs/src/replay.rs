@@ -20,8 +20,9 @@
 //! engine run could have produced.
 
 use dbp_core::bin::{BinId, BinTag};
+use dbp_core::demand::Demand;
 use dbp_core::instance::Instance;
-use dbp_core::probe::ProbeEvent;
+use dbp_core::probe::{GProbeEvent, ProbeEvent};
 use dbp_core::snapshot::Snapshot;
 use dbp_core::time::Tick;
 
@@ -67,6 +68,13 @@ impl ReplaySummary {
 /// Audit an event stream: check structural invariants and recompute the
 /// exact total cost. Errors describe the first inconsistency found.
 pub fn replay_events(events: &[ProbeEvent]) -> Result<ReplaySummary, String> {
+    replay_events_dims(events)
+}
+
+/// [`replay_events`] for any demand dimensionality — the audit walks only
+/// structure (bin ids, opens/closes, ticks), so one body serves every
+/// `Sz`; the scalar wrapper keeps the original signature.
+pub fn replay_events_dims<Sz: Demand>(events: &[GProbeEvent<Sz>]) -> Result<ReplaySummary, String> {
     let mut summary = ReplaySummary {
         arrivals: 0,
         placements: 0,
@@ -92,8 +100,8 @@ pub fn replay_events(events: &[ProbeEvent]) -> Result<ReplaySummary, String> {
         }
         summary.last_tick = Some(ev.at());
         match ev {
-            ProbeEvent::ItemArrived { .. } => summary.arrivals += 1,
-            ProbeEvent::FitAttempt { open_bins, .. } => {
+            GProbeEvent::ItemArrived { .. } => summary.arrivals += 1,
+            GProbeEvent::FitAttempt { open_bins, .. } => {
                 // Emitted before any BinOpened, so it must agree with the
                 // running open count exactly.
                 if u64::from(*open_bins) != open {
@@ -103,7 +111,7 @@ pub fn replay_events(events: &[ProbeEvent]) -> Result<ReplaySummary, String> {
                     );
                 }
             }
-            ProbeEvent::BinOpened { bin, .. } => {
+            GProbeEvent::BinOpened { bin, .. } => {
                 if bin.index() != bins.len() {
                     return err(
                         i,
@@ -115,7 +123,7 @@ pub fn replay_events(events: &[ProbeEvent]) -> Result<ReplaySummary, String> {
                 open += 1;
                 summary.max_open = summary.max_open.max(open);
             }
-            ProbeEvent::ItemPlaced { bin, .. } => {
+            GProbeEvent::ItemPlaced { bin, .. } => {
                 match bins.get_mut(bin.index()) {
                     Some((true, count, _)) => *count += 1,
                     Some((false, ..)) => return err(i, format!("placement into closed bin {bin}")),
@@ -123,7 +131,7 @@ pub fn replay_events(events: &[ProbeEvent]) -> Result<ReplaySummary, String> {
                 }
                 summary.placements += 1;
             }
-            ProbeEvent::ItemDeparted { bin, .. } => {
+            GProbeEvent::ItemDeparted { bin, .. } => {
                 match bins.get_mut(bin.index()) {
                     Some((true, count @ 1.., _)) => *count -= 1,
                     Some((true, 0, _)) => return err(i, format!("departure from empty bin {bin}")),
@@ -132,7 +140,7 @@ pub fn replay_events(events: &[ProbeEvent]) -> Result<ReplaySummary, String> {
                 }
                 summary.departures += 1;
             }
-            ProbeEvent::BinClosed {
+            GProbeEvent::BinClosed {
                 bin, open_ticks, ..
             } => {
                 match bins.get_mut(bin.index()) {
@@ -160,12 +168,46 @@ pub fn replay_events(events: &[ProbeEvent]) -> Result<ReplaySummary, String> {
                 open -= 1;
                 summary.cost_ticks += u128::from(*open_ticks);
             }
-            ProbeEvent::Violation { .. } => summary.violations += 1,
+            GProbeEvent::Violation { .. } => summary.violations += 1,
             _ => summary.fault_events += 1,
         }
     }
     summary.open_at_end = open;
     Ok(summary)
+}
+
+/// Exact per-dimension served demand, recomputed from an event stream
+/// alone: for every departed item, `size_d × (departure − placement)`
+/// summed into dimension `d`. Returns one `u128` per dimension plus the
+/// number of items placed but still resident when the stream ended (their
+/// demand-ticks are not yet accountable). This is the vector analogue of
+/// the scalar cost audit: at `D = 1` the single entry is the served
+/// item-ticks of the run.
+pub fn per_dim_demand_ticks<Sz: Demand>(events: &[GProbeEvent<Sz>]) -> (Vec<u128>, u64) {
+    use std::collections::HashMap;
+    let mut ticks = vec![0u128; Sz::DIMS];
+    let mut sizes: HashMap<u32, Sz> = HashMap::new();
+    let mut placed_at: HashMap<u32, Tick> = HashMap::new();
+    for ev in events {
+        match ev {
+            GProbeEvent::ItemArrived { item, size, .. } => {
+                sizes.insert(item.0, *size);
+            }
+            GProbeEvent::ItemPlaced { at, item, .. } => {
+                placed_at.insert(item.0, *at);
+            }
+            GProbeEvent::ItemDeparted { at, item, .. } => {
+                if let (Some(size), Some(t0)) = (sizes.remove(&item.0), placed_at.remove(&item.0)) {
+                    let span = u128::from(at.0.saturating_sub(t0.0));
+                    for (d, slot) in ticks.iter_mut().enumerate() {
+                        *slot += u128::from(size.component(d)) * span;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    (ticks, placed_at.len() as u64)
 }
 
 /// A snapshot recovered from a journal prefix.

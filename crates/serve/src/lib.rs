@@ -26,12 +26,12 @@ pub mod server;
 pub mod shard;
 pub mod shutdown;
 
-pub use protocol::{parse_line, Reply, Request, WireMsg};
+pub use protocol::{parse_line, parse_line_dims, Reply, Request, WireMsg, MAX_DIMS};
 pub use server::{
     journal_shard_path, run_server, BackpressurePolicy, ServeConfig, ServeHandle, ServeSummary,
     ShardReport,
 };
-pub use shard::{Outcome, ServeProbe, ShardLedger, ShardPipeline};
+pub use shard::{GShardPipeline, Outcome, ServeProbe, ShardLedger, ShardPipeline};
 pub use shutdown::{
     global_flag, install_signal_handlers, request_shutdown, reset_shutdown, shutdown_requested,
 };

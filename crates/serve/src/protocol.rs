@@ -12,13 +12,33 @@
 //! ← {"ok":true,"id":1,"shard":0}
 //! ```
 //!
+//! ## Vector demands
+//!
+//! A daemon compiled for `D`-dimensional demands (`dbp serve --dims D`)
+//! accepts `"demand":[..]` arrays of exactly `D` components:
+//!
+//! ```text
+//! → {"op":"arrive","id":1,"at":0,"demand":[125,90,220]}
+//! ```
+//!
+//! At `D = 1` the scalar `"size"` spelling remains valid (back-compat) and
+//! means `"demand":[size]`. A `demand` array whose length differs from the
+//! daemon's `D` is refused with a typed `demand_arity: …` reason — never
+//! truncated, never a panic — and the connection stays line-synchronized.
+//!
 //! Malformed lines get `{"ok":false,...,"reason":"..."}` and do not tear
 //! the connection down; the stream stays line-synchronized.
 
 use serde::{Deserialize, Serialize};
 
-/// One request line as it appears on the wire. `size` is only meaningful
-/// for `op == "arrive"` and is therefore optional at the serde layer.
+/// The largest demand dimensionality the daemon ships monomorphized
+/// pipelines for ([`Request`] carries demands inline, so this is a wire
+/// constant, not a config knob).
+pub const MAX_DIMS: usize = 4;
+
+/// One request line as it appears on the wire. `size`/`demand` are only
+/// meaningful for `op == "arrive"` and are therefore optional at the serde
+/// layer.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WireMsg {
     /// `"arrive"`, `"depart"` or `"ping"`.
@@ -29,22 +49,31 @@ pub struct WireMsg {
     /// horizon are clamped forward (event time never rewinds).
     #[serde(default)]
     pub at: u64,
-    /// Session size in resource units (arrivals only).
+    /// Scalar session size in resource units (arrivals only; valid only
+    /// when the daemon runs one-dimensional).
     #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
     pub size: Option<u64>,
+    /// Vector session demand (arrivals only); length must equal the
+    /// daemon's dimensionality.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub demand: Option<Vec<u64>>,
 }
 
-/// A parsed, validated request.
+/// A parsed, validated request. Demands are stored dimension-padded in a
+/// fixed array (components at and beyond the daemon's dimensionality are
+/// zero) so the type stays `Copy` across the shard queues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Request {
-    /// A session arrival: place `id` of `size` at event time `at`.
+    /// A session arrival: place `id` with `demand` at event time `at`.
     Arrive {
         /// Client session id.
         id: u64,
         /// Event-time tick.
         at: u64,
-        /// Session size.
-        size: u64,
+        /// Per-dimension demand, zero-padded past the daemon's `D`.
+        demand: [u64; MAX_DIMS],
     },
     /// A session departure: release `id` at event time `at`.
     Depart {
@@ -69,19 +98,64 @@ impl Request {
     }
 }
 
-/// Parse one wire line into a [`Request`].
+/// Parse one wire line into a [`Request`] for a scalar (`D = 1`) daemon.
 pub fn parse_line(line: &str) -> Result<Request, String> {
+    parse_line_dims(line, 1)
+}
+
+/// Parse one wire line into a [`Request`] for a daemon running
+/// `dims`-dimensional demands.
+///
+/// Arrivals must carry exactly one of `size` (scalar spelling, accepted
+/// only at `dims == 1`) or `demand` (an array of exactly `dims` positive-sum
+/// components). An arity mismatch is a **typed** rejection whose reason
+/// starts with `demand_arity:` — the daemon never truncates or pads a
+/// client's demand vector.
+pub fn parse_line_dims(line: &str, dims: usize) -> Result<Request, String> {
+    assert!(
+        (1..=MAX_DIMS).contains(&dims),
+        "daemon dims {dims} outside 1..={MAX_DIMS}"
+    );
     let msg: WireMsg = serde_json::from_str(line).map_err(|e| format!("bad json: {e}"))?;
     match msg.op.as_str() {
-        "arrive" => match msg.size {
-            Some(size) if size > 0 => Ok(Request::Arrive {
+        "arrive" => {
+            let mut demand = [0u64; MAX_DIMS];
+            match (msg.size, msg.demand) {
+                (Some(_), Some(_)) => {
+                    return Err("arrive takes size or demand, not both".to_string())
+                }
+                (Some(size), None) => {
+                    if dims != 1 {
+                        return Err(format!(
+                            "demand_arity: scalar size is 1-dimensional, daemon expects {dims} \
+                             components (send \"demand\":[..])"
+                        ));
+                    }
+                    if size == 0 {
+                        return Err("arrive needs a positive size".to_string());
+                    }
+                    demand[0] = size;
+                }
+                (None, Some(vec)) => {
+                    if vec.len() != dims {
+                        return Err(format!(
+                            "demand_arity: demand has {} components, daemon expects {dims}",
+                            vec.len()
+                        ));
+                    }
+                    if vec.iter().all(|&c| c == 0) {
+                        return Err("arrive needs a nonzero demand".to_string());
+                    }
+                    demand[..dims].copy_from_slice(&vec);
+                }
+                (None, None) => return Err("arrive needs a size or demand".to_string()),
+            }
+            Ok(Request::Arrive {
                 id: msg.id,
                 at: msg.at,
-                size,
-            }),
-            Some(_) => Err("arrive needs a positive size".to_string()),
-            None => Err("arrive needs a size".to_string()),
-        },
+                demand,
+            })
+        }
         "depart" => Ok(Request::Depart {
             id: msg.id,
             at: msg.at,
@@ -157,6 +231,12 @@ impl Reply {
 mod tests {
     use super::*;
 
+    fn d1(size: u64) -> [u64; MAX_DIMS] {
+        let mut d = [0u64; MAX_DIMS];
+        d[0] = size;
+        d
+    }
+
     #[test]
     fn arrive_depart_ping_parse() {
         assert_eq!(
@@ -164,7 +244,7 @@ mod tests {
             Ok(Request::Arrive {
                 id: 7,
                 at: 3,
-                size: 5
+                demand: d1(5)
             })
         );
         assert_eq!(
@@ -184,7 +264,7 @@ mod tests {
             Ok(Request::Arrive {
                 id: 2,
                 at: 0,
-                size: 4
+                demand: d1(4)
             })
         );
     }
@@ -195,6 +275,58 @@ mod tests {
         assert!(parse_line(r#"{"op":"arrive","id":3,"at":1}"#).is_err());
         assert!(parse_line(r#"{"op":"arrive","id":3,"at":1,"size":0}"#).is_err());
         assert!(parse_line(r#"{"op":"levitate","id":3}"#).is_err());
+    }
+
+    #[test]
+    fn scalar_spelling_means_one_dimensional_demand() {
+        // size at dims==1 and demand:[..] of length 1 parse identically.
+        assert_eq!(
+            parse_line(r#"{"op":"arrive","id":7,"at":3,"size":5}"#),
+            parse_line_dims(r#"{"op":"arrive","id":7,"at":3,"demand":[5]}"#, 1),
+        );
+        // Mixing the spellings on one line is ambiguous, hence rejected.
+        assert!(
+            parse_line(r#"{"op":"arrive","id":7,"at":3,"size":5,"demand":[5]}"#)
+                .unwrap_err()
+                .contains("not both")
+        );
+    }
+
+    #[test]
+    fn vector_demands_parse_at_matching_dims() {
+        assert_eq!(
+            parse_line_dims(r#"{"op":"arrive","id":4,"at":2,"demand":[125,90,220]}"#, 3),
+            Ok(Request::Arrive {
+                id: 4,
+                at: 2,
+                demand: [125, 90, 220, 0]
+            })
+        );
+        // All-zero vectors occupy nothing and are refused like size:0.
+        assert!(
+            parse_line_dims(r#"{"op":"arrive","id":4,"demand":[0,0,0]}"#, 3)
+                .unwrap_err()
+                .contains("nonzero")
+        );
+        // A single zero component is fine: a CPU-only workload has no GPU
+        // footprint.
+        assert!(parse_line_dims(r#"{"op":"arrive","id":4,"demand":[0,90,220]}"#, 3).is_ok());
+    }
+
+    #[test]
+    fn arity_mismatches_are_typed_rejections() {
+        // Too short, too long, and scalar-at-vector-daemon all carry the
+        // demand_arity marker so clients can distinguish them from parse
+        // noise; none of them truncates or pads.
+        for (line, dims) in [
+            (r#"{"op":"arrive","id":4,"demand":[125,90]}"#, 3),
+            (r#"{"op":"arrive","id":4,"demand":[125,90,220,7]}"#, 3),
+            (r#"{"op":"arrive","id":4,"size":125}"#, 3),
+            (r#"{"op":"arrive","id":4,"demand":[125,90]}"#, 1),
+        ] {
+            let err = parse_line_dims(line, dims).unwrap_err();
+            assert!(err.starts_with("demand_arity:"), "{line} -> {err}");
+        }
     }
 
     #[test]

@@ -38,6 +38,12 @@
 
 use dbp_cloudsim::faults::AdmissionPolicy;
 use dbp_cluster::router::Router;
+use dbp_cluster::vector::{
+    apply_route_dims, route_one_dims, unapply_route_dims, zero_loads, DimLoads,
+};
+use dbp_core::algorithms::selector_for;
+use dbp_core::demand::{Demand, VSize};
+use dbp_core::item::Size;
 use dbp_core::packer::SelectorFactory;
 use dbp_core::probe::DropReason;
 use dbp_obs::journal::{FsyncPolicy, JournalProbe};
@@ -52,8 +58,8 @@ use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
-use crate::protocol::{parse_line, Reply, Request};
-use crate::shard::{Outcome, ServeProbe, ShardPipeline};
+use crate::protocol::{parse_line_dims, Reply, Request, MAX_DIMS};
+use crate::shard::{GShardPipeline, Outcome, ServeProbe, ShardLedger, ShardPipeline};
 
 /// What to do when a shard's bounded ingress queue is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,8 +102,14 @@ pub struct ServeConfig {
     pub shards: usize,
     /// Online routing policy.
     pub router: Router,
-    /// Bin capacity of every shard.
+    /// Bin capacity of every shard (dimension 0; see `capacities`).
     pub capacity: u64,
+    /// Demand dimensionality the daemon runs at (`1..=MAX_DIMS`). Scalar
+    /// clients (`"size":n`) are only accepted at `dims == 1`.
+    pub dims: usize,
+    /// Per-dimension bin capacities (length must equal `dims`); `None`
+    /// splats `capacity` across every dimension.
+    pub capacities: Option<Vec<u64>>,
     /// Bounded-queue admission: `queue_capacity` sizes each shard's ingress
     /// channel, `queue_timeout` is the event-time shed threshold.
     pub admission: AdmissionPolicy,
@@ -122,6 +134,8 @@ impl ServeConfig {
             shards,
             router: Router::HashByItem,
             capacity,
+            dims: 1,
+            capacities: None,
             admission: AdmissionPolicy::default(),
             backpressure: BackpressurePolicy::Block,
             max_sessions: 65_536,
@@ -129,6 +143,35 @@ impl ServeConfig {
             journal_base: None,
             fsync: FsyncPolicy::Always,
         }
+    }
+
+    /// The effective per-dimension capacity vector (`capacities`, or
+    /// `capacity` splatted across `dims`).
+    pub fn capacity_vec(&self) -> Vec<u64> {
+        match &self.capacities {
+            Some(v) => v.clone(),
+            None => vec![self.capacity; self.dims],
+        }
+    }
+
+    /// Reject impossible dims/capacity combinations before any thread or
+    /// socket exists.
+    fn validate(&self) -> Result<(), String> {
+        if !(1..=MAX_DIMS).contains(&self.dims) {
+            return Err(format!("dims {} outside 1..={MAX_DIMS}", self.dims));
+        }
+        let caps = self.capacity_vec();
+        if caps.len() != self.dims {
+            return Err(format!(
+                "demand_arity: {} capacities configured, daemon runs {} dimensions",
+                caps.len(),
+                self.dims
+            ));
+        }
+        if caps.contains(&0) {
+            return Err("bin capacity must be positive in every dimension".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -305,11 +348,12 @@ struct ShardMsg {
 /// Front-door shared state: the bounded session table and the live
 /// per-shard load view the least-loaded router consults.
 struct FrontDoor {
-    /// external id → (shard, size) for every live session.
-    sessions: HashMap<u64, (usize, u64)>,
-    /// Active routed load per shard, maintained add-on-route /
-    /// subtract-on-depart — the fold the batch router proves consistent.
-    loads: Vec<u128>,
+    /// external id → (shard, demand) for every live session.
+    sessions: HashMap<u64, (usize, [u64; MAX_DIMS])>,
+    /// Active routed load per shard **per dimension**, maintained
+    /// add-on-route / subtract-on-depart — the fold the batch router proves
+    /// consistent. At `dims == 1` this is the scalar load view.
+    loads: DimLoads,
     /// Ingress senders; `None` once drain has begun.
     txs: Option<Vec<SyncSender<ShardMsg>>>,
 }
@@ -339,6 +383,7 @@ pub fn run_server(
     stop: &'static AtomicBool,
     on_ready: impl FnOnce(&ServeHandle),
 ) -> Result<ServeSummary, String> {
+    cfg.validate()?;
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     listener
         .set_nonblocking(true)
@@ -374,7 +419,7 @@ pub fn run_server(
         metrics: ServeMetrics::new(shards),
         front: Mutex::new(FrontDoor {
             sessions: HashMap::new(),
-            loads: vec![0u128; shards],
+            loads: zero_loads(shards, cfg.dims),
             txs: Some(txs),
         }),
         cfg,
@@ -469,8 +514,97 @@ pub fn run_server(
     Ok(summary)
 }
 
-/// One shard worker: drains its ingress queue into a [`ShardPipeline`],
-/// publishes counters, and seals the journal on disconnect.
+/// The dimension-erased face of [`GShardPipeline`]: exactly what the shard
+/// worker's hot loop needs. One monomorphization per supported `D` exists
+/// behind [`build_pipeline`]'s `match`, chosen once at daemon start — the
+/// per-request path pays one vtable hop, never a dims branch.
+trait DynPipeline {
+    fn handle(&mut self, req: &Request) -> Outcome;
+    fn open_bins(&self) -> usize;
+    fn in_flight(&self) -> usize;
+    fn bins_opened(&self) -> usize;
+    fn seal(self: Box<Self>) -> Result<(ShardLedger, usize, usize), String>;
+}
+
+impl<Sz: dbp_core::demand::Demand> DynPipeline for GShardPipeline<Sz> {
+    fn handle(&mut self, req: &Request) -> Outcome {
+        GShardPipeline::handle(self, req)
+    }
+    fn open_bins(&self) -> usize {
+        GShardPipeline::open_bins(self)
+    }
+    fn in_flight(&self) -> usize {
+        GShardPipeline::in_flight(self)
+    }
+    fn bins_opened(&self) -> usize {
+        GShardPipeline::bins_opened(self)
+    }
+    fn seal(self: Box<Self>) -> Result<(ShardLedger, usize, usize), String> {
+        GShardPipeline::seal(*self)
+    }
+}
+
+/// Build the shard pipeline for the configured dimensionality. At
+/// `dims == 1` the factory's own builder runs, so the full scalar roster
+/// (WF/NF/LF/MI/RF/HFF included) keeps working byte-identically; vector
+/// daemons resolve the dimension-agnostic selectors by roster name.
+fn build_pipeline(
+    cfg: &ServeConfig,
+    factory: &SelectorFactory,
+    probe: ServeProbe,
+) -> Result<Box<dyn DynPipeline>, String> {
+    fn vec_pipe<const D: usize>(
+        caps: &[u64],
+        factory: &SelectorFactory,
+        admission: AdmissionPolicy,
+        probe: ServeProbe,
+    ) -> Result<Box<dyn DynPipeline>, String> {
+        let capacity = VSize::<D>::from_components(&caps[..D]).expect("validated capacities");
+        let selector = selector_for::<VSize<D>>(factory.name()).ok_or_else(|| {
+            format!(
+                "selector {} is scalar-only; vector daemons take FF, BF, MFF(8) or DOM",
+                factory.name()
+            )
+        })?;
+        Ok(Box::new(GShardPipeline::<VSize<D>>::with_probe(
+            capacity, selector, admission, probe,
+        )))
+    }
+    let caps = cfg.capacity_vec();
+    match cfg.dims {
+        1 => Ok(Box::new(ShardPipeline::with_probe(
+            Size(caps[0]),
+            factory.build(),
+            cfg.admission,
+            probe,
+        ))),
+        2 => vec_pipe::<2>(&caps, factory, cfg.admission, probe),
+        3 => vec_pipe::<3>(&caps, factory, cfg.admission, probe),
+        4 => vec_pipe::<4>(&caps, factory, cfg.admission, probe),
+        d => Err(format!("dims {d} outside 1..={MAX_DIMS}")),
+    }
+}
+
+/// A shard report carrying only an error (journal open / seal failures).
+fn error_report(k: usize, bins_opened: u64, error: String) -> ShardReport {
+    ShardReport {
+        shard: k as u64,
+        offered: 0,
+        placed: 0,
+        dropped_timeout: 0,
+        rejected: 0,
+        departed: 0,
+        lost: 0,
+        in_flight: 0,
+        open_bins: 0,
+        bins_opened,
+        error: Some(error),
+    }
+}
+
+/// One shard worker: drains its ingress queue into a [`GShardPipeline`]
+/// monomorphized for the configured dims, publishes counters, and seals
+/// the journal on disconnect.
 fn shard_worker(
     k: usize,
     rx: Receiver<ShardMsg>,
@@ -480,37 +614,23 @@ fn shard_worker(
     let probe = match &shared.cfg.journal_base {
         Some(base) => {
             let path = journal_shard_path(base, k);
-            match JournalProbe::create(&path, shared.cfg.fsync) {
+            match JournalProbe::create_dims(&path, shared.cfg.fsync, shared.cfg.dims) {
                 Ok(j) => ServeProbe { journal: Some(j) },
                 Err(e) => {
-                    return ShardReport {
-                        shard: k as u64,
-                        offered: 0,
-                        placed: 0,
-                        dropped_timeout: 0,
-                        rejected: 0,
-                        departed: 0,
-                        lost: 0,
-                        in_flight: 0,
-                        open_bins: 0,
-                        bins_opened: 0,
-                        error: Some(format!("open journal {}: {e}", path.display())),
-                    }
+                    return error_report(k, 0, format!("open journal {}: {e}", path.display()))
                 }
             }
         }
         None => ServeProbe::default(),
     };
-    let mut pipe = ShardPipeline::with_probe(
-        dbp_core::item::Size(shared.cfg.capacity),
-        factory.build(),
-        shared.cfg.admission,
-        probe,
-    );
+    let mut pipe = match build_pipeline(&shared.cfg, factory, probe) {
+        Ok(p) => p,
+        Err(e) => return error_report(k, 0, e),
+    };
     let counters = &shared.metrics.shards[k];
     while let Ok(msg) = rx.recv() {
         let outcome = pipe.handle(&msg.req);
-        publish(counters, &pipe, &msg.req, &outcome);
+        publish(counters, &*pipe, &msg.req, &outcome);
         let reply = reply_for(k, &msg.req, &outcome);
         let _ = msg.reply.send(reply);
     }
@@ -530,19 +650,7 @@ fn shard_worker(
             bins_opened,
             error: None,
         },
-        Err(e) => ShardReport {
-            shard: k as u64,
-            offered: 0,
-            placed: 0,
-            dropped_timeout: 0,
-            rejected: 0,
-            departed: 0,
-            lost: 0,
-            in_flight: 0,
-            open_bins: 0,
-            bins_opened,
-            error: Some(e),
-        },
+        Err(e) => error_report(k, bins_opened, e),
     }
 }
 
@@ -554,7 +662,7 @@ pub fn journal_shard_path(base: &std::path::Path, shard: usize) -> PathBuf {
     PathBuf::from(s)
 }
 
-fn publish(counters: &ShardCounters, pipe: &ShardPipeline, req: &Request, outcome: &Outcome) {
+fn publish(counters: &ShardCounters, pipe: &dyn DynPipeline, req: &Request, outcome: &Outcome) {
     let ld = Ordering::Relaxed;
     match req {
         Request::Arrive { .. } => {
@@ -647,7 +755,7 @@ fn serve_line(
     rtx: &Sender<Reply>,
     rrx: &Receiver<Reply>,
 ) -> Reply {
-    let req = match parse_line(line) {
+    let req = match parse_line_dims(line, shared.cfg.dims) {
         Ok(r) => r,
         Err(e) => {
             shared.metrics.bad_lines.fetch_add(1, Ordering::Relaxed);
@@ -656,7 +764,8 @@ fn serve_line(
     };
     match req {
         Request::Ping { id } => Reply::ok(id, None),
-        Request::Arrive { id, size, .. } => {
+        Request::Arrive { id, demand, .. } => {
+            let dims = shared.cfg.dims;
             // Front door: bounded session table + online routing.
             let shard = {
                 let mut front = shared.front.lock().unwrap();
@@ -668,9 +777,9 @@ fn serve_line(
                     shared.metrics.table_full.fetch_add(1, Ordering::Relaxed);
                     return Reply::refused(id, "session table full");
                 }
-                let shard = shared.cfg.router.route_one(id, size, &front.loads);
-                front.loads[shard] += size as u128;
-                front.sessions.insert(id, (shard, size));
+                let shard = route_one_dims(shared.cfg.router, id, &demand[..dims], &front.loads);
+                apply_route_dims(&mut front.loads, shard, &demand[..dims]);
+                front.sessions.insert(id, (shard, demand));
                 shared
                     .metrics
                     .sessions_live
@@ -713,10 +822,10 @@ fn serve_line(
         Request::Depart { id, .. } => {
             let shard = {
                 let mut front = shared.front.lock().unwrap();
-                let Some((shard, size)) = front.sessions.remove(&id) else {
+                let Some((shard, demand)) = front.sessions.remove(&id) else {
                     return Reply::refused(id, format!("unknown session id {id}"));
                 };
-                front.loads[shard] = front.loads[shard].saturating_sub(size as u128);
+                unapply_route_dims(&mut front.loads, shard, &demand[..shared.cfg.dims]);
                 shared
                     .metrics
                     .sessions_live
@@ -740,13 +849,48 @@ fn serve_line(
 /// Roll a routed-but-refused arrival back out of the front door.
 fn undo_route(shared: &Shared, id: u64) {
     let mut front = shared.front.lock().unwrap();
-    if let Some((shard, size)) = front.sessions.remove(&id) {
-        front.loads[shard] = front.loads[shard].saturating_sub(size as u128);
+    if let Some((shard, demand)) = front.sessions.remove(&id) {
+        unapply_route_dims(&mut front.loads, shard, &demand[..shared.cfg.dims]);
         shared
             .metrics
             .sessions_live
             .store(front.sessions.len() as u64, Ordering::Relaxed);
     }
+}
+
+/// The full `/metrics` exposition: the atomic counters plus the live
+/// per-dimension view — routed demand, rented capacity (open bins ×
+/// per-dimension capacity), absolute waste and utilization in
+/// parts-per-million, one `dim="d"` label per dimension. At `dims == 1`
+/// the block describes the scalar daemon's single resource.
+fn render_metrics(shared: &Shared) -> String {
+    let mut text = shared.metrics.to_prometheus();
+    let ld = Ordering::Relaxed;
+    let caps = shared.cfg.capacity_vec();
+    let loads: DimLoads = shared.front.lock().unwrap().loads.clone();
+    let open_bins: u128 = shared
+        .metrics
+        .shards
+        .iter()
+        .map(|c| c.open_bins.load(ld) as u128)
+        .sum();
+    let clamp = |v: u128| v.min(i64::MAX as u128) as i64;
+    let mut reg = MetricsRegistry::new();
+    for (d, &cap) in caps.iter().enumerate() {
+        let demand: u128 = loads.iter().map(|per_shard| per_shard[d]).sum();
+        let rented = open_bins * cap as u128;
+        let mut dreg = MetricsRegistry::new();
+        dreg.gauge_set("serve_dim_demand", clamp(demand));
+        dreg.gauge_set("serve_dim_rented", clamp(rented));
+        dreg.gauge_set("serve_dim_waste", clamp(rented.saturating_sub(demand)));
+        dreg.gauge_set(
+            "serve_dim_utilization_ppm",
+            (demand * 1_000_000).checked_div(rented).map_or(0, clamp),
+        );
+        reg.absorb_labeled(&dreg, "dim", &d.to_string());
+    }
+    text.push_str(&reg.to_prometheus());
+    text
 }
 
 /// Minimal HTTP/1.1 responder for `GET /metrics` (and a `/healthz` probe).
@@ -761,7 +905,7 @@ fn metrics_loop(listener: TcpListener, shared: &Shared) {
                 let (status, body) = if head.starts_with("GET /healthz") {
                     ("200 OK", "ok\n".to_string())
                 } else if head.starts_with("GET /metrics") || head.starts_with("GET / ") {
-                    ("200 OK", shared.metrics.to_prometheus())
+                    ("200 OK", render_metrics(shared))
                 } else {
                     ("404 Not Found", "not found\n".to_string())
                 };

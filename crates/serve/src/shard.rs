@@ -22,9 +22,10 @@
 
 use dbp_cloudsim::faults::AdmissionPolicy;
 use dbp_core::bin::BinId;
+use dbp_core::demand::Demand;
 use dbp_core::item::{ItemId, RegionId, Size};
 use dbp_core::packer::BinSelector;
-use dbp_core::probe::{DropReason, Probe, ProbeEvent};
+use dbp_core::probe::{DropReason, GProbeEvent, Probe};
 use dbp_core::streaming::StreamingEngine;
 use dbp_core::time::Tick;
 use dbp_obs::journal::JournalProbe;
@@ -41,10 +42,10 @@ pub struct ServeProbe {
     pub journal: Option<JournalProbe>,
 }
 
-impl Probe for ServeProbe {
-    fn record(&mut self, event: ProbeEvent) {
+impl<Sz: Demand> Probe<Sz> for ServeProbe {
+    fn record(&mut self, event: GProbeEvent<Sz>) {
         if let Some(j) = self.journal.as_mut() {
-            j.record(event);
+            Probe::<Sz>::record(j, event);
         }
     }
 }
@@ -100,9 +101,11 @@ pub enum Outcome {
     Pong,
 }
 
-/// One shard's deterministic dispatch pipeline. See the module docs.
-pub struct ShardPipeline {
-    engine: StreamingEngine<Box<dyn BinSelector>, ServeProbe>,
+/// One shard's deterministic dispatch pipeline over `Sz`-dimensional
+/// demands. See the module docs. The scalar daemon uses the
+/// [`ShardPipeline`] alias; vector daemons monomorphize per `--dims`.
+pub struct GShardPipeline<Sz: Demand = Size> {
+    engine: StreamingEngine<Box<dyn BinSelector<Sz>>, ServeProbe, Sz>,
     admission: AdmissionPolicy,
     /// Live external id → dense internal engine id.
     sessions: HashMap<u64, ItemId>,
@@ -111,24 +114,27 @@ pub struct ShardPipeline {
     pub ledger: ShardLedger,
 }
 
-impl ShardPipeline {
+/// The scalar (`D = 1`) pipeline the original daemon shipped.
+pub type ShardPipeline = GShardPipeline<Size>;
+
+impl<Sz: Demand> GShardPipeline<Sz> {
     /// Build a pipeline with no journal.
     pub fn new(
-        capacity: Size,
-        selector: Box<dyn BinSelector>,
+        capacity: Sz,
+        selector: Box<dyn BinSelector<Sz>>,
         admission: AdmissionPolicy,
-    ) -> ShardPipeline {
-        ShardPipeline::with_probe(capacity, selector, admission, ServeProbe::default())
+    ) -> GShardPipeline<Sz> {
+        GShardPipeline::with_probe(capacity, selector, admission, ServeProbe::default())
     }
 
     /// Build a pipeline writing every engine event to `probe.journal`.
     pub fn with_probe(
-        capacity: Size,
-        selector: Box<dyn BinSelector>,
+        capacity: Sz,
+        selector: Box<dyn BinSelector<Sz>>,
         admission: AdmissionPolicy,
         probe: ServeProbe,
-    ) -> ShardPipeline {
-        ShardPipeline {
+    ) -> GShardPipeline<Sz> {
+        GShardPipeline {
             engine: StreamingEngine::new(capacity, selector, probe),
             admission,
             sessions: HashMap::new(),
@@ -157,16 +163,19 @@ impl ShardPipeline {
         self.engine.in_flight()
     }
 
-    /// Handle one request; never panics on client input.
+    /// Handle one request; never panics on client input. Arrival demands
+    /// are read from the first `Sz::DIMS` components of the wire array —
+    /// the protocol layer has already arity-checked them against the
+    /// daemon's dimensionality, so no truncation can happen here.
     pub fn handle(&mut self, req: &Request) -> Outcome {
         match *req {
-            Request::Arrive { id, at, size } => self.handle_arrive(id, at, size),
+            Request::Arrive { id, at, demand } => self.handle_arrive(id, at, &demand),
             Request::Depart { id, at } => self.handle_depart(id, at),
             Request::Ping { .. } => Outcome::Pong,
         }
     }
 
-    fn handle_arrive(&mut self, external: u64, at: u64, size: u64) -> Outcome {
+    fn handle_arrive(&mut self, external: u64, at: u64, demand: &[u64]) -> Outcome {
         self.ledger.offered += 1;
         if self.sessions.contains_key(&external) {
             self.ledger.rejected += 1;
@@ -180,6 +189,16 @@ impl ShardPipeline {
                 reason: "shard id space exhausted".to_string(),
             };
         }
+        let Some(size) = Sz::from_components(&demand[..Sz::DIMS]) else {
+            self.ledger.rejected += 1;
+            return Outcome::Rejected {
+                reason: format!(
+                    "demand_arity: demand has {} components, shard expects {}",
+                    demand.len().min(Sz::DIMS),
+                    Sz::DIMS
+                ),
+            };
+        };
         // Event-time admission: the arrival is processed at the shard's
         // horizon if it queued behind earlier work; waiting `queue_timeout`
         // ticks or more (boundary inclusive) is a shed.
@@ -189,11 +208,14 @@ impl ShardPipeline {
         let internal = ItemId(self.next_internal);
         if wait >= self.admission.queue_timeout {
             self.next_internal += 1;
-            self.engine.probe_mut().record(ProbeEvent::ItemDropped {
-                at: now,
-                item: internal,
-                reason: DropReason::QueueTimeout,
-            });
+            Probe::<Sz>::record(
+                self.engine.probe_mut(),
+                GProbeEvent::ItemDropped {
+                    at: now,
+                    item: internal,
+                    reason: DropReason::QueueTimeout,
+                },
+            );
             self.ledger.dropped_timeout += 1;
             return Outcome::Dropped {
                 reason: DropReason::QueueTimeout,
@@ -201,7 +223,7 @@ impl ShardPipeline {
         }
         match self
             .engine
-            .push_open_arrival(internal, Size(size), RegionId::GLOBAL, now)
+            .push_open_arrival(internal, size, RegionId::GLOBAL, now)
         {
             Ok(bin) => {
                 self.next_internal += 1;
@@ -260,7 +282,9 @@ impl ShardPipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::MAX_DIMS;
     use dbp_core::algorithms::FirstFit;
+    use dbp_core::demand::VSize;
 
     fn pipeline(timeout: u64) -> ShardPipeline {
         ShardPipeline::new(
@@ -273,20 +297,19 @@ mod tests {
         )
     }
 
+    /// Wire-shaped arrival with a scalar demand in dimension 0.
+    fn arrive(id: u64, at: u64, size: u64) -> Request {
+        let mut demand = [0u64; MAX_DIMS];
+        demand[0] = size;
+        Request::Arrive { id, at, demand }
+    }
+
     #[test]
     fn place_depart_lifecycle_conserves() {
         let mut p = pipeline(100);
-        let a = p.handle(&Request::Arrive {
-            id: 7,
-            at: 0,
-            size: 6,
-        });
+        let a = p.handle(&arrive(7, 0, 6));
         assert!(matches!(a, Outcome::Placed { .. }), "{a:?}");
-        let b = p.handle(&Request::Arrive {
-            id: 8,
-            at: 1,
-            size: 6,
-        });
+        let b = p.handle(&arrive(8, 1, 6));
         assert!(matches!(b, Outcome::Placed { .. }), "{b:?}");
         assert_eq!(p.open_bins(), 2);
         assert_eq!(p.in_flight(), 2);
@@ -296,11 +319,7 @@ mod tests {
         );
         assert_eq!(p.open_bins(), 1);
         // External id 7 is free again after departure.
-        let c = p.handle(&Request::Arrive {
-            id: 7,
-            at: 6,
-            size: 2,
-        });
+        let c = p.handle(&arrive(7, 6, 2));
         assert!(matches!(c, Outcome::Placed { .. }), "{c:?}");
         assert!(p.ledger.conserved());
         assert_eq!(p.ledger.placed, 3);
@@ -311,24 +330,12 @@ mod tests {
     fn stale_arrival_at_the_timeout_boundary_is_shed() {
         let mut p = pipeline(8);
         // Push the horizon to 20.
-        p.handle(&Request::Arrive {
-            id: 1,
-            at: 20,
-            size: 4,
-        });
+        p.handle(&arrive(1, 20, 4));
         // Queued at 13 against horizon 20: wait 7 < 8 → admitted (clamped).
-        let ok = p.handle(&Request::Arrive {
-            id: 2,
-            at: 13,
-            size: 4,
-        });
+        let ok = p.handle(&arrive(2, 13, 4));
         assert!(matches!(ok, Outcome::Placed { .. }), "{ok:?}");
         // Queued at 12: wait 8 == timeout → boundary drop.
-        let shed = p.handle(&Request::Arrive {
-            id: 3,
-            at: 12,
-            size: 4,
-        });
+        let shed = p.handle(&arrive(3, 12, 4));
         assert_eq!(
             shed,
             Outcome::Dropped {
@@ -342,22 +349,10 @@ mod tests {
     #[test]
     fn invalid_requests_are_refused_not_fatal() {
         let mut p = pipeline(100);
-        p.handle(&Request::Arrive {
-            id: 1,
-            at: 0,
-            size: 4,
-        });
-        let dup = p.handle(&Request::Arrive {
-            id: 1,
-            at: 1,
-            size: 4,
-        });
+        p.handle(&arrive(1, 0, 4));
+        let dup = p.handle(&arrive(1, 1, 4));
         assert!(matches!(dup, Outcome::Rejected { .. }), "{dup:?}");
-        let big = p.handle(&Request::Arrive {
-            id: 2,
-            at: 1,
-            size: 11,
-        });
+        let big = p.handle(&arrive(2, 1, 11));
         assert!(matches!(big, Outcome::Rejected { .. }), "{big:?}");
         let ghost = p.handle(&Request::Depart { id: 99, at: 2 });
         assert!(matches!(ghost, Outcome::Rejected { .. }), "{ghost:?}");
@@ -369,20 +364,44 @@ mod tests {
     #[test]
     fn sealing_reports_in_flight_sessions() {
         let mut p = pipeline(100);
-        p.handle(&Request::Arrive {
-            id: 1,
-            at: 0,
-            size: 4,
-        });
-        p.handle(&Request::Arrive {
-            id: 2,
-            at: 1,
-            size: 4,
-        });
+        p.handle(&arrive(1, 0, 4));
+        p.handle(&arrive(2, 1, 4));
         p.handle(&Request::Depart { id: 1, at: 3 });
         let (ledger, in_flight, open_bins) = p.seal().unwrap();
         assert!(ledger.conserved());
         assert_eq!(in_flight, 1);
         assert_eq!(open_bins, 1);
+    }
+
+    #[test]
+    fn vector_pipeline_packs_by_binding_dimension() {
+        // Capacity [10, 4]: dimension 1 binds first, so every [4, 3] item
+        // needs its own bin — a scalar engine at capacity 10 would have
+        // paired them two per bin.
+        let mut p: GShardPipeline<VSize<2>> = GShardPipeline::new(
+            VSize([10, 4]),
+            Box::new(FirstFit::new()),
+            AdmissionPolicy {
+                queue_capacity: 64,
+                queue_timeout: 100,
+            },
+        );
+        for id in 0..3u64 {
+            let got = p.handle(&Request::Arrive {
+                id,
+                at: id,
+                demand: [4, 3, 0, 0],
+            });
+            assert!(matches!(got, Outcome::Placed { .. }), "{got:?}");
+        }
+        assert_eq!(p.open_bins(), 3, "dim 1 (cap 4) admits one 3 per bin");
+        // An item too big in dimension 1 alone is a typed refusal.
+        let big = p.handle(&Request::Arrive {
+            id: 9,
+            at: 5,
+            demand: [1, 5, 0, 0],
+        });
+        assert!(matches!(big, Outcome::Rejected { .. }), "{big:?}");
+        assert!(p.ledger.conserved());
     }
 }

@@ -48,6 +48,8 @@ fn daemon_serves_drains_and_journals_replay_to_the_ledger() {
         shards,
         router: Router::HashByItem,
         capacity: 10,
+        dims: 1,
+        capacities: None,
         admission: AdmissionPolicy {
             queue_capacity: 8,
             queue_timeout: 1_000,
@@ -153,6 +155,145 @@ fn daemon_serves_drains_and_journals_replay_to_the_ledger() {
 }
 
 #[test]
+fn vector_daemon_places_arrays_and_types_arity_rejections() {
+    let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
+    let base = temp_base("vec");
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        shards: 2,
+        router: Router::LeastLoaded,
+        capacity: 1000,
+        dims: 3,
+        capacities: Some(vec![1000, 800, 1000]),
+        admission: AdmissionPolicy {
+            queue_capacity: 8,
+            queue_timeout: 1_000,
+        },
+        backpressure: BackpressurePolicy::Block,
+        max_sessions: 64,
+        read_timeout_ms: 5,
+        journal_base: Some(base.clone()),
+        fsync: FsyncPolicy::Always,
+    };
+    let (addr_tx, addr_rx) = mpsc::channel::<(SocketAddr, SocketAddr)>();
+    let server = std::thread::spawn(move || -> Result<ServeSummary, String> {
+        let factory = SelectorFactory::new("FF", || Box::new(FirstFit::new()));
+        run_server(cfg, &factory, stop, |h| {
+            addr_tx
+                .send((h.addr, h.metrics_addr.expect("metrics bound")))
+                .unwrap();
+        })
+    });
+    let (addr, maddr) = addr_rx.recv().unwrap();
+
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut r = BufReader::new(stream.try_clone().unwrap());
+    let mut w = stream;
+
+    // Vector placements.
+    let a1 = send(
+        &mut w,
+        &mut r,
+        r#"{"op":"arrive","id":1,"at":0,"demand":[125,90,220]}"#,
+    );
+    assert_eq!(get(&a1, "ok"), serde_json::Value::Bool(true), "{a1:?}");
+    let a2 = send(
+        &mut w,
+        &mut r,
+        r#"{"op":"arrive","id":2,"at":1,"demand":[240,170,680]}"#,
+    );
+    assert_eq!(get(&a2, "ok"), serde_json::Value::Bool(true), "{a2:?}");
+
+    // Arity mismatches — short, long, scalar spelling — are typed
+    // rejections, never truncation and never a dead daemon.
+    for bad in [
+        r#"{"op":"arrive","id":3,"at":2,"demand":[125,90]}"#,
+        r#"{"op":"arrive","id":3,"at":2,"demand":[125,90,220,1]}"#,
+        r#"{"op":"arrive","id":3,"at":2,"size":125}"#,
+    ] {
+        let v = send(&mut w, &mut r, bad);
+        assert_eq!(get(&v, "ok"), serde_json::Value::Bool(false), "{bad}");
+        let reason = match get(&v, "reason") {
+            serde_json::Value::Str(s) => s,
+            other => panic!("no reason in reply to {bad}: {other:?}"),
+        };
+        assert!(reason.starts_with("demand_arity:"), "{bad} -> {reason}");
+    }
+
+    // An arrival too big in one dimension alone (cpu 801 > 800) is a
+    // componentwise refusal even though every other dimension fits.
+    let big = send(
+        &mut w,
+        &mut r,
+        r#"{"op":"arrive","id":4,"at":3,"demand":[1,801,1]}"#,
+    );
+    assert_eq!(get(&big, "ok"), serde_json::Value::Bool(false), "{big:?}");
+
+    // The live scrape carries per-dimension utilization/waste gauges.
+    let mut m = TcpStream::connect(maddr).unwrap();
+    m.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut scrape = String::new();
+    m.read_to_string(&mut scrape).unwrap();
+    for d in 0..3 {
+        assert!(
+            scrape.contains(&format!("serve_dim_demand{{dim=\"{d}\"}}")),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains(&format!("serve_dim_waste{{dim=\"{d}\"}}")),
+            "{scrape}"
+        );
+        assert!(
+            scrape.contains(&format!("serve_dim_utilization_ppm{{dim=\"{d}\"}}")),
+            "{scrape}"
+        );
+    }
+    // Dimension 0 demand is the routed gpu load: 125 + 240.
+    assert!(
+        scrape.contains("serve_dim_demand{dim=\"0\"} 365"),
+        "{scrape}"
+    );
+
+    let d1 = send(&mut w, &mut r, r#"{"op":"depart","id":1,"at":9}"#);
+    assert_eq!(get(&d1, "ok"), serde_json::Value::Bool(true));
+
+    drop(w);
+    drop(r);
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+    let summary = server.join().unwrap().expect("server ran");
+    assert!(summary.conserved(), "{summary:?}");
+    assert_eq!(summary.served, 2);
+    assert_eq!(summary.rejected, 1); // the per-dimension oversize
+    assert_eq!(summary.bad_lines, 3); // the three arity rejections
+    assert_eq!(summary.departed, 1);
+
+    // The sealed journals are v2 (3-dimensional) and replay to the ledger.
+    let mut placements = 0u64;
+    let mut departures = 0u64;
+    for k in 0..2usize {
+        let path = journal_shard_path(&base, k);
+        assert_eq!(dbp_obs::journal::peek_journal_dims(&path).unwrap(), 3);
+        let contents = dbp_obs::journal::read_journal_dims::<dbp_core::demand::VSize<3>>(&path)
+            .expect("vector journal reads");
+        assert!(contents.torn.is_none(), "graceful drain must seal cleanly");
+        placements += contents
+            .events
+            .iter()
+            .filter(|e| matches!(e, dbp_core::probe::GProbeEvent::ItemPlaced { .. }))
+            .count() as u64;
+        departures += contents
+            .events
+            .iter()
+            .filter(|e| matches!(e, dbp_core::probe::GProbeEvent::ItemDeparted { .. }))
+            .count() as u64;
+        std::fs::remove_file(&path).ok();
+    }
+    assert_eq!(placements, summary.served);
+    assert_eq!(departures, summary.departed);
+}
+
+#[test]
 fn shed_policy_refuses_queue_overflow_and_ledgers_it() {
     let stop: &'static AtomicBool = Box::leak(Box::new(AtomicBool::new(false)));
     let cfg = ServeConfig {
@@ -161,6 +302,8 @@ fn shed_policy_refuses_queue_overflow_and_ledgers_it() {
         shards: 1,
         router: Router::HashByItem,
         capacity: 1_000_000,
+        dims: 1,
+        capacities: None,
         // Tiny event-time budget: arrivals stale by ≥ 2 ticks are shed.
         admission: AdmissionPolicy {
             queue_capacity: 4,

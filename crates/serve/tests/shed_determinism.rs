@@ -65,9 +65,9 @@ fn run_overload(seed: u64, n: u64, queue_cap: usize, burst: u64, timeout: u64) -
     let mut next_id = 1u64;
 
     let offer = |q: &mut VecDeque<Request>,
-                     req: Request,
-                     dropped: &mut Vec<(u64, &'static str)>,
-                     queue_full: &mut u64| {
+                 req: Request,
+                 dropped: &mut Vec<(u64, &'static str)>,
+                 queue_full: &mut u64| {
         if q.len() >= queue_cap {
             // The front door sheds arrivals only; departures always land
             // (dropping a release would leak capacity).
@@ -98,13 +98,15 @@ fn run_overload(seed: u64, n: u64, queue_cap: usize, burst: u64, timeout: u64) -
                 );
             } else {
                 let size = 1 + rng.next() % 5;
+                let mut demand = [0u64; dbp_serve::MAX_DIMS];
+                demand[0] = size;
                 offered += 1;
                 offer(
                     &mut queue,
                     Request::Arrive {
                         id: next_id,
                         at,
-                        size,
+                        demand,
                     },
                     &mut dropped,
                     &mut queue_full,

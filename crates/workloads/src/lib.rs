@@ -37,12 +37,14 @@ pub mod games;
 pub mod generator;
 pub mod mu_control;
 pub mod scenarios;
+pub mod vector;
 
 pub use arrivals::{ArrivalProcess, DiurnalPoisson, FlashCrowd, Poisson};
 pub use games::{GameCatalog, GameProfile, SessionKind};
 pub use generator::{generate, ArrivalKind, CloudGamingConfig};
 pub use mu_control::{churn, generate_mu_controlled, MuControlledConfig, SizeModel};
 pub use scenarios::{FaultProfile, Scenario};
+pub use vector::{launch_day_spike, lift_uniform, widen, HeteroCatalog, HeteroProfile};
 
 #[cfg(test)]
 mod proptests {

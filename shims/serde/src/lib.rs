@@ -21,6 +21,17 @@ pub mod value;
 
 pub use value::Value;
 
+/// Compatibility mirror of `serde::de` for code written against real serde.
+pub mod de {
+    /// Owned deserialization. The shim's [`Deserialize`](crate::Deserialize)
+    /// already produces owned values from a borrowed [`Value`](crate::Value)
+    /// tree, so this is a blanket-satisfied marker trait with the same
+    /// spelling as real serde's `de::DeserializeOwned`.
+    pub trait DeserializeOwned: crate::Deserialize {}
+
+    impl<T: crate::Deserialize> DeserializeOwned for T {}
+}
+
 /// Serialization/deserialization error: a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Error(String);

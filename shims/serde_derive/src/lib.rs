@@ -7,18 +7,32 @@
 //! * structs with named fields (per-field `#[serde(default)]` and
 //!   `#[serde(skip_serializing_if = "path")]` honored);
 //! * tuple structs (including `#[serde(transparent)]` newtypes);
-//! * enums with unit, tuple, and struct variants (externally tagged).
+//! * enums with unit, tuple, and struct variants (externally tagged);
+//! * generic items (type, const, and lifetime parameters): every type
+//!   parameter is bounded by `::serde::Serialize` / `::serde::Deserialize`
+//!   in the generated impl, on top of any bounds declared on the item.
 //!
-//! Generics are intentionally unsupported — none of the workspace's
-//! serialized types are generic — and the macro panics with a clear message
-//! if it meets a shape it cannot handle, so failures are loud, not silent.
+//! Where-clauses remain unsupported and the macro panics with a clear
+//! message if it meets a shape it cannot handle, so failures are loud,
+//! not silent.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 struct Item {
     name: String,
+    generics: Vec<GenParam>,
     transparent: bool,
     shape: Shape,
+}
+
+/// One generic parameter of the deriving item.
+struct GenParam {
+    /// Name as it appears in the type path (`Sz`, `D`, `'a`).
+    name: String,
+    /// Declaration text minus any default (`Sz: Demand`, `const D: usize`).
+    decl: String,
+    /// Type parameters get the serde trait bound; const/lifetime ones don't.
+    is_type: bool,
 }
 
 enum Shape {
@@ -163,8 +177,44 @@ fn parse_item(input: TokenStream) -> Item {
     let name = ident_of(tokens.get(i))
         .unwrap_or_else(|| panic!("serde shim derive: expected type name after `{kw}`"));
     i += 1;
+    let mut generics = Vec::new();
     if is_punct(tokens.get(i), '<') {
-        panic!("serde shim derive: generic type `{name}` is not supported");
+        i += 1;
+        let mut depth = 1i32;
+        let mut seg: Vec<TokenTree> = Vec::new();
+        loop {
+            let t = tokens
+                .get(i)
+                .unwrap_or_else(|| panic!("serde shim derive: unclosed generics on `{name}`"))
+                .clone();
+            i += 1;
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    seg.push(t);
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        if !seg.is_empty() {
+                            generics.push(parse_gen_param(&name, &seg));
+                        }
+                        break;
+                    }
+                    seg.push(t);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => {
+                    if !seg.is_empty() {
+                        generics.push(parse_gen_param(&name, &seg));
+                    }
+                    seg.clear();
+                }
+                _ => seg.push(t),
+            }
+        }
+    }
+    if ident_of(tokens.get(i)).as_deref() == Some("where") {
+        panic!("serde shim derive: where-clause on `{name}` is not supported");
     }
     let shape = match kw.as_str() {
         "struct" => match tokens.get(i) {
@@ -187,9 +237,88 @@ fn parse_item(input: TokenStream) -> Item {
     };
     Item {
         name,
+        generics,
         transparent,
         shape,
     }
+}
+
+/// Render a token slice back to source text. Tokens are space-joined except
+/// after a lifetime tick, so `'a` stays one token of text.
+fn tokens_text(tokens: &[TokenTree]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        out.push_str(&t.to_string());
+        if !matches!(t, TokenTree::Punct(p) if p.as_char() == '\'') {
+            out.push(' ');
+        }
+    }
+    out.trim_end().to_string()
+}
+
+/// Parse one comma-separated generic parameter (`Sz`, `Sz: Demand`,
+/// `const D: usize`, `'a`), dropping any `= default`.
+fn parse_gen_param(owner: &str, seg: &[TokenTree]) -> GenParam {
+    let mut depth = 0i32;
+    let mut cut = seg.len();
+    for (j, t) in seg.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == '=' && depth == 0 => {
+                cut = j;
+                break;
+            }
+            _ => {}
+        }
+    }
+    let seg = &seg[..cut];
+    let decl = tokens_text(seg);
+    match seg.first() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '\'' => GenParam {
+            name: tokens_text(&seg[..2.min(seg.len())]),
+            decl,
+            is_type: false,
+        },
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => GenParam {
+            name: ident_of(seg.get(1))
+                .unwrap_or_else(|| panic!("serde shim derive: bad const parameter on `{owner}`")),
+            decl,
+            is_type: false,
+        },
+        Some(TokenTree::Ident(id)) => GenParam {
+            name: id.to_string(),
+            decl,
+            is_type: true,
+        },
+        other => panic!("serde shim derive: bad generic parameter on `{owner}`: {other:?}"),
+    }
+}
+
+/// `impl<...>` and `Name<...>` generic argument text for the generated
+/// impl, bounding every type parameter by `bound`.
+fn generics_strings(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let impl_params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|p| {
+            if !p.is_type {
+                p.decl.clone()
+            } else if p.decl.contains(':') {
+                format!("{} + {bound}", p.decl)
+            } else {
+                format!("{}: {bound}", p.decl)
+            }
+        })
+        .collect();
+    let ty_params: Vec<String> = item.generics.iter().map(|p| p.name.clone()).collect();
+    (
+        format!("<{}>", impl_params.join(", ")),
+        format!("<{}>", ty_params.join(", ")),
+    )
 }
 
 /// Fields of a named-field body (names + serde attrs), in declaration
@@ -451,8 +580,9 @@ fn gen_serialize(item: &Item) -> String {
             format!("match self {{\n{arms}\n}}")
         }
     };
+    let (ig, tg) = generics_strings(item, "::serde::Serialize");
     format!(
-        "impl ::serde::Serialize for {name} {{\n\
+        "impl{ig} ::serde::Serialize for {name}{tg} {{\n\
          fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
          }}"
     )
@@ -568,8 +698,9 @@ fn gen_deserialize(item: &Item) -> String {
             )
         }
     };
+    let (ig, tg) = generics_strings(item, "::serde::Deserialize");
     format!(
-        "impl ::serde::Deserialize for {name} {{\n\
+        "impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
          fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
          {body}\n\
          }}\n\

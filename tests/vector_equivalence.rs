@@ -1,0 +1,281 @@
+//! The D=1 degeneracy theorem, tested: the const-generic vector engine
+//! run at one dimension is *byte-identical* to the scalar engine — same
+//! trace JSON, same probe-event JSONL, same instance digest, same bill —
+//! for every selector the vector roster offers, on arbitrary churn-heavy
+//! instances. At D>1 the same sweep checks the invariants that replace
+//! byte identity: per-dimension capacity respect (via the validating
+//! engine), per-dimension demand conservation, and router conservation
+//! across cluster dispatch.
+//!
+//! Byte identity is the strongest equivalence there is: it subsumes
+//! cost equality, assignment equality, and event-order equality in one
+//! string comparison, and it pins the serialization format (a `VSize<1>`
+//! demand must serialize as a bare integer, not a one-element array).
+
+use dbp::prelude::*;
+use dbp_cloudsim::{billed_ticks, rental_cost_cents, Granularity, ServerType};
+use dbp_cluster::vector::run_cluster_vec;
+use dbp_cluster::Router;
+use dbp_core::demand::{Demand, VSize};
+use dbp_core::engine::{simulate_probed, simulate_validated as sim_validated};
+use dbp_core::instance::GInstance;
+use dbp_core::packer::BinSelector;
+use dbp_core::trace::PackingTrace;
+use dbp_core::StreamingEngine;
+use dbp_obs::export::{events_to_jsonl, events_to_jsonl_dims};
+use dbp_obs::manifest::{instance_digest, instance_digest_dims};
+use dbp_obs::{EventLog, GEventLog};
+use dbp_workloads::{lift_uniform, widen};
+use proptest::prelude::*;
+
+/// Every selector available on the vector roster, by the names
+/// `selector_for` resolves for both `Size` and `VSize<D>`.
+const SELECTORS: [&str; 6] = ["FF", "BF", "MFF(8)", "FF-idx", "BF-idx", "MFF-idx"];
+
+const ROUTERS: [Router; 3] = [
+    Router::HashByItem,
+    Router::GameAffinity,
+    Router::LeastLoaded,
+];
+
+fn selector<Sz: Demand>(name: &str) -> Box<dyn BinSelector<Sz>> {
+    dbp_core::algorithms::selector_for::<Sz>(name)
+        .unwrap_or_else(|| panic!("selector {name} missing from the vector roster"))
+}
+
+fn instances() -> impl Strategy<Value = Instance> {
+    let item = (0u64..300, 1u64..90, 1u64..=40);
+    proptest::collection::vec(item, 1..60).prop_map(|raw| {
+        let mut b = InstanceBuilder::new(40);
+        for (a, len, s) in raw {
+            b.add(a, a + len, s);
+        }
+        b.build().unwrap()
+    })
+}
+
+/// Exact per-dimension demand volume of an instance: Σ size_d · duration.
+fn demand_ticks<Sz: Demand>(inst: &GInstance<Sz>) -> Vec<u128> {
+    let mut ticks = vec![0u128; Sz::DIMS];
+    for it in inst.items() {
+        let span = (it.departure.raw() - it.arrival.raw()) as u128;
+        for (d, slot) in ticks.iter_mut().enumerate() {
+            *slot += it.size.component(d) as u128 * span;
+        }
+    }
+    ticks
+}
+
+/// The full D=1 byte-identity check for one selector on one instance.
+fn assert_d1_byte_identical(inst: &Instance, name: &str) {
+    let vinst = lift_uniform::<1>(inst);
+
+    let mut slog = EventLog::new();
+    let strace = simulate_probed(inst, &mut *selector::<Size>(name), &mut slog);
+    let mut vlog = GEventLog::<VSize<1>>::new();
+    let vtrace = simulate_probed(&vinst, &mut *selector::<VSize<1>>(name), &mut vlog);
+
+    // Trace, event stream, and digest: byte-for-byte.
+    let sjson = serde_json::to_string(&strace).unwrap();
+    let vjson = serde_json::to_string(&vtrace).unwrap();
+    assert_eq!(sjson, vjson, "{name}: D=1 trace JSON diverged");
+    assert_eq!(
+        events_to_jsonl(slog.events()),
+        events_to_jsonl_dims(vlog.events()),
+        "{name}: D=1 probe JSONL diverged"
+    );
+    assert_eq!(
+        instance_digest(inst),
+        instance_digest_dims(&vinst),
+        "D=1 instance digest diverged"
+    );
+
+    // The bill: the vector trace *is* a scalar trace (its bytes parse as
+    // one), and every billing granularity prices it identically.
+    let as_scalar: PackingTrace = serde_json::from_str(&vjson).unwrap();
+    let server = ServerType::default_gpu_vm();
+    for g in [Granularity::PerTick, Granularity::PerHour] {
+        assert_eq!(
+            billed_ticks(&strace, g),
+            billed_ticks(&as_scalar, g),
+            "{name}: billed ticks diverged under {g:?}"
+        );
+        assert_eq!(
+            rental_cost_cents(&strace, server, g),
+            rental_cost_cents(&as_scalar, server, g),
+            "{name}: bill diverged under {g:?}"
+        );
+    }
+}
+
+/// D>1 invariants for one selector at one dimensionality: the validating
+/// engine accepts the packing (per-dimension capacity respect), cost is
+/// the scalar engine's cost (a uniform lift changes no decision — every
+/// dimension sees the same fit question), and conservation holds under
+/// every cluster router.
+fn assert_lifted_invariants<const D: usize>(inst: &Instance, name: &str) {
+    let vinst = lift_uniform::<D>(inst);
+    let vtrace = sim_validated(&vinst, &mut *selector::<VSize<D>>(name));
+    let strace = sim_validated(inst, &mut *selector::<Size>(name));
+    assert_eq!(
+        strace.total_cost_ticks(),
+        vtrace.total_cost_ticks(),
+        "{name}: a uniform lift to D={D} changed the packing cost"
+    );
+    assert_eq!(
+        strace.assignment, vtrace.assignment,
+        "{name}: a uniform lift to D={D} changed an assignment"
+    );
+
+    let expected = demand_ticks(&vinst);
+    for router in ROUTERS {
+        let run = run_cluster_vec(&vinst, router, 3, || selector::<VSize<D>>(name));
+        assert_eq!(run.sessions_served, inst.len());
+        assert_eq!(run.dims.len(), D);
+        for d in &run.dims {
+            assert_eq!(
+                d.demand_ticks,
+                expected[d.dim],
+                "{name}/{}: dim {} demand not conserved across shards",
+                router.name(),
+                d.dim
+            );
+            assert_eq!(
+                d.rented_ticks - d.waste_ticks,
+                d.demand_ticks,
+                "{name}/{}: dim {} ledger does not balance",
+                router.name(),
+                d.dim
+            );
+        }
+        // The shard traces themselves must re-add to the demand volume:
+        // nothing served twice, nothing dropped.
+        let shard_sessions: usize = run.shards.iter().map(|s| s.back.len()).sum();
+        assert_eq!(shard_sessions, inst.len());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline theorem: every vector selector at D=1 is the scalar
+    /// selector, down to the last serialized byte.
+    #[test]
+    fn d1_is_byte_identical_for_every_selector(inst in instances()) {
+        for name in SELECTORS {
+            assert_d1_byte_identical(&inst, name);
+        }
+    }
+
+    /// Uniform lifts to D=2 and D=4 preserve cost and assignments, and
+    /// cluster dispatch conserves per-dimension demand under every router.
+    #[test]
+    fn lifted_instances_conserve_per_dimension(inst in instances()) {
+        for name in SELECTORS {
+            assert_lifted_invariants::<2>(&inst, name);
+            assert_lifted_invariants::<4>(&inst, name);
+        }
+    }
+
+    /// The streaming engine at D=3 (the heterogeneous [gpu, cpu, mem]
+    /// widening — genuinely non-uniform demands) is byte-identical to the
+    /// batch engine fed the same stream: same trace JSON, same JSONL.
+    #[test]
+    fn streaming_engine_at_d3_is_byte_identical_to_batch(inst in instances()) {
+        let vinst = widen(&inst);
+        let mut order: Vec<_> = vinst.items().to_vec();
+        order.sort_by_key(|it| (it.arrival, it.id));
+        for name in SELECTORS {
+            let mut blog = GEventLog::<VSize<3>>::new();
+            let batch = simulate_probed(&vinst, &mut *selector::<VSize<3>>(name), &mut blog);
+
+            let mut slog = GEventLog::<VSize<3>>::new();
+            let mut eng = StreamingEngine::new(vinst.capacity(), selector::<VSize<3>>(name), &mut slog);
+            for it in &order {
+                eng.push_arrival(*it, it.arrival).unwrap();
+            }
+            let streamed = eng.finish().unwrap();
+            prop_assert_eq!(
+                serde_json::to_string(&batch).unwrap(),
+                serde_json::to_string(&streamed).unwrap(),
+                "{}: D=3 streaming trace diverged from batch", name
+            );
+            prop_assert_eq!(
+                events_to_jsonl_dims(blog.events()),
+                events_to_jsonl_dims(slog.events()),
+                "{}: D=3 streaming JSONL diverged from batch", name
+            );
+        }
+    }
+
+    /// At D=1 the vector routers make the scalar routers' decisions:
+    /// identical shard assignment for the whole stream.
+    #[test]
+    fn d1_routing_matches_scalar_routers(inst in instances(), shards in 1usize..5) {
+        let vinst = lift_uniform::<1>(&inst);
+        for router in ROUTERS {
+            let scalar = router.assign(&inst, shards);
+            let vector = dbp_cluster::vector::assign_vec(router, &vinst, shards);
+            prop_assert_eq!(&scalar, &vector, "router {} diverged at D=1", router.name());
+        }
+    }
+}
+
+/// The dominance selector is vector-only (it orders by max component);
+/// it still must satisfy the D>1 invariants, just not scalar equality.
+#[test]
+fn dominance_selector_conserves_at_high_dims() {
+    let inst = dbp_workloads::generate(&dbp_workloads::CloudGamingConfig {
+        horizon: 1800,
+        seed: 11,
+        ..dbp_workloads::CloudGamingConfig::default()
+    });
+    let vinst = lift_uniform::<4>(&inst);
+    let trace = sim_validated(&vinst, &mut *selector::<VSize<4>>("DOM"));
+    assert!(trace.bins_used() > 0);
+    let expected = demand_ticks(&vinst);
+    let run = run_cluster_vec(&vinst, Router::LeastLoaded, 4, || {
+        selector::<VSize<4>>("DOM")
+    });
+    for d in &run.dims {
+        assert_eq!(d.demand_ticks, expected[d.dim]);
+    }
+}
+
+/// A genuinely heterogeneous (non-uniform) D=2 instance where different
+/// dimensions bind for different items: conservation and validation must
+/// hold when the intersection constraint is doing real work.
+#[test]
+fn heterogeneous_dims_conserve_under_all_routers() {
+    let mut b = dbp_core::instance::GInstanceBuilder::<VSize<2>>::new(VSize([10, 6]));
+    // GPU-bound, memory-light …
+    for k in 0..40u64 {
+        b.add(k, k + 30, VSize([7, 1]));
+    }
+    // … memory-bound, GPU-light …
+    for k in 0..40u64 {
+        b.add(2 * k, 2 * k + 17, VSize([1, 5]));
+    }
+    // … and balanced.
+    for k in 0..40u64 {
+        b.add(3 * k, 3 * k + 9, VSize([4, 3]));
+    }
+    let vinst = b.build().unwrap();
+    let expected = demand_ticks(&vinst);
+    for name in SELECTORS {
+        let trace = sim_validated(&vinst, &mut *selector::<VSize<2>>(name));
+        assert!(trace.bins_used() > 0, "{name}: nothing packed");
+        for router in ROUTERS {
+            let run = run_cluster_vec(&vinst, router, 3, || selector::<VSize<2>>(name));
+            for d in &run.dims {
+                assert_eq!(
+                    d.demand_ticks,
+                    expected[d.dim],
+                    "{name}/{}: dim {} demand not conserved",
+                    router.name(),
+                    d.dim
+                );
+            }
+        }
+    }
+}
